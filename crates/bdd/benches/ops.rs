@@ -1,0 +1,67 @@
+//! Microbenchmarks for the core BDD operations on transition-relation-shaped
+//! workloads (interleaved variables, mod-2^k counters) — the op mix the
+//! repair fixpoints are made of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftrepair_bdd::{Manager, NodeId};
+
+/// Build the transition relation of a k-bit binary counter over interleaved
+/// current (even) / next (odd) levels.
+fn counter_relation(m: &mut Manager, bits: u32) -> NodeId {
+    let mut rel = ftrepair_bdd::TRUE;
+    let mut carry = ftrepair_bdd::TRUE; // increment propagates while carry
+    for i in 0..bits {
+        let cur = m.var(2 * i);
+        let next = m.var(2 * i + 1);
+        // next = cur XOR carry
+        let x = m.xor(cur, carry);
+        let bit_ok = m.iff(next, x);
+        rel = m.and(rel, bit_ok);
+        carry = m.and(carry, cur);
+    }
+    rel
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_ops");
+    for &bits in &[16u32, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("build_counter", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut m = Manager::new(2 * bits);
+                counter_relation(&mut m, bits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("image_sweep", bits), &bits, |b, &bits| {
+            // One BFS sweep of the counter's full 2^bits cycle would be
+            // absurd; measure a fixed number of image steps instead.
+            b.iter(|| {
+                let mut m = Manager::new(2 * bits);
+                let rel = counter_relation(&mut m, bits);
+                let cur: Vec<u32> = (0..bits).map(|i| 2 * i).collect();
+                let vs = m.varset(&cur);
+                let map: Vec<(u32, u32)> = (0..bits).map(|i| (2 * i + 1, 2 * i)).collect();
+                let vm = m.varmap(&map);
+                let zeros: Vec<(u32, bool)> = (0..bits).map(|i| (2 * i, false)).collect();
+                let mut s = m.cube(&zeros);
+                for _ in 0..64 {
+                    let img = m.and_exists(s, rel, vs);
+                    s = m.rename(img, vm);
+                }
+                s
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exists_half", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut m = Manager::new(2 * bits);
+                let rel = counter_relation(&mut m, bits);
+                let half: Vec<u32> = (0..bits / 2).map(|i| 2 * i).collect();
+                let vs = m.varset(&half);
+                m.exists(rel, vs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

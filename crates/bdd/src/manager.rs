@@ -1,0 +1,586 @@
+//! The BDD manager: node arena, unique table, garbage collection.
+
+use crate::hash::FxHashMap;
+use crate::node::{Node, NodeId, FALSE, TERMINAL_LEVEL, TRUE};
+
+/// Memoization caches for the recursive operations.
+///
+/// All caches are cleared on garbage collection (a cached result may reference
+/// a dead node). Keys embed everything the result depends on, so the caches
+/// never need invalidation otherwise: nodes are immutable once created.
+#[derive(Default)]
+pub(crate) struct Caches {
+    /// `NOT f ↦ result`.
+    pub not: FxHashMap<NodeId, NodeId>,
+    /// `(op, f, g) ↦ result` for the binary boolean connectives; commutative
+    /// operations normalize `f <= g`.
+    pub apply: FxHashMap<(u8, NodeId, NodeId), NodeId>,
+    /// `ite(f, g, h) ↦ result`.
+    pub ite: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    /// `(∃/∀, f, varset) ↦ result`.
+    pub quant: FxHashMap<(u8, NodeId, u32), NodeId>,
+    /// `∃ vs. f ∧ g ↦ result` (the relational product).
+    pub and_exists: FxHashMap<(NodeId, NodeId, u32), NodeId>,
+    /// `(f, varmap) ↦ result` for order-preserving renaming.
+    pub rename: FxHashMap<(NodeId, u32), NodeId>,
+}
+
+impl Caches {
+    fn clear(&mut self) {
+        self.not.clear();
+        self.apply.clear();
+        self.ite.clear();
+        self.quant.clear();
+        self.and_exists.clear();
+        self.rename.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.not.len()
+            + self.apply.len()
+            + self.ite.len()
+            + self.quant.len()
+            + self.and_exists.len()
+            + self.rename.len()
+    }
+}
+
+/// Counters exposed for benchmarking and regression tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Live (allocated, not freed) internal nodes, excluding terminals.
+    pub live_nodes: usize,
+    /// Total arena capacity ever allocated, excluding terminals.
+    pub allocated_nodes: usize,
+    /// Slots currently on the free list.
+    pub free_nodes: usize,
+    /// Entries across all memo caches.
+    pub cache_entries: usize,
+    /// Number of garbage collections performed.
+    pub gc_runs: usize,
+    /// `mk` calls that found an existing node in the unique table.
+    pub unique_hits: u64,
+    /// `mk` calls that created a fresh node.
+    pub unique_misses: u64,
+}
+
+/// A BDD manager owning the node arena for one variable order.
+///
+/// Variables are identified by their *level* `0..num_vars` in the (fixed)
+/// order. All [`NodeId`]s returned by a manager are only valid with that
+/// manager; use [`crate::SerializedBdd`] to move functions between managers.
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxHashMap<Node, NodeId>,
+    free: Vec<u32>,
+    num_vars: u32,
+    pub(crate) caches: Caches,
+    /// Externally protected roots (refcounted) that GC must keep alive.
+    protected: FxHashMap<NodeId, u32>,
+    /// Interned variable sets for quantification (see `quant.rs`).
+    pub(crate) varsets: Vec<Vec<u32>>,
+    varset_ids: FxHashMap<Vec<u32>, u32>,
+    /// Interned variable maps for renaming (see `rename.rs`).
+    pub(crate) varmaps: Vec<Vec<(u32, u32)>>,
+    varmap_ids: FxHashMap<Vec<(u32, u32)>, u32>,
+    gc_runs: usize,
+    unique_hits: u64,
+    unique_misses: u64,
+}
+
+impl Manager {
+    /// Create a manager for `num_vars` boolean variables (levels
+    /// `0..num_vars`).
+    pub fn new(num_vars: u32) -> Self {
+        let mut nodes = Vec::with_capacity(1024);
+        // Terminal nodes occupy slots 0 and 1; their children are self-loops
+        // that no traversal ever follows (guarded by `is_terminal`).
+        nodes.push(Node { level: TERMINAL_LEVEL, lo: FALSE, hi: FALSE });
+        nodes.push(Node { level: TERMINAL_LEVEL, lo: TRUE, hi: TRUE });
+        Manager {
+            nodes,
+            unique: FxHashMap::default(),
+            free: Vec::new(),
+            num_vars,
+            caches: Caches::default(),
+            protected: FxHashMap::default(),
+            varsets: Vec::new(),
+            varset_ids: FxHashMap::default(),
+            varmaps: Vec::new(),
+            varmap_ids: FxHashMap::default(),
+            gc_runs: 0,
+            unique_hits: 0,
+            unique_misses: 0,
+        }
+    }
+
+    /// Number of boolean variables this manager was created with.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Grow the variable universe (levels are append-only; existing BDDs are
+    /// unaffected because new levels sort below all existing nodes).
+    pub fn add_vars(&mut self, extra: u32) {
+        self.num_vars += extra;
+    }
+
+    /// The level of a node's branching variable (`TERMINAL_LEVEL` for
+    /// terminals).
+    #[inline]
+    pub(crate) fn level(&self, f: NodeId) -> u32 {
+        self.nodes[f.0 as usize].level
+    }
+
+    /// Low (else) child. Caller must ensure `f` is internal.
+    #[inline]
+    pub(crate) fn lo(&self, f: NodeId) -> NodeId {
+        self.nodes[f.0 as usize].lo
+    }
+
+    /// High (then) child. Caller must ensure `f` is internal.
+    #[inline]
+    pub(crate) fn hi(&self, f: NodeId) -> NodeId {
+        self.nodes[f.0 as usize].hi
+    }
+
+    /// Hash-consing constructor: the unique canonical node for
+    /// `if var(level) then hi else lo`.
+    #[inline]
+    pub(crate) fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        debug_assert!(level < self.num_vars, "level {level} out of range");
+        if lo == hi {
+            return lo; // reduction rule
+        }
+        debug_assert!(level < self.level(lo) && level < self.level(hi), "order violation");
+        let node = Node { level, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            self.unique_hits += 1;
+            return id;
+        }
+        self.unique_misses += 1;
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                NodeId(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices");
+                self.nodes.push(node);
+                NodeId(slot)
+            }
+        };
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The function `var(level)` — true iff variable `level` is true.
+    pub fn var(&mut self, level: u32) -> NodeId {
+        self.mk(level, FALSE, TRUE)
+    }
+
+    /// The function `¬var(level)`.
+    pub fn nvar(&mut self, level: u32) -> NodeId {
+        self.mk(level, TRUE, FALSE)
+    }
+
+    /// The conjunction of literals described by `(level, positive)` pairs.
+    /// Pairs may be in any order; duplicate levels must agree (conflicting
+    /// literals yield `FALSE`).
+    pub fn cube(&mut self, literals: &[(u32, bool)]) -> NodeId {
+        let mut lits: Vec<(u32, bool)> = literals.to_vec();
+        lits.sort_unstable();
+        for w in lits.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                return FALSE;
+            }
+        }
+        lits.dedup();
+        let mut acc = TRUE;
+        for &(level, pos) in lits.iter().rev() {
+            acc = if pos { self.mk(level, FALSE, acc) } else { self.mk(level, acc, FALSE) };
+        }
+        acc
+    }
+
+    /// Protect a root from garbage collection (refcounted; pair with
+    /// [`Manager::unprotect`]).
+    pub fn protect(&mut self, f: NodeId) {
+        *self.protected.entry(f).or_insert(0) += 1;
+    }
+
+    /// Drop one protection count added by [`Manager::protect`].
+    pub fn unprotect(&mut self, f: NodeId) {
+        match self.protected.get_mut(&f) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.protected.remove(&f);
+            }
+            None => panic!("unprotect of unprotected node {f:?}"),
+        }
+    }
+
+    /// Clear all operation caches if they hold more than `max_entries`
+    /// memo entries. Caches are pure memoization — clearing them is always
+    /// sound and costs only recomputation. Long fixpoints call this
+    /// between iterations to bound memory (the caches, not the node arena,
+    /// dominate the footprint of big runs). Returns whether a trim
+    /// happened.
+    pub fn maybe_trim_caches(&mut self, max_entries: usize) -> bool {
+        if self.caches.len() > max_entries {
+            self.caches.clear();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark-and-sweep garbage collection.
+    ///
+    /// Keeps every node reachable from `roots` or from a
+    /// [`Manager::protect`]ed root; all other slots go to the free list and
+    /// node ids of survivors remain stable. All memo caches are cleared.
+    pub fn gc<I: IntoIterator<Item = NodeId>>(&mut self, roots: I) {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<NodeId> = roots.into_iter().collect();
+        stack.extend(self.protected.keys().copied());
+        while let Some(f) = stack.pop() {
+            let idx = f.0 as usize;
+            if marked[idx] {
+                continue;
+            }
+            marked[idx] = true;
+            let node = self.nodes[idx];
+            if !f.is_terminal() {
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        // Propagation above is top-down only through pushed children, which is
+        // complete because children are pushed exactly when the parent is
+        // first marked.
+        let already_free: crate::hash::FxHashSet<u32> = self.free.iter().copied().collect();
+        for idx in 2..self.nodes.len() {
+            if !marked[idx] && !already_free.contains(&(idx as u32)) {
+                let node = self.nodes[idx];
+                self.unique.remove(&node);
+                self.free.push(idx as u32);
+            }
+        }
+        self.caches.clear();
+        self.gc_runs += 1;
+    }
+
+    /// Number of nodes reachable from `f`, including terminals.
+    pub fn node_count(&self, f: NodeId) -> usize {
+        let mut seen = crate::hash::FxHashSet::default();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if seen.insert(g) && !g.is_terminal() {
+                stack.push(self.lo(g));
+                stack.push(self.hi(g));
+            }
+        }
+        seen.len()
+    }
+
+    /// Validate the structural invariants of the arena: every live node is
+    /// reduced (`lo != hi`), ordered (children at strictly greater levels),
+    /// canonical (present in the unique table exactly once), and refers only
+    /// to live slots. Panics with a description on the first violation.
+    /// O(arena size); meant for tests and debugging, not hot paths.
+    pub fn check_integrity(&self) {
+        let free: crate::hash::FxHashSet<u32> = self.free.iter().copied().collect();
+        assert_eq!(free.len(), self.free.len(), "duplicate slots on the free list");
+        for idx in 2..self.nodes.len() {
+            let id = NodeId(idx as u32);
+            if free.contains(&(idx as u32)) {
+                continue;
+            }
+            let node = self.nodes[idx];
+            assert!(node.lo != node.hi, "unreduced node {id:?}");
+            assert!(node.level < self.num_vars, "node {id:?} level out of range");
+            for child in [node.lo, node.hi] {
+                assert!(
+                    (child.0 as usize) < self.nodes.len(),
+                    "node {id:?} has dangling child {child:?}"
+                );
+                assert!(
+                    !free.contains(&child.0),
+                    "node {id:?} points to freed slot {child:?}"
+                );
+                assert!(
+                    node.level < self.level(child),
+                    "order violation at {id:?}: level {} !< child {}",
+                    node.level,
+                    self.level(child)
+                );
+            }
+            assert_eq!(
+                self.unique.get(&node),
+                Some(&id),
+                "node {id:?} missing from or duplicated in the unique table"
+            );
+        }
+        assert_eq!(
+            self.unique.len(),
+            self.nodes.len() - 2 - self.free.len(),
+            "unique table size does not match live node count"
+        );
+    }
+
+    /// Snapshot of arena and cache counters.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            live_nodes: self.nodes.len() - 2 - self.free.len(),
+            allocated_nodes: self.nodes.len() - 2,
+            free_nodes: self.free.len(),
+            cache_entries: self.caches.len(),
+            gc_runs: self.gc_runs,
+            unique_hits: self.unique_hits,
+            unique_misses: self.unique_misses,
+        }
+    }
+
+    /// Intern a set of variable levels for quantification; sorted and deduped.
+    pub fn varset(&mut self, levels: &[u32]) -> crate::quant::VarSetId {
+        let mut vs: Vec<u32> = levels.to_vec();
+        vs.sort_unstable();
+        vs.dedup();
+        for &v in &vs {
+            assert!(v < self.num_vars, "varset level {v} out of range");
+        }
+        if let Some(&id) = self.varset_ids.get(&vs) {
+            return crate::quant::VarSetId(id);
+        }
+        let id = self.varsets.len() as u32;
+        self.varsets.push(vs.clone());
+        self.varset_ids.insert(vs, id);
+        crate::quant::VarSetId(id)
+    }
+
+    /// The levels of an interned variable set (sorted ascending).
+    pub fn varset_levels(&self, vs: crate::quant::VarSetId) -> &[u32] {
+        &self.varsets[vs.0 as usize]
+    }
+
+    /// Intern an **order-preserving** variable map `from → to` for renaming.
+    ///
+    /// Order preservation (`from` ascending ⇒ `to` ascending) is what makes
+    /// renaming a single linear rebuild; it is asserted here.
+    pub fn varmap(&mut self, pairs: &[(u32, u32)]) -> crate::rename::VarMapId {
+        let mut map: Vec<(u32, u32)> = pairs.to_vec();
+        map.sort_unstable();
+        map.dedup();
+        for w in map.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate source level {}", w[0].0);
+            assert!(w[0].1 < w[1].1, "variable map is not order-preserving");
+        }
+        for &(from, to) in &map {
+            assert!(from < self.num_vars && to < self.num_vars, "varmap level out of range");
+        }
+        if let Some(&id) = self.varmap_ids.get(&map) {
+            return crate::rename::VarMapId(id);
+        }
+        let id = self.varmaps.len() as u32;
+        self.varmaps.push(map.clone());
+        self.varmap_ids.insert(map, id);
+        crate::rename::VarMapId(id)
+    }
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("num_vars", &self.num_vars)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mk_reduces_equal_children() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        assert_eq!(m.mk(1, a, a), a);
+    }
+
+    #[test]
+    fn mk_hash_conses() {
+        let mut m = Manager::new(2);
+        let f = m.mk(0, FALSE, TRUE);
+        let g = m.mk(0, FALSE, TRUE);
+        assert_eq!(f, g);
+        assert_eq!(m.stats().live_nodes, 1);
+    }
+
+    #[test]
+    fn var_and_nvar() {
+        let mut m = Manager::new(1);
+        let v = m.var(0);
+        let nv = m.nvar(0);
+        assert_ne!(v, nv);
+        assert_eq!(m.lo(v), FALSE);
+        assert_eq!(m.hi(v), TRUE);
+        assert_eq!(m.lo(nv), TRUE);
+        assert_eq!(m.hi(nv), FALSE);
+    }
+
+    #[test]
+    fn cube_builds_conjunction() {
+        let mut m = Manager::new(3);
+        let c = m.cube(&[(2, true), (0, false)]);
+        // ¬x0 ∧ x2: evaluate all 8 assignments.
+        for bits in 0..8u32 {
+            let assignment = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expected = !assignment[0] && assignment[2];
+            assert_eq!(m.eval(c, &assignment), expected, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn cube_conflicting_literals_is_false() {
+        let mut m = Manager::new(1);
+        assert_eq!(m.cube(&[(0, true), (0, false)]), FALSE);
+    }
+
+    #[test]
+    fn cube_duplicate_literals_dedup() {
+        let mut m = Manager::new(1);
+        let c = m.cube(&[(0, true), (0, true)]);
+        let v = m.var(0);
+        assert_eq!(c, v);
+    }
+
+    #[test]
+    fn gc_frees_unreachable_keeps_roots() {
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let keep = m.and(a, b);
+        let drop1 = m.var(2);
+        let drop2 = m.or(drop1, keep);
+        let live_before = m.stats().live_nodes;
+        m.gc([keep]);
+        let stats = m.stats();
+        assert!(stats.live_nodes < live_before, "something should be freed");
+        assert_eq!(stats.gc_runs, 1);
+        // keep must still be intact and correct.
+        assert!(m.eval(keep, &[true, true, false, false]));
+        assert!(!m.eval(keep, &[true, false, false, false]));
+        let _ = drop2; // id may now be recycled; never dereferenced again
+    }
+
+    #[test]
+    fn gc_respects_protected_roots() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        m.protect(f);
+        m.gc([]);
+        assert!(m.eval(f, &[true, false]));
+        assert!(!m.eval(f, &[true, true]));
+        m.unprotect(f);
+    }
+
+    #[test]
+    fn gc_reuses_free_slots() {
+        let mut m = Manager::new(8);
+        let junk: Vec<NodeId> = (0..8).map(|i| m.var(i)).collect();
+        let allocated = m.stats().allocated_nodes;
+        drop(junk);
+        m.gc([]);
+        assert_eq!(m.stats().free_nodes, allocated);
+        // New allocations should reuse freed slots, not grow the arena.
+        let _ = m.var(3);
+        assert_eq!(m.stats().allocated_nodes, allocated);
+    }
+
+    #[test]
+    fn double_gc_does_not_double_free() {
+        let mut m = Manager::new(4);
+        let _junk = m.var(2);
+        m.gc([]);
+        let free_after_first = m.stats().free_nodes;
+        m.gc([]);
+        assert_eq!(m.stats().free_nodes, free_after_first);
+    }
+
+    #[test]
+    #[should_panic(expected = "unprotect of unprotected")]
+    fn unprotect_without_protect_panics() {
+        let mut m = Manager::new(1);
+        let v = m.var(0);
+        m.unprotect(v);
+    }
+
+    #[test]
+    fn integrity_holds_through_ops_and_gc() {
+        let mut m = Manager::new(6);
+        let mut fs = Vec::new();
+        for i in 0..6 {
+            let v = m.var(i);
+            fs.push(v);
+        }
+        let mut acc = fs[0];
+        for &f in &fs[1..] {
+            let x = m.xor(acc, f);
+            let a = m.and(acc, f);
+            acc = m.or(x, a);
+        }
+        m.check_integrity();
+        m.gc([acc]);
+        m.check_integrity();
+        // Rebuild on top of a post-GC arena with a free list.
+        let b = m.var(3);
+        let g = m.and(acc, b);
+        m.check_integrity();
+        assert_ne!(g, FALSE);
+    }
+
+    #[test]
+    fn trim_caches_respects_threshold() {
+        let mut m = Manager::new(8);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.xor(a, b);
+        assert!(m.stats().cache_entries > 0);
+        assert!(!m.maybe_trim_caches(1_000_000), "below threshold: no trim");
+        assert!(m.maybe_trim_caches(0), "above threshold: trim");
+        assert_eq!(m.stats().cache_entries, 0);
+        m.check_integrity();
+    }
+
+    #[test]
+    fn varset_interning_dedups() {
+        let mut m = Manager::new(4);
+        let a = m.varset(&[3, 1, 1]);
+        let b = m.varset(&[1, 3]);
+        assert_eq!(a, b);
+        assert_eq!(m.varset_levels(a), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not order-preserving")]
+    fn varmap_rejects_order_violations() {
+        let mut m = Manager::new(4);
+        let _ = m.varmap(&[(0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn add_vars_extends_universe() {
+        let mut m = Manager::new(1);
+        m.add_vars(2);
+        assert_eq!(m.num_vars(), 3);
+        let v = m.var(2); // would panic without add_vars
+        assert_eq!(m.level(v), 2);
+    }
+}

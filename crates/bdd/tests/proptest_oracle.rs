@@ -1,0 +1,281 @@
+//! Property-based validation of the BDD engine against a truth-table oracle.
+//!
+//! Random boolean expressions over up to 6 variables are evaluated two ways:
+//! once through the BDD engine and once directly on each of the 2^n
+//! assignments. Canonicity means semantically equal functions must be the
+//! *same node*, which these tests also exploit.
+
+use ftrepair_bdd::{Manager, NodeId, FALSE, TRUE};
+use proptest::prelude::*;
+
+const NVARS: u32 = 6;
+
+/// A random boolean expression.
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(bool),
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn to_bdd(m: &mut Manager, e: &Expr) -> NodeId {
+    match e {
+        Expr::Const(true) => TRUE,
+        Expr::Const(false) => FALSE,
+        Expr::Var(v) => m.var(*v),
+        Expr::Not(a) => {
+            let fa = to_bdd(m, a);
+            m.not(fa)
+        }
+        Expr::And(a, b) => {
+            let (fa, fb) = (to_bdd(m, a), to_bdd(m, b));
+            m.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let (fa, fb) = (to_bdd(m, a), to_bdd(m, b));
+            m.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let (fa, fb) = (to_bdd(m, a), to_bdd(m, b));
+            m.xor(fa, fb)
+        }
+        Expr::Ite(a, b, c) => {
+            let (fa, fb, fc) = (to_bdd(m, a), to_bdd(m, b), to_bdd(m, c));
+            m.ite(fa, fb, fc)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, a: &[bool]) -> bool {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Var(v) => a[*v as usize],
+        Expr::Not(x) => !eval_expr(x, a),
+        Expr::And(x, y) => eval_expr(x, a) && eval_expr(y, a),
+        Expr::Or(x, y) => eval_expr(x, a) || eval_expr(y, a),
+        Expr::Xor(x, y) => eval_expr(x, a) ^ eval_expr(y, a),
+        Expr::Ite(x, y, z) => {
+            if eval_expr(x, a) {
+                eval_expr(y, a)
+            } else {
+                eval_expr(z, a)
+            }
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|bits| (0..NVARS).map(|i| (bits >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        for a in assignments() {
+            prop_assert_eq!(m.eval(f, &a), eval_expr(&e, &a));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let expected = assignments().filter(|a| eval_expr(&e, a)).count();
+        prop_assert_eq!(m.sat_count(f), expected as f64);
+    }
+
+    #[test]
+    fn double_negation_is_identity_node(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let nf = m.not(f);
+        prop_assert_eq!(m.not(nf), f);
+    }
+
+    #[test]
+    fn canonicity_semantic_eq_implies_same_node(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f1 = to_bdd(&mut m, &e1);
+        let f2 = to_bdd(&mut m, &e2);
+        let semantically_equal = assignments().all(|a| eval_expr(&e1, &a) == eval_expr(&e2, &a));
+        prop_assert_eq!(f1 == f2, semantically_equal);
+    }
+
+    #[test]
+    fn exists_matches_enumeration(e in arb_expr(), quantified in proptest::collection::vec(0..NVARS, 0..4)) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let vs = m.varset(&quantified);
+        let ex = m.exists(f, vs);
+        for a in assignments() {
+            // ∃: some completion over quantified vars satisfies e.
+            let mut found = false;
+            let nq = quantified.len() as u32;
+            for combo in 0..(1u32 << nq.min(16)) {
+                let mut a2 = a.clone();
+                for (i, &v) in quantified.iter().enumerate() {
+                    a2[v as usize] = (combo >> i) & 1 == 1;
+                }
+                if eval_expr(&e, &a2) { found = true; break; }
+            }
+            prop_assert_eq!(m.eval(ex, &a), found);
+        }
+    }
+
+    #[test]
+    fn forall_is_dual_of_exists(e in arb_expr(), quantified in proptest::collection::vec(0..NVARS, 0..4)) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let vs = m.varset(&quantified);
+        let fa = m.forall(f, vs);
+        let nf = m.not(f);
+        let ex = m.exists(nf, vs);
+        let dual = m.not(ex);
+        prop_assert_eq!(fa, dual);
+    }
+
+    #[test]
+    fn and_exists_is_fused_relational_product(e1 in arb_expr(), e2 in arb_expr(), quantified in proptest::collection::vec(0..NVARS, 0..4)) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e1);
+        let g = to_bdd(&mut m, &e2);
+        let vs = m.varset(&quantified);
+        let fused = m.and_exists(f, g, vs);
+        let conj = m.and(f, g);
+        let unfused = m.exists(conj, vs);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn restrict_matches_semantics(e in arb_expr(), var in 0..NVARS, val in any::<bool>()) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let r = m.restrict(f, &[(var, val)]);
+        for mut a in assignments() {
+            a[var as usize] = val;
+            prop_assert_eq!(m.eval(r, &a), eval_expr(&e, &a));
+        }
+        // The restricted function no longer depends on `var`.
+        prop_assert!(!m.support(r).contains(&var));
+    }
+
+    #[test]
+    fn export_import_roundtrip(e in arb_expr()) {
+        let mut m1 = Manager::new(NVARS);
+        let f = to_bdd(&mut m1, &e);
+        let s = m1.export(f);
+        let mut m2 = Manager::new(NVARS);
+        let g = m2.import(&s);
+        for a in assignments() {
+            prop_assert_eq!(m2.eval(g, &a), eval_expr(&e, &a));
+        }
+        // Round trip back into the original manager hits the same node.
+        prop_assert_eq!(m1.import(&m2.export(g)), f);
+    }
+
+    #[test]
+    fn gc_preserves_roots(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let keep = to_bdd(&mut m, &e1);
+        let _garbage = to_bdd(&mut m, &e2);
+        m.gc([keep]);
+        for a in assignments() {
+            prop_assert_eq!(m.eval(keep, &a), eval_expr(&e1, &a));
+        }
+        // The manager still functions after GC: rebuild e1 and get the same node.
+        let rebuilt = to_bdd(&mut m, &e1);
+        prop_assert_eq!(rebuilt, keep);
+    }
+
+    #[test]
+    fn pick_minterm_is_satisfying(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let vars: Vec<u32> = (0..NVARS).collect();
+        match m.pick_minterm(f, &vars) {
+            None => prop_assert_eq!(f, FALSE),
+            Some(a) => prop_assert!(m.eval(f, &a)),
+        }
+    }
+
+    #[test]
+    fn cube_union_rebuilds_function(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = to_bdd(&mut m, &e);
+        let paths: Vec<_> = m.cubes(f).collect();
+        let mut rebuilt = FALSE;
+        for p in &paths {
+            let c = m.cube(p);
+            rebuilt = m.or(rebuilt, c);
+        }
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn rename_up_down_roundtrip(e in arb_expr()) {
+        // Interleaved shift: even→odd then odd→even must be identity.
+        let mut m = Manager::new(2 * NVARS);
+        let f = to_bdd_even(&mut m, &e);
+        let up_pairs: Vec<(u32, u32)> = (0..NVARS).map(|i| (2 * i, 2 * i + 1)).collect();
+        let down_pairs: Vec<(u32, u32)> = (0..NVARS).map(|i| (2 * i + 1, 2 * i)).collect();
+        let up = m.varmap(&up_pairs);
+        let down = m.varmap(&down_pairs);
+        let g = m.rename(f, up);
+        prop_assert_eq!(m.rename(g, down), f);
+    }
+}
+
+/// Build the expression over even levels only (current-state vars in the
+/// interleaved order), for the rename round-trip test.
+fn to_bdd_even(m: &mut Manager, e: &Expr) -> NodeId {
+    match e {
+        Expr::Const(true) => TRUE,
+        Expr::Const(false) => FALSE,
+        Expr::Var(v) => m.var(2 * *v),
+        Expr::Not(a) => {
+            let fa = to_bdd_even(m, a);
+            m.not(fa)
+        }
+        Expr::And(a, b) => {
+            let (fa, fb) = (to_bdd_even(m, a), to_bdd_even(m, b));
+            m.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let (fa, fb) = (to_bdd_even(m, a), to_bdd_even(m, b));
+            m.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let (fa, fb) = (to_bdd_even(m, a), to_bdd_even(m, b));
+            m.xor(fa, fb)
+        }
+        Expr::Ite(a, b, c) => {
+            let (fa, fb, fc) = (to_bdd_even(m, a), to_bdd_even(m, b), to_bdd_even(m, c));
+            m.ite(fa, fb, fc)
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation B — Step 2 strategies (Section V-B).
+//!
+//! Three ways to enforce the read restriction, all producing identical
+//! results (asserted by unit tests):
+//!
+//! * `closed_form` — the two-group-operation set computation (default),
+//! * `iterative_expand` — Algorithm 2's loop with `ExpandGroup`,
+//! * `iterative_plain` — the loop without expansion (exponentially many
+//!   picks in the number of ignorable guard variables).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_casestudies::stabilizing_chain;
+use ftrepair_core::{lazy_repair, RepairOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_expandgroup");
+    group.sample_size(10);
+    let configs: [(&str, RepairOptions); 3] = [
+        ("closed_form", RepairOptions::default()),
+        ("iterative_expand", RepairOptions::iterative_step2()),
+        (
+            "iterative_plain",
+            RepairOptions { use_expand_group: false, ..RepairOptions::iterative_step2() },
+        ),
+    ];
+    for &n in &[4usize, 5, 6] {
+        for (name, opts) in &configs {
+            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, &n| {
+                b.iter_batched(
+                    || stabilizing_chain(n, 4).0,
+                    |mut prog| {
+                        let out = lazy_repair(&mut prog, opts);
+                        assert!(!out.failed);
+                        out.stats.step2_picks
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

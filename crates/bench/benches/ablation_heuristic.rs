@@ -1,0 +1,41 @@
+//! Ablation A — the reachable-states heuristic of Section V-A.
+//!
+//! The paper's motivating observation: *pure* lazy repair (searching the
+//! whole non-`ms` state space for the fault-span) does not beat the
+//! cautious baseline; restricting Step 1 to the states the fault-intolerant
+//! program actually reaches under faults is what makes lazy repair win.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_casestudies::byzantine_agreement;
+use ftrepair_core::{lazy_repair, RepairOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_heuristic");
+    group.sample_size(10);
+    for &n in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("with_heuristic", n), &n, |b, &n| {
+            b.iter_batched(
+                || byzantine_agreement(n).0,
+                |mut prog| {
+                    let out = lazy_repair(&mut prog, &RepairOptions::default());
+                    assert!(!out.failed);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pure_lazy", n), &n, |b, &n| {
+            b.iter_batched(
+                || byzantine_agreement(n).0,
+                |mut prog| {
+                    let out = lazy_repair(&mut prog, &RepairOptions::pure_lazy());
+                    assert!(!out.failed);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation C — parallel Step 2 (our HPC extension, not in the paper).
+//!
+//! Step 2's per-process partitions are independent; the parallel variant
+//! runs one worker (with its own BDD manager) per process, shipping the
+//! Step 1 relation across as a serialized DAG. The break-even point
+//! depends on how much of the per-process work the import/export round
+//! trip costs back.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_casestudies::byzantine_agreement;
+use ftrepair_core::{lazy_repair, RepairOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    for &n in &[3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter_batched(
+                || byzantine_agreement(n).0,
+                |mut prog| {
+                    let out = lazy_repair(&mut prog, &RepairOptions::default());
+                    assert!(!out.failed);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+            b.iter_batched(
+                || byzantine_agreement(n).0,
+                |mut prog| {
+                    let opts = RepairOptions { parallel_step2: true, ..Default::default() };
+                    let out = lazy_repair(&mut prog, &opts);
+                    assert!(!out.failed);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

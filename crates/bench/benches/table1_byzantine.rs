@@ -1,0 +1,43 @@
+//! Table I — byzantine agreement: cautious repair vs lazy repair.
+//!
+//! The paper's headline comparison: total synthesis time of the cautious
+//! baseline against the two-step lazy algorithm, as the number of
+//! non-generals (and with it the reachable state count) grows. The
+//! expected *shape* is lazy ≪ cautious with a gap that widens with size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_casestudies::byzantine_agreement;
+use ftrepair_core::{cautious_repair, lazy_repair, RepairOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_byzantine");
+    group.sample_size(10);
+    for &n in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
+            b.iter_batched(
+                || byzantine_agreement(n).0,
+                |mut prog| {
+                    let out = lazy_repair(&mut prog, &RepairOptions::default());
+                    assert!(!out.failed);
+                    out.stats.outer_iterations
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cautious", n), &n, |b, &n| {
+            b.iter_batched(
+                || byzantine_agreement(n).0,
+                |mut prog| {
+                    let out = cautious_repair(&mut prog, &RepairOptions::default());
+                    assert!(!out.failed);
+                    out.stats.outer_iterations
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Regenerate the paper's tables.
+//!
+//! ```text
+//! cargo run --release -p ftrepair-bench --bin tables -- [table1|table2|table3|ablations|all] [--large]
+//! ```
+//!
+//! `--large` extends every sweep to the biggest instances (minutes of
+//! runtime); without it each table completes in well under a minute.
+//! `--huge` additionally runs the chain at Sc^20 (≈10^18 states — several
+//! minutes and ~10 GB of peak memory, measurement plus re-verification).
+
+use ftrepair_bench::{measure, render, table1, table1_lazy_only, table2, table3};
+use ftrepair_casestudies::{byzantine_agreement, stabilizing_chain};
+use ftrepair_core::RepairOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let huge = args.iter().any(|a| a == "--huge");
+    let large = huge || args.iter().any(|a| a == "--large");
+    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+
+    match what {
+        "table1" => run_table1(large),
+        "table2" => run_table2(large),
+        "table3" => run_table3(large, huge),
+        "ablations" => run_ablations(large),
+        "all" => {
+            run_table1(large);
+            run_table2(large);
+            run_table3(large, huge);
+            run_ablations(large);
+        }
+        other => {
+            eprintln!("unknown selector {other}; use table1|table2|table3|ablations|all");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_table1(large: bool) {
+    let sizes: &[usize] = if large { &[2, 3, 4, 5, 6, 8] } else { &[2, 3, 4, 5] };
+    let mut rows = table1(sizes);
+    // Lazy-only extension, like the paper's largest rows where the cautious
+    // baseline becomes impractical.
+    let extension: &[usize] = if large { &[10, 12] } else { &[6, 8] };
+    rows.extend(table1_lazy_only(extension));
+    println!(
+        "{}",
+        render(&rows, "Table I — Byzantine agreement: cautious vs lazy repair")
+    );
+}
+
+fn run_table2(large: bool) {
+    let sizes: &[usize] = if large { &[2, 3, 4, 5, 6] } else { &[2, 3, 4] };
+    let rows = table2(sizes);
+    println!(
+        "{}",
+        render(&rows, "Table II — Byzantine agreement with fail-stop faults (lazy repair)")
+    );
+}
+
+fn run_table3(large: bool, huge: bool) {
+    let sizes: &[usize] = if huge {
+        &[8, 10, 12, 14, 16, 20]
+    } else if large {
+        &[8, 10, 12, 14, 16]
+    } else {
+        &[6, 8, 10, 12]
+    };
+    let rows = table3(sizes, 8);
+    println!("{}", render(&rows, "Table III — Stabilizing chain Sc^n (lazy repair, d = 8)"));
+}
+
+fn run_ablations(large: bool) {
+    let n = if large { 5 } else { 4 };
+
+    // Ablation A: the reachable-states heuristic (paper: "pure lazy repair
+    // does not improve the performance"). On the fail-stop model the
+    // difference is qualitative: without the heuristic the outer loop
+    // churns on unreachable deadlock states and does not converge.
+    let fs_n = if large { 4 } else { 3 };
+    let with = measure(
+        format!("BAFS^{fs_n} heuristic"),
+        || ftrepair_casestudies::byzantine_failstop(fs_n).0,
+        &RepairOptions::default(),
+        false,
+    );
+    let without = measure(
+        format!("BAFS^{fs_n} pure-lazy"),
+        || ftrepair_casestudies::byzantine_failstop(fs_n).0,
+        &RepairOptions::pure_lazy(),
+        false,
+    );
+    println!(
+        "{}",
+        render(&[with, without], "Ablation A — reachable-states heuristic on/off (Section V-A)")
+    );
+
+    // Ablation B: Step 2 strategies — closed form vs Algorithm 2's loop
+    // with and without ExpandGroup.
+    let chain_n = if large { 8 } else { 6 };
+    let closed = measure(
+        format!("Sc^{chain_n} closed-form"),
+        || stabilizing_chain(chain_n, 4).0,
+        &RepairOptions::default(),
+        false,
+    );
+    let iter_expand = measure(
+        format!("Sc^{chain_n} iterative+expand"),
+        || stabilizing_chain(chain_n, 4).0,
+        &RepairOptions::iterative_step2(),
+        false,
+    );
+    let iter_plain = measure(
+        format!("Sc^{chain_n} iterative"),
+        || stabilizing_chain(chain_n, 4).0,
+        &RepairOptions { use_expand_group: false, ..RepairOptions::iterative_step2() },
+        false,
+    );
+    println!(
+        "{}",
+        render(
+            &[closed, iter_expand, iter_plain],
+            "Ablation B — Step 2 strategy: closed form vs Algorithm 2 loop ± ExpandGroup (Section V-B)"
+        )
+    );
+
+    // Ablation C: parallel Step 2 (ours).
+    let seq = measure(
+        format!("BA^{n} sequential"),
+        || byzantine_agreement(n).0,
+        &RepairOptions::default(),
+        false,
+    );
+    let par = measure(
+        format!("BA^{n} parallel"),
+        || byzantine_agreement(n).0,
+        &RepairOptions { parallel_step2: true, ..Default::default() },
+        false,
+    );
+    println!("{}", render(&[seq, par], "Ablation C — parallel Step 2 (per-process workers)"));
+}

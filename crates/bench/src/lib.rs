@@ -1,0 +1,251 @@
+//! # ftrepair-bench — the experiment harness
+//!
+//! Regenerates every table of the paper's evaluation section:
+//!
+//! * **Table I** — byzantine agreement: cautious repair vs lazy repair
+//!   (Step 1 / Step 2 split), over growing numbers of non-generals.
+//! * **Table II** — byzantine agreement with fail-stop faults: lazy only,
+//!   as in the paper.
+//! * **Table III** — the stabilizing chain `Sc^n`: lazy Step 1 / Step 2
+//!   times at state counts that grow by roughly a decade per row.
+//!
+//! plus the ablations the paper's narrative calls for (the
+//! reachable-states heuristic, `ExpandGroup`/closed-form Step 2, and our
+//! parallel Step 2).
+//!
+//! Every measured repair is re-verified (masking + realizability) before a
+//! row is reported; rows carry the measured reachable-state counts so the
+//! tables are self-describing. Use `cargo run --release -p ftrepair-bench
+//! --bin tables -- all` for the paper-style output, or the Criterion
+//! benches for statistically robust timings on the smaller instances.
+
+use ftrepair_casestudies::{byzantine_agreement, byzantine_failstop, stabilizing_chain};
+use ftrepair_core::{cautious_repair, lazy_repair, verify::verify_outcome, LazyOutcome, RepairOptions};
+use ftrepair_program::DistributedProgram;
+use serde::Serialize;
+use std::time::Duration;
+
+/// One row of an experiment table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Instance label (e.g. `BA^4`, `Sc^12`).
+    pub instance: String,
+    /// States reachable from the invariant under program ∪ faults.
+    pub reachable_states: f64,
+    /// Total cautious-repair time (`None` when not measured, as in the
+    /// paper's Tables II/III).
+    pub cautious: Option<Duration>,
+    /// Lazy Step 1 (Add-Masking) time, summed over outer iterations.
+    pub step1: Duration,
+    /// Lazy Step 2 (realizability) time.
+    pub step2: Duration,
+    /// Outer iterations of Algorithm 1.
+    pub outer_iterations: usize,
+    /// Did the lazy output pass the independent verifiers?
+    pub verified: bool,
+    /// Did lazy repair declare failure (no repair found / did not
+    /// converge)? `verified` is false in that case.
+    pub failed: bool,
+}
+
+impl Row {
+    /// Total lazy time.
+    pub fn lazy_total(&self) -> Duration {
+        self.step1 + self.step2
+    }
+}
+
+/// Count the states reachable from the invariant under `δ_P ∪ f`.
+pub fn reachable_states(prog: &mut DistributedProgram) -> f64 {
+    let t = prog.program_trans();
+    let combined = prog.cx.mgr().or(t, prog.faults);
+    let inv = prog.invariant;
+    let reach = prog.cx.forward_reachable(inv, combined);
+    prog.cx.count_states(reach)
+}
+
+/// Run lazy repair on a fresh instance from `factory`, verify the result,
+/// and measure the paper's quantities. Optionally also run cautious repair
+/// (on another fresh instance, so BDD caches don't cross-contaminate).
+pub fn measure(
+    label: impl Into<String>,
+    factory: impl Fn() -> DistributedProgram,
+    opts: &RepairOptions,
+    with_cautious: bool,
+) -> Row {
+    let mut prog = factory();
+    let reachable = reachable_states(&mut prog);
+
+    let mut prog = factory();
+    let out: LazyOutcome = lazy_repair(&mut prog, opts);
+    let verified = if out.failed {
+        false
+    } else {
+        let (m, r) = verify_outcome(&mut prog, &out);
+        m.ok() && r.ok()
+    };
+
+    let cautious = with_cautious.then(|| {
+        let mut prog = factory();
+        let c = cautious_repair(&mut prog, opts);
+        assert!(!c.failed, "cautious repair failed on {}", prog.name);
+        c.stats.total_time()
+    });
+
+    Row {
+        instance: label.into(),
+        reachable_states: reachable,
+        cautious,
+        step1: out.stats.step1_time,
+        step2: out.stats.step2_time,
+        outer_iterations: out.stats.outer_iterations,
+        verified,
+        failed: out.failed,
+    }
+}
+
+/// Table I rows: byzantine agreement, cautious vs lazy.
+pub fn table1(sizes: &[usize]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            measure(
+                format!("BA^{n}"),
+                || byzantine_agreement(n).0,
+                &RepairOptions::default(),
+                true,
+            )
+        })
+        .collect()
+}
+
+/// Table I lazy-only extension rows (sizes where cautious is impractical).
+pub fn table1_lazy_only(sizes: &[usize]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            measure(
+                format!("BA^{n}"),
+                || byzantine_agreement(n).0,
+                &RepairOptions::default(),
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Table II rows: byzantine agreement with fail-stop, lazy only.
+pub fn table2(sizes: &[usize]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            measure(
+                format!("BAFS^{n}"),
+                || byzantine_failstop(n).0,
+                &RepairOptions::default(),
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Table III rows: the stabilizing chain, lazy only. `d` is the cell
+/// domain size (8 keeps encodings dense and matches the paper's state-count
+/// growth of roughly a decade per pair of cells).
+pub fn table3(sizes: &[usize], d: u64) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            measure(
+                format!("Sc^{n}"),
+                || stabilizing_chain(n, d).0,
+                &RepairOptions::default(),
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Render rows as a markdown table (paper style).
+pub fn render(rows: &[Row], title: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "### {title}\n").unwrap();
+    writeln!(
+        out,
+        "| Instance | Reachable states | Cautious | Lazy Step 1 | Lazy Step 2 | Lazy total | Speedup | Verified |"
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|---|---|---|---|---|").unwrap();
+    for r in rows {
+        let cautious = r
+            .cautious
+            .map(|d| format!("{:.3}s", d.as_secs_f64()))
+            .unwrap_or_else(|| "—".into());
+        let speedup = r
+            .cautious
+            .map(|c| format!("{:.1}×", c.as_secs_f64() / r.lazy_total().as_secs_f64()))
+            .unwrap_or_else(|| "—".into());
+        let verdict = if r.failed {
+            "failed"
+        } else if r.verified {
+            "✓"
+        } else {
+            "✗"
+        };
+        writeln!(
+            out,
+            "| {} | 10^{:.1} | {} | {:.3}s | {:.3}s | {:.3}s | {} | {} |",
+            r.instance,
+            r.reachable_states.log10(),
+            cautious,
+            r.step1.as_secs_f64(),
+            r.step2.as_secs_f64(),
+            r.lazy_total().as_secs_f64(),
+            speedup,
+            verdict,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_byzantine_row() {
+        let row = measure("BA^1", || byzantine_agreement(1).0, &RepairOptions::default(), true);
+        assert!(row.verified);
+        assert!(row.cautious.is_some());
+        assert!(row.reachable_states > 0.0);
+        assert!(row.lazy_total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn reachable_count_for_chain() {
+        let mut p = stabilizing_chain(3, 2).0;
+        // Transient faults make everything reachable: 2^3 states.
+        assert_eq!(reachable_states(&mut p), 8.0);
+    }
+
+    #[test]
+    fn render_produces_markdown() {
+        let rows = vec![Row {
+            instance: "X^1".into(),
+            reachable_states: 1000.0,
+            cautious: Some(Duration::from_millis(60)),
+            step1: Duration::from_millis(5),
+            step2: Duration::from_millis(5),
+            outer_iterations: 1,
+            verified: true,
+            failed: false,
+        }];
+        let md = render(&rows, "Demo");
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("X^1"));
+        assert!(md.contains("10^3.0"));
+        assert!(md.contains("6.0×"));
+    }
+}

@@ -1,0 +1,44 @@
+use ftrepair_casestudies::{byzantine_agreement, byzantine_failstop, stabilizing_chain};
+use ftrepair_core::{cautious_repair, lazy_repair, RepairOptions};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args.get(1).map(String::as_str).unwrap_or("ba");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let d: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let opts = RepairOptions::default();
+    match what {
+        "ba" => {
+            let (mut p, _) = byzantine_agreement(n);
+            let t0 = Instant::now();
+            let out = lazy_repair(&mut p, &opts);
+            println!("BA n={n} lazy: failed={} time={:?} (s1={:?} s2={:?}) picks={} kept={} dropped={} exp={}",
+                out.failed, t0.elapsed(), out.stats.step1_time, out.stats.step2_time,
+                out.stats.step2_picks, out.stats.groups_kept, out.stats.groups_dropped, out.stats.expansions);
+        }
+        "bac" => {
+            let (mut p, _) = byzantine_agreement(n);
+            let t0 = Instant::now();
+            let out = cautious_repair(&mut p, &opts);
+            println!("BA n={n} cautious: failed={} time={:?} iters={} picks={}",
+                out.failed, t0.elapsed(), out.stats.outer_iterations, out.stats.step2_picks);
+        }
+        "fs" => {
+            let (mut p, _) = byzantine_failstop(n);
+            let t0 = Instant::now();
+            let out = lazy_repair(&mut p, &opts);
+            println!("FS n={n} lazy: failed={} time={:?} (s1={:?} s2={:?})",
+                out.failed, t0.elapsed(), out.stats.step1_time, out.stats.step2_time);
+        }
+        "chain" => {
+            let (mut p, _) = stabilizing_chain(n, d);
+            let t0 = Instant::now();
+            let out = lazy_repair(&mut p, &opts);
+            println!("Chain n={n} d={d} lazy: failed={} time={:?} (s1={:?} s2={:?}) picks={}",
+                out.failed, t0.elapsed(), out.stats.step1_time, out.stats.step2_time, out.stats.step2_picks);
+            println!("  manager: {:?}", p.cx.mgr_ref().stats());
+        }
+        _ => eprintln!("unknown {what}"),
+    }
+}

@@ -1,0 +1,131 @@
+//! The stabilizing chain (`Sc^n` in the paper's tables).
+//!
+//! `n` cells `x.0 … x.{n-1}` over the domain `{0..d-1}`. Cell 0 is the
+//! root and never changes; every other cell copies its left neighbour when
+//! they differ. The legitimate states are "all cells equal"; transient
+//! faults corrupt any single cell to any value, so the fault-span is the
+//! entire state space — which is how the paper's `Sc` rows reach 10^19 to
+//! 10^30 reachable states.
+//!
+//! The original program is already self-stabilizing; what repair adds is
+//! the *verified* maximal recovery structure, and what the experiment
+//! measures is the cost of the fixpoints (Step 1) versus the group
+//! enforcement (Step 2) at these state-space sizes.
+
+use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
+use ftrepair_symbolic::VarId;
+
+/// Build the stabilizing chain with `n` cells over domain `{0..d-1}`.
+pub fn stabilizing_chain(n: usize, d: u64) -> (DistributedProgram, Vec<VarId>) {
+    assert!(n >= 2, "a chain needs at least two cells");
+    assert!(d >= 2, "cells need at least two values");
+    let mut bld = ProgramBuilder::new(format!("stabilizing-chain-{n}x{d}"));
+    let x: Vec<VarId> = (0..n).map(|i| bld.var(format!("x.{i}"), d)).collect();
+
+    // Process i (1..n): reads x.{i-1} and x.i, writes x.i;
+    // action: x.i ≠ x.{i-1} → x.i := x.{i-1}.
+    for i in 1..n {
+        bld.process(format!("c{i}"), &[x[i - 1], x[i]], &[x[i]]);
+        let eq = bld.cx().vars_equal(x[i - 1], x[i]);
+        let neq = bld.cx().mgr().not(eq);
+        bld.action(neq, &[(x[i], Update::FromVar(x[i - 1]))]);
+    }
+
+    // Invariant: all cells equal.
+    let mut inv = ftrepair_bdd::TRUE;
+    for i in 1..n {
+        let eq = bld.cx().vars_equal(x[i - 1], x[i]);
+        inv = bld.cx().mgr().and(inv, eq);
+    }
+    bld.invariant(inv);
+
+    // Transient faults: any one cell (including the root) jumps anywhere.
+    let all_values: Vec<u64> = (0..d).collect();
+    for i in 0..n {
+        bld.fault_action(ftrepair_bdd::TRUE, &[(x[i], Update::Choice(all_values.clone()))]);
+    }
+
+    (bld.build(), x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_core::{lazy_repair, verify::verify_outcome, RepairOptions};
+
+    #[test]
+    fn instance_shape() {
+        let (mut p, x) = stabilizing_chain(3, 3);
+        assert_eq!(p.processes.len(), 2); // root has no process
+        assert_eq!(x.len(), 3);
+        let universe = p.cx.state_universe();
+        assert_eq!(p.cx.count_states(universe), 27.0);
+        assert_eq!(p.cx.count_states(p.invariant), 3.0); // all-equal states
+    }
+
+    #[test]
+    fn faults_reach_everything() {
+        let (mut p, _) = stabilizing_chain(3, 2);
+        let init = p.cx.state_cube(&[0, 0, 0]);
+        let combined = {
+            let t = p.program_trans();
+            p.cx.mgr().or(t, p.faults)
+        };
+        let reach = p.cx.forward_reachable(init, combined);
+        let universe = p.cx.state_universe();
+        assert_eq!(reach, universe);
+    }
+
+    #[test]
+    fn original_program_already_stabilizes() {
+        // From any state, program-only execution reaches the invariant:
+        // backward reachability of the invariant covers the universe.
+        let (mut p, _) = stabilizing_chain(4, 2);
+        let t = p.program_trans();
+        let back = p.cx.backward_reachable(p.invariant, t);
+        let universe = p.cx.state_universe();
+        assert_eq!(back, universe);
+    }
+
+    #[test]
+    fn repair_small_chain_verifies() {
+        let (mut p, _) = stabilizing_chain(3, 2);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = verify_outcome(&mut p, &out);
+        assert!(m.ok(), "{m:?}");
+        assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn repair_nonbinary_domain_verifies() {
+        let (mut p, _) = stabilizing_chain(3, 3);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = verify_outcome(&mut p, &out);
+        assert!(m.ok(), "{m:?}");
+        assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn chain_actions_survive_repair() {
+        // The original copy-left actions must survive both steps: their
+        // groups are complete by construction.
+        let (mut p, _) = stabilizing_chain(3, 2);
+        let orig: Vec<_> = p.partitions();
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        for (j, &t) in orig.iter().enumerate() {
+            // Restricted to the final span, the original actions remain.
+            let in_span = {
+                let from = p.cx.mgr().and(t, out.span);
+                let tgt = p.cx.as_next(out.span);
+                p.cx.mgr().and(from, tgt)
+            };
+            assert!(
+                p.cx.mgr().leq(in_span, out.processes[j].trans),
+                "process {j} lost original actions"
+            );
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Byzantine agreement with fail-stop faults (the paper's Table II).
+//!
+//! The byzantine-agreement protocol of [`crate::byzantine`], extended with
+//! a detectable fail-stop fault class: each non-general gets an `up.j`
+//! flag, at most one non-general may crash (`up.j := 0`), a crashed process
+//! executes no actions, and every process may read the `up` flags
+//! (detectable failure). The byzantine fault class is kept, so the
+//! combined model is the `BAFS` family from the cautious-repair tool's
+//! evaluation; the paper reports lazy-repair numbers only for this one.
+
+use crate::byzantine::BOT;
+use ftrepair_bdd::{NodeId, FALSE, TRUE};
+use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
+use ftrepair_symbolic::VarId;
+
+/// Variable handles for a generated instance.
+#[derive(Clone, Debug)]
+pub struct FailStopVars {
+    /// `b.g`, `d.g` — the general.
+    pub bg: VarId,
+    /// The general's decision.
+    pub dg: VarId,
+    /// Per non-general: byzantine flag, decision, finalized flag, up flag.
+    pub b: Vec<VarId>,
+    /// Decisions.
+    pub d: Vec<VarId>,
+    /// Finalized flags.
+    pub f: Vec<VarId>,
+    /// Up flags (fail-stop).
+    pub up: Vec<VarId>,
+}
+
+/// Build byzantine agreement with fail-stop for `n` non-generals.
+pub fn byzantine_failstop(n: usize) -> (DistributedProgram, FailStopVars) {
+    assert!(n >= 1, "need at least one non-general");
+    let mut bld = ProgramBuilder::new(format!("byzantine-failstop-{n}"));
+
+    let bg = bld.var("b.g", 2);
+    let dg = bld.var("d.g", 2);
+    let (mut b, mut d, mut f, mut up) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for j in 0..n {
+        b.push(bld.var(format!("b.{j}"), 2));
+        d.push(bld.var(format!("d.{j}"), 3));
+        f.push(bld.var(format!("f.{j}"), 2));
+        up.push(bld.var(format!("up.{j}"), 2));
+    }
+    let vars = FailStopVars { bg, dg, b, d, f, up };
+
+    // Processes: like plain BA, plus every process reads all up flags and
+    // only acts while up.
+    for j in 0..n {
+        let mut read = vec![vars.dg];
+        read.extend(vars.d.iter().copied());
+        read.extend(vars.up.iter().copied());
+        read.push(vars.b[j]);
+        read.push(vars.f[j]);
+        let write = vec![vars.d[j], vars.f[j]];
+        bld.process(format!("p{j}"), &read, &write);
+
+        let is_up = bld.cx().assign_eq(vars.up[j], 1);
+        let undecided = bld.cx().assign_eq(vars.d[j], BOT);
+        let unfinal = bld.cx().assign_eq(vars.f[j], 0);
+        let g1 = {
+            let a = bld.cx().mgr().and(undecided, unfinal);
+            bld.cx().mgr().and(a, is_up)
+        };
+        bld.action(g1, &[(vars.d[j], Update::FromVar(vars.dg))]);
+
+        let decided = {
+            let e = bld.cx().assign_eq(vars.d[j], BOT);
+            bld.cx().mgr().not(e)
+        };
+        let g2 = {
+            let a = bld.cx().mgr().and(decided, unfinal);
+            bld.cx().mgr().and(a, is_up)
+        };
+        bld.action(g2, &[(vars.f[j], Update::Const(1))]);
+    }
+
+    // Byzantine faults (at most one byzantine across general+non-generals).
+    let nobody_byz = {
+        let mut acc = bld.cx().assign_eq(vars.bg, 0);
+        for &bj in &vars.b {
+            let nb = bld.cx().assign_eq(bj, 0);
+            acc = bld.cx().mgr().and(acc, nb);
+        }
+        acc
+    };
+    bld.fault_action(nobody_byz, &[(vars.bg, Update::Const(1))]);
+    for j in 0..n {
+        bld.fault_action(nobody_byz, &[(vars.b[j], Update::Const(1))]);
+    }
+    let g_byz = bld.cx().assign_eq(vars.bg, 1);
+    bld.fault_action(g_byz, &[(vars.dg, Update::Choice(vec![0, 1]))]);
+    for j in 0..n {
+        let j_byz = bld.cx().assign_eq(vars.b[j], 1);
+        // A crashed byzantine process no longer emits decisions.
+        let j_up = bld.cx().assign_eq(vars.up[j], 1);
+        let guard = bld.cx().mgr().and(j_byz, j_up);
+        bld.fault_action(guard, &[(vars.d[j], Update::Choice(vec![0, 1]))]);
+    }
+
+    // Fail-stop faults: at most one non-general crashes, ever.
+    let all_up = {
+        let mut acc = TRUE;
+        for &u in &vars.up {
+            let e = bld.cx().assign_eq(u, 1);
+            acc = bld.cx().mgr().and(acc, e);
+        }
+        acc
+    };
+    for j in 0..n {
+        bld.fault_action(all_up, &[(vars.up[j], Update::Const(0))]);
+    }
+
+    // Invariant: the BA invariant (agnostic to up flags) extended with
+    // "at most one process is down".
+    let inv = {
+        let base = ba_like_invariant(&mut bld, &vars);
+        let amod = at_most_one_down(&mut bld, &vars);
+        bld.cx().mgr().and(base, amod)
+    };
+    bld.invariant(inv);
+
+    // Safety: same validity/agreement bad states and frozen-decision bad
+    // transitions as plain BA.
+    let bs = bad_states(&mut bld, &vars);
+    bld.bad_states(bs);
+    let bt = bad_transitions(&mut bld, &vars);
+    bld.bad_trans(bt);
+
+    (bld.build(), vars)
+}
+
+fn at_most_one_down(bld: &mut ProgramBuilder, vars: &FailStopVars) -> NodeId {
+    let n = vars.up.len();
+    let mut acc = TRUE;
+    for i in 0..n {
+        for k in (i + 1)..n {
+            let di = bld.cx().assign_eq(vars.up[i], 0);
+            let dk = bld.cx().assign_eq(vars.up[k], 0);
+            let both = bld.cx().mgr().and(di, dk);
+            let nboth = bld.cx().mgr().not(both);
+            acc = bld.cx().mgr().and(acc, nboth);
+        }
+    }
+    acc
+}
+
+fn ba_like_invariant(bld: &mut ProgramBuilder, vars: &FailStopVars) -> NodeId {
+    let n = vars.b.len();
+    // At most one byzantine.
+    let mut all = vec![vars.bg];
+    all.extend(vars.b.iter().copied());
+    let mut amob = TRUE;
+    for i in 0..all.len() {
+        for k in (i + 1)..all.len() {
+            let bi = bld.cx().assign_eq(all[i], 1);
+            let bk = bld.cx().assign_eq(all[k], 1);
+            let both = bld.cx().mgr().and(bi, bk);
+            let nboth = bld.cx().mgr().not(both);
+            amob = bld.cx().mgr().and(amob, nboth);
+        }
+    }
+
+    let g_good = bld.cx().assign_eq(vars.bg, 0);
+    let mut good_part = TRUE;
+    for j in 0..n {
+        let bj = bld.cx().assign_eq(vars.b[j], 1);
+        let dbot = bld.cx().assign_eq(vars.d[j], BOT);
+        let deq = {
+            let mut acc = FALSE;
+            for v in 0..2 {
+                let a = bld.cx().assign_eq(vars.d[j], v);
+                let g = bld.cx().assign_eq(vars.dg, v);
+                let both = bld.cx().mgr().and(a, g);
+                acc = bld.cx().mgr().or(acc, both);
+            }
+            acc
+        };
+        let dok = bld.cx().mgr().or(dbot, deq);
+        let fok = {
+            let unfinal = bld.cx().assign_eq(vars.f[j], 0);
+            let decided = bld.cx().mgr().not(dbot);
+            bld.cx().mgr().or(unfinal, decided)
+        };
+        let sound_ok = bld.cx().mgr().and(dok, fok);
+        let clause = bld.cx().mgr().or(bj, sound_ok);
+        good_part = bld.cx().mgr().and(good_part, clause);
+    }
+    let ng = bld.cx().mgr().not(g_good);
+    let good_clause = bld.cx().mgr().or(ng, good_part);
+
+    let mut byz_part = TRUE;
+    for j in 0..n {
+        let dbot = bld.cx().assign_eq(vars.d[j], BOT);
+        let decided = bld.cx().mgr().not(dbot);
+        let unfinal = bld.cx().assign_eq(vars.f[j], 0);
+        let fok = bld.cx().mgr().or(unfinal, decided);
+        byz_part = bld.cx().mgr().and(byz_part, fok);
+    }
+    // Only *active* decisions matter for agreement with a byzantine
+    // general: a crashed, unfinalized process will never finalize, so its
+    // pending decision is moot. active(j) = d.j≠⊥ ∧ (up.j ∨ f.j).
+    let active: Vec<NodeId> = (0..n)
+        .map(|j| {
+            let dbot = bld.cx().assign_eq(vars.d[j], BOT);
+            let dec = bld.cx().mgr().not(dbot);
+            let up = bld.cx().assign_eq(vars.up[j], 1);
+            let fin = bld.cx().assign_eq(vars.f[j], 1);
+            let live = bld.cx().mgr().or(up, fin);
+            bld.cx().mgr().and(dec, live)
+        })
+        .collect();
+    for j in 0..n {
+        for k in (j + 1)..n {
+            let dis = decided_disagreement(bld, vars, j, k);
+            let both_active = bld.cx().mgr().and(active[j], active[k]);
+            let viol = bld.cx().mgr().and(dis, both_active);
+            let nd = bld.cx().mgr().not(viol);
+            byz_part = bld.cx().mgr().and(byz_part, nd);
+        }
+    }
+    // Closure of the b.g case: as long as some *up* process may still copy
+    // d.g, d.g must agree with every active decision.
+    let all_settled = {
+        // Nobody will copy d.g anymore: every process is decided or down.
+        let mut acc = TRUE;
+        for j in 0..n {
+            let dbot = bld.cx().assign_eq(vars.d[j], BOT);
+            let dec = bld.cx().mgr().not(dbot);
+            let down = bld.cx().assign_eq(vars.up[j], 0);
+            let settled = bld.cx().mgr().or(dec, down);
+            acc = bld.cx().mgr().and(acc, settled);
+        }
+        acc
+    };
+    for k in 0..n {
+        let matches = {
+            let mut acc = FALSE;
+            for v in 0..2 {
+                let a = bld.cx().assign_eq(vars.d[k], v);
+                let g = bld.cx().assign_eq(vars.dg, v);
+                let both = bld.cx().mgr().and(a, g);
+                acc = bld.cx().mgr().or(acc, both);
+            }
+            acc
+        };
+        let inactive = bld.cx().mgr().not(active[k]);
+        let ok = {
+            let a = bld.cx().mgr().or(inactive, matches);
+            bld.cx().mgr().or(a, all_settled)
+        };
+        byz_part = bld.cx().mgr().and(byz_part, ok);
+    }
+    let g_byz = bld.cx().assign_eq(vars.bg, 1);
+    let ngb = bld.cx().mgr().not(g_byz);
+    let byz_clause = bld.cx().mgr().or(ngb, byz_part);
+
+    let both = bld.cx().mgr().and(good_clause, byz_clause);
+    bld.cx().mgr().and(amob, both)
+}
+
+fn decided_disagreement(
+    bld: &mut ProgramBuilder,
+    vars: &FailStopVars,
+    j: usize,
+    k: usize,
+) -> NodeId {
+    let j0 = bld.cx().assign_eq(vars.d[j], 0);
+    let j1 = bld.cx().assign_eq(vars.d[j], 1);
+    let k0 = bld.cx().assign_eq(vars.d[k], 0);
+    let k1 = bld.cx().assign_eq(vars.d[k], 1);
+    let a = bld.cx().mgr().and(j0, k1);
+    let b = bld.cx().mgr().and(j1, k0);
+    bld.cx().mgr().or(a, b)
+}
+
+fn sound_finalized(bld: &mut ProgramBuilder, vars: &FailStopVars, j: usize) -> NodeId {
+    let nb = bld.cx().assign_eq(vars.b[j], 0);
+    let fj = bld.cx().assign_eq(vars.f[j], 1);
+    bld.cx().mgr().and(nb, fj)
+}
+
+fn bad_states(bld: &mut ProgramBuilder, vars: &FailStopVars) -> NodeId {
+    let n = vars.b.len();
+    let mut bad = FALSE;
+    for j in 0..n {
+        for k in (j + 1)..n {
+            let sj = sound_finalized(bld, vars, j);
+            let sk = sound_finalized(bld, vars, k);
+            let dis = decided_disagreement(bld, vars, j, k);
+            let t = bld.cx().mgr().and(sj, sk);
+            let v = bld.cx().mgr().and(t, dis);
+            bad = bld.cx().mgr().or(bad, v);
+        }
+    }
+    let g_good = bld.cx().assign_eq(vars.bg, 0);
+    for j in 0..n {
+        let sj = sound_finalized(bld, vars, j);
+        let mut eq = FALSE;
+        for v in 0..2 {
+            let a = bld.cx().assign_eq(vars.d[j], v);
+            let g = bld.cx().assign_eq(vars.dg, v);
+            let both = bld.cx().mgr().and(a, g);
+            eq = bld.cx().mgr().or(eq, both);
+        }
+        let neq = bld.cx().mgr().not(eq);
+        let dbot = bld.cx().assign_eq(vars.d[j], BOT);
+        let ndbot = bld.cx().mgr().not(dbot);
+        let wrong = bld.cx().mgr().and(neq, ndbot);
+        let t = bld.cx().mgr().and(g_good, sj);
+        let v = bld.cx().mgr().and(t, wrong);
+        bad = bld.cx().mgr().or(bad, v);
+    }
+    bad
+}
+
+fn bad_transitions(bld: &mut ProgramBuilder, vars: &FailStopVars) -> NodeId {
+    let n = vars.b.len();
+    let mut bad = FALSE;
+    for j in 0..n {
+        let guard = sound_finalized(bld, vars, j);
+        let dj_same = bld.cx().unchanged(vars.d[j]);
+        let fj_same = bld.cx().unchanged(vars.f[j]);
+        let frozen = bld.cx().mgr().and(dj_same, fj_same);
+        let thawed = bld.cx().mgr().not(frozen);
+        let v = bld.cx().mgr().and(guard, thawed);
+        bad = bld.cx().mgr().or(bad, v);
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_core::{lazy_repair, verify::verify_outcome, RepairOptions};
+
+    #[test]
+    fn instance_shape() {
+        let (mut p, vars) = byzantine_failstop(2);
+        assert_eq!(p.processes.len(), 2);
+        assert_eq!(vars.up.len(), 2);
+        let universe = p.cx.state_universe();
+        // 2·2 · (2·3·2·2)² = 4 · 576 = 2304.
+        assert_eq!(p.cx.count_states(universe), 2304.0);
+    }
+
+    #[test]
+    fn crashed_process_is_inert() {
+        let (mut p, vars) = byzantine_failstop(1);
+        // State: everyone sound, j undecided but down.
+        let down = p.cx.state_cube(&[0, 1, 0, BOT, 0, 0]);
+        let t = p.processes[0].trans;
+        let img = p.cx.image(down, t);
+        assert_eq!(img, FALSE, "a crashed process must not act");
+        let _ = vars;
+    }
+
+    #[test]
+    fn at_most_one_crash() {
+        let (mut p, _) = byzantine_failstop(2);
+        let one_down = p.cx.state_cube(&[0, 0, 0, BOT, 0, 0, 0, BOT, 0, 1]);
+        let img = p.cx.image(one_down, p.faults);
+        let both_down = {
+            let u0 = p.cx.find_var("up.0").unwrap();
+            let u1 = p.cx.find_var("up.1").unwrap();
+            let a = p.cx.assign_eq(u0, 0);
+            let b = p.cx.assign_eq(u1, 0);
+            p.cx.mgr().and(a, b)
+        };
+        assert!(p.cx.mgr().disjoint(img, both_down));
+    }
+
+    #[test]
+    fn invariant_is_closed_and_safe() {
+        let (mut p, _) = byzantine_failstop(1);
+        let t = p.program_trans();
+        let inv = p.invariant;
+        assert!(ftrepair_program::semantics::is_closed(&mut p.cx, inv, t));
+        assert!(p.cx.mgr().disjoint(inv, p.safety.bad_states));
+        let inside = ftrepair_program::semantics::project(&mut p.cx, t, inv);
+        assert!(p.cx.mgr().disjoint(inside, p.safety.bad_trans));
+    }
+
+    #[test]
+    fn repair_n1_verifies() {
+        let (mut p, _) = byzantine_failstop(1);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = verify_outcome(&mut p, &out);
+        assert!(m.ok(), "{m:?}");
+        assert!(r.ok(), "{r:?}");
+    }
+}

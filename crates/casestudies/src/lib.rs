@@ -1,0 +1,34 @@
+//! # ftrepair-casestudies — the paper's case studies, parameterized
+//!
+//! Generators for the three workloads of the evaluation section:
+//!
+//! * [`byzantine::byzantine_agreement`] — the classic byzantine-agreement
+//!   protocol of Section VI: a general plus `n` non-generals, byzantine
+//!   faults affecting at most one of them (**Table I**, lazy vs cautious).
+//! * [`failstop::byzantine_failstop`] — the same protocol with an
+//!   additional fail-stop fault class (**Table II**, lazy only — the paper
+//!   reports the cautious tool was not applicable at these sizes).
+//! * [`chain::stabilizing_chain`] — a chain of `n` cells over a domain of
+//!   size `d` that must stabilize to "all cells equal the root" from
+//!   arbitrary transient corruption (**Table III**, `Sc^n` rows whose state
+//!   counts reach 10^19…10^30 in the paper).
+//!
+//! Two extension studies go beyond the paper's evaluation:
+//! [`tmr::tmr`] (triple modular redundancy with a naive voter) and
+//! [`token_ring::token_ring`] (Dijkstra's K-state ring).
+//!
+//! Each generator returns a ready-to-repair
+//! [`ftrepair_program::DistributedProgram`]; tests repair small instances
+//! and hold the outputs to the independent masking/realizability verifiers.
+
+pub mod byzantine;
+pub mod chain;
+pub mod failstop;
+pub mod tmr;
+pub mod token_ring;
+
+pub use byzantine::byzantine_agreement;
+pub use chain::stabilizing_chain;
+pub use failstop::byzantine_failstop;
+pub use tmr::tmr;
+pub use token_ring::token_ring;

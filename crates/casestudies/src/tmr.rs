@@ -1,0 +1,188 @@
+//! Triple modular redundancy (TMR) — the classic FTSyn-family extension
+//! case study.
+//!
+//! Three replicas latch an input bit; a naive voter copies replica 0 once
+//! all replicas are latched. A fault may corrupt **one** replica. The
+//! fault-intolerant voter then publishes garbage; repair must (a) stop the
+//! voter from trusting a minority replica and (b) synthesize replica
+//! recovery — all under the voter's inability to read the input or the
+//! corruption flag.
+
+use ftrepair_bdd::{NodeId, TRUE};
+use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
+use ftrepair_symbolic::VarId;
+
+/// "Not yet latched" marker for replicas and the output.
+pub const EMPTY: u64 = 2;
+
+/// Variable handles of a TMR instance.
+#[derive(Clone, Debug)]
+pub struct TmrVars {
+    /// The input bit.
+    pub input: VarId,
+    /// The replicas (`{0, 1, EMPTY}`).
+    pub replicas: Vec<VarId>,
+    /// The output (`{0, 1, EMPTY}`).
+    pub output: VarId,
+    /// Has the (single) corruption fault fired yet?
+    pub corrupted: VarId,
+}
+
+/// Build a TMR instance with `n` replicas (the classic setting is 3).
+pub fn tmr(n: usize) -> (DistributedProgram, TmrVars) {
+    assert!(n >= 2, "redundancy needs at least two replicas");
+    let mut b = ProgramBuilder::new(format!("tmr-{n}"));
+    let input = b.var("i", 2);
+    let replicas: Vec<VarId> = (0..n).map(|j| b.var(format!("r{j}"), 3)).collect();
+    let output = b.var("o", 3);
+    let corrupted = b.var("c", 2);
+    let vars = TmrVars { input, replicas: replicas.clone(), output, corrupted };
+
+    // Replica processes: latch the input once.
+    for (j, &r) in replicas.iter().enumerate() {
+        b.process(format!("p{j}"), &[input, r], &[r]);
+        let unlatched = b.cx().assign_eq(r, EMPTY);
+        b.action(unlatched, &[(r, Update::FromVar(input))]);
+    }
+
+    // The naive voter: copies replica 0 once everyone latched.
+    let mut read = replicas.clone();
+    read.push(output);
+    b.process("voter", &read, &[output]);
+    let guard = {
+        let mut acc = b.cx().assign_eq(output, EMPTY);
+        for &r in &replicas {
+            let latched = {
+                let e = b.cx().assign_eq(r, EMPTY);
+                b.cx().mgr().not(e)
+            };
+            acc = b.cx().mgr().and(acc, latched);
+        }
+        acc
+    };
+    b.action(guard, &[(output, Update::FromVar(replicas[0]))]);
+
+    // Faults: corrupt any one replica, once.
+    let fresh = b.cx().assign_eq(corrupted, 0);
+    for &r in &replicas {
+        b.fault_action(fresh, &[(r, Update::Choice(vec![0, 1])), (corrupted, Update::Const(1))]);
+    }
+
+    // Invariant: every replica is unlatched or correct; output undecided or
+    // correct.
+    let inv = {
+        let mut acc = TRUE;
+        for &r in &replicas {
+            let ok = latched_correct_or_empty(&mut b, r, input);
+            acc = b.cx().mgr().and(acc, ok);
+        }
+        let out_ok = latched_correct_or_empty(&mut b, output, input);
+        b.cx().mgr().and(acc, out_ok)
+    };
+    b.invariant(inv);
+
+    // Safety: a wrong output is bad; a decided output never changes.
+    let wrong = {
+        let undecided = b.cx().assign_eq(output, EMPTY);
+        let matches = matches_input(&mut b, output, input);
+        let okay = b.cx().mgr().or(undecided, matches);
+        b.cx().mgr().not(okay)
+    };
+    b.bad_states(wrong);
+    let bt = {
+        let decided = {
+            let e = b.cx().assign_eq(output, EMPTY);
+            b.cx().mgr().not(e)
+        };
+        let same = b.cx().unchanged(output);
+        let changes = b.cx().mgr().not(same);
+        b.cx().mgr().and(decided, changes)
+    };
+    b.bad_trans(bt);
+
+    (b.build(), vars)
+}
+
+fn latched_correct_or_empty(b: &mut ProgramBuilder, v: VarId, input: VarId) -> NodeId {
+    let empty = b.cx().assign_eq(v, EMPTY);
+    let m = matches_input(b, v, input);
+    b.cx().mgr().or(empty, m)
+}
+
+fn matches_input(b: &mut ProgramBuilder, v: VarId, input: VarId) -> NodeId {
+    let mut acc = ftrepair_bdd::FALSE;
+    for val in 0..2 {
+        let a = b.cx().assign_eq(v, val);
+        let i = b.cx().assign_eq(input, val);
+        let both = b.cx().mgr().and(a, i);
+        acc = b.cx().mgr().or(acc, both);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_core::{lazy_repair, verify::verify_outcome, RepairOptions};
+
+    #[test]
+    fn instance_shape() {
+        let (mut p, vars) = tmr(3);
+        assert_eq!(p.processes.len(), 4); // 3 replicas + voter
+        let u = p.cx.state_universe();
+        // 2 · 3³ · 3 · 2 = 324.
+        assert_eq!(p.cx.count_states(u), 324.0);
+        let _ = vars;
+    }
+
+    #[test]
+    fn naive_voter_violates_safety_under_faults() {
+        // Unrepaired: corrupt r0 before the voter runs → wrong output.
+        let (mut p, _) = tmr(3);
+        let t = p.program_trans();
+        let combined = p.cx.mgr().or(t, p.faults);
+        let inv = p.invariant;
+        let reach = p.cx.forward_reachable(inv, combined);
+        let bad = p.cx.mgr().and(reach, p.safety.bad_states);
+        assert_ne!(bad, ftrepair_bdd::FALSE, "the intolerant voter must be unsafe");
+    }
+
+    #[test]
+    fn repair_makes_tmr_masking_tolerant() {
+        let (mut p, _) = tmr(3);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = verify_outcome(&mut p, &out);
+        assert!(m.ok(), "{m:?}");
+        assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn repaired_voter_does_not_trust_a_minority_replica() {
+        let (mut p, vars) = tmr(3);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        // State: i=0, replicas (1,0,0) — r0 corrupted — o undecided, c=1.
+        let s = p.cx.state_cube(&[0, 1, 0, 0, EMPTY, 1]);
+        assert!(p.cx.mgr().leq(s, out.span), "corruption state must be in the span");
+        // The voter (process index 3) must not publish r0's value 1 here.
+        let voter = &out.processes[3];
+        let publish_wrong = {
+            let o1 = p.cx.assign_const(vars.output, 1);
+            let step = p.cx.mgr().and(s, o1);
+            p.cx.mgr().and(step, voter.trans)
+        };
+        assert_eq!(publish_wrong, ftrepair_bdd::FALSE, "voter still trusts r0");
+    }
+
+    #[test]
+    fn two_replicas_also_repairable() {
+        // With n=2 there is no majority, but replica recovery (p_j re-reads
+        // the input) still yields a masking-tolerant system.
+        let (mut p, _) = tmr(2);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = verify_outcome(&mut p, &out);
+        assert!(m.ok() && r.ok(), "{m:?} {r:?}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Algorithm 1: adding masking fault-tolerance to a distributed program via
+//! lazy repair — Step 1 (Add-Masking, no realizability), Step 2
+//! (realizability by removal), and the deadlock-resolution outer loop.
+
+use crate::add_masking::add_masking;
+use crate::options::RepairOptions;
+use crate::parallel::step2_parallel;
+use crate::stats::RepairStats;
+use crate::step2::step2;
+use ftrepair_bdd::{NodeId, FALSE};
+use ftrepair_program::{DistributedProgram, Process};
+use std::time::Instant;
+
+/// Output of lazy repair.
+#[derive(Clone, Debug)]
+pub struct LazyOutcome {
+    /// Per-process realizable transition predicates (empty iff `failed`).
+    pub processes: Vec<Process>,
+    /// The repaired invariant `S'`.
+    pub invariant: NodeId,
+    /// The fault-span `T'`.
+    pub span: NodeId,
+    /// `δ_P'` — union of the per-process predicates.
+    pub trans: NodeId,
+    /// True iff the algorithm declared failure (Line 7 of Algorithm 1, or
+    /// the outer-iteration bound was hit).
+    pub failed: bool,
+    /// Timings and group counters.
+    pub stats: RepairStats,
+}
+
+/// Run Algorithm 1 on `prog`.
+pub fn lazy_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> LazyOutcome {
+    let mut stats = RepairStats::default();
+    let mut s_prime = prog.invariant;
+    let mut safety = prog.safety;
+
+    // Original stutter states: legal termination points inside the
+    // invariant are not deadlocks (Definition 18).
+    let stutters = {
+        let delta_p = prog.program_trans();
+        let universe = prog.cx.state_universe();
+        prog.cx.deadlocks(universe, delta_p)
+    };
+
+    for _ in 0..opts.max_outer_iterations {
+        stats.outer_iterations += 1;
+
+        // Step 1 (Line 3).
+        let t0 = Instant::now();
+        let r1 = add_masking(prog, s_prime, &safety, opts.restrict_to_reachable);
+        stats.step1_time += t0.elapsed();
+        if r1.failed {
+            return LazyOutcome {
+                processes: Vec::new(),
+                invariant: FALSE,
+                span: FALSE,
+                trans: FALSE,
+                failed: true,
+                stats,
+            };
+        }
+        s_prime = r1.invariant;
+
+        // Step 2 (Line 9).
+        let t1 = Instant::now();
+        let r2 = if opts.parallel_step2 {
+            step2_parallel(prog, r1.trans, r1.span, opts)
+        } else {
+            step2(prog, r1.trans, r1.span, opts)
+        };
+        stats.step2_time += t1.elapsed();
+        stats.groups_kept += r2.stats.groups_kept;
+        stats.groups_dropped += r2.stats.groups_dropped;
+        stats.expansions += r2.stats.expansions;
+        stats.step2_picks += r2.stats.step2_picks;
+
+        // Line 10: deadlocks created by Step 2's removals, judged on the
+        // states actually reachable in the presence of faults. Outside the
+        // invariant a deadlock always blocks recovery; inside it, a state
+        // that lost all its actions is (by default) a legal termination
+        // point under stuttering semantics — see
+        // `RepairOptions::allow_new_terminal_inside`.
+        let dl = {
+            // The fault-span over-approximates reachability and is exactly
+            // the set the recovery obligation covers, so deadlocks are
+            // judged against it (recomputing reachability under the
+            // repaired relation would double Step 1's cost for nothing).
+            let cx = &mut prog.cx;
+            let dead = cx.deadlocks(r1.span, r2.trans);
+            if opts.allow_new_terminal_inside {
+                cx.mgr().diff(dead, s_prime)
+            } else {
+                let exempt = cx.mgr().and(stutters, s_prime);
+                cx.mgr().diff(dead, exempt)
+            }
+        };
+
+        if dl == FALSE {
+            return LazyOutcome {
+                processes: r2.processes,
+                invariant: s_prime,
+                span: r1.span,
+                trans: r2.trans,
+                failed: false,
+                stats,
+            };
+        }
+
+        // Line 11: outlaw transitions into the deadlock states and
+        // transitions leaving the fault-span, then repeat. A deadlock state
+        // *inside* the invariant can never be entered-into-oblivion — it is
+        // itself legitimate — so it is additionally evicted from S'
+        // directly ("we make those states unreachable starting from the
+        // invariant"); S' strictly shrinks, guaranteeing convergence.
+        let cx = &mut prog.cx;
+        let into_dl = cx.as_next(dl);
+        let outside_span = cx.mgr().not(r1.span);
+        let into_outside = cx.as_next(outside_span);
+        let newly_bad = cx.mgr().or(into_dl, into_outside);
+        safety = safety.with_bad_trans(cx, newly_bad);
+        s_prime = cx.mgr().diff(s_prime, dl);
+    }
+
+    LazyOutcome {
+        processes: Vec::new(),
+        invariant: FALSE,
+        span: FALSE,
+        trans: FALSE,
+        failed: true,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_outcome;
+    use ftrepair_program::{ProgramBuilder, Update};
+
+    /// Single-process system (reads/writes everything): lazy repair should
+    /// behave exactly like Add-Masking since realizability is trivial.
+    fn full_view() -> DistributedProgram {
+        let mut b = ProgramBuilder::new("fullview");
+        let x = b.var("x", 4);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Choice(vec![2, 3]))]);
+        b.build()
+    }
+
+    #[test]
+    fn full_view_repairs_and_verifies() {
+        let mut p = full_view();
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (masking, realizability) = verify_outcome(&mut p, &out);
+        assert!(masking.ok(), "{masking:?}");
+        assert!(realizability.ok(), "{realizability:?}");
+        assert_eq!(out.stats.outer_iterations, 1, "no deadlock retry expected");
+    }
+
+    /// Two processes with partial views. Process `a` sees x and flag,
+    /// process `b` sees y and flag. Faults corrupt x. Recovery of x needs
+    /// only x — realizable for `a` despite the partial view.
+    fn partial_view() -> DistributedProgram {
+        let mut b = ProgramBuilder::new("partialview");
+        let x = b.var("x", 3);
+        let y = b.var("y", 2);
+        b.process("a", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        b.process("b", &[y], &[y]);
+        let h0 = b.cx().assign_eq(y, 0);
+        b.action(h0, &[(y, Update::Const(1))]);
+        let h1 = b.cx().assign_eq(y, 1);
+        b.action(h1, &[(y, Update::Const(0))]);
+        let inv = {
+            let a0 = b.cx().assign_eq(x, 0);
+            let a1 = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a0, a1)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        b.build()
+    }
+
+    #[test]
+    fn partial_view_repairs_and_verifies() {
+        let mut p = partial_view();
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (masking, realizability) = verify_outcome(&mut p, &out);
+        assert!(masking.ok(), "{masking:?}");
+        assert!(realizability.ok(), "{realizability:?}");
+        // Recovery from x=2 exists and belongs to process a.
+        let x = p.cx.find_var("x").unwrap();
+        let s2 = p.cx.assign_eq(x, 2);
+        let rec = p.cx.mgr().and(out.processes[0].trans, s2);
+        assert_ne!(rec, FALSE);
+    }
+
+    #[test]
+    fn pure_lazy_also_verifies() {
+        let mut p = partial_view();
+        let out = lazy_repair(&mut p, &RepairOptions::pure_lazy());
+        assert!(!out.failed);
+        let (masking, realizability) = verify_outcome(&mut p, &out);
+        assert!(masking.ok(), "{masking:?}");
+        assert!(realizability.ok(), "{realizability:?}");
+    }
+
+    #[test]
+    fn hopeless_input_fails_cleanly() {
+        let mut b = ProgramBuilder::new("hopeless");
+        let x = b.var("x", 2);
+        b.process("p", &[x], &[x]);
+        let g = b.cx().assign_eq(x, 0);
+        b.action(g, &[(x, Update::Const(0))]);
+        let inv = b.cx().assign_eq(x, 0);
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 0);
+        b.fault_action(fg, &[(x, Update::Const(1))]);
+        let bad = b.cx().assign_eq(x, 1);
+        b.bad_states(bad);
+        let mut p = b.build();
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(out.failed);
+        assert_eq!(out.trans, FALSE);
+    }
+
+    /// A case where Step 2 *must* drop a group and the outer loop has to
+    /// re-run: process `a` cannot read y, and the only recovery for x=2
+    /// would need to depend on y (bad transitions forbid half the group).
+    #[test]
+    fn deadlock_retry_loop_converges() {
+        let mut b = ProgramBuilder::new("retry");
+        let x = b.var("x", 3);
+        let y = b.var("y", 2);
+        b.process("a", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        b.process("b", &[x, y], &[y]);
+        let inv = {
+            let a0 = b.cx().assign_eq(x, 0);
+            let a1 = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a0, a1)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        // Forbid the specific recovery (x=2,y=1) → (x=0,y=1): process a's
+        // recovery group 2→0 loses a member; it must fall back to 2→1 or
+        // the run must still verify after the retry loop.
+        let bt = b.cx().transition_cube(&[2, 1], &[0, 1]);
+        b.bad_trans(bt);
+        let mut p = b.build();
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (masking, realizability) = verify_outcome(&mut p, &out);
+        assert!(masking.ok(), "{masking:?}");
+        assert!(realizability.ok(), "{realizability:?}");
+    }
+}

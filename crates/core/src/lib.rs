@@ -1,0 +1,48 @@
+//! # ftrepair-core — lazy repair for addition of fault-tolerance
+//!
+//! The paper's contribution, implemented symbolically over
+//! [`ftrepair_bdd`] / [`ftrepair_symbolic`]:
+//!
+//! * [`add_masking`](crate::add_masking::add_masking) — **Step 1**: the
+//!   polynomial Add-Masking algorithm of Kulkarni & Arora, *ignoring*
+//!   realizability constraints, optionally restricted to the states the
+//!   fault-intolerant program reaches in the presence of faults (the
+//!   heuristic that makes lazy repair win — Section V-A).
+//! * [`step2`](crate::step2) — **Step 2** (Algorithm 2): enforce the
+//!   read/write realizability constraints *only by removing transitions*
+//!   (plus adding harmless transitions that start outside the fault-span),
+//!   group by group, with the exponential-savings `ExpandGroup`
+//!   optimization (Section V-B).
+//! * [`lazy`](crate::lazy) — **Algorithm 1**: the outer loop gluing the two
+//!   steps, outlawing transitions into any deadlock created by Step 2 and
+//!   re-running until quiescence.
+//! * [`cautious`](crate::cautious) — the **baseline** of Section IV: the
+//!   same fixpoints, but with group closure and group-conflict resolution
+//!   applied inside *every* iteration, the cost lazy repair amortizes away.
+//! * [`parallel`](crate::parallel) — a parallel Step 2 (one worker per
+//!   process, each with its own BDD manager, shipped
+//!   [`ftrepair_bdd::SerializedBdd`]s) — our HPC extension; an ablation
+//!   bench quantifies it.
+//!
+//! Every public entry point returns enough of the intermediate state
+//! (`ms`, `mt`, invariant, fault-span, per-process relations) for the
+//! explicit-state oracle in `ftrepair-explicit` to cross-validate it, and
+//! [`verify::verify_outcome`] re-checks every output against the
+//! definitions before an experiment reports success.
+
+pub mod add_masking;
+pub mod cautious;
+pub mod lazy;
+pub mod options;
+pub mod parallel;
+pub mod ranking;
+pub mod stats;
+pub mod step2;
+pub mod verify;
+
+pub use add_masking::{add_masking, AddMaskingResult};
+pub use cautious::{cautious_repair, CautiousOutcome};
+pub use lazy::{lazy_repair, LazyOutcome};
+pub use options::RepairOptions;
+pub use stats::RepairStats;
+pub use step2::{step2, Step2Result};

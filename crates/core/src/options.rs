@@ -1,0 +1,104 @@
+//! Tunable knobs shared by the repair algorithms — each one corresponds to
+//! a design choice the paper discusses, and each has an ablation bench.
+
+/// Options for [`crate::lazy_repair`], [`crate::cautious_repair`] and their
+/// building blocks.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairOptions {
+    /// Restrict Step 1's fault-span search to states reachable by the
+    /// fault-intolerant program in the presence of faults (Section V-A).
+    /// The paper observes that *pure* lazy repair (this off) does not beat
+    /// cautious repair; with the heuristic it does.
+    pub restrict_to_reachable: bool,
+    /// Enforce the read restriction with the closed-form set computation
+    /// `δ_j = Δ_j − group(group(Δ_j) − Δ_j)` (two symbolic group
+    /// operations) instead of Algorithm 2's transition-at-a-time loop.
+    /// Produces the identical result — groups are disjoint equivalence
+    /// classes, so the loop's fixpoint is exactly the union of fully
+    /// contained classes — but orders of magnitude faster; this is the
+    /// set-level formulation a BDD-based tool actually executes.
+    pub step2_closed_form: bool,
+    /// Use `ExpandGroup` in Step 2 (Section V-B) to absorb exponentially
+    /// many sibling groups per iteration. Only meaningful for the
+    /// iterative strategy (`step2_closed_form = false`).
+    pub use_expand_group: bool,
+    /// Run Step 2's per-process loop on worker threads (one BDD manager
+    /// per process). Our HPC extension; not part of the paper.
+    pub parallel_step2: bool,
+    /// Accept states that lose *all* their transitions inside the repaired
+    /// invariant as legal termination points (Definition 18 stutters them).
+    /// Sound whenever the specification has no leads-to liveness inside the
+    /// invariant — true for all of the paper's case studies, where e.g. a
+    /// byzantine-agreement process that can never finalize safely simply
+    /// stops. With `false`, such states are evicted from `S'` instead
+    /// (strict preservation of potential liveness, at the cost of a much
+    /// smaller invariant).
+    pub allow_new_terminal_inside: bool,
+    /// Safety bound on Algorithm 1's outer repeat loop.
+    pub max_outer_iterations: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            restrict_to_reachable: true,
+            step2_closed_form: true,
+            use_expand_group: true,
+            parallel_step2: false,
+            allow_new_terminal_inside: true,
+            max_outer_iterations: 32,
+        }
+    }
+}
+
+impl RepairOptions {
+    /// The paper's configuration: heuristic on, ExpandGroup on, sequential.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Pure lazy repair (no reachability heuristic) — the configuration the
+    /// paper reports as *not* improving on cautious repair.
+    pub fn pure_lazy() -> Self {
+        RepairOptions { restrict_to_reachable: false, ..Self::default() }
+    }
+
+    /// Algorithm 2 exactly as printed in the paper: the iterative
+    /// pick-a-transition loop with `ExpandGroup`. Same outputs as the
+    /// closed form; used by the ablation benches.
+    pub fn iterative_step2() -> Self {
+        RepairOptions { step2_closed_form: false, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let o = RepairOptions::default();
+        assert!(o.restrict_to_reachable);
+        assert!(o.step2_closed_form);
+        assert!(o.use_expand_group);
+        assert!(!o.parallel_step2);
+        assert!(o.allow_new_terminal_inside);
+        assert_eq!(o.max_outer_iterations, 32);
+        let p = RepairOptions::paper();
+        assert_eq!(format!("{o:?}"), format!("{p:?}"));
+    }
+
+    #[test]
+    fn pure_lazy_disables_only_the_heuristic() {
+        let o = RepairOptions::pure_lazy();
+        assert!(!o.restrict_to_reachable);
+        assert!(o.step2_closed_form);
+    }
+
+    #[test]
+    fn iterative_step2_keeps_expand_group() {
+        let o = RepairOptions::iterative_step2();
+        assert!(!o.step2_closed_form);
+        assert!(o.use_expand_group);
+    }
+}

@@ -1,0 +1,179 @@
+//! Parallel Step 2: one worker thread per process, each with its own BDD
+//! manager.
+//!
+//! The per-process loops of Algorithm 2 are independent — `δ_j` depends
+//! only on `δ` (the Step 1 output plus the free outside-span transitions)
+//! and on process `j`'s read/write sets. BDD managers, however, are not
+//! shareable (hash-consing mutates the unique table on every operation), so
+//! parallelism is obtained the message-passing way, per the workspace's
+//! concurrency guides: fork an empty manager per worker with the same
+//! variable layout, ship `δ` across as a [`SerializedBdd`] (a pure-data
+//! DAG), and ship each `δ_j` back the same way. No shared mutable state, no
+//! locks on the hot path.
+
+use crate::options::RepairOptions;
+use crate::stats::RepairStats;
+use crate::step2::{partition_for, with_outside_span, Step2Result};
+use ftrepair_bdd::{NodeId, SerializedBdd, FALSE};
+use ftrepair_program::{DistributedProgram, Process};
+
+/// Parallel version of [`crate::step2::step2`]; same contract, same output
+/// (checked by tests), different wall-clock profile.
+pub fn step2_parallel(
+    prog: &mut DistributedProgram,
+    trans: NodeId,
+    span: NodeId,
+    opts: &RepairOptions,
+) -> Step2Result {
+    let delta = with_outside_span(&mut prog.cx, trans, span);
+    let shipped = prog.cx.mgr_ref().export(delta);
+
+    struct Job {
+        read: Vec<ftrepair_symbolic::VarId>,
+        write: Vec<ftrepair_symbolic::VarId>,
+        cx: ftrepair_symbolic::SymbolicContext,
+    }
+    let jobs: Vec<Job> = prog
+        .processes
+        .iter()
+        .map(|p| Job { read: p.read.clone(), write: p.write.clone(), cx: prog.cx.fork_layout() })
+        .collect();
+
+    let results: Vec<(SerializedBdd, RepairStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|mut job| {
+                let shipped = &shipped;
+                let opts = *opts;
+                scope.spawn(move |_| {
+                    let delta = job.cx.mgr().import(shipped);
+                    let mut stats = RepairStats::default();
+                    let dj =
+                        partition_for(&mut job.cx, &job.read, &job.write, delta, &opts, &mut stats);
+                    (job.cx.mgr_ref().export(dj), stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("step2 worker panicked")).collect()
+    })
+    .expect("step2 thread scope failed");
+
+    let mut stats = RepairStats::default();
+    let mut processes = Vec::with_capacity(results.len());
+    let mut union = FALSE;
+    for ((dj_shipped, worker_stats), p) in results.into_iter().zip(&prog.processes) {
+        let dj = prog.cx.mgr().import(&dj_shipped);
+        stats.groups_kept += worker_stats.groups_kept;
+        stats.groups_dropped += worker_stats.groups_dropped;
+        stats.expansions += worker_stats.expansions;
+        stats.step2_picks += worker_stats.step2_picks;
+        processes.push(Process {
+            name: p.name.clone(),
+            read: p.read.clone(),
+            write: p.write.clone(),
+            trans: dj,
+        });
+        union = prog.cx.mgr().or(union, dj);
+    }
+    Step2Result { processes, trans: union, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step2::step2;
+    use ftrepair_program::{ProgramBuilder, Update, TRUE};
+
+    fn three_proc_program() -> DistributedProgram {
+        let mut b = ProgramBuilder::new("threeproc");
+        let x = b.var("x", 3);
+        let y = b.var("y", 3);
+        let z = b.var("z", 2);
+        b.process("px", &[x, z], &[x]);
+        for v in 0..2 {
+            let g = b.cx().assign_eq(x, v);
+            b.action(g, &[(x, Update::Const(v + 1))]);
+        }
+        b.process("py", &[y, z], &[y]);
+        for v in 0..2 {
+            let g = b.cx().assign_eq(y, v);
+            b.action(g, &[(y, Update::Const(v + 1))]);
+        }
+        b.process("pz", &[x, y, z], &[z]);
+        let g = b.cx().assign_eq(z, 0);
+        b.action(g, &[(z, Update::Const(1))]);
+        b.invariant(TRUE);
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let mut p = three_proc_program();
+        let t = p.program_trans();
+        let opts = RepairOptions::default();
+        let seq = step2(&mut p, t, TRUE, &opts);
+        let par = step2_parallel(&mut p, t, TRUE, &opts);
+        assert_eq!(seq.trans, par.trans);
+        for (a, b) in seq.processes.iter().zip(&par.processes) {
+            assert_eq!(a.trans, b.trans, "process {} differs", a.name);
+        }
+        assert_eq!(seq.stats.groups_kept, par.stats.groups_kept);
+        assert_eq!(seq.stats.groups_dropped, par.stats.groups_dropped);
+    }
+
+    #[test]
+    fn parallel_with_nontrivial_span() {
+        let mut p = three_proc_program();
+        let t = p.program_trans();
+        let span = {
+            let z = p.cx.find_var("z").unwrap();
+            p.cx.assign_eq(z, 0)
+        };
+        let opts = RepairOptions::default();
+        let seq = step2(&mut p, t, span, &opts);
+        let par = step2_parallel(&mut p, t, span, &opts);
+        assert_eq!(seq.trans, par.trans);
+    }
+
+    #[test]
+    fn parallel_empty_input() {
+        let mut p = three_proc_program();
+        let opts = RepairOptions::default();
+        let par = step2_parallel(&mut p, FALSE, TRUE, &opts);
+        assert_eq!(par.trans, FALSE);
+    }
+
+    #[test]
+    fn lazy_repair_with_parallel_step2_verifies() {
+        use crate::lazy::lazy_repair;
+        use crate::verify::verify_outcome;
+        let mut b = ProgramBuilder::new("par-lazy");
+        let x = b.var("x", 3);
+        let y = b.var("y", 2);
+        b.process("a", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        b.process("b", &[y], &[y]);
+        let h0 = b.cx().assign_eq(y, 0);
+        b.action(h0, &[(y, Update::Const(1))]);
+        let h1 = b.cx().assign_eq(y, 1);
+        b.action(h1, &[(y, Update::Const(0))]);
+        let inv = {
+            let a0 = b.cx().assign_eq(x, 0);
+            let a1 = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a0, a1)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let opts = RepairOptions { parallel_step2: true, ..Default::default() };
+        let out = lazy_repair(&mut p, &opts);
+        assert!(!out.failed);
+        let (masking, realizability) = verify_outcome(&mut p, &out);
+        assert!(masking.ok(), "{masking:?}");
+        assert!(realizability.ok(), "{realizability:?}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Instrumentation collected during repair — what the experiment tables
+//! report.
+
+use std::time::Duration;
+
+/// Counters and timings from one repair run.
+#[derive(Clone, Debug, Default)]
+pub struct RepairStats {
+    /// Wall time spent in Step 1 (Add-Masking), summed over outer
+    /// iterations.
+    pub step1_time: Duration,
+    /// Wall time spent in Step 2 (realizability enforcement), summed.
+    pub step2_time: Duration,
+    /// Iterations of Algorithm 1's outer repeat loop.
+    pub outer_iterations: usize,
+    /// Groups admitted into some process's `δ_j` during Step 2.
+    pub groups_kept: u64,
+    /// Groups removed because a member was missing.
+    pub groups_dropped: u64,
+    /// Successful `ExpandGroup` applications.
+    pub expansions: u64,
+    /// Iterations of Step 2's inner pick-a-transition loop (the quantity
+    /// `ExpandGroup` exists to shrink).
+    pub step2_picks: u64,
+}
+
+impl RepairStats {
+    /// Total wall time across both steps.
+    pub fn total_time(&self) -> Duration {
+        self.step1_time + self.step2_time
+    }
+
+    /// Merge counters from another run (used when the outer loop re-runs
+    /// both steps).
+    pub fn absorb(&mut self, other: &RepairStats) {
+        self.step1_time += other.step1_time;
+        self.step2_time += other.step2_time;
+        self.outer_iterations += other.outer_iterations;
+        self.groups_kept += other.groups_kept;
+        self.groups_dropped += other.groups_dropped;
+        self.expansions += other.expansions;
+        self.step2_picks += other.step2_picks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_steps() {
+        let s = RepairStats {
+            step1_time: Duration::from_millis(30),
+            step2_time: Duration::from_millis(12),
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RepairStats { groups_kept: 2, outer_iterations: 1, ..Default::default() };
+        let b = RepairStats {
+            groups_kept: 3,
+            groups_dropped: 1,
+            outer_iterations: 1,
+            expansions: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.groups_kept, 5);
+        assert_eq!(a.groups_dropped, 1);
+        assert_eq!(a.outer_iterations, 2);
+        assert_eq!(a.expansions, 7);
+    }
+}

@@ -1,0 +1,70 @@
+//! Convenience wrapper: verify a repair outcome against both masking
+//! fault-tolerance (Definition 15) and realizability (Definitions 19/20).
+
+use crate::lazy::LazyOutcome;
+use ftrepair_program::verify::{verify_masking, verify_realizability};
+use ftrepair_program::{DistributedProgram, MaskingReport, RealizabilityReport};
+
+/// Re-check a [`LazyOutcome`] (or anything shaped like one) against the
+/// original program. `verify_masking` handles Definition 18's stuttering
+/// internally, so the raw process-union relation is passed.
+pub fn verify_outcome(
+    prog: &mut DistributedProgram,
+    outcome: &LazyOutcome,
+) -> (MaskingReport, RealizabilityReport) {
+    let orig = prog.program_trans();
+    let (orig_inv, faults) = (prog.invariant, prog.faults);
+    let safety = prog.safety;
+    let masking = verify_masking(
+        &mut prog.cx,
+        orig,
+        orig_inv,
+        outcome.trans,
+        outcome.invariant,
+        faults,
+        &safety,
+    );
+    let realizability = verify_realizability(prog, &outcome.processes);
+    (masking, realizability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lazy::lazy_repair;
+    use crate::options::RepairOptions;
+    use ftrepair_program::{ProgramBuilder, Update};
+
+    #[test]
+    fn verify_outcome_flags_tampered_results() {
+        let mut b = ProgramBuilder::new("tamper");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let mut out = lazy_repair(&mut p, &RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = verify_outcome(&mut p, &out);
+        assert!(m.ok() && r.ok());
+
+        // Tamper: drop all recovery transitions.
+        let x = p.cx.find_var("x").unwrap();
+        let s2 = p.cx.assign_eq(x, 2);
+        let ns2 = p.cx.mgr().not(s2);
+        out.trans = p.cx.mgr().and(out.trans, ns2);
+        let (m2, _) = verify_outcome(&mut p, &out);
+        assert!(!m2.ok());
+        assert!(!m2.recovery_guaranteed);
+    }
+}

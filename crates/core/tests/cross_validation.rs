@@ -1,0 +1,305 @@
+//! Cross-validation: the symbolic Add-Masking of `ftrepair-core` and the
+//! explicit-state reference of `ftrepair-explicit` must agree **exactly**
+//! (same `ms`, same invariant, same fault-span, same final transition set)
+//! on every instance small enough to enumerate — including randomly
+//! generated distributed programs.
+
+use ftrepair_core::{add_masking, lazy_repair, RepairOptions};
+use ftrepair_explicit::{
+    add_masking as add_masking_explicit, extract, AddMaskingOptions, ExplicitProgram,
+};
+use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Compare a symbolic repair against the explicit reference on `prog`.
+fn assert_engines_agree(prog: &mut DistributedProgram, restrict: bool) {
+    let explicit = ExplicitProgram::from_symbolic(prog);
+    let e = add_masking_explicit(&explicit, AddMaskingOptions { restrict_to_reachable: restrict });
+
+    let (inv, safety) = (prog.invariant, prog.safety);
+    let s = add_masking(prog, inv, &safety, restrict);
+
+    assert_eq!(s.failed, e.failed, "failure verdicts differ");
+    if s.failed {
+        return;
+    }
+
+    let sym_ms = extract::bdd_to_states(prog, &explicit.space, s.ms);
+    assert_eq!(sym_ms, e.ms, "ms differs");
+
+    let sym_inv = extract::bdd_to_states(prog, &explicit.space, s.invariant);
+    assert_eq!(sym_inv, e.invariant, "invariant differs");
+
+    let sym_span = extract::bdd_to_states(prog, &explicit.space, s.span);
+    assert_eq!(sym_span, e.span, "fault-span differs");
+
+    let sym_trans = extract::bdd_to_edges(prog, &explicit.space, s.trans);
+    assert_eq!(sym_trans, e.trans, "final transition relations differ");
+}
+
+#[test]
+fn engines_agree_on_recovery_toy() {
+    let mut b = ProgramBuilder::new("toy");
+    let x = b.var("x", 3);
+    b.process("p", &[x], &[x]);
+    let g0 = b.cx().assign_eq(x, 0);
+    b.action(g0, &[(x, Update::Const(1))]);
+    let g1 = b.cx().assign_eq(x, 1);
+    b.action(g1, &[(x, Update::Const(0))]);
+    let inv = {
+        let a = b.cx().assign_eq(x, 0);
+        let c = b.cx().assign_eq(x, 1);
+        b.cx().mgr().or(a, c)
+    };
+    b.invariant(inv);
+    let fg = b.cx().assign_eq(x, 1);
+    b.fault_action(fg, &[(x, Update::Const(2))]);
+    let mut p = b.build();
+    assert_engines_agree(&mut p, true);
+    assert_engines_agree(&mut p, false);
+}
+
+#[test]
+fn engines_agree_on_byzantine_n1() {
+    let (mut p, _) = ftrepair_casestudies::byzantine_agreement(1);
+    assert_engines_agree(&mut p, true);
+}
+
+#[test]
+fn engines_agree_on_chain_3x2() {
+    let (mut p, _) = ftrepair_casestudies::stabilizing_chain(3, 2);
+    assert_engines_agree(&mut p, true);
+    assert_engines_agree(&mut p, false);
+}
+
+#[test]
+fn engines_agree_on_chain_3x3() {
+    // Non-power-of-two domain: dead encodings must not leak into either
+    // engine's result.
+    let (mut p, _) = ftrepair_casestudies::stabilizing_chain(3, 3);
+    assert_engines_agree(&mut p, true);
+}
+
+#[test]
+fn engines_agree_on_failstop_n1() {
+    let (mut p, _) = ftrepair_casestudies::byzantine_failstop(1);
+    assert_engines_agree(&mut p, true);
+}
+
+#[test]
+fn engines_agree_on_tmr_2() {
+    let (mut p, _) = ftrepair_casestudies::tmr(2);
+    assert_engines_agree(&mut p, true);
+}
+
+#[test]
+fn engines_agree_on_token_ring_3x3() {
+    let (mut p, _) = ftrepair_casestudies::token_ring(3, 3);
+    assert_engines_agree(&mut p, true);
+    assert_engines_agree(&mut p, false);
+}
+
+#[test]
+fn lazy_repair_output_passes_explicit_verifier() {
+    // End-to-end: the full lazy pipeline's output, converted to explicit
+    // form, satisfies the *explicit* masking verifier too.
+    let (mut p, _) = ftrepair_casestudies::byzantine_agreement(1);
+    let explicit = ExplicitProgram::from_symbolic(&mut p);
+    let out = lazy_repair(&mut p, &RepairOptions::default());
+    assert!(!out.failed);
+    let trans = extract::bdd_to_edges(&mut p, &explicit.space, out.trans);
+    let inv: HashSet<u32> = extract::bdd_to_states(&mut p, &explicit.space, out.invariant);
+    let report = ftrepair_explicit::verify::verify_masking_explicit(&explicit, &trans, &inv);
+    assert!(report.ok(), "{report:?}");
+    // And each per-process relation is explicitly group-closed.
+    for (j, proc_) in out.processes.iter().enumerate() {
+        let edges = extract::bdd_to_edges(&mut p, &explicit.space, proc_.trans);
+        assert!(
+            ftrepair_explicit::group::is_group_closed(&explicit, j, &edges),
+            "process {j} not group-closed"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized cross-validation.
+// ---------------------------------------------------------------------
+
+/// Blueprint for a random 2-variable, 2-process distributed program.
+#[derive(Clone, Debug)]
+struct RandomProgram {
+    /// Domain sizes (2..=3 each).
+    sizes: [u64; 2],
+    /// For each process: can it read the other variable?
+    reads_other: [bool; 2],
+    /// Actions: (process, guard values per readable var, target value).
+    actions: Vec<(usize, u64, Option<u64>, u64)>,
+    /// Invariant: membership bit per state of the ≤9-state space.
+    invariant_bits: u16,
+    /// Faults: (var, from value, to value).
+    faults: Vec<(usize, u64, u64)>,
+    /// Bad states: membership bits.
+    bad_bits: u16,
+}
+
+fn arb_program() -> impl Strategy<Value = RandomProgram> {
+    (
+        prop_oneof![Just([2u64, 2]), Just([2, 3]), Just([3, 2]), Just([3, 3])],
+        any::<[bool; 2]>(),
+        proptest::collection::vec((0..2usize, 0..3u64, proptest::option::of(0..3u64), 0..3u64), 1..6),
+        any::<u16>(),
+        proptest::collection::vec((0..2usize, 0..3u64, 0..3u64), 0..4),
+        any::<u16>(),
+    )
+        .prop_map(|(sizes, reads_other, actions, invariant_bits, faults, bad_bits)| {
+            RandomProgram { sizes, reads_other, actions, invariant_bits, faults, bad_bits }
+        })
+}
+
+fn build(rp: &RandomProgram) -> DistributedProgram {
+    let mut b = ProgramBuilder::new("random");
+    let v0 = b.var("v0", rp.sizes[0]);
+    let v1 = b.var("v1", rp.sizes[1]);
+    let vars = [v0, v1];
+    for j in 0..2 {
+        let own = vars[j];
+        let other = vars[1 - j];
+        let read =
+            if rp.reads_other[j] { vec![own, other] } else { vec![own] };
+        b.process(format!("p{j}"), &read, &[own]);
+        for &(pj, g_own, g_other, target) in &rp.actions {
+            if pj != j {
+                continue;
+            }
+            let g_own = g_own % rp.sizes[j];
+            let target = target % rp.sizes[j];
+            if target == g_own {
+                continue; // self-loop-ish action: skip for simplicity
+            }
+            let mut guard = b.cx().assign_eq(own, g_own);
+            if rp.reads_other[j] {
+                if let Some(go) = g_other {
+                    let go = go % rp.sizes[1 - j];
+                    let e = b.cx().assign_eq(other, go);
+                    guard = b.cx().mgr().and(guard, e);
+                }
+            }
+            b.action(guard, &[(own, Update::Const(target))]);
+        }
+    }
+    // Invariant and bad states from membership bits over the flat space.
+    let mut inv = ftrepair_bdd::FALSE;
+    let mut bad = ftrepair_bdd::FALSE;
+    let mut idx = 0;
+    for a in 0..rp.sizes[0] {
+        for c in 0..rp.sizes[1] {
+            let s = b.cx().state_cube(&[a, c]);
+            if rp.invariant_bits >> idx & 1 == 1 {
+                inv = b.cx().mgr().or(inv, s);
+            }
+            if rp.bad_bits >> idx & 1 == 1 {
+                bad = b.cx().mgr().or(bad, s);
+            }
+            idx += 1;
+        }
+    }
+    b.invariant(inv);
+    b.bad_states(bad);
+    for &(v, from, to) in &rp.faults {
+        let from = from % rp.sizes[v];
+        let to = to % rp.sizes[v];
+        if from == to {
+            continue;
+        }
+        let g = b.cx().assign_eq(vars[v], from);
+        b.fault_action(g, &[(vars[v], Update::Const(to))]);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn step2_agrees_with_explicit_group_filtering(rp in arb_program()) {
+        // Run Step 1 symbolically, then compare the symbolic Step 2 (closed
+        // form) per-process outputs against the explicit-state group filter.
+        let mut p = build(&rp);
+        let explicit = ExplicitProgram::from_symbolic(&mut p);
+        let (inv, safety) = (p.invariant, p.safety);
+        let r1 = add_masking(&mut p, inv, &safety, true);
+        if r1.failed {
+            return Ok(());
+        }
+        let r2 = ftrepair_core::step2(&mut p, r1.trans, r1.span, &RepairOptions::default());
+
+        let trans_edges = extract::bdd_to_edges(&mut p, &explicit.space, r1.trans);
+        let span_states = extract::bdd_to_states(&mut p, &explicit.space, r1.span);
+        let expected = ftrepair_explicit::group::step2_explicit(
+            &explicit,
+            &trans_edges,
+            &span_states,
+        );
+        for (j, proc_) in r2.processes.iter().enumerate() {
+            let got = extract::bdd_to_edges(&mut p, &explicit.space, proc_.trans);
+            prop_assert_eq!(&got, &expected[j], "process {} differs", j);
+        }
+    }
+
+    #[test]
+    fn symbolic_group_matches_explicit_group(rp in arb_program()) {
+        // The group of each process's whole original relation, both ways.
+        let mut p = build(&rp);
+        let explicit = ExplicitProgram::from_symbolic(&mut p);
+        for j in 0..p.processes.len() {
+            let unread = p.unreadable(j);
+            let t = p.processes[j].trans;
+            let g = ftrepair_program::realizability::group(&mut p.cx, &unread, t);
+            let got = extract::bdd_to_edges(&mut p, &explicit.space, g);
+            let expected =
+                ftrepair_explicit::group::group_of_set(&explicit, j, &explicit.proc_trans[j]);
+            prop_assert_eq!(got, expected, "process {} group differs", j);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_programs(rp in arb_program()) {
+        let mut p = build(&rp);
+        assert_engines_agree(&mut p, true);
+        let mut p2 = build(&rp);
+        assert_engines_agree(&mut p2, false);
+    }
+
+    #[test]
+    fn lazy_outputs_always_verify_or_fail(rp in arb_program()) {
+        // Whatever the input, lazy repair either declares failure or
+        // produces a program passing both independent verifiers.
+        let mut p = build(&rp);
+        let out = lazy_repair(&mut p, &RepairOptions::default());
+        if !out.failed {
+            let (m, r) = ftrepair_core::verify::verify_outcome(&mut p, &out);
+            prop_assert!(m.ok(), "masking: {m:?}");
+            prop_assert!(r.ok(), "realizability: {r:?}");
+        }
+    }
+
+    #[test]
+    fn cautious_outputs_always_verify_or_fail(rp in arb_program()) {
+        let mut p = build(&rp);
+        let out = ftrepair_core::cautious_repair(&mut p, &RepairOptions::default());
+        if !out.failed {
+            let lazy_shape = ftrepair_core::LazyOutcome {
+                processes: out.processes.clone(),
+                invariant: out.invariant,
+                span: out.span,
+                trans: out.trans,
+                failed: out.failed,
+                stats: out.stats.clone(),
+            };
+            let (m, r) = ftrepair_core::verify::verify_outcome(&mut p, &lazy_shape);
+            prop_assert!(m.ok(), "masking: {m:?}");
+            prop_assert!(r.ok(), "realizability: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Reference (explicit-state) implementation of the Add-Masking algorithm
+//! of Kulkarni & Arora — the paper's Step 1, *without* realizability
+//! constraints.
+//!
+//! The symbolic implementation in `ftrepair-core` mirrors this one
+//! fixpoint-for-fixpoint; integration tests require their outputs to be
+//! identical on every enumerable instance.
+
+use crate::extract::ExplicitProgram;
+use crate::graph;
+use std::collections::HashSet;
+
+/// Options for [`add_masking`].
+#[derive(Clone, Copy, Debug)]
+pub struct AddMaskingOptions {
+    /// The paper's heuristic: restrict the fault-span search to states
+    /// reachable by the fault-intolerant program in the presence of faults
+    /// (Section V-A). Without it, every non-`ms` state is a candidate.
+    pub restrict_to_reachable: bool,
+}
+
+impl Default for AddMaskingOptions {
+    fn default() -> Self {
+        AddMaskingOptions { restrict_to_reachable: true }
+    }
+}
+
+/// Output of explicit Add-Masking.
+#[derive(Clone, Debug)]
+pub struct ExplicitRepair {
+    /// States from which faults alone can violate safety.
+    pub ms: HashSet<u32>,
+    /// Bad transitions (`Sf_bt` copy, for [`ExplicitRepair::mt_contains`]).
+    pub bad_trans: HashSet<(u32, u32)>,
+    /// The repaired invariant `S₁` (empty iff `failed`).
+    pub invariant: HashSet<u32>,
+    /// The fault-span `T₁`.
+    pub span: HashSet<u32>,
+    /// The repaired (unconstrained) transition relation `δ''`.
+    pub trans: Vec<(u32, u32)>,
+    /// True iff no masking-tolerant program exists under these inputs.
+    pub failed: bool,
+}
+
+impl ExplicitRepair {
+    /// Membership in `mt` — the transitions the fault-tolerant program must
+    /// never execute: bad transitions and transitions into `ms`.
+    pub fn mt_contains(&self, s0: u32, s1: u32) -> bool {
+        self.bad_trans.contains(&(s0, s1)) || self.ms.contains(&s1)
+    }
+}
+
+/// Explicit Add-Masking. See the module docs; the numbered phases follow
+/// Section V-A of the paper.
+pub fn add_masking(prog: &ExplicitProgram, opts: AddMaskingOptions) -> ExplicitRepair {
+    let delta_p = prog.program_trans();
+    let faults = &prog.faults;
+
+    // Originally-terminal states: under Definition 18 they stutter, so they
+    // are legal termination points and exempt from deadlock pruning.
+    let all_states: HashSet<u32> = prog.space.states().collect();
+    let stutters = graph::deadlocks(&all_states, &delta_p);
+
+    // Phase 1: ms — least fixpoint of "a fault step violates safety or
+    // reaches ms".
+    let mut ms: HashSet<u32> = prog.bad_states.clone();
+    loop {
+        let mut changed = false;
+        for &(s, t) in faults {
+            if !ms.contains(&s) && (ms.contains(&t) || prog.bad_trans.contains(&(s, t))) {
+                ms.insert(s);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mt = |s0: u32, s1: u32| prog.bad_trans.contains(&(s0, s1)) || ms.contains(&s1);
+
+    // Phase 2: initial invariant guess S₁ = S − ms, deadlocks pruned w.r.t.
+    // the original transitions minus mt.
+    let mut s1: HashSet<u32> = prog.invariant.difference(&ms).copied().collect();
+    let safe_delta: Vec<(u32, u32)> =
+        delta_p.iter().copied().filter(|&(a, b)| !mt(a, b)).collect();
+    s1 = graph::prune_deadlocks_except(&s1, &safe_delta, &stutters);
+
+    // Phase 3: initial fault-span guess T₁.
+    let mut t1: HashSet<u32> = if opts.restrict_to_reachable {
+        let mut combined = delta_p.clone();
+        combined.extend(faults.iter().copied());
+        graph::forward_reachable(&s1, &combined).difference(&ms).copied().collect()
+    } else {
+        prog.space.states().filter(|s| !ms.contains(s)).collect()
+    };
+
+    // Recovery candidates must be single-writer: a transition that changes
+    // variables outside every process's write set is unconditionally
+    // deleted by Step 2's write filter (mirrors the symbolic engine).
+    let one_writer = |a: u32, b: u32| -> bool {
+        let (va, vb) = (prog.space.decode(a), prog.space.decode(b));
+        let changed: Vec<usize> =
+            (0..va.len()).filter(|&i| va[i] != vb[i]).collect();
+        changed.is_empty()
+            || prog.writes.iter().any(|w| changed.iter().all(|c| w.contains(c)))
+    };
+
+    // Phase 4: the joint fixpoint on (S₁, T₁).
+    let mut p1: Vec<(u32, u32)>;
+    loop {
+        let old_s1 = s1.clone();
+        let old_t1 = t1.clone();
+
+        p1 = allowed_transitions(&delta_p, &s1, &t1, &mt, &one_writer);
+
+        // (a) keep only span states that can recover to S₁ via p1.
+        let can_reach = graph::backward_reachable(&s1, &p1);
+        t1 = t1.intersection(&can_reach).copied().collect();
+
+        // (b) fault closure: a fault must never exit the span.
+        loop {
+            let leaving: Vec<u32> = faults
+                .iter()
+                .filter(|&&(s, t)| t1.contains(&s) && !t1.contains(&t))
+                .map(|&(s, _)| s)
+                .collect();
+            if leaving.is_empty() {
+                break;
+            }
+            for s in leaving {
+                t1.remove(&s);
+            }
+        }
+
+        // (c) invariant inside span; (d) no deadlocks inside invariant.
+        s1 = s1.intersection(&t1).copied().collect();
+        s1 = graph::prune_deadlocks_except(&s1, &safe_delta, &stutters);
+
+        if s1.is_empty() {
+            return ExplicitRepair {
+                ms,
+                bad_trans: prog.bad_trans.clone(),
+                invariant: HashSet::new(),
+                span: HashSet::new(),
+                trans: Vec::new(),
+                failed: true,
+            };
+        }
+        if s1 == old_s1 && t1 == old_t1 {
+            break;
+        }
+    }
+
+    // Phase 5: break recovery cycles with the same three-phase peeling as
+    // the symbolic engine (`ftrepair_core::ranking::break_cycles`):
+    //  1. peel the original safe subgraph that reaches S₁ in reverse
+    //     topological rounds (keeps all original acyclic recovery paths),
+    //  2. at each round admit every p1 edge from the new layer into the
+    //     already-peeled set (safe shortcuts),
+    //  3. BFS over p1 for states only synthesized recovery can save.
+    let orig_in_span: Vec<(u32, u32)> = safe_delta
+        .iter()
+        .copied()
+        .filter(|&(a, b)| t1.contains(&a) && t1.contains(&b))
+        .collect();
+    let region = graph::backward_reachable(&s1, &orig_in_span);
+    let p1_succ = graph::successors(&p1);
+    let orig_succ = graph::successors(&orig_in_span);
+
+    let mut final_trans: Vec<(u32, u32)> =
+        p1.iter().copied().filter(|&(a, _)| s1.contains(&a)).collect();
+    let mut assigned: HashSet<u32> = s1.clone();
+    // Phases 1+2: peel the original subgraph.
+    loop {
+        let remaining: HashSet<u32> = region
+            .iter()
+            .copied()
+            .filter(|s| !assigned.contains(s) && t1.contains(s))
+            .collect();
+        if remaining.is_empty() {
+            break;
+        }
+        let layer: Vec<u32> = remaining
+            .iter()
+            .copied()
+            .filter(|s| {
+                orig_succ
+                    .get(s)
+                    .map_or(true, |succs| succs.iter().all(|v| !remaining.contains(v)))
+            })
+            .collect();
+        if layer.is_empty() {
+            break; // original cycle: leave to phase 3
+        }
+        for &a in &layer {
+            if let Some(succs) = p1_succ.get(&a) {
+                for &b in succs {
+                    if assigned.contains(&b) {
+                        final_trans.push((a, b));
+                    }
+                }
+            }
+        }
+        assigned.extend(layer);
+    }
+    // Phase 3: BFS over p1.
+    loop {
+        let layer: Vec<u32> = t1
+            .iter()
+            .copied()
+            .filter(|s| {
+                !assigned.contains(s)
+                    && p1_succ
+                        .get(s)
+                        .is_some_and(|succs| succs.iter().any(|v| assigned.contains(v)))
+            })
+            .collect();
+        if layer.is_empty() {
+            break;
+        }
+        for &a in &layer {
+            if let Some(succs) = p1_succ.get(&a) {
+                for &b in succs {
+                    if assigned.contains(&b) {
+                        final_trans.push((a, b));
+                    }
+                }
+            }
+        }
+        assigned.extend(layer);
+    }
+    final_trans.sort_unstable();
+    final_trans.dedup();
+
+    ExplicitRepair {
+        ms,
+        bad_trans: prog.bad_trans.clone(),
+        invariant: s1,
+        span: t1,
+        trans: final_trans,
+        failed: false,
+    }
+}
+
+/// The "all possible available transitions" relation of Section V-A:
+/// original transitions inside the invariant (closure preserved) plus any
+/// recovery transition from the span outside the invariant back into the
+/// span — both minus `mt`.
+fn allowed_transitions(
+    delta_p: &[(u32, u32)],
+    s1: &HashSet<u32>,
+    t1: &HashSet<u32>,
+    mt: &impl Fn(u32, u32) -> bool,
+    one_writer: &impl Fn(u32, u32) -> bool,
+) -> Vec<(u32, u32)> {
+    let mut p1: Vec<(u32, u32)> = delta_p
+        .iter()
+        .copied()
+        .filter(|&(a, b)| s1.contains(&a) && s1.contains(&b) && !mt(a, b))
+        .collect();
+    for &a in t1.iter() {
+        if s1.contains(&a) {
+            continue;
+        }
+        for &b in t1.iter() {
+            if !mt(a, b) && one_writer(a, b) {
+                p1.push((a, b));
+            }
+        }
+    }
+    p1.sort_unstable();
+    p1.dedup();
+    p1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_masking_explicit;
+    use ftrepair_program::{ProgramBuilder, Update, DistributedProgram};
+
+    /// x ∈ {0,1,2}: program toggles 0↔1 (invariant {0,1}); fault jumps to 2;
+    /// no recovery in the original program. Add-Masking must invent 2→{0,1}.
+    fn needs_recovery() -> DistributedProgram {
+        let mut b = ProgramBuilder::new("needs-recovery");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        b.build()
+    }
+
+    #[test]
+    fn recovery_is_synthesized() {
+        let mut p = needs_recovery();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let r = add_masking(&e, AddMaskingOptions::default());
+        assert!(!r.failed);
+        assert_eq!(r.invariant, [0u32, 1].into_iter().collect());
+        assert_eq!(r.span, [0u32, 1, 2].into_iter().collect());
+        // A recovery transition out of state 2 exists and is rank-decreasing.
+        assert!(r.trans.iter().any(|&(a, b)| a == 2 && (b == 0 || b == 1)));
+        // And the result verifies as masking tolerant.
+        let report = verify_masking_explicit(&e, &r.trans, &r.invariant);
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn ms_grows_backward_through_fault_chains() {
+        // Faults: 1→2, 2→3; state 3 is bad. Then ms = {3, 2, 1}.
+        let mut b = ProgramBuilder::new("chainfault");
+        let x = b.var("x", 4);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(0))]); // wait: 0→0 self-loop... not allowed to self-frame
+        let inv = b.cx().assign_eq(x, 0);
+        b.invariant(inv);
+        let f1 = b.cx().assign_eq(x, 1);
+        b.fault_action(f1, &[(x, Update::Const(2))]);
+        let f2 = b.cx().assign_eq(x, 2);
+        b.fault_action(f2, &[(x, Update::Const(3))]);
+        let bad = b.cx().assign_eq(x, 3);
+        b.bad_states(bad);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let r = add_masking(&e, AddMaskingOptions::default());
+        assert_eq!(r.ms, [1u32, 2, 3].into_iter().collect());
+        assert!(!r.failed);
+        assert_eq!(r.invariant, [0u32].into_iter().collect());
+    }
+
+    #[test]
+    fn fault_on_invariant_makes_repair_fail() {
+        // Fault 0→1 where 1 is bad and 0 is the only invariant state: ms
+        // swallows the invariant, repair must fail.
+        let mut b = ProgramBuilder::new("hopeless");
+        let x = b.var("x", 2);
+        b.process("p", &[x], &[x]);
+        let g = b.cx().assign_eq(x, 0);
+        b.action(g, &[(x, Update::Const(0))]);
+        let inv = b.cx().assign_eq(x, 0);
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 0);
+        b.fault_action(fg, &[(x, Update::Const(1))]);
+        let bad = b.cx().assign_eq(x, 1);
+        b.bad_states(bad);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let r = add_masking(&e, AddMaskingOptions::default());
+        assert!(r.failed);
+        assert!(r.invariant.is_empty());
+    }
+
+    #[test]
+    fn already_tolerant_program_is_untouched_in_essence() {
+        // Program with its own recovery: invariant and span keep everything,
+        // and inside the invariant only original transitions remain.
+        let mut b = ProgramBuilder::new("tolerant");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let r = add_masking(&e, AddMaskingOptions::default());
+        assert!(!r.failed);
+        assert_eq!(r.invariant, [0u32, 1].into_iter().collect());
+        // Inside the invariant: exactly the original toggles.
+        let inside: Vec<(u32, u32)> =
+            r.trans.iter().copied().filter(|&(a, _)| r.invariant.contains(&a)).collect();
+        assert_eq!(inside, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn heuristic_restricts_span_to_reachable() {
+        // State 3 exists but is unreachable; with the heuristic it must not
+        // appear in the span, without it it may.
+        let mut b = ProgramBuilder::new("unreachable");
+        let x = b.var("x", 4);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(0))]);
+        let g3 = b.cx().assign_eq(x, 3);
+        b.action(g3, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let with = add_masking(&e, AddMaskingOptions { restrict_to_reachable: true });
+        assert!(!with.span.contains(&3));
+        let without = add_masking(&e, AddMaskingOptions { restrict_to_reachable: false });
+        assert!(without.span.contains(&3));
+        // Both verify.
+        let r1 = verify_masking_explicit(&e, &with.trans, &with.invariant);
+        assert!(r1.ok(), "{r1:?}");
+        let r2 = verify_masking_explicit(&e, &without.trans, &without.invariant);
+        assert!(r2.ok(), "{r2:?}");
+    }
+
+    #[test]
+    fn bad_transitions_are_never_used() {
+        // Recovery 2→0 declared bad; Add-Masking must route around (2→1).
+        let mut b = ProgramBuilder::new("routed");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let bt = b.cx().transition_cube(&[2], &[0]);
+        b.bad_trans(bt);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let r = add_masking(&e, AddMaskingOptions::default());
+        assert!(!r.failed);
+        assert!(!r.trans.contains(&(2, 0)), "bad transition used");
+        assert!(r.trans.contains(&(2, 1)), "alternate recovery missing");
+    }
+}

@@ -1,0 +1,206 @@
+//! Explicit read-restriction groups: the enumerative twin of
+//! `ftrepair_program::realizability::group`.
+
+use crate::extract::ExplicitProgram;
+use crate::state::StateSpace;
+use std::collections::HashSet;
+
+/// `group_j(s0, s1)` by enumeration: all transitions that agree with
+/// `(s0, s1)` on process `j`'s readable variables and keep each unreadable
+/// variable constant (at every possible value).
+///
+/// Requires the transition itself to leave the unreadable variables
+/// unchanged (true after write filtering, since `W ⊆ R`); panics otherwise
+/// because the group of such a transition is not defined.
+pub fn group_of_transition(
+    space: &StateSpace,
+    unreadable: &[usize],
+    s0: u32,
+    s1: u32,
+) -> Vec<(u32, u32)> {
+    let v0 = space.decode(s0);
+    let v1 = space.decode(s1);
+    for &u in unreadable {
+        assert_eq!(
+            v0[u], v1[u],
+            "transition changes unreadable variable {u}; group undefined"
+        );
+    }
+    let from_variants = space.vary(&v0, unreadable);
+    let mut out = Vec::with_capacity(from_variants.len());
+    for fv in from_variants {
+        // Apply the same unreadable values to the target.
+        let mut tv = v1.clone();
+        for &u in unreadable {
+            tv[u] = fv[u];
+        }
+        out.push((space.encode(&fv), space.encode(&tv)));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Group closure of a whole edge set for process `j` of `prog`.
+pub fn group_of_set(prog: &ExplicitProgram, j: usize, edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let unreadable = prog.unreadable(j);
+    let mut out: HashSet<(u32, u32)> = HashSet::new();
+    for &(a, b) in edges {
+        out.extend(group_of_transition(&prog.space, &unreadable, a, b));
+    }
+    let mut v: Vec<(u32, u32)> = out.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Is `edges` group-closed for process `j`?
+pub fn is_group_closed(prog: &ExplicitProgram, j: usize, edges: &[(u32, u32)]) -> bool {
+    let set: HashSet<(u32, u32)> = edges.iter().copied().collect();
+    group_of_set(prog, j, edges).iter().all(|e| set.contains(e))
+}
+
+/// The explicit twin of Step 2 (Algorithm 2): given the Step 1 relation and
+/// its fault-span, compute each process's realizable `δ_j` — write-legal
+/// transitions (plus everything starting outside the span) whose whole
+/// read-restriction group is available. Returns per-process edge lists.
+pub fn step2_explicit(
+    prog: &ExplicitProgram,
+    trans: &[(u32, u32)],
+    span: &HashSet<u32>,
+) -> Vec<Vec<(u32, u32)>> {
+    // Line 1: transitions from outside the span are free.
+    let mut delta: HashSet<(u32, u32)> = trans.iter().copied().collect();
+    for a in prog.space.states() {
+        if !span.contains(&a) {
+            for b in prog.space.states() {
+                delta.insert((a, b));
+            }
+        }
+    }
+
+    (0..prog.proc_names.len())
+        .map(|j| {
+            let unwritable = prog.unwritable(j);
+            // Write filter.
+            let cand: HashSet<(u32, u32)> = delta
+                .iter()
+                .copied()
+                .filter(|&(a, b)| {
+                    let (va, vb) = (prog.space.decode(a), prog.space.decode(b));
+                    unwritable.iter().all(|&p| va[p] == vb[p])
+                })
+                .collect();
+            // Keep exactly the complete classes.
+            let unreadable = prog.unreadable(j);
+            let mut kept: Vec<(u32, u32)> = cand
+                .iter()
+                .copied()
+                .filter(|&(a, b)| {
+                    group_of_transition(&prog.space, &unreadable, a, b)
+                        .iter()
+                        .all(|e| cand.contains(e))
+                })
+                .collect();
+            kept.sort_unstable();
+            kept
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_program::{ProgramBuilder, Update, TRUE};
+
+    /// The Figure 3–5 setting: v0, v1, v2 boolean; p_j reads {v0,v1} writes
+    /// {v1}; p_k reads {v0,v2} writes {v2}.
+    fn fig_program() -> ExplicitProgram {
+        let mut b = ProgramBuilder::new("fig");
+        let v0 = b.var("v0", 2);
+        let v1 = b.var("v1", 2);
+        let v2 = b.var("v2", 2);
+        b.process("pj", &[v0, v1], &[v1]);
+        let g = b.cx().both_eq(v0, v1, 0);
+        b.action(g, &[(v1, Update::Const(1))]);
+        b.process("pk", &[v0, v2], &[v2]);
+        b.invariant(TRUE);
+        let mut p = b.build();
+        ExplicitProgram::from_symbolic(&mut p)
+    }
+
+    #[test]
+    fn figure4_group_has_both_members() {
+        let e = fig_program();
+        // (000) → (010): indices via the state space.
+        let s000 = e.space.encode(&[0, 0, 0]);
+        let s010 = e.space.encode(&[0, 1, 0]);
+        let s001 = e.space.encode(&[0, 0, 1]);
+        let s011 = e.space.encode(&[0, 1, 1]);
+        let g = group_of_transition(&e.space, &e.unreadable(0), s000, s010);
+        let mut expected = vec![(s000, s010), (s001, s011)];
+        expected.sort_unstable();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn builder_actions_are_group_closed() {
+        // The builder guard reads v0 and v1 only; its transition set is
+        // exactly one group, so closure must hold.
+        let e = fig_program();
+        assert!(is_group_closed(&e, 0, &e.proc_trans[0]));
+    }
+
+    #[test]
+    fn single_member_of_group_is_not_closed() {
+        let e = fig_program();
+        let s000 = e.space.encode(&[0, 0, 0]);
+        let s010 = e.space.encode(&[0, 1, 0]);
+        assert!(!is_group_closed(&e, 0, &[(s000, s010)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "group undefined")]
+    fn group_of_unreadable_changing_transition_panics() {
+        let e = fig_program();
+        let s000 = e.space.encode(&[0, 0, 0]);
+        let s001 = e.space.encode(&[0, 0, 1]); // changes v2 — unreadable by pj
+        group_of_transition(&e.space, &e.unreadable(0), s000, s001);
+    }
+
+    #[test]
+    fn group_matches_symbolic_group() {
+        // Cross-check against the symbolic group on the same program.
+        let mut b = ProgramBuilder::new("fig");
+        let v0 = b.var("v0", 2);
+        let v1 = b.var("v1", 2);
+        let _v2 = b.var("v2", 2);
+        b.process("pj", &[v0, v1], &[v1]);
+        b.invariant(TRUE);
+        let mut p = b.build();
+        let t = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 0]);
+        let unread = p.unreadable(0);
+        let sym_g = ftrepair_program::realizability::group(&mut p.cx, &unread, t);
+        let sym_pairs = p.cx.enumerate_transitions(sym_g, 100);
+
+        let e = {
+            let mut b2 = ProgramBuilder::new("fig2");
+            let w0 = b2.var("v0", 2);
+            let w1 = b2.var("v1", 2);
+            let w2 = b2.var("v2", 2);
+            b2.process("pj", &[w0, w1], &[w1]);
+            b2.invariant(TRUE);
+            let _ = w2;
+            let mut p2 = b2.build();
+            ExplicitProgram::from_symbolic(&mut p2)
+        };
+        let s000 = e.space.encode(&[0, 0, 0]);
+        let s010 = e.space.encode(&[0, 1, 0]);
+        let exp_g = group_of_transition(&e.space, &e.unreadable(0), s000, s010);
+        let exp_pairs: Vec<(Vec<u64>, Vec<u64>)> =
+            exp_g.iter().map(|&(a, b)| (e.space.decode(a), e.space.decode(b))).collect();
+        let mut sym_sorted = sym_pairs;
+        sym_sorted.sort_unstable();
+        let mut exp_sorted = exp_pairs;
+        exp_sorted.sort_unstable();
+        assert_eq!(sym_sorted, exp_sorted);
+    }
+}

@@ -1,0 +1,245 @@
+//! Fault-injection simulation: random-walk execution of a (repaired)
+//! program under an adversarial-ish scheduler and random fault injection.
+//!
+//! The symbolic verifier proves masking tolerance once and for all; the
+//! simulator complements it the systems way — by *running* the program:
+//! pick a random legitimate start state, interleave random enabled
+//! transitions with a bounded number of injected faults, and check on every
+//! step that safety holds and that, once faults stop, the run is back
+//! inside the invariant within a bounded number of steps. Disagreements
+//! between prover and simulator would expose bugs in either; tests inject
+//! thousands of runs on the repaired case studies.
+
+use crate::extract::ExplicitProgram;
+use rand::prelude::*;
+use std::collections::HashSet;
+
+/// Configuration for one batch of runs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Maximum faults injected per run.
+    pub max_faults: usize,
+    /// Probability of injecting an available fault at each step.
+    pub fault_probability: f64,
+    /// Steps allowed after the last fault before recovery must be complete.
+    pub recovery_budget: usize,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_faults: 3, fault_probability: 0.2, recovery_budget: 10_000, runs: 200 }
+    }
+}
+
+/// Why a run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimFailure {
+    /// A bad state was visited; the trace of state indices is attached.
+    BadState(Vec<u32>),
+    /// A bad transition was executed.
+    BadTransition(Vec<u32>),
+    /// After faults stopped, the run did not re-enter the invariant within
+    /// the budget.
+    NoRecovery(Vec<u32>),
+}
+
+/// Result of a batch.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Runs executed.
+    pub runs: usize,
+    /// Total steps taken across runs.
+    pub steps: u64,
+    /// Total faults injected.
+    pub faults_injected: u64,
+    /// First failure, if any.
+    pub failure: Option<SimFailure>,
+}
+
+impl SimReport {
+    /// Did every run satisfy safety and recovery?
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Run the simulator on `trans` (a repaired transition relation, as edges)
+/// against `prog`'s faults and specification, starting from states of
+/// `invariant`.
+pub fn simulate(
+    prog: &ExplicitProgram,
+    trans: &[(u32, u32)],
+    invariant: &HashSet<u32>,
+    config: &SimConfig,
+    rng: &mut impl Rng,
+) -> SimReport {
+    let succ = crate::graph::successors(trans);
+    let fault_succ = crate::graph::successors(&prog.faults);
+    let starts: Vec<u32> = {
+        let mut v: Vec<u32> = invariant.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut report =
+        SimReport { runs: 0, steps: 0, faults_injected: 0, failure: None };
+    if starts.is_empty() {
+        return report;
+    }
+
+    'runs: for _ in 0..config.runs {
+        report.runs += 1;
+        let mut state = *starts.choose(rng).unwrap();
+        let mut trace = vec![state];
+        let mut faults_left = config.max_faults;
+        let mut since_last_fault = 0usize;
+
+        loop {
+            if prog.bad_states.contains(&state) {
+                report.failure = Some(SimFailure::BadState(trace));
+                break 'runs;
+            }
+            // Recovery check: once faults are exhausted (or we chose to stop
+            // injecting), the run must re-enter the invariant in budget.
+            if invariant.contains(&state) && faults_left == 0 {
+                continue 'runs; // recovered: this run passes
+            }
+            if since_last_fault > config.recovery_budget {
+                report.failure = Some(SimFailure::NoRecovery(trace));
+                break 'runs;
+            }
+
+            // Choose: inject a fault (if available and allowed) or take a
+            // program transition.
+            let fault_options = fault_succ.get(&state);
+            let inject = faults_left > 0
+                && fault_options.is_some_and(|v| !v.is_empty())
+                && rng.random_bool(config.fault_probability);
+            let next = if inject {
+                faults_left -= 1;
+                since_last_fault = 0;
+                report.faults_injected += 1;
+                *fault_options.unwrap().choose(rng).unwrap()
+            } else if let Some(options) = succ.get(&state) {
+                since_last_fault += 1;
+                *options.choose(rng).unwrap()
+            } else if invariant.contains(&state) {
+                // Terminal legitimate state (stutters): if no faults remain
+                // to shake it loose, the run is done.
+                if faults_left == 0 {
+                    continue 'runs;
+                }
+                since_last_fault += 1;
+                state = *trace.last().unwrap();
+                // Force a fault next time by looping; to avoid infinite
+                // stutter without faults firing, inject now.
+                faults_left -= 1;
+                report.faults_injected += 1;
+                match fault_succ.get(&state).and_then(|v| v.choose(rng)) {
+                    Some(&s) => s,
+                    None => continue 'runs, // nothing can happen here at all
+                }
+            } else {
+                // Deadlock outside the invariant: recovery is impossible.
+                report.failure = Some(SimFailure::NoRecovery(trace));
+                break 'runs;
+            };
+
+            if prog.bad_trans.contains(&(state, next)) {
+                trace.push(next);
+                report.failure = Some(SimFailure::BadTransition(trace));
+                break 'runs;
+            }
+            state = next;
+            trace.push(state);
+            report.steps += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_program::{ProgramBuilder, Update};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tolerant() -> ExplicitProgram {
+        let mut b = ProgramBuilder::new("toy");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        ExplicitProgram::from_symbolic(&mut p)
+    }
+
+    #[test]
+    fn tolerant_program_survives_injection() {
+        let e = tolerant();
+        let trans = e.program_trans();
+        let inv = e.invariant.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = simulate(&e, &trans, &inv, &SimConfig::default(), &mut rng);
+        assert!(report.ok(), "{:?}", report.failure);
+        assert_eq!(report.runs, 200);
+        assert!(report.faults_injected > 0, "injection must actually happen");
+    }
+
+    #[test]
+    fn crippled_program_is_caught() {
+        // Remove the recovery 2→0: the simulator must observe NoRecovery.
+        let e = tolerant();
+        let trans: Vec<(u32, u32)> =
+            e.program_trans().into_iter().filter(|&(a, _)| a != 2).collect();
+        let inv = e.invariant.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = SimConfig { runs: 500, ..Default::default() };
+        let report = simulate(&e, &trans, &inv, &config, &mut rng);
+        assert!(matches!(report.failure, Some(SimFailure::NoRecovery(_))), "{report:?}");
+    }
+
+    #[test]
+    fn unsafe_program_is_caught() {
+        // Declare state 2 bad but keep faults driving into it.
+        let mut b = ProgramBuilder::new("unsafe");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let bad = b.cx().assign_eq(x, 2);
+        b.bad_states(bad);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+        let trans = e.program_trans();
+        let inv = e.invariant.clone();
+        let mut rng = StdRng::seed_from_u64(42);
+        let config = SimConfig { runs: 500, fault_probability: 0.9, ..Default::default() };
+        let report = simulate(&e, &trans, &inv, &config, &mut rng);
+        assert!(matches!(report.failure, Some(SimFailure::BadState(_))), "{report:?}");
+    }
+}

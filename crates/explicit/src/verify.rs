@@ -1,0 +1,200 @@
+//! Explicit masking-tolerance verification — the oracle twin of
+//! `ftrepair_program::verify::verify_masking`.
+
+use crate::extract::ExplicitProgram;
+use crate::graph;
+use std::collections::HashSet;
+
+/// Same checks as the symbolic `MaskingReport`, computed by enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExplicitMaskingReport {
+    /// `S' ≠ ∅`.
+    pub invariant_nonempty: bool,
+    /// `S' ⊆ S`.
+    pub invariant_shrunk: bool,
+    /// `δ'|S' ⊆ δ|S'`.
+    pub no_new_behavior: bool,
+    /// `S'` closed in `δ'`.
+    pub invariant_closed: bool,
+    /// New deadlocks inside `S'` only where the original program deadlocked.
+    pub no_new_deadlocks_inside: bool,
+    /// No reachable bad state / executable bad transition under `δ' ∪ f`.
+    pub safe_under_faults: bool,
+    /// Every fault-span state recovers on every computation.
+    pub recovery_guaranteed: bool,
+}
+
+impl ExplicitMaskingReport {
+    /// Definition 15 checks (new terminal states inside the invariant are
+    /// accepted — they stutter; see the symbolic twin for discussion).
+    pub fn ok(&self) -> bool {
+        self.invariant_nonempty
+            && self.invariant_shrunk
+            && self.no_new_behavior
+            && self.invariant_closed
+            && self.safe_under_faults
+            && self.recovery_guaranteed
+    }
+
+    /// [`Self::ok`] plus the no-new-deadlocks-inside condition.
+    pub fn ok_strict(&self) -> bool {
+        self.ok() && self.no_new_deadlocks_inside
+    }
+}
+
+/// Verify a candidate `(δ', S')` against the original explicit program.
+pub fn verify_masking_explicit(
+    prog: &ExplicitProgram,
+    new_trans: &[(u32, u32)],
+    new_inv: &HashSet<u32>,
+) -> ExplicitMaskingReport {
+    let orig_trans = prog.program_trans();
+    let orig_set: HashSet<(u32, u32)> = orig_trans.iter().copied().collect();
+
+    let invariant_nonempty = !new_inv.is_empty();
+    let invariant_shrunk = new_inv.is_subset(&prog.invariant);
+
+    // Stutter self-loops at originally-terminal states are part of δ_P per
+    // Definition 18; allow them inside the invariant.
+    let all_states: HashSet<u32> = prog.space.states().collect();
+    let orig_stutters = graph::deadlocks(&all_states, &orig_trans);
+    let new_inside = graph::project(new_trans, new_inv);
+    let no_new_behavior = new_inside
+        .iter()
+        .all(|&(a, b)| orig_set.contains(&(a, b)) || (a == b && orig_stutters.contains(&a)));
+
+    let invariant_closed =
+        new_trans.iter().all(|(a, b)| !new_inv.contains(a) || new_inv.contains(b));
+
+    let new_dead = graph::deadlocks(new_inv, new_trans);
+    let orig_dead = graph::deadlocks(new_inv, &orig_trans);
+    let no_new_deadlocks_inside = new_dead.is_subset(&orig_dead);
+
+    // Fault-span.
+    let mut combined: Vec<(u32, u32)> = new_trans.to_vec();
+    combined.extend(prog.faults.iter().copied());
+    let span = graph::forward_reachable(new_inv, &combined);
+
+    let bad_state_hit = span.iter().any(|s| prog.bad_states.contains(s));
+    let bad_trans_hit = combined
+        .iter()
+        .any(|&(a, b)| span.contains(&a) && prog.bad_trans.contains(&(a, b)));
+    let safe_under_faults = !bad_state_hit && !bad_trans_hit;
+
+    let outside: HashSet<u32> = span.difference(new_inv).copied().collect();
+    let dead_outside = graph::deadlocks(&outside, new_trans);
+    let cycle = graph::cycle_core(&outside, new_trans);
+    let recovery_guaranteed = dead_outside.is_empty() && cycle.is_empty();
+
+    ExplicitMaskingReport {
+        invariant_nonempty,
+        invariant_shrunk,
+        no_new_behavior,
+        invariant_closed,
+        no_new_deadlocks_inside,
+        safe_under_faults,
+        recovery_guaranteed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_program::{ProgramBuilder, Update};
+
+    fn toy() -> ExplicitProgram {
+        let mut b = ProgramBuilder::new("toy");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        ExplicitProgram::from_symbolic(&mut p)
+    }
+
+    #[test]
+    fn tolerant_program_verifies() {
+        let e = toy();
+        let t = e.program_trans();
+        let inv = e.invariant.clone();
+        let r = verify_masking_explicit(&e, &t, &inv);
+        assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn dropping_recovery_fails_recovery_check() {
+        let e = toy();
+        let t: Vec<(u32, u32)> =
+            e.program_trans().into_iter().filter(|&(a, _)| a != 2).collect();
+        let inv = e.invariant.clone();
+        let r = verify_masking_explicit(&e, &t, &inv);
+        assert!(!r.recovery_guaranteed);
+    }
+
+    #[test]
+    fn self_loop_outside_invariant_fails_recovery() {
+        let e = toy();
+        let mut t = e.program_trans();
+        t.push((2, 2));
+        let inv = e.invariant.clone();
+        let r = verify_masking_explicit(&e, &t, &inv);
+        assert!(!r.recovery_guaranteed);
+    }
+
+    #[test]
+    fn added_behavior_inside_invariant_detected() {
+        let e = toy();
+        let mut t = e.program_trans();
+        t.push((0, 0));
+        let inv = e.invariant.clone();
+        let r = verify_masking_explicit(&e, &t, &inv);
+        assert!(!r.no_new_behavior);
+    }
+
+    #[test]
+    fn agreement_with_symbolic_verifier() {
+        // The same candidate must get the same verdict from both verifiers.
+        let mut b = ProgramBuilder::new("toy");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let e = ExplicitProgram::from_symbolic(&mut p);
+
+        let t_sym = p.program_trans();
+        let (inv_sym, faults) = (p.invariant, p.faults);
+        let safety = p.safety;
+        let sym =
+            ftrepair_program::verify::verify_masking(&mut p.cx, t_sym, inv_sym, t_sym, inv_sym, faults, &safety);
+        let t_exp = e.program_trans();
+        let inv_exp = e.invariant.clone();
+        let exp = verify_masking_explicit(&e, &t_exp, &inv_exp);
+        assert_eq!(sym.ok(), exp.ok());
+        assert!(sym.ok());
+    }
+}

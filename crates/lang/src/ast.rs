@@ -1,0 +1,129 @@
+//! Abstract syntax of the guarded-command language.
+
+/// A whole source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// `program NAME;`
+    pub name: String,
+    /// Variable declarations, in order.
+    pub vars: Vec<VarDecl>,
+    /// Process declarations, in order.
+    pub processes: Vec<ProcessDecl>,
+    /// Fault sections (each is a list of actions; names are documentation).
+    pub faults: Vec<FaultDecl>,
+    /// `invariant EXPR;` (conjoined if repeated).
+    pub invariants: Vec<Expr>,
+    /// `badstates EXPR;` (disjoined if repeated).
+    pub bad_states: Vec<Expr>,
+    /// `badtrans EXPR;` — may mention primed variables.
+    pub bad_trans: Vec<Expr>,
+    /// `leadsto L => T;` liveness properties (Definition 8).
+    pub leads_to: Vec<(Expr, Expr)>,
+}
+
+/// `var NAME : 0..N;` or `var NAME : boolean;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name (dots allowed: `d.g`).
+    pub name: String,
+    /// Inclusive lower bound (must currently be 0).
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+/// A process with read/write sets and guarded actions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessDecl {
+    /// Process name.
+    pub name: String,
+    /// Readable variable names.
+    pub read: Vec<String>,
+    /// Writable variable names.
+    pub write: Vec<String>,
+    /// Guarded actions.
+    pub actions: Vec<Action>,
+}
+
+/// A named fault section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultDecl {
+    /// Name (documentation only).
+    pub name: String,
+    /// Guarded actions; faults are exempt from read/write restrictions.
+    pub actions: Vec<Action>,
+}
+
+/// `GUARD -> v := e, w := {e1, e2};`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Action {
+    /// Enabling condition over current-state variables.
+    pub guard: Expr,
+    /// Parallel assignments.
+    pub assigns: Vec<Assign>,
+}
+
+/// One assignment within an action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assign {
+    /// Target variable name.
+    pub target: String,
+    /// Candidate values (singleton for deterministic assignment).
+    pub choices: Vec<Expr>,
+}
+
+/// Expressions. Boolean and arithmetic levels share one type; the compiler
+/// type-checks (a comparison yields boolean, `+` needs values, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Current-state variable.
+    Var(String),
+    /// Next-state variable (`x'`), only legal in `badtrans`.
+    Primed(String),
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `a & b`.
+    And(Box<Expr>, Box<Expr>),
+    /// `a | b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `a + b` (unbounded; results are checked against the target domain
+    /// at assignment time).
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b` (saturating at 0).
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exprs_are_comparable() {
+        let a = Expr::And(Box::new(Expr::Var("x".into())), Box::new(Expr::Bool(true)));
+        let b = Expr::And(Box::new(Expr::Var("x".into())), Box::new(Expr::Bool(true)));
+        assert_eq!(a, b);
+    }
+}

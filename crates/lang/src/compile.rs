@@ -1,0 +1,539 @@
+//! Compilation of the guarded-command AST onto
+//! [`ftrepair_program::ProgramBuilder`].
+//!
+//! The central device is the **value-indexed BDD family**: an arithmetic
+//! expression compiles to a list of `(value, condition)` pairs where
+//! `condition` is the BDD of the states in which the expression evaluates
+//! to `value`. Comparisons fold two families into one boolean BDD;
+//! assignments fold a family into a relational constraint
+//! `⋁ (condition ∧ target' = value)`.
+
+use crate::ast::*;
+use ftrepair_bdd::{NodeId, FALSE, TRUE};
+use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
+use ftrepair_symbolic::{SymbolicContext, VarId};
+use std::collections::HashMap;
+
+/// Semantic error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description (includes the offending name where applicable).
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: message.into() })
+}
+
+/// A compiled expression: boolean, or a value-indexed family.
+enum Compiled {
+    Bool(NodeId),
+    Values(Vec<(u64, NodeId)>),
+}
+
+/// Compile a parsed [`Program`] into a [`DistributedProgram`].
+pub fn compile(ast: &Program) -> Result<DistributedProgram, CompileError> {
+    let mut b = ProgramBuilder::new(ast.name.clone());
+
+    // Declare variables.
+    let mut vars: HashMap<String, VarId> = HashMap::new();
+    for decl in &ast.vars {
+        if decl.lo != 0 {
+            return err(format!("variable {}: ranges must start at 0", decl.name));
+        }
+        if decl.hi < 1 {
+            return err(format!("variable {}: domain needs at least two values", decl.name));
+        }
+        if vars.contains_key(&decl.name) {
+            return err(format!("duplicate variable {}", decl.name));
+        }
+        let v = b.var(decl.name.clone(), decl.hi + 1);
+        vars.insert(decl.name.clone(), v);
+    }
+    let lookup = |name: &str| -> Result<VarId, CompileError> {
+        vars.get(name).copied().ok_or(CompileError {
+            message: format!("unknown variable {name}"),
+        })
+    };
+
+    // Processes.
+    for proc_ in &ast.processes {
+        let read: Vec<VarId> =
+            proc_.read.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+        let write: Vec<VarId> =
+            proc_.write.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+        for w in &proc_.write {
+            if !proc_.read.contains(w) {
+                return err(format!(
+                    "process {}: writes {} without reading it (W ⊆ R required)",
+                    proc_.name, w
+                ));
+            }
+        }
+        b.process(proc_.name.clone(), &read, &write);
+        for action in &proc_.actions {
+            let (guard, updates) = compile_action(b.cx(), &vars, action, Some(&proc_.write))?;
+            b.action(guard, &updates);
+        }
+    }
+
+    // Faults.
+    for fault in &ast.faults {
+        for action in &fault.actions {
+            let (guard, updates) = compile_action(b.cx(), &vars, action, None)?;
+            b.fault_action(guard, &updates);
+        }
+    }
+
+    // Specification.
+    let mut inv = TRUE;
+    for e in &ast.invariants {
+        let c = compile_bool(b.cx(), &vars, e, false)?;
+        inv = b.cx().mgr().and(inv, c);
+    }
+    b.invariant(inv);
+    for e in &ast.bad_states {
+        let c = compile_bool(b.cx(), &vars, e, false)?;
+        b.bad_states(c);
+    }
+    for e in &ast.bad_trans {
+        let c = compile_bool(b.cx(), &vars, e, true)?;
+        b.bad_trans(c);
+    }
+    for (l, t) in &ast.leads_to {
+        let cl = compile_bool(b.cx(), &vars, l, false)?;
+        let ct = compile_bool(b.cx(), &vars, t, false)?;
+        b.leads_to(cl, ct);
+    }
+
+    Ok(b.build())
+}
+
+/// Compile one action to `(guard, updates)` for the builder. `write_set`
+/// is `Some` for process actions (checked) and `None` for faults.
+fn compile_action(
+    cx: &mut SymbolicContext,
+    vars: &HashMap<String, VarId>,
+    action: &Action,
+    write_set: Option<&[String]>,
+) -> Result<(NodeId, Vec<(VarId, Update)>), CompileError> {
+    let guard = compile_bool(cx, vars, &action.guard, false)?;
+    let mut updates = Vec::new();
+    let mut seen_targets: Vec<&str> = Vec::new();
+    for assign in &action.assigns {
+        if seen_targets.contains(&assign.target.as_str()) {
+            return err(format!("variable {} assigned twice in one action", assign.target));
+        }
+        seen_targets.push(&assign.target);
+        if let Some(ws) = write_set {
+            if !ws.contains(&assign.target) {
+                return err(format!(
+                    "action writes {} outside the process write set",
+                    assign.target
+                ));
+            }
+        }
+        let target = *vars.get(&assign.target).ok_or(CompileError {
+            message: format!("unknown variable {}", assign.target),
+        })?;
+        let size = cx.info(target).size;
+        let mut rel = FALSE;
+        for choice in &assign.choices {
+            let family = compile_values(cx, vars, choice, false)?;
+            for (value, cond) in family {
+                // A value is only produced where the guard holds; guarded-
+                // away overflow (e.g. `x < 3 -> x := x + 1`) is legal.
+                let reachable = cx.mgr().and(cond, guard);
+                if reachable == FALSE {
+                    continue;
+                }
+                if value >= size {
+                    return err(format!(
+                        "assignment to {} can produce {} outside its domain 0..{}",
+                        assign.target, value, size
+                    ));
+                }
+                let tgt = cx.assign_const(target, value);
+                let arm = cx.mgr().and(cond, tgt);
+                rel = cx.mgr().or(rel, arm);
+            }
+        }
+        updates.push((target, Update::Rel(rel)));
+    }
+    Ok((guard, updates))
+}
+
+/// Compile an expression that must be boolean.
+fn compile_bool(
+    cx: &mut SymbolicContext,
+    vars: &HashMap<String, VarId>,
+    e: &Expr,
+    allow_primed: bool,
+) -> Result<NodeId, CompileError> {
+    match compile_expr(cx, vars, e, allow_primed)? {
+        Compiled::Bool(b) => Ok(b),
+        Compiled::Values(_) => err("expected a boolean expression (compare values with =, <, …)"),
+    }
+}
+
+/// Compile an expression that must be a value family.
+fn compile_values(
+    cx: &mut SymbolicContext,
+    vars: &HashMap<String, VarId>,
+    e: &Expr,
+    allow_primed: bool,
+) -> Result<Vec<(u64, NodeId)>, CompileError> {
+    match compile_expr(cx, vars, e, allow_primed)? {
+        Compiled::Values(v) => Ok(v),
+        Compiled::Bool(_) => err("expected a value expression, found a boolean"),
+    }
+}
+
+fn compile_expr(
+    cx: &mut SymbolicContext,
+    vars: &HashMap<String, VarId>,
+    e: &Expr,
+    allow_primed: bool,
+) -> Result<Compiled, CompileError> {
+    Ok(match e {
+        Expr::Int(v) => Compiled::Values(vec![(*v, TRUE)]),
+        Expr::Bool(true) => Compiled::Bool(TRUE),
+        Expr::Bool(false) => Compiled::Bool(FALSE),
+        Expr::Var(name) => {
+            let v = *vars.get(name).ok_or(CompileError {
+                message: format!("unknown variable {name}"),
+            })?;
+            let size = cx.info(v).size;
+            let family =
+                (0..size).map(|val| (val, cx.assign_eq(v, val))).collect::<Vec<_>>();
+            Compiled::Values(family)
+        }
+        Expr::Primed(name) => {
+            if !allow_primed {
+                return err(format!(
+                    "primed variable {name}' is only allowed in badtrans expressions"
+                ));
+            }
+            let v = *vars.get(name).ok_or(CompileError {
+                message: format!("unknown variable {name}"),
+            })?;
+            let size = cx.info(v).size;
+            let family =
+                (0..size).map(|val| (val, cx.assign_const(v, val))).collect::<Vec<_>>();
+            Compiled::Values(family)
+        }
+        Expr::Not(inner) => {
+            let b = compile_bool(cx, vars, inner, allow_primed)?;
+            Compiled::Bool(cx.mgr().not(b))
+        }
+        Expr::And(l, r) => {
+            let a = compile_bool(cx, vars, l, allow_primed)?;
+            let b = compile_bool(cx, vars, r, allow_primed)?;
+            Compiled::Bool(cx.mgr().and(a, b))
+        }
+        Expr::Or(l, r) => {
+            let a = compile_bool(cx, vars, l, allow_primed)?;
+            let b = compile_bool(cx, vars, r, allow_primed)?;
+            Compiled::Bool(cx.mgr().or(a, b))
+        }
+        Expr::Cmp(op, l, r) => {
+            let a = compile_values(cx, vars, l, allow_primed)?;
+            let b = compile_values(cx, vars, r, allow_primed)?;
+            let mut acc = FALSE;
+            for &(va, ca) in &a {
+                for &(vb, cb) in &b {
+                    let holds = match op {
+                        CmpOp::Eq => va == vb,
+                        CmpOp::Neq => va != vb,
+                        CmpOp::Lt => va < vb,
+                        CmpOp::Le => va <= vb,
+                        CmpOp::Gt => va > vb,
+                        CmpOp::Ge => va >= vb,
+                    };
+                    if holds {
+                        let both = cx.mgr().and(ca, cb);
+                        acc = cx.mgr().or(acc, both);
+                    }
+                }
+            }
+            Compiled::Bool(acc)
+        }
+        Expr::Add(l, r) => {
+            let a = compile_values(cx, vars, l, allow_primed)?;
+            let b = compile_values(cx, vars, r, allow_primed)?;
+            Compiled::Values(combine(cx, a, b, |a, b| a + b))
+        }
+        Expr::Sub(l, r) => {
+            let a = compile_values(cx, vars, l, allow_primed)?;
+            let b = compile_values(cx, vars, r, allow_primed)?;
+            Compiled::Values(combine(cx, a, b, |a, b| a.saturating_sub(b)))
+        }
+    })
+}
+
+/// Pointwise combination of two value families.
+fn combine(
+    cx: &mut SymbolicContext,
+    a: Vec<(u64, NodeId)>,
+    b: Vec<(u64, NodeId)>,
+    f: impl Fn(u64, u64) -> u64,
+) -> Vec<(u64, NodeId)> {
+    let mut map: HashMap<u64, NodeId> = HashMap::new();
+    for &(va, ca) in &a {
+        for &(vb, cb) in &b {
+            let cond = cx.mgr().and(ca, cb);
+            if cond == FALSE {
+                continue;
+            }
+            let v = f(va, vb);
+            let entry = map.entry(v).or_insert(FALSE);
+            *entry = cx.mgr().or(*entry, cond);
+        }
+    }
+    let mut out: Vec<(u64, NodeId)> = map.into_iter().collect();
+    out.sort_unstable_by_key(|p| p.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const TOY: &str = r#"
+    program toggle;
+    var x : 0..2;
+    var y : boolean;
+    process p
+      read x, y;
+      write x;
+    begin
+      (x = 0) & (y = 1) -> x := 1;
+      (x = 1) -> x := {0, 2};
+    end
+    fault hit
+    begin
+      (x = 1) -> x := 2;
+    end
+    invariant (x = 0) | (x = 1);
+    badstates (x = 2) & (y = 0);
+    badtrans (x = 1) & (x' = 0);
+    "#;
+
+    fn toy() -> DistributedProgram {
+        compile(&parse(TOY).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiles_toy_program() {
+        let mut p = toy();
+        assert_eq!(p.processes.len(), 1);
+        assert_eq!(p.cx.num_program_vars(), 2);
+        // Invariant: x ∈ {0,1}, y free = 4 states.
+        assert_eq!(p.cx.count_states(p.invariant), 4.0);
+        // Bad states: x=2 ∧ y=0 = 1 state.
+        assert_eq!(p.cx.count_states(p.safety.bad_states), 1.0);
+    }
+
+    #[test]
+    fn guarded_action_semantics() {
+        let mut p = toy();
+        let t = p.processes[0].trans;
+        // (x=0, y=1) → (1, 1) enabled.
+        let yes = p.cx.transition_cube(&[0, 1], &[1, 1]);
+        assert!(p.cx.mgr().leq(yes, t));
+        // (x=0, y=0): guard false.
+        let no = p.cx.transition_cube(&[0, 0], &[1, 0]);
+        assert!(p.cx.mgr().disjoint(no, t));
+        // Choice: x=1 goes to 0 or 2.
+        let c0 = p.cx.transition_cube(&[1, 1], &[0, 1]);
+        let c2 = p.cx.transition_cube(&[1, 1], &[2, 1]);
+        assert!(p.cx.mgr().leq(c0, t));
+        assert!(p.cx.mgr().leq(c2, t));
+    }
+
+    #[test]
+    fn faults_compile_separately() {
+        let mut p = toy();
+        assert_eq!(p.cx.count_transitions(p.faults), 2.0); // (1,y)→(2,y) for y∈{0,1}
+    }
+
+    #[test]
+    fn bad_trans_uses_primed_vars() {
+        let mut p = toy();
+        let bt = p.safety.bad_trans;
+        let hit = p.cx.transition_cube(&[1, 0], &[0, 0]);
+        assert!(p.cx.mgr().leq(hit, bt));
+        let miss = p.cx.transition_cube(&[1, 0], &[2, 0]);
+        assert!(p.cx.mgr().disjoint(miss, bt));
+    }
+
+    #[test]
+    fn copy_assignment_from_expression() {
+        let src = r#"
+        program copy;
+        var a : 0..2;
+        var b : 0..2;
+        process p read a, b; write b;
+        begin (b != a) -> b := a; end
+        invariant true;
+        "#;
+        let mut p = compile(&parse(src).unwrap()).unwrap();
+        let t = p.processes[0].trans;
+        let good = p.cx.transition_cube(&[2, 0], &[2, 2]);
+        assert!(p.cx.mgr().leq(good, t));
+        let bad = p.cx.transition_cube(&[2, 0], &[2, 1]);
+        assert!(p.cx.mgr().disjoint(bad, t));
+    }
+
+    #[test]
+    fn arithmetic_in_assignments() {
+        let src = r#"
+        program inc;
+        var x : 0..3;
+        process p read x; write x;
+        begin (x < 3) -> x := x + 1; end
+        invariant true;
+        "#;
+        let mut p = compile(&parse(src).unwrap()).unwrap();
+        let t = p.processes[0].trans;
+        let up = p.cx.transition_cube(&[2], &[3]);
+        assert!(p.cx.mgr().leq(up, t));
+        let wrap = p.cx.transition_cube(&[3], &[0]);
+        assert!(p.cx.mgr().disjoint(wrap, t));
+    }
+
+    #[test]
+    fn out_of_domain_assignment_rejected() {
+        let src = r#"
+        program bad;
+        var x : 0..1;
+        process p read x; write x;
+        begin true -> x := x + 1; end
+        invariant true;
+        "#;
+        let e = compile(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("outside its domain"), "{e}");
+    }
+
+    #[test]
+    fn guarded_out_of_domain_is_fine() {
+        // The overflow value is only produced where the guard is false, so
+        // the compiler accepts it.
+        let src = r#"
+        program ok;
+        var x : 0..2;
+        var y : 0..2;
+        process p read x, y; write x;
+        begin (y < 2) -> x := y + 1; end
+        invariant true;
+        "#;
+        let p = compile(&parse(src).unwrap());
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let src = "program bad; invariant z = 0;";
+        let e = compile(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("unknown variable z"));
+    }
+
+    #[test]
+    fn primed_outside_badtrans_rejected() {
+        let src = "program bad; var x : boolean; invariant x' = 0;";
+        let e = compile(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("only allowed in badtrans"));
+    }
+
+    #[test]
+    fn write_outside_read_rejected() {
+        let src = r#"
+        program bad;
+        var x : boolean;
+        var y : boolean;
+        process p read x; write y;
+        begin true -> y := 0; end
+        invariant true;
+        "#;
+        let e = compile(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("W ⊆ R"));
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let src = r#"
+        program bad;
+        var x : boolean;
+        process p read x; write x;
+        begin true -> x := 0, x := 1; end
+        invariant true;
+        "#;
+        let e = compile(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("assigned twice"));
+    }
+
+    #[test]
+    fn nonzero_range_start_rejected() {
+        let src = "program bad; var x : 1..3;";
+        let e = compile(&parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("start at 0"));
+    }
+
+    #[test]
+    fn leadsto_compiles_and_checks() {
+        let src = r#"
+        program live;
+        var x : 0..2;
+        process p read x; write x;
+        begin
+          (x = 0) -> x := 1;
+          (x = 1) -> x := 2;
+          (x = 2) -> x := 0;
+        end
+        invariant true;
+        leadsto (x = 0) => (x = 2);
+        leadsto (x = 0) => false;
+        "#;
+        let mut p = compile(&parse(src).unwrap()).unwrap();
+        assert_eq!(p.liveness.leads_to.len(), 2);
+        let t = p.processes[0].trans;
+        let region = p.cx.state_universe();
+        let lv = p.liveness.clone();
+        let results =
+            ftrepair_program::verify::check_liveness(&mut p.cx, region, t, &lv);
+        assert_eq!(results, vec![true, false]);
+    }
+
+    #[test]
+    fn compiled_program_repairs_end_to_end() {
+        // The toy program is repairable: faults push x to 2, recovery gets
+        // it back; the language pipeline must produce a program the core
+        // algorithms accept.
+        let src = r#"
+        program toy;
+        var x : 0..2;
+        process p read x; write x;
+        begin
+          (x = 0) -> x := 1;
+          (x = 1) -> x := 0;
+        end
+        fault hit begin (x = 1) -> x := 2; end
+        invariant (x = 0) | (x = 1);
+        "#;
+        let mut p = compile(&parse(src).unwrap()).unwrap();
+        let out = ftrepair_core::lazy_repair(&mut p, &ftrepair_core::RepairOptions::default());
+        assert!(!out.failed);
+        let (m, r) = ftrepair_core::verify::verify_outcome(&mut p, &out);
+        assert!(m.ok(), "{m:?}");
+        assert!(r.ok(), "{r:?}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Tokenizer for the guarded-command language.
+
+/// A token with its source position (byte offset of its first character).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source (for error messages).
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (may contain `.` for structured names like `d.g`).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Keywords.
+    KwProgram,
+    KwVar,
+    KwBoolean,
+    KwProcess,
+    KwRead,
+    KwWrite,
+    KwBegin,
+    KwEnd,
+    KwFault,
+    KwInvariant,
+    KwBadStates,
+    KwBadTrans,
+    KwLeadsTo,
+    KwTrue,
+    KwFalse,
+    /// `->`
+    Arrow,
+    /// `=>` (in `leadsto L => T;`)
+    FatArrow,
+    /// `:=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `'` (prime, for next-state variables)
+    Prime,
+    /// Punctuation and operators.
+    Semi,
+    Colon,
+    Comma,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Or,
+    And,
+    Not,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.pos)
+    }
+}
+
+/// Tokenize `src`. Line comments start with `//`.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = text.parse::<u64>().map_err(|_| LexError {
+                    message: format!("integer literal {text} out of range"),
+                    pos: start,
+                })?;
+                out.push(Token { kind: TokenKind::Int(value), pos: start });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // A `..` inside an identifier terminates it (range op).
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = match text {
+                    "program" => TokenKind::KwProgram,
+                    "var" => TokenKind::KwVar,
+                    "boolean" => TokenKind::KwBoolean,
+                    "process" => TokenKind::KwProcess,
+                    "read" => TokenKind::KwRead,
+                    "write" => TokenKind::KwWrite,
+                    "begin" => TokenKind::KwBegin,
+                    "end" => TokenKind::KwEnd,
+                    "fault" => TokenKind::KwFault,
+                    "invariant" => TokenKind::KwInvariant,
+                    "badstates" => TokenKind::KwBadStates,
+                    "badtrans" => TokenKind::KwBadTrans,
+                    "leadsto" => TokenKind::KwLeadsTo,
+                    "true" => TokenKind::KwTrue,
+                    "false" => TokenKind::KwFalse,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                out.push(Token { kind, pos: start });
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token { kind: TokenKind::Arrow, pos: i });
+                i += 2;
+            }
+            ':' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Assign, pos: i });
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token { kind: TokenKind::FatArrow, pos: i });
+                i += 2;
+            }
+            '.' if bytes.get(i + 1) == Some(&b'.') => {
+                out.push(Token { kind: TokenKind::DotDot, pos: i });
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Neq, pos: i });
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Le, pos: i });
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Ge, pos: i });
+                i += 2;
+            }
+            _ => {
+                let kind = match c {
+                    ';' => TokenKind::Semi,
+                    ':' => TokenKind::Colon,
+                    ',' => TokenKind::Comma,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '|' => TokenKind::Or,
+                    '&' => TokenKind::And,
+                    '!' => TokenKind::Not,
+                    '=' => TokenKind::Eq,
+                    '<' => TokenKind::Lt,
+                    '>' => TokenKind::Gt,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '\'' => TokenKind::Prime,
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character {other:?}"),
+                            pos: i,
+                        })
+                    }
+                };
+                out.push(Token { kind, pos: i });
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("program p; var x"),
+            vec![KwProgram, Ident("p".into()), Semi, KwVar, Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(kinds("d.g b.0"), vec![Ident("d.g".into()), Ident("b.0".into())]);
+    }
+
+    #[test]
+    fn range_vs_dotted_name() {
+        assert_eq!(kinds("0..2"), vec![Int(0), DotDot, Int(2)]);
+        // Identifier followed by range: `x ..` must split correctly.
+        assert_eq!(kinds("x..2"), vec![Ident("x".into()), DotDot, Int(2)]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("-> := != <= >= < > = + - | & ! '"),
+            vec![Arrow, Assign, Neq, Le, Ge, Lt, Gt, Eq, Plus, Minus, Or, And, Not, Prime]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("x // the rest\n y"), vec![Ident("x".into()), Ident("y".into())]);
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 4);
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let e = lex("a $ b").unwrap_err();
+        assert_eq!(e.pos, 2);
+        assert!(e.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn braces_and_numbers() {
+        assert_eq!(kinds("{0, 12}"), vec![LBrace, Int(0), Comma, Int(12), RBrace]);
+    }
+}

@@ -1,0 +1,421 @@
+//! Recursive-descent parser for the guarded-command language.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// Syntax error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Byte offset into the source (`usize::MAX` = end of input).
+    pub pos: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.pos == usize::MAX {
+            write!(f, "{} at end of input", self.message)
+        } else {
+            write!(f, "{} at byte {}", self.message, self.pos)
+        }
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+/// Parse a full source file.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(usize::MAX, |t| t.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, pos: self.here() }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.expect(&TokenKind::KwProgram, "`program`")?;
+        let name = self.ident("program name")?;
+        self.expect(&TokenKind::Semi, "`;` after program name")?;
+        let mut prog = Program {
+            name,
+            vars: Vec::new(),
+            processes: Vec::new(),
+            faults: Vec::new(),
+            invariants: Vec::new(),
+            bad_states: Vec::new(),
+            bad_trans: Vec::new(),
+            leads_to: Vec::new(),
+        };
+        while let Some(kind) = self.peek() {
+            match kind {
+                TokenKind::KwVar => prog.vars.push(self.var_decl()?),
+                TokenKind::KwProcess => prog.processes.push(self.process_decl()?),
+                TokenKind::KwFault => prog.faults.push(self.fault_decl()?),
+                TokenKind::KwInvariant => {
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::Semi, "`;` after invariant")?;
+                    prog.invariants.push(e);
+                }
+                TokenKind::KwBadStates => {
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::Semi, "`;` after badstates")?;
+                    prog.bad_states.push(e);
+                }
+                TokenKind::KwBadTrans => {
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::Semi, "`;` after badtrans")?;
+                    prog.bad_trans.push(e);
+                }
+                TokenKind::KwLeadsTo => {
+                    self.pos += 1;
+                    let l = self.expr()?;
+                    self.expect(&TokenKind::FatArrow, "`=>` in leadsto")?;
+                    let t = self.expr()?;
+                    self.expect(&TokenKind::Semi, "`;` after leadsto")?;
+                    prog.leads_to.push((l, t));
+                }
+                _ => return Err(self.err("expected a declaration".into())),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, ParseError> {
+        self.expect(&TokenKind::KwVar, "`var`")?;
+        let name = self.ident("variable name")?;
+        self.expect(&TokenKind::Colon, "`:` in variable declaration")?;
+        let (lo, hi) = match self.peek() {
+            Some(TokenKind::KwBoolean) => {
+                self.pos += 1;
+                (0, 1)
+            }
+            Some(TokenKind::Int(lo)) => {
+                let lo = *lo;
+                self.pos += 1;
+                self.expect(&TokenKind::DotDot, "`..` in range")?;
+                match self.bump() {
+                    Some(TokenKind::Int(hi)) => (lo, hi),
+                    _ => return Err(self.err("expected range upper bound".into())),
+                }
+            }
+            _ => return Err(self.err("expected `boolean` or a range".into())),
+        };
+        self.expect(&TokenKind::Semi, "`;` after variable declaration")?;
+        Ok(VarDecl { name, lo, hi })
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = vec![self.ident("variable name")?];
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.pos += 1;
+            out.push(self.ident("variable name")?);
+        }
+        Ok(out)
+    }
+
+    fn process_decl(&mut self) -> Result<ProcessDecl, ParseError> {
+        self.expect(&TokenKind::KwProcess, "`process`")?;
+        let name = self.ident("process name")?;
+        self.expect(&TokenKind::KwRead, "`read`")?;
+        let read = self.ident_list()?;
+        self.expect(&TokenKind::Semi, "`;` after read list")?;
+        self.expect(&TokenKind::KwWrite, "`write`")?;
+        let write = self.ident_list()?;
+        self.expect(&TokenKind::Semi, "`;` after write list")?;
+        let actions = self.action_block()?;
+        Ok(ProcessDecl { name, read, write, actions })
+    }
+
+    fn fault_decl(&mut self) -> Result<FaultDecl, ParseError> {
+        self.expect(&TokenKind::KwFault, "`fault`")?;
+        let name = match self.peek() {
+            Some(TokenKind::Ident(_)) => self.ident("fault name")?,
+            _ => String::from("fault"),
+        };
+        let actions = self.action_block()?;
+        Ok(FaultDecl { name, actions })
+    }
+
+    fn action_block(&mut self) -> Result<Vec<Action>, ParseError> {
+        self.expect(&TokenKind::KwBegin, "`begin`")?;
+        let mut actions = Vec::new();
+        while self.peek() != Some(&TokenKind::KwEnd) {
+            actions.push(self.action()?);
+        }
+        self.pos += 1; // consume `end`
+        Ok(actions)
+    }
+
+    fn action(&mut self) -> Result<Action, ParseError> {
+        let guard = self.expr()?;
+        self.expect(&TokenKind::Arrow, "`->` after guard")?;
+        let mut assigns = vec![self.assign()?];
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.pos += 1;
+            assigns.push(self.assign()?);
+        }
+        self.expect(&TokenKind::Semi, "`;` after action")?;
+        Ok(Action { guard, assigns })
+    }
+
+    fn assign(&mut self) -> Result<Assign, ParseError> {
+        let target = self.ident("assignment target")?;
+        self.expect(&TokenKind::Assign, "`:=`")?;
+        let choices = if self.peek() == Some(&TokenKind::LBrace) {
+            self.pos += 1;
+            let mut cs = vec![self.expr()?];
+            while self.peek() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+                cs.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RBrace, "`}` after choice list")?;
+            cs
+        } else {
+            vec![self.expr()?]
+        };
+        Ok(Assign { target, choices })
+    }
+
+    // Expression precedence: | < & < ! < cmp < +,- < atom.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&TokenKind::Or) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == Some(&TokenKind::And) {
+            self.pos += 1;
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&TokenKind::Not) {
+            self.pos += 1;
+            let inner = self.not_expr()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.sum_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Neq) => CmpOp::Neq,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.sum_expr()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn sum_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.atom()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.atom()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Int(v)) => Ok(Expr::Int(v)),
+            Some(TokenKind::KwTrue) => Ok(Expr::Bool(true)),
+            Some(TokenKind::KwFalse) => Ok(Expr::Bool(false)),
+            Some(TokenKind::Ident(name)) => {
+                if self.peek() == Some(&TokenKind::Prime) {
+                    self.pos += 1;
+                    Ok(Expr::Primed(name))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(TokenKind::LParen) => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected an expression".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r#"
+    program toggle;
+    var x : 0..2;
+    var y : boolean;
+    process p
+      read x, y;
+      write x;
+    begin
+      (x = 0) & (y = 1) -> x := 1;
+      (x = 1) -> x := {0, 2};
+    end
+    fault hit
+    begin
+      (x = 1) -> x := 2;
+    end
+    invariant (x = 0) | (x = 1);
+    badstates (x = 2) & (y = 0);
+    badtrans (x = 1) & (x' = 0);
+    "#;
+
+    #[test]
+    fn parses_full_program() {
+        let p = parse(TOY).unwrap();
+        assert_eq!(p.name, "toggle");
+        assert_eq!(p.vars.len(), 2);
+        assert_eq!(p.vars[0], VarDecl { name: "x".into(), lo: 0, hi: 2 });
+        assert_eq!(p.vars[1], VarDecl { name: "y".into(), lo: 0, hi: 1 });
+        assert_eq!(p.processes.len(), 1);
+        assert_eq!(p.processes[0].read, vec!["x", "y"]);
+        assert_eq!(p.processes[0].write, vec!["x"]);
+        assert_eq!(p.processes[0].actions.len(), 2);
+        assert_eq!(p.faults.len(), 1);
+        assert_eq!(p.invariants.len(), 1);
+        assert_eq!(p.bad_states.len(), 1);
+        assert_eq!(p.bad_trans.len(), 1);
+    }
+
+    #[test]
+    fn choice_assignments() {
+        let p = parse(TOY).unwrap();
+        let a = &p.processes[0].actions[1];
+        assert_eq!(a.assigns[0].choices.len(), 2);
+    }
+
+    #[test]
+    fn primed_variables_parse() {
+        let p = parse(TOY).unwrap();
+        match &p.bad_trans[0] {
+            Expr::And(_, rhs) => match rhs.as_ref() {
+                Expr::Cmp(CmpOp::Eq, l, _) => assert_eq!(**l, Expr::Primed("x".into())),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse("program t; invariant a = 1 | b = 2 & c = 3;").unwrap();
+        // | binds loosest: Or(a=1, And(b=2, c=3)).
+        match &p.invariants[0] {
+            Expr::Or(_, rhs) => assert!(matches!(rhs.as_ref(), Expr::And(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_parses() {
+        let p = parse("program t; invariant x + 1 = y - 2;").unwrap();
+        assert!(matches!(&p.invariants[0], Expr::Cmp(CmpOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported() {
+        let e = parse("program t").unwrap_err();
+        assert!(e.message.contains("`;`"));
+        assert_eq!(e.pos, usize::MAX);
+    }
+
+    #[test]
+    fn garbage_reports_position() {
+        let e = parse("program t; var x : boolean; process").unwrap_err();
+        assert!(e.message.contains("process name"));
+    }
+
+    #[test]
+    fn anonymous_fault_section() {
+        let p = parse("program t; fault begin true -> x := 1; end").unwrap();
+        assert_eq!(p.faults[0].name, "fault");
+    }
+
+    #[test]
+    fn multiple_assignments_in_action() {
+        let p = parse("program t; fault begin true -> x := 1, y := 0; end").unwrap();
+        assert_eq!(p.faults[0].actions[0].assigns.len(), 2);
+    }
+}

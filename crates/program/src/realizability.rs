@@ -1,0 +1,250 @@
+//! Realizability constraints for distributed programs (Section III-B):
+//! write restrictions, read-restriction *groups*, and the realizability
+//! checks of Definitions 19/20.
+
+use crate::model::DistributedProgram;
+use ftrepair_bdd::NodeId;
+use ftrepair_symbolic::{SymbolicContext, VarId};
+
+/// The transitions a process with unwritable set `NW_j` may have at all:
+/// those leaving every variable in `NW_j` unchanged. (`write(W_j)` in the
+/// paper is the complement of this predicate.)
+pub fn write_ok(cx: &mut SymbolicContext, unwritable: &[VarId]) -> NodeId {
+    cx.unchanged_all(unwritable)
+}
+
+/// Close a transition predicate under the read restriction of a process
+/// whose unreadable set is `unreadable` — the paper's
+/// `group_j(δ) = (∃ U, U'. δ) ∧ ⋀_{v∈U} (v' = v)`.
+///
+/// For transitions that already leave `unreadable` unchanged (guaranteed
+/// after write filtering, since `W ⊆ R` makes unreadables unwritable), the
+/// result is a superset of `δ`, and `δ` is *group-closed* iff the result
+/// equals `δ`.
+pub fn group(cx: &mut SymbolicContext, unreadable: &[VarId], delta: NodeId) -> NodeId {
+    abstract_vars(cx, unreadable, delta)
+}
+
+/// The paper's `ExpandGroup(v, G)`: enlarge a group by also *not reading*
+/// variable `v` — the same quantify-and-tie construction applied to one
+/// readable variable.
+pub fn expand_group(cx: &mut SymbolicContext, v: VarId, g: NodeId) -> NodeId {
+    abstract_vars(cx, &[v], g)
+}
+
+/// `(∃ vars, vars'. δ) ∧ ⋀_{v∈vars}(v' = v)` — the common core of
+/// [`group`] and [`expand_group`]. The abstracted variables are
+/// re-constrained to their domains so group members range over *states*,
+/// not over dead encodings of non-power-of-two domains.
+fn abstract_vars(cx: &mut SymbolicContext, vars: &[VarId], delta: NodeId) -> NodeId {
+    if vars.is_empty() {
+        return delta;
+    }
+    let both = cx.both_varset(vars);
+    let projected = cx.mgr().exists(delta, both);
+    let tie = cx.unchanged_all(vars);
+    let mut out = cx.mgr().and(projected, tie);
+    for &v in vars {
+        let dom = cx.domain_cur(v);
+        out = cx.mgr().and(out, dom);
+    }
+    out
+}
+
+/// Whether `delta` is group-closed for a process with the given unreadable
+/// set (the read-restriction half of Definition 19). Assumes `delta` leaves
+/// unreadable variables unchanged (check write restriction first).
+pub fn is_group_closed(cx: &mut SymbolicContext, unreadable: &[VarId], delta: NodeId) -> bool {
+    group(cx, unreadable, delta) == delta
+}
+
+/// Whether `delta` is realizable by process `j` of `prog` (Definition 19):
+/// write restriction and read restriction both hold.
+pub fn realizable_by_process(prog: &mut DistributedProgram, j: usize, delta: NodeId) -> bool {
+    let unwritable = prog.unwritable(j);
+    let ok = write_ok(&mut prog.cx, &unwritable);
+    if !prog.cx.mgr().leq(delta, ok) {
+        return false;
+    }
+    let unreadable = prog.unreadable(j);
+    is_group_closed(&mut prog.cx, &unreadable, delta)
+}
+
+/// Whether the program as currently built is realizable (Definition 20):
+/// every process's `δ_j` is realizable by that process.
+pub fn program_realizable(prog: &mut DistributedProgram) -> bool {
+    (0..prog.processes.len()).all(|j| {
+        let d = prog.processes[j].trans;
+        realizable_by_process(prog, j, d)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_symbolic::SymbolicContext;
+
+    /// The running example of Section III-B / Figures 3–5:
+    /// three boolean variables; `p_j` reads {v0,v1} writes {v1};
+    /// `p_k` reads {v0,v2} writes {v2}.
+    struct Fig {
+        cx: SymbolicContext,
+        v: [VarId; 3],
+    }
+
+    fn fig() -> Fig {
+        let mut cx = SymbolicContext::new();
+        let v0 = cx.add_var("v0", 2);
+        let v1 = cx.add_var("v1", 2);
+        let v2 = cx.add_var("v2", 2);
+        Fig { cx, v: [v0, v1, v2] }
+    }
+
+    impl Fig {
+        fn t(&mut self, from: [u64; 3], to: [u64; 3]) -> NodeId {
+            self.cx.transition_cube(&from, &to)
+        }
+        fn unreadable_j(&self) -> Vec<VarId> {
+            vec![self.v[2]]
+        }
+        fn unwritable_j(&self) -> Vec<VarId> {
+            vec![self.v[0], self.v[2]]
+        }
+        fn unreadable_k(&self) -> Vec<VarId> {
+            vec![self.v[1]]
+        }
+        fn unwritable_k(&self) -> Vec<VarId> {
+            vec![self.v[0], self.v[1]]
+        }
+    }
+
+    #[test]
+    fn figure3_write_violation_for_both_processes() {
+        // {(000, 011)} changes v1 and v2 at once: neither process can do it.
+        let mut f = fig();
+        let t = f.t([0, 0, 0], [0, 1, 1]);
+        let uw_j = f.unwritable_j();
+        let ok_j = write_ok(&mut f.cx, &uw_j);
+        assert!(!f.cx.mgr().leq(t, ok_j), "p_j cannot write v2");
+        let uw_k = f.unwritable_k();
+        let ok_k = write_ok(&mut f.cx, &uw_k);
+        assert!(!f.cx.mgr().leq(t, ok_k), "p_k cannot write v1");
+    }
+
+    #[test]
+    fn figure4_read_violation_for_pj() {
+        // {(000, 010)} alone: write-ok for p_j but its group also contains
+        // (001, 011), so it is not group-closed.
+        let mut f = fig();
+        let t = f.t([0, 0, 0], [0, 1, 0]);
+        let uw = f.unwritable_j();
+        let ok = write_ok(&mut f.cx, &uw);
+        assert!(f.cx.mgr().leq(t, ok), "only v1 changes");
+        let ur = f.unreadable_j();
+        assert!(!is_group_closed(&mut f.cx, &ur, t));
+        // The group is exactly the two-transition set of Figure 5.
+        let g = group(&mut f.cx, &ur, t);
+        let sibling = f.t([0, 0, 1], [0, 1, 1]);
+        let expected = f.cx.mgr().or(t, sibling);
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn figure5_group_is_realizable() {
+        // {(000,010), (001,011)} is group-closed and write-ok for p_j.
+        let mut f = fig();
+        let t1 = f.t([0, 0, 0], [0, 1, 0]);
+        let t2 = f.t([0, 0, 1], [0, 1, 1]);
+        let both = f.cx.mgr().or(t1, t2);
+        let uw = f.unwritable_j();
+        let ok = write_ok(&mut f.cx, &uw);
+        assert!(f.cx.mgr().leq(both, ok));
+        let ur = f.unreadable_j();
+        assert!(is_group_closed(&mut f.cx, &ur, both));
+    }
+
+    #[test]
+    fn group_is_extensive_and_idempotent() {
+        let mut f = fig();
+        let t = f.t([1, 0, 0], [1, 1, 0]);
+        let ur = f.unreadable_j();
+        let g = group(&mut f.cx, &ur, t);
+        assert!(f.cx.mgr().leq(t, g), "group contains the transition");
+        let gg = group(&mut f.cx, &ur, g);
+        assert_eq!(gg, g, "group is a closure operator");
+    }
+
+    #[test]
+    fn group_with_empty_unreadable_is_identity() {
+        let mut f = fig();
+        let t = f.t([0, 0, 0], [0, 1, 0]);
+        assert_eq!(group(&mut f.cx, &[], t), t);
+        assert!(is_group_closed(&mut f.cx, &[], t));
+    }
+
+    #[test]
+    fn group_distributes_over_union() {
+        // group(δ1 ∪ δ2) = group(δ1) ∪ group(δ2): it's defined per element.
+        let mut f = fig();
+        let t1 = f.t([0, 0, 0], [0, 1, 0]);
+        let t2 = f.t([1, 1, 0], [1, 0, 0]);
+        let ur = f.unreadable_j();
+        let g1 = group(&mut f.cx, &ur, t1);
+        let g2 = group(&mut f.cx, &ur, t2);
+        let u = f.cx.mgr().or(t1, t2);
+        let gu = group(&mut f.cx, &ur, u);
+        let expected = f.cx.mgr().or(g1, g2);
+        assert_eq!(gu, expected);
+    }
+
+    #[test]
+    fn expand_group_absorbs_sibling_guard_values() {
+        // p_j's group 'if v0=0 ∧ v1=0 then v1:=1' expanded over v0 becomes
+        // 'if v1=0 then v1:=1' — covering both v0 values.
+        let mut f = fig();
+        let t = f.t([0, 0, 0], [0, 1, 0]);
+        let ur = f.unreadable_j();
+        let g = group(&mut f.cx, &ur, t);
+        let bigger = expand_group(&mut f.cx, f.v[0], g);
+        assert!(f.cx.mgr().leq(g, bigger));
+        assert_eq!(f.cx.count_transitions(bigger), 4.0); // v0, v2 free
+        // The sibling group with v0=1 is inside the expansion.
+        let sib = f.t([1, 0, 0], [1, 1, 0]);
+        let sib_g = group(&mut f.cx, &ur, sib);
+        assert!(f.cx.mgr().leq(sib_g, bigger));
+    }
+
+    #[test]
+    fn expand_group_ties_the_expanded_variable() {
+        // Expansion must not allow the expanded variable to change.
+        let mut f = fig();
+        let t = f.t([0, 0, 0], [0, 1, 0]);
+        let bigger = expand_group(&mut f.cx, f.v[0], t);
+        let v0 = f.v[0];
+        let tie = f.cx.unchanged(v0);
+        assert!(f.cx.mgr().leq(bigger, tie));
+    }
+
+    #[test]
+    fn pk_group_quantifies_v1() {
+        let mut f = fig();
+        let t = f.t([0, 0, 0], [0, 0, 1]); // p_k sets v2 := 1
+        let ur = f.unreadable_k();
+        let g = group(&mut f.cx, &ur, t);
+        let sibling = f.t([0, 1, 0], [0, 1, 1]);
+        let expected = f.cx.mgr().or(t, sibling);
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn self_loops_are_group_friendly() {
+        let mut f = fig();
+        let loop_t = f.t([0, 0, 0], [0, 0, 0]);
+        let ur = f.unreadable_j();
+        let g = group(&mut f.cx, &ur, loop_t);
+        // Group of a self-loop: self-loops on both v2 values.
+        let sibling = f.t([0, 0, 1], [0, 0, 1]);
+        let expected = f.cx.mgr().or(loop_t, sibling);
+        assert_eq!(g, expected);
+    }
+}

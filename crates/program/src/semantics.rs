@@ -1,0 +1,213 @@
+//! Execution semantics helpers: stuttering completion (Definition 18),
+//! closure (Definition 4) and projection (Definition 6).
+
+use ftrepair_bdd::NodeId;
+use ftrepair_symbolic::SymbolicContext;
+
+/// The identity relation `s' = s` over all declared variables.
+pub fn identity(cx: &mut SymbolicContext) -> NodeId {
+    let vars = cx.var_ids();
+    cx.unchanged_all(&vars)
+}
+
+/// Stuttering completion of Definition 18: self-loops exactly at the states
+/// (within `states`) that have no outgoing `trans` step.
+pub fn stutter_completion(cx: &mut SymbolicContext, trans: NodeId, states: NodeId) -> NodeId {
+    let dead = cx.deadlocks(states, trans);
+    let id = identity(cx);
+    cx.mgr().and(dead, id)
+}
+
+/// `δ_P` per Definition 18: the union of process transitions plus stuttering
+/// at global deadlocks of the state universe.
+pub fn full_program_trans(cx: &mut SymbolicContext, union_of_processes: NodeId) -> NodeId {
+    let universe = cx.state_universe();
+    let stutter = stutter_completion(cx, union_of_processes, universe);
+    cx.mgr().or(union_of_processes, stutter)
+}
+
+/// Is `states` closed in `trans` (Definition 4)?
+pub fn is_closed(cx: &mut SymbolicContext, states: NodeId, trans: NodeId) -> bool {
+    let img = cx.image(states, trans);
+    cx.mgr().leq(img, states)
+}
+
+/// Projection `δ|S` (Definition 6): transitions that start **and** end in
+/// `S`.
+pub fn project(cx: &mut SymbolicContext, trans: NodeId, states: NodeId) -> NodeId {
+    let from = cx.mgr().and(trans, states);
+    let target = cx.as_next(states);
+    cx.mgr().and(from, target)
+}
+
+/// The largest subset of `states` containing no `trans`-deadlock, computed
+/// by recursively discarding states whose every outgoing step leaves the
+/// set (the deadlock-elimination loop inside Add-Masking).
+pub fn prune_deadlocks(cx: &mut SymbolicContext, states: NodeId, trans: NodeId) -> NodeId {
+    let mut s = states;
+    loop {
+        let within = project(cx, trans, s);
+        let alive = cx.preimage_of_anything(within);
+        let keep = cx.mgr().and(s, alive);
+        if keep == s {
+            return s;
+        }
+        s = keep;
+    }
+}
+
+/// Like [`prune_deadlocks`], but states in `exempt` are never removed even
+/// if they deadlock.
+///
+/// Add-Masking uses this with `exempt` = the original program's terminal
+/// (stuttering) states: a state that could not move *before* repair is a
+/// legal termination point and must not unwind the invariant
+/// (Definition 18's stuttering makes it a fixpoint, not a deadlock).
+pub fn prune_deadlocks_except(
+    cx: &mut SymbolicContext,
+    states: NodeId,
+    trans: NodeId,
+    exempt: NodeId,
+) -> NodeId {
+    let mut s = states;
+    loop {
+        let within = project(cx, trans, s);
+        let alive = cx.preimage_of_anything(within);
+        let allowed = cx.mgr().or(alive, exempt);
+        let keep = cx.mgr().and(s, allowed);
+        if keep == s {
+            return s;
+        }
+        s = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_bdd::{FALSE, TRUE};
+    use ftrepair_symbolic::SymbolicContext;
+
+    fn line_cx() -> (SymbolicContext, NodeId) {
+        // x ∈ {0..3}; x' = x+1 while x < 3.
+        let mut cx = SymbolicContext::new();
+        let x = cx.add_var("x", 4);
+        let mut t = FALSE;
+        for v in 0..3 {
+            let g = cx.assign_eq(x, v);
+            let u = cx.assign_const(x, v + 1);
+            let step = cx.mgr().and(g, u);
+            t = cx.mgr().or(t, step);
+        }
+        (cx, t)
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let (mut cx, _) = line_cx();
+        let id = identity(&mut cx);
+        assert_eq!(cx.count_transitions(id), 4.0);
+        let d = cx.transition_cube(&[2], &[2]);
+        assert!(cx.mgr().leq(d, id));
+        let off = cx.transition_cube(&[2], &[3]);
+        assert!(cx.mgr().disjoint(off, id));
+    }
+
+    #[test]
+    fn stuttering_exactly_at_deadlocks() {
+        let (mut cx, t) = line_cx();
+        let universe = cx.state_universe();
+        let st = stutter_completion(&mut cx, t, universe);
+        let expected = cx.transition_cube(&[3], &[3]);
+        assert_eq!(st, expected);
+        let full = full_program_trans(&mut cx, t);
+        // Full relation has no deadlocks anywhere.
+        let dl = cx.deadlocks(universe, full);
+        assert_eq!(dl, FALSE);
+    }
+
+    #[test]
+    fn closure_checks() {
+        let (mut cx, t) = line_cx();
+        let x = cx.find_var("x").unwrap();
+        let le3 = TRUE; // whole space is closed
+        assert!(is_closed(&mut cx, le3, t));
+        let ge2 = {
+            let a = cx.assign_eq(x, 2);
+            let b = cx.assign_eq(x, 3);
+            cx.mgr().or(a, b)
+        };
+        assert!(is_closed(&mut cx, ge2, t), "suffix of the line is closed");
+        let le1 = {
+            let a = cx.assign_eq(x, 0);
+            let b = cx.assign_eq(x, 1);
+            cx.mgr().or(a, b)
+        };
+        assert!(!is_closed(&mut cx, le1, t), "prefix leaks forward");
+    }
+
+    #[test]
+    fn projection_keeps_interior_transitions() {
+        let (mut cx, t) = line_cx();
+        let x = cx.find_var("x").unwrap();
+        let mid = {
+            let a = cx.assign_eq(x, 1);
+            let b = cx.assign_eq(x, 2);
+            cx.mgr().or(a, b)
+        };
+        let proj = project(&mut cx, t, mid);
+        assert_eq!(cx.count_transitions(proj), 1.0); // only 1→2
+        let pairs = cx.enumerate_transitions(proj, 4);
+        assert_eq!(pairs, vec![(vec![1], vec![2])]);
+    }
+
+    #[test]
+    fn prune_deadlocks_unwinds_the_line() {
+        let (mut cx, t) = line_cx();
+        // Within the whole space, state 3 deadlocks, then 2 (its only exit
+        // left the set), and so on: everything unwinds.
+        let universe = cx.state_universe();
+        let pruned = prune_deadlocks(&mut cx, universe, t);
+        assert_eq!(pruned, FALSE);
+        // With a cycle, a nonempty core survives.
+        let x = cx.find_var("x").unwrap();
+        let g3 = cx.assign_eq(x, 3);
+        let u0 = cx.assign_const(x, 0);
+        let wrap = cx.mgr().and(g3, u0);
+        let t_cycle = cx.mgr().or(t, wrap);
+        let pruned2 = prune_deadlocks(&mut cx, universe, t_cycle);
+        assert_eq!(pruned2, universe);
+    }
+
+    #[test]
+    fn prune_with_exemption_keeps_terminal_states() {
+        let (mut cx, t) = line_cx();
+        let x = cx.find_var("x").unwrap();
+        let universe = cx.state_universe();
+        // State 3 is the original terminal state; exempting it stops the
+        // unwinding entirely (everything reaches 3).
+        let s3 = cx.assign_eq(x, 3);
+        let pruned = prune_deadlocks_except(&mut cx, universe, t, s3);
+        assert_eq!(pruned, universe);
+        // Exempting an unrelated state still unwinds the rest.
+        let s0 = cx.assign_eq(x, 0);
+        let pruned2 = prune_deadlocks_except(&mut cx, universe, t, s0);
+        assert_eq!(pruned2, s0);
+    }
+
+    #[test]
+    fn prune_deadlocks_respects_projection() {
+        // Deadlock-freedom must be judged inside the candidate set: state 2
+        // has an outgoing step, but it leaves {0,1,2}, so the whole prefix
+        // unwinds.
+        let (mut cx, t) = line_cx();
+        let x = cx.find_var("x").unwrap();
+        let mut le2 = FALSE;
+        for v in 0..3 {
+            let s = cx.assign_eq(x, v);
+            le2 = cx.mgr().or(le2, s);
+        }
+        let pruned = prune_deadlocks(&mut cx, le2, t);
+        assert_eq!(pruned, FALSE);
+    }
+}

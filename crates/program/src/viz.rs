@@ -1,0 +1,126 @@
+//! Graphviz rendering of (small) program state graphs.
+//!
+//! For instances with at most a few hundred states this draws the full
+//! state graph with the repair structure visible at a glance: legitimate
+//! states (invariant) as double circles, fault-span states as solid
+//! circles, everything else dotted; program transitions as solid edges,
+//! faults as dashed red edges. The quickstart-sized examples in the README
+//! were eyeballed with exactly this.
+
+use ftrepair_bdd::NodeId;
+use ftrepair_symbolic::SymbolicContext;
+use std::fmt::Write;
+
+/// Options for [`state_graph_dot`].
+pub struct VizOptions {
+    /// Cap on rendered states (graphs beyond this are unreadable anyway).
+    pub max_states: usize,
+    /// The invariant (drawn as double circles).
+    pub invariant: NodeId,
+    /// The fault-span (solid); states outside are dotted.
+    pub span: NodeId,
+}
+
+/// Render the state graph of `trans` (+ dashed `faults`) over the states of
+/// `universe ∧ span`-ish region as a Graphviz `digraph`. Panics if the
+/// region exceeds `max_states`.
+pub fn state_graph_dot(
+    cx: &mut SymbolicContext,
+    trans: NodeId,
+    faults: NodeId,
+    opts: &VizOptions,
+) -> String {
+    let universe = cx.state_universe();
+    let states = cx.enumerate_states(universe, opts.max_states + 1);
+    assert!(
+        states.len() <= opts.max_states,
+        "state space too large to draw ({}+ states)",
+        states.len()
+    );
+
+    let label = |s: &[u64]| {
+        s.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+    };
+    let ident = |s: &[u64]| {
+        format!("s{}", s.iter().map(u64::to_string).collect::<Vec<_>>().join("_"))
+    };
+
+    let mut out = String::from("digraph program {\n  rankdir=LR;\n");
+    for s in &states {
+        let cube = cx.state_cube(s);
+        let in_inv = cx.mgr().leq(cube, opts.invariant);
+        let in_span = cx.mgr().leq(cube, opts.span);
+        let shape = if in_inv {
+            "doublecircle"
+        } else if in_span {
+            "circle"
+        } else {
+            "circle\", style=\"dotted"
+        };
+        writeln!(out, "  {} [label=\"{}\", shape=\"{}\"];", ident(s), label(s), shape)
+            .unwrap();
+    }
+    for from in &states {
+        let from_cube = cx.state_cube(from);
+        for (rel, attrs) in [(trans, ""), (faults, " [style=dashed, color=red]")] {
+            let steps = cx.mgr().and(rel, from_cube);
+            for (f, t) in cx.enumerate_transitions(steps, opts.max_states * opts.max_states) {
+                debug_assert_eq!(&f, from);
+                writeln!(out, "  {} -> {}{};", ident(&f), ident(&t), attrs).unwrap();
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProgramBuilder, Update};
+
+    fn toy() -> crate::model::DistributedProgram {
+        let mut b = ProgramBuilder::new("toy");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let fg = b.cx().assign_eq(x, 1);
+        b.fault_action(fg, &[(x, Update::Const(2))]);
+        b.build()
+    }
+
+    #[test]
+    fn renders_all_states_and_edges() {
+        let mut p = toy();
+        let t = p.program_trans();
+        let opts = VizOptions { max_states: 16, invariant: p.invariant, span: p.invariant };
+        let dot = state_graph_dot(&mut p.cx, t, p.faults, &opts);
+        assert!(dot.starts_with("digraph program {"));
+        // All three states present, invariant ones double-circled.
+        for s in ["s0", "s1", "s2"] {
+            assert!(dot.contains(&format!("{s} [label=")), "{dot}");
+        }
+        assert!(dot.contains("doublecircle"));
+        // Program edges and the dashed fault edge.
+        assert!(dot.contains("s0 -> s1;"), "{dot}");
+        assert!(dot.contains("s1 -> s2 [style=dashed, color=red];"), "{dot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn refuses_oversized_graphs() {
+        let mut p = toy();
+        let t = p.program_trans();
+        let opts = VizOptions { max_states: 1, invariant: p.invariant, span: p.invariant };
+        let _ = state_graph_dot(&mut p.cx, t, p.faults, &opts);
+    }
+}

@@ -1,0 +1,340 @@
+//! Concrete counterexample extraction.
+//!
+//! When a verification check fails, a boolean is a poor explanation. This
+//! module turns symbolic failures into *concrete executions*: a path of
+//! states from the invariant to a bad state, a state that cannot recover,
+//! or a reachable deadlock — the standard symbolic trace-reconstruction
+//! technique (forward BFS layers, then a backward walk picking one concrete
+//! state per layer).
+
+use crate::spec::Safety;
+use ftrepair_bdd::{NodeId, FALSE};
+use ftrepair_symbolic::SymbolicContext;
+
+/// A concrete execution: a sequence of full variable valuations.
+pub type Trace = Vec<Vec<u64>>;
+
+/// A shortest path (as concrete states) from some state in `from` to some
+/// state in `target`, following `trans`; `None` if unreachable.
+pub fn path_to(
+    cx: &mut SymbolicContext,
+    from: NodeId,
+    target: NodeId,
+    trans: NodeId,
+) -> Option<Trace> {
+    let universe = cx.state_universe();
+    let from = cx.mgr().and(from, universe);
+    let target = cx.mgr().and(target, universe);
+
+    // Forward layers until the target is hit.
+    let mut layers = vec![from];
+    let mut covered = from;
+    loop {
+        let hit = cx.mgr().and(covered, target);
+        if hit != FALSE {
+            break;
+        }
+        let frontier = *layers.last().unwrap();
+        let next = {
+            let img = cx.image(frontier, trans);
+            cx.mgr().diff(img, covered)
+        };
+        if next == FALSE {
+            return None;
+        }
+        layers.push(next);
+        covered = cx.mgr().or(covered, next);
+    }
+
+    // Find the first layer that intersects the target.
+    let k = layers
+        .iter()
+        .position(|&l| {
+            let hit = cx.mgr().and(l, target);
+            hit != FALSE
+        })
+        .expect("some layer hits the target");
+
+    // Backward walk: pick one concrete state per layer.
+    let endpoint = {
+        let hit = cx.mgr().and(layers[k], target);
+        pick_state(cx, hit)
+    };
+    let mut trace = vec![endpoint];
+    for i in (0..k).rev() {
+        let current = trace.last().unwrap().clone();
+        let current_cube = cx.state_cube(&current);
+        let pred = cx.preimage(current_cube, trans);
+        let in_layer = cx.mgr().and(pred, layers[i]);
+        debug_assert_ne!(in_layer, FALSE, "layered BFS must be walkable");
+        trace.push(pick_state(cx, in_layer));
+    }
+    trace.reverse();
+    Some(trace)
+}
+
+/// One concrete state of a non-empty state predicate.
+fn pick_state(cx: &mut SymbolicContext, states: NodeId) -> Vec<u64> {
+    debug_assert_ne!(states, FALSE);
+    cx.enumerate_states(states, 1).pop().expect("non-empty predicate")
+}
+
+/// A concrete execution from the invariant to a safety violation under
+/// `trans ∪ faults` — `None` when the program is safe. The last state is a
+/// bad state, or the last step executes a bad transition (in which case the
+/// trace ends with that step's target).
+pub fn safety_counterexample(
+    cx: &mut SymbolicContext,
+    invariant: NodeId,
+    trans: NodeId,
+    faults: NodeId,
+    safety: &Safety,
+) -> Option<Trace> {
+    let combined = cx.mgr().or(trans, faults);
+    // Bad states, or sources of an executable bad transition (extended by
+    // one step below).
+    if let Some(t) = path_to(cx, invariant, safety.bad_states, combined) {
+        return Some(t);
+    }
+    let bad_steps = cx.mgr().and(combined, safety.bad_trans);
+    if bad_steps == FALSE {
+        return None;
+    }
+    let bad_sources = cx.preimage_of_anything(bad_steps);
+    let mut trace = path_to(cx, invariant, bad_sources, combined)?;
+    // Append one victim of the bad step itself.
+    let last = trace.last().unwrap().clone();
+    let last_cube = cx.state_cube(&last);
+    let from_here = cx.mgr().and(bad_steps, last_cube);
+    let succ = cx.image(ftrepair_bdd::TRUE, from_here);
+    trace.push(pick_state(cx, succ));
+    Some(trace)
+}
+
+/// A concrete fault-span state from which recovery is impossible: reachable
+/// from the invariant under `trans ∪ faults`, outside the invariant, and
+/// either deadlocked or inside a program-only cycle avoiding the invariant.
+pub fn stuck_witness(
+    cx: &mut SymbolicContext,
+    invariant: NodeId,
+    trans: NodeId,
+    faults: NodeId,
+) -> Option<Trace> {
+    let combined = cx.mgr().or(trans, faults);
+    let span = cx.forward_reachable(invariant, combined);
+    let outside = cx.mgr().diff(span, invariant);
+    // Deadlocks.
+    let dead = cx.deadlocks(outside, trans);
+    if dead != FALSE {
+        return path_to(cx, invariant, dead, combined);
+    }
+    // Livelock core: greatest fixpoint of "has a successor staying outside".
+    let mut avoid = outside;
+    loop {
+        let inside_avoid = crate::semantics::project(cx, trans, avoid);
+        let alive = cx.preimage_of_anything(inside_avoid);
+        let next = cx.mgr().and(avoid, alive);
+        if next == avoid {
+            break;
+        }
+        avoid = next;
+    }
+    if avoid == FALSE {
+        None
+    } else {
+        path_to(cx, invariant, avoid, combined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DistributedProgram, ProgramBuilder, Update};
+
+    fn line_program() -> DistributedProgram {
+        // x: 0 →(prog) 1 →(fault) 2 →(prog) 3(bad).
+        let mut b = ProgramBuilder::new("line");
+        let x = b.var("x", 4);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(3))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let f = b.cx().assign_eq(x, 1);
+        b.fault_action(f, &[(x, Update::Const(2))]);
+        let bad = b.cx().assign_eq(x, 3);
+        b.bad_states(bad);
+        b.build()
+    }
+
+    fn is_step(p: &mut DistributedProgram, from: &[u64], to: &[u64], rel: NodeId) -> bool {
+        let t = p.cx.transition_cube(from, to);
+        p.cx.mgr().leq(t, rel)
+    }
+
+    #[test]
+    fn path_to_finds_shortest_route() {
+        let mut p = line_program();
+        let t = p.program_trans();
+        let combined = p.cx.mgr().or(t, p.faults);
+        let inv = p.invariant;
+        let bad = p.safety.bad_states;
+        let trace = path_to(&mut p.cx, inv, bad, combined).expect("path exists");
+        // Shortest: 1 →f 2 →p 3.
+        assert_eq!(trace, vec![vec![1], vec![2], vec![3]]);
+        for w in trace.windows(2) {
+            assert!(is_step(&mut p, &w[0], &w[1], combined));
+        }
+    }
+
+    #[test]
+    fn path_to_none_when_unreachable() {
+        let mut p = line_program();
+        let t = p.program_trans(); // program only: 1 cannot reach 2
+        let inv = p.invariant;
+        let bad = p.safety.bad_states;
+        assert!(path_to(&mut p.cx, inv, bad, t).is_none());
+    }
+
+    #[test]
+    fn path_to_zero_length_when_already_there() {
+        let mut p = line_program();
+        let t = p.program_trans();
+        let inv = p.invariant;
+        let trace = path_to(&mut p.cx, inv, inv, t).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn safety_counterexample_via_bad_state() {
+        let mut p = line_program();
+        let t = p.program_trans();
+        let (inv, faults, safety) = (p.invariant, p.faults, p.safety);
+        let trace =
+            safety_counterexample(&mut p.cx, inv, t, faults, &safety).expect("unsafe");
+        assert_eq!(trace.last().unwrap(), &vec![3]);
+    }
+
+    #[test]
+    fn safety_counterexample_via_bad_transition() {
+        // Bad transition 1→0 (no bad states): the trace must end just after
+        // executing it.
+        let mut b = ProgramBuilder::new("bt");
+        let x = b.var("x", 2);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = b.cx().assign_eq(x, 0);
+        b.invariant(inv);
+        let bt = b.cx().transition_cube(&[1], &[0]);
+        b.bad_trans(bt);
+        let mut p = b.build();
+        let t = p.program_trans();
+        let (inv, faults, safety) = (p.invariant, p.faults, p.safety);
+        let trace =
+            safety_counterexample(&mut p.cx, inv, t, faults, &safety).expect("unsafe");
+        assert_eq!(trace, vec![vec![0], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn safe_program_has_no_counterexample() {
+        let mut b = ProgramBuilder::new("safe");
+        let x = b.var("x", 2);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        b.invariant(ftrepair_bdd::TRUE);
+        let mut p = b.build();
+        let t = p.program_trans();
+        let (inv, faults, safety) = (p.invariant, p.faults, p.safety);
+        assert!(safety_counterexample(&mut p.cx, inv, t, faults, &safety).is_none());
+    }
+
+    #[test]
+    fn stuck_witness_finds_deadlock() {
+        // Fault pushes to 2; no program transition out of 2.
+        let mut b = ProgramBuilder::new("stuck");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let f = b.cx().assign_eq(x, 1);
+        b.fault_action(f, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let t = p.program_trans();
+        let (inv, faults) = (p.invariant, p.faults);
+        let trace = stuck_witness(&mut p.cx, inv, t, faults).expect("stuck state exists");
+        assert_eq!(trace.last().unwrap(), &vec![2]);
+    }
+
+    #[test]
+    fn stuck_witness_finds_livelock() {
+        // 2 ↔ 3 cycle outside the invariant: no deadlock, but a livelock.
+        let mut b = ProgramBuilder::new("livelock");
+        let x = b.var("x", 4);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(3))]);
+        let g3 = b.cx().assign_eq(x, 3);
+        b.action(g3, &[(x, Update::Const(2))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let f = b.cx().assign_eq(x, 1);
+        b.fault_action(f, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let t = p.program_trans();
+        let (inv, faults) = (p.invariant, p.faults);
+        let trace = stuck_witness(&mut p.cx, inv, t, faults).expect("livelock exists");
+        let last = trace.last().unwrap()[0];
+        assert!(last == 2 || last == 3, "trace must end in the cycle: {trace:?}");
+    }
+
+    #[test]
+    fn no_witness_for_recovering_program() {
+        let mut b = ProgramBuilder::new("fine");
+        let x = b.var("x", 3);
+        b.process("p", &[x], &[x]);
+        let g0 = b.cx().assign_eq(x, 0);
+        b.action(g0, &[(x, Update::Const(1))]);
+        let g1 = b.cx().assign_eq(x, 1);
+        b.action(g1, &[(x, Update::Const(0))]);
+        let g2 = b.cx().assign_eq(x, 2);
+        b.action(g2, &[(x, Update::Const(0))]);
+        let inv = {
+            let a = b.cx().assign_eq(x, 0);
+            let c = b.cx().assign_eq(x, 1);
+            b.cx().mgr().or(a, c)
+        };
+        b.invariant(inv);
+        let f = b.cx().assign_eq(x, 1);
+        b.fault_action(f, &[(x, Update::Const(2))]);
+        let mut p = b.build();
+        let t = p.program_trans();
+        let (inv, faults) = (p.invariant, p.faults);
+        assert!(stuck_witness(&mut p.cx, inv, t, faults).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Encoding finite-domain facts as BDDs: equality with constants, frame
+//! conditions, domain constraints, and cubes for concrete states.
+
+use crate::context::{SymbolicContext, VarId};
+use ftrepair_bdd::{NodeId, FALSE, TRUE};
+
+impl SymbolicContext {
+    /// `v = val` over current-state bits.
+    pub fn assign_eq(&mut self, v: VarId, val: u64) -> NodeId {
+        self.value_eq_with(v, val, false)
+    }
+
+    /// `v' = val` over next-state bits — i.e. "the transition writes `val`
+    /// into `v`" (say nothing about the rest).
+    pub fn assign_const(&mut self, v: VarId, val: u64) -> NodeId {
+        self.value_eq_with(v, val, true)
+    }
+
+    fn value_eq_with(&mut self, v: VarId, val: u64, next: bool) -> NodeId {
+        let info = self.info(v).clone();
+        assert!(val < info.size, "value {val} out of domain 0..{} for {}", info.size, info.name);
+        let lits: Vec<(u32, bool)> = (0..info.bits)
+            .map(|k| {
+                let level =
+                    if next { self.next_level(v, k) } else { self.cur_level(v, k) };
+                (level, (val >> k) & 1 == 1)
+            })
+            .collect();
+        self.mgr().cube(&lits)
+    }
+
+    /// `v = v'`: the transition leaves `v` unchanged (frame condition).
+    pub fn unchanged(&mut self, v: VarId) -> NodeId {
+        let bits = self.info(v).bits;
+        let mut acc = TRUE;
+        for k in 0..bits {
+            let cur = self.cur_level(v, k);
+            let next = self.next_level(v, k);
+            let (c, n) = {
+                let m = self.mgr();
+                (m.var(cur), m.var(next))
+            };
+            let eq = self.mgr().iff(c, n);
+            acc = self.mgr().and(acc, eq);
+        }
+        acc
+    }
+
+    /// Conjunction of [`SymbolicContext::unchanged`] over `vars`.
+    pub fn unchanged_all(&mut self, vars: &[VarId]) -> NodeId {
+        let mut acc = TRUE;
+        for &v in vars {
+            let u = self.unchanged(v);
+            acc = self.mgr().and(acc, u);
+        }
+        acc
+    }
+
+    /// `v = w` between two current-state variables (domains need not match;
+    /// compares the overlapping value range).
+    pub fn vars_equal(&mut self, v: VarId, w: VarId) -> NodeId {
+        let (sv, sw) = (self.info(v).size, self.info(w).size);
+        let common = sv.min(sw);
+        let mut acc = FALSE;
+        for val in 0..common {
+            let ev = self.assign_eq(v, val);
+            let ew = self.assign_eq(w, val);
+            let both = self.mgr().and(ev, ew);
+            acc = self.mgr().or(acc, both);
+        }
+        acc
+    }
+
+    /// `v = val ∧ w = val` over current bits (a common guard shape).
+    pub fn both_eq(&mut self, v: VarId, w: VarId, val: u64) -> NodeId {
+        let ev = self.assign_eq(v, val);
+        let ew = self.assign_eq(w, val);
+        self.mgr().and(ev, ew)
+    }
+
+    /// The current-state domain constraint `v < size(v)`; `TRUE` for exact
+    /// power-of-two domains.
+    pub fn domain_cur(&mut self, v: VarId) -> NodeId {
+        let size = self.info(v).size;
+        let bits = self.info(v).bits;
+        if size == 1u64 << bits {
+            return TRUE;
+        }
+        let mut acc = FALSE;
+        for val in 0..size {
+            let e = self.assign_eq(v, val);
+            acc = self.mgr().or(acc, e);
+        }
+        acc
+    }
+
+    /// The next-state domain constraint `v' < size(v)`.
+    pub fn domain_next(&mut self, v: VarId) -> NodeId {
+        let size = self.info(v).size;
+        let bits = self.info(v).bits;
+        if size == 1u64 << bits {
+            return TRUE;
+        }
+        let mut acc = FALSE;
+        for val in 0..size {
+            let e = self.assign_const(v, val);
+            acc = self.mgr().or(acc, e);
+        }
+        acc
+    }
+
+    /// All well-formed states: conjunction of every variable's current-state
+    /// domain constraint.
+    pub fn state_universe(&mut self) -> NodeId {
+        let vars = self.var_ids();
+        let mut acc = TRUE;
+        for v in vars {
+            let d = self.domain_cur(v);
+            acc = self.mgr().and(acc, d);
+        }
+        acc
+    }
+
+    /// All well-formed transitions: domain constraints on both copies.
+    pub fn transition_universe(&mut self) -> NodeId {
+        let cur = self.state_universe();
+        let vars = self.var_ids();
+        let mut acc = cur;
+        for v in vars {
+            let d = self.domain_next(v);
+            acc = self.mgr().and(acc, d);
+        }
+        acc
+    }
+
+    /// The cube of one concrete state (`values[i]` is the value of the i-th
+    /// declared variable) over current bits.
+    pub fn state_cube(&mut self, values: &[u64]) -> NodeId {
+        assert_eq!(values.len(), self.num_program_vars(), "state arity mismatch");
+        let vars = self.var_ids();
+        let mut acc = TRUE;
+        for (&v, &val) in vars.iter().zip(values) {
+            let e = self.assign_eq(v, val);
+            acc = self.mgr().and(acc, e);
+        }
+        acc
+    }
+
+    /// The cube of one concrete state over next bits.
+    pub fn state_cube_next(&mut self, values: &[u64]) -> NodeId {
+        assert_eq!(values.len(), self.num_program_vars(), "state arity mismatch");
+        let vars = self.var_ids();
+        let mut acc = TRUE;
+        for (&v, &val) in vars.iter().zip(values) {
+            let e = self.assign_const(v, val);
+            acc = self.mgr().and(acc, e);
+        }
+        acc
+    }
+
+    /// The cube of one concrete transition `from → to`.
+    pub fn transition_cube(&mut self, from: &[u64], to: &[u64]) -> NodeId {
+        let f = self.state_cube(from);
+        let t = self.state_cube_next(to);
+        self.mgr().and(f, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_var_cx() -> (SymbolicContext, VarId, VarId) {
+        let mut cx = SymbolicContext::new();
+        let a = cx.add_var("a", 3);
+        let b = cx.add_var("b", 2);
+        (cx, a, b)
+    }
+
+    #[test]
+    fn assign_eq_counts() {
+        let (mut cx, a, _) = two_var_cx();
+        let e = cx.assign_eq(a, 2);
+        // a=2 leaves b free: 2 well-formed states; raw bit count includes the
+        // dead encoding of b... b is 1 bit so exactly 2 states.
+        let universe = cx.state_universe();
+        let well_formed = cx.mgr().and(e, universe);
+        assert_eq!(cx.count_states(well_formed), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn assign_eq_out_of_domain_panics() {
+        let (mut cx, a, _) = two_var_cx();
+        cx.assign_eq(a, 3);
+    }
+
+    #[test]
+    fn unchanged_is_equality_of_copies() {
+        let (mut cx, a, _) = two_var_cx();
+        let u = cx.unchanged(a);
+        for val in 0..3 {
+            let cur = cx.assign_eq(a, val);
+            let next = cx.assign_const(a, val);
+            let same = cx.mgr().and(cur, next);
+            assert!(cx.mgr().leq(same, u), "val={val} should satisfy unchanged");
+            let other = cx.assign_const(a, (val + 1) % 3);
+            let diff = cx.mgr().and(cur, other);
+            assert!(cx.mgr().disjoint(diff, u), "changed value must violate unchanged");
+        }
+    }
+
+    #[test]
+    fn domain_constraint_excludes_dead_encodings() {
+        let (mut cx, a, _) = two_var_cx();
+        // a has 2 bits but only 3 values; encoding 3 (=0b11) is dead.
+        let d = cx.domain_cur(a);
+        let lits = [(cx.cur_level(a, 0), true), (cx.cur_level(a, 1), true)];
+        let dead = cx.mgr().cube(&lits);
+        assert!(cx.mgr().disjoint(dead, d));
+        // Power-of-two domain: constraint is trivially TRUE.
+        let (mut cx2, _, b) = two_var_cx();
+        assert_eq!(cx2.domain_cur(b), TRUE);
+    }
+
+    #[test]
+    fn state_universe_counts_product_of_domains() {
+        let (mut cx, _, _) = two_var_cx();
+        let u = cx.state_universe();
+        assert_eq!(cx.count_states(u), 6.0); // 3 × 2
+        let t = cx.transition_universe();
+        assert_eq!(cx.count_transitions(t), 36.0); // 6 × 6
+    }
+
+    #[test]
+    fn state_cube_is_one_state() {
+        let (mut cx, _, _) = two_var_cx();
+        let s = cx.state_cube(&[2, 1]);
+        assert_eq!(cx.count_states(s), 1.0);
+        let decoded = cx.enumerate_states(s, 10);
+        assert_eq!(decoded, vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn transition_cube_links_two_states() {
+        let (mut cx, _, _) = two_var_cx();
+        let t = cx.transition_cube(&[0, 0], &[2, 1]);
+        assert_eq!(cx.count_transitions(t), 1.0);
+        let pairs = cx.enumerate_transitions(t, 10);
+        assert_eq!(pairs, vec![(vec![0, 0], vec![2, 1])]);
+    }
+
+    #[test]
+    fn vars_equal_matches_pairwise() {
+        let (mut cx, a, b) = two_var_cx();
+        let eq = cx.vars_equal(a, b);
+        let universe = cx.state_universe();
+        let eq_wf = cx.mgr().and(eq, universe);
+        // a ∈ {0,1,2}, b ∈ {0,1}: equal on (0,0), (1,1).
+        assert_eq!(cx.count_states(eq_wf), 2.0);
+    }
+
+    #[test]
+    fn both_eq_is_conjunction() {
+        let (mut cx, a, b) = two_var_cx();
+        let be = cx.both_eq(a, b, 1);
+        let s = cx.state_cube(&[1, 1]);
+        assert!(cx.mgr().leq(s, be));
+        let s2 = cx.state_cube(&[1, 0]);
+        assert!(cx.mgr().disjoint(s2, be));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn state_cube_wrong_arity_panics() {
+        let (mut cx, _, _) = two_var_cx();
+        cx.state_cube(&[0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based validation of the symbolic image/preimage/reachability
+//! machinery against a brute-force explicit evaluator.
+
+use ftrepair_symbolic::{SymbolicContext, VarId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Blueprint: up to 3 variables with domains 2..=3 and a random edge list
+/// given as concrete (from, to) value vectors.
+#[derive(Clone, Debug)]
+struct Blueprint {
+    sizes: Vec<u64>,
+    edges: Vec<(Vec<u64>, Vec<u64>)>,
+    init: Vec<u64>,
+}
+
+fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
+    proptest::collection::vec(2..=3u64, 1..=3).prop_flat_map(|sizes| {
+        let state = {
+            let sizes = sizes.clone();
+            move || {
+                let per: Vec<_> = sizes.iter().map(|&s| 0..s).collect();
+                per
+            }
+        };
+        let one_state = state().into_iter().collect::<Vec<_>>();
+        let state_strategy = one_state;
+        let edge = (state_strategy.clone(), state_strategy.clone());
+        (
+            Just(sizes),
+            proptest::collection::vec(edge, 0..12),
+            state_strategy,
+        )
+            .prop_map(|(sizes, edges, init)| Blueprint { sizes, edges, init })
+    })
+}
+
+fn build(bp: &Blueprint) -> (SymbolicContext, Vec<VarId>, ftrepair_bdd::NodeId) {
+    let mut cx = SymbolicContext::new();
+    let vars: Vec<VarId> =
+        bp.sizes.iter().enumerate().map(|(i, &s)| cx.add_var(format!("v{i}"), s)).collect();
+    let mut trans = ftrepair_bdd::FALSE;
+    for (from, to) in &bp.edges {
+        let t = cx.transition_cube(from, to);
+        trans = cx.mgr().or(trans, t);
+    }
+    (cx, vars, trans)
+}
+
+/// Brute-force reachability over the concrete edge list.
+fn explicit_reach(bp: &Blueprint) -> HashSet<Vec<u64>> {
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    seen.insert(bp.init.clone());
+    let mut frontier = vec![bp.init.clone()];
+    while let Some(s) = frontier.pop() {
+        for (from, to) in &bp.edges {
+            if *from == s && seen.insert(to.clone()) {
+                frontier.push(to.clone());
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn forward_reachability_matches_bruteforce(bp in arb_blueprint()) {
+        let (mut cx, _, trans) = build(&bp);
+        let init = cx.state_cube(&bp.init);
+        let reach = cx.forward_reachable(init, trans);
+        let symbolic: HashSet<Vec<u64>> =
+            cx.enumerate_states(reach, 10_000).into_iter().collect();
+        prop_assert_eq!(symbolic, explicit_reach(&bp));
+    }
+
+    #[test]
+    fn image_matches_bruteforce(bp in arb_blueprint()) {
+        let (mut cx, _, trans) = build(&bp);
+        let init = cx.state_cube(&bp.init);
+        let img = cx.image(init, trans);
+        let symbolic: HashSet<Vec<u64>> =
+            cx.enumerate_states(img, 10_000).into_iter().collect();
+        let expected: HashSet<Vec<u64>> = bp
+            .edges
+            .iter()
+            .filter(|(f, _)| *f == bp.init)
+            .map(|(_, t)| t.clone())
+            .collect();
+        prop_assert_eq!(symbolic, expected);
+    }
+
+    #[test]
+    fn preimage_matches_bruteforce(bp in arb_blueprint()) {
+        let (mut cx, _, trans) = build(&bp);
+        let target = cx.state_cube(&bp.init);
+        let pre = cx.preimage(target, trans);
+        let symbolic: HashSet<Vec<u64>> =
+            cx.enumerate_states(pre, 10_000).into_iter().collect();
+        let expected: HashSet<Vec<u64>> = bp
+            .edges
+            .iter()
+            .filter(|(_, t)| *t == bp.init)
+            .map(|(f, _)| f.clone())
+            .collect();
+        prop_assert_eq!(symbolic, expected);
+    }
+
+    #[test]
+    fn deadlocks_match_bruteforce(bp in arb_blueprint()) {
+        let (mut cx, _, trans) = build(&bp);
+        let universe = cx.state_universe();
+        let dl = cx.deadlocks(universe, trans);
+        let symbolic: HashSet<Vec<u64>> =
+            cx.enumerate_states(dl, 10_000).into_iter().collect();
+        let sources: HashSet<&Vec<u64>> = bp.edges.iter().map(|(f, _)| f).collect();
+        let all = cx.enumerate_states(universe, 10_000);
+        let expected: HashSet<Vec<u64>> =
+            all.into_iter().filter(|s| !sources.contains(s)).collect();
+        prop_assert_eq!(symbolic, expected);
+    }
+
+    #[test]
+    fn count_transitions_matches_edge_count(bp in arb_blueprint()) {
+        let (mut cx, _, trans) = build(&bp);
+        let mut unique: Vec<(Vec<u64>, Vec<u64>)> = bp.edges.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(cx.count_transitions(trans), unique.len() as f64);
+    }
+
+    #[test]
+    fn partitioned_reachability_equals_monolithic(bp in arb_blueprint()) {
+        // Split the edges into two arbitrary partitions.
+        let (mut cx, _, _) = build(&bp);
+        let mut t1 = ftrepair_bdd::FALSE;
+        let mut t2 = ftrepair_bdd::FALSE;
+        for (i, (from, to)) in bp.edges.iter().enumerate() {
+            let t = cx.transition_cube(from, to);
+            if i % 2 == 0 {
+                t1 = cx.mgr().or(t1, t);
+            } else {
+                t2 = cx.mgr().or(t2, t);
+            }
+        }
+        let mono = cx.mgr().or(t1, t2);
+        let init = cx.state_cube(&bp.init);
+        let a = cx.forward_reachable(init, mono);
+        let b = cx.forward_reachable_partitioned(init, &[t1, t2]);
+        prop_assert_eq!(a, b);
+    }
+}

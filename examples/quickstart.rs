@@ -1,0 +1,70 @@
+//! Quickstart: build a tiny distributed program, add masking
+//! fault-tolerance with lazy repair, and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ftrepair::program::{ProgramBuilder, Update};
+use ftrepair::repair::{lazy_repair, verify::verify_outcome, RepairOptions};
+
+fn main() {
+    // A two-process system. Process `a` toggles x between 0 and 1 (the
+    // legitimate states); process `b` toggles an independent bit y.
+    // A fault can push x to the illegal value 2; the original program has
+    // no way back.
+    let mut b = ProgramBuilder::new("quickstart");
+    let x = b.var("x", 3);
+    let y = b.var("y", 2);
+
+    b.process("a", &[x], &[x]);
+    let g0 = b.cx().assign_eq(x, 0);
+    b.action(g0, &[(x, Update::Const(1))]);
+    let g1 = b.cx().assign_eq(x, 1);
+    b.action(g1, &[(x, Update::Const(0))]);
+
+    b.process("b", &[y], &[y]);
+    let h0 = b.cx().assign_eq(y, 0);
+    b.action(h0, &[(y, Update::Const(1))]);
+    let h1 = b.cx().assign_eq(y, 1);
+    b.action(h1, &[(y, Update::Const(0))]);
+
+    let inv = {
+        let a0 = b.cx().assign_eq(x, 0);
+        let a1 = b.cx().assign_eq(x, 1);
+        b.cx().mgr().or(a0, a1)
+    };
+    b.invariant(inv);
+
+    let fg = b.cx().assign_eq(x, 1);
+    b.fault_action(fg, &[(x, Update::Const(2))]);
+
+    let mut prog = b.build();
+    println!("program: {} ({} states)", prog.name, {
+        let u = prog.cx.state_universe();
+        prog.cx.count_states(u)
+    });
+
+    // Repair.
+    let out = lazy_repair(&mut prog, &RepairOptions::default());
+    assert!(!out.failed, "repair failed");
+    println!(
+        "repaired in {} outer iteration(s): step1 {:?}, step2 {:?}",
+        out.stats.outer_iterations, out.stats.step1_time, out.stats.step2_time
+    );
+
+    // Independent verification: masking tolerance + realizability.
+    let (masking, realizability) = verify_outcome(&mut prog, &out);
+    println!("masking tolerant: {}", masking.ok());
+    println!("realizable:       {}", realizability.ok());
+    assert!(masking.ok() && realizability.ok());
+
+    // Show the synthesized recovery: process `a` gained transitions out of
+    // the fault state x=2 — using only variables it may read and write.
+    let s2 = prog.cx.assign_eq(x, 2);
+    let recovery = prog.cx.mgr().and(out.processes[0].trans, s2);
+    println!("\nsynthesized recovery transitions of process `a`:");
+    for (from, to) in prog.cx.enumerate_transitions(recovery, 16) {
+        println!("  (x={}, y={})  ->  (x={}, y={})", from[0], from[1], to[0], to[1]);
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's Figures 3–5, runnable: why not every transition system is a
+//! distributed program, and how read-restriction *groups* work.
+//!
+//! ```text
+//! cargo run --release --example realizability_demo
+//! ```
+
+use ftrepair::program::realizability::{expand_group, group, is_group_closed, write_ok};
+use ftrepair::program::ProgramBuilder;
+
+fn main() {
+    // The setting of Section III-B: three booleans; p_j reads {v0,v1} and
+    // writes {v1}; p_k reads {v0,v2} and writes {v2}.
+    let mut b = ProgramBuilder::new("figures-3-to-5");
+    let v0 = b.var("v0", 2);
+    let v1 = b.var("v1", 2);
+    let v2 = b.var("v2", 2);
+    b.process("pj", &[v0, v1], &[v1]);
+    b.process("pk", &[v0, v2], &[v2]);
+    b.invariant(ftrepair::bdd::TRUE);
+    let mut p = b.build();
+
+    let show = |p: &mut ftrepair::program::DistributedProgram, t| {
+        for (from, to) in p.cx.enumerate_transitions(t, 16) {
+            println!(
+                "    ({}{}{}) -> ({}{}{})",
+                from[0], from[1], from[2], to[0], to[1], to[2]
+            );
+        }
+    };
+
+    // Figure 3: (000 -> 011) changes v1 and v2 at once.
+    println!("Figure 3: the transition");
+    let fig3 = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 1]);
+    show(&mut p, fig3);
+    let uw_j = p.unwritable(0);
+    let ok_j = write_ok(&mut p.cx, &uw_j);
+    let uw_k = p.unwritable(1);
+    let ok_k = write_ok(&mut p.cx, &uw_k);
+    println!("  p_j can execute it: {}", p.cx.mgr().leq(fig3, ok_j));
+    println!("  p_k can execute it: {}", p.cx.mgr().leq(fig3, ok_k));
+    println!("  => not realizable by any process (write restriction)\n");
+
+    // Figure 4: (000 -> 010) alone — write-legal for p_j but its group has
+    // a second member.
+    println!("Figure 4: the transition");
+    let fig4 = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 0]);
+    show(&mut p, fig4);
+    println!("  p_j write-legal: {}", p.cx.mgr().leq(fig4, ok_j));
+    let ur_j = p.unreadable(0);
+    println!("  group-closed:    {}", is_group_closed(&mut p.cx, &ur_j, fig4));
+    println!("  its group (p_j cannot read v2, so both v2 values must behave alike):");
+    let g = group(&mut p.cx, &ur_j, fig4);
+    show(&mut p, g);
+    println!();
+
+    // Figure 5: the complete group is realizable.
+    println!("Figure 5: the complete group");
+    show(&mut p, g);
+    println!("  group-closed: {}", is_group_closed(&mut p.cx, &ur_j, g));
+    println!("  => realizable by p_j as `if v0=0 ∧ v1=0 then v1 := 1`\n");
+
+    // ExpandGroup (Section V-B): drop v0 from the guard, absorbing the
+    // sibling group for v0=1.
+    println!("ExpandGroup over v0:");
+    let bigger = expand_group(&mut p.cx, v0, g);
+    show(&mut p, bigger);
+    println!(
+        "  one action `if v1=0 then v1 := 1` now covers {} transitions",
+        p.cx.count_transitions(bigger)
+    );
+}

@@ -1,0 +1,183 @@
+//! `ftrepair` — command-line front end, in the tradition of FTSyn/SYCRAFT.
+//!
+//! ```text
+//! ftrepair repair <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
+//!                            [--parallel] [--strict-terminal]
+//! ftrepair check  <file.ftr>
+//! ftrepair info   <file.ftr>
+//! ```
+//!
+//! `repair` adds masking fault-tolerance and prints the repaired program as
+//! guarded commands; `check` validates the input (invariant closure, spec
+//! inside the invariant, realizability as written); `info` summarizes the
+//! model.
+
+use ftrepair::program::decompile::render_process;
+use ftrepair::program::{realizability, semantics, DistributedProgram};
+use ftrepair::repair::verify::verify_outcome;
+use ftrepair::repair::{cautious_repair, lazy_repair, LazyOutcome, RepairOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: ftrepair <repair|check|info> <file.ftr> [options]");
+        return ExitCode::from(2);
+    };
+    let Some(path) = args.get(1) else {
+        eprintln!("missing input file");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut prog = match ftrepair::lang::load(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    match command.as_str() {
+        "info" => info(&mut prog),
+        "check" => check(&mut prog),
+        "repair" => repair(&mut prog, &args[2..]),
+        other => {
+            eprintln!("unknown command {other}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn info(prog: &mut DistributedProgram) -> ExitCode {
+    println!("program {}", prog.name);
+    println!("variables:");
+    for v in prog.cx.var_ids() {
+        let i = prog.cx.info(v);
+        println!("  {} : 0..{}", i.name, i.size - 1);
+    }
+    let universe = prog.cx.state_universe();
+    println!("state space: {} states", prog.cx.count_states(universe));
+    println!("invariant:   {} states", prog.cx.count_states(prog.invariant));
+    println!("fault transitions: {}", prog.cx.count_transitions(prog.faults));
+    for (j, p) in prog.processes.clone().iter().enumerate() {
+        let n = prog.cx.count_transitions(p.trans);
+        println!("process {} ({} transitions)", p.name, n);
+        let _ = j;
+    }
+    ExitCode::SUCCESS
+}
+
+fn check(prog: &mut DistributedProgram) -> ExitCode {
+    let mut ok = true;
+    let t = prog.program_trans();
+    let inv = prog.invariant;
+
+    let closed = semantics::is_closed(&mut prog.cx, inv, t);
+    println!("invariant closed under program transitions: {closed}");
+    ok &= closed;
+
+    let bad_inside = !prog.cx.mgr().disjoint(inv, prog.safety.bad_states);
+    println!("bad states inside the invariant: {bad_inside}");
+    ok &= !bad_inside;
+
+    let inside = semantics::project(&mut prog.cx, t, inv);
+    let bt_inside = !prog.cx.mgr().disjoint(inside, prog.safety.bad_trans);
+    println!("bad transitions executable inside the invariant: {bt_inside}");
+    ok &= !bt_inside;
+
+    let realizable = realizability::program_realizable(prog);
+    println!("program as written is realizable: {realizable}");
+    ok &= realizable;
+
+    let liveness = prog.liveness.clone();
+    if !liveness.leads_to.is_empty() {
+        let results =
+            ftrepair::program::verify::check_liveness(&mut prog.cx, inv, t, &liveness);
+        for (i, holds) in results.iter().enumerate() {
+            println!("leadsto property {} holds inside the invariant: {holds}", i + 1);
+            ok &= holds;
+        }
+    }
+
+    if ok {
+        println!("check passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("check FAILED");
+        ExitCode::from(1)
+    }
+}
+
+fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
+    let has = |f: &str| flags.iter().any(|a| a == f);
+    let opts = RepairOptions {
+        restrict_to_reachable: !has("--pure-lazy"),
+        step2_closed_form: !has("--iterative-step2"),
+        parallel_step2: has("--parallel"),
+        allow_new_terminal_inside: !has("--strict-terminal"),
+        ..Default::default()
+    };
+
+    let out: LazyOutcome = if has("--cautious") {
+        let c = cautious_repair(prog, &opts);
+        LazyOutcome {
+            processes: c.processes,
+            invariant: c.invariant,
+            span: c.span,
+            trans: c.trans,
+            failed: c.failed,
+            stats: c.stats,
+        }
+    } else {
+        lazy_repair(prog, &opts)
+    };
+
+    if out.failed {
+        eprintln!("no masking fault-tolerant repair exists under these inputs");
+        return ExitCode::from(1);
+    }
+
+    let (m, r) = verify_outcome(prog, &out);
+    eprintln!(
+        "repaired in {:?} (step1 {:?}, step2 {:?}, {} outer iteration(s))",
+        out.stats.total_time(),
+        out.stats.step1_time,
+        out.stats.step2_time,
+        out.stats.outer_iterations,
+    );
+    eprintln!("verified: masking={} realizability={}", m.ok(), r.ok());
+    if !(m.ok() && r.ok()) {
+        eprintln!("INTERNAL ERROR: output failed verification: {m:?} {r:?}");
+        return ExitCode::from(3);
+    }
+
+    println!("// repaired program {}", prog.name);
+    println!(
+        "// invariant: {} states, fault-span: {} states",
+        prog.cx.count_states(out.invariant),
+        prog.cx.count_states(out.span),
+    );
+    println!(
+        "// (behavior outside the fault-span is unreachable and omitted)\n"
+    );
+    for (j, p) in out.processes.iter().enumerate() {
+        // Restrict to transitions whose source lies in the fault-span: the
+        // realizability construction pads groups with transitions from
+        // unreachable states, which would only confuse the reader.
+        let reachable_part = prog.cx.mgr().and(p.trans, out.span);
+        let shown = ftrepair::program::Process {
+            name: p.name.clone(),
+            read: p.read.clone(),
+            write: p.write.clone(),
+            trans: reachable_part,
+        };
+        println!("{}", render_process(prog, &shown, j));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! # ftrepair — lazy repair for addition of fault-tolerance
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! *"Lazy Repair for Addition of Fault-tolerance to Distributed Programs"*
+//! (Roohitavaf, Lin, Kulkarni — IPPS 2016).
+//!
+//! See the `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ftrepair_bdd as bdd;
+pub use ftrepair_casestudies as casestudies;
+pub use ftrepair_core as repair;
+pub use ftrepair_explicit as explicit;
+pub use ftrepair_lang as lang;
+pub use ftrepair_program as program;
+pub use ftrepair_symbolic as symbolic;

@@ -1,0 +1,102 @@
+//! Integration tests for the `ftrepair` command-line tool, driven through
+//! the real binary on the shipped `.ftr` spec files.
+
+use std::process::Command;
+
+fn ftrepair(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ftrepair"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn spec(name: &str) -> String {
+    format!("{}/examples/specs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn info_reports_model_shape() {
+    let (stdout, _, ok) = ftrepair(&["info", &spec("toggle_pair.ftr")]);
+    assert!(ok);
+    assert!(stdout.contains("program toggle_pair"));
+    assert!(stdout.contains("x : 0..2"));
+    assert!(stdout.contains("state space: 6 states"));
+    assert!(stdout.contains("invariant:   4 states"));
+}
+
+#[test]
+fn check_passes_on_well_formed_spec() {
+    let (stdout, _, ok) = ftrepair(&["check", &spec("toggle_pair.ftr")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("check passed"));
+    assert!(stdout.contains("realizable: true"));
+}
+
+#[test]
+fn repair_toggle_pair_produces_recovery() {
+    let (stdout, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr")]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("verified: masking=true realizability=true"));
+    assert!(stdout.contains("(x = 2) ->"), "recovery missing:\n{stdout}");
+}
+
+#[test]
+fn repair_tmr_synthesizes_safe_voter() {
+    let (stdout, stderr, ok) = ftrepair(&["repair", &spec("tmr_voter.ftr")]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("verified: masking=true realizability=true"));
+    // Unanimity decisions survive.
+    assert!(
+        stdout.contains("(r0 = 0) & (r1 = 0) & (r2 = 0) & (o = 2) -> o := 0;"),
+        "{stdout}"
+    );
+    // The naive copy-whatever-r0-says behavior is gone: no command decides
+    // 1 from an all-zeros context or vice versa.
+    assert!(!stdout.contains("(r0 = 1) & (r1 = 0) & (r2 = 0) & (o = 2) -> o := 1;"), "{stdout}");
+}
+
+#[test]
+fn repair_with_cautious_flag_matches_lazy_verdict() {
+    let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--cautious"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("verified: masking=true realizability=true"));
+}
+
+#[test]
+fn repair_with_parallel_and_iterative_flags() {
+    for flag in ["--parallel", "--iterative-step2", "--pure-lazy"] {
+        let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), flag]);
+        assert!(ok, "{flag}: {stderr}");
+        assert!(stderr.contains("masking=true"), "{flag}: {stderr}");
+    }
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, stderr, ok) = ftrepair(&["repair", "no-such-file.ftr"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let dir = std::env::temp_dir().join("ftrepair-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.ftr");
+    std::fs::write(&bad, "program broken").unwrap();
+    let (_, stderr, ok) = ftrepair(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let (_, stderr, ok) = ftrepair(&["frobnicate", &spec("toggle_pair.ftr")]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
