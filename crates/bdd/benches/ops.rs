@@ -1,9 +1,12 @@
 //! Microbenchmarks for the core BDD operations on transition-relation-shaped
 //! workloads (interleaved variables, mod-2^k counters) — the op mix the
 //! repair fixpoints are made of.
+//!
+//! Self-contained timing harness (median of repeated runs after warmup) so
+//! the bench builds offline; run with `cargo bench -p ftrepair-bdd`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftrepair_bdd::{Manager, NodeId};
+use std::time::{Duration, Instant};
 
 /// Build the transition relation of a k-bit binary counter over interleaved
 /// current (even) / next (odd) levels.
@@ -22,46 +25,51 @@ fn counter_relation(m: &mut Manager, bits: u32) -> NodeId {
     rel
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bdd_ops");
-    for &bits in &[16u32, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("build_counter", bits), &bits, |b, &bits| {
-            b.iter(|| {
-                let mut m = Manager::new(2 * bits);
-                counter_relation(&mut m, bits)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("image_sweep", bits), &bits, |b, &bits| {
-            // One BFS sweep of the counter's full 2^bits cycle would be
-            // absurd; measure a fixed number of image steps instead.
-            b.iter(|| {
-                let mut m = Manager::new(2 * bits);
-                let rel = counter_relation(&mut m, bits);
-                let cur: Vec<u32> = (0..bits).map(|i| 2 * i).collect();
-                let vs = m.varset(&cur);
-                let map: Vec<(u32, u32)> = (0..bits).map(|i| (2 * i + 1, 2 * i)).collect();
-                let vm = m.varmap(&map);
-                let zeros: Vec<(u32, bool)> = (0..bits).map(|i| (2 * i, false)).collect();
-                let mut s = m.cube(&zeros);
-                for _ in 0..64 {
-                    let img = m.and_exists(s, rel, vs);
-                    s = m.rename(img, vm);
-                }
-                s
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("exists_half", bits), &bits, |b, &bits| {
-            b.iter(|| {
-                let mut m = Manager::new(2 * bits);
-                let rel = counter_relation(&mut m, bits);
-                let half: Vec<u32> = (0..bits / 2).map(|i| 2 * i).collect();
-                let vs = m.varset(&half);
-                m.exists(rel, vs)
-            })
-        });
-    }
-    group.finish();
+/// Time `f` (median over `runs` after one warmup) and print one line.
+fn bench<T>(name: &str, runs: usize, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!("{name:<28} median {median:>10.3?}   min {min:>10.3?}   max {max:>10.3?}");
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    for &bits in &[16u32, 32, 64] {
+        bench(&format!("build_counter/{bits}"), 10, || {
+            let mut m = Manager::new(2 * bits);
+            counter_relation(&mut m, bits)
+        });
+        bench(&format!("image_sweep/{bits}"), 10, || {
+            // One BFS sweep of the counter's full 2^bits cycle would be
+            // absurd; measure a fixed number of image steps instead.
+            let mut m = Manager::new(2 * bits);
+            let rel = counter_relation(&mut m, bits);
+            let cur: Vec<u32> = (0..bits).map(|i| 2 * i).collect();
+            let vs = m.varset(&cur);
+            let map: Vec<(u32, u32)> = (0..bits).map(|i| (2 * i + 1, 2 * i)).collect();
+            let vm = m.varmap(&map);
+            let zeros: Vec<(u32, bool)> = (0..bits).map(|i| (2 * i, false)).collect();
+            let mut s = m.cube(&zeros);
+            for _ in 0..64 {
+                let img = m.and_exists(s, rel, vs);
+                s = m.rename(img, vm);
+            }
+            s
+        });
+        bench(&format!("exists_half/{bits}"), 10, || {
+            let mut m = Manager::new(2 * bits);
+            let rel = counter_relation(&mut m, bits);
+            let half: Vec<u32> = (0..bits / 2).map(|i| 2 * i).collect();
+            let vs = m.varset(&half);
+            m.exists(rel, vs)
+        });
+    }
+}

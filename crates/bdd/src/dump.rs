@@ -7,14 +7,13 @@
 use crate::hash::FxHashMap;
 use crate::manager::Manager;
 use crate::node::{NodeId, FALSE, TRUE};
-use serde::{Deserialize, Serialize};
 
 /// A manager-independent, topologically-ordered encoding of one BDD.
 ///
 /// Nodes `0` and `1` are the implicit terminals; entry `i` of `nodes`
 /// describes node `i + 2` as `(level, lo, hi)` where `lo`/`hi` index earlier
 /// nodes (or terminals). `root` indexes the whole table the same way.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SerializedBdd {
     /// Number of variables the source manager had (import target must have at
     /// least this many).
@@ -94,13 +93,8 @@ impl Manager {
                 TRUE => "f1".to_string(),
                 NodeId(i) => format!("n{i}"),
             };
-            writeln!(
-                out,
-                "  {} [label=\"{}\", shape=circle];",
-                node_name(g),
-                name(self.level(g))
-            )
-            .unwrap();
+            writeln!(out, "  {} [label=\"{}\", shape=circle];", node_name(g), name(self.level(g)))
+                .unwrap();
             writeln!(out, "  {} -> {} [style=dashed];", node_name(g), node_name(self.lo(g)))
                 .unwrap();
             writeln!(out, "  {} -> {};", node_name(g), node_name(self.hi(g))).unwrap();

@@ -45,12 +45,14 @@ mod node;
 mod ops;
 mod quant;
 mod rename;
+pub mod rng;
 mod sat;
 
 pub use dump::SerializedBdd;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use manager::{Manager, ManagerStats};
+pub use manager::{CacheCounter, CacheStats, Manager, ManagerStats};
 pub use node::{NodeId, FALSE, TRUE};
 pub use quant::VarSetId;
 pub use rename::VarMapId;
+pub use rng::SplitMix64;
 pub use sat::CubeIter;

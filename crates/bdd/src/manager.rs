@@ -3,6 +3,57 @@
 use crate::hash::FxHashMap;
 use crate::node::{Node, NodeId, FALSE, TERMINAL_LEVEL, TRUE};
 
+/// One memoization cache with hit/miss accounting.
+///
+/// Lookups go through [`MemoCache::get`], which counts every probe; the
+/// counters survive [`MemoCache::clear`] (cache trims and GC wipe entries,
+/// not history), so [`Manager::cache_stats`] reports rates over the whole
+/// run.
+pub(crate) struct MemoCache<K> {
+    map: FxHashMap<K, NodeId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K> Default for MemoCache<K> {
+    fn default() -> Self {
+        MemoCache { map: FxHashMap::default(), hits: 0, misses: 0 }
+    }
+}
+
+impl<K: std::hash::Hash + Eq> MemoCache<K> {
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<NodeId> {
+        match self.map.get(key) {
+            Some(&r) => {
+                self.hits += 1;
+                Some(r)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub fn insert(&mut self, key: K, value: NodeId) {
+        self.map.insert(key, value);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn counter(&self) -> CacheCounter {
+        CacheCounter { hits: self.hits, misses: self.misses, entries: self.map.len() }
+    }
+}
+
 /// Memoization caches for the recursive operations.
 ///
 /// All caches are cleared on garbage collection (a cached result may reference
@@ -11,18 +62,18 @@ use crate::node::{Node, NodeId, FALSE, TERMINAL_LEVEL, TRUE};
 #[derive(Default)]
 pub(crate) struct Caches {
     /// `NOT f ↦ result`.
-    pub not: FxHashMap<NodeId, NodeId>,
+    pub not: MemoCache<NodeId>,
     /// `(op, f, g) ↦ result` for the binary boolean connectives; commutative
     /// operations normalize `f <= g`.
-    pub apply: FxHashMap<(u8, NodeId, NodeId), NodeId>,
+    pub apply: MemoCache<(u8, NodeId, NodeId)>,
     /// `ite(f, g, h) ↦ result`.
-    pub ite: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub ite: MemoCache<(NodeId, NodeId, NodeId)>,
     /// `(∃/∀, f, varset) ↦ result`.
-    pub quant: FxHashMap<(u8, NodeId, u32), NodeId>,
+    pub quant: MemoCache<(u8, NodeId, u32)>,
     /// `∃ vs. f ∧ g ↦ result` (the relational product).
-    pub and_exists: FxHashMap<(NodeId, NodeId, u32), NodeId>,
+    pub and_exists: MemoCache<(NodeId, NodeId, u32)>,
     /// `(f, varmap) ↦ result` for order-preserving renaming.
-    pub rename: FxHashMap<(NodeId, u32), NodeId>,
+    pub rename: MemoCache<(NodeId, u32)>,
 }
 
 impl Caches {
@@ -42,6 +93,61 @@ impl Caches {
             + self.quant.len()
             + self.and_exists.len()
             + self.rename.len()
+    }
+}
+
+/// Hit/miss tally of one cache (or of the unique table).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounter {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries currently resident (post any trims/GCs).
+    pub entries: usize,
+}
+
+impl CacheCounter {
+    /// Total probes.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits over probes, in `[0, 1]`; 0 when the cache was never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Per-cache hit/miss snapshot covering all six op caches plus the unique
+/// table. Rates, not raw counts, are the headline numbers
+/// ([`CacheCounter::hit_rate`]); raw counts stay available for summing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub not: CacheCounter,
+    pub apply: CacheCounter,
+    pub ite: CacheCounter,
+    pub quant: CacheCounter,
+    pub and_exists: CacheCounter,
+    pub rename: CacheCounter,
+    pub unique: CacheCounter,
+}
+
+impl CacheStats {
+    /// The six op caches as `(name, counter)` pairs, excluding the unique
+    /// table.
+    pub fn op_caches(&self) -> [(&'static str, CacheCounter); 6] {
+        [
+            ("not", self.not),
+            ("apply", self.apply),
+            ("ite", self.ite),
+            ("quant", self.quant),
+            ("and_exists", self.and_exists),
+            ("rename", self.rename),
+        ]
     }
 }
 
@@ -263,8 +369,8 @@ impl Manager {
         // complete because children are pushed exactly when the parent is
         // first marked.
         let already_free: crate::hash::FxHashSet<u32> = self.free.iter().copied().collect();
-        for idx in 2..self.nodes.len() {
-            if !marked[idx] && !already_free.contains(&(idx as u32)) {
+        for (idx, &is_marked) in marked.iter().enumerate().skip(2) {
+            if !is_marked && !already_free.contains(&(idx as u32)) {
                 let node = self.nodes[idx];
                 self.unique.remove(&node);
                 self.free.push(idx as u32);
@@ -308,10 +414,7 @@ impl Manager {
                     (child.0 as usize) < self.nodes.len(),
                     "node {id:?} has dangling child {child:?}"
                 );
-                assert!(
-                    !free.contains(&child.0),
-                    "node {id:?} points to freed slot {child:?}"
-                );
+                assert!(!free.contains(&child.0), "node {id:?} points to freed slot {child:?}");
                 assert!(
                     node.level < self.level(child),
                     "order violation at {id:?}: level {} !< child {}",
@@ -330,6 +433,24 @@ impl Manager {
             self.nodes.len() - 2 - self.free.len(),
             "unique table size does not match live node count"
         );
+    }
+
+    /// Per-cache hit/miss snapshot across all six op caches and the unique
+    /// table (see [`CacheStats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            not: self.caches.not.counter(),
+            apply: self.caches.apply.counter(),
+            ite: self.caches.ite.counter(),
+            quant: self.caches.quant.counter(),
+            and_exists: self.caches.and_exists.counter(),
+            rename: self.caches.rename.counter(),
+            unique: CacheCounter {
+                hits: self.unique_hits,
+                misses: self.unique_misses,
+                entries: self.unique.len(),
+            },
+        }
     }
 
     /// Snapshot of arena and cache counters.
@@ -557,6 +678,56 @@ mod tests {
         assert!(m.maybe_trim_caches(0), "above threshold: trim");
         assert_eq!(m.stats().cache_entries, 0);
         m.check_integrity();
+    }
+
+    #[test]
+    fn cache_stats_cover_all_six_op_caches() {
+        let mut m = Manager::new(6);
+        let (a, b, c) = (m.var(0), m.var(2), m.var(4));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let _ = m.not(f);
+        let _ = m.ite(a, f, b);
+        let vs = m.varset(&[0, 2]);
+        let _ = m.exists(f, vs);
+        let _ = m.and_exists(f, ab, vs);
+        let map = m.varmap(&[(0, 1), (2, 3), (4, 5)]);
+        let _ = m.rename(f, map);
+        let cs = m.cache_stats();
+        for (name, c) in cs.op_caches() {
+            assert!(c.lookups() > 0, "cache {name} never probed");
+            assert!((0.0..=1.0).contains(&c.hit_rate()), "cache {name} rate out of range");
+        }
+        assert!(cs.unique.lookups() > 0);
+        // A repeated operation must be a pure cache hit.
+        let before = m.cache_stats().apply;
+        let ab2 = m.and(a, b);
+        assert_eq!(ab2, ab);
+        let after = m.cache_stats().apply;
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn cache_counters_survive_trims() {
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.xor(a, b);
+        let before = m.cache_stats();
+        assert!(m.maybe_trim_caches(0));
+        let after = m.cache_stats();
+        assert_eq!(after.apply.hits, before.apply.hits);
+        assert_eq!(after.apply.misses, before.apply.misses);
+        assert_eq!(after.apply.entries, 0, "trim empties entries");
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let m = Manager::new(1);
+        let cs = m.cache_stats();
+        assert_eq!(cs.ite.hit_rate(), 0.0);
+        assert_eq!(cs.ite.lookups(), 0);
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! Node identifiers and the in-arena node representation.
 
-use serde::{Deserialize, Serialize};
-
 /// A handle to a BDD node inside a [`crate::Manager`].
 ///
 /// `NodeId` is a plain 32-bit index: copying it is free and ids remain stable
 /// across garbage collections (the arena uses a free-list, never compaction).
 /// A `NodeId` is only meaningful together with the manager that created it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
 /// The constant-`false` BDD (terminal node `0`).

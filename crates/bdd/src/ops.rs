@@ -20,7 +20,7 @@ impl Manager {
             FALSE => TRUE,
             TRUE => FALSE,
             _ => {
-                if let Some(&r) = self.caches.not.get(&f) {
+                if let Some(r) = self.caches.not.get(&f) {
                     return r;
                 }
                 let (level, lo, hi) = (self.level(f), self.lo(f), self.hi(f));
@@ -111,7 +111,7 @@ impl Manager {
     fn apply(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
         // All three ops are commutative: normalize the cache key.
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.caches.apply.get(&(op as u8, a, b)) {
+        if let Some(r) = self.caches.apply.get(&(op as u8, a, b)) {
             return r;
         }
         let (la, lb) = (self.level(a), self.level(b));
@@ -150,7 +150,7 @@ impl Manager {
         if g == FALSE && h == TRUE {
             return self.not(f);
         }
-        if let Some(&r) = self.caches.ite.get(&(f, g, h)) {
+        if let Some(r) = self.caches.ite.get(&(f, g, h)) {
             return r;
         }
         let level = self.level(f).min(self.level(g)).min(self.level(h));

@@ -43,7 +43,7 @@ impl Manager {
         if f.is_terminal() || level > last {
             return f;
         }
-        if let Some(&r) = self.caches.quant.get(&(q, f, vs.0)) {
+        if let Some(r) = self.caches.quant.get(&(q, f, vs.0)) {
             return r;
         }
         let (lo, hi) = (self.lo(f), self.hi(f));
@@ -92,7 +92,7 @@ impl Manager {
             return self.and(f, g);
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.caches.and_exists.get(&(a, b, vs.0)) {
+        if let Some(r) = self.caches.and_exists.get(&(a, b, vs.0)) {
             return r;
         }
         let (f_lo, f_hi) = if lf == level { (self.lo(f), self.hi(f)) } else { (f, f) };

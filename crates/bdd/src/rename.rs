@@ -39,7 +39,7 @@ impl Manager {
         if f.is_terminal() {
             return f;
         }
-        if let Some(&r) = self.caches.rename.get(&(f, map.0)) {
+        if let Some(r) = self.caches.rename.get(&(f, map.0)) {
             return r;
         }
         let level = self.level(f);

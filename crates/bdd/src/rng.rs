@@ -1,0 +1,117 @@
+//! A small deterministic PRNG (SplitMix64).
+//!
+//! Used by the explicit-state fault-injection simulator and by the
+//! randomized property tests across the workspace. SplitMix64 passes
+//! BigCrush, needs no state beyond one `u64`, and — crucially for
+//! reproducible tests and an offline build — is ~20 lines of in-tree code
+//! rather than an external dependency. Not cryptographic; do not use it
+//! for anything security-relevant.
+
+/// SplitMix64 generator (Steele, Lea & Flood; the `splitmix64` reference
+/// constants).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed deterministically; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    /// Uses Lemire's multiply-shift reduction (bias is negligible for the
+    /// small bounds used here).
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniformly chosen element of `items`, `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.gen_index(items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SplitMix64::seed_from_u64(2016);
+        let mut b = SplitMix64::seed_from_u64(2016);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(2017);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn random_bool_extremes_and_rough_balance() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..50 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn choose_is_uniform_enough() {
+        let mut rng = SplitMix64::seed_from_u64(42);
+        let items = [10, 20, 30];
+        assert_eq!(rng.choose::<u32>(&[]), None);
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            let &v = rng.choose(&items).unwrap();
+            counts[(v / 10 - 1) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1_200).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -4,11 +4,15 @@
 //! once through the BDD engine and once directly on each of the 2^n
 //! assignments. Canonicity means semantically equal functions must be the
 //! *same node*, which these tests also exploit.
+//!
+//! The generator runs on the in-tree deterministic [`SplitMix64`] PRNG with
+//! per-test fixed seeds: failures reproduce exactly, with the offending
+//! expression printed by the assertion message.
 
-use ftrepair_bdd::{Manager, NodeId, FALSE, TRUE};
-use proptest::prelude::*;
+use ftrepair_bdd::{Manager, NodeId, SplitMix64, FALSE, TRUE};
 
 const NVARS: u32 = 6;
+const CASES: u64 = 128;
 
 /// A random boolean expression.
 #[derive(Clone, Debug)]
@@ -22,46 +26,60 @@ enum Expr {
     Ite(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(Expr::Const),
-        (0..NVARS).prop_map(Expr::Var),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+/// Random expression of depth ≤ `depth`, biased toward internal nodes
+/// (mirrors the old proptest `prop_recursive(5, 64, 3, …)` shape).
+fn gen_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_range(8) == 0 {
+        return if rng.coin() {
+            Expr::Var(rng.gen_range(NVARS as u64) as u32)
+        } else {
+            Expr::Const(rng.coin())
+        };
+    }
+    let sub = |rng: &mut SplitMix64| Box::new(gen_expr(rng, depth - 1));
+    match rng.gen_range(5) {
+        0 => Expr::Not(sub(rng)),
+        1 => Expr::And(sub(rng), sub(rng)),
+        2 => Expr::Or(sub(rng), sub(rng)),
+        3 => Expr::Xor(sub(rng), sub(rng)),
+        _ => Expr::Ite(sub(rng), sub(rng), sub(rng)),
+    }
 }
 
 fn to_bdd(m: &mut Manager, e: &Expr) -> NodeId {
+    to_bdd_with(m, e, 1, 0)
+}
+
+/// Build with levels `stride * v + offset`, so the same helper serves both
+/// the plain tests and the interleaved rename round trip.
+fn to_bdd_with(m: &mut Manager, e: &Expr, stride: u32, offset: u32) -> NodeId {
     match e {
         Expr::Const(true) => TRUE,
         Expr::Const(false) => FALSE,
-        Expr::Var(v) => m.var(*v),
+        Expr::Var(v) => m.var(stride * *v + offset),
         Expr::Not(a) => {
-            let fa = to_bdd(m, a);
+            let fa = to_bdd_with(m, a, stride, offset);
             m.not(fa)
         }
         Expr::And(a, b) => {
-            let (fa, fb) = (to_bdd(m, a), to_bdd(m, b));
+            let fa = to_bdd_with(m, a, stride, offset);
+            let fb = to_bdd_with(m, b, stride, offset);
             m.and(fa, fb)
         }
         Expr::Or(a, b) => {
-            let (fa, fb) = (to_bdd(m, a), to_bdd(m, b));
+            let fa = to_bdd_with(m, a, stride, offset);
+            let fb = to_bdd_with(m, b, stride, offset);
             m.or(fa, fb)
         }
         Expr::Xor(a, b) => {
-            let (fa, fb) = (to_bdd(m, a), to_bdd(m, b));
+            let fa = to_bdd_with(m, a, stride, offset);
+            let fb = to_bdd_with(m, b, stride, offset);
             m.xor(fa, fb)
         }
         Expr::Ite(a, b, c) => {
-            let (fa, fb, fc) = (to_bdd(m, a), to_bdd(m, b), to_bdd(m, c));
+            let fa = to_bdd_with(m, a, stride, offset);
+            let fb = to_bdd_with(m, b, stride, offset);
+            let fc = to_bdd_with(m, c, stride, offset);
             m.ite(fa, fb, fc)
         }
     }
@@ -89,66 +107,100 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..(1u32 << NVARS)).map(|bits| (0..NVARS).map(|i| (bits >> i) & 1 == 1).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random subset of 0..4 distinct variables to quantify over.
+fn gen_quantified(rng: &mut SplitMix64) -> Vec<u32> {
+    let n = rng.gen_range(4);
+    let mut vs: Vec<u32> = (0..n).map(|_| rng.gen_range(NVARS as u64) as u32).collect();
+    vs.sort_unstable();
+    vs.dedup();
+    vs
+}
 
-    #[test]
-    fn bdd_matches_truth_table(e in arb_expr()) {
+/// Run `case` once per seed; the seed namespaces each test so streams don't
+/// correlate between tests.
+fn for_cases(test_tag: u64, mut case: impl FnMut(&mut SplitMix64, u64)) {
+    for i in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(test_tag.wrapping_mul(0x1000) + i);
+        case(&mut rng, i);
+    }
+}
+
+#[test]
+fn bdd_matches_truth_table() {
+    for_cases(1, |rng, i| {
+        let e = gen_expr(rng, 5);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         for a in assignments() {
-            prop_assert_eq!(m.eval(f, &a), eval_expr(&e, &a));
+            assert_eq!(m.eval(f, &a), eval_expr(&e, &a), "case {i}: {e:?} at {a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sat_count_matches_enumeration(e in arb_expr()) {
+#[test]
+fn sat_count_matches_enumeration() {
+    for_cases(2, |rng, i| {
+        let e = gen_expr(rng, 5);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let expected = assignments().filter(|a| eval_expr(&e, a)).count();
-        prop_assert_eq!(m.sat_count(f), expected as f64);
-    }
+        assert_eq!(m.sat_count(f), expected as f64, "case {i}: {e:?}");
+    });
+}
 
-    #[test]
-    fn double_negation_is_identity_node(e in arb_expr()) {
+#[test]
+fn double_negation_is_identity_node() {
+    for_cases(3, |rng, i| {
+        let e = gen_expr(rng, 5);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let nf = m.not(f);
-        prop_assert_eq!(m.not(nf), f);
-    }
+        assert_eq!(m.not(nf), f, "case {i}: {e:?}");
+    });
+}
 
-    #[test]
-    fn canonicity_semantic_eq_implies_same_node(e1 in arb_expr(), e2 in arb_expr()) {
+#[test]
+fn canonicity_semantic_eq_implies_same_node() {
+    for_cases(4, |rng, i| {
+        let e1 = gen_expr(rng, 4);
+        let e2 = gen_expr(rng, 4);
         let mut m = Manager::new(NVARS);
         let f1 = to_bdd(&mut m, &e1);
         let f2 = to_bdd(&mut m, &e2);
         let semantically_equal = assignments().all(|a| eval_expr(&e1, &a) == eval_expr(&e2, &a));
-        prop_assert_eq!(f1 == f2, semantically_equal);
-    }
+        assert_eq!(f1 == f2, semantically_equal, "case {i}: {e1:?} vs {e2:?}");
+    });
+}
 
-    #[test]
-    fn exists_matches_enumeration(e in arb_expr(), quantified in proptest::collection::vec(0..NVARS, 0..4)) {
+#[test]
+fn exists_matches_enumeration() {
+    for_cases(5, |rng, i| {
+        let e = gen_expr(rng, 4);
+        let quantified = gen_quantified(rng);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let vs = m.varset(&quantified);
         let ex = m.exists(f, vs);
         for a in assignments() {
             // ∃: some completion over quantified vars satisfies e.
-            let mut found = false;
             let nq = quantified.len() as u32;
-            for combo in 0..(1u32 << nq.min(16)) {
+            let found = (0..(1u32 << nq)).any(|combo| {
                 let mut a2 = a.clone();
-                for (i, &v) in quantified.iter().enumerate() {
-                    a2[v as usize] = (combo >> i) & 1 == 1;
+                for (k, &v) in quantified.iter().enumerate() {
+                    a2[v as usize] = (combo >> k) & 1 == 1;
                 }
-                if eval_expr(&e, &a2) { found = true; break; }
-            }
-            prop_assert_eq!(m.eval(ex, &a), found);
+                eval_expr(&e, &a2)
+            });
+            assert_eq!(m.eval(ex, &a), found, "case {i}: ∃{quantified:?}. {e:?} at {a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn forall_is_dual_of_exists(e in arb_expr(), quantified in proptest::collection::vec(0..NVARS, 0..4)) {
+#[test]
+fn forall_is_dual_of_exists() {
+    for_cases(6, |rng, i| {
+        let e = gen_expr(rng, 4);
+        let quantified = gen_quantified(rng);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let vs = m.varset(&quantified);
@@ -156,11 +208,16 @@ proptest! {
         let nf = m.not(f);
         let ex = m.exists(nf, vs);
         let dual = m.not(ex);
-        prop_assert_eq!(fa, dual);
-    }
+        assert_eq!(fa, dual, "case {i}: ∀{quantified:?}. {e:?}");
+    });
+}
 
-    #[test]
-    fn and_exists_is_fused_relational_product(e1 in arb_expr(), e2 in arb_expr(), quantified in proptest::collection::vec(0..NVARS, 0..4)) {
+#[test]
+fn and_exists_is_fused_relational_product() {
+    for_cases(7, |rng, i| {
+        let e1 = gen_expr(rng, 4);
+        let e2 = gen_expr(rng, 4);
+        let quantified = gen_quantified(rng);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e1);
         let g = to_bdd(&mut m, &e2);
@@ -168,63 +225,81 @@ proptest! {
         let fused = m.and_exists(f, g, vs);
         let conj = m.and(f, g);
         let unfused = m.exists(conj, vs);
-        prop_assert_eq!(fused, unfused);
-    }
+        assert_eq!(fused, unfused, "case {i}: ∃{quantified:?}. {e1:?} ∧ {e2:?}");
+    });
+}
 
-    #[test]
-    fn restrict_matches_semantics(e in arb_expr(), var in 0..NVARS, val in any::<bool>()) {
+#[test]
+fn restrict_matches_semantics() {
+    for_cases(8, |rng, i| {
+        let e = gen_expr(rng, 5);
+        let var = rng.gen_range(NVARS as u64) as u32;
+        let val = rng.coin();
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let r = m.restrict(f, &[(var, val)]);
         for mut a in assignments() {
             a[var as usize] = val;
-            prop_assert_eq!(m.eval(r, &a), eval_expr(&e, &a));
+            assert_eq!(m.eval(r, &a), eval_expr(&e, &a), "case {i}: {e:?}|{var}={val}");
         }
         // The restricted function no longer depends on `var`.
-        prop_assert!(!m.support(r).contains(&var));
-    }
+        assert!(!m.support(r).contains(&var), "case {i}: {e:?}|{var}={val}");
+    });
+}
 
-    #[test]
-    fn export_import_roundtrip(e in arb_expr()) {
+#[test]
+fn export_import_roundtrip() {
+    for_cases(9, |rng, i| {
+        let e = gen_expr(rng, 5);
         let mut m1 = Manager::new(NVARS);
         let f = to_bdd(&mut m1, &e);
         let s = m1.export(f);
         let mut m2 = Manager::new(NVARS);
         let g = m2.import(&s);
         for a in assignments() {
-            prop_assert_eq!(m2.eval(g, &a), eval_expr(&e, &a));
+            assert_eq!(m2.eval(g, &a), eval_expr(&e, &a), "case {i}: {e:?}");
         }
         // Round trip back into the original manager hits the same node.
-        prop_assert_eq!(m1.import(&m2.export(g)), f);
-    }
+        assert_eq!(m1.import(&m2.export(g)), f, "case {i}: {e:?}");
+    });
+}
 
-    #[test]
-    fn gc_preserves_roots(e1 in arb_expr(), e2 in arb_expr()) {
+#[test]
+fn gc_preserves_roots() {
+    for_cases(10, |rng, i| {
+        let e1 = gen_expr(rng, 5);
+        let e2 = gen_expr(rng, 5);
         let mut m = Manager::new(NVARS);
         let keep = to_bdd(&mut m, &e1);
         let _garbage = to_bdd(&mut m, &e2);
         m.gc([keep]);
         for a in assignments() {
-            prop_assert_eq!(m.eval(keep, &a), eval_expr(&e1, &a));
+            assert_eq!(m.eval(keep, &a), eval_expr(&e1, &a), "case {i}: {e1:?}");
         }
         // The manager still functions after GC: rebuild e1 and get the same node.
         let rebuilt = to_bdd(&mut m, &e1);
-        prop_assert_eq!(rebuilt, keep);
-    }
+        assert_eq!(rebuilt, keep, "case {i}: {e1:?}");
+    });
+}
 
-    #[test]
-    fn pick_minterm_is_satisfying(e in arb_expr()) {
+#[test]
+fn pick_minterm_is_satisfying() {
+    for_cases(11, |rng, i| {
+        let e = gen_expr(rng, 5);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let vars: Vec<u32> = (0..NVARS).collect();
         match m.pick_minterm(f, &vars) {
-            None => prop_assert_eq!(f, FALSE),
-            Some(a) => prop_assert!(m.eval(f, &a)),
+            None => assert_eq!(f, FALSE, "case {i}: {e:?}"),
+            Some(a) => assert!(m.eval(f, &a), "case {i}: {e:?} at {a:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn cube_union_rebuilds_function(e in arb_expr()) {
+#[test]
+fn cube_union_rebuilds_function() {
+    for_cases(12, |rng, i| {
+        let e = gen_expr(rng, 5);
         let mut m = Manager::new(NVARS);
         let f = to_bdd(&mut m, &e);
         let paths: Vec<_> = m.cubes(f).collect();
@@ -233,49 +308,22 @@ proptest! {
             let c = m.cube(p);
             rebuilt = m.or(rebuilt, c);
         }
-        prop_assert_eq!(rebuilt, f);
-    }
+        assert_eq!(rebuilt, f, "case {i}: {e:?}");
+    });
+}
 
-    #[test]
-    fn rename_up_down_roundtrip(e in arb_expr()) {
+#[test]
+fn rename_up_down_roundtrip() {
+    for_cases(13, |rng, i| {
         // Interleaved shift: even→odd then odd→even must be identity.
+        let e = gen_expr(rng, 5);
         let mut m = Manager::new(2 * NVARS);
-        let f = to_bdd_even(&mut m, &e);
-        let up_pairs: Vec<(u32, u32)> = (0..NVARS).map(|i| (2 * i, 2 * i + 1)).collect();
-        let down_pairs: Vec<(u32, u32)> = (0..NVARS).map(|i| (2 * i + 1, 2 * i)).collect();
+        let f = to_bdd_with(&mut m, &e, 2, 0);
+        let up_pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (2 * v, 2 * v + 1)).collect();
+        let down_pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (2 * v + 1, 2 * v)).collect();
         let up = m.varmap(&up_pairs);
         let down = m.varmap(&down_pairs);
         let g = m.rename(f, up);
-        prop_assert_eq!(m.rename(g, down), f);
-    }
-}
-
-/// Build the expression over even levels only (current-state vars in the
-/// interleaved order), for the rename round-trip test.
-fn to_bdd_even(m: &mut Manager, e: &Expr) -> NodeId {
-    match e {
-        Expr::Const(true) => TRUE,
-        Expr::Const(false) => FALSE,
-        Expr::Var(v) => m.var(2 * *v),
-        Expr::Not(a) => {
-            let fa = to_bdd_even(m, a);
-            m.not(fa)
-        }
-        Expr::And(a, b) => {
-            let (fa, fb) = (to_bdd_even(m, a), to_bdd_even(m, b));
-            m.and(fa, fb)
-        }
-        Expr::Or(a, b) => {
-            let (fa, fb) = (to_bdd_even(m, a), to_bdd_even(m, b));
-            m.or(fa, fb)
-        }
-        Expr::Xor(a, b) => {
-            let (fa, fb) = (to_bdd_even(m, a), to_bdd_even(m, b));
-            m.xor(fa, fb)
-        }
-        Expr::Ite(a, b, c) => {
-            let (fa, fb, fc) = (to_bdd_even(m, a), to_bdd_even(m, b), to_bdd_even(m, c));
-            m.ite(fa, fb, fc)
-        }
-    }
+        assert_eq!(m.rename(g, down), f, "case {i}: {e:?}");
+    });
 }

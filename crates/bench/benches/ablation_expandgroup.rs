@@ -8,13 +8,11 @@
 //! * `iterative_plain` — the loop without expansion (exponentially many
 //!   picks in the number of ignorable guard variables).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_bench::harness::bench;
 use ftrepair_casestudies::stabilizing_chain;
 use ftrepair_core::{lazy_repair, RepairOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_expandgroup");
-    group.sample_size(10);
+fn main() {
     let configs: [(&str, RepairOptions); 3] = [
         ("closed_form", RepairOptions::default()),
         ("iterative_expand", RepairOptions::iterative_step2()),
@@ -25,21 +23,12 @@ fn bench(c: &mut Criterion) {
     ];
     for &n in &[4usize, 5, 6] {
         for (name, opts) in &configs {
-            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, &n| {
-                b.iter_batched(
-                    || stabilizing_chain(n, 4).0,
-                    |mut prog| {
-                        let out = lazy_repair(&mut prog, opts);
-                        assert!(!out.failed);
-                        out.stats.step2_picks
-                    },
-                    BatchSize::LargeInput,
-                )
+            bench(&format!("ablation_expandgroup/{name}/{n}"), 10, || {
+                let mut prog = stabilizing_chain(n, 4).0;
+                let out = lazy_repair(&mut prog, opts);
+                assert!(!out.failed);
+                out.stats.step2_picks
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -5,37 +5,21 @@
 //! cautious baseline; restricting Step 1 to the states the fault-intolerant
 //! program actually reaches under faults is what makes lazy repair win.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_bench::harness::bench;
 use ftrepair_casestudies::byzantine_agreement;
 use ftrepair_core::{lazy_repair, RepairOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_heuristic");
-    group.sample_size(10);
+fn main() {
     for &n in &[2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::new("with_heuristic", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_agreement(n).0,
-                |mut prog| {
-                    let out = lazy_repair(&mut prog, &RepairOptions::default());
-                    assert!(!out.failed);
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("ablation_heuristic/with_heuristic/{n}"), 10, || {
+            let mut prog = byzantine_agreement(n).0;
+            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            assert!(!out.failed);
         });
-        group.bench_with_input(BenchmarkId::new("pure_lazy", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_agreement(n).0,
-                |mut prog| {
-                    let out = lazy_repair(&mut prog, &RepairOptions::pure_lazy());
-                    assert!(!out.failed);
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("ablation_heuristic/pure_lazy/{n}"), 10, || {
+            let mut prog = byzantine_agreement(n).0;
+            let out = lazy_repair(&mut prog, &RepairOptions::pure_lazy());
+            assert!(!out.failed);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -6,38 +6,22 @@
 //! depends on how much of the per-process work the import/export round
 //! trip costs back.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_bench::harness::bench;
 use ftrepair_casestudies::byzantine_agreement;
 use ftrepair_core::{lazy_repair, RepairOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_parallel");
-    group.sample_size(10);
+fn main() {
     for &n in &[3usize, 4, 5] {
-        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_agreement(n).0,
-                |mut prog| {
-                    let out = lazy_repair(&mut prog, &RepairOptions::default());
-                    assert!(!out.failed);
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("ablation_parallel/sequential/{n}"), 10, || {
+            let mut prog = byzantine_agreement(n).0;
+            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            assert!(!out.failed);
         });
-        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_agreement(n).0,
-                |mut prog| {
-                    let opts = RepairOptions { parallel_step2: true, ..Default::default() };
-                    let out = lazy_repair(&mut prog, &opts);
-                    assert!(!out.failed);
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("ablation_parallel/parallel/{n}"), 10, || {
+            let mut prog = byzantine_agreement(n).0;
+            let opts = RepairOptions { parallel_step2: true, ..Default::default() };
+            let out = lazy_repair(&mut prog, &opts);
+            assert!(!out.failed);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

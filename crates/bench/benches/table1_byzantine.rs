@@ -5,39 +5,23 @@
 //! non-generals (and with it the reachable state count) grows. The
 //! expected *shape* is lazy ≪ cautious with a gap that widens with size.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_bench::harness::bench;
 use ftrepair_casestudies::byzantine_agreement;
 use ftrepair_core::{cautious_repair, lazy_repair, RepairOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_byzantine");
-    group.sample_size(10);
+fn main() {
     for &n in &[2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_agreement(n).0,
-                |mut prog| {
-                    let out = lazy_repair(&mut prog, &RepairOptions::default());
-                    assert!(!out.failed);
-                    out.stats.outer_iterations
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("table1_byzantine/lazy/{n}"), 10, || {
+            let mut prog = byzantine_agreement(n).0;
+            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            assert!(!out.failed);
+            out.stats.outer_iterations
         });
-        group.bench_with_input(BenchmarkId::new("cautious", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_agreement(n).0,
-                |mut prog| {
-                    let out = cautious_repair(&mut prog, &RepairOptions::default());
-                    assert!(!out.failed);
-                    out.stats.outer_iterations
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("table1_byzantine/cautious/{n}"), 10, || {
+            let mut prog = byzantine_agreement(n).0;
+            let out = cautious_repair(&mut prog, &RepairOptions::default());
+            assert!(!out.failed);
+            out.stats.outer_iterations
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

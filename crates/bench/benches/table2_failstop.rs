@@ -1,28 +1,17 @@
 //! Table II — byzantine agreement with fail-stop faults, lazy repair only
 //! (the configuration the paper reports for this model family).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_bench::harness::bench;
 use ftrepair_casestudies::byzantine_failstop;
 use ftrepair_core::{lazy_repair, RepairOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_failstop");
-    group.sample_size(10);
+fn main() {
     for &n in &[2usize, 3] {
-        group.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, &n| {
-            b.iter_batched(
-                || byzantine_failstop(n).0,
-                |mut prog| {
-                    let out = lazy_repair(&mut prog, &RepairOptions::default());
-                    assert!(!out.failed);
-                    out.stats.outer_iterations
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("table2_failstop/lazy/{n}"), 10, || {
+            let mut prog = byzantine_failstop(n).0;
+            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            assert!(!out.failed);
+            out.stats.outer_iterations
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,28 +1,17 @@
 //! Table III — the stabilizing chain `Sc^n` under lazy repair, with the
 //! per-step split the paper reports (Step 1 dominates; Step 2 stays flat).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ftrepair_bench::harness::bench;
 use ftrepair_casestudies::stabilizing_chain;
 use ftrepair_core::{lazy_repair, RepairOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_chain");
-    group.sample_size(10);
+fn main() {
     for &n in &[6usize, 8, 10] {
-        group.bench_with_input(BenchmarkId::new("lazy_d8", n), &n, |b, &n| {
-            b.iter_batched(
-                || stabilizing_chain(n, 8).0,
-                |mut prog| {
-                    let out = lazy_repair(&mut prog, &RepairOptions::default());
-                    assert!(!out.failed);
-                    out.stats.outer_iterations
-                },
-                BatchSize::LargeInput,
-            )
+        bench(&format!("table3_chain/lazy_d8/{n}"), 10, || {
+            let mut prog = stabilizing_chain(n, 8).0;
+            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            assert!(!out.failed);
+            out.stats.outer_iterations
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,65 +1,94 @@
 //! Regenerate the paper's tables.
 //!
 //! ```text
-//! cargo run --release -p ftrepair-bench --bin tables -- [table1|table2|table3|ablations|all] [--large]
+//! cargo run --release -p ftrepair-bench --bin tables -- \
+//!     [table1|table2|table3|ablations|all] [--large] [--metrics-out <path>]
 //! ```
 //!
 //! `--large` extends every sweep to the biggest instances (minutes of
 //! runtime); without it each table completes in well under a minute.
 //! `--huge` additionally runs the chain at Sc^20 (≈10^18 states — several
 //! minutes and ~10 GB of peak memory, measurement plus re-verification).
+//! `--metrics-out <path>` appends every measured row's JSONL run report —
+//! the same schema the CLI's `ftrepair repair --metrics-out` emits — so
+//! downstream tooling can consume table runs and CLI runs uniformly.
 
-use ftrepair_bench::{measure, render, table1, table1_lazy_only, table2, table3};
+use ftrepair_bench::{measure, render, table1, table1_lazy_only, table2, table3, Row};
 use ftrepair_casestudies::{byzantine_agreement, stabilizing_chain};
 use ftrepair_core::RepairOptions;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let huge = args.iter().any(|a| a == "--huge");
     let large = huge || args.iter().any(|a| a == "--large");
-    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let metrics_out: Option<PathBuf> =
+        args.iter().position(|a| a == "--metrics-out").map(|i| match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => PathBuf::from(p),
+            _ => {
+                eprintln!("--metrics-out requires a path argument");
+                std::process::exit(1);
+            }
+        });
+    let what = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--metrics-out"))
+        .map(|(_, a)| a.as_str())
+        .next()
+        .unwrap_or("all");
 
-    match what {
+    let rows = match what {
         "table1" => run_table1(large),
         "table2" => run_table2(large),
         "table3" => run_table3(large, huge),
         "ablations" => run_ablations(large),
         "all" => {
-            run_table1(large);
-            run_table2(large);
-            run_table3(large, huge);
-            run_ablations(large);
+            let mut rows = run_table1(large);
+            rows.extend(run_table2(large));
+            rows.extend(run_table3(large, huge));
+            rows.extend(run_ablations(large));
+            rows
         }
         other => {
             eprintln!("unknown selector {other}; use table1|table2|table3|ablations|all");
             std::process::exit(1);
         }
+    };
+
+    if let Some(path) = metrics_out {
+        for row in &rows {
+            if let Err(e) = row.report.append_to(&path) {
+                eprintln!("failed to append metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprintln!("wrote {} JSONL report lines to {}", rows.len(), path.display());
     }
 }
 
-fn run_table1(large: bool) {
+fn run_table1(large: bool) -> Vec<Row> {
     let sizes: &[usize] = if large { &[2, 3, 4, 5, 6, 8] } else { &[2, 3, 4, 5] };
     let mut rows = table1(sizes);
     // Lazy-only extension, like the paper's largest rows where the cautious
     // baseline becomes impractical.
     let extension: &[usize] = if large { &[10, 12] } else { &[6, 8] };
     rows.extend(table1_lazy_only(extension));
-    println!(
-        "{}",
-        render(&rows, "Table I — Byzantine agreement: cautious vs lazy repair")
-    );
+    println!("{}", render(&rows, "Table I — Byzantine agreement: cautious vs lazy repair"));
+    rows
 }
 
-fn run_table2(large: bool) {
+fn run_table2(large: bool) -> Vec<Row> {
     let sizes: &[usize] = if large { &[2, 3, 4, 5, 6] } else { &[2, 3, 4] };
     let rows = table2(sizes);
     println!(
         "{}",
         render(&rows, "Table II — Byzantine agreement with fail-stop faults (lazy repair)")
     );
+    rows
 }
 
-fn run_table3(large: bool, huge: bool) {
+fn run_table3(large: bool, huge: bool) -> Vec<Row> {
     let sizes: &[usize] = if huge {
         &[8, 10, 12, 14, 16, 20]
     } else if large {
@@ -69,9 +98,10 @@ fn run_table3(large: bool, huge: bool) {
     };
     let rows = table3(sizes, 8);
     println!("{}", render(&rows, "Table III — Stabilizing chain Sc^n (lazy repair, d = 8)"));
+    rows
 }
 
-fn run_ablations(large: bool) {
+fn run_ablations(large: bool) -> Vec<Row> {
     let n = if large { 5 } else { 4 };
 
     // Ablation A: the reachable-states heuristic (paper: "pure lazy repair
@@ -93,7 +123,10 @@ fn run_ablations(large: bool) {
     );
     println!(
         "{}",
-        render(&[with, without], "Ablation A — reachable-states heuristic on/off (Section V-A)")
+        render(
+            &[with.clone(), without.clone()],
+            "Ablation A — reachable-states heuristic on/off (Section V-A)"
+        )
     );
 
     // Ablation B: Step 2 strategies — closed form vs Algorithm 2's loop
@@ -120,7 +153,7 @@ fn run_ablations(large: bool) {
     println!(
         "{}",
         render(
-            &[closed, iter_expand, iter_plain],
+            &[closed.clone(), iter_expand.clone(), iter_plain.clone()],
             "Ablation B — Step 2 strategy: closed form vs Algorithm 2 loop ± ExpandGroup (Section V-B)"
         )
     );
@@ -138,5 +171,10 @@ fn run_ablations(large: bool) {
         &RepairOptions { parallel_step2: true, ..Default::default() },
         false,
     );
-    println!("{}", render(&[seq, par], "Ablation C — parallel Step 2 (per-process workers)"));
+    println!(
+        "{}",
+        render(&[seq.clone(), par.clone()], "Ablation C — parallel Step 2 (per-process workers)")
+    );
+
+    vec![with, without, closed, iter_expand, iter_plain, seq, par]
 }

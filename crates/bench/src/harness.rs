@@ -1,0 +1,34 @@
+//! Self-contained timing harness for the `[[bench]]` targets: one warmup
+//! run, then the median (plus min/max) of `runs` timed runs, printed one
+//! line per benchmark. Keeps `cargo bench` building offline; the shape of
+//! the output mirrors `crates/bdd/benches/ops.rs`.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` (median over `runs` after one warmup) and print one line.
+pub fn bench<T>(name: &str, runs: usize, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!("{name:<36} median {median:>10.3?}   min {min:>10.3?}   max {max:>10.3?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_warmup_plus_n() {
+        let mut calls = 0;
+        bench("noop", 5, || calls += 1);
+        assert_eq!(calls, 6);
+    }
+}

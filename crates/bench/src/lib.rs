@@ -15,18 +15,25 @@
 //!
 //! Every measured repair is re-verified (masking + realizability) before a
 //! row is reported; rows carry the measured reachable-state counts so the
-//! tables are self-describing. Use `cargo run --release -p ftrepair-bench
-//! --bin tables -- all` for the paper-style output, or the Criterion
-//! benches for statistically robust timings on the smaller instances.
+//! tables are self-describing, and every row also carries the same JSONL
+//! [`RunReport`] the CLI's `--metrics-out` emits (one schema, two
+//! producers). Use `cargo run --release -p ftrepair-bench --bin tables --
+//! all` for the paper-style output, or `cargo bench -p ftrepair-bench` for
+//! median-of-N timings on the smaller instances.
+
+pub mod harness;
 
 use ftrepair_casestudies::{byzantine_agreement, byzantine_failstop, stabilizing_chain};
-use ftrepair_core::{cautious_repair, lazy_repair, verify::verify_outcome, LazyOutcome, RepairOptions};
+use ftrepair_core::{
+    build_run_report, cautious_repair, lazy_repair_traced, verify::verify_outcome, LazyOutcome,
+    RepairOptions,
+};
 use ftrepair_program::DistributedProgram;
-use serde::Serialize;
+use ftrepair_telemetry::{RunReport, Telemetry};
 use std::time::Duration;
 
 /// One row of an experiment table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Instance label (e.g. `BA^4`, `Sc^12`).
     pub instance: String,
@@ -46,6 +53,9 @@ pub struct Row {
     /// Did lazy repair declare failure (no repair found / did not
     /// converge)? `verified` is false in that case.
     pub failed: bool,
+    /// The lazy run's JSONL report — identical schema to the CLI's
+    /// `--metrics-out` lines.
+    pub report: RunReport,
 }
 
 impl Row {
@@ -73,17 +83,25 @@ pub fn measure(
     opts: &RepairOptions,
     with_cautious: bool,
 ) -> Row {
+    let label = label.into();
     let mut prog = factory();
     let reachable = reachable_states(&mut prog);
 
     let mut prog = factory();
-    let out: LazyOutcome = lazy_repair(&mut prog, opts);
+    let tele = Telemetry::new();
+    let out: LazyOutcome = lazy_repair_traced(&mut prog, opts, &tele);
+    // Report before verification: the verifier's BDD traffic must not
+    // pollute the run's cache hit rates.
+    let mut report =
+        build_run_report(&label, "lazy", opts, &out.stats, out.failed, &tele, &prog.cx);
     let verified = if out.failed {
         false
     } else {
         let (m, r) = verify_outcome(&mut prog, &out);
         m.ok() && r.ok()
     };
+    report.set("reachable_states", reachable.into());
+    report.set("verified", verified.into());
 
     let cautious = with_cautious.then(|| {
         let mut prog = factory();
@@ -93,7 +111,7 @@ pub fn measure(
     });
 
     Row {
-        instance: label.into(),
+        instance: label,
         reachable_states: reachable,
         cautious,
         step1: out.stats.step1_time,
@@ -101,6 +119,7 @@ pub fn measure(
         outer_iterations: out.stats.outer_iterations,
         verified,
         failed: out.failed,
+        report,
     }
 }
 
@@ -109,12 +128,7 @@ pub fn table1(sizes: &[usize]) -> Vec<Row> {
     sizes
         .iter()
         .map(|&n| {
-            measure(
-                format!("BA^{n}"),
-                || byzantine_agreement(n).0,
-                &RepairOptions::default(),
-                true,
-            )
+            measure(format!("BA^{n}"), || byzantine_agreement(n).0, &RepairOptions::default(), true)
         })
         .collect()
 }
@@ -178,10 +192,8 @@ pub fn render(rows: &[Row], title: &str) -> String {
     .unwrap();
     writeln!(out, "|---|---|---|---|---|---|---|---|").unwrap();
     for r in rows {
-        let cautious = r
-            .cautious
-            .map(|d| format!("{:.3}s", d.as_secs_f64()))
-            .unwrap_or_else(|| "—".into());
+        let cautious =
+            r.cautious.map(|d| format!("{:.3}s", d.as_secs_f64())).unwrap_or_else(|| "—".into());
         let speedup = r
             .cautious
             .map(|c| format!("{:.1}×", c.as_secs_f64() / r.lazy_total().as_secs_f64()))
@@ -221,6 +233,16 @@ mod tests {
         assert!(row.cautious.is_some());
         assert!(row.reachable_states > 0.0);
         assert!(row.lazy_total() > Duration::ZERO);
+        // The attached report is a valid JSONL line in the CLI schema.
+        let j = ftrepair_telemetry::Json::parse(&row.report.to_json_line()).unwrap();
+        assert_eq!(j.get("case").unwrap().as_str(), Some("BA^1"));
+        assert_eq!(j.get("mode").unwrap().as_str(), Some("lazy"));
+        assert_eq!(j.get("verified").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            j.get("counters").unwrap().get("repair.outer_iterations").unwrap().as_u64(),
+            Some(row.outer_iterations as u64)
+        );
+        assert!(j.get("caches").unwrap().get("apply").is_some());
     }
 
     #[test]
@@ -241,6 +263,7 @@ mod tests {
             outer_iterations: 1,
             verified: true,
             failed: false,
+            report: RunReport::new("X^1", "lazy"),
         }];
         let md = render(&rows, "Demo");
         assert!(md.contains("### Demo"));

@@ -21,22 +21,38 @@ fn main() {
             let (mut p, _) = byzantine_agreement(n);
             let t0 = Instant::now();
             let out = cautious_repair(&mut p, &opts);
-            println!("BA n={n} cautious: failed={} time={:?} iters={} picks={}",
-                out.failed, t0.elapsed(), out.stats.outer_iterations, out.stats.step2_picks);
+            println!(
+                "BA n={n} cautious: failed={} time={:?} iters={} picks={}",
+                out.failed,
+                t0.elapsed(),
+                out.stats.outer_iterations,
+                out.stats.step2_picks
+            );
         }
         "fs" => {
             let (mut p, _) = byzantine_failstop(n);
             let t0 = Instant::now();
             let out = lazy_repair(&mut p, &opts);
-            println!("FS n={n} lazy: failed={} time={:?} (s1={:?} s2={:?})",
-                out.failed, t0.elapsed(), out.stats.step1_time, out.stats.step2_time);
+            println!(
+                "FS n={n} lazy: failed={} time={:?} (s1={:?} s2={:?})",
+                out.failed,
+                t0.elapsed(),
+                out.stats.step1_time,
+                out.stats.step2_time
+            );
         }
         "chain" => {
             let (mut p, _) = stabilizing_chain(n, d);
             let t0 = Instant::now();
             let out = lazy_repair(&mut p, &opts);
-            println!("Chain n={n} d={d} lazy: failed={} time={:?} (s1={:?} s2={:?}) picks={}",
-                out.failed, t0.elapsed(), out.stats.step1_time, out.stats.step2_time, out.stats.step2_picks);
+            println!(
+                "Chain n={n} d={d} lazy: failed={} time={:?} (s1={:?} s2={:?}) picks={}",
+                out.failed,
+                t0.elapsed(),
+                out.stats.step1_time,
+                out.stats.step2_time,
+                out.stats.step2_picks
+            );
             println!("  manager: {:?}", p.cx.mgr_ref().stats());
         }
         _ => eprintln!("unknown {what}"),

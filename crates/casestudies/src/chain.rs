@@ -41,8 +41,8 @@ pub fn stabilizing_chain(n: usize, d: u64) -> (DistributedProgram, Vec<VarId>) {
 
     // Transient faults: any one cell (including the root) jumps anywhere.
     let all_values: Vec<u64> = (0..d).collect();
-    for i in 0..n {
-        bld.fault_action(ftrepair_bdd::TRUE, &[(x[i], Update::Choice(all_values.clone()))]);
+    for &xi in &x {
+        bld.fault_action(ftrepair_bdd::TRUE, &[(xi, Update::Choice(all_values.clone()))]);
     }
 
     (bld.build(), x)

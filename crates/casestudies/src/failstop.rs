@@ -235,7 +235,7 @@ fn ba_like_invariant(bld: &mut ProgramBuilder, vars: &FailStopVars) -> NodeId {
         }
         acc
     };
-    for k in 0..n {
+    for (k, &act) in active.iter().enumerate().take(n) {
         let matches = {
             let mut acc = FALSE;
             for v in 0..2 {
@@ -246,7 +246,7 @@ fn ba_like_invariant(bld: &mut ProgramBuilder, vars: &FailStopVars) -> NodeId {
             }
             acc
         };
-        let inactive = bld.cx().mgr().not(active[k]);
+        let inactive = bld.cx().mgr().not(act);
         let ok = {
             let a = bld.cx().mgr().or(inactive, matches);
             bld.cx().mgr().or(a, all_settled)

@@ -51,8 +51,8 @@ pub fn token_ring(n: usize, k: u64) -> (DistributedProgram, Vec<VarId>) {
 
     // Transient faults: any single counter jumps anywhere.
     let all_values: Vec<u64> = (0..k).collect();
-    for i in 0..n {
-        b.fault_action(TRUE, &[(x[i], Update::Choice(all_values.clone()))]);
+    for &xi in &x {
+        b.fault_action(TRUE, &[(xi, Update::Choice(all_values.clone()))]);
     }
 
     (b.build(), x)

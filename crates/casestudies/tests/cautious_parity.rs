@@ -4,7 +4,9 @@
 //! different places, not different repairs).
 
 use ftrepair_casestudies::{byzantine_agreement, stabilizing_chain, tmr, token_ring};
-use ftrepair_core::{cautious_repair, lazy_repair, verify::verify_outcome, LazyOutcome, RepairOptions};
+use ftrepair_core::{
+    cautious_repair, lazy_repair, verify::verify_outcome, LazyOutcome, RepairOptions,
+};
 use ftrepair_program::DistributedProgram;
 
 fn check_cautious(p: &mut DistributedProgram) -> LazyOutcome {

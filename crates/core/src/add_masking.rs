@@ -224,8 +224,7 @@ mod tests {
         assert_eq!(p.cx.count_states(r.span), 3.0);
         let orig = p.program_trans();
         let faults = p.faults;
-        let report =
-            verify_masking(&mut p.cx, orig, inv, r.trans, r.invariant, faults, &safety);
+        let report = verify_masking(&mut p.cx, orig, inv, r.trans, r.invariant, faults, &safety);
         assert!(report.ok(), "{report:?}");
     }
 

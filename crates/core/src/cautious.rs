@@ -17,6 +17,7 @@ use crate::stats::RepairStats;
 use crate::step2::{partition_for, with_outside_span};
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{semantics, DistributedProgram, Process};
+use ftrepair_telemetry::Telemetry;
 use std::time::Instant;
 
 /// Output of cautious repair; same shape as [`crate::lazy::LazyOutcome`].
@@ -39,6 +40,18 @@ pub struct CautiousOutcome {
 
 /// Run cautious repair on `prog`.
 pub fn cautious_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> CautiousOutcome {
+    cautious_repair_traced(prog, opts, &Telemetry::off())
+}
+
+/// [`cautious_repair`] with telemetry: a span around each iteration's
+/// group-enforcement pass (the cost this baseline exists to expose),
+/// per-iteration BDD-size samples, and the same mirrored counters as the
+/// lazy pipeline.
+pub fn cautious_repair_traced(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+) -> CautiousOutcome {
     let started = Instant::now();
     let mut stats = RepairStats::default();
 
@@ -126,6 +139,7 @@ pub fn cautious_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> C
     loop {
         iterations += 1;
         stats.outer_iterations = iterations;
+        tele.add("repair.outer_iterations", 1);
         if iterations > opts.max_outer_iterations * 8 {
             stats.step1_time = started.elapsed();
             return fail(stats);
@@ -149,14 +163,18 @@ pub fn cautious_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> C
 
         // THE CAUTIOUS COST: re-derive group-closed per-process relations
         // for this iteration's estimate.
-        let with_free = with_outside_span(&mut prog.cx, p1_raw, t1);
-        p1 = FALSE;
-        for j in 0..prog.processes.len() {
-            let read = prog.processes[j].read.clone();
-            let write = prog.processes[j].write.clone();
-            let dj = partition_for(&mut prog.cx, &read, &write, with_free, opts, &mut stats);
-            grouped[j] = dj;
-            p1 = prog.cx.mgr().or(p1, dj);
+        {
+            let _group_span = tele.span("cautious.group_enforcement");
+            let with_free = with_outside_span(&mut prog.cx, p1_raw, t1);
+            p1 = FALSE;
+            for (j, slot) in grouped.iter_mut().enumerate() {
+                let read = prog.processes[j].read.clone();
+                let write = prog.processes[j].write.clone();
+                let dj =
+                    partition_for(&mut prog.cx, &read, &write, with_free, opts, &mut stats, tele);
+                *slot = dj;
+                p1 = prog.cx.mgr().or(p1, dj);
+            }
         }
 
         // Fixpoint updates against the *grouped* relation.
@@ -183,6 +201,27 @@ pub fn cautious_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> C
         if s1_new == FALSE {
             stats.step1_time = started.elapsed();
             return fail(stats);
+        }
+
+        // Per-iteration BDD shape, mirroring the lazy pipeline's series so
+        // run reports of both modes plot the same columns.
+        if tele.enabled() {
+            let mgr = cx.mgr_ref();
+            let inv_nodes = mgr.node_count(s1_new) as u64;
+            let span_nodes = mgr.node_count(t1_new) as u64;
+            let live = mgr.stats().live_nodes as u64;
+            tele.max_gauge("bdd.peak_invariant_nodes", inv_nodes);
+            tele.max_gauge("bdd.peak_span_nodes", span_nodes);
+            tele.max_gauge("bdd.peak_live_nodes", live);
+            tele.push_sample(
+                "iterations",
+                &[
+                    ("iter", iterations as f64),
+                    ("invariant_nodes", inv_nodes as f64),
+                    ("span_nodes", span_nodes as f64),
+                    ("live_nodes", live as f64),
+                ],
+            );
         }
 
         // Cycle breaking, group-consciously: compute the acyclic layered

@@ -4,11 +4,12 @@
 
 use crate::add_masking::add_masking;
 use crate::options::RepairOptions;
-use crate::parallel::step2_parallel;
+use crate::parallel::step2_parallel_traced;
 use crate::stats::RepairStats;
-use crate::step2::step2;
+use crate::step2::step2_traced;
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{DistributedProgram, Process};
+use ftrepair_telemetry::Telemetry;
 use std::time::Instant;
 
 /// Output of lazy repair.
@@ -31,6 +32,19 @@ pub struct LazyOutcome {
 
 /// Run Algorithm 1 on `prog`.
 pub fn lazy_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> LazyOutcome {
+    lazy_repair_traced(prog, opts, &Telemetry::off())
+}
+
+/// [`lazy_repair`] with telemetry: spans around every outer iteration and
+/// both steps, per-iteration BDD-size samples (the `iterations` series in
+/// run reports), peak-size gauges, and counters that mirror the
+/// [`RepairStats`] fields event-for-event. With a disabled handle every
+/// instrumentation point is a single branch.
+pub fn lazy_repair_traced(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+) -> LazyOutcome {
     let mut stats = RepairStats::default();
     let mut s_prime = prog.invariant;
     let mut safety = prog.safety;
@@ -44,11 +58,16 @@ pub fn lazy_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> LazyO
     };
 
     for _ in 0..opts.max_outer_iterations {
+        let _iter_span = tele.span("outer_iteration");
         stats.outer_iterations += 1;
+        tele.add("repair.outer_iterations", 1);
 
         // Step 1 (Line 3).
         let t0 = Instant::now();
-        let r1 = add_masking(prog, s_prime, &safety, opts.restrict_to_reachable);
+        let r1 = {
+            let _s = tele.span("step1");
+            add_masking(prog, s_prime, &safety, opts.restrict_to_reachable)
+        };
         stats.step1_time += t0.elapsed();
         if r1.failed {
             return LazyOutcome {
@@ -62,18 +81,40 @@ pub fn lazy_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> LazyO
         }
         s_prime = r1.invariant;
 
+        // Per-iteration BDD shape: how big the invariant/fault-span grew
+        // this round, and how full the arena is. Gated — `node_count`
+        // walks the DAG, which is not free.
+        if tele.enabled() {
+            let mgr = prog.cx.mgr_ref();
+            let inv_nodes = mgr.node_count(s_prime) as u64;
+            let span_nodes = mgr.node_count(r1.span) as u64;
+            let live = mgr.stats().live_nodes as u64;
+            tele.max_gauge("bdd.peak_invariant_nodes", inv_nodes);
+            tele.max_gauge("bdd.peak_span_nodes", span_nodes);
+            tele.max_gauge("bdd.peak_live_nodes", live);
+            tele.push_sample(
+                "iterations",
+                &[
+                    ("iter", stats.outer_iterations as f64),
+                    ("invariant_nodes", inv_nodes as f64),
+                    ("span_nodes", span_nodes as f64),
+                    ("live_nodes", live as f64),
+                ],
+            );
+        }
+
         // Step 2 (Line 9).
         let t1 = Instant::now();
-        let r2 = if opts.parallel_step2 {
-            step2_parallel(prog, r1.trans, r1.span, opts)
-        } else {
-            step2(prog, r1.trans, r1.span, opts)
+        let r2 = {
+            let _s = tele.span("step2");
+            if opts.parallel_step2 {
+                step2_parallel_traced(prog, r1.trans, r1.span, opts, tele)
+            } else {
+                step2_traced(prog, r1.trans, r1.span, opts, tele)
+            }
         };
         stats.step2_time += t1.elapsed();
-        stats.groups_kept += r2.stats.groups_kept;
-        stats.groups_dropped += r2.stats.groups_dropped;
-        stats.expansions += r2.stats.expansions;
-        stats.step2_picks += r2.stats.step2_picks;
+        stats.absorb(&r2.stats);
 
         // Line 10: deadlocks created by Step 2's removals, judged on the
         // states actually reachable in the presence of faults. Outside the
@@ -106,6 +147,8 @@ pub fn lazy_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> LazyO
                 stats,
             };
         }
+
+        tele.add("repair.deadlock_retries", 1);
 
         // Line 11: outlaw transitions into the deadlock states and
         // transitions leaving the fault-span, then repeat. A deadlock state

@@ -23,6 +23,10 @@
 //!   process, each with its own BDD manager, shipped
 //!   [`ftrepair_bdd::SerializedBdd`]s) — our HPC extension; an ablation
 //!   bench quantifies it.
+//! * [`report`](crate::report) — the JSONL run-report builder shared by the
+//!   CLI's `--metrics-out` and the bench tables; every algorithm above has
+//!   a `_traced` variant taking an [`ftrepair_telemetry::Telemetry`] handle
+//!   that feeds it.
 //!
 //! Every public entry point returns enough of the intermediate state
 //! (`ms`, `mt`, invariant, fault-span, per-process relations) for the
@@ -36,13 +40,15 @@ pub mod lazy;
 pub mod options;
 pub mod parallel;
 pub mod ranking;
+pub mod report;
 pub mod stats;
 pub mod step2;
 pub mod verify;
 
 pub use add_masking::{add_masking, AddMaskingResult};
-pub use cautious::{cautious_repair, CautiousOutcome};
-pub use lazy::{lazy_repair, LazyOutcome};
+pub use cautious::{cautious_repair, cautious_repair_traced, CautiousOutcome};
+pub use lazy::{lazy_repair, lazy_repair_traced, LazyOutcome};
 pub use options::RepairOptions;
+pub use report::build_run_report;
 pub use stats::RepairStats;
-pub use step2::{step2, Step2Result};
+pub use step2::{step2, step2_traced, Step2Result};

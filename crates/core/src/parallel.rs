@@ -16,6 +16,7 @@ use crate::stats::RepairStats;
 use crate::step2::{partition_for, with_outside_span, Step2Result};
 use ftrepair_bdd::{NodeId, SerializedBdd, FALSE};
 use ftrepair_program::{DistributedProgram, Process};
+use ftrepair_telemetry::Telemetry;
 
 /// Parallel version of [`crate::step2::step2`]; same contract, same output
 /// (checked by tests), different wall-clock profile.
@@ -25,10 +26,26 @@ pub fn step2_parallel(
     span: NodeId,
     opts: &RepairOptions,
 ) -> Step2Result {
+    step2_parallel_traced(prog, trans, span, opts, &Telemetry::off())
+}
+
+/// [`step2_parallel`] with telemetry: each worker shard gets its own
+/// `step2.worker.<process>` span, and group counters flow into the shared
+/// registry directly from the worker threads (a [`Telemetry`] clone shares
+/// one registry; counter bumps are relaxed atomic adds, so no lock joins
+/// the hot path).
+pub fn step2_parallel_traced(
+    prog: &mut DistributedProgram,
+    trans: NodeId,
+    span: NodeId,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+) -> Step2Result {
     let delta = with_outside_span(&mut prog.cx, trans, span);
     let shipped = prog.cx.mgr_ref().export(delta);
 
     struct Job {
+        name: String,
         read: Vec<ftrepair_symbolic::VarId>,
         write: Vec<ftrepair_symbolic::VarId>,
         cx: ftrepair_symbolic::SymbolicContext,
@@ -36,37 +53,48 @@ pub fn step2_parallel(
     let jobs: Vec<Job> = prog
         .processes
         .iter()
-        .map(|p| Job { read: p.read.clone(), write: p.write.clone(), cx: prog.cx.fork_layout() })
+        .map(|p| Job {
+            name: p.name.clone(),
+            read: p.read.clone(),
+            write: p.write.clone(),
+            cx: prog.cx.fork_layout(),
+        })
         .collect();
 
-    let results: Vec<(SerializedBdd, RepairStats)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(SerializedBdd, RepairStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|mut job| {
                 let shipped = &shipped;
                 let opts = *opts;
-                scope.spawn(move |_| {
+                let tele = tele.clone();
+                scope.spawn(move || {
+                    let label = format!("step2.worker.{}", job.name);
+                    let _shard = tele.span(&label);
                     let delta = job.cx.mgr().import(shipped);
                     let mut stats = RepairStats::default();
-                    let dj =
-                        partition_for(&mut job.cx, &job.read, &job.write, delta, &opts, &mut stats);
+                    let dj = partition_for(
+                        &mut job.cx,
+                        &job.read,
+                        &job.write,
+                        delta,
+                        &opts,
+                        &mut stats,
+                        &tele,
+                    );
                     (job.cx.mgr_ref().export(dj), stats)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("step2 worker panicked")).collect()
-    })
-    .expect("step2 thread scope failed");
+    });
 
     let mut stats = RepairStats::default();
     let mut processes = Vec::with_capacity(results.len());
     let mut union = FALSE;
     for ((dj_shipped, worker_stats), p) in results.into_iter().zip(&prog.processes) {
         let dj = prog.cx.mgr().import(&dj_shipped);
-        stats.groups_kept += worker_stats.groups_kept;
-        stats.groups_dropped += worker_stats.groups_dropped;
-        stats.expansions += worker_stats.expansions;
-        stats.step2_picks += worker_stats.step2_picks;
+        stats.absorb(&worker_stats);
         processes.push(Process {
             name: p.name.clone(),
             read: p.read.clone(),

@@ -9,6 +9,7 @@ use crate::stats::RepairStats;
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{realizability, DistributedProgram, Process};
 use ftrepair_symbolic::SymbolicContext;
+use ftrepair_telemetry::Telemetry;
 
 /// Output of Algorithm 2.
 #[derive(Clone, Debug)]
@@ -28,6 +29,19 @@ pub fn step2(
     span: NodeId,
     opts: &RepairOptions,
 ) -> Step2Result {
+    step2_traced(prog, trans, span, opts, &Telemetry::off())
+}
+
+/// [`step2`] with telemetry: group pick/keep/drop/expand decisions are
+/// counted into `tele` alongside the [`RepairStats`] fields (same events,
+/// same numbers — run reports and returned stats must agree).
+pub fn step2_traced(
+    prog: &mut DistributedProgram,
+    trans: NodeId,
+    span: NodeId,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+) -> Step2Result {
     let mut stats = RepairStats::default();
     let nprocs = prog.processes.len();
     // Line 1: δ := δ_P'' ∪ { (s0, s1) | s0 ∉ T } — all transitions starting
@@ -37,7 +51,7 @@ pub fn step2(
     let mut processes = Vec::with_capacity(nprocs);
     let mut union = FALSE;
     for j in 0..nprocs {
-        let delta_j = process_partition(prog, j, delta, opts, &mut stats);
+        let delta_j = process_partition(prog, j, delta, opts, &mut stats, tele);
         let p = &prog.processes[j];
         processes.push(Process {
             name: p.name.clone(),
@@ -51,11 +65,7 @@ pub fn step2(
 }
 
 /// Line 1 of Algorithm 2 as a predicate transform.
-pub(crate) fn with_outside_span(
-    cx: &mut SymbolicContext,
-    trans: NodeId,
-    span: NodeId,
-) -> NodeId {
+pub(crate) fn with_outside_span(cx: &mut SymbolicContext, trans: NodeId, span: NodeId) -> NodeId {
     let outside = {
         let universe = cx.state_universe();
         cx.mgr().diff(universe, span)
@@ -72,10 +82,11 @@ pub(crate) fn process_partition(
     delta: NodeId,
     opts: &RepairOptions,
     stats: &mut RepairStats,
+    tele: &Telemetry,
 ) -> NodeId {
     let read = prog.processes[j].read.clone();
     let write = prog.processes[j].write.clone();
-    partition_for(&mut prog.cx, &read, &write, delta, opts, stats)
+    partition_for(&mut prog.cx, &read, &write, delta, opts, stats, tele)
 }
 
 /// Standalone form of the per-process loop: everything it needs is the
@@ -88,7 +99,16 @@ pub(crate) fn partition_for(
     delta: NodeId,
     opts: &RepairOptions,
     stats: &mut RepairStats,
+    tele: &Telemetry,
 ) -> NodeId {
+    // Lock-free counter handles, registered once per process — the inner
+    // pick loop only touches atomics. Each increment sits next to its
+    // `RepairStats` twin so the two tallies cannot drift apart.
+    let c_picks = tele.counter("step2.picks");
+    let c_kept = tele.counter("step2.groups_kept");
+    let c_dropped = tele.counter("step2.groups_dropped");
+    let c_expansions = tele.counter("step2.expansions");
+
     let unwritable: Vec<_> = cx.var_ids().into_iter().filter(|v| !write.contains(v)).collect();
     let unreadable: Vec<_> = cx.var_ids().into_iter().filter(|v| !read.contains(v)).collect();
     let expandable: Vec<_> = read.iter().copied().filter(|v| !write.contains(v)).collect();
@@ -111,11 +131,14 @@ pub(crate) fn partition_for(
         let bad = realizability::group(cx, &unreadable, missing);
         let keep = cx.mgr().diff(cand, bad);
         stats.step2_picks += 1;
+        c_picks.inc();
         if keep != FALSE {
             stats.groups_kept += 1;
+            c_kept.inc();
         }
         if bad != FALSE {
             stats.groups_dropped += 1;
+            c_dropped.inc();
         }
         debug_assert!({
             let g = realizability::group(cx, &unreadable, keep);
@@ -130,6 +153,7 @@ pub(crate) fn partition_for(
     // Lines 7–22: peel off one group (or its expansion) at a time.
     while cand != FALSE {
         stats.step2_picks += 1;
+        c_picks.inc();
         // Line 8: choose one concrete transition.
         let pick = cx.mgr().pick_cube_bdd(cand, &all_levels);
         debug_assert_ne!(pick, FALSE);
@@ -140,6 +164,7 @@ pub(crate) fn partition_for(
             // Line 11: incomplete group — remove it wholesale.
             cand = cx.mgr().diff(cand, g);
             stats.groups_dropped += 1;
+            c_dropped.inc();
             continue;
         }
         // Lines 13–18: try to expand over each readable-but-not-written
@@ -150,6 +175,7 @@ pub(crate) fn partition_for(
                 if g2 != g && cx.mgr().leq(g2, cand) {
                     g = g2;
                     stats.expansions += 1;
+                    c_expansions.inc();
                 }
             }
         }
@@ -157,6 +183,7 @@ pub(crate) fn partition_for(
         delta_j = cx.mgr().or(delta_j, g);
         cand = cx.mgr().diff(cand, g);
         stats.groups_kept += 1;
+        c_kept.inc();
     }
     delta_j
 }

@@ -27,8 +27,7 @@ fn default_policy_keeps_initial_states_in_the_invariant() {
 fn strict_policy_still_verifies_but_shrinks_more() {
     let (mut p, _) = byzantine_agreement(2);
     let default_out = lazy_repair(&mut p, &RepairOptions::default());
-    let strict_opts =
-        RepairOptions { allow_new_terminal_inside: false, ..Default::default() };
+    let strict_opts = RepairOptions { allow_new_terminal_inside: false, ..Default::default() };
     let strict_out = lazy_repair(&mut p, &strict_opts);
     assert!(!default_out.failed && !strict_out.failed);
 
@@ -43,10 +42,7 @@ fn strict_policy_still_verifies_but_shrinks_more() {
     // strict verifier.
     let (m_default, r_default) = verify_outcome(&mut p, &default_out);
     assert!(m_default.ok() && r_default.ok());
-    assert!(
-        !m_default.ok_strict(),
-        "the default policy deliberately accepts new terminal states"
-    );
+    assert!(!m_default.ok_strict(), "the default policy deliberately accepts new terminal states");
     let (m_strict, r_strict) = verify_outcome(&mut p, &strict_out);
     assert!(m_strict.ok_strict(), "{m_strict:?}");
     assert!(r_strict.ok());
@@ -87,10 +83,7 @@ fn heuristic_off_explores_a_larger_span() {
 fn parallel_step2_reproduces_sequential_on_byzantine() {
     let (mut p, _) = byzantine_agreement(2);
     let seq = lazy_repair(&mut p, &RepairOptions::default());
-    let par = lazy_repair(
-        &mut p,
-        &RepairOptions { parallel_step2: true, ..Default::default() },
-    );
+    let par = lazy_repair(&mut p, &RepairOptions { parallel_step2: true, ..Default::default() });
     assert!(!seq.failed && !par.failed);
     assert_eq!(seq.trans, par.trans);
     assert_eq!(seq.invariant, par.invariant);

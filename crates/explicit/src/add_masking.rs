@@ -81,8 +81,7 @@ pub fn add_masking(prog: &ExplicitProgram, opts: AddMaskingOptions) -> ExplicitR
     // Phase 2: initial invariant guess S₁ = S − ms, deadlocks pruned w.r.t.
     // the original transitions minus mt.
     let mut s1: HashSet<u32> = prog.invariant.difference(&ms).copied().collect();
-    let safe_delta: Vec<(u32, u32)> =
-        delta_p.iter().copied().filter(|&(a, b)| !mt(a, b)).collect();
+    let safe_delta: Vec<(u32, u32)> = delta_p.iter().copied().filter(|&(a, b)| !mt(a, b)).collect();
     s1 = graph::prune_deadlocks_except(&s1, &safe_delta, &stutters);
 
     // Phase 3: initial fault-span guess T₁.
@@ -99,10 +98,8 @@ pub fn add_masking(prog: &ExplicitProgram, opts: AddMaskingOptions) -> ExplicitR
     // deleted by Step 2's write filter (mirrors the symbolic engine).
     let one_writer = |a: u32, b: u32| -> bool {
         let (va, vb) = (prog.space.decode(a), prog.space.decode(b));
-        let changed: Vec<usize> =
-            (0..va.len()).filter(|&i| va[i] != vb[i]).collect();
-        changed.is_empty()
-            || prog.writes.iter().any(|w| changed.iter().all(|c| w.contains(c)))
+        let changed: Vec<usize> = (0..va.len()).filter(|&i| va[i] != vb[i]).collect();
+        changed.is_empty() || prog.writes.iter().any(|w| changed.iter().all(|c| w.contains(c)))
     };
 
     // Phase 4: the joint fixpoint on (S₁, T₁).
@@ -158,11 +155,8 @@ pub fn add_masking(prog: &ExplicitProgram, opts: AddMaskingOptions) -> ExplicitR
     //  2. at each round admit every p1 edge from the new layer into the
     //     already-peeled set (safe shortcuts),
     //  3. BFS over p1 for states only synthesized recovery can save.
-    let orig_in_span: Vec<(u32, u32)> = safe_delta
-        .iter()
-        .copied()
-        .filter(|&(a, b)| t1.contains(&a) && t1.contains(&b))
-        .collect();
+    let orig_in_span: Vec<(u32, u32)> =
+        safe_delta.iter().copied().filter(|&(a, b)| t1.contains(&a) && t1.contains(&b)).collect();
     let region = graph::backward_reachable(&s1, &orig_in_span);
     let p1_succ = graph::successors(&p1);
     let orig_succ = graph::successors(&orig_in_span);
@@ -172,11 +166,8 @@ pub fn add_masking(prog: &ExplicitProgram, opts: AddMaskingOptions) -> ExplicitR
     let mut assigned: HashSet<u32> = s1.clone();
     // Phases 1+2: peel the original subgraph.
     loop {
-        let remaining: HashSet<u32> = region
-            .iter()
-            .copied()
-            .filter(|s| !assigned.contains(s) && t1.contains(s))
-            .collect();
+        let remaining: HashSet<u32> =
+            region.iter().copied().filter(|s| !assigned.contains(s) && t1.contains(s)).collect();
         if remaining.is_empty() {
             break;
         }
@@ -184,9 +175,7 @@ pub fn add_masking(prog: &ExplicitProgram, opts: AddMaskingOptions) -> ExplicitR
             .iter()
             .copied()
             .filter(|s| {
-                orig_succ
-                    .get(s)
-                    .map_or(true, |succs| succs.iter().all(|v| !remaining.contains(v)))
+                orig_succ.get(s).is_none_or(|succs| succs.iter().all(|v| !remaining.contains(v)))
             })
             .collect();
         if layer.is_empty() {
@@ -277,7 +266,7 @@ fn allowed_transitions(
 mod tests {
     use super::*;
     use crate::verify::verify_masking_explicit;
-    use ftrepair_program::{ProgramBuilder, Update, DistributedProgram};
+    use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
 
     /// x ∈ {0,1,2}: program toggles 0↔1 (invariant {0,1}); fault jumps to 2;
     /// no recovery in the original program. Add-Masking must invent 2→{0,1}.

@@ -37,19 +37,12 @@ impl ExplicitProgram {
         let radices: Vec<u64> = prog.cx.var_ids().iter().map(|&v| prog.cx.info(v).size).collect();
         let space = StateSpace::new(radices);
         let proc_names = prog.processes.iter().map(|p| p.name.clone()).collect();
-        let reads = prog
-            .processes
-            .iter()
-            .map(|p| p.read.iter().map(|v| v.0 as usize).collect())
-            .collect();
-        let writes = prog
-            .processes
-            .iter()
-            .map(|p| p.write.iter().map(|v| v.0 as usize).collect())
-            .collect();
+        let reads =
+            prog.processes.iter().map(|p| p.read.iter().map(|v| v.0 as usize).collect()).collect();
+        let writes =
+            prog.processes.iter().map(|p| p.write.iter().map(|v| v.0 as usize).collect()).collect();
         let parts = prog.partitions();
-        let proc_trans =
-            parts.iter().map(|&t| bdd_to_edges(prog, &space, t)).collect::<Vec<_>>();
+        let proc_trans = parts.iter().map(|&t| bdd_to_edges(prog, &space, t)).collect::<Vec<_>>();
         let faults = bdd_to_edges(prog, &space, prog.faults);
         let invariant = bdd_to_states(prog, &space, prog.invariant);
         let bad_states = bdd_to_states(prog, &space, prog.safety.bad_states);
@@ -73,6 +66,20 @@ impl ExplicitProgram {
         all.sort_unstable();
         all.dedup();
         all
+    }
+
+    /// Record the explicit graph's shape (state/edge counts) as telemetry
+    /// gauges, so run reports can relate symbolic BDD sizes to the concrete
+    /// graph they encode.
+    pub fn record_telemetry(&self, tele: &ftrepair_telemetry::Telemetry) {
+        if !tele.enabled() {
+            return;
+        }
+        tele.set_gauge("explicit.states", self.space.num_states());
+        tele.set_gauge("explicit.program_edges", self.program_trans().len() as u64);
+        tele.set_gauge("explicit.fault_edges", self.faults.len() as u64);
+        tele.set_gauge("explicit.invariant_states", self.invariant.len() as u64);
+        tele.set_gauge("explicit.bad_states", self.bad_states.len() as u64);
     }
 
     /// Positions of variables process `j` cannot read.
@@ -123,10 +130,8 @@ pub fn bdd_to_edges(
         // bits, keeping this O(n²) loop tolerable.
         let mut assignment = vec![false; nlevels];
         fill_current(prog, &fv, &mut assignment);
-        let lits: Vec<(u32, bool)> = current_levels(prog)
-            .into_iter()
-            .map(|l| (l, assignment[l as usize]))
-            .collect();
+        let lits: Vec<(u32, bool)> =
+            current_levels(prog).into_iter().map(|l| (l, assignment[l as usize])).collect();
         let row = prog.cx.mgr().restrict(trans, &lits);
         if row == ftrepair_bdd::FALSE {
             continue;
@@ -207,10 +212,8 @@ mod tests {
         let e = ExplicitProgram::from_symbolic(&mut p);
         let t = p.processes[0].trans;
         let sym: Vec<(Vec<u64>, Vec<u64>)> = p.cx.enumerate_transitions(t, 1000);
-        let exp: Vec<(Vec<u64>, Vec<u64>)> = e.proc_trans[0]
-            .iter()
-            .map(|&(a, b)| (e.space.decode(a), e.space.decode(b)))
-            .collect();
+        let exp: Vec<(Vec<u64>, Vec<u64>)> =
+            e.proc_trans[0].iter().map(|&(a, b)| (e.space.decode(a), e.space.decode(b))).collect();
         let mut sym_sorted = sym;
         sym_sorted.sort_unstable();
         let mut exp_sorted = exp;

@@ -114,8 +114,8 @@ pub fn ranks_to(target: &HashSet<u32>, edges: &[(u32, u32)]) -> HashMap<u32, u32
         let r = rank[&s];
         if let Some(prev) = pred.get(&s) {
             for &p in prev {
-                if !rank.contains_key(&p) {
-                    rank.insert(p, r + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = rank.entry(p) {
+                    e.insert(r + 1);
                     queue.push_back(p);
                 }
             }

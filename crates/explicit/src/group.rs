@@ -21,10 +21,7 @@ pub fn group_of_transition(
     let v0 = space.decode(s0);
     let v1 = space.decode(s1);
     for &u in unreadable {
-        assert_eq!(
-            v0[u], v1[u],
-            "transition changes unreadable variable {u}; group undefined"
-        );
+        assert_eq!(v0[u], v1[u], "transition changes unreadable variable {u}; group undefined");
     }
     let from_variants = space.vary(&v0, unreadable);
     let mut out = Vec::with_capacity(from_variants.len());

@@ -11,7 +11,7 @@
 //! thousands of runs on the repaired case studies.
 
 use crate::extract::ExplicitProgram;
-use rand::prelude::*;
+use ftrepair_bdd::SplitMix64;
 use std::collections::HashSet;
 
 /// Configuration for one batch of runs.
@@ -73,7 +73,7 @@ pub fn simulate(
     trans: &[(u32, u32)],
     invariant: &HashSet<u32>,
     config: &SimConfig,
-    rng: &mut impl Rng,
+    rng: &mut SplitMix64,
 ) -> SimReport {
     let succ = crate::graph::successors(trans);
     let fault_succ = crate::graph::successors(&prog.faults);
@@ -82,15 +82,14 @@ pub fn simulate(
         v.sort_unstable();
         v
     };
-    let mut report =
-        SimReport { runs: 0, steps: 0, faults_injected: 0, failure: None };
+    let mut report = SimReport { runs: 0, steps: 0, faults_injected: 0, failure: None };
     if starts.is_empty() {
         return report;
     }
 
     'runs: for _ in 0..config.runs {
         report.runs += 1;
-        let mut state = *starts.choose(rng).unwrap();
+        let mut state = *rng.choose(&starts).unwrap();
         let mut trace = vec![state];
         let mut faults_left = config.max_faults;
         let mut since_last_fault = 0usize;
@@ -120,10 +119,10 @@ pub fn simulate(
                 faults_left -= 1;
                 since_last_fault = 0;
                 report.faults_injected += 1;
-                *fault_options.unwrap().choose(rng).unwrap()
+                *rng.choose(fault_options.unwrap()).unwrap()
             } else if let Some(options) = succ.get(&state) {
                 since_last_fault += 1;
-                *options.choose(rng).unwrap()
+                *rng.choose(options).unwrap()
             } else if invariant.contains(&state) {
                 // Terminal legitimate state (stutters): if no faults remain
                 // to shake it loose, the run is done.
@@ -136,7 +135,7 @@ pub fn simulate(
                 // stutter without faults firing, inject now.
                 faults_left -= 1;
                 report.faults_injected += 1;
-                match fault_succ.get(&state).and_then(|v| v.choose(rng)) {
+                match fault_succ.get(&state).and_then(|v| rng.choose(v)) {
                     Some(&s) => s,
                     None => continue 'runs, // nothing can happen here at all
                 }
@@ -163,8 +162,6 @@ pub fn simulate(
 mod tests {
     use super::*;
     use ftrepair_program::{ProgramBuilder, Update};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn tolerant() -> ExplicitProgram {
         let mut b = ProgramBuilder::new("toy");
@@ -193,7 +190,7 @@ mod tests {
         let e = tolerant();
         let trans = e.program_trans();
         let inv = e.invariant.clone();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let report = simulate(&e, &trans, &inv, &SimConfig::default(), &mut rng);
         assert!(report.ok(), "{:?}", report.failure);
         assert_eq!(report.runs, 200);
@@ -207,7 +204,7 @@ mod tests {
         let trans: Vec<(u32, u32)> =
             e.program_trans().into_iter().filter(|&(a, _)| a != 2).collect();
         let inv = e.invariant.clone();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let config = SimConfig { runs: 500, ..Default::default() };
         let report = simulate(&e, &trans, &inv, &config, &mut rng);
         assert!(matches!(report.failure, Some(SimFailure::NoRecovery(_))), "{report:?}");
@@ -237,7 +234,7 @@ mod tests {
         let e = ExplicitProgram::from_symbolic(&mut p);
         let trans = e.program_trans();
         let inv = e.invariant.clone();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let config = SimConfig { runs: 500, fault_probability: 0.9, ..Default::default() };
         let report = simulate(&e, &trans, &inv, &config, &mut rng);
         assert!(matches!(report.failure, Some(SimFailure::BadState(_))), "{report:?}");

@@ -76,9 +76,8 @@ pub fn verify_masking_explicit(
     let span = graph::forward_reachable(new_inv, &combined);
 
     let bad_state_hit = span.iter().any(|s| prog.bad_states.contains(s));
-    let bad_trans_hit = combined
-        .iter()
-        .any(|&(a, b)| span.contains(&a) && prog.bad_trans.contains(&(a, b)));
+    let bad_trans_hit =
+        combined.iter().any(|&(a, b)| span.contains(&a) && prog.bad_trans.contains(&(a, b)));
     let safe_under_faults = !bad_state_hit && !bad_trans_hit;
 
     let outside: HashSet<u32> = span.difference(new_inv).copied().collect();
@@ -136,8 +135,7 @@ mod tests {
     #[test]
     fn dropping_recovery_fails_recovery_check() {
         let e = toy();
-        let t: Vec<(u32, u32)> =
-            e.program_trans().into_iter().filter(|&(a, _)| a != 2).collect();
+        let t: Vec<(u32, u32)> = e.program_trans().into_iter().filter(|&(a, _)| a != 2).collect();
         let inv = e.invariant.clone();
         let r = verify_masking_explicit(&e, &t, &inv);
         assert!(!r.recovery_guaranteed);
@@ -189,8 +187,9 @@ mod tests {
         let t_sym = p.program_trans();
         let (inv_sym, faults) = (p.invariant, p.faults);
         let safety = p.safety;
-        let sym =
-            ftrepair_program::verify::verify_masking(&mut p.cx, t_sym, inv_sym, t_sym, inv_sym, faults, &safety);
+        let sym = ftrepair_program::verify::verify_masking(
+            &mut p.cx, t_sym, inv_sym, t_sym, inv_sym, faults, &safety,
+        );
         let t_exp = e.program_trans();
         let inv_exp = e.invariant.clone();
         let exp = verify_masking_explicit(&e, &t_exp, &inv_exp);

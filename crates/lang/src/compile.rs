@@ -59,17 +59,13 @@ pub fn compile(ast: &Program) -> Result<DistributedProgram, CompileError> {
         vars.insert(decl.name.clone(), v);
     }
     let lookup = |name: &str| -> Result<VarId, CompileError> {
-        vars.get(name).copied().ok_or(CompileError {
-            message: format!("unknown variable {name}"),
-        })
+        vars.get(name).copied().ok_or(CompileError { message: format!("unknown variable {name}") })
     };
 
     // Processes.
     for proc_ in &ast.processes {
-        let read: Vec<VarId> =
-            proc_.read.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
-        let write: Vec<VarId> =
-            proc_.write.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+        let read: Vec<VarId> = proc_.read.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+        let write: Vec<VarId> = proc_.write.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
         for w in &proc_.write {
             if !proc_.read.contains(w) {
                 return err(format!(
@@ -141,9 +137,9 @@ fn compile_action(
                 ));
             }
         }
-        let target = *vars.get(&assign.target).ok_or(CompileError {
-            message: format!("unknown variable {}", assign.target),
-        })?;
+        let target = *vars
+            .get(&assign.target)
+            .ok_or(CompileError { message: format!("unknown variable {}", assign.target) })?;
         let size = cx.info(target).size;
         let mut rel = FALSE;
         for choice in &assign.choices {
@@ -208,12 +204,11 @@ fn compile_expr(
         Expr::Bool(true) => Compiled::Bool(TRUE),
         Expr::Bool(false) => Compiled::Bool(FALSE),
         Expr::Var(name) => {
-            let v = *vars.get(name).ok_or(CompileError {
-                message: format!("unknown variable {name}"),
-            })?;
+            let v = *vars
+                .get(name)
+                .ok_or(CompileError { message: format!("unknown variable {name}") })?;
             let size = cx.info(v).size;
-            let family =
-                (0..size).map(|val| (val, cx.assign_eq(v, val))).collect::<Vec<_>>();
+            let family = (0..size).map(|val| (val, cx.assign_eq(v, val))).collect::<Vec<_>>();
             Compiled::Values(family)
         }
         Expr::Primed(name) => {
@@ -222,12 +217,11 @@ fn compile_expr(
                     "primed variable {name}' is only allowed in badtrans expressions"
                 ));
             }
-            let v = *vars.get(name).ok_or(CompileError {
-                message: format!("unknown variable {name}"),
-            })?;
+            let v = *vars
+                .get(name)
+                .ok_or(CompileError { message: format!("unknown variable {name}") })?;
             let size = cx.info(v).size;
-            let family =
-                (0..size).map(|val| (val, cx.assign_const(v, val))).collect::<Vec<_>>();
+            let family = (0..size).map(|val| (val, cx.assign_const(v, val))).collect::<Vec<_>>();
             Compiled::Values(family)
         }
         Expr::Not(inner) => {
@@ -508,8 +502,7 @@ mod tests {
         let t = p.processes[0].trans;
         let region = p.cx.state_universe();
         let lv = p.liveness.clone();
-        let results =
-            ftrepair_program::verify::check_liveness(&mut p.cx, region, t, &lv);
+        let results = ftrepair_program::verify::check_liveness(&mut p.cx, region, t, &lv);
         assert_eq!(results, vec![true, false]);
     }
 

@@ -102,7 +102,7 @@ pub fn unparse_expr(e: &Expr) -> String {
 mod tests {
     use super::*;
     use crate::parser::parse;
-    use proptest::prelude::*;
+    use ftrepair_bdd::SplitMix64;
 
     const TOY: &str = r#"
     program toggle;
@@ -135,81 +135,118 @@ mod tests {
         assert!(unparse(&ast).contains("var b : boolean;"));
     }
 
-    // Random-AST round trip.
+    // Random-AST round trip, driven by the in-tree deterministic PRNG so
+    // every run checks the same 128 cases per property.
 
-    fn arb_name() -> impl Strategy<Value = String> {
-        "[a-z][a-z0-9]{0,4}".prop_map(|s| s)
+    const CASES: u64 = 128;
+
+    /// Keywords and literal spellings a generated identifier must avoid —
+    /// `parse(unparse(Var("var")))` would lex as a keyword, not a name.
+    const RESERVED: &[&str] = &[
+        "program",
+        "var",
+        "boolean",
+        "process",
+        "read",
+        "write",
+        "begin",
+        "end",
+        "fault",
+        "invariant",
+        "badstates",
+        "badtrans",
+        "leadsto",
+        "true",
+        "false",
+    ];
+
+    fn gen_name(rng: &mut SplitMix64) -> String {
+        loop {
+            let len = 1 + rng.gen_index(5);
+            let mut s = String::new();
+            for i in 0..len {
+                let c = if i == 0 {
+                    b'a' + rng.gen_range(26) as u8
+                } else {
+                    let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+                    alphabet[rng.gen_index(alphabet.len())]
+                };
+                s.push(c as char);
+            }
+            if !RESERVED.contains(&s.as_str()) {
+                return s;
+            }
+        }
     }
 
     /// Value-typed expressions (what may appear under `+`, `-` and
     /// comparisons) — mirrors the language's typing, which is also what
     /// the grammar can express.
-    fn arb_value() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            (0u64..10).prop_map(Expr::Int),
-            arb_name().prop_map(Expr::Var),
-            arb_name().prop_map(Expr::Primed),
-        ];
-        leaf.prop_recursive(3, 12, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            ]
-        })
+    fn gen_value(rng: &mut SplitMix64, depth: u32) -> Expr {
+        if depth == 0 || rng.gen_range(3) == 0 {
+            return match rng.gen_range(3) {
+                0 => Expr::Int(rng.gen_range(10)),
+                1 => Expr::Var(gen_name(rng)),
+                _ => Expr::Primed(gen_name(rng)),
+            };
+        }
+        let a = Box::new(gen_value(rng, depth - 1));
+        let b = Box::new(gen_value(rng, depth - 1));
+        if rng.coin() {
+            Expr::Add(a, b)
+        } else {
+            Expr::Sub(a, b)
+        }
     }
 
     /// Boolean-typed expressions.
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let cmp = (
-            prop_oneof![
-                Just(CmpOp::Eq),
-                Just(CmpOp::Neq),
-                Just(CmpOp::Lt),
-                Just(CmpOp::Le),
-                Just(CmpOp::Gt),
-                Just(CmpOp::Ge)
-            ],
-            arb_value(),
-            arb_value(),
-        )
-            .prop_map(|(op, a, b)| Expr::Cmp(op, Box::new(a), Box::new(b)));
-        let leaf = prop_oneof![any::<bool>().prop_map(Expr::Bool), cmp];
-        leaf.prop_recursive(3, 16, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            ]
-        })
+    fn gen_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+        if depth == 0 || rng.gen_range(3) == 0 {
+            if rng.coin() {
+                return Expr::Bool(rng.coin());
+            }
+            let op = match rng.gen_range(6) {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Neq,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            let a = Box::new(gen_value(rng, 2));
+            let b = Box::new(gen_value(rng, 2));
+            return Expr::Cmp(op, a, b);
+        }
+        match rng.gen_range(3) {
+            0 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+            1 => Expr::And(Box::new(gen_expr(rng, depth - 1)), Box::new(gen_expr(rng, depth - 1))),
+            _ => Expr::Or(Box::new(gen_expr(rng, depth - 1)), Box::new(gen_expr(rng, depth - 1))),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn expr_roundtrip(e in arb_expr()) {
+    #[test]
+    fn expr_roundtrip() {
+        for i in 0..CASES {
+            let mut rng = SplitMix64::seed_from_u64(0x1000 + i);
+            let e = gen_expr(&mut rng, 3);
             // Wrap in a minimal program: badtrans accepts primed vars.
             let src = format!("program t; badtrans {};", unparse_expr(&e));
             let ast = parse(&src).unwrap_or_else(|err| panic!("{err}\n{src}"));
-            prop_assert_eq!(&ast.bad_trans[0], &e);
+            assert_eq!(&ast.bad_trans[0], &e, "case {i}: {src}");
         }
+    }
 
-        #[test]
-        fn action_roundtrip(
-            guard in arb_expr(),
-            target in arb_name(),
-            choices in proptest::collection::vec(arb_value(), 1..3),
-        ) {
+    #[test]
+    fn action_roundtrip() {
+        for i in 0..CASES {
+            let mut rng = SplitMix64::seed_from_u64(0x2000 + i);
+            let guard = gen_expr(&mut rng, 3);
+            let target = gen_name(&mut rng);
+            let choices = (0..1 + rng.gen_index(2)).map(|_| gen_value(&mut rng, 2)).collect();
             let a = Action { guard, assigns: vec![Assign { target, choices }] };
             let src = format!("program t; fault f begin {} end", unparse_action(&a));
-            let ast = parse(&src).unwrap_or_else(|err| {
-                panic!("{err}\n{}", unparse_action(&a))
-            });
-            prop_assert_eq!(&ast.faults[0].actions[0], &a);
+            let ast = parse(&src).unwrap_or_else(|err| panic!("{err}\n{}", unparse_action(&a)));
+            assert_eq!(&ast.faults[0].actions[0], &a, "case {i}: {src}");
         }
     }
 }

@@ -95,8 +95,7 @@ pub fn decompile_for(
         cx.mgr().diff(delta, id)
     };
 
-    let unwritable: Vec<VarId> =
-        cx.var_ids().into_iter().filter(|v| !write.contains(v)).collect();
+    let unwritable: Vec<VarId> = cx.var_ids().into_iter().filter(|v| !write.contains(v)).collect();
     debug_assert!({
         let frame = cx.unchanged_all(&unwritable);
         cx.mgr().leq(delta, frame)
@@ -105,8 +104,7 @@ pub fn decompile_for(
     // Project away: both copies of unreadable variables, and the next
     // copies of read-only variables (determined by the frame). What is
     // left mentions exactly cur(read) and next(write).
-    let unreadable: Vec<VarId> =
-        cx.var_ids().into_iter().filter(|v| !read.contains(v)).collect();
+    let unreadable: Vec<VarId> = cx.var_ids().into_iter().filter(|v| !read.contains(v)).collect();
     let unread_bits = cx.both_varset(&unreadable);
     let mut rel = cx.mgr().exists(delta, unread_bits);
     let read_only: Vec<VarId> = read.iter().copied().filter(|v| !write.contains(v)).collect();
@@ -136,8 +134,8 @@ pub fn decompile_for(
             }
         }
         for &v in write {
-            let vals = values_of(cx, v, &path, true)
-                .unwrap_or_else(|| (0..cx.info(v).size).collect());
+            let vals =
+                values_of(cx, v, &path, true).unwrap_or_else(|| (0..cx.info(v).size).collect());
             updates.push((v, vals));
         }
         out.push(GuardedCommand { guard, updates });
@@ -149,12 +147,7 @@ pub fn decompile_for(
 /// The value set of variable `v` consistent with the bit literals fixed on
 /// `path`; `None` when no bit of `v` is constrained (and the constraint
 /// would be the full domain).
-fn values_of(
-    cx: &SymbolicContext,
-    v: VarId,
-    path: &[(u32, bool)],
-    next: bool,
-) -> Option<Vec<u64>> {
+fn values_of(cx: &SymbolicContext, v: VarId, path: &[(u32, bool)], next: bool) -> Option<Vec<u64>> {
     let bits = cx.info(v).bits;
     let size = cx.info(v).size;
     let mut fixed: Vec<(u32, bool)> = Vec::new();
@@ -182,10 +175,8 @@ pub fn render_process(prog: &mut DistributedProgram, p: &Process, j: usize) -> S
     use std::fmt::Write;
     let commands = decompile_process(prog, j, p.trans);
     let mut out = String::new();
-    let reads: Vec<&str> =
-        p.read.iter().map(|&v| prog.cx.info(v).name.as_str()).collect();
-    let writes: Vec<&str> =
-        p.write.iter().map(|&v| prog.cx.info(v).name.as_str()).collect();
+    let reads: Vec<&str> = p.read.iter().map(|&v| prog.cx.info(v).name.as_str()).collect();
+    let writes: Vec<&str> = p.write.iter().map(|&v| prog.cx.info(v).name.as_str()).collect();
     writeln!(out, "process {}", p.name).unwrap();
     writeln!(out, "  read {};", reads.join(", ")).unwrap();
     writeln!(out, "  write {};", writes.join(", ")).unwrap();
@@ -227,8 +218,10 @@ mod tests {
         assert!(all.contains("(x = 1)"), "{all}");
         // The nondeterministic choice shows as a set (possibly split over
         // cubes, so accept either form).
-        assert!(all.contains("{0, 2}") || (all.contains("x := 0") && all.contains("x := 2")),
-            "{all}");
+        assert!(
+            all.contains("{0, 2}") || (all.contains("x := 0") && all.contains("x := 2")),
+            "{all}"
+        );
     }
 
     /// Round trip: decompiled commands, re-encoded, give back the relation.

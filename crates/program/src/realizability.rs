@@ -208,7 +208,7 @@ mod tests {
         let bigger = expand_group(&mut f.cx, f.v[0], g);
         assert!(f.cx.mgr().leq(g, bigger));
         assert_eq!(f.cx.count_transitions(bigger), 4.0); // v0, v2 free
-        // The sibling group with v0=1 is inside the expansion.
+                                                         // The sibling group with v0=1 is inside the expansion.
         let sib = f.t([1, 0, 0], [1, 1, 0]);
         let sib_g = group(&mut f.cx, &ur, sib);
         assert!(f.cx.mgr().leq(sib_g, bigger));

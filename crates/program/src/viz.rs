@@ -38,12 +38,9 @@ pub fn state_graph_dot(
         states.len()
     );
 
-    let label = |s: &[u64]| {
-        s.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
-    };
-    let ident = |s: &[u64]| {
-        format!("s{}", s.iter().map(u64::to_string).collect::<Vec<_>>().join("_"))
-    };
+    let label = |s: &[u64]| s.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    let ident =
+        |s: &[u64]| format!("s{}", s.iter().map(u64::to_string).collect::<Vec<_>>().join("_"));
 
     let mut out = String::from("digraph program {\n  rankdir=LR;\n");
     for s in &states {
@@ -57,8 +54,7 @@ pub fn state_graph_dot(
         } else {
             "circle\", style=\"dotted"
         };
-        writeln!(out, "  {} [label=\"{}\", shape=\"{}\"];", ident(s), label(s), shape)
-            .unwrap();
+        writeln!(out, "  {} [label=\"{}\", shape=\"{}\"];", ident(s), label(s), shape).unwrap();
     }
     for from in &states {
         let from_cube = cx.state_cube(from);

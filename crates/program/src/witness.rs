@@ -216,8 +216,7 @@ mod tests {
         let mut p = line_program();
         let t = p.program_trans();
         let (inv, faults, safety) = (p.invariant, p.faults, p.safety);
-        let trace =
-            safety_counterexample(&mut p.cx, inv, t, faults, &safety).expect("unsafe");
+        let trace = safety_counterexample(&mut p.cx, inv, t, faults, &safety).expect("unsafe");
         assert_eq!(trace.last().unwrap(), &vec![3]);
     }
 
@@ -239,8 +238,7 @@ mod tests {
         let mut p = b.build();
         let t = p.program_trans();
         let (inv, faults, safety) = (p.invariant, p.faults, p.safety);
-        let trace =
-            safety_counterexample(&mut p.cx, inv, t, faults, &safety).expect("unsafe");
+        let trace = safety_counterexample(&mut p.cx, inv, t, faults, &safety).expect("unsafe");
         assert_eq!(trace, vec![vec![0], vec![1], vec![0]]);
     }
 

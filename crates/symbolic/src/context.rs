@@ -2,11 +2,10 @@
 //! and rename maps.
 
 use ftrepair_bdd::{Manager, VarMapId, VarSetId};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a finite-domain program variable within a
 /// [`SymbolicContext`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct VarId(pub u32);
 
 /// Metadata for one finite-domain variable.
@@ -46,10 +45,7 @@ impl SymbolicContext {
     pub fn add_var(&mut self, name: impl Into<String>, size: u64) -> VarId {
         let name = name.into();
         assert!(size >= 2, "domain of {name} must have at least 2 values");
-        assert!(
-            self.vars.iter().all(|v| v.name != name),
-            "duplicate variable name {name}"
-        );
+        assert!(self.vars.iter().all(|v| v.name != name), "duplicate variable name {name}");
         let bits = 64 - (size - 1).leading_zeros();
         let info = VarInfo { name, size, bits, offset: self.total_bits };
         self.vars.push(info);

@@ -176,7 +176,7 @@ mod tests {
     fn counting_excludes_dead_encodings() {
         let mut cx = SymbolicContext::new();
         let a = cx.add_var("a", 3); // 2 bits, encoding 3 is dead
-        // Raw TRUE over bits would be 4; count_states must say 3.
+                                    // Raw TRUE over bits would be 4; count_states must say 3.
         assert_eq!(cx.count_states(TRUE), 3.0);
         // Explicit dead encoding must count as zero.
         let lits = [(cx.cur_level(a, 0), true), (cx.cur_level(a, 1), true)];

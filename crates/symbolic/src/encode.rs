@@ -21,8 +21,7 @@ impl SymbolicContext {
         assert!(val < info.size, "value {val} out of domain 0..{} for {}", info.size, info.name);
         let lits: Vec<(u32, bool)> = (0..info.bits)
             .map(|k| {
-                let level =
-                    if next { self.next_level(v, k) } else { self.cur_level(v, k) };
+                let level = if next { self.next_level(v, k) } else { self.cur_level(v, k) };
                 (level, (val >> k) & 1 == 1)
             })
             .collect();

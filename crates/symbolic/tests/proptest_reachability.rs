@@ -1,9 +1,15 @@
 //! Property-based validation of the symbolic image/preimage/reachability
 //! machinery against a brute-force explicit evaluator.
+//!
+//! Random transition systems come from the in-tree deterministic
+//! [`SplitMix64`] PRNG with fixed per-test seeds, so every run checks the
+//! same instances and failures reproduce exactly.
 
+use ftrepair_bdd::SplitMix64;
 use ftrepair_symbolic::{SymbolicContext, VarId};
-use proptest::prelude::*;
 use std::collections::HashSet;
+
+const CASES: u64 = 96;
 
 /// Blueprint: up to 3 variables with domains 2..=3 and a random edge list
 /// given as concrete (from, to) value vectors.
@@ -14,25 +20,25 @@ struct Blueprint {
     init: Vec<u64>,
 }
 
-fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
-    proptest::collection::vec(2..=3u64, 1..=3).prop_flat_map(|sizes| {
-        let state = {
-            let sizes = sizes.clone();
-            move || {
-                let per: Vec<_> = sizes.iter().map(|&s| 0..s).collect();
-                per
-            }
-        };
-        let one_state = state().into_iter().collect::<Vec<_>>();
-        let state_strategy = one_state;
-        let edge = (state_strategy.clone(), state_strategy.clone());
-        (
-            Just(sizes),
-            proptest::collection::vec(edge, 0..12),
-            state_strategy,
-        )
-            .prop_map(|(sizes, edges, init)| Blueprint { sizes, edges, init })
-    })
+fn gen_state(rng: &mut SplitMix64, sizes: &[u64]) -> Vec<u64> {
+    sizes.iter().map(|&s| rng.gen_range(s)).collect()
+}
+
+fn gen_blueprint(rng: &mut SplitMix64) -> Blueprint {
+    let nvars = 1 + rng.gen_range(3) as usize;
+    let sizes: Vec<u64> = (0..nvars).map(|_| 2 + rng.gen_range(2)).collect();
+    let nedges = rng.gen_range(12) as usize;
+    let edges = (0..nedges).map(|_| (gen_state(rng, &sizes), gen_state(rng, &sizes))).collect();
+    let init = gen_state(rng, &sizes);
+    Blueprint { sizes, edges, init }
+}
+
+fn for_cases(test_tag: u64, mut case: impl FnMut(&Blueprint, u64)) {
+    for i in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(test_tag.wrapping_mul(0x1000) + i);
+        let bp = gen_blueprint(&mut rng);
+        case(&bp, i);
+    }
 }
 
 fn build(bp: &Blueprint) -> (SymbolicContext, Vec<VarId>, ftrepair_bdd::NodeId) {
@@ -62,83 +68,79 @@ fn explicit_reach(bp: &Blueprint) -> HashSet<Vec<u64>> {
     seen
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn forward_reachability_matches_bruteforce(bp in arb_blueprint()) {
-        let (mut cx, _, trans) = build(&bp);
+#[test]
+fn forward_reachability_matches_bruteforce() {
+    for_cases(1, |bp, i| {
+        let (mut cx, _, trans) = build(bp);
         let init = cx.state_cube(&bp.init);
         let reach = cx.forward_reachable(init, trans);
-        let symbolic: HashSet<Vec<u64>> =
-            cx.enumerate_states(reach, 10_000).into_iter().collect();
-        prop_assert_eq!(symbolic, explicit_reach(&bp));
-    }
+        let symbolic: HashSet<Vec<u64>> = cx.enumerate_states(reach, 10_000).into_iter().collect();
+        assert_eq!(symbolic, explicit_reach(bp), "case {i}: {bp:?}");
+    });
+}
 
-    #[test]
-    fn image_matches_bruteforce(bp in arb_blueprint()) {
-        let (mut cx, _, trans) = build(&bp);
+#[test]
+fn image_matches_bruteforce() {
+    for_cases(2, |bp, i| {
+        let (mut cx, _, trans) = build(bp);
         let init = cx.state_cube(&bp.init);
         let img = cx.image(init, trans);
-        let symbolic: HashSet<Vec<u64>> =
-            cx.enumerate_states(img, 10_000).into_iter().collect();
-        let expected: HashSet<Vec<u64>> = bp
-            .edges
-            .iter()
-            .filter(|(f, _)| *f == bp.init)
-            .map(|(_, t)| t.clone())
-            .collect();
-        prop_assert_eq!(symbolic, expected);
-    }
+        let symbolic: HashSet<Vec<u64>> = cx.enumerate_states(img, 10_000).into_iter().collect();
+        let expected: HashSet<Vec<u64>> =
+            bp.edges.iter().filter(|(f, _)| *f == bp.init).map(|(_, t)| t.clone()).collect();
+        assert_eq!(symbolic, expected, "case {i}: {bp:?}");
+    });
+}
 
-    #[test]
-    fn preimage_matches_bruteforce(bp in arb_blueprint()) {
-        let (mut cx, _, trans) = build(&bp);
+#[test]
+fn preimage_matches_bruteforce() {
+    for_cases(3, |bp, i| {
+        let (mut cx, _, trans) = build(bp);
         let target = cx.state_cube(&bp.init);
         let pre = cx.preimage(target, trans);
-        let symbolic: HashSet<Vec<u64>> =
-            cx.enumerate_states(pre, 10_000).into_iter().collect();
-        let expected: HashSet<Vec<u64>> = bp
-            .edges
-            .iter()
-            .filter(|(_, t)| *t == bp.init)
-            .map(|(f, _)| f.clone())
-            .collect();
-        prop_assert_eq!(symbolic, expected);
-    }
+        let symbolic: HashSet<Vec<u64>> = cx.enumerate_states(pre, 10_000).into_iter().collect();
+        let expected: HashSet<Vec<u64>> =
+            bp.edges.iter().filter(|(_, t)| *t == bp.init).map(|(f, _)| f.clone()).collect();
+        assert_eq!(symbolic, expected, "case {i}: {bp:?}");
+    });
+}
 
-    #[test]
-    fn deadlocks_match_bruteforce(bp in arb_blueprint()) {
-        let (mut cx, _, trans) = build(&bp);
+#[test]
+fn deadlocks_match_bruteforce() {
+    for_cases(4, |bp, i| {
+        let (mut cx, _, trans) = build(bp);
         let universe = cx.state_universe();
         let dl = cx.deadlocks(universe, trans);
-        let symbolic: HashSet<Vec<u64>> =
-            cx.enumerate_states(dl, 10_000).into_iter().collect();
+        let symbolic: HashSet<Vec<u64>> = cx.enumerate_states(dl, 10_000).into_iter().collect();
         let sources: HashSet<&Vec<u64>> = bp.edges.iter().map(|(f, _)| f).collect();
         let all = cx.enumerate_states(universe, 10_000);
         let expected: HashSet<Vec<u64>> =
             all.into_iter().filter(|s| !sources.contains(s)).collect();
-        prop_assert_eq!(symbolic, expected);
-    }
+        assert_eq!(symbolic, expected, "case {i}: {bp:?}");
+    });
+}
 
-    #[test]
-    fn count_transitions_matches_edge_count(bp in arb_blueprint()) {
-        let (mut cx, _, trans) = build(&bp);
+#[test]
+fn count_transitions_matches_edge_count() {
+    for_cases(5, |bp, i| {
+        let (mut cx, _, trans) = build(bp);
         let mut unique: Vec<(Vec<u64>, Vec<u64>)> = bp.edges.clone();
         unique.sort();
         unique.dedup();
-        prop_assert_eq!(cx.count_transitions(trans), unique.len() as f64);
-    }
+        assert_eq!(cx.count_transitions(trans), unique.len() as f64, "case {i}: {bp:?}");
+    });
+}
 
-    #[test]
-    fn partitioned_reachability_equals_monolithic(bp in arb_blueprint()) {
+#[test]
+fn partitioned_reachability_equals_monolithic() {
+    for_cases(6, |bp, i| {
         // Split the edges into two arbitrary partitions.
-        let (mut cx, _, _) = build(&bp);
+        let (mut cx, _, _) = build(bp);
         let mut t1 = ftrepair_bdd::FALSE;
         let mut t2 = ftrepair_bdd::FALSE;
-        for (i, (from, to)) in bp.edges.iter().enumerate() {
+        for (k, (from, to)) in bp.edges.iter().enumerate() {
             let t = cx.transition_cube(from, to);
-            if i % 2 == 0 {
+            if k % 2 == 0 {
                 t1 = cx.mgr().or(t1, t);
             } else {
                 t2 = cx.mgr().or(t2, t);
@@ -148,6 +150,6 @@ proptest! {
         let init = cx.state_cube(&bp.init);
         let a = cx.forward_reachable(init, mono);
         let b = cx.forward_reachable_partitioned(init, &[t1, t2]);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b, "case {i}: {bp:?}");
+    });
 }

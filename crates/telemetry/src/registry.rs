@@ -1,0 +1,246 @@
+//! The metrics registry: named counters, gauges, accumulated timings, and
+//! per-iteration sample series.
+//!
+//! Counters are `Arc<AtomicU64>` handles; once registered, incrementing one
+//! never takes a lock, so handles can be hoisted out of hot loops and shared
+//! with worker threads. Everything else (gauges, timings, series, and the
+//! name→counter map itself) sits behind plain mutexes — those paths run a
+//! handful of times per repair, not per BDD operation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Lock-free handle to a registered (or detached) counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter attached to no registry; counts go nowhere visible.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One sample row of a series: named values in insertion order.
+pub type Sample = Vec<(String, f64)>;
+
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    times: Mutex<BTreeMap<String, Duration>>,
+    series: Mutex<BTreeMap<String, Vec<Sample>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create the named counter and return a lock-free handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        let cell = map.entry(name.to_string()).or_default();
+        Counter(Arc::clone(cell))
+    }
+
+    /// Convenience: add `n` to the named counter (takes the registry lock).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauges.lock().unwrap().insert(name.to_string(), v);
+    }
+
+    /// Raise the gauge to `v` if larger (peak tracking).
+    pub fn max_gauge(&self, name: &str, v: u64) {
+        let mut map = self.gauges.lock().unwrap();
+        let slot = map.entry(name.to_string()).or_insert(0);
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    pub fn add_time(&self, name: &str, d: Duration) {
+        let mut map = self.times.lock().unwrap();
+        *map.entry(name.to_string()).or_default() += d;
+    }
+
+    pub fn push_sample(&self, series: &str, fields: &[(&str, f64)]) {
+        let row: Sample = fields.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        self.series.lock().unwrap().entry(series.to_string()).or_default().push(row);
+    }
+
+    /// A consistent-enough copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.lock().unwrap().clone(),
+            times: self.times.lock().unwrap().clone(),
+            series: self.series.lock().unwrap().clone(),
+        }
+    }
+
+    /// Merge a snapshot into the live registry: counters and timings add,
+    /// gauges take the maximum, series rows append.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (k, v) in &snap.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &snap.gauges {
+            self.max_gauge(k, *v);
+        }
+        for (k, d) in &snap.times {
+            self.add_time(k, *d);
+        }
+        let mut series = self.series.lock().unwrap();
+        for (k, rows) in &snap.series {
+            series.entry(k.clone()).or_default().extend(rows.iter().cloned());
+        }
+    }
+}
+
+/// Point-in-time copy of a registry, mergeable with other snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub times: BTreeMap<String, Duration>,
+    pub series: BTreeMap<String, Vec<Sample>>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, 0 if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merge `other` into `self` with the same semantics as
+    /// [`MetricsRegistry::absorb`]: counters/times add, gauges max,
+    /// series append.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_default();
+            if v > slot {
+                *slot = *v;
+            }
+        }
+        for (k, d) in &other.times {
+            *self.times.entry(k.clone()).or_default() += *d;
+        }
+        for (k, rows) in &other.series {
+            self.series.entry(k.clone()).or_default().extend(rows.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(r.snapshot().counter("x"), 3);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let r = MetricsRegistry::new();
+        r.set_gauge("g", 10);
+        r.max_gauge("g", 5);
+        assert_eq!(r.snapshot().gauge("g"), 10);
+        r.max_gauge("g", 50);
+        assert_eq!(r.snapshot().gauge("g"), 50);
+    }
+
+    #[test]
+    fn times_accumulate() {
+        let r = MetricsRegistry::new();
+        r.add_time("t", Duration::from_millis(2));
+        r.add_time("t", Duration::from_millis(3));
+        assert_eq!(r.snapshot().times["t"], Duration::from_millis(5));
+    }
+
+    #[test]
+    fn series_keep_row_order() {
+        let r = MetricsRegistry::new();
+        r.push_sample("iter", &[("n", 1.0), ("m", 2.0)]);
+        r.push_sample("iter", &[("n", 3.0)]);
+        let snap = r.snapshot();
+        assert_eq!(snap.series["iter"].len(), 2);
+        assert_eq!(snap.series["iter"][0][1], ("m".to_string(), 2.0));
+        assert_eq!(snap.series["iter"][1][0], ("n".to_string(), 3.0));
+    }
+
+    #[test]
+    fn snapshot_merge_semantics() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 2);
+        a.gauges.insert("g".into(), 10);
+        a.times.insert("t".into(), Duration::from_secs(1));
+        a.series.insert("s".into(), vec![vec![("v".into(), 1.0)]]);
+
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("c".into(), 3);
+        b.counters.insert("d".into(), 1);
+        b.gauges.insert("g".into(), 4);
+        b.times.insert("t".into(), Duration::from_secs(2));
+        b.series.insert("s".into(), vec![vec![("v".into(), 2.0)]]);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("d"), 1);
+        assert_eq!(a.gauge("g"), 10, "gauges merge by max");
+        assert_eq!(a.times["t"], Duration::from_secs(3));
+        assert_eq!(a.series["s"].len(), 2);
+    }
+
+    #[test]
+    fn registry_absorb_matches_snapshot_merge() {
+        let r = MetricsRegistry::new();
+        r.add("c", 1);
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("c".into(), 4);
+        snap.gauges.insert("g".into(), 9);
+        r.absorb(&snap);
+        let got = r.snapshot();
+        assert_eq!(got.counter("c"), 5);
+        assert_eq!(got.gauge("g"), 9);
+    }
+}

@@ -1,0 +1,166 @@
+//! The versioned JSONL run-report schema.
+//!
+//! One repair run = one JSON object = one line. The CLI's `--metrics-out`
+//! appends these lines; `crates/bench` emits the same schema from the table
+//! harness so downstream tooling parses exactly one format. See the README
+//! "Observability" section for the field table.
+
+use crate::json::Json;
+use crate::registry::MetricsSnapshot;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Bump whenever the meaning or shape of an existing field changes;
+/// consumers must check this before interpreting a line.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builder for one run-report line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport(pub Json);
+
+impl RunReport {
+    /// Start a report for `case` (instance name) run in `mode`
+    /// (`"lazy"` or `"cautious"`).
+    pub fn new(case: &str, mode: &str) -> RunReport {
+        let mut j = Json::obj();
+        j.set("schema_version", SCHEMA_VERSION.into());
+        j.set("case", case.into());
+        j.set("mode", mode.into());
+        RunReport(j)
+    }
+
+    /// Set or replace an arbitrary top-level field.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut RunReport {
+        self.0.set(key, value);
+        self
+    }
+
+    /// Record per-phase timings in seconds under `phases_s`, plus a
+    /// `total` entry that is the exact sum of the parts — consumers (and
+    /// the integration tests) rely on the parts summing to the total.
+    pub fn set_phases(&mut self, phases: &[(&str, Duration)]) -> &mut RunReport {
+        let mut obj = Json::obj();
+        let mut total = 0.0;
+        for (name, d) in phases {
+            let secs = d.as_secs_f64();
+            total += secs;
+            obj.set(name, secs.into());
+        }
+        obj.set("total", total.into());
+        self.0.set("phases_s", obj);
+        self
+    }
+
+    /// Fold a metrics snapshot in: counters, gauges, accumulated span
+    /// times (`spans_s`, in seconds), and sample series (e.g. the
+    /// per-outer-iteration BDD size rows under `iterations`).
+    pub fn set_snapshot(&mut self, snap: &MetricsSnapshot) -> &mut RunReport {
+        let mut counters = Json::obj();
+        for (k, v) in &snap.counters {
+            counters.set(k, (*v).into());
+        }
+        self.0.set("counters", counters);
+
+        let mut gauges = Json::obj();
+        for (k, v) in &snap.gauges {
+            gauges.set(k, (*v).into());
+        }
+        self.0.set("gauges", gauges);
+
+        let mut spans = Json::obj();
+        for (k, d) in &snap.times {
+            spans.set(k, d.as_secs_f64().into());
+        }
+        self.0.set("spans_s", spans);
+
+        for (name, rows) in &snap.series {
+            let arr = rows
+                .iter()
+                .map(|row| {
+                    let mut o = Json::obj();
+                    for (k, v) in row {
+                        o.set(k, (*v).into());
+                    }
+                    o
+                })
+                .collect();
+            self.0.set(name, Json::Arr(arr));
+        }
+        self
+    }
+
+    /// The report as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.0.to_string()
+    }
+
+    /// Append the report (plus newline) to `path`, creating the file if
+    /// needed.
+    pub fn append_to(&self, path: &Path) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{}", self.to_json_line())
+    }
+}
+
+/// Parse every line of a JSONL report file, with line numbers in errors.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn phases_sum_to_total_exactly() {
+        let mut r = RunReport::new("toy", "lazy");
+        r.set_phases(&[
+            ("step1", Duration::from_micros(1500)),
+            ("step2", Duration::from_micros(500)),
+        ]);
+        let j = Json::parse(&r.to_json_line()).unwrap();
+        let phases = j.get("phases_s").unwrap();
+        let s1 = phases.get("step1").unwrap().as_f64().unwrap();
+        let s2 = phases.get("step2").unwrap().as_f64().unwrap();
+        let total = phases.get("total").unwrap().as_f64().unwrap();
+        assert_eq!(s1 + s2, total);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_jsonl() {
+        let t = Telemetry::new();
+        t.add("groups_kept", 7);
+        t.max_gauge("bdd.peak_live_nodes", 123);
+        t.push_sample("iterations", &[("iter", 1.0), ("span_nodes", 40.0)]);
+        {
+            let _s = t.span("step1");
+        }
+        let mut r = RunReport::new("ring", "lazy");
+        r.set_snapshot(&t.snapshot());
+        let j = Json::parse(&r.to_json_line()).unwrap();
+        assert_eq!(j.get("schema_version").unwrap().as_u64(), Some(SCHEMA_VERSION));
+        assert_eq!(j.get("counters").unwrap().get("groups_kept").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            j.get("gauges").unwrap().get("bdd.peak_live_nodes").unwrap().as_u64(),
+            Some(123)
+        );
+        let iters = j.get("iterations").unwrap().as_arr().unwrap();
+        assert_eq!(iters[0].get("span_nodes").unwrap().as_f64(), Some(40.0));
+        assert!(j.get("spans_s").unwrap().get("span.step1").is_some());
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blank_lines_and_flags_bad_ones() {
+        let ok = parse_jsonl("{\"a\":1}\n\n{\"b\":2}\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        let err = parse_jsonl("{\"a\":1}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -1,0 +1,90 @@
+//! RAII span guards.
+//!
+//! `tele.span("step1")` times a region of code and, on drop, accumulates
+//! the elapsed wall time under `span.step1` plus a `span.step1.count`
+//! counter. With tracing on it also prints nested enter/exit lines to
+//! stderr, indented per thread so parallel Step 2 workers stay readable.
+
+use crate::Telemetry;
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static TRACE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+struct SpanData {
+    name: String,
+    start: Instant,
+}
+
+/// Guard returned by [`Telemetry::span`]; records on drop. Inert (a single
+/// `None`) when the telemetry handle is disabled.
+pub struct Span<'a> {
+    tele: &'a Telemetry,
+    data: Option<SpanData>,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn open(tele: &'a Telemetry, name: &str) -> Span<'a> {
+        if !tele.enabled() {
+            return Span { tele, data: None };
+        }
+        if tele.tracing() {
+            let depth = TRACE_DEPTH.with(|d| {
+                let v = d.get();
+                d.set(v + 1);
+                v
+            });
+            eprintln!("trace: {:indent$}> {name}", "", indent = 2 * depth);
+        }
+        Span { tele, data: Some(SpanData { name: name.to_string(), start: Instant::now() }) }
+    }
+
+    /// The span's name, if active.
+    pub fn name(&self) -> Option<&str> {
+        self.data.as_ref().map(|d| d.name.as_str())
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else { return };
+        let elapsed = data.start.elapsed();
+        self.tele.add_time(&format!("span.{}", data.name), elapsed);
+        self.tele.add(&format!("span.{}.count", data.name), 1);
+        if self.tele.tracing() {
+            let depth = TRACE_DEPTH.with(|d| {
+                let v = d.get().saturating_sub(1);
+                d.set(v);
+                v
+            });
+            eprintln!("trace: {:indent$}< {} {:.3?}", "", data.name, elapsed, indent = 2 * depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let t = Telemetry::new();
+        {
+            let _outer = t.span("outer");
+            let _inner = t.span("inner");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("span.outer.count"), 1);
+        assert_eq!(snap.counter("span.inner.count"), 1);
+        assert!(snap.times["span.outer"] >= snap.times["span.inner"]);
+    }
+
+    #[test]
+    fn disabled_span_has_no_name() {
+        let t = Telemetry::off();
+        let s = t.span("x");
+        assert_eq!(s.name(), None);
+    }
+}

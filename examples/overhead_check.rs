@@ -1,0 +1,37 @@
+//! Overhead check: fail-stop repair with telemetry off vs on.
+use ftrepair::casestudies::byzantine_failstop;
+use ftrepair::repair::{lazy_repair, lazy_repair_traced, RepairOptions};
+use ftrepair::telemetry::Telemetry;
+use std::time::Instant;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn main() {
+    let runs = 15;
+    for _ in 0..2 {
+        let mut p = byzantine_failstop(3).0;
+        std::hint::black_box(lazy_repair(&mut p, &RepairOptions::default()));
+    }
+    let mut off = vec![];
+    let mut on = vec![];
+    for _ in 0..runs {
+        let mut p = byzantine_failstop(3).0;
+        let t = Instant::now();
+        std::hint::black_box(lazy_repair(&mut p, &RepairOptions::default()));
+        off.push(t.elapsed().as_secs_f64());
+
+        let mut p = byzantine_failstop(3).0;
+        let tele = Telemetry::new();
+        let t = Instant::now();
+        std::hint::black_box(lazy_repair_traced(&mut p, &RepairOptions::default(), &tele));
+        on.push(t.elapsed().as_secs_f64());
+    }
+    let (o, n) = (median(off), median(on));
+    println!(
+        "off median: {o:.4}s  on median: {n:.4}s  on-overhead: {:+.2}%",
+        (n / o - 1.0) * 100.0
+    );
+}

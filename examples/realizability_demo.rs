@@ -22,10 +22,7 @@ fn main() {
 
     let show = |p: &mut ftrepair::program::DistributedProgram, t| {
         for (from, to) in p.cx.enumerate_transitions(t, 16) {
-            println!(
-                "    ({}{}{}) -> ({}{}{})",
-                from[0], from[1], from[2], to[0], to[1], to[2]
-            );
+            println!("    ({}{}{}) -> ({}{}{})", from[0], from[1], from[2], to[0], to[1], to[2]);
         }
     };
 

@@ -3,6 +3,7 @@
 //! ```text
 //! ftrepair repair <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
 //!                            [--parallel] [--strict-terminal]
+//!                            [--metrics-out <path>] [--trace]
 //! ftrepair check  <file.ftr>
 //! ftrepair info   <file.ftr>
 //! ```
@@ -10,12 +11,18 @@
 //! `repair` adds masking fault-tolerance and prints the repaired program as
 //! guarded commands; `check` validates the input (invariant closure, spec
 //! inside the invariant, realizability as written); `info` summarizes the
-//! model.
+//! model. `--metrics-out` appends one JSONL run report (phase timings,
+//! telemetry counters/gauges, per-iteration BDD sizes, op-cache hit rates)
+//! per invocation; `--trace` streams span open/close events to stderr.
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
 use ftrepair::repair::verify::verify_outcome;
-use ftrepair::repair::{cautious_repair, lazy_repair, LazyOutcome, RepairOptions};
+use ftrepair::repair::{
+    build_run_report, cautious_repair_traced, lazy_repair_traced, LazyOutcome, RepairOptions,
+};
+use ftrepair::telemetry::Telemetry;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -97,8 +104,7 @@ fn check(prog: &mut DistributedProgram) -> ExitCode {
 
     let liveness = prog.liveness.clone();
     if !liveness.leads_to.is_empty() {
-        let results =
-            ftrepair::program::verify::check_liveness(&mut prog.cx, inv, t, &liveness);
+        let results = ftrepair::program::verify::check_liveness(&mut prog.cx, inv, t, &liveness);
         for (i, holds) in results.iter().enumerate() {
             println!("leadsto property {} holds inside the invariant: {holds}", i + 1);
             ok &= holds;
@@ -116,6 +122,16 @@ fn check(prog: &mut DistributedProgram) -> ExitCode {
 
 fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
     let has = |f: &str| flags.iter().any(|a| a == f);
+    let metrics_out: Option<PathBuf> = match flags.iter().position(|a| a == "--metrics-out") {
+        Some(i) => match flags.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(PathBuf::from(p)),
+            _ => {
+                eprintln!("--metrics-out requires a path argument");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let opts = RepairOptions {
         restrict_to_reachable: !has("--pure-lazy"),
         step2_closed_form: !has("--iterative-step2"),
@@ -123,9 +139,18 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
         allow_new_terminal_inside: !has("--strict-terminal"),
         ..Default::default()
     };
+    // Telemetry costs nothing when off; turn it on whenever the run is
+    // observed (a metrics sink or stderr tracing was requested).
+    let trace = has("--trace");
+    let tele = if metrics_out.is_some() || trace {
+        Telemetry::with_trace(trace)
+    } else {
+        Telemetry::off()
+    };
 
+    let mode = if has("--cautious") { "cautious" } else { "lazy" };
     let out: LazyOutcome = if has("--cautious") {
-        let c = cautious_repair(prog, &opts);
+        let c = cautious_repair_traced(prog, &opts, &tele);
         LazyOutcome {
             processes: c.processes,
             invariant: c.invariant,
@@ -135,15 +160,35 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
             stats: c.stats,
         }
     } else {
-        lazy_repair(prog, &opts)
+        lazy_repair_traced(prog, &opts, &tele)
+    };
+
+    // Report before verification, so the verifier's BDD traffic does not
+    // pollute the run's cache hit rates.
+    let mut report =
+        build_run_report(&prog.name, mode, &opts, &out.stats, out.failed, &tele, &prog.cx);
+    let emit_report = |report: &ftrepair::telemetry::RunReport| -> ExitCode {
+        if let Some(path) = &metrics_out {
+            if let Err(e) = report.append_to(path) {
+                eprintln!("cannot write metrics to {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("metrics appended to {}", path.display());
+        }
+        ExitCode::SUCCESS
     };
 
     if out.failed {
         eprintln!("no masking fault-tolerant repair exists under these inputs");
+        emit_report(&report);
         return ExitCode::from(1);
     }
 
     let (m, r) = verify_outcome(prog, &out);
+    report.set("verified", (m.ok() && r.ok()).into());
+    if emit_report(&report) != ExitCode::SUCCESS {
+        return ExitCode::from(2);
+    }
     eprintln!(
         "repaired in {:?} (step1 {:?}, step2 {:?}, {} outer iteration(s))",
         out.stats.total_time(),
@@ -163,9 +208,7 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
         prog.cx.count_states(out.invariant),
         prog.cx.count_states(out.span),
     );
-    println!(
-        "// (behavior outside the fault-span is unreachable and omitted)\n"
-    );
+    println!("// (behavior outside the fault-span is unreachable and omitted)\n");
     for (j, p) in out.processes.iter().enumerate() {
         // Restrict to transitions whose source lies in the fault-span: the
         // realizability construction pads groups with transitions from

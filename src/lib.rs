@@ -13,3 +13,4 @@ pub use ftrepair_explicit as explicit;
 pub use ftrepair_lang as lang;
 pub use ftrepair_program as program;
 pub use ftrepair_symbolic as symbolic;
+pub use ftrepair_telemetry as telemetry;

@@ -4,10 +4,8 @@
 use std::process::Command;
 
 fn ftrepair(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_ftrepair"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_ftrepair")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -51,10 +49,7 @@ fn repair_tmr_synthesizes_safe_voter() {
     assert!(ok, "{stderr}");
     assert!(stderr.contains("verified: masking=true realizability=true"));
     // Unanimity decisions survive.
-    assert!(
-        stdout.contains("(r0 = 0) & (r1 = 0) & (r2 = 0) & (o = 2) -> o := 0;"),
-        "{stdout}"
-    );
+    assert!(stdout.contains("(r0 = 0) & (r1 = 0) & (r2 = 0) & (o = 2) -> o := 0;"), "{stdout}");
     // The naive copy-whatever-r0-says behavior is gone: no command decides
     // 1 from an all-zeros context or vice versa.
     assert!(!stdout.contains("(r0 = 1) & (r1 = 0) & (r2 = 0) & (o = 2) -> o := 1;"), "{stdout}");
@@ -74,6 +69,57 @@ fn repair_with_parallel_and_iterative_flags() {
         assert!(ok, "{flag}: {stderr}");
         assert!(stderr.contains("masking=true"), "{flag}: {stderr}");
     }
+}
+
+#[test]
+fn repair_token_ring_ships_and_verifies() {
+    let (stdout, stderr, ok) = ftrepair(&["repair", &spec("token_ring.ftr")]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("verified: masking=true realizability=true"));
+    // The rotation inside the invariant survives in the output.
+    assert!(stdout.contains("process p0"), "{stdout}");
+}
+
+#[test]
+fn repair_with_metrics_out_appends_jsonl() {
+    let dir = std::env::temp_dir().join("ftrepair-cli-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let path_str = path.to_str().unwrap();
+
+    let (_, stderr, ok) = ftrepair(&["repair", &spec("token_ring.ftr"), "--metrics-out", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("metrics appended to"), "{stderr}");
+    // A second run appends rather than truncates.
+    let (_, _, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--metrics-out", path_str]);
+    assert!(ok);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    let first = ftrepair::telemetry::Json::parse(lines[0]).unwrap();
+    assert_eq!(first.get("case").unwrap().as_str(), Some("token_ring"));
+    assert_eq!(first.get("mode").unwrap().as_str(), Some("lazy"));
+    assert_eq!(first.get("verified").unwrap().as_bool(), Some(true));
+    let second = ftrepair::telemetry::Json::parse(lines[1]).unwrap();
+    assert_eq!(second.get("case").unwrap().as_str(), Some("toggle_pair"));
+}
+
+#[test]
+fn repair_with_trace_streams_spans_to_stderr() {
+    let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--trace"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("trace: > outer_iteration"), "{stderr}");
+    assert!(stderr.contains("< step1"), "{stderr}");
+    assert!(stderr.contains("< step2"), "{stderr}");
+}
+
+#[test]
+fn metrics_out_without_a_path_is_rejected() {
+    let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--metrics-out"]);
+    assert!(!ok);
+    assert!(stderr.contains("--metrics-out requires a path"), "{stderr}");
 }
 
 #[test]

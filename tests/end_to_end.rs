@@ -122,9 +122,8 @@ fn repaired_byzantine_survives_fault_injection() {
     // Belt and braces: beyond the symbolic proof, *run* the repaired
     // program — a thousand random executions with injected byzantine
     // faults must never violate safety and always recover.
+    use ftrepair::bdd::SplitMix64;
     use ftrepair::explicit::{extract, simulate, ExplicitProgram, SimConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     let (mut p, _) = byzantine_agreement(2);
     let explicit = ExplicitProgram::from_symbolic(&mut p);
@@ -132,7 +131,7 @@ fn repaired_byzantine_survives_fault_injection() {
     assert!(!out.failed);
     let trans = extract::bdd_to_edges(&mut p, &explicit.space, out.trans);
     let inv = extract::bdd_to_states(&mut p, &explicit.space, out.invariant);
-    let mut rng = StdRng::seed_from_u64(2016);
+    let mut rng = SplitMix64::seed_from_u64(2016);
     let config = SimConfig { runs: 1000, max_faults: 4, ..Default::default() };
     let report = simulate(&explicit, &trans, &inv, &config, &mut rng);
     assert!(report.ok(), "fault injection found a violation: {:?}", report.failure);
@@ -143,15 +142,14 @@ fn repaired_byzantine_survives_fault_injection() {
 fn unrepaired_byzantine_fails_fault_injection() {
     // Control experiment: the *original* program must be caught misbehaving
     // by the same simulator (otherwise the previous test proves nothing).
+    use ftrepair::bdd::SplitMix64;
     use ftrepair::explicit::{simulate, ExplicitProgram, SimConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     let (mut p, _) = byzantine_agreement(2);
     let explicit = ExplicitProgram::from_symbolic(&mut p);
     let trans = explicit.program_trans();
     let inv = explicit.invariant.clone();
-    let mut rng = StdRng::seed_from_u64(2016);
+    let mut rng = SplitMix64::seed_from_u64(2016);
     let config =
         SimConfig { runs: 2000, max_faults: 4, fault_probability: 0.5, ..Default::default() };
     let report = simulate(&explicit, &trans, &inv, &config, &mut rng);

@@ -1,0 +1,77 @@
+//! Workspace-level telemetry integration: repair the token ring with a
+//! live [`Telemetry`] handle and check the JSONL run report against the
+//! returned [`RepairStats`] — one run, two views, same numbers.
+
+use ftrepair::casestudies::token_ring;
+use ftrepair::repair::{build_run_report, lazy_repair_traced, RepairOptions};
+use ftrepair::telemetry::{Json, Telemetry};
+
+#[test]
+fn token_ring_report_is_valid_jsonl_and_agrees_with_stats() {
+    let (mut p, _) = token_ring(3, 3);
+    let tele = Telemetry::new();
+    let opts = RepairOptions::default();
+    let out = lazy_repair_traced(&mut p, &opts, &tele);
+    assert!(!out.failed);
+
+    let report = build_run_report("token-ring-3x3", "lazy", &opts, &out.stats, false, &tele, &p.cx);
+    let line = report.to_json_line();
+    assert!(!line.contains('\n'), "one report = one JSONL line");
+    let j = Json::parse(&line).unwrap();
+
+    // Identification and schema.
+    assert_eq!(j.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(j.get("case").unwrap().as_str(), Some("token-ring-3x3"));
+    assert_eq!(j.get("failed").unwrap().as_bool(), Some(false));
+
+    // Phase timings: step1 + step2 = total exactly, and they mirror the
+    // durations the RepairStats reports.
+    let phases = j.get("phases_s").unwrap();
+    let s1 = phases.get("step1").unwrap().as_f64().unwrap();
+    let s2 = phases.get("step2").unwrap().as_f64().unwrap();
+    let total = phases.get("total").unwrap().as_f64().unwrap();
+    assert_eq!(s1 + s2, total);
+    assert_eq!(s1, out.stats.step1_time.as_secs_f64());
+    assert_eq!(s2, out.stats.step2_time.as_secs_f64());
+
+    // Group counters agree with the returned stats — the registry and the
+    // stats struct are incremented side by side, and this pins it.
+    let counters = j.get("counters").unwrap();
+    let c = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(c("repair.outer_iterations"), out.stats.outer_iterations as u64);
+    assert_eq!(c("step2.groups_kept"), out.stats.groups_kept);
+    assert_eq!(c("step2.groups_dropped"), out.stats.groups_dropped);
+    assert_eq!(c("step2.expansions"), out.stats.expansions);
+    assert_eq!(c("step2.picks"), out.stats.step2_picks);
+
+    // Per-iteration BDD size series: one row per outer iteration.
+    let iters = j.get("iterations").unwrap().as_arr().unwrap();
+    assert_eq!(iters.len(), out.stats.outer_iterations);
+    for row in iters {
+        assert!(row.get("invariant_nodes").unwrap().as_f64().unwrap() > 0.0);
+        assert!(row.get("live_nodes").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    // Cache hit rates for all six op caches plus the unique table.
+    let caches = j.get("caches").unwrap().as_obj().unwrap();
+    assert_eq!(caches.len(), 7);
+    for (name, entry) in caches {
+        let rate = entry.get("hit_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&rate), "{name}: {rate}");
+    }
+}
+
+#[test]
+fn telemetry_off_leaves_stats_identical() {
+    // The traced entry point with a disabled handle must behave exactly
+    // like the plain one: same invariant, same group decisions.
+    let (mut a, _) = token_ring(3, 3);
+    let on = lazy_repair_traced(&mut a, &RepairOptions::default(), &Telemetry::new());
+    let (mut b, _) = token_ring(3, 3);
+    let off = lazy_repair_traced(&mut b, &RepairOptions::default(), &Telemetry::off());
+    assert_eq!(on.failed, off.failed);
+    assert_eq!(on.stats.outer_iterations, off.stats.outer_iterations);
+    assert_eq!(on.stats.groups_kept, off.stats.groups_kept);
+    assert_eq!(on.stats.groups_dropped, off.stats.groups_dropped);
+    assert_eq!(on.stats.step2_picks, off.stats.step2_picks);
+}
