@@ -1,0 +1,236 @@
+//! `loadgen` — HTTP load generator for the `ftrepair serve` daemon.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7177 --spec examples/specs/toggle_pair.ftr
+//!         [--spec more.ftr ...] [--conns 8] [--requests 64]
+//!         [--mode lazy|cautious] [--endpoint repair|simulate]
+//!         [--metrics-out <path>]
+//! ```
+//!
+//! Opens `--conns` worker threads, each issuing `POST /<endpoint>` requests
+//! over raw TCP (one request per connection, matching the server's
+//! `Connection: close` contract) until `--requests` total have completed,
+//! rotating through the given specs. Reports throughput, latency
+//! percentiles, and status/cache breakdowns; `--metrics-out` appends the
+//! summary as one JSONL run report in the same schema as the CLI and the
+//! bench tables.
+
+use ftrepair_telemetry::{Json, RunReport};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    specs: Vec<(String, String)>, // (path, body)
+    conns: usize,
+    requests: usize,
+    mode: String,
+    endpoint: String,
+    metrics_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        addr: "127.0.0.1:7177".to_string(),
+        specs: Vec::new(),
+        conns: 8,
+        requests: 64,
+        mode: "lazy".to_string(),
+        endpoint: "repair".to_string(),
+        metrics_out: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("{} requires an argument", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(i)?.clone(),
+            "--spec" => {
+                let path = value(i)?.clone();
+                let body = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                args.specs.push((path, body));
+            }
+            "--conns" => args.conns = value(i)?.parse().map_err(|_| "--conns: not a number")?,
+            "--requests" => {
+                args.requests = value(i)?.parse().map_err(|_| "--requests: not a number")?
+            }
+            "--mode" => args.mode = value(i)?.clone(),
+            "--endpoint" => args.endpoint = value(i)?.clone(),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value(i)?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += if argv[i].starts_with("--") { 2 } else { 1 };
+    }
+    if args.specs.is_empty() {
+        return Err("at least one --spec <file.ftr> is required".to_string());
+    }
+    if !matches!(args.mode.as_str(), "lazy" | "cautious") {
+        return Err(format!("--mode must be lazy or cautious, not {}", args.mode));
+    }
+    if !matches!(args.endpoint.as_str(), "repair" | "simulate") {
+        return Err(format!("--endpoint must be repair or simulate, not {}", args.endpoint));
+    }
+    if args.conns == 0 || args.requests == 0 {
+        return Err("--conns and --requests must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// One completed request, as seen from the client.
+struct Sample {
+    latency: Duration,
+    status: u16,
+    cached: bool,
+}
+
+/// Issue one request and parse the status line + body out of the raw reply.
+fn one_request(addr: &str, endpoint: &str, mode: &str, body: &str) -> Result<Sample, String> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(60))).ok();
+    let request = format!(
+        "POST /{endpoint}?mode={mode} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).map_err(|e| format!("read: {e}"))?;
+    let latency = started.elapsed();
+
+    let text = String::from_utf8_lossy(&reply);
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed reply: {:?}", text.lines().next().unwrap_or("")))?;
+    let json_body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let cached = Json::parse(json_body)
+        .ok()
+        .and_then(|j| j.get("cached").and_then(Json::as_bool))
+        .unwrap_or(false);
+    Ok(Sample { latency, status, cached })
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let results: Vec<Result<Sample, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|_| {
+                let next = &next;
+                let args = &args;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= args.requests {
+                            break;
+                        }
+                        let (_, body) = &args.specs[i % args.specs.len()];
+                        out.push(one_request(&args.addr, &args.endpoint, &args.mode, body));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies = Vec::new();
+    let mut ok = 0usize;
+    let mut busy = 0usize;
+    let mut cached = 0usize;
+    let mut errors = 0usize;
+    let mut other_status = 0usize;
+    for r in &results {
+        match r {
+            Ok(s) => {
+                latencies.push(s.latency);
+                match s.status {
+                    200 => ok += 1,
+                    429 => busy += 1,
+                    _ => other_status += 1,
+                }
+                cached += s.cached as usize;
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("loadgen: request failed: {e}");
+            }
+        }
+    }
+    latencies.sort();
+    let (p50, p90, p99) =
+        (percentile(&latencies, 50.0), percentile(&latencies, 90.0), percentile(&latencies, 99.0));
+    let throughput = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    eprintln!(
+        "loadgen: {} requests in {:.2?} over {} conns -> {:.1} req/s",
+        results.len(),
+        elapsed,
+        args.conns,
+        throughput,
+    );
+    eprintln!(
+        "  status: {ok} ok, {busy} busy (429), {other_status} other, {errors} transport errors; {cached} cache hits",
+    );
+    eprintln!("  latency: p50 {p50:.2?}, p90 {p90:.2?}, p99 {p99:.2?}");
+
+    let mut report = RunReport::new("loadgen", &args.endpoint);
+    report.set("addr", args.addr.as_str().into());
+    report
+        .set("specs", Json::Arr(args.specs.iter().map(|(p, _)| Json::from(p.as_str())).collect()));
+    report.set("mode", args.mode.as_str().into());
+    report.set("conns", args.conns.into());
+    report.set("requests", results.len().into());
+    report.set("elapsed_s", elapsed.as_secs_f64().into());
+    report.set("throughput_rps", throughput.into());
+    report.set("status_ok", ok.into());
+    report.set("status_busy", busy.into());
+    report.set("status_other", other_status.into());
+    report.set("transport_errors", errors.into());
+    report.set("cache_hits", cached.into());
+    report.set("latency_p50_s", p50.as_secs_f64().into());
+    report.set("latency_p90_s", p90.as_secs_f64().into());
+    report.set("latency_p99_s", p99.as_secs_f64().into());
+    match &args.metrics_out {
+        Some(path) => {
+            if let Err(e) = report.append_to(path) {
+                eprintln!("loadgen: cannot write metrics to {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("metrics appended to {}", path.display());
+        }
+        None => println!("{}", report.to_json_line()),
+    }
+
+    if errors > 0 || other_status > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -39,6 +39,12 @@ enum Compiled {
     Values(Vec<(u64, NodeId)>),
 }
 
+/// Largest variable domain the compiler accepts. Value families are
+/// enumerated per occurrence, so an absurd range in a spec (which may have
+/// arrived over the network) must be rejected up front rather than spin
+/// the compiler for hours or overflow `hi + 1`.
+pub const MAX_DOMAIN: u64 = 1 << 16;
+
 /// Compile a parsed [`Program`] into a [`DistributedProgram`].
 pub fn compile(ast: &Program) -> Result<DistributedProgram, CompileError> {
     let mut b = ProgramBuilder::new(ast.name.clone());
@@ -51,6 +57,14 @@ pub fn compile(ast: &Program) -> Result<DistributedProgram, CompileError> {
         }
         if decl.hi < 1 {
             return err(format!("variable {}: domain needs at least two values", decl.name));
+        }
+        if decl.hi >= MAX_DOMAIN {
+            return err(format!(
+                "variable {}: domain 0..{} exceeds the supported maximum 0..{}",
+                decl.name,
+                decl.hi,
+                MAX_DOMAIN - 1
+            ));
         }
         if vars.contains_key(&decl.name) {
             return err(format!("duplicate variable {}", decl.name));
@@ -263,7 +277,10 @@ fn compile_expr(
         Expr::Add(l, r) => {
             let a = compile_values(cx, vars, l, allow_primed)?;
             let b = compile_values(cx, vars, r, allow_primed)?;
-            Compiled::Values(combine(cx, a, b, |a, b| a + b))
+            // Saturating: domains are capped well below u64::MAX, so a sum
+            // that saturates can never equal a domain value anyway — and a
+            // hostile spec must not be able to panic the compiler.
+            Compiled::Values(combine(cx, a, b, |a, b| a.saturating_add(b)))
         }
         Expr::Sub(l, r) => {
             let a = compile_values(cx, vars, l, allow_primed)?;
@@ -480,6 +497,32 @@ mod tests {
         let src = "program bad; var x : 1..3;";
         let e = compile(&parse(src).unwrap()).unwrap_err();
         assert!(e.message.contains("start at 0"));
+    }
+
+    #[test]
+    fn absurd_domains_rejected_not_overflowed() {
+        // `hi + 1` on u64::MAX used to overflow; now the cap rejects it
+        // (and everything else big enough to stall the compiler) cleanly.
+        for src in [
+            "program bad; var x : 0..18446744073709551615;",
+            &format!("program bad; var x : 0..{};", MAX_DOMAIN),
+        ] {
+            let e = compile(&parse(src).unwrap()).unwrap_err();
+            assert!(e.message.contains("exceeds the supported maximum"), "{}", e.message);
+        }
+        // The largest allowed domain still compiles.
+        let src = format!("program ok; var x : 0..{}; invariant true;", MAX_DOMAIN - 1);
+        assert!(compile(&parse(&src).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn huge_literal_sums_saturate_instead_of_panicking() {
+        let src = "program t; var x : 0..2; \
+                   invariant x + 18446744073709551615 = 18446744073709551615;";
+        // x + u64::MAX saturates to u64::MAX, so the comparison holds
+        // everywhere; the point is that compilation must not overflow.
+        let p = compile(&parse(src).unwrap()).unwrap();
+        assert_eq!(p.name, "t");
     }
 
     #[test]

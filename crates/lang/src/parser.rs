@@ -369,23 +369,23 @@ mod tests {
     #[test]
     fn primed_variables_parse() {
         let p = parse(TOY).unwrap();
-        match &p.bad_trans[0] {
-            Expr::And(_, rhs) => match rhs.as_ref() {
-                Expr::Cmp(CmpOp::Eq, l, _) => assert_eq!(**l, Expr::Primed("x".into())),
-                other => panic!("unexpected {other:?}"),
-            },
-            other => panic!("unexpected {other:?}"),
-        }
+        let primed_eq = matches!(
+            &p.bad_trans[0],
+            Expr::And(_, rhs) if matches!(
+                rhs.as_ref(),
+                Expr::Cmp(CmpOp::Eq, l, _) if **l == Expr::Primed("x".into())
+            )
+        );
+        assert!(primed_eq, "unexpected {:?}", p.bad_trans[0]);
     }
 
     #[test]
     fn operator_precedence() {
         let p = parse("program t; invariant a = 1 | b = 2 & c = 3;").unwrap();
         // | binds loosest: Or(a=1, And(b=2, c=3)).
-        match &p.invariants[0] {
-            Expr::Or(_, rhs) => assert!(matches!(rhs.as_ref(), Expr::And(_, _))),
-            other => panic!("unexpected {other:?}"),
-        }
+        let or_of_and =
+            matches!(&p.invariants[0], Expr::Or(_, rhs) if matches!(rhs.as_ref(), Expr::And(_, _)));
+        assert!(or_of_and, "unexpected {:?}", p.invariants[0]);
     }
 
     #[test]
@@ -417,5 +417,35 @@ mod tests {
     fn multiple_assignments_in_action() {
         let p = parse("program t; fault begin true -> x := 1, y := 0; end").unwrap();
         assert_eq!(p.faults[0].actions[0].assigns.len(), 2);
+    }
+
+    /// Network-facing robustness: arbitrary malformed input must come back
+    /// as `Err(ParseError)`, never panic a server worker.
+    #[test]
+    fn adversarial_inputs_error_instead_of_panicking() {
+        let cases = [
+            "",
+            ";",
+            "program",
+            "program ;",
+            "program t; var x :",
+            "program t; var x : 5",
+            "program t; var x : 0..",
+            "program t; var x : 99999999999999999999999999;",
+            "program t; process p read",
+            "program t; process p read x; write x; begin",
+            "program t; process p read x; write x; begin (x = 0) ->",
+            "program t; process p read x; write x; begin x := 1; end",
+            "program t; fault begin true -> x := {1, ; end",
+            "program t; invariant (((((",
+            "program t; invariant x = ;",
+            "program t; badtrans x' ' ';",
+            "program t; leadsto x = 1;",
+            "program t; invariant x + + 1 = 2;",
+            "end end end",
+        ];
+        for src in cases {
+            assert!(parse(src).is_err(), "accepted malformed input {src:?}");
+        }
     }
 }

@@ -1,0 +1,184 @@
+//! Content-addressed result cache.
+//!
+//! A repair is a pure function of the *canonicalized* spec text and the
+//! [`RepairOptions`](ftrepair_core::RepairOptions), so its result can be
+//! addressed by a hash of exactly those inputs. Canonicalization (parse →
+//! `unparse`) means formatting, comments, and declaration spelling do not
+//! fragment the cache; two differently-indented copies of the same program
+//! hit the same entry.
+//!
+//! Keys are 128-bit FNV-1a digests (two independently-seeded 64-bit
+//! streams). The capacity is bounded with FIFO eviction — the daemon's
+//! memory stays flat no matter how many distinct specs it has seen.
+
+use crate::job::SimBundle;
+use ftrepair_telemetry::{Counter, Json, Telemetry};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// One cached repair: the `/repair` response document plus, for instances
+/// small enough to enumerate, the explicit bundle `/simulate` replays.
+pub struct CacheEntry {
+    /// Content address of this entry (hex).
+    pub key: String,
+    /// The full `/repair` response body (without the `cached` flag, which
+    /// is stamped per response).
+    pub response: Json,
+    /// Explicit-state bundle for fault-injection simulation; `None` when
+    /// the state space is too large to enumerate.
+    pub sim: Option<SimBundle>,
+}
+
+struct Inner {
+    map: HashMap<String, Arc<CacheEntry>>,
+    order: VecDeque<String>,
+}
+
+/// The cache. Hit/miss/eviction counts feed the server's telemetry
+/// registry, so they show up in `GET /metrics` and the JSONL reports.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+/// FNV-1a over `bytes`, from an arbitrary offset basis.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The content address of a (canonical spec, options fingerprint) pair.
+pub fn content_key(canonical_spec: &str, fingerprint: &str) -> String {
+    let mut material = String::with_capacity(canonical_spec.len() + fingerprint.len() + 1);
+    material.push_str(fingerprint);
+    material.push('\n');
+    material.push_str(canonical_spec);
+    let b = material.as_bytes();
+    // Standard FNV offset basis and a second, unrelated odd basis: two
+    // independent 64-bit streams give a 128-bit address.
+    let h1 = fnv1a64(b, 0xcbf2_9ce4_8422_2325);
+    let h2 = fnv1a64(b, 0x9e37_79b9_7f4a_7c15);
+    format!("{h1:016x}{h2:016x}")
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries, reporting counters into
+    /// `tele`'s registry.
+    pub fn new(capacity: usize, tele: &Telemetry) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: tele.counter("server.cache.hits"),
+            misses: tele.counter("server.cache.misses"),
+            evictions: tele.counter("server.cache.evictions"),
+        }
+    }
+
+    /// Look up a content address, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
+        let inner = self.inner.lock().unwrap();
+        match inner.map.get(key) {
+            Some(entry) => {
+                self.hits.inc();
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert an entry, evicting the oldest one when full. Re-inserting an
+    /// existing key replaces the value without growing the queue.
+    pub fn insert(&self, entry: CacheEntry) -> Arc<CacheEntry> {
+        let entry = Arc::new(entry);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(entry.key.clone(), Arc::clone(&entry)).is_none() {
+            inner.order.push_back(entry.key.clone());
+            while inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                    self.evictions.inc();
+                }
+            }
+        }
+        entry
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str) -> CacheEntry {
+        CacheEntry { key: key.to_string(), response: Json::obj(), sim: None }
+    }
+
+    #[test]
+    fn keys_are_content_addressed() {
+        let a = content_key("program p;\n", "lazy");
+        let b = content_key("program p;\n", "lazy");
+        let c = content_key("program q;\n", "lazy");
+        let d = content_key("program p;\n", "cautious");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let tele = Telemetry::new();
+        let cache = ResultCache::new(8, &tele);
+        assert!(cache.get("k").is_none());
+        cache.insert(entry("k"));
+        assert!(cache.get("k").is_some());
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("server.cache.hits"), 1);
+        assert_eq!(snap.counter("server.cache.misses"), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        let tele = Telemetry::new();
+        let cache = ResultCache::new(2, &tele);
+        cache.insert(entry("a"));
+        cache.insert(entry("b"));
+        cache.insert(entry("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(tele.snapshot().counter("server.cache.evictions"), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let tele = Telemetry::new();
+        let cache = ResultCache::new(2, &tele);
+        cache.insert(entry("a"));
+        cache.insert(entry("a"));
+        cache.insert(entry("b"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert_eq!(tele.snapshot().counter("server.cache.evictions"), 0);
+    }
+}

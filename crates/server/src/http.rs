@@ -1,0 +1,246 @@
+//! A deliberately small HTTP/1.1 layer over `std::net` — just enough for
+//! the repair daemon's request/response cycle, in keeping with the
+//! workspace's no-third-party-code rule.
+//!
+//! One request per connection (`Connection: close` on every response), a
+//! `Content-Length` body (no chunked encoding), and a bounded body size so
+//! a hostile client cannot balloon a worker's memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body accepted, in bytes. Specs are text; anything
+/// bigger than this is either a mistake or an attack.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/repair`.
+    pub path: String,
+    /// Query parameters in order of appearance (no percent-decoding; the
+    /// daemon's parameters are all simple tokens).
+    pub query: Vec<(String, String)>,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Is the flag-style query parameter present and not `0`/`false`?
+    pub fn query_flag(&self, key: &str) -> bool {
+        match self.query(key) {
+            Some(v) => !matches!(v, "0" | "false"),
+            None => false,
+        }
+    }
+
+    /// A header by (case-insensitive) name.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        let key = key.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. `status == 0` means the peer closed
+/// the connection before sending anything — not worth a response at all.
+#[derive(Clone, Debug)]
+pub struct HttpError {
+    /// Status code to answer with (400, 413, …), or 0 for a silent close.
+    pub status: u16,
+    /// Human-readable cause, echoed in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> HttpError {
+        HttpError { status: 400, message: message.into() }
+    }
+}
+
+/// Read one request from the stream. Honors whatever read timeout the
+/// caller configured on the socket; timeouts and early closes surface as
+/// errors.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(HttpError { status: 0, message: "closed before request".into() }),
+        Ok(_) => {}
+        Err(e) => return Err(HttpError { status: 0, message: format!("read failed: {e}") }),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(HttpError::bad_request(format!("malformed request line {line:?}")));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => return Err(HttpError::bad_request("truncated headers")),
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::bad_request(format!("header read failed: {e}"))),
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        if headers.len() >= 100 {
+            return Err(HttpError::bad_request("too many headers"));
+        }
+        match h.split_once(':') {
+            Some((k, v)) => headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string())),
+            None => return Err(HttpError::bad_request(format!("malformed header {h:?}"))),
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::bad_request("unparsable Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError { status: 413, message: "request body too large".into() });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| HttpError::bad_request(format!("short body: {e}")))?;
+
+    Ok(Request { method, path, query, headers, body })
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::from("1")),
+        })
+        .collect()
+}
+
+/// Write a complete response (status line, headers, body) and flush.
+/// Every response closes the connection.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Standard reason phrase for the handful of codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Push raw bytes through a real socket pair and parse them.
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream);
+        let _keepalive = writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = roundtrip(
+            b"POST /repair?mode=cautious&trace HTTP/1.1\r\n\
+              Host: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/repair");
+        assert_eq!(req.query("mode"), Some("cautious"));
+        assert!(req.query_flag("trace"));
+        assert!(!req.query_flag("missing"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        let err = roundtrip(b"NOT-HTTP\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_with_413() {
+        let raw =
+            format!("POST /repair HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = roundtrip(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn empty_connection_is_a_silent_close() {
+        let err = roundtrip(b"").unwrap_err();
+        assert_eq!(err.status, 0);
+    }
+
+    #[test]
+    fn short_body_is_a_bad_request() {
+        let err = roundtrip(b"POST /repair HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+}

@@ -1,0 +1,306 @@
+//! The repair job pipeline shared by the HTTP handlers and the CLI's
+//! `simulate` subcommand: canonicalize a spec, address it, run the repair,
+//! and (for small instances) build the explicit bundle that fault-injection
+//! simulation replays.
+
+use ftrepair_core::{
+    build_run_report, cautious_repair_traced, lazy_repair_traced, verify::verify_outcome,
+    LazyOutcome, RepairOptions,
+};
+use ftrepair_explicit::extract::{bdd_to_edges, bdd_to_states, ExplicitProgram};
+use ftrepair_explicit::simulate::{simulate, SimConfig, SimFailure, SimReport};
+use ftrepair_lang::ast::Program as Ast;
+use ftrepair_program::Process;
+use ftrepair_telemetry::{Json, RunReport, Telemetry};
+use std::collections::HashSet;
+
+/// Largest state space the simulation bundle is built for. The explicit
+/// extraction is quadratic in the number of states, so it is reserved for
+/// oracle-sized instances; larger specs still repair fine but answer
+/// `/simulate` with an explanation instead.
+pub const SIM_STATE_CAP: u64 = 4096;
+
+/// Repair algorithm selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Algorithm 1 (the paper's contribution).
+    Lazy,
+    /// The cautious baseline of Section IV.
+    Cautious,
+}
+
+impl Mode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Lazy => "lazy",
+            Mode::Cautious => "cautious",
+        }
+    }
+}
+
+/// A validated, content-addressed job: spec in canonical form plus the
+/// exact knobs the repair will run with.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// Program name from the spec.
+    pub name: String,
+    /// Canonical text (`parse` → `unparse`), the cache-key material.
+    pub canonical: String,
+    /// Parsed AST, kept so execution does not re-parse.
+    pub ast: Ast,
+    /// Algorithm.
+    pub mode: Mode,
+    /// Knobs (part of the content address — different options, different
+    /// result).
+    pub opts: RepairOptions,
+    /// Content address (see [`crate::cache::content_key`]).
+    pub key: String,
+}
+
+/// Options rendered into a short stable string for the content address.
+fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
+    format!(
+        "{}:r{}c{}e{}p{}t{}m{}",
+        mode.as_str(),
+        o.restrict_to_reachable as u8,
+        o.step2_closed_form as u8,
+        o.use_expand_group as u8,
+        o.parallel_step2 as u8,
+        o.allow_new_terminal_inside as u8,
+        o.max_outer_iterations,
+    )
+}
+
+/// Parse and canonicalize a spec. The error string is ready to serve as an
+/// HTTP 400 body ("parse error: …").
+pub fn prepare(source: &str, mode: Mode, opts: RepairOptions) -> Result<JobSpec, String> {
+    let ast = ftrepair_lang::parse(source).map_err(|e| format!("parse error: {e}"))?;
+    let canonical = ftrepair_lang::unparse(&ast);
+    let key = crate::cache::content_key(&canonical, &options_fingerprint(mode, &opts));
+    Ok(JobSpec { name: ast.name.clone(), canonical, ast, mode, opts, key })
+}
+
+/// Everything `/simulate` needs, explicit and manager-free so it can live
+/// in the cache across jobs (BDD node ids die with their manager; state
+/// indices do not).
+#[derive(Clone, Debug)]
+pub struct SimBundle {
+    /// The original program, fully enumerated (faults, bad states/trans).
+    pub explicit: ExplicitProgram,
+    /// The repaired transition relation as edges.
+    pub trans: Vec<(u32, u32)>,
+    /// The repaired invariant as a state set.
+    pub invariant: HashSet<u32>,
+}
+
+/// A finished repair job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The `/repair` response document (no `cached` flag yet).
+    pub response: Json,
+    /// The per-job JSONL run report (same schema as `--metrics-out`).
+    pub report: RunReport,
+    /// Did the algorithm declare failure (no repair exists)?
+    pub failed: bool,
+    /// Did the output pass the independent verifiers?
+    pub verified: bool,
+    /// Explicit bundle for simulation, when the instance is small enough.
+    pub sim: Option<SimBundle>,
+}
+
+/// Compile and repair a prepared job. `Err` carries a compile-time semantic
+/// error ("compile error: …", also a 400). `build_sim` additionally
+/// extracts the explicit bundle when the state space is at most
+/// [`SIM_STATE_CAP`] states.
+pub fn execute(spec: &JobSpec, tele: &Telemetry, build_sim: bool) -> Result<JobResult, String> {
+    let mut prog = ftrepair_lang::compile(&spec.ast).map_err(|e| format!("compile error: {e}"))?;
+
+    let out: LazyOutcome = match spec.mode {
+        Mode::Lazy => lazy_repair_traced(&mut prog, &spec.opts, tele),
+        Mode::Cautious => {
+            let c = cautious_repair_traced(&mut prog, &spec.opts, tele);
+            LazyOutcome {
+                processes: c.processes,
+                invariant: c.invariant,
+                span: c.span,
+                trans: c.trans,
+                failed: c.failed,
+                stats: c.stats,
+            }
+        }
+    };
+
+    // Snapshot the report before the verifier pollutes cache hit rates
+    // (same ordering as the CLI).
+    let mut report = build_run_report(
+        &spec.name,
+        spec.mode.as_str(),
+        &spec.opts,
+        &out.stats,
+        out.failed,
+        tele,
+        &prog.cx,
+    );
+
+    let mut response = Json::obj();
+    response.set("ok", true.into());
+    response.set("key", spec.key.as_str().into());
+    response.set("case", spec.name.as_str().into());
+    response.set("mode", spec.mode.as_str().into());
+    response.set("failed", out.failed.into());
+
+    let mut verified = false;
+    let mut sim = None;
+    if !out.failed {
+        let (m, r) = verify_outcome(&mut prog, &out);
+        verified = m.ok() && r.ok();
+        report.set("verified", verified.into());
+        response.set("invariant_states", prog.cx.count_states(out.invariant).into());
+        response.set("span_states", prog.cx.count_states(out.span).into());
+        response.set("program", render_repaired(&mut prog, &out).into());
+        if build_sim {
+            sim = build_sim_bundle(&mut prog, &out);
+        }
+    }
+    response.set("verified", verified.into());
+    response.set("report", report.0.clone());
+
+    Ok(JobResult { response, report, failed: out.failed, verified, sim })
+}
+
+/// Render the repaired program as guarded commands, restricted to the
+/// fault-span exactly as the CLI does (realizability padding from
+/// unreachable states would only confuse the reader).
+fn render_repaired(prog: &mut ftrepair_program::DistributedProgram, out: &LazyOutcome) -> String {
+    use std::fmt::Write;
+    let mut text = String::new();
+    writeln!(text, "// repaired program {}", prog.name).unwrap();
+    for (j, p) in out.processes.iter().enumerate() {
+        let reachable_part = prog.cx.mgr().and(p.trans, out.span);
+        let shown = Process {
+            name: p.name.clone(),
+            read: p.read.clone(),
+            write: p.write.clone(),
+            trans: reachable_part,
+        };
+        writeln!(text, "{}", ftrepair_program::decompile::render_process(prog, &shown, j)).unwrap();
+    }
+    text
+}
+
+/// Enumerate the repaired program if it is small enough, `None` otherwise.
+fn build_sim_bundle(
+    prog: &mut ftrepair_program::DistributedProgram,
+    out: &LazyOutcome,
+) -> Option<SimBundle> {
+    let mut states: u64 = 1;
+    for v in prog.cx.var_ids() {
+        states = states.checked_mul(prog.cx.info(v).size)?;
+        if states > SIM_STATE_CAP {
+            return None;
+        }
+    }
+    let explicit = ExplicitProgram::from_symbolic(prog);
+    let trans = bdd_to_edges(prog, &explicit.space, out.trans);
+    let invariant = bdd_to_states(prog, &explicit.space, out.invariant);
+    Some(SimBundle { explicit, trans, invariant })
+}
+
+/// Run one fault-injection batch against a bundle.
+pub fn run_simulation(bundle: &SimBundle, config: &SimConfig, seed: u64) -> SimReport {
+    let mut rng = ftrepair_bdd::SplitMix64::seed_from_u64(seed);
+    simulate(&bundle.explicit, &bundle.trans, &bundle.invariant, config, &mut rng)
+}
+
+/// Render a simulation report as the `/simulate` response fragment.
+pub fn sim_report_json(report: &SimReport, seed: u64) -> Json {
+    let mut j = Json::obj();
+    j.set("runs", report.runs.into());
+    j.set("steps", report.steps.into());
+    j.set("faults_injected", report.faults_injected.into());
+    j.set("seed", seed.into());
+    j.set("ok", report.ok().into());
+    match &report.failure {
+        None => {
+            j.set("failure", Json::Null);
+        }
+        Some(f) => {
+            let (kind, trace) = match f {
+                SimFailure::BadState(t) => ("bad_state", t),
+                SimFailure::BadTransition(t) => ("bad_transition", t),
+                SimFailure::NoRecovery(t) => ("no_recovery", t),
+            };
+            let mut fj = Json::obj();
+            fj.set("kind", kind.into());
+            fj.set("trace", Json::Arr(trace.iter().map(|&s| Json::from(u64::from(s))).collect()));
+            j.set("failure", fj);
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = r#"
+    program toggle;
+    var x : 0..2;
+    process p read x; write x;
+    begin
+      (x = 0) -> x := 1;
+      (x = 1) -> x := 0;
+    end
+    fault hit begin (x = 1) -> x := 2; end
+    invariant (x = 0) | (x = 1);
+    "#;
+
+    #[test]
+    fn prepare_is_formatting_insensitive() {
+        let a = prepare(TOGGLE, Mode::Lazy, RepairOptions::default()).unwrap();
+        let squashed = TOGGLE.split_whitespace().collect::<Vec<_>>().join(" ");
+        let b = prepare(&squashed, Mode::Lazy, RepairOptions::default()).unwrap();
+        assert_eq!(a.key, b.key, "whitespace must not fragment the cache");
+        let c = prepare(TOGGLE, Mode::Cautious, RepairOptions::default()).unwrap();
+        assert_ne!(a.key, c.key, "mode is part of the address");
+        let d = prepare(TOGGLE, Mode::Lazy, RepairOptions::pure_lazy()).unwrap();
+        assert_ne!(a.key, d.key, "options are part of the address");
+    }
+
+    #[test]
+    fn prepare_rejects_malformed_specs() {
+        let err = prepare("program oops", Mode::Lazy, RepairOptions::default()).unwrap_err();
+        assert!(err.starts_with("parse error:"), "{err}");
+    }
+
+    #[test]
+    fn execute_repairs_verifies_and_builds_sim_bundle() {
+        let spec = prepare(TOGGLE, Mode::Lazy, RepairOptions::default()).unwrap();
+        let result = execute(&spec, &Telemetry::off(), true).unwrap();
+        assert!(!result.failed);
+        assert!(result.verified);
+        assert_eq!(result.response.get("ok").unwrap().as_bool(), Some(true));
+        assert!(result.response.get("program").unwrap().as_str().unwrap().contains("(x = 2) ->"));
+
+        let bundle = result.sim.expect("3 states is well under the cap");
+        let report = run_simulation(&bundle, &SimConfig::default(), 7);
+        assert!(report.ok(), "{:?}", report.failure);
+        assert!(report.faults_injected > 0);
+        let j = sim_report_json(&report, 7);
+        assert_eq!(j.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("failure"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn execute_surfaces_compile_errors() {
+        let spec = prepare(
+            "program t; process p read x; write x; begin (x = 0) -> x := 1; end invariant true;",
+            Mode::Lazy,
+            RepairOptions::default(),
+        )
+        .unwrap();
+        let err = execute(&spec, &Telemetry::off(), false).unwrap_err();
+        assert!(err.starts_with("compile error:"), "{err}");
+        assert!(err.contains("unknown variable"), "{err}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # ftrepair-server — repair as a service
+//!
+//! The CLI repairs one spec per invocation and rebuilds the BDD world from
+//! scratch every time. This crate turns the pipeline into a long-running
+//! daemon that amortizes that cost: accept `.ftr` specs over HTTP, queue
+//! and schedule repair jobs across a `std::thread` worker pool, and serve
+//! cached results keyed by the content hash of the canonicalized spec plus
+//! its [`RepairOptions`](ftrepair_core::RepairOptions).
+//!
+//! Like the rest of the workspace the crate is dependency-free: the HTTP
+//! layer is hand-rolled over [`std::net::TcpListener`] ([`http`]), the
+//! bounded MPMC queue is a mutex/condvar pair ([`queue`]), and signal
+//! handling goes through libc's `signal(2)` directly ([`signal`]).
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /repair` | body = `.ftr` spec; returns repaired guarded commands + run report (JSON). Query: `mode=lazy\|cautious`, `pure-lazy`, `iterative-step2`, `parallel`, `strict-terminal`. |
+//! | `POST /simulate` | same body/query, plus `runs=N`, `max-faults=K`, `seed=S`; replays fault-injection batches against the (cached) repair. |
+//! | `GET /healthz` | liveness + uptime. |
+//! | `GET /metrics` | telemetry registry snapshot (cache hits/misses, queue depth, per-status counts, span times). |
+//!
+//! Backpressure: the job queue is bounded; when it is full new connections
+//! are answered `429` immediately. Shutdown: SIGTERM/ctrl-c stops the
+//! accept loop, queued jobs are drained, then the process exits (writing a
+//! summary JSONL line when `--metrics-out` is set).
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use cache::{content_key, CacheEntry, ResultCache};
+pub use job::{JobResult, JobSpec, Mode, SimBundle};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,388 @@
+//! The daemon: accept loop, worker pool, routing, and graceful shutdown.
+//!
+//! Control flow is deliberately boring:
+//!
+//! * the accept loop (caller's thread) accepts connections and `try_push`es
+//!   them onto the bounded [`JobQueue`]; a full queue answers `429`
+//!   immediately — backpressure, not unbounded latency;
+//! * `workers` threads pop connections, read one HTTP request each, run the
+//!   repair pipeline (through the content-addressed [`ResultCache`]), write
+//!   the response, and close;
+//! * SIGTERM / ctrl-c (or [`ServerHandle::shutdown`]) flips a flag; the
+//!   accept loop stops, closes the queue, and the workers drain every job
+//!   already accepted before the scope joins them.
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::http::{self, Request};
+use crate::job::{self, Mode};
+use crate::queue::{JobQueue, PushError};
+use crate::signal;
+use ftrepair_core::RepairOptions;
+use ftrepair_explicit::simulate::SimConfig;
+use ftrepair_telemetry::{Json, RunReport, Telemetry};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything tunable about the daemon.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7177`. Port 0 picks an ephemeral port
+    /// (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads running repairs. 0 means "number of CPUs".
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it, `POST` gets `429`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries.
+    pub cache_cap: usize,
+    /// Append one JSONL run report per repair job (plus a summary line on
+    /// shutdown) to this path.
+    pub metrics_out: Option<PathBuf>,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7177".to_string(),
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: 256,
+            metrics_out: None,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    queue: JobQueue<TcpStream>,
+    cache: ResultCache,
+    tele: Telemetry,
+    metrics_out: Option<PathBuf>,
+    metrics_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    io_timeout: Duration,
+    workers: usize,
+    started: Instant,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Serialize JSONL appends: lines can exceed the pipe-atomicity size,
+    /// and interleaved lines would corrupt the file for every consumer.
+    fn append_report(&self, report: &RunReport) {
+        if let Some(path) = &self.metrics_out {
+            let _guard = self.metrics_lock.lock().unwrap();
+            if let Err(e) = report.append_to(path) {
+                eprintln!("ftrepair-server: cannot append metrics to {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Handle for stopping a running server from another thread (tests, or an
+/// embedding with its own signal story).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin a graceful shutdown: stop accepting, drain queued jobs, exit.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The server's telemetry (live; snapshot to read).
+    pub fn telemetry(&self) -> Telemetry {
+        self.shared.tele.clone()
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and set up queue, cache, and telemetry.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let tele = Telemetry::new();
+        let cache = ResultCache::new(config.cache_cap, &tele);
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_cap),
+            cache,
+            tele,
+            metrics_out: config.metrics_out.clone(),
+            metrics_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            io_timeout: config.io_timeout,
+            workers,
+            started: Instant::now(),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server later.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Run until shutdown is requested (signal or handle), then drain
+    /// in-flight jobs, write the summary report, and return.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true)?;
+        let accepted = shared.tele.counter("server.http.accepted");
+        let rejected = shared.tele.counter("server.http.rejected_busy");
+
+        std::thread::scope(|scope| {
+            for _ in 0..shared.workers {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    while let Some(stream) = shared.queue.pop() {
+                        handle_connection(&shared, stream);
+                    }
+                });
+            }
+
+            while !shared.shutting_down() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accepted.inc();
+                        let _ = stream.set_read_timeout(Some(shared.io_timeout));
+                        let _ = stream.set_write_timeout(Some(shared.io_timeout));
+                        if let Err((mut stream, why)) = shared.queue.try_push(stream) {
+                            rejected.inc();
+                            let body = error_body(match why {
+                                PushError::Full => "server busy: job queue is full, retry later",
+                                PushError::Closed => "server is shutting down",
+                            });
+                            let _ = http::write_response(&mut stream, 429, JSON, &body);
+                            // Drain whatever request bytes the client already
+                            // sent before closing: dropping a socket with
+                            // unread data provokes an RST that can destroy
+                            // the 429 before the peer reads it. Bounded to
+                            // ~100ms so a slow client cannot stall accepts.
+                            use io::Read;
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                            let mut sink = [0u8; 4096];
+                            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("ftrepair-server: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            }
+            // Drain: no new connections, but every accepted one is served.
+            shared.queue.close();
+        });
+
+        let mut summary = RunReport::new("server", "summary");
+        summary.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
+        summary.set("workers", shared.workers.into());
+        summary.set("cache_entries", shared.cache.len().into());
+        summary.set_snapshot(&shared.tele.snapshot());
+        shared.append_report(&summary);
+        Ok(())
+    }
+}
+
+const JSON: &str = "application/json";
+
+fn error_body(message: &str) -> String {
+    let mut j = Json::obj();
+    j.set("ok", false.into());
+    j.set("error", message.into());
+    j.to_string()
+}
+
+/// Serve exactly one request on `stream`.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) if e.status == 0 => return, // peer went away; nothing to say
+        Err(e) => {
+            let _ = http::write_response(&mut stream, e.status, JSON, &error_body(&e.message));
+            return;
+        }
+    };
+
+    let _span = shared.tele.span("server.request");
+    shared.tele.add("server.http.requests", 1);
+    let (status, content_type, body) = route(shared, &request);
+    shared.tele.add(&format!("server.http.status.{status}"), 1);
+    if http::write_response(&mut stream, status, content_type, &body).is_err() {
+        shared.tele.add("server.http.write_failures", 1);
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("POST", "/repair") => handle_repair(shared, req),
+        ("POST", "/simulate") => handle_simulate(shared, req),
+        ("GET", "/repair" | "/simulate") | ("POST", "/healthz" | "/metrics") => {
+            (405, JSON, error_body("method not allowed for this path"))
+        }
+        _ => (404, JSON, error_body(&format!("no such endpoint {}", req.path))),
+    }
+}
+
+fn handle_healthz(shared: &Shared) -> (u16, &'static str, String) {
+    let mut j = Json::obj();
+    j.set("ok", true.into());
+    j.set("status", if shared.shutting_down() { "draining" } else { "up" }.into());
+    j.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
+    (200, JSON, j.to_string())
+}
+
+fn handle_metrics(shared: &Shared) -> (u16, &'static str, String) {
+    // Same rendering as a run report so consumers parse one shape.
+    let mut r = RunReport::new("server", "metrics");
+    r.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
+    r.set("workers", shared.workers.into());
+    r.set("queue_depth", shared.queue.len().into());
+    r.set("cache_entries", shared.cache.len().into());
+    r.set_snapshot(&shared.tele.snapshot());
+    (200, JSON, r.to_json_line())
+}
+
+/// Decode the repair knobs shared by `/repair` and `/simulate`.
+fn job_params(req: &Request) -> Result<(Mode, RepairOptions), String> {
+    let mode = match req.query("mode") {
+        None | Some("lazy") => Mode::Lazy,
+        Some("cautious") => Mode::Cautious,
+        Some(other) => return Err(format!("unknown mode {other:?} (use lazy or cautious)")),
+    };
+    let opts = RepairOptions {
+        restrict_to_reachable: !req.query_flag("pure-lazy"),
+        step2_closed_form: !req.query_flag("iterative-step2"),
+        parallel_step2: req.query_flag("parallel"),
+        allow_new_terminal_inside: !req.query_flag("strict-terminal"),
+        ..Default::default()
+    };
+    Ok((mode, opts))
+}
+
+/// Run a spec through the cache: prepare, look up, execute on miss. Returns
+/// the entry plus whether it was served from cache, or an HTTP error pair.
+fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, bool), (u16, String)> {
+    let source =
+        std::str::from_utf8(&req.body).map_err(|_| (400, "spec must be UTF-8 text".to_string()))?;
+    if source.trim().is_empty() {
+        return Err((400, "empty request body: POST the .ftr spec text".to_string()));
+    }
+    let (mode, opts) = job_params(req).map_err(|m| (400, m))?;
+    let spec = job::prepare(source, mode, opts).map_err(|m| (400, m))?;
+
+    if let Some(entry) = shared.cache.get(&spec.key) {
+        return Ok((entry, true));
+    }
+
+    // Per-job telemetry keeps concurrent jobs' reports separate; the
+    // snapshot is folded into the server registry afterwards so /metrics
+    // still aggregates everything.
+    let job_tele = Telemetry::new();
+    let result = job::execute(&spec, &job_tele, true).map_err(|m| (400, m))?;
+    shared.tele.absorb_snapshot(&job_tele.snapshot());
+
+    let mut report = result.report;
+    report.set("server_key", spec.key.as_str().into());
+    shared.append_report(&report);
+    shared.tele.add("server.jobs.completed", 1);
+    if result.failed {
+        shared.tele.add("server.jobs.unrepairable", 1);
+    }
+
+    let entry = shared.cache.insert(CacheEntry {
+        key: spec.key,
+        response: result.response,
+        sim: result.sim,
+    });
+    Ok((entry, false))
+}
+
+fn handle_repair(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+    match cached_repair(shared, req) {
+        Ok((entry, cached)) => {
+            let mut body = entry.response.clone();
+            body.set("cached", cached.into());
+            (200, JSON, body.to_string())
+        }
+        Err((status, message)) => (status, JSON, error_body(&message)),
+    }
+}
+
+fn handle_simulate(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+    let config = SimConfig {
+        runs: req.query("runs").and_then(|v| v.parse().ok()).unwrap_or(200),
+        max_faults: req.query("max-faults").and_then(|v| v.parse().ok()).unwrap_or(3),
+        ..Default::default()
+    };
+    if config.runs == 0 || config.runs > 100_000 {
+        return (400, JSON, error_body("runs must be between 1 and 100000"));
+    }
+    let seed = req.query("seed").and_then(|v| v.parse().ok()).unwrap_or(0xF7_5EED);
+
+    let (entry, cached) = match cached_repair(shared, req) {
+        Ok(pair) => pair,
+        Err((status, message)) => return (status, JSON, error_body(&message)),
+    };
+    if entry.response.get("failed").and_then(Json::as_bool) == Some(true) {
+        return (422, JSON, error_body("no repair exists for this spec; nothing to simulate"));
+    }
+    let Some(bundle) = &entry.sim else {
+        return (
+            422,
+            JSON,
+            error_body(&format!(
+                "state space exceeds {} states; explicit simulation is only for oracle-sized instances",
+                job::SIM_STATE_CAP
+            )),
+        );
+    };
+
+    let report = {
+        let _span = shared.tele.span("server.simulate");
+        job::run_simulation(bundle, &config, seed)
+    };
+    shared.tele.add("server.sim.batches", 1);
+    shared.tele.add("server.sim.runs", report.runs as u64);
+    shared.tele.add("server.sim.faults_injected", report.faults_injected);
+
+    let mut body = Json::obj();
+    body.set("ok", true.into());
+    body.set("key", entry.key.as_str().into());
+    body.set("cached", cached.into());
+    body.set("case", entry.response.get("case").cloned().unwrap_or(Json::Null));
+    body.set("simulation", job::sim_report_json(&report, seed));
+    (200, JSON, body.to_string())
+}

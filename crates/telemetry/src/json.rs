@@ -25,10 +25,16 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Insert or replace a key in an object (panics on non-objects:
-    /// that is a programming error, not a data error).
+    /// Insert or replace a key in an object, returning `self` so calls
+    /// chain. Calling this on a non-object is a programming error; it
+    /// trips a `debug_assert` in debug builds and is a silent no-op in
+    /// release builds — a daemon serving traffic must not die over a
+    /// malformed metrics document.
     pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
-        let Json::Obj(entries) = self else { panic!("Json::set on non-object") };
+        let Json::Obj(entries) = self else {
+            debug_assert!(false, "Json::set({key:?}) on non-object {self:?}");
+            return self;
+        };
         match entries.iter_mut().find(|(k, _)| k == key) {
             Some(slot) => slot.1 = value,
             None => entries.push((key.to_string(), value)),
@@ -422,5 +428,20 @@ mod tests {
         o.set("k", 2u64.into());
         assert_eq!(o.as_obj().unwrap().len(), 1);
         assert_eq!(o.get("k").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn set_chains() {
+        let mut o = Json::obj();
+        o.set("a", 1u64.into()).set("b", 2u64.into());
+        assert_eq!(o.as_obj().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn set_on_non_object_is_a_release_noop() {
+        let mut v = Json::Num(1.0);
+        v.set("k", 2u64.into());
+        assert_eq!(v, Json::Num(1.0));
     }
 }

@@ -1,19 +1,26 @@
 //! `ftrepair` — command-line front end, in the tradition of FTSyn/SYCRAFT.
 //!
 //! ```text
-//! ftrepair repair <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
-//!                            [--parallel] [--strict-terminal]
-//!                            [--metrics-out <path>] [--trace]
-//! ftrepair check  <file.ftr>
-//! ftrepair info   <file.ftr>
+//! ftrepair repair   <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
+//!                              [--parallel] [--strict-terminal]
+//!                              [--metrics-out <path>] [--trace]
+//! ftrepair check    <file.ftr>
+//! ftrepair info     <file.ftr>
+//! ftrepair simulate <file.ftr> [--cautious] [--runs N] [--max-faults K] [--seed S]
+//! ftrepair serve    [--addr host:port] [--workers N] [--queue-cap M]
+//!                   [--cache-cap C] [--metrics-out <path>]
 //! ```
 //!
 //! `repair` adds masking fault-tolerance and prints the repaired program as
 //! guarded commands; `check` validates the input (invariant closure, spec
 //! inside the invariant, realizability as written); `info` summarizes the
-//! model. `--metrics-out` appends one JSONL run report (phase timings,
-//! telemetry counters/gauges, per-iteration BDD sizes, op-cache hit rates)
-//! per invocation; `--trace` streams span open/close events to stderr.
+//! model; `simulate` repairs, then replays random fault-injection batches
+//! against the repaired program (the same code path as the daemon's
+//! `POST /simulate`); `serve` runs the repair-as-a-service daemon (see the
+//! README "Serving" section). `--metrics-out` appends one JSONL run report
+//! (phase timings, telemetry counters/gauges, per-iteration BDD sizes,
+//! op-cache hit rates) per repair; `--trace` streams span open/close events
+//! to stderr.
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
@@ -21,16 +28,26 @@ use ftrepair::repair::verify::verify_outcome;
 use ftrepair::repair::{
     build_run_report, cautious_repair_traced, lazy_repair_traced, LazyOutcome, RepairOptions,
 };
+use ftrepair::server::{job, signal, Server, ServerConfig};
 use ftrepair::telemetry::Telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: ftrepair <repair|check|info|simulate|serve> [<file.ftr>] [options]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: ftrepair <repair|check|info> <file.ftr> [options]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if command == "serve" {
+        return serve(&args[1..]);
+    }
+    if !matches!(command.as_str(), "info" | "check" | "repair" | "simulate") {
+        eprintln!("unknown command {command}");
+        return ExitCode::from(2);
+    }
     let Some(path) = args.get(1) else {
         eprintln!("missing input file");
         return ExitCode::from(2);
@@ -42,6 +59,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if command == "simulate" {
+        return simulate(&source, path, &args[2..]);
+    }
     let mut prog = match ftrepair::lang::load(&source) {
         Ok(p) => p,
         Err(e) => {
@@ -54,10 +74,137 @@ fn main() -> ExitCode {
         "info" => info(&mut prog),
         "check" => check(&mut prog),
         "repair" => repair(&mut prog, &args[2..]),
-        other => {
-            eprintln!("unknown command {other}");
-            ExitCode::from(2)
+        _ => unreachable!("command validated above"),
+    }
+}
+
+fn flag_value<'a>(flags: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match flags.iter().position(|a| a == name) {
+        Some(i) => match flags.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{name} requires an argument")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    flags: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(flags, name)? {
+        Some(v) => v.parse().map_err(|_| format!("{name}: cannot parse {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn serve(flags: &[String]) -> ExitCode {
+    let config = (|| -> Result<ServerConfig, String> {
+        let defaults = ServerConfig::default();
+        Ok(ServerConfig {
+            addr: flag_value(flags, "--addr")?.unwrap_or(&defaults.addr).to_string(),
+            workers: parsed_flag(flags, "--workers", defaults.workers)?,
+            queue_cap: parsed_flag(flags, "--queue-cap", defaults.queue_cap)?,
+            cache_cap: parsed_flag(flags, "--cache-cap", defaults.cache_cap)?,
+            metrics_out: flag_value(flags, "--metrics-out")?.map(PathBuf::from),
+            ..defaults
+        })
+    })();
+    let config = match config {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
         }
+    };
+
+    signal::install();
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Parseable by scripts and tests (especially with port 0).
+            println!("listening on {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("ftrepair-server: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
+    let has = |f: &str| flags.iter().any(|a| a == f);
+    let params = (|| -> Result<(usize, usize, u64), String> {
+        Ok((
+            parsed_flag(flags, "--runs", 200usize)?,
+            parsed_flag(flags, "--max-faults", 3usize)?,
+            parsed_flag(flags, "--seed", 0xF7_5EEDu64)?,
+        ))
+    })();
+    let (runs, max_faults, seed) = match params {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = if has("--cautious") { job::Mode::Cautious } else { job::Mode::Lazy };
+    let opts = RepairOptions::default();
+
+    let spec = match job::prepare(source, mode, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let result = match job::execute(&spec, &Telemetry::off(), true) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if result.failed {
+        eprintln!("no masking fault-tolerant repair exists under these inputs");
+        return ExitCode::from(1);
+    }
+    eprintln!("repaired {} ({} mode), verified: {}", spec.name, mode.as_str(), result.verified);
+    let Some(bundle) = &result.sim else {
+        eprintln!(
+            "state space exceeds {} states; explicit simulation is only for oracle-sized instances",
+            job::SIM_STATE_CAP
+        );
+        return ExitCode::from(1);
+    };
+
+    let config = ftrepair::explicit::simulate::SimConfig { runs, max_faults, ..Default::default() };
+    let report = job::run_simulation(bundle, &config, seed);
+    println!("{}", job::sim_report_json(&report, seed));
+    if report.ok() {
+        eprintln!(
+            "simulation ok: {} runs, {} steps, {} faults injected",
+            report.runs, report.steps, report.faults_injected
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simulation FAILED: {:?}", report.failure);
+        ExitCode::from(1)
     }
 }
 

@@ -116,6 +116,37 @@ fn repair_with_trace_streams_spans_to_stderr() {
 }
 
 #[test]
+fn simulate_replays_faults_against_the_repair() {
+    let (stdout, stderr, ok) = ftrepair(&["simulate", &spec("toggle_pair.ftr"), "--runs", "50"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("repaired toggle_pair (lazy mode), verified: true"), "{stderr}");
+    assert!(stderr.contains("simulation ok: 50 runs"), "{stderr}");
+    let report = ftrepair::telemetry::Json::parse(stdout.trim()).unwrap();
+    assert_eq!(report.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(report.get("runs").unwrap().as_u64(), Some(50));
+    assert!(report.get("faults_injected").unwrap().as_u64() > Some(0));
+}
+
+#[test]
+fn simulate_is_seed_deterministic() {
+    let (a, _, ok_a) = ftrepair(&["simulate", &spec("toggle_pair.ftr"), "--seed", "42"]);
+    let (b, _, ok_b) = ftrepair(&["simulate", &spec("toggle_pair.ftr"), "--seed", "42"]);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "same seed must replay the same batch");
+}
+
+#[test]
+fn simulate_rejects_malformed_specs_cleanly() {
+    let dir = std::env::temp_dir().join("ftrepair-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad-sim.ftr");
+    std::fs::write(&bad, "program broken (((").unwrap();
+    let (_, stderr, ok) = ftrepair(&["simulate", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
 fn metrics_out_without_a_path_is_rejected() {
     let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--metrics-out"]);
     assert!(!ok);

@@ -1,0 +1,322 @@
+//! Integration tests for the repair daemon: in-process servers on ephemeral
+//! ports exercised through real sockets, plus one binary-level test that
+//! drives `ftrepair serve` through a SIGTERM shutdown.
+
+use ftrepair::server::{Server, ServerConfig, ServerHandle};
+use ftrepair::telemetry::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn spec(name: &str) -> String {
+    let path = format!("{}/examples/specs/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Bind on an ephemeral port and run the server on a background thread.
+fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        io_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+/// Raw one-shot HTTP client matching the server's `Connection: close`
+/// contract. Returns (status, parsed JSON body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let text = String::from_utf8(reply).expect("UTF-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {:?}", text.lines().next()));
+    let json_body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json =
+        Json::parse(json_body).unwrap_or_else(|e| panic!("unparseable body ({e}): {json_body:?}"));
+    (status, json)
+}
+
+#[test]
+fn repair_round_trips_both_example_specs() {
+    let (addr, handle, join) = start(test_config());
+
+    let (status, body) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("ok").and_then(Json::as_bool), Some(true), "{body}");
+    assert_eq!(body.get("verified").and_then(Json::as_bool), Some(true), "{body}");
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(false), "{body}");
+    let program = body.get("program").and_then(Json::as_str).expect("program text");
+    assert!(program.contains("(x = 2) ->"), "recovery missing:\n{program}");
+
+    let (status, body) = request(addr, "POST", "/repair", &spec("tmr_voter.ftr"));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("verified").and_then(Json::as_bool), Some(true), "{body}");
+    let program = body.get("program").and_then(Json::as_str).expect("program text");
+    assert!(
+        program.contains("(r0 = 0) & (r1 = 0) & (r2 = 0) & (o = 2) -> o := 0;"),
+        "unanimity decision missing:\n{program}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn identical_posts_hit_the_cache_and_metrics_show_it() {
+    let (addr, handle, join) = start(test_config());
+    let toggle = spec("toggle_pair.ftr");
+
+    let (status, first) = request(addr, "POST", "/repair", &toggle);
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+
+    // Different formatting (extra comment + indentation), same canonical
+    // spec: still a cache hit.
+    let reformatted = format!("// resubmitted\n{}", toggle.replace('\n', "\n  "));
+    let (status, second) = request(addr, "POST", "/repair", &reformatted);
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true), "{second}");
+    assert_eq!(first.get("key"), second.get("key"), "same content address");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let counters = metrics.get("counters").expect("counters object");
+    assert!(counters.get("server.cache.hits").and_then(Json::as_u64) >= Some(1), "{metrics}");
+    assert!(counters.get("server.cache.misses").and_then(Json::as_u64) >= Some(1), "{metrics}");
+    assert!(counters.get("server.jobs.completed").and_then(Json::as_u64) >= Some(1), "{metrics}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn malformed_specs_get_400_and_the_server_stays_up() {
+    let (addr, handle, join) = start(test_config());
+
+    let (status, body) = request(addr, "POST", "/repair", "program broken (((");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(body.get("ok").and_then(Json::as_bool), Some(false));
+    let error = body.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(error.contains("parse error"), "{body}");
+
+    let (status, body) = request(addr, "POST", "/repair", "");
+    assert_eq!(status, 400, "{body}");
+
+    // Semantically broken (unknown variable) is a compile error, also 400.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/repair",
+        "program t; process p read x; write x; begin (x = 0) -> x := 1; end invariant true;",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.get("error").and_then(Json::as_str).unwrap_or("").contains("compile error"),
+        "{body}"
+    );
+
+    // The workers survived all of it.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("ok").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn unknown_paths_and_methods_are_clean_errors() {
+    let (addr, handle, join) = start(test_config());
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/repair", "");
+    assert_eq!(status, 405);
+    let (status, body) = request(addr, "POST", "/repair?mode=psychic", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 400);
+    assert!(
+        body.get("error").and_then(Json::as_str).unwrap_or("").contains("unknown mode"),
+        "{body}"
+    );
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn simulate_replays_faults_against_the_cached_repair() {
+    let (addr, handle, join) = start(test_config());
+    let toggle = spec("toggle_pair.ftr");
+
+    let (status, body) = request(addr, "POST", "/simulate?runs=50&seed=7", &toggle);
+    assert_eq!(status, 200, "{body}");
+    let sim = body.get("simulation").expect("simulation object");
+    assert_eq!(sim.get("ok").and_then(Json::as_bool), Some(true), "{body}");
+    assert_eq!(sim.get("runs").and_then(Json::as_u64), Some(50), "{body}");
+    assert!(sim.get("faults_injected").and_then(Json::as_u64) > Some(0), "{body}");
+
+    // The simulate call warmed the cache; a /repair on the same spec hits.
+    let (status, body) = request(addr, "POST", "/repair", &toggle);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(true), "{body}");
+
+    let (status, body) = request(addr, "POST", "/simulate?runs=0", &toggle);
+    assert_eq!(status, 400, "{body}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_load_with_429() {
+    let config = ServerConfig { workers: 1, queue_cap: 1, ..test_config() };
+    let (addr, handle, join) = start(config);
+
+    // Occupy the single worker, then the single queue slot, with idle
+    // connections that never send a request.
+    let idle1 = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // worker pops idle1
+    let idle2 = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // idle2 sits in the queue
+
+    let (status, body) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 429, "{body}");
+    assert!(body.get("error").and_then(Json::as_str).unwrap_or("").contains("busy"), "{body}");
+
+    // Freeing the connections restores service.
+    drop(idle1);
+    drop(idle2);
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, body) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 200, "{body}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn thirty_two_concurrent_posts_all_succeed() {
+    let (addr, handle, join) = start(test_config());
+    let toggle = spec("toggle_pair.ftr");
+    let tmr = spec("tmr_voter.ftr");
+
+    let results: Vec<(u16, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                let body = if i % 2 == 0 { &toggle } else { &tmr };
+                scope.spawn(move || request(addr, "POST", "/repair", body))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    for (status, body) in &results {
+        assert_eq!(*status, 200, "{body}");
+        assert_eq!(body.get("verified").and_then(Json::as_bool), Some(true), "{body}");
+    }
+    // With 32 requests over 2 distinct specs, the cache must collapse most
+    // of the work. Concurrent identical requests may legally both miss (no
+    // in-flight dedup), but never more than one per worker per spec wave.
+    let hits = results
+        .iter()
+        .filter(|(_, b)| b.get("cached").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert!(hits >= 24, "expected plenty of cache hits, got {hits}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn metrics_out_gets_per_job_reports_and_a_shutdown_summary() {
+    let dir = std::env::temp_dir().join("ftrepair-server-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("server.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let config = ServerConfig { metrics_out: Some(path.clone()), ..test_config() };
+    let (addr, handle, join) = start(config);
+    let (status, _) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 200);
+    handle.shutdown();
+    join.join().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).expect("JSONL line")).collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    assert_eq!(lines[0].get("case").and_then(Json::as_str), Some("toggle_pair"));
+    assert!(lines[0].get("server_key").is_some(), "job line carries the content address");
+    assert_eq!(lines[1].get("case").and_then(Json::as_str), Some("server"));
+    assert_eq!(lines[1].get("mode").and_then(Json::as_str), Some("summary"));
+}
+
+/// Binary-level: `ftrepair serve` announces its address, serves traffic,
+/// and drains cleanly on SIGTERM.
+#[test]
+#[cfg(unix)]
+fn serve_binary_shuts_down_gracefully_on_sigterm() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftrepair"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ftrepair serve");
+
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let announce = lines.next().expect("announce line").expect("read stdout");
+    let addr: SocketAddr = announce
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line {announce:?}"))
+        .parse()
+        .expect("parse announced address");
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 200, "{body}");
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    // wait() has no timeout in std; poll with a deadline instead.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "server exited with {status}");
+                break;
+            }
+            None if std::time::Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("server did not exit within 30s of SIGTERM");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let mut stderr = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(stderr.contains("drained and stopped"), "{stderr}");
+}
