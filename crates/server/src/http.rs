@@ -3,15 +3,27 @@
 //! workspace's no-third-party-code rule.
 //!
 //! One request per connection (`Connection: close` on every response), a
-//! `Content-Length` body (no chunked encoding), and a bounded body size so
-//! a hostile client cannot balloon a worker's memory.
+//! `Content-Length` body (no chunked encoding), and bounded sizes for the
+//! request line, each header, the header section, and the body so a
+//! hostile client cannot balloon a worker's memory. The socket's read
+//! timeout is treated as a deadline for the *whole* request, re-armed with
+//! the remaining time before every read, so trickling one byte per timeout
+//! window cannot stall a worker indefinitely (slowloris).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Largest request body accepted, in bytes. Specs are text; anything
 /// bigger than this is either a mistake or an attack.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest single line (request line or one header), in bytes, excluding
+/// nothing — the terminator counts too.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
+/// Largest header section (all header lines together), in bytes.
+pub const MAX_HEADER_BYTES: usize = 64 << 10;
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -66,17 +78,95 @@ impl HttpError {
     }
 }
 
-/// Read one request from the stream. Honors whatever read timeout the
-/// caller configured on the socket; timeouts and early closes surface as
-/// errors.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Err(HttpError { status: 0, message: "closed before request".into() }),
-        Ok(_) => {}
-        Err(e) => return Err(HttpError { status: 0, message: format!("read failed: {e}") }),
+/// Re-arm the socket timeout with whatever remains of the whole-request
+/// deadline. Without this, each read resets the timeout and a client
+/// trickling one byte per window holds the worker forever.
+fn arm_deadline(stream: &TcpStream, deadline: Option<Instant>) -> Result<(), HttpError> {
+    if let Some(d) = deadline {
+        let remaining = d.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(HttpError {
+                status: 408,
+                message: "request read deadline exceeded".into(),
+            });
+        }
+        let _ = stream.set_read_timeout(Some(remaining));
     }
+    Ok(())
+}
+
+/// Read one CRLF/LF-terminated line of at most `max` bytes. `Ok(None)`
+/// means EOF before any byte arrived. Never buffers more than `max` bytes
+/// no matter how the peer frames its writes.
+fn read_line_bounded(
+    reader: &mut BufReader<&TcpStream>,
+    deadline: Option<Instant>,
+    max: usize,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        arm_deadline(reader.get_ref(), deadline)?;
+        let (consumed, done) = match reader.fill_buf() {
+            Ok([]) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::bad_request("connection closed mid-line"));
+            }
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&buf[..i]);
+                    (i + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(HttpError { status: 408, message: "timed out reading request".into() });
+            }
+            Err(e) => {
+                return Err(if line.is_empty() {
+                    HttpError { status: 0, message: format!("read failed: {e}") }
+                } else {
+                    HttpError::bad_request(format!("read failed: {e}"))
+                });
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > max {
+            return Err(HttpError { status: 431, message: format!("line exceeds {max} bytes") });
+        }
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::bad_request("non-UTF-8 bytes in request head"));
+        }
+    }
+}
+
+/// Read one request from the stream. The socket's read timeout (as
+/// configured by the caller) is interpreted as a deadline for the entire
+/// request; timeouts and early closes surface as errors.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let stream: &TcpStream = &*stream;
+    let deadline = stream.read_timeout().ok().flatten().map(|t| Instant::now() + t);
+    let mut reader = BufReader::new(stream);
+
+    let line = match read_line_bounded(&mut reader, deadline, MAX_LINE_BYTES)? {
+        Some(line) => line,
+        None => return Err(HttpError { status: 0, message: "closed before request".into() }),
+    };
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let target = parts.next().unwrap_or_default().to_string();
@@ -91,19 +181,22 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     };
 
     let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
     loop {
-        let mut h = String::new();
-        match reader.read_line(&mut h) {
-            Ok(0) => return Err(HttpError::bad_request("truncated headers")),
-            Ok(_) => {}
-            Err(e) => return Err(HttpError::bad_request(format!("header read failed: {e}"))),
-        }
-        let h = h.trim_end_matches(['\r', '\n']);
+        let h = match read_line_bounded(&mut reader, deadline, MAX_LINE_BYTES) {
+            Ok(Some(h)) => h,
+            Ok(None) => return Err(HttpError::bad_request("truncated headers")),
+            Err(e) if e.status == 0 => {
+                return Err(HttpError::bad_request(format!("header read failed: {}", e.message)));
+            }
+            Err(e) => return Err(e),
+        };
         if h.is_empty() {
             break;
         }
-        if headers.len() >= 100 {
-            return Err(HttpError::bad_request("too many headers"));
+        header_bytes += h.len();
+        if headers.len() >= 100 || header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError { status: 431, message: "header section too large".into() });
         }
         match h.split_once(':') {
             Some((k, v)) => headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string())),
@@ -122,7 +215,17 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         return Err(HttpError { status: 413, message: "request body too large".into() });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| HttpError::bad_request(format!("short body: {e}")))?;
+    let mut filled = 0;
+    while filled < content_length {
+        arm_deadline(reader.get_ref(), deadline)
+            .map_err(|_| HttpError::bad_request("request read deadline exceeded mid-body"))?;
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::bad_request("short body: connection closed")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::bad_request(format!("short body: {e}"))),
+        }
+    }
 
     Ok(Request { method, path, query, headers, body })
 }
@@ -164,9 +267,11 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -230,6 +335,62 @@ mod tests {
             format!("POST /repair HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         let err = roundtrip(raw.as_bytes()).unwrap_err();
         assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn rejects_unterminated_request_line_with_431() {
+        // A "request line" that never ends must be rejected once it passes
+        // the line cap, not buffered until the peer feels like stopping.
+        let mut raw = vec![b'A'; MAX_LINE_BYTES + 1024];
+        raw.extend_from_slice(b" / HTTP/1.1\r\n\r\n");
+        let err = roundtrip(&raw).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn rejects_oversized_header_line_with_431() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(vec![b'x'; MAX_LINE_BYTES + 1024]);
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = roundtrip(&raw).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn rejects_oversized_header_section_with_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..200 {
+            raw.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = roundtrip(&raw).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn slow_trickle_is_bounded_by_a_total_deadline() {
+        // One byte per 30ms with a 120ms socket timeout: per-read timeouts
+        // alone would never fire; the whole-request deadline must.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for _ in 0..40 {
+                if s.write_all(b"G").is_err() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(120))).unwrap();
+        let start = std::time::Instant::now();
+        let err = read_request(&mut stream).unwrap_err();
+        assert!(err.status == 408 || err.status == 0, "got {err:?}");
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        drop(stream);
+        let _ = writer.join();
     }
 
     #[test]

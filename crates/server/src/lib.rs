@@ -27,6 +27,7 @@
 //! summary JSONL line when `--metrics-out` is set).
 
 pub mod cache;
+pub mod flight;
 pub mod http;
 pub mod job;
 pub mod queue;

@@ -13,6 +13,7 @@
 //!   already accepted before the scope joins them.
 
 use crate::cache::{CacheEntry, ResultCache};
+use crate::flight::InFlight;
 use crate::http::{self, Request};
 use crate::job::{self, Mode};
 use crate::queue::{JobQueue, PushError};
@@ -62,6 +63,7 @@ impl Default for ServerConfig {
 struct Shared {
     queue: JobQueue<TcpStream>,
     cache: ResultCache,
+    inflight: InFlight,
     tele: Telemetry,
     metrics_out: Option<PathBuf>,
     metrics_lock: Mutex<()>,
@@ -127,6 +129,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_cap),
             cache,
+            inflight: InFlight::new(),
             tele,
             metrics_out: config.metrics_out.clone(),
             metrics_lock: Mutex::new(()),
@@ -182,12 +185,25 @@ impl Server {
                             // Drain whatever request bytes the client already
                             // sent before closing: dropping a socket with
                             // unread data provokes an RST that can destroy
-                            // the 429 before the peer reads it. Bounded to
-                            // ~100ms so a slow client cannot stall accepts.
+                            // the 429 before the peer reads it. This runs on
+                            // the accept thread, so it is bounded by a total
+                            // deadline AND a byte budget — per-read timeouts
+                            // alone would let a trickling client stall
+                            // accepts indefinitely.
                             use io::Read;
-                            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                            let deadline = Instant::now() + Duration::from_millis(100);
+                            let mut budget: usize = 64 << 10;
                             let mut sink = [0u8; 4096];
-                            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+                            while budget > 0 {
+                                let left = deadline.saturating_duration_since(Instant::now());
+                                if left.is_zero() || stream.set_read_timeout(Some(left)).is_err() {
+                                    break;
+                                }
+                                match stream.read(&mut sink) {
+                                    Ok(n) if n > 0 => budget = budget.saturating_sub(n),
+                                    _ => break,
+                                }
+                            }
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -303,9 +319,20 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     let (mode, opts) = job_params(req).map_err(|m| (400, m))?;
     let spec = job::prepare(source, mode, opts).map_err(|m| (400, m))?;
 
-    if let Some(entry) = shared.cache.get(&spec.key) {
-        return Ok((entry, true));
-    }
+    // Single-flight: the first request for a key becomes the leader and
+    // runs the repair; concurrent requests for the same key block in
+    // `begin` until the leader finishes (guard drop), then find the entry
+    // in the cache instead of duplicating the fixpoint computation. If the
+    // leader errors out, one waiting follower claims leadership and tries.
+    let _lead = loop {
+        if let Some(entry) = shared.cache.get(&spec.key) {
+            return Ok((entry, true));
+        }
+        match shared.inflight.begin(&spec.key) {
+            Some(guard) => break guard,
+            None => continue,
+        }
+    };
 
     // Per-job telemetry keeps concurrent jobs' reports separate; the
     // snapshot is folded into the server registry afterwards so /metrics
@@ -349,6 +376,12 @@ fn handle_simulate(shared: &Shared, req: &Request) -> (u16, &'static str, String
     };
     if config.runs == 0 || config.runs > 100_000 {
         return (400, JSON, error_body("runs must be between 1 and 100000"));
+    }
+    // Every injected fault re-arms the recovery budget and grows the trace,
+    // so an unbounded max-faults lets one request pin a worker arbitrarily
+    // long. Bound it like runs.
+    if config.max_faults > 1_000 {
+        return (400, JSON, error_body("max-faults must be between 0 and 1000"));
     }
     let seed = req.query("seed").and_then(|v| v.parse().ok()).unwrap_or(0xF7_5EED);
 

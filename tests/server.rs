@@ -180,6 +180,13 @@ fn simulate_replays_faults_against_the_cached_repair() {
     let (status, body) = request(addr, "POST", "/simulate?runs=0", &toggle);
     assert_eq!(status, 400, "{body}");
 
+    let (status, body) = request(addr, "POST", "/simulate?max-faults=1000000", &toggle);
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.get("error").and_then(Json::as_str).unwrap_or("").contains("max-faults"),
+        "{body}"
+    );
+
     handle.shutdown();
     join.join().unwrap();
 }
@@ -231,14 +238,14 @@ fn thirty_two_concurrent_posts_all_succeed() {
         assert_eq!(*status, 200, "{body}");
         assert_eq!(body.get("verified").and_then(Json::as_bool), Some(true), "{body}");
     }
-    // With 32 requests over 2 distinct specs, the cache must collapse most
-    // of the work. Concurrent identical requests may legally both miss (no
-    // in-flight dedup), but never more than one per worker per spec wave.
+    // With 32 requests over 2 distinct specs, single-flight guarantees the
+    // repair runs once per spec: every other request either waits for the
+    // leader and reads the cache, or arrives later and hits directly.
     let hits = results
         .iter()
         .filter(|(_, b)| b.get("cached").and_then(Json::as_bool) == Some(true))
         .count();
-    assert!(hits >= 24, "expected plenty of cache hits, got {hits}");
+    assert_eq!(hits, 30, "exactly one miss per distinct spec");
 
     handle.shutdown();
     join.join().unwrap();
