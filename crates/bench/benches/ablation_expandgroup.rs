@@ -25,7 +25,7 @@ fn main() {
         for (name, opts) in &configs {
             bench(&format!("ablation_expandgroup/{name}/{n}"), 10, || {
                 let mut prog = stabilizing_chain(n, 4).0;
-                let out = lazy_repair(&mut prog, opts);
+                let out = lazy_repair(&mut prog, opts).unwrap();
                 assert!(!out.failed);
                 out.stats.step2_picks
             });

@@ -13,12 +13,12 @@ fn main() {
     for &n in &[2usize, 3, 4] {
         bench(&format!("ablation_heuristic/with_heuristic/{n}"), 10, || {
             let mut prog = byzantine_agreement(n).0;
-            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
             assert!(!out.failed);
         });
         bench(&format!("ablation_heuristic/pure_lazy/{n}"), 10, || {
             let mut prog = byzantine_agreement(n).0;
-            let out = lazy_repair(&mut prog, &RepairOptions::pure_lazy());
+            let out = lazy_repair(&mut prog, &RepairOptions::pure_lazy()).unwrap();
             assert!(!out.failed);
         });
     }

@@ -14,13 +14,13 @@ fn main() {
     for &n in &[3usize, 4, 5] {
         bench(&format!("ablation_parallel/sequential/{n}"), 10, || {
             let mut prog = byzantine_agreement(n).0;
-            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
             assert!(!out.failed);
         });
         bench(&format!("ablation_parallel/parallel/{n}"), 10, || {
             let mut prog = byzantine_agreement(n).0;
             let opts = RepairOptions { parallel_step2: true, ..Default::default() };
-            let out = lazy_repair(&mut prog, &opts);
+            let out = lazy_repair(&mut prog, &opts).unwrap();
             assert!(!out.failed);
         });
     }

@@ -13,13 +13,13 @@ fn main() {
     for &n in &[2usize, 3, 4] {
         bench(&format!("table1_byzantine/lazy/{n}"), 10, || {
             let mut prog = byzantine_agreement(n).0;
-            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
             assert!(!out.failed);
             out.stats.outer_iterations
         });
         bench(&format!("table1_byzantine/cautious/{n}"), 10, || {
             let mut prog = byzantine_agreement(n).0;
-            let out = cautious_repair(&mut prog, &RepairOptions::default());
+            let out = cautious_repair(&mut prog, &RepairOptions::default()).unwrap();
             assert!(!out.failed);
             out.stats.outer_iterations
         });

@@ -9,7 +9,7 @@ fn main() {
     for &n in &[2usize, 3] {
         bench(&format!("table2_failstop/lazy/{n}"), 10, || {
             let mut prog = byzantine_failstop(n).0;
-            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
             assert!(!out.failed);
             out.stats.outer_iterations
         });

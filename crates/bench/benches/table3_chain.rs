@@ -9,7 +9,7 @@ fn main() {
     for &n in &[6usize, 8, 10] {
         bench(&format!("table3_chain/lazy_d8/{n}"), 10, || {
             let mut prog = stabilizing_chain(n, 8).0;
-            let out = lazy_repair(&mut prog, &RepairOptions::default());
+            let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
             assert!(!out.failed);
             out.stats.outer_iterations
         });

@@ -4,16 +4,21 @@
 //! loadgen --addr 127.0.0.1:7177 --spec examples/specs/toggle_pair.ftr
 //!         [--spec more.ftr ...] [--conns 8] [--requests 64]
 //!         [--mode lazy|cautious] [--endpoint repair|simulate]
+//!         [--connect-timeout <secs>] [--retries <n>]
 //!         [--metrics-out <path>]
 //! ```
 //!
 //! Opens `--conns` worker threads, each issuing `POST /<endpoint>` requests
 //! over raw TCP (one request per connection, matching the server's
 //! `Connection: close` contract) until `--requests` total have completed,
-//! rotating through the given specs. Reports throughput, latency
-//! percentiles, and status/cache breakdowns; `--metrics-out` appends the
-//! summary as one JSONL run report in the same schema as the CLI and the
-//! bench tables.
+//! rotating through the given specs. Connects are bounded by
+//! `--connect-timeout` (a dead daemon fails fast instead of hanging the
+//! batch), and a failed connect or a `429` is retried up to `--retries`
+//! times with full-jitter exponential backoff, so the generator behaves
+//! like a disciplined client instead of re-slamming a saturated queue in
+//! lockstep. Reports throughput, latency percentiles, retries, and
+//! status/cache breakdowns; `--metrics-out` appends the summary as one
+//! JSONL run report in the same schema as the CLI and the bench tables.
 
 use ftrepair_telemetry::{Json, RunReport};
 use std::io::{Read, Write};
@@ -30,6 +35,8 @@ struct Args {
     requests: usize,
     mode: String,
     endpoint: String,
+    connect_timeout: Duration,
+    max_retries: usize,
     metrics_out: Option<PathBuf>,
 }
 
@@ -42,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         requests: 64,
         mode: "lazy".to_string(),
         endpoint: "repair".to_string(),
+        connect_timeout: Duration::from_secs(5),
+        max_retries: 3,
         metrics_out: None,
     };
     let mut i = 0;
@@ -63,6 +72,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--mode" => args.mode = value(i)?.clone(),
             "--endpoint" => args.endpoint = value(i)?.clone(),
+            "--connect-timeout" => {
+                let secs: f64 = value(i)?.parse().map_err(|_| "--connect-timeout: not a number")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--connect-timeout must be positive seconds".to_string());
+                }
+                args.connect_timeout = Duration::from_secs_f64(secs);
+            }
+            "--retries" => {
+                args.max_retries = value(i)?.parse().map_err(|_| "--retries: not a number")?
+            }
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value(i)?)),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -91,9 +110,22 @@ struct Sample {
 }
 
 /// Issue one request and parse the status line + body out of the raw reply.
-fn one_request(addr: &str, endpoint: &str, mode: &str, body: &str) -> Result<Sample, String> {
+fn one_request(
+    addr: &str,
+    endpoint: &str,
+    mode: &str,
+    body: &str,
+    connect_timeout: Duration,
+) -> Result<Sample, String> {
+    use std::net::ToSocketAddrs;
     let started = Instant::now();
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("connect {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("connect {addr}: no address resolved"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, connect_timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
     stream.set_write_timeout(Some(Duration::from_secs(60))).ok();
     let request = format!(
@@ -119,6 +151,44 @@ fn one_request(addr: &str, endpoint: &str, mode: &str, body: &str) -> Result<Sam
     Ok(Sample { latency, status, cached })
 }
 
+/// One SplitMix64 step mapped to `[0, 1)`.
+fn next_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Issue a request, retrying failed connects and `429`s up to
+/// `args.max_retries` times. Returns the final result plus how many
+/// retries it took.
+fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample, String>, usize) {
+    const BACKOFF_BASE: Duration = Duration::from_millis(50);
+    let mut retries = 0;
+    loop {
+        let result =
+            one_request(&args.addr, &args.endpoint, &args.mode, body, args.connect_timeout);
+        let retryable = match &result {
+            // Connects are retryable (daemon restarting, listen backlog
+            // full); read/write errors are not — the job may have run, and
+            // replaying it could double non-idempotent work downstream.
+            Err(e) => e.starts_with("connect "),
+            Ok(s) => s.status == 429,
+        };
+        if !retryable || retries >= args.max_retries {
+            return (result, retries);
+        }
+        // Full-jitter exponential backoff: sleep a uniform random slice of
+        // base * 2^attempt, so the herd that saturated the queue does not
+        // re-arrive in lockstep and saturate it again.
+        let cap = BACKOFF_BASE.as_secs_f64() * (1u64 << retries.min(6)) as f64;
+        std::thread::sleep(Duration::from_secs_f64((cap * next_unit(rng)).max(0.001)));
+        retries += 1;
+    }
+}
+
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -138,12 +208,15 @@ fn main() -> ExitCode {
 
     let next = AtomicUsize::new(0);
     let started = Instant::now();
-    let results: Vec<Result<Sample, String>> = std::thread::scope(|scope| {
+    let results: Vec<(Result<Sample, String>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.conns)
-            .map(|_| {
+            .map(|conn| {
                 let next = &next;
                 let args = &args;
                 scope.spawn(move || {
+                    // Per-connection jitter stream, seeded distinctly so
+                    // concurrent backoffs do not march in step.
+                    let mut rng: u64 = 0x10AD_6E4E ^ (conn as u64).wrapping_mul(0xA5A5_A5A5);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -151,7 +224,7 @@ fn main() -> ExitCode {
                             break;
                         }
                         let (_, body) = &args.specs[i % args.specs.len()];
-                        out.push(one_request(&args.addr, &args.endpoint, &args.mode, body));
+                        out.push(request_with_retry(args, body, &mut rng));
                     }
                     out
                 })
@@ -167,7 +240,9 @@ fn main() -> ExitCode {
     let mut cached = 0usize;
     let mut errors = 0usize;
     let mut other_status = 0usize;
-    for r in &results {
+    let mut retries = 0usize;
+    for (r, tries) in &results {
+        retries += tries;
         match r {
             Ok(s) => {
                 latencies.push(s.latency);
@@ -197,7 +272,7 @@ fn main() -> ExitCode {
         throughput,
     );
     eprintln!(
-        "  status: {ok} ok, {busy} busy (429), {other_status} other, {errors} transport errors; {cached} cache hits",
+        "  status: {ok} ok, {busy} busy (429), {other_status} other, {errors} transport errors; {cached} cache hits; {retries} retries",
     );
     eprintln!("  latency: p50 {p50:.2?}, p90 {p90:.2?}, p99 {p99:.2?}");
 
@@ -214,6 +289,7 @@ fn main() -> ExitCode {
     report.set("status_busy", busy.into());
     report.set("status_other", other_status.into());
     report.set("transport_errors", errors.into());
+    report.set("retries", retries.into());
     report.set("cache_hits", cached.into());
     report.set("latency_p50_s", p50.as_secs_f64().into());
     report.set("latency_p90_s", p90.as_secs_f64().into());

@@ -89,7 +89,9 @@ pub fn measure(
 
     let mut prog = factory();
     let tele = Telemetry::new();
-    let out: LazyOutcome = lazy_repair_traced(&mut prog, opts, &tele);
+    // Bench runs carry no deadline, so an abort is impossible here.
+    let out: LazyOutcome =
+        lazy_repair_traced(&mut prog, opts, &tele).expect("bench runs have no deadline");
     // Report before verification: the verifier's BDD traffic must not
     // pollute the run's cache hit rates.
     let mut report =
@@ -105,7 +107,7 @@ pub fn measure(
 
     let cautious = with_cautious.then(|| {
         let mut prog = factory();
-        let c = cautious_repair(&mut prog, opts);
+        let c = cautious_repair(&mut prog, opts).expect("bench runs have no deadline");
         assert!(!c.failed, "cautious repair failed on {}", prog.name);
         c.stats.total_time()
     });

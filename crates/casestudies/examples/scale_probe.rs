@@ -12,7 +12,7 @@ fn main() {
         "ba" => {
             let (mut p, _) = byzantine_agreement(n);
             let t0 = Instant::now();
-            let out = lazy_repair(&mut p, &opts);
+            let out = lazy_repair(&mut p, &opts).unwrap();
             println!("BA n={n} lazy: failed={} time={:?} (s1={:?} s2={:?}) picks={} kept={} dropped={} exp={}",
                 out.failed, t0.elapsed(), out.stats.step1_time, out.stats.step2_time,
                 out.stats.step2_picks, out.stats.groups_kept, out.stats.groups_dropped, out.stats.expansions);
@@ -20,7 +20,7 @@ fn main() {
         "bac" => {
             let (mut p, _) = byzantine_agreement(n);
             let t0 = Instant::now();
-            let out = cautious_repair(&mut p, &opts);
+            let out = cautious_repair(&mut p, &opts).unwrap();
             println!(
                 "BA n={n} cautious: failed={} time={:?} iters={} picks={}",
                 out.failed,
@@ -32,7 +32,7 @@ fn main() {
         "fs" => {
             let (mut p, _) = byzantine_failstop(n);
             let t0 = Instant::now();
-            let out = lazy_repair(&mut p, &opts);
+            let out = lazy_repair(&mut p, &opts).unwrap();
             println!(
                 "FS n={n} lazy: failed={} time={:?} (s1={:?} s2={:?})",
                 out.failed,
@@ -44,7 +44,7 @@ fn main() {
         "chain" => {
             let (mut p, _) = stabilizing_chain(n, d);
             let t0 = Instant::now();
-            let out = lazy_repair(&mut p, &opts);
+            let out = lazy_repair(&mut p, &opts).unwrap();
             println!(
                 "Chain n={n} d={d} lazy: failed={} time={:?} (s1={:?} s2={:?}) picks={}",
                 out.failed,

@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn repair_small_chain_verifies() {
         let (mut p, _) = stabilizing_chain(3, 2);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok(), "{m:?}");
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn repair_nonbinary_domain_verifies() {
         let (mut p, _) = stabilizing_chain(3, 3);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok(), "{m:?}");
@@ -113,7 +113,7 @@ mod tests {
         // groups are complete by construction.
         let (mut p, _) = stabilizing_chain(3, 2);
         let orig: Vec<_> = p.partitions();
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         for (j, &t) in orig.iter().enumerate() {
             // Restricted to the final span, the original actions remain.

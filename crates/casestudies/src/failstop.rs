@@ -386,7 +386,7 @@ mod tests {
     #[test]
     fn repair_n1_verifies() {
         let (mut p, _) = byzantine_failstop(1);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok(), "{m:?}");

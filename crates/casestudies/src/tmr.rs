@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn repair_makes_tmr_masking_tolerant() {
         let (mut p, _) = tmr(3);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok(), "{m:?}");
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn repaired_voter_does_not_trust_a_minority_replica() {
         let (mut p, vars) = tmr(3);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         // State: i=0, replicas (1,0,0) — r0 corrupted — o undecided, c=1.
         let s = p.cx.state_cube(&[0, 1, 0, 0, EMPTY, 1]);
@@ -180,7 +180,7 @@ mod tests {
         // With n=2 there is no majority, but replica recovery (p_j re-reads
         // the input) still yields a masking-tolerant system.
         let (mut p, _) = tmr(2);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok() && r.ok(), "{m:?} {r:?}");

@@ -135,7 +135,7 @@ mod tests {
             let inv = p.invariant;
             ftrepair_program::semantics::project(&mut p.cx, t, inv)
         };
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok(), "{m:?}");
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn repair_verifies_on_a_larger_ring() {
         let (mut p, _) = token_ring(4, 4);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok() && r.ok(), "{m:?} {r:?}");

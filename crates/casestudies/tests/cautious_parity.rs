@@ -10,7 +10,7 @@ use ftrepair_core::{
 use ftrepair_program::DistributedProgram;
 
 fn check_cautious(p: &mut DistributedProgram) -> LazyOutcome {
-    let c = cautious_repair(p, &RepairOptions::default());
+    let c = cautious_repair(p, &RepairOptions::default()).unwrap();
     assert!(!c.failed, "cautious failed on {}", p.name);
     let shaped = LazyOutcome {
         processes: c.processes,
@@ -30,7 +30,7 @@ fn check_cautious(p: &mut DistributedProgram) -> LazyOutcome {
 fn cautious_verifies_on_byzantine_and_matches_lazy_invariant() {
     let (mut p, _) = byzantine_agreement(2);
     let c = check_cautious(&mut p);
-    let l = lazy_repair(&mut p, &RepairOptions::default());
+    let l = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!l.failed);
     assert_eq!(c.invariant, l.invariant);
 }
@@ -56,8 +56,8 @@ fn cautious_verifies_on_token_ring() {
 #[test]
 fn cautious_pays_more_group_work_than_lazy_on_chain() {
     let (mut p, _) = stabilizing_chain(4, 4);
-    let c = cautious_repair(&mut p, &RepairOptions::default());
-    let l = lazy_repair(&mut p, &RepairOptions::default());
+    let c = cautious_repair(&mut p, &RepairOptions::default()).unwrap();
+    let l = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!c.failed && !l.failed);
     // The structural claim of the paper, as a counter: the cautious loop
     // runs the group machinery every iteration.

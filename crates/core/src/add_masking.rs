@@ -5,6 +5,7 @@
 //! are required to agree exactly on enumerable instances (see the
 //! cross-validation tests).
 
+use crate::cancel::{RepairAborted, Token};
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{semantics, DistributedProgram, Safety};
 
@@ -38,13 +39,17 @@ pub struct AddMaskingResult {
 /// (Algorithm 1 re-invokes it with a shrunk invariant and a grown
 /// bad-transition set).
 ///
-/// `restrict_to_reachable` is the heuristic of Section V-A.
+/// `restrict_to_reachable` is the heuristic of Section V-A. `token` is
+/// checked before any work and at every fixpoint iteration; an expired
+/// deadline aborts before a single transition is added.
 pub fn add_masking(
     prog: &mut DistributedProgram,
     invariant: NodeId,
     safety: &Safety,
     restrict_to_reachable: bool,
-) -> AddMaskingResult {
+    token: &Token,
+) -> Result<AddMaskingResult, RepairAborted> {
+    token.check()?;
     let cx = &mut prog.cx;
     let mut delta_p = FALSE;
     for p in &prog.processes {
@@ -65,6 +70,7 @@ pub fn add_masking(
     let mut ms = cx.mgr().or(safety.bad_states, bad_fault_sources);
     ms = cx.mgr().and(ms, universe);
     loop {
+        token.check()?;
         let pre = cx.preimage(ms, faults);
         let next = cx.mgr().or(ms, pre);
         if next == ms {
@@ -115,6 +121,7 @@ pub fn add_masking(
     // Phase 4: joint fixpoint on (S₁, T₁).
     let mut p1;
     loop {
+        token.check()?;
         let (old_s1, old_t1) = (s1, t1);
         prog.cx.maybe_trim_caches(CACHE_TRIM_THRESHOLD);
 
@@ -127,6 +134,7 @@ pub fn add_masking(
 
         // (b) fault closure: faults must never exit the span.
         loop {
+            token.check()?;
             let not_t1 = cx.mgr().not(t1);
             let escaping = cx.preimage(not_t1, faults);
             let keep = cx.mgr().diff(t1, escaping);
@@ -141,7 +149,7 @@ pub fn add_masking(
         s1 = semantics::prune_deadlocks_except(cx, s1, safe_delta, stutters);
 
         if s1 == FALSE {
-            return AddMaskingResult {
+            return Ok(AddMaskingResult {
                 ms,
                 mt,
                 invariant: FALSE,
@@ -149,12 +157,13 @@ pub fn add_masking(
                 trans: FALSE,
                 allowed: FALSE,
                 failed: true,
-            };
+            });
         }
         if s1 == old_s1 && t1 == old_t1 {
             break;
         }
     }
+    token.check()?;
     let cx = &mut prog.cx;
 
     // Phase 5: break recovery cycles (see `crate::ranking`): peel the
@@ -163,7 +172,7 @@ pub fn add_masking(
     // and fall back to BFS jump layers for everything else.
     let trans = crate::ranking::break_cycles(cx, p1, safe_delta, s1, t1);
 
-    AddMaskingResult { ms, mt, invariant: s1, span: t1, trans, allowed: p1, failed: false }
+    Ok(AddMaskingResult { ms, mt, invariant: s1, span: t1, trans, allowed: p1, failed: false })
 }
 
 /// The "all possible available transitions" relation: original transitions
@@ -218,7 +227,7 @@ mod tests {
     fn synthesized_recovery_verifies() {
         let mut p = needs_recovery();
         let (inv, safety) = (p.invariant, p.safety);
-        let r = add_masking(&mut p, inv, &safety, true);
+        let r = add_masking(&mut p, inv, &safety, true, &Token::unbounded()).unwrap();
         assert!(!r.failed);
         assert_eq!(p.cx.count_states(r.invariant), 2.0);
         assert_eq!(p.cx.count_states(r.span), 3.0);
@@ -247,7 +256,7 @@ mod tests {
         b.bad_states(bad);
         let mut p = b.build();
         let (inv, safety) = (p.invariant, p.safety);
-        let r = add_masking(&mut p, inv, &safety, true);
+        let r = add_masking(&mut p, inv, &safety, true, &Token::unbounded()).unwrap();
         assert_eq!(p.cx.count_states(r.ms), 3.0);
         // mt = 4 sources × 3 targets (into ms).
         assert_eq!(p.cx.count_transitions(r.mt), 12.0);
@@ -269,7 +278,7 @@ mod tests {
         b.bad_states(bad);
         let mut p = b.build();
         let (inv, safety) = (p.invariant, p.safety);
-        let r = add_masking(&mut p, inv, &safety, true);
+        let r = add_masking(&mut p, inv, &safety, true, &Token::unbounded()).unwrap();
         assert!(r.failed);
         assert_eq!(r.invariant, FALSE);
     }
@@ -295,8 +304,8 @@ mod tests {
         b.fault_action(fg, &[(x, Update::Const(2))]);
         let mut p = b.build();
         let (inv, safety) = (p.invariant, p.safety);
-        let with = add_masking(&mut p, inv, &safety, true);
-        let without = add_masking(&mut p, inv, &safety, false);
+        let with = add_masking(&mut p, inv, &safety, true, &Token::unbounded()).unwrap();
+        let without = add_masking(&mut p, inv, &safety, false, &Token::unbounded()).unwrap();
         assert!(!with.failed && !without.failed);
         assert_eq!(p.cx.count_states(with.span), 3.0);
         assert_eq!(p.cx.count_states(without.span), 4.0);
@@ -330,7 +339,7 @@ mod tests {
         b.fault_action(fg, &[(x, Update::Const(2))]);
         let mut p = b.build();
         let (inv, safety) = (p.invariant, p.safety);
-        let r = add_masking(&mut p, inv, &safety, true);
+        let r = add_masking(&mut p, inv, &safety, true, &Token::unbounded()).unwrap();
         assert!(!r.failed);
         assert_eq!(p.cx.count_states(r.invariant), 2.0, "terminal state must survive");
         // Recovery from 2 exists.
@@ -346,7 +355,7 @@ mod tests {
     fn cycle_breaking_leaves_no_loops_outside_invariant() {
         let mut p = needs_recovery();
         let (inv, safety) = (p.invariant, p.safety);
-        let r = add_masking(&mut p, inv, &safety, false);
+        let r = add_masking(&mut p, inv, &safety, false, &Token::unbounded()).unwrap();
         let outside = p.cx.mgr().diff(r.span, r.invariant);
         let outside_trans = semantics::project(&mut p.cx, r.trans, outside);
         // Greatest fixpoint of states with successors staying outside: ∅.
@@ -367,7 +376,16 @@ mod tests {
     fn allowed_relation_is_superset_of_final() {
         let mut p = needs_recovery();
         let (inv, safety) = (p.invariant, p.safety);
-        let r = add_masking(&mut p, inv, &safety, true);
+        let r = add_masking(&mut p, inv, &safety, true, &Token::unbounded()).unwrap();
         assert!(p.cx.mgr().leq(r.trans, r.allowed));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_work() {
+        let mut p = needs_recovery();
+        let (inv, safety) = (p.invariant, p.safety);
+        let expired = Token::deadline_in(std::time::Duration::ZERO);
+        let r = add_masking(&mut p, inv, &safety, true, &expired);
+        assert_eq!(r.unwrap_err(), RepairAborted::Timeout);
     }
 }

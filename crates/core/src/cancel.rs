@@ -1,0 +1,158 @@
+//! Cooperative cancellation and deadlines for the repair algorithms.
+//!
+//! The realizability constraint makes repair NP-complete, so a hostile
+//! spec can drive the fixpoint loops effectively forever. Every algorithm
+//! module therefore threads a [`Token`] through its loops and checks it at
+//! each fixpoint-iteration and BDD-op-batch boundary; when the token fires
+//! the repair unwinds with [`RepairAborted`] instead of running unbounded.
+//! Checks are a single atomic load plus (when a deadline is armed) a clock
+//! read — negligible next to one symbolic image computation.
+
+use crate::options::RepairOptions;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a repair run stopped early. Returned by every repair entry point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairAborted {
+    /// The token's deadline passed.
+    Timeout,
+    /// The token's cancellation flag was raised.
+    Cancelled,
+}
+
+impl std::fmt::Display for RepairAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairAborted::Timeout => write!(f, "repair aborted: deadline exceeded"),
+            RepairAborted::Cancelled => write!(f, "repair aborted: cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for RepairAborted {}
+
+/// A cancellation/deadline token: an optional shared flag (raised by
+/// whoever wants the run gone — a signal handler, a server draining its
+/// queue) plus an optional absolute deadline. Cloning shares the flag, so
+/// one raise cancels every sibling — the parallel Step 2 hands a clone to
+/// each worker.
+#[derive(Clone, Debug, Default)]
+pub struct Token {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl Token {
+    /// A token that never fires — the default for every caller that does
+    /// not opt into deadlines.
+    pub fn unbounded() -> Token {
+        Token { flag: None, deadline: None }
+    }
+
+    /// Arm the deadline from [`RepairOptions::deadline`], relative to now.
+    pub fn from_options(opts: &RepairOptions) -> Token {
+        match opts.deadline {
+            Some(budget) => Token::deadline_in(budget),
+            None => Token::unbounded(),
+        }
+    }
+
+    /// A token that times out `budget` from now.
+    pub fn deadline_in(budget: Duration) -> Token {
+        Token { flag: None, deadline: Some(Instant::now() + budget) }
+    }
+
+    /// A token that times out at `at`.
+    pub fn deadline_at(at: Instant) -> Token {
+        Token { flag: None, deadline: Some(at) }
+    }
+
+    /// Attach a shared cancellation flag (keeps any existing deadline).
+    pub fn with_flag(self, flag: Arc<AtomicBool>) -> Token {
+        Token { flag: Some(flag), ..self }
+    }
+
+    /// Tighten with a deadline `budget` from now (keeps any existing flag;
+    /// the earlier of two deadlines wins).
+    pub fn with_deadline_in(self, budget: Duration) -> Token {
+        let at = Instant::now() + budget;
+        let deadline = Some(self.deadline.map_or(at, |d| d.min(at)));
+        Token { deadline, ..self }
+    }
+
+    /// Has the cancellation flag been raised?
+    pub fn cancelled(&self) -> bool {
+        self.flag.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// The checkpoint the algorithm loops call: `Err(Cancelled)` once the
+    /// flag is raised, `Err(Timeout)` once the deadline passes, `Ok` until
+    /// then. The flag is consulted first so an explicit cancel wins over a
+    /// deadline that expired while the run sat in a queue.
+    pub fn check(&self) -> Result<(), RepairAborted> {
+        if self.cancelled() {
+            return Err(RepairAborted::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(RepairAborted::Timeout);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_token_never_fires() {
+        assert_eq!(Token::unbounded().check(), Ok(()));
+        assert_eq!(Token::from_options(&RepairOptions::default()).check(), Ok(()));
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let t = Token::deadline_in(Duration::ZERO);
+        assert_eq!(t.check(), Err(RepairAborted::Timeout));
+        let future = Token::deadline_in(Duration::from_secs(3600));
+        assert_eq!(future.check(), Ok(()));
+    }
+
+    #[test]
+    fn raised_flag_cancels_and_wins_over_timeout() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = Token::deadline_in(Duration::ZERO).with_flag(Arc::clone(&flag));
+        assert_eq!(t.check(), Err(RepairAborted::Timeout), "flag down: deadline fires");
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(t.check(), Err(RepairAborted::Cancelled), "flag up: cancel wins");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = Token::unbounded().with_flag(Arc::clone(&flag));
+        let sibling = t.clone();
+        flag.store(true, Ordering::Relaxed);
+        assert!(sibling.check().is_err());
+    }
+
+    #[test]
+    fn tightening_keeps_the_earlier_deadline() {
+        let t = Token::deadline_in(Duration::ZERO).with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(t.check(), Err(RepairAborted::Timeout));
+    }
+
+    #[test]
+    fn options_deadline_arms_the_token() {
+        let opts = RepairOptions { deadline: Some(Duration::ZERO), ..Default::default() };
+        assert_eq!(Token::from_options(&opts).check(), Err(RepairAborted::Timeout));
+    }
+
+    #[test]
+    fn aborted_reasons_render_for_error_bodies() {
+        assert!(RepairAborted::Timeout.to_string().contains("deadline"));
+        assert!(RepairAborted::Cancelled.to_string().contains("cancelled"));
+    }
+}

@@ -12,6 +12,7 @@
 //! step — that is the property [2] maintains — and the price is exactly the
 //! per-iteration group work this module does.
 
+use crate::cancel::{RepairAborted, Token};
 use crate::options::RepairOptions;
 use crate::stats::RepairStats;
 use crate::step2::{partition_for, with_outside_span};
@@ -38,8 +39,12 @@ pub struct CautiousOutcome {
     pub stats: RepairStats,
 }
 
-/// Run cautious repair on `prog`.
-pub fn cautious_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> CautiousOutcome {
+/// Run cautious repair on `prog`. Returns `Err(RepairAborted)` once
+/// [`RepairOptions::deadline`] (if set) expires.
+pub fn cautious_repair(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+) -> Result<CautiousOutcome, RepairAborted> {
     cautious_repair_traced(prog, opts, &Telemetry::off())
 }
 
@@ -51,7 +56,20 @@ pub fn cautious_repair_traced(
     prog: &mut DistributedProgram,
     opts: &RepairOptions,
     tele: &Telemetry,
-) -> CautiousOutcome {
+) -> Result<CautiousOutcome, RepairAborted> {
+    cautious_repair_cancellable(prog, opts, tele, &Token::from_options(opts))
+}
+
+/// [`cautious_repair_traced`] against an externally owned [`Token`],
+/// checked on entry and at every iteration of the main fixpoint, the inner
+/// fault-closure fixpoint, and each group-enforcement pick loop.
+pub fn cautious_repair_cancellable(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<CautiousOutcome, RepairAborted> {
+    token.check()?;
     let started = Instant::now();
     let mut stats = RepairStats::default();
 
@@ -77,6 +95,7 @@ pub fn cautious_repair_traced(
         let mut ms = cx.mgr().or(safety.bad_states, bad_fault_sources);
         ms = cx.mgr().and(ms, universe);
         loop {
+            token.check()?;
             let pre = cx.preimage(ms, faults);
             let next = cx.mgr().or(ms, pre);
             if next == ms {
@@ -137,12 +156,14 @@ pub fn cautious_repair_traced(
     };
 
     loop {
+        stats.cancel_checks += 1;
+        token.check()?;
         iterations += 1;
         stats.outer_iterations = iterations;
         tele.add("repair.outer_iterations", 1);
         if iterations > opts.max_outer_iterations * 8 {
             stats.step1_time = started.elapsed();
-            return fail(stats);
+            return Ok(fail(stats));
         }
 
         // Ungrouped allowed relation for the current (S₁, T₁) estimate.
@@ -170,8 +191,16 @@ pub fn cautious_repair_traced(
             for (j, slot) in grouped.iter_mut().enumerate() {
                 let read = prog.processes[j].read.clone();
                 let write = prog.processes[j].write.clone();
-                let dj =
-                    partition_for(&mut prog.cx, &read, &write, with_free, opts, &mut stats, tele);
+                let dj = partition_for(
+                    &mut prog.cx,
+                    &read,
+                    &write,
+                    with_free,
+                    opts,
+                    &mut stats,
+                    tele,
+                    token,
+                )?;
                 *slot = dj;
                 p1 = prog.cx.mgr().or(p1, dj);
             }
@@ -182,6 +211,7 @@ pub fn cautious_repair_traced(
         let can_reach = cx.backward_reachable(s1, p1);
         let mut t1_new = cx.mgr().and(t1, can_reach);
         loop {
+            token.check()?;
             let not_t1 = cx.mgr().not(t1_new);
             let escaping = cx.preimage(not_t1, faults);
             let keep = cx.mgr().diff(t1_new, escaping);
@@ -200,7 +230,7 @@ pub fn cautious_repair_traced(
         }
         if s1_new == FALSE {
             stats.step1_time = started.elapsed();
-            return fail(stats);
+            return Ok(fail(stats));
         }
 
         // Per-iteration BDD shape, mirroring the lazy pipeline's series so
@@ -261,7 +291,7 @@ pub fn cautious_repair_traced(
             trans,
         })
         .collect();
-    CautiousOutcome { processes, invariant: s1, span: t1, trans: p1, failed: false, stats }
+    Ok(CautiousOutcome { processes, invariant: s1, span: t1, trans: p1, failed: false, stats })
 }
 
 #[cfg(test)]
@@ -310,7 +340,7 @@ mod tests {
     #[test]
     fn cautious_repairs_and_verifies() {
         let mut p = partial_view();
-        let out = cautious_repair(&mut p, &RepairOptions::default());
+        let out = cautious_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &as_lazy(&out));
         assert!(m.ok(), "{m:?}");
@@ -320,8 +350,8 @@ mod tests {
     #[test]
     fn cautious_and_lazy_agree_on_invariant() {
         let mut p = partial_view();
-        let c = cautious_repair(&mut p, &RepairOptions::default());
-        let l = lazy_repair(&mut p, &RepairOptions::default());
+        let c = cautious_repair(&mut p, &RepairOptions::default()).unwrap();
+        let l = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!c.failed && !l.failed);
         assert_eq!(c.invariant, l.invariant);
     }
@@ -329,8 +359,8 @@ mod tests {
     #[test]
     fn cautious_does_group_work_every_iteration() {
         let mut p = partial_view();
-        let c = cautious_repair(&mut p, &RepairOptions::default());
-        let l = lazy_repair(&mut p, &RepairOptions::default());
+        let c = cautious_repair(&mut p, &RepairOptions::default()).unwrap();
+        let l = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         // Cautious pays the pick loop at least as often as lazy.
         assert!(c.stats.step2_picks >= l.stats.step2_picks);
     }
@@ -349,7 +379,20 @@ mod tests {
         let bad = b.cx().assign_eq(x, 1);
         b.bad_states(bad);
         let mut p = b.build();
-        let out = cautious_repair(&mut p, &RepairOptions::default());
+        let out = cautious_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(out.failed);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_transition_is_added() {
+        let mut p = partial_view();
+        let opts =
+            RepairOptions { deadline: Some(std::time::Duration::ZERO), ..RepairOptions::default() };
+        let tele = ftrepair_telemetry::Telemetry::new();
+        let r = cautious_repair_traced(&mut p, &opts, &tele);
+        assert_eq!(r.unwrap_err(), RepairAborted::Timeout);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("repair.outer_iterations"), 0, "aborted before iteration 1");
+        assert_eq!(snap.counter("step2.picks"), 0);
     }
 }

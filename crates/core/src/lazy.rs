@@ -3,10 +3,11 @@
 //! (realizability by removal), and the deadlock-resolution outer loop.
 
 use crate::add_masking::add_masking;
+use crate::cancel::{RepairAborted, Token};
 use crate::options::RepairOptions;
-use crate::parallel::step2_parallel_traced;
+use crate::parallel::step2_parallel_cancellable;
 use crate::stats::RepairStats;
-use crate::step2::step2_traced;
+use crate::step2::step2_cancellable;
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{DistributedProgram, Process};
 use ftrepair_telemetry::Telemetry;
@@ -30,8 +31,14 @@ pub struct LazyOutcome {
     pub stats: RepairStats,
 }
 
-/// Run Algorithm 1 on `prog`.
-pub fn lazy_repair(prog: &mut DistributedProgram, opts: &RepairOptions) -> LazyOutcome {
+/// Run Algorithm 1 on `prog`. Returns `Err(RepairAborted)` once
+/// [`RepairOptions::deadline`] (if set) expires — "the algorithm declared
+/// failure" stays an `Ok` outcome with `failed: true`; an abort means the
+/// answer is unknown.
+pub fn lazy_repair(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+) -> Result<LazyOutcome, RepairAborted> {
     lazy_repair_traced(prog, opts, &Telemetry::off())
 }
 
@@ -44,7 +51,22 @@ pub fn lazy_repair_traced(
     prog: &mut DistributedProgram,
     opts: &RepairOptions,
     tele: &Telemetry,
-) -> LazyOutcome {
+) -> Result<LazyOutcome, RepairAborted> {
+    lazy_repair_cancellable(prog, opts, tele, &Token::from_options(opts))
+}
+
+/// [`lazy_repair_traced`] against an externally owned [`Token`], so a
+/// server can cancel or deadline a run it did not configure via options.
+/// The token is checked on entry (an already-expired deadline aborts
+/// before any transition is added) and at every fixpoint iteration of both
+/// steps and the outer loop.
+pub fn lazy_repair_cancellable(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<LazyOutcome, RepairAborted> {
+    token.check()?;
     let mut stats = RepairStats::default();
     let mut s_prime = prog.invariant;
     let mut safety = prog.safety;
@@ -59,6 +81,8 @@ pub fn lazy_repair_traced(
 
     for _ in 0..opts.max_outer_iterations {
         let _iter_span = tele.span("outer_iteration");
+        stats.cancel_checks += 1;
+        token.check()?;
         stats.outer_iterations += 1;
         tele.add("repair.outer_iterations", 1);
 
@@ -66,18 +90,19 @@ pub fn lazy_repair_traced(
         let t0 = Instant::now();
         let r1 = {
             let _s = tele.span("step1");
-            add_masking(prog, s_prime, &safety, opts.restrict_to_reachable)
+            add_masking(prog, s_prime, &safety, opts.restrict_to_reachable, token)
         };
         stats.step1_time += t0.elapsed();
+        let r1 = r1?;
         if r1.failed {
-            return LazyOutcome {
+            return Ok(LazyOutcome {
                 processes: Vec::new(),
                 invariant: FALSE,
                 span: FALSE,
                 trans: FALSE,
                 failed: true,
                 stats,
-            };
+            });
         }
         s_prime = r1.invariant;
 
@@ -108,12 +133,13 @@ pub fn lazy_repair_traced(
         let r2 = {
             let _s = tele.span("step2");
             if opts.parallel_step2 {
-                step2_parallel_traced(prog, r1.trans, r1.span, opts, tele)
+                step2_parallel_cancellable(prog, r1.trans, r1.span, opts, tele, token)
             } else {
-                step2_traced(prog, r1.trans, r1.span, opts, tele)
+                step2_cancellable(prog, r1.trans, r1.span, opts, tele, token)
             }
         };
         stats.step2_time += t1.elapsed();
+        let r2 = r2?;
         stats.absorb(&r2.stats);
 
         // Line 10: deadlocks created by Step 2's removals, judged on the
@@ -138,14 +164,14 @@ pub fn lazy_repair_traced(
         };
 
         if dl == FALSE {
-            return LazyOutcome {
+            return Ok(LazyOutcome {
                 processes: r2.processes,
                 invariant: s_prime,
                 span: r1.span,
                 trans: r2.trans,
                 failed: false,
                 stats,
-            };
+            });
         }
 
         tele.add("repair.deadlock_retries", 1);
@@ -165,14 +191,14 @@ pub fn lazy_repair_traced(
         s_prime = cx.mgr().diff(s_prime, dl);
     }
 
-    LazyOutcome {
+    Ok(LazyOutcome {
         processes: Vec::new(),
         invariant: FALSE,
         span: FALSE,
         trans: FALSE,
         failed: true,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -205,7 +231,7 @@ mod tests {
     #[test]
     fn full_view_repairs_and_verifies() {
         let mut p = full_view();
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (masking, realizability) = verify_outcome(&mut p, &out);
         assert!(masking.ok(), "{masking:?}");
@@ -244,7 +270,7 @@ mod tests {
     #[test]
     fn partial_view_repairs_and_verifies() {
         let mut p = partial_view();
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (masking, realizability) = verify_outcome(&mut p, &out);
         assert!(masking.ok(), "{masking:?}");
@@ -259,7 +285,7 @@ mod tests {
     #[test]
     fn pure_lazy_also_verifies() {
         let mut p = partial_view();
-        let out = lazy_repair(&mut p, &RepairOptions::pure_lazy());
+        let out = lazy_repair(&mut p, &RepairOptions::pure_lazy()).unwrap();
         assert!(!out.failed);
         let (masking, realizability) = verify_outcome(&mut p, &out);
         assert!(masking.ok(), "{masking:?}");
@@ -280,7 +306,7 @@ mod tests {
         let bad = b.cx().assign_eq(x, 1);
         b.bad_states(bad);
         let mut p = b.build();
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(out.failed);
         assert_eq!(out.trans, FALSE);
     }
@@ -313,10 +339,33 @@ mod tests {
         let bt = b.cx().transition_cube(&[2, 1], &[0, 1]);
         b.bad_trans(bt);
         let mut p = b.build();
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (masking, realizability) = verify_outcome(&mut p, &out);
         assert!(masking.ok(), "{masking:?}");
         assert!(realizability.ok(), "{realizability:?}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_transition_is_added() {
+        let mut p = partial_view();
+        let opts =
+            RepairOptions { deadline: Some(std::time::Duration::ZERO), ..RepairOptions::default() };
+        let tele = Telemetry::new();
+        let r = lazy_repair_traced(&mut p, &opts, &tele);
+        assert_eq!(r.unwrap_err(), RepairAborted::Timeout);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("repair.outer_iterations"), 0, "aborted before iteration 1");
+        assert_eq!(snap.counter("step2.picks"), 0);
+    }
+
+    #[test]
+    fn raised_flag_cancels_mid_options_run() {
+        let mut p = partial_view();
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let token = Token::unbounded().with_flag(flag);
+        let r =
+            lazy_repair_cancellable(&mut p, &RepairOptions::default(), &Telemetry::off(), &token);
+        assert_eq!(r.unwrap_err(), RepairAborted::Cancelled);
     }
 }

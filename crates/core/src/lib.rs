@@ -35,6 +35,7 @@
 //! definitions before an experiment reports success.
 
 pub mod add_masking;
+pub mod cancel;
 pub mod cautious;
 pub mod lazy;
 pub mod options;
@@ -46,9 +47,12 @@ pub mod step2;
 pub mod verify;
 
 pub use add_masking::{add_masking, AddMaskingResult};
-pub use cautious::{cautious_repair, cautious_repair_traced, CautiousOutcome};
-pub use lazy::{lazy_repair, lazy_repair_traced, LazyOutcome};
+pub use cancel::{RepairAborted, Token};
+pub use cautious::{
+    cautious_repair, cautious_repair_cancellable, cautious_repair_traced, CautiousOutcome,
+};
+pub use lazy::{lazy_repair, lazy_repair_cancellable, lazy_repair_traced, LazyOutcome};
 pub use options::RepairOptions;
 pub use report::build_run_report;
 pub use stats::RepairStats;
-pub use step2::{step2, step2_traced, Step2Result};
+pub use step2::{step2, step2_cancellable, step2_traced, Step2Result};

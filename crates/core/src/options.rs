@@ -1,6 +1,8 @@
 //! Tunable knobs shared by the repair algorithms — each one corresponds to
 //! a design choice the paper discusses, and each has an ablation bench.
 
+use std::time::Duration;
+
 /// Options for [`crate::lazy_repair`], [`crate::cautious_repair`] and their
 /// building blocks.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +38,14 @@ pub struct RepairOptions {
     pub allow_new_terminal_inside: bool,
     /// Safety bound on Algorithm 1's outer repeat loop.
     pub max_outer_iterations: usize,
+    /// Wall-clock budget for the whole repair. `None` (the default) runs
+    /// unbounded; `Some(d)` arms a [`crate::cancel::Token`] deadline at
+    /// entry, and every fixpoint loop aborts with
+    /// [`crate::cancel::RepairAborted::Timeout`] once it passes. Not part
+    /// of the result — two runs differing only in deadline compute the same
+    /// repair (or one aborts), which is why the server's content-address
+    /// fingerprint excludes it.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RepairOptions {
@@ -47,6 +57,7 @@ impl Default for RepairOptions {
             parallel_step2: false,
             allow_new_terminal_inside: true,
             max_outer_iterations: 32,
+            deadline: None,
         }
     }
 }
@@ -84,6 +95,7 @@ mod tests {
         assert!(!o.parallel_step2);
         assert!(o.allow_new_terminal_inside);
         assert_eq!(o.max_outer_iterations, 32);
+        assert!(o.deadline.is_none(), "no deadline unless a caller opts in");
         let p = RepairOptions::paper();
         assert_eq!(format!("{o:?}"), format!("{p:?}"));
     }

@@ -11,6 +11,7 @@
 //! DAG), and ship each `δ_j` back the same way. No shared mutable state, no
 //! locks on the hot path.
 
+use crate::cancel::{RepairAborted, Token};
 use crate::options::RepairOptions;
 use crate::stats::RepairStats;
 use crate::step2::{partition_for, with_outside_span, Step2Result};
@@ -25,7 +26,7 @@ pub fn step2_parallel(
     trans: NodeId,
     span: NodeId,
     opts: &RepairOptions,
-) -> Step2Result {
+) -> Result<Step2Result, RepairAborted> {
     step2_parallel_traced(prog, trans, span, opts, &Telemetry::off())
 }
 
@@ -40,7 +41,24 @@ pub fn step2_parallel_traced(
     span: NodeId,
     opts: &RepairOptions,
     tele: &Telemetry,
-) -> Step2Result {
+) -> Result<Step2Result, RepairAborted> {
+    step2_parallel_cancellable(prog, trans, span, opts, tele, &Token::from_options(opts))
+}
+
+/// [`step2_parallel_traced`] against an externally owned [`Token`]. Each
+/// worker thread gets a clone (clones share the cancellation flag), checks
+/// it inside its pick loop, and the first abort wins; the other workers
+/// still run to completion or abort on their own checks — BDD managers are
+/// per-thread, so there is nothing to interrupt remotely.
+pub fn step2_parallel_cancellable(
+    prog: &mut DistributedProgram,
+    trans: NodeId,
+    span: NodeId,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<Step2Result, RepairAborted> {
+    token.check()?;
     let delta = with_outside_span(&mut prog.cx, trans, span);
     let shipped = prog.cx.mgr_ref().export(delta);
 
@@ -61,14 +79,16 @@ pub fn step2_parallel_traced(
         })
         .collect();
 
-    let results: Vec<(SerializedBdd, RepairStats)> = std::thread::scope(|scope| {
+    type WorkerResult = Result<(SerializedBdd, RepairStats), RepairAborted>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|mut job| {
                 let shipped = &shipped;
                 let opts = *opts;
                 let tele = tele.clone();
-                scope.spawn(move || {
+                let token = token.clone();
+                scope.spawn(move || -> WorkerResult {
                     let label = format!("step2.worker.{}", job.name);
                     let _shard = tele.span(&label);
                     let delta = job.cx.mgr().import(shipped);
@@ -81,8 +101,9 @@ pub fn step2_parallel_traced(
                         &opts,
                         &mut stats,
                         &tele,
-                    );
-                    (job.cx.mgr_ref().export(dj), stats)
+                        &token,
+                    )?;
+                    Ok((job.cx.mgr_ref().export(dj), stats))
                 })
             })
             .collect();
@@ -92,7 +113,8 @@ pub fn step2_parallel_traced(
     let mut stats = RepairStats::default();
     let mut processes = Vec::with_capacity(results.len());
     let mut union = FALSE;
-    for ((dj_shipped, worker_stats), p) in results.into_iter().zip(&prog.processes) {
+    for (result, p) in results.into_iter().zip(&prog.processes) {
+        let (dj_shipped, worker_stats) = result?;
         let dj = prog.cx.mgr().import(&dj_shipped);
         stats.absorb(&worker_stats);
         processes.push(Process {
@@ -103,7 +125,7 @@ pub fn step2_parallel_traced(
         });
         union = prog.cx.mgr().or(union, dj);
     }
-    Step2Result { processes, trans: union, stats }
+    Ok(Step2Result { processes, trans: union, stats })
 }
 
 #[cfg(test)]
@@ -139,8 +161,8 @@ mod tests {
         let mut p = three_proc_program();
         let t = p.program_trans();
         let opts = RepairOptions::default();
-        let seq = step2(&mut p, t, TRUE, &opts);
-        let par = step2_parallel(&mut p, t, TRUE, &opts);
+        let seq = step2(&mut p, t, TRUE, &opts).unwrap();
+        let par = step2_parallel(&mut p, t, TRUE, &opts).unwrap();
         assert_eq!(seq.trans, par.trans);
         for (a, b) in seq.processes.iter().zip(&par.processes) {
             assert_eq!(a.trans, b.trans, "process {} differs", a.name);
@@ -158,8 +180,8 @@ mod tests {
             p.cx.assign_eq(z, 0)
         };
         let opts = RepairOptions::default();
-        let seq = step2(&mut p, t, span, &opts);
-        let par = step2_parallel(&mut p, t, span, &opts);
+        let seq = step2(&mut p, t, span, &opts).unwrap();
+        let par = step2_parallel(&mut p, t, span, &opts).unwrap();
         assert_eq!(seq.trans, par.trans);
     }
 
@@ -167,8 +189,18 @@ mod tests {
     fn parallel_empty_input() {
         let mut p = three_proc_program();
         let opts = RepairOptions::default();
-        let par = step2_parallel(&mut p, FALSE, TRUE, &opts);
+        let par = step2_parallel(&mut p, FALSE, TRUE, &opts).unwrap();
         assert_eq!(par.trans, FALSE);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_spawning_workers() {
+        let mut p = three_proc_program();
+        let t = p.program_trans();
+        let opts =
+            RepairOptions { deadline: Some(std::time::Duration::ZERO), ..Default::default() };
+        let r = step2_parallel(&mut p, t, TRUE, &opts);
+        assert_eq!(r.unwrap_err(), RepairAborted::Timeout);
     }
 
     #[test]
@@ -198,7 +230,7 @@ mod tests {
         b.fault_action(fg, &[(x, Update::Const(2))]);
         let mut p = b.build();
         let opts = RepairOptions { parallel_step2: true, ..Default::default() };
-        let out = lazy_repair(&mut p, &opts);
+        let out = lazy_repair(&mut p, &opts).unwrap();
         assert!(!out.failed);
         let (masking, realizability) = verify_outcome(&mut p, &out);
         assert!(masking.ok(), "{masking:?}");

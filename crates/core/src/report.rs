@@ -92,7 +92,7 @@ mod tests {
         let mut p = needs_recovery();
         let tele = Telemetry::new();
         let opts = RepairOptions::default();
-        let out = lazy_repair_traced(&mut p, &opts, &tele);
+        let out = lazy_repair_traced(&mut p, &opts, &tele).unwrap();
         assert!(!out.failed);
         let r = build_run_report("toy", "lazy", &opts, &out.stats, out.failed, &tele, &p.cx);
         let j = Json::parse(&r.to_json_line()).unwrap();
@@ -110,7 +110,7 @@ mod tests {
         let mut p = needs_recovery();
         let tele = Telemetry::new();
         let opts = RepairOptions::default();
-        let out = lazy_repair_traced(&mut p, &opts, &tele);
+        let out = lazy_repair_traced(&mut p, &opts, &tele).unwrap();
         let r = build_run_report("toy", "lazy", &opts, &out.stats, out.failed, &tele, &p.cx);
         let j = Json::parse(&r.to_json_line()).unwrap();
         let phases = j.get("phases_s").unwrap();
@@ -126,7 +126,7 @@ mod tests {
         let mut p = needs_recovery();
         let tele = Telemetry::new();
         let opts = RepairOptions::default();
-        let out = lazy_repair_traced(&mut p, &opts, &tele);
+        let out = lazy_repair_traced(&mut p, &opts, &tele).unwrap();
         let r = build_run_report("toy", "lazy", &opts, &out.stats, out.failed, &tele, &p.cx);
         let j = Json::parse(&r.to_json_line()).unwrap();
         let caches = j.get("caches").unwrap().as_obj().unwrap();
@@ -147,7 +147,7 @@ mod tests {
     fn disabled_telemetry_still_yields_a_valid_line() {
         let mut p = needs_recovery();
         let opts = RepairOptions::default();
-        let out = lazy_repair_traced(&mut p, &opts, &Telemetry::off());
+        let out = lazy_repair_traced(&mut p, &opts, &Telemetry::off()).unwrap();
         let r = build_run_report(
             "toy",
             "lazy",

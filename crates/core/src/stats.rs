@@ -22,6 +22,10 @@ pub struct RepairStats {
     /// Iterations of Step 2's inner pick-a-transition loop (the quantity
     /// `ExpandGroup` exists to shrink).
     pub step2_picks: u64,
+    /// Cancellation checkpoints passed ([`crate::cancel::Token::check`]
+    /// calls from the outer and Step 2 loops) — how often an abort could
+    /// have been observed, i.e. the granularity of deadline enforcement.
+    pub cancel_checks: u64,
 }
 
 impl RepairStats {
@@ -40,6 +44,7 @@ impl RepairStats {
         self.groups_dropped += other.groups_dropped;
         self.expansions += other.expansions;
         self.step2_picks += other.step2_picks;
+        self.cancel_checks += other.cancel_checks;
     }
 }
 

@@ -4,6 +4,7 @@
 //! start outside the fault-span (their source states are never reached, so
 //! they are harmless and make many groups completable).
 
+use crate::cancel::{RepairAborted, Token};
 use crate::options::RepairOptions;
 use crate::stats::RepairStats;
 use ftrepair_bdd::{NodeId, FALSE};
@@ -23,12 +24,13 @@ pub struct Step2Result {
 }
 
 /// Run Algorithm 2 on the Step 1 output `trans` with fault-span `span`.
+/// The deadline (if any) comes from [`RepairOptions::deadline`].
 pub fn step2(
     prog: &mut DistributedProgram,
     trans: NodeId,
     span: NodeId,
     opts: &RepairOptions,
-) -> Step2Result {
+) -> Result<Step2Result, RepairAborted> {
     step2_traced(prog, trans, span, opts, &Telemetry::off())
 }
 
@@ -41,7 +43,21 @@ pub fn step2_traced(
     span: NodeId,
     opts: &RepairOptions,
     tele: &Telemetry,
-) -> Step2Result {
+) -> Result<Step2Result, RepairAborted> {
+    step2_cancellable(prog, trans, span, opts, tele, &Token::from_options(opts))
+}
+
+/// [`step2_traced`] against an externally owned [`Token`] — how Algorithm
+/// 1 shares one deadline across both steps.
+pub fn step2_cancellable(
+    prog: &mut DistributedProgram,
+    trans: NodeId,
+    span: NodeId,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<Step2Result, RepairAborted> {
+    token.check()?;
     let mut stats = RepairStats::default();
     let nprocs = prog.processes.len();
     // Line 1: δ := δ_P'' ∪ { (s0, s1) | s0 ∉ T } — all transitions starting
@@ -51,7 +67,7 @@ pub fn step2_traced(
     let mut processes = Vec::with_capacity(nprocs);
     let mut union = FALSE;
     for j in 0..nprocs {
-        let delta_j = process_partition(prog, j, delta, opts, &mut stats, tele);
+        let delta_j = process_partition(prog, j, delta, opts, &mut stats, tele, token)?;
         let p = &prog.processes[j];
         processes.push(Process {
             name: p.name.clone(),
@@ -61,7 +77,7 @@ pub fn step2_traced(
         });
         union = prog.cx.mgr().or(union, delta_j);
     }
-    Step2Result { processes, trans: union, stats }
+    Ok(Step2Result { processes, trans: union, stats })
 }
 
 /// Line 1 of Algorithm 2 as a predicate transform.
@@ -76,6 +92,7 @@ pub(crate) fn with_outside_span(cx: &mut SymbolicContext, trans: NodeId, span: N
 }
 
 /// Lines 4–23: compute `δ_j` for one process of `prog`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn process_partition(
     prog: &mut DistributedProgram,
     j: usize,
@@ -83,15 +100,19 @@ pub(crate) fn process_partition(
     opts: &RepairOptions,
     stats: &mut RepairStats,
     tele: &Telemetry,
-) -> NodeId {
+    token: &Token,
+) -> Result<NodeId, RepairAborted> {
     let read = prog.processes[j].read.clone();
     let write = prog.processes[j].write.clone();
-    partition_for(&mut prog.cx, &read, &write, delta, opts, stats, tele)
+    partition_for(&mut prog.cx, &read, &write, delta, opts, stats, tele, token)
 }
 
 /// Standalone form of the per-process loop: everything it needs is the
 /// context and the process's read/write sets, so the parallel Step 2 can
-/// run it on a forked context in a worker thread.
+/// run it on a forked context in a worker thread. Checks `token` before
+/// each group-operation batch: once per closed-form pass, once per pick in
+/// the iterative loop.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn partition_for(
     cx: &mut SymbolicContext,
     read: &[ftrepair_symbolic::VarId],
@@ -100,7 +121,8 @@ pub(crate) fn partition_for(
     opts: &RepairOptions,
     stats: &mut RepairStats,
     tele: &Telemetry,
-) -> NodeId {
+    token: &Token,
+) -> Result<NodeId, RepairAborted> {
     // Lock-free counter handles, registered once per process — the inner
     // pick loop only touches atomics. Each increment sits next to its
     // `RepairStats` twin so the two tallies cannot drift apart.
@@ -120,9 +142,11 @@ pub(crate) fn partition_for(
     cand = cx.mgr().and(cand, t_universe);
 
     if cand == FALSE {
-        return FALSE;
+        return Ok(FALSE);
     }
     if opts.step2_closed_form {
+        stats.cancel_checks += 1;
+        token.check()?;
         // Groups are disjoint equivalence classes, so the fixpoint of the
         // pick/drop loop below is exactly the union of classes fully
         // contained in Δ_j:  Δ_j − group(group(Δ_j) − Δ_j).
@@ -144,7 +168,7 @@ pub(crate) fn partition_for(
             let g = realizability::group(cx, &unreadable, keep);
             g == keep
         });
-        return keep;
+        return Ok(keep);
     }
 
     let all_levels: Vec<u32> = (0..cx.mgr_ref().num_vars()).collect();
@@ -152,6 +176,8 @@ pub(crate) fn partition_for(
 
     // Lines 7–22: peel off one group (or its expansion) at a time.
     while cand != FALSE {
+        stats.cancel_checks += 1;
+        token.check()?;
         stats.step2_picks += 1;
         c_picks.inc();
         // Line 8: choose one concrete transition.
@@ -185,7 +211,7 @@ pub(crate) fn partition_for(
         stats.groups_kept += 1;
         c_kept.inc();
     }
-    delta_j
+    Ok(delta_j)
 }
 
 #[cfg(test)]
@@ -213,7 +239,7 @@ mod tests {
         // space, so no free additions: Step 2 must delete it.
         let (mut p, _) = fig_builder();
         let t = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 0]);
-        let r = step2(&mut p, t, TRUE, &RepairOptions::default());
+        let r = step2(&mut p, t, TRUE, &RepairOptions::default()).unwrap();
         assert_eq!(r.trans, FALSE);
         assert!(r.stats.groups_dropped >= 1);
         assert_eq!(r.stats.groups_kept, 0);
@@ -226,7 +252,7 @@ mod tests {
         let t1 = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 0]);
         let t2 = p.cx.transition_cube(&[0, 0, 1], &[0, 1, 1]);
         let t = p.cx.mgr().or(t1, t2);
-        let r = step2(&mut p, t, TRUE, &RepairOptions::default());
+        let r = step2(&mut p, t, TRUE, &RepairOptions::default()).unwrap();
         assert!(p.cx.mgr().leq(t, r.trans));
         let report = verify_realizability(&mut p, &r.processes);
         assert!(report.ok(), "{report:?}");
@@ -247,7 +273,7 @@ mod tests {
             let missing = p.cx.state_cube(&[0, 0, 1]);
             p.cx.mgr().not(missing)
         };
-        let r = step2(&mut p, t, span, &RepairOptions::default());
+        let r = step2(&mut p, t, span, &RepairOptions::default()).unwrap();
         assert!(p.cx.mgr().leq(t, r.trans), "original transition kept");
         let report = verify_realizability(&mut p, &r.processes);
         assert!(report.ok(), "{report:?}");
@@ -263,7 +289,7 @@ mod tests {
         let c = p.cx.transition_cube(&[1, 1, 0], &[1, 1, 1]);
         let ab = p.cx.mgr().or(a, b);
         let t = p.cx.mgr().or(ab, c);
-        let r = step2(&mut p, t, TRUE, &RepairOptions::default());
+        let r = step2(&mut p, t, TRUE, &RepairOptions::default()).unwrap();
         let report = verify_realizability(&mut p, &r.processes);
         assert!(report.ok(), "{report:?}");
         // The double-write transition cannot survive (no process can do it).
@@ -276,7 +302,7 @@ mod tests {
         let t1 = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 0]);
         let t2 = p.cx.transition_cube(&[0, 0, 1], &[0, 1, 1]);
         let t = p.cx.mgr().or(t1, t2);
-        let r = step2(&mut p, t, TRUE, &RepairOptions::default());
+        let r = step2(&mut p, t, TRUE, &RepairOptions::default()).unwrap();
         // span = TRUE means nothing outside: result ⊆ input.
         assert!(p.cx.mgr().leq(r.trans, t));
     }
@@ -296,14 +322,15 @@ mod tests {
         let g1 = mk(&mut p, 1);
         let t = p.cx.mgr().or(g0, g1);
 
-        let with = step2(&mut p, t, TRUE, &RepairOptions::iterative_step2());
+        let with = step2(&mut p, t, TRUE, &RepairOptions::iterative_step2()).unwrap();
         let without = step2(
             &mut p,
             t,
             TRUE,
             &RepairOptions { use_expand_group: false, ..RepairOptions::iterative_step2() },
-        );
-        let closed = step2(&mut p, t, TRUE, &RepairOptions::default());
+        )
+        .unwrap();
+        let closed = step2(&mut p, t, TRUE, &RepairOptions::default()).unwrap();
         assert_eq!(with.trans, without.trans, "same semantics either way");
         assert_eq!(with.trans, closed.trans, "closed form matches the loop");
         assert!(p.cx.mgr().leq(t, with.trans));
@@ -336,8 +363,8 @@ mod tests {
             let missing = p.cx.state_cube(&[1, 0, 1]);
             p.cx.mgr().not(missing)
         };
-        let iter = step2(&mut p, t, span, &RepairOptions::iterative_step2());
-        let closed = step2(&mut p, t, span, &RepairOptions::default());
+        let iter = step2(&mut p, t, span, &RepairOptions::iterative_step2()).unwrap();
+        let closed = step2(&mut p, t, span, &RepairOptions::default()).unwrap();
         assert_eq!(iter.trans, closed.trans);
         for (x, y) in iter.processes.iter().zip(&closed.processes) {
             assert_eq!(x.trans, y.trans, "process {} differs", x.name);
@@ -347,9 +374,23 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         let (mut p, _) = fig_builder();
-        let r = step2(&mut p, FALSE, TRUE, &RepairOptions::default());
+        let r = step2(&mut p, FALSE, TRUE, &RepairOptions::default()).unwrap();
         assert_eq!(r.trans, FALSE);
         assert_eq!(r.stats.step2_picks, 0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_pick() {
+        let (mut p, _) = fig_builder();
+        let t1 = p.cx.transition_cube(&[0, 0, 0], &[0, 1, 0]);
+        let t2 = p.cx.transition_cube(&[0, 0, 1], &[0, 1, 1]);
+        let t = p.cx.mgr().or(t1, t2);
+        let opts =
+            RepairOptions { deadline: Some(std::time::Duration::ZERO), ..Default::default() };
+        let tele = Telemetry::new();
+        let r = step2_traced(&mut p, t, TRUE, &opts, &tele);
+        assert_eq!(r.unwrap_err(), RepairAborted::Timeout);
+        assert_eq!(tele.snapshot().counter("step2.picks"), 0, "no pick before the abort");
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod tests {
         let fg = b.cx().assign_eq(x, 1);
         b.fault_action(fg, &[(x, Update::Const(2))]);
         let mut p = b.build();
-        let mut out = lazy_repair(&mut p, &RepairOptions::default());
+        let mut out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = verify_outcome(&mut p, &out);
         assert!(m.ok() && r.ok());

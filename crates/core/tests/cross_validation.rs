@@ -18,7 +18,7 @@ fn assert_engines_agree(prog: &mut DistributedProgram, restrict: bool) {
     let e = add_masking_explicit(&explicit, AddMaskingOptions { restrict_to_reachable: restrict });
 
     let (inv, safety) = (prog.invariant, prog.safety);
-    let s = add_masking(prog, inv, &safety, restrict);
+    let s = add_masking(prog, inv, &safety, restrict, &ftrepair_core::Token::unbounded()).unwrap();
 
     assert_eq!(s.failed, e.failed, "failure verdicts differ");
     if s.failed {
@@ -106,7 +106,7 @@ fn lazy_repair_output_passes_explicit_verifier() {
     // form, satisfies the *explicit* masking verifier too.
     let (mut p, _) = ftrepair_casestudies::byzantine_agreement(1);
     let explicit = ExplicitProgram::from_symbolic(&mut p);
-    let out = lazy_repair(&mut p, &RepairOptions::default());
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!out.failed);
     let trans = extract::bdd_to_edges(&mut p, &explicit.space, out.trans);
     let inv: HashSet<u32> = extract::bdd_to_states(&mut p, &explicit.space, out.invariant);
@@ -242,11 +242,13 @@ fn step2_agrees_with_explicit_group_filtering() {
         let mut p = build(rp);
         let explicit = ExplicitProgram::from_symbolic(&mut p);
         let (inv, safety) = (p.invariant, p.safety);
-        let r1 = add_masking(&mut p, inv, &safety, true);
+        let r1 =
+            add_masking(&mut p, inv, &safety, true, &ftrepair_core::Token::unbounded()).unwrap();
         if r1.failed {
             return;
         }
-        let r2 = ftrepair_core::step2(&mut p, r1.trans, r1.span, &RepairOptions::default());
+        let r2 =
+            ftrepair_core::step2(&mut p, r1.trans, r1.span, &RepairOptions::default()).unwrap();
 
         let trans_edges = extract::bdd_to_edges(&mut p, &explicit.space, r1.trans);
         let span_states = extract::bdd_to_states(&mut p, &explicit.space, r1.span);
@@ -293,7 +295,7 @@ fn lazy_outputs_always_verify_or_fail() {
     // program passing both independent verifiers.
     for_random_programs(4, |rp, i| {
         let mut p = build(rp);
-        let out = lazy_repair(&mut p, &RepairOptions::default());
+        let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
         if !out.failed {
             let (m, r) = ftrepair_core::verify::verify_outcome(&mut p, &out);
             assert!(m.ok(), "case {i} masking: {m:?}");
@@ -306,7 +308,7 @@ fn lazy_outputs_always_verify_or_fail() {
 fn cautious_outputs_always_verify_or_fail() {
     for_random_programs(5, |rp, i| {
         let mut p = build(rp);
-        let out = ftrepair_core::cautious_repair(&mut p, &RepairOptions::default());
+        let out = ftrepair_core::cautious_repair(&mut p, &RepairOptions::default()).unwrap();
         if !out.failed {
             let lazy_shape = ftrepair_core::LazyOutcome {
                 processes: out.processes.clone(),

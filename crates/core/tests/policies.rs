@@ -10,7 +10,7 @@ fn default_policy_keeps_initial_states_in_the_invariant() {
     // the all-undecided initial states — a byzantine peer showing a
     // conflicting finalized decision simply stops the blocked process.
     let (mut p, _) = byzantine_agreement(2);
-    let out = lazy_repair(&mut p, &RepairOptions::default());
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!out.failed);
     for dgv in 0..2 {
         let init = p.cx.state_cube(&[0, dgv, 0, BOT, 0, 0, BOT, 0]);
@@ -26,9 +26,9 @@ fn default_policy_keeps_initial_states_in_the_invariant() {
 #[test]
 fn strict_policy_still_verifies_but_shrinks_more() {
     let (mut p, _) = byzantine_agreement(2);
-    let default_out = lazy_repair(&mut p, &RepairOptions::default());
+    let default_out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     let strict_opts = RepairOptions { allow_new_terminal_inside: false, ..Default::default() };
-    let strict_out = lazy_repair(&mut p, &strict_opts);
+    let strict_out = lazy_repair(&mut p, &strict_opts).unwrap();
     assert!(!default_out.failed && !strict_out.failed);
 
     let n_default = p.cx.count_states(default_out.invariant);
@@ -51,8 +51,8 @@ fn strict_policy_still_verifies_but_shrinks_more() {
 #[test]
 fn step2_strategies_produce_identical_repairs_on_byzantine() {
     let (mut p, _) = byzantine_agreement(2);
-    let closed = lazy_repair(&mut p, &RepairOptions::default());
-    let iterative = lazy_repair(&mut p, &RepairOptions::iterative_step2());
+    let closed = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
+    let iterative = lazy_repair(&mut p, &RepairOptions::iterative_step2()).unwrap();
     assert!(!closed.failed && !iterative.failed);
     assert_eq!(closed.invariant, iterative.invariant);
     assert_eq!(closed.trans, iterative.trans);
@@ -66,8 +66,8 @@ fn step2_strategies_produce_identical_repairs_on_byzantine() {
 #[test]
 fn heuristic_off_explores_a_larger_span() {
     let (mut p, _) = byzantine_agreement(2);
-    let with = lazy_repair(&mut p, &RepairOptions::default());
-    let without = lazy_repair(&mut p, &RepairOptions::pure_lazy());
+    let with = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
+    let without = lazy_repair(&mut p, &RepairOptions::pure_lazy()).unwrap();
     assert!(!with.failed && !without.failed);
     let span_with = p.cx.count_states(with.span);
     let span_without = p.cx.count_states(without.span);
@@ -82,8 +82,9 @@ fn heuristic_off_explores_a_larger_span() {
 #[test]
 fn parallel_step2_reproduces_sequential_on_byzantine() {
     let (mut p, _) = byzantine_agreement(2);
-    let seq = lazy_repair(&mut p, &RepairOptions::default());
-    let par = lazy_repair(&mut p, &RepairOptions { parallel_step2: true, ..Default::default() });
+    let seq = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
+    let par =
+        lazy_repair(&mut p, &RepairOptions { parallel_step2: true, ..Default::default() }).unwrap();
     assert!(!seq.failed && !par.failed);
     assert_eq!(seq.trans, par.trans);
     assert_eq!(seq.invariant, par.invariant);

@@ -566,7 +566,8 @@ mod tests {
         invariant (x = 0) | (x = 1);
         "#;
         let mut p = compile(&parse(src).unwrap()).unwrap();
-        let out = ftrepair_core::lazy_repair(&mut p, &ftrepair_core::RepairOptions::default());
+        let out =
+            ftrepair_core::lazy_repair(&mut p, &ftrepair_core::RepairOptions::default()).unwrap();
         assert!(!out.failed);
         let (m, r) = ftrepair_core::verify::verify_outcome(&mut p, &out);
         assert!(m.ok(), "{m:?}");

@@ -31,13 +31,22 @@ impl From<LexError> for ParseError {
 /// Parse a full source file.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     p.program()
 }
+
+/// Maximum nesting depth of the expression grammar. The parser is
+/// recursive-descent, so nesting consumes call stack: without a bound, a
+/// few kilobytes of `(`s or `!`s in an untrusted spec overflow the stack
+/// and abort the process — a crash where hostile input must get an error.
+/// 256 levels is far beyond any guard or invariant written by a human.
+const MAX_EXPR_DEPTH: usize = 256;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression nesting depth (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -227,7 +236,25 @@ impl Parser {
     }
 
     // Expression precedence: | < & < ! < cmp < +,- < atom.
+    /// Bump the nesting depth, refusing to descend past [`MAX_EXPR_DEPTH`].
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.err(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels; simplify the expression"
+            )));
+        }
+        Ok(())
+    }
+
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.and_expr()?;
         while self.peek() == Some(&TokenKind::Or) {
             self.pos += 1;
@@ -250,8 +277,13 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if self.peek() == Some(&TokenKind::Not) {
             self.pos += 1;
-            let inner = self.not_expr()?;
-            Ok(Expr::Not(Box::new(inner)))
+            // `!` recurses without passing through `expr`, so it needs its
+            // own depth bump: a run of bare `!`s nests just as deep as a
+            // run of `(`s.
+            self.descend()?;
+            let inner = self.not_expr();
+            self.depth -= 1;
+            Ok(Expr::Not(Box::new(inner?)))
         } else {
             self.cmp_expr()
         }
@@ -447,5 +479,32 @@ mod tests {
         for src in cases {
             assert!(parse(src).is_err(), "accepted malformed input {src:?}");
         }
+    }
+
+    /// Nesting past [`MAX_EXPR_DEPTH`] must come back as a parse error,
+    /// not a stack overflow: the daemon feeds untrusted specs straight
+    /// into this parser, and `SIGSEGV` is not a recoverable 400.
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        let bombs = [
+            // 100k parens would blow an 8 MiB stack many times over.
+            format!("program t; invariant {}true{};", "(".repeat(100_000), ")".repeat(100_000)),
+            // `!` recurses on a different path than `(`.
+            format!("program t; invariant {}true;", "!".repeat(100_000)),
+            // Unclosed nesting still descends all the way down.
+            format!("program t; invariant {}", "(".repeat(100_000)),
+        ];
+        for src in &bombs {
+            let err = parse(src).expect_err("depth bomb must be rejected");
+            assert!(err.message.contains("nesting exceeds"), "unexpected error: {}", err.message);
+        }
+    }
+
+    /// The limit must not reject plausibly-deep human input.
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let depth = 64;
+        let src = format!("program t; invariant {}x = 1{};", "(".repeat(depth), ")".repeat(depth));
+        parse(&src).expect("64 levels of parens is legitimate input");
     }
 }

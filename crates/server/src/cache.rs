@@ -18,7 +18,7 @@
 
 use crate::job::SimBundle;
 use ftrepair_telemetry::{Counter, Json, Telemetry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// One cached repair: the `/repair` response document plus, for instances
@@ -189,6 +189,66 @@ impl ResultCache {
     }
 }
 
+struct PoisonInner {
+    set: HashSet<String>,
+    order: VecDeque<String>,
+}
+
+/// Quarantine set for content keys whose repair panicked the engine.
+///
+/// A spec that crashed the worker once will crash it again — the repair is
+/// deterministic — so resubmissions are refused (`422`) straight from the
+/// cache path instead of being handed to a fresh worker to kill. Like
+/// [`ResultCache`] the set is bounded with FIFO eviction: an adversary
+/// feeding an endless stream of crashing specs must not grow the daemon's
+/// memory, and the oldest quarantine aging out is harmless (the spec just
+/// gets one more chance to panic and be re-quarantined).
+pub struct PoisonList {
+    inner: Mutex<PoisonInner>,
+    capacity: usize,
+}
+
+impl PoisonList {
+    /// A quarantine list holding at most `capacity` keys (minimum 1).
+    pub fn new(capacity: usize) -> PoisonList {
+        PoisonList {
+            inner: Mutex::new(PoisonInner { set: HashSet::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Quarantine `key`. Returns `true` if it was newly added, `false` if
+    /// it was already quarantined (lets callers count distinct keys).
+    pub fn insert(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.set.insert(key.to_string()) {
+            return false;
+        }
+        inner.order.push_back(key.to_string());
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Is `key` currently quarantined?
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().unwrap().set.contains(key)
+    }
+
+    /// Keys currently quarantined.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().set.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +322,27 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(cache.get("a").is_some());
         assert_eq!(tele.snapshot().counter("server.cache.evictions"), 0);
+    }
+
+    #[test]
+    fn poison_list_quarantines_and_reports_novelty() {
+        let poison = PoisonList::new(8);
+        assert!(!poison.contains("k"));
+        assert!(poison.insert("k"), "first insert is new");
+        assert!(!poison.insert("k"), "second insert is a repeat");
+        assert!(poison.contains("k"));
+        assert_eq!(poison.len(), 1);
+    }
+
+    #[test]
+    fn poison_list_is_bounded_fifo() {
+        let poison = PoisonList::new(2);
+        poison.insert("a");
+        poison.insert("b");
+        poison.insert("c");
+        assert_eq!(poison.len(), 2);
+        assert!(!poison.contains("a"), "oldest quarantine aged out");
+        assert!(poison.contains("b"));
+        assert!(poison.contains("c"));
     }
 }

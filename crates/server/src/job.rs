@@ -4,8 +4,8 @@
 //! simulation replays.
 
 use ftrepair_core::{
-    build_run_report, cautious_repair_traced, lazy_repair_traced, verify::verify_outcome,
-    LazyOutcome, RepairOptions,
+    build_run_report, cautious_repair_cancellable, lazy_repair_cancellable, verify::verify_outcome,
+    LazyOutcome, RepairAborted, RepairOptions, Token,
 };
 use ftrepair_explicit::extract::{bdd_to_edges, bdd_to_states, ExplicitProgram};
 use ftrepair_explicit::simulate::{simulate, SimConfig, SimFailure, SimReport};
@@ -58,6 +58,10 @@ pub struct JobSpec {
 }
 
 /// Options rendered into a short stable string for the content address.
+/// `RepairOptions::deadline` is deliberately left out: a deadline changes
+/// whether the repair *finishes*, never what it computes, and aborted runs
+/// are never cached — so two clients differing only in timeout share one
+/// entry.
 fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
     format!(
         "{}:r{}c{}e{}p{}t{}m{}",
@@ -108,17 +112,52 @@ pub struct JobResult {
     pub sim: Option<SimBundle>,
 }
 
-/// Compile and repair a prepared job. `Err` carries a compile-time semantic
-/// error ("compile error: …", also a 400). `build_sim` additionally
-/// extracts the explicit bundle when the state space is at most
-/// [`SIM_STATE_CAP`] states.
-pub fn execute(spec: &JobSpec, tele: &Telemetry, build_sim: bool) -> Result<JobResult, String> {
-    let mut prog = ftrepair_lang::compile(&spec.ast).map_err(|e| format!("compile error: {e}"))?;
+/// Why a job produced no result.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The spec is semantically broken ("compile error: …") — a client
+    /// error, ready to serve as an HTTP 400 body.
+    Invalid(String),
+    /// The job's deadline or cancellation token fired mid-repair — a
+    /// transient server condition (503), never cached.
+    Aborted(RepairAborted),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Invalid(msg) => f.write_str(msg),
+            ExecError::Aborted(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+/// Compile and repair a prepared job. [`ExecError::Invalid`] carries a
+/// compile-time semantic error ("compile error: …"); the deadline (from
+/// [`RepairOptions::deadline`]) surfaces as [`ExecError::Aborted`].
+/// `build_sim` additionally extracts the explicit bundle when the state
+/// space is at most [`SIM_STATE_CAP`] states.
+pub fn execute(spec: &JobSpec, tele: &Telemetry, build_sim: bool) -> Result<JobResult, ExecError> {
+    execute_cancellable(spec, tele, build_sim, &Token::from_options(&spec.opts))
+}
+
+/// [`execute`] against an externally owned token — the server arms one per
+/// job with its `--job-timeout` and drain flag.
+pub fn execute_cancellable(
+    spec: &JobSpec,
+    tele: &Telemetry,
+    build_sim: bool,
+    token: &Token,
+) -> Result<JobResult, ExecError> {
+    let mut prog = ftrepair_lang::compile(&spec.ast)
+        .map_err(|e| ExecError::Invalid(format!("compile error: {e}")))?;
 
     let out: LazyOutcome = match spec.mode {
-        Mode::Lazy => lazy_repair_traced(&mut prog, &spec.opts, tele),
+        Mode::Lazy => lazy_repair_cancellable(&mut prog, &spec.opts, tele, token)
+            .map_err(ExecError::Aborted)?,
         Mode::Cautious => {
-            let c = cautious_repair_traced(&mut prog, &spec.opts, tele);
+            let c = cautious_repair_cancellable(&mut prog, &spec.opts, tele, token)
+                .map_err(ExecError::Aborted)?;
             LazyOutcome {
                 processes: c.processes,
                 invariant: c.invariant,
@@ -300,7 +339,21 @@ mod tests {
         )
         .unwrap();
         let err = execute(&spec, &Telemetry::off(), false).unwrap_err();
-        assert!(err.starts_with("compile error:"), "{err}");
-        assert!(err.contains("unknown variable"), "{err}");
+        let msg = err.to_string();
+        assert!(matches!(err, ExecError::Invalid(_)), "{err:?}");
+        assert!(msg.starts_with("compile error:"), "{msg}");
+        assert!(msg.contains("unknown variable"), "{msg}");
+    }
+
+    #[test]
+    fn execute_surfaces_deadline_aborts() {
+        let opts =
+            RepairOptions { deadline: Some(std::time::Duration::ZERO), ..RepairOptions::default() };
+        let spec = prepare(TOGGLE, Mode::Lazy, opts).unwrap();
+        let err = execute(&spec, &Telemetry::off(), false).unwrap_err();
+        assert!(matches!(err, ExecError::Aborted(RepairAborted::Timeout)), "{err:?}");
+        // The deadline is not part of the content address.
+        let plain = prepare(TOGGLE, Mode::Lazy, RepairOptions::default()).unwrap();
+        assert_eq!(spec.key, plain.key, "deadline must not fragment the cache");
     }
 }

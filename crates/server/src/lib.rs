@@ -25,8 +25,22 @@
 //! are answered `429` immediately. Shutdown: SIGTERM/ctrl-c stops the
 //! accept loop, queued jobs are drained, then the process exits (writing a
 //! summary JSONL line when `--metrics-out` is set).
+//!
+//! Robustness: every repair job runs under a deadline
+//! ([`ServerConfig::job_timeout`], CLI `--job-timeout`, default 30s) and
+//! inside a panic boundary. A job that exhausts its budget answers
+//! `503 {"error":"timeout"}` and is *not* cached; a job that panics
+//! answers `500`, quarantines its content key in a bounded [`PoisonList`]
+//! (resubmission → `422`), and retires the worker, which the supervisor
+//! respawns. `GET /healthz` stays 200 but reports `"degraded"` while a
+//! worker died or the queue saturated within the last
+//! [`ServerConfig::degraded_window`]. The [`chaos`] module (tests and the
+//! `chaos` cargo feature only) injects panics, delays, and queue-full
+//! conditions to exercise all of this on purpose.
 
 pub mod cache;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 pub mod flight;
 pub mod http;
 pub mod job;
@@ -34,7 +48,9 @@ pub mod queue;
 pub mod server;
 pub mod signal;
 
-pub use cache::{content_key, CacheEntry, ResultCache};
+pub use cache::{content_key, CacheEntry, PoisonList, ResultCache};
+#[cfg(any(test, feature = "chaos"))]
+pub use chaos::Chaos;
 pub use job::{JobResult, JobSpec, Mode, SimBundle};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -12,17 +12,18 @@
 //!   accept loop stops, closes the queue, and the workers drain every job
 //!   already accepted before the scope joins them.
 
-use crate::cache::{CacheEntry, ResultCache};
+use crate::cache::{CacheEntry, PoisonList, ResultCache};
 use crate::flight::InFlight;
 use crate::http::{self, Request};
 use crate::job::{self, Mode};
 use crate::queue::{JobQueue, PushError};
 use crate::signal;
-use ftrepair_core::RepairOptions;
+use ftrepair_core::{RepairAborted, RepairOptions, Token};
 use ftrepair_explicit::simulate::SimConfig;
 use ftrepair_telemetry::{Json, RunReport, Telemetry};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -45,6 +46,20 @@ pub struct ServerConfig {
     pub metrics_out: Option<PathBuf>,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// Wall-clock budget for one repair job. A job that exhausts it is
+    /// aborted at the next cancellation checkpoint and answered
+    /// `503 {"error":"timeout"}` — never cached. `Duration::ZERO` expires
+    /// immediately (every job times out; useful for tests).
+    pub job_timeout: Duration,
+    /// How long after a worker death or queue saturation `/healthz` keeps
+    /// reporting `"degraded"`.
+    pub degraded_window: Duration,
+    /// Capacity of the poison list quarantining specs that panicked the
+    /// engine.
+    pub poison_cap: usize,
+    /// Fault-injection plan (tests and the `chaos` feature only).
+    #[cfg(any(test, feature = "chaos"))]
+    pub chaos: Option<Arc<crate::chaos::Chaos>>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +71,11 @@ impl Default for ServerConfig {
             cache_cap: 256,
             metrics_out: None,
             io_timeout: Duration::from_secs(10),
+            job_timeout: Duration::from_secs(30),
+            degraded_window: Duration::from_secs(60),
+            poison_cap: 64,
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: None,
         }
     }
 }
@@ -63,19 +83,86 @@ impl Default for ServerConfig {
 struct Shared {
     queue: JobQueue<TcpStream>,
     cache: ResultCache,
+    poison: PoisonList,
     inflight: InFlight,
     tele: Telemetry,
     metrics_out: Option<PathBuf>,
     metrics_lock: Mutex<()>,
     shutdown: AtomicBool,
+    /// Raised by [`ServerHandle::cancel_jobs`]; every job token carries it.
+    cancel_jobs: Arc<AtomicBool>,
     io_timeout: Duration,
+    job_timeout: Duration,
+    degraded_window: Duration,
     workers: usize,
+    /// Workers currently inside their serve loop (dips while the
+    /// supervisor recycles one, returns to `workers` after).
+    workers_alive: Mutex<usize>,
+    last_worker_fault: Mutex<Option<Instant>>,
+    last_saturation: Mutex<Option<Instant>>,
     started: Instant,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: Option<Arc<crate::chaos::Chaos>>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// The cancellation token one repair job runs under: the server-wide
+    /// cancel flag plus this job's deadline.
+    fn job_token(&self) -> Token {
+        Token::unbounded()
+            .with_flag(Arc::clone(&self.cancel_jobs))
+            .with_deadline_in(self.job_timeout)
+    }
+
+    fn note_worker_fault(&self) {
+        *self.last_worker_fault.lock().unwrap() = Some(Instant::now());
+    }
+
+    fn note_saturation(&self) {
+        *self.last_saturation.lock().unwrap() = Some(Instant::now());
+    }
+
+    /// Did a worker die or the queue saturate within the degraded window?
+    fn degraded(&self) -> bool {
+        let recent = |slot: &Mutex<Option<Instant>>| {
+            slot.lock().unwrap().is_some_and(|at| at.elapsed() < self.degraded_window)
+        };
+        recent(&self.last_worker_fault) || recent(&self.last_saturation)
+    }
+
+    fn worker_started(&self) {
+        let mut alive = self.workers_alive.lock().unwrap();
+        *alive += 1;
+        self.tele.set_gauge("server.workers.alive", *alive as u64);
+    }
+
+    fn worker_stopped(&self) {
+        let mut alive = self.workers_alive.lock().unwrap();
+        *alive = alive.saturating_sub(1);
+        self.tele.set_gauge("server.workers.alive", *alive as u64);
+    }
+
+    /// Record a job panic: count it, flag health, quarantine the key, and
+    /// put the payload in the JSONL stream so a postmortem has it even
+    /// after the process is gone.
+    fn quarantine(&self, spec: &job::JobSpec, why: &str) {
+        self.tele.add("server.workers.panics", 1);
+        self.note_worker_fault();
+        if self.poison.insert(&spec.key) {
+            self.tele.add("server.jobs.quarantined", 1);
+        }
+        let mut report = RunReport::new(&spec.name, "panic");
+        report.set("server_key", spec.key.as_str().into());
+        report.set("panic", why.into());
+        self.append_report(&report);
+        eprintln!(
+            "ftrepair-server: repair of {} panicked ({why}); key {} quarantined",
+            spec.name, spec.key
+        );
     }
 
     /// Serialize JSONL appends: lines can exceed the pipe-atomicity size,
@@ -101,6 +188,14 @@ impl ServerHandle {
     /// Begin a graceful shutdown: stop accepting, drain queued jobs, exit.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Abort every in-flight and future repair job at its next
+    /// cancellation checkpoint (`503 {"error":"cancelled"}`). The flag is
+    /// sticky — pair it with [`ServerHandle::shutdown`] when the drain
+    /// must not wait out long-running fixpoints.
+    pub fn cancel_jobs(&self) {
+        self.shared.cancel_jobs.store(true, Ordering::SeqCst);
     }
 
     /// The server's telemetry (live; snapshot to read).
@@ -129,14 +224,23 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_cap),
             cache,
+            poison: PoisonList::new(config.poison_cap),
             inflight: InFlight::new(),
             tele,
             metrics_out: config.metrics_out.clone(),
             metrics_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
+            cancel_jobs: Arc::new(AtomicBool::new(false)),
             io_timeout: config.io_timeout,
+            job_timeout: config.job_timeout,
+            degraded_window: config.degraded_window,
             workers,
+            workers_alive: Mutex::new(0),
+            last_worker_fault: Mutex::new(None),
+            last_saturation: Mutex::new(None),
             started: Instant::now(),
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: config.chaos.clone(),
         });
         Ok(Server { listener, shared })
     }
@@ -162,11 +266,7 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..shared.workers {
                 let shared = Arc::clone(&shared);
-                scope.spawn(move || {
-                    while let Some(stream) = shared.queue.pop() {
-                        handle_connection(&shared, stream);
-                    }
-                });
+                scope.spawn(move || supervise_worker(&shared));
             }
 
             while !shared.shutting_down() {
@@ -175,8 +275,21 @@ impl Server {
                         accepted.inc();
                         let _ = stream.set_read_timeout(Some(shared.io_timeout));
                         let _ = stream.set_write_timeout(Some(shared.io_timeout));
-                        if let Err((mut stream, why)) = shared.queue.try_push(stream) {
+                        #[cfg(any(test, feature = "chaos"))]
+                        let push = match &shared.chaos {
+                            Some(chaos) if chaos.queue_forced_full() => {
+                                Err((stream, PushError::Full))
+                            }
+                            _ => shared.queue.try_push(stream),
+                        };
+                        #[cfg(not(any(test, feature = "chaos")))]
+                        let push = shared.queue.try_push(stream);
+                        if let Err((mut stream, why)) = push {
                             rejected.inc();
+                            if why == PushError::Full {
+                                shared.note_saturation();
+                                shared.tele.add("server.queue.saturated", 1);
+                            }
                             let body = error_body(match why {
                                 PushError::Full => "server busy: job queue is full, retry later",
                                 PushError::Closed => "server is shutting down",
@@ -239,56 +352,158 @@ fn error_body(message: &str) -> String {
     j.to_string()
 }
 
-/// Serve exactly one request on `stream`.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// How one incarnation of a worker's serve loop ended.
+enum WorkerExit {
+    /// The queue is closed and empty; the pool is draining for shutdown.
+    Drained,
+    /// A job panicked (absorbed, client answered). Retire this incarnation
+    /// and start a fresh one: a panic mid-repair can leak or corrupt
+    /// anything that was live on this thread, and the next job must not
+    /// inherit that.
+    Recycle,
+}
+
+/// Keep one worker slot alive until shutdown, restarting the serve loop
+/// after every recycle or escaped panic.
+///
+/// The `catch_unwind` here is what keeps one hostile spec from taking the
+/// whole daemon down at shutdown: a scoped thread that dies panicking
+/// re-raises the panic when `std::thread::scope` joins it, so without this
+/// boundary the server would absorb a panicking job, drain cleanly — and
+/// then crash in the scope join. Absorbing the panic and looping means the
+/// scope only ever joins threads that returned.
+fn supervise_worker(shared: &Shared) {
+    loop {
+        shared.worker_started();
+        let exit = catch_unwind(AssertUnwindSafe(|| worker_loop(shared)));
+        shared.worker_stopped();
+        match exit {
+            Ok(WorkerExit::Drained) => return,
+            Ok(WorkerExit::Recycle) => {}
+            Err(payload) => {
+                // A panic that escaped the per-job boundary (i.e. not a
+                // repair panic — those are absorbed in `cached_repair`).
+                shared.tele.add("server.workers.panics", 1);
+                shared.note_worker_fault();
+                eprintln!(
+                    "ftrepair-server: worker died outside a job ({}); respawning",
+                    panic_message(payload.as_ref())
+                );
+            }
+        }
+        shared.tele.add("server.workers.respawned", 1);
+    }
+}
+
+fn worker_loop(shared: &Shared) -> WorkerExit {
+    while let Some(stream) = shared.queue.pop() {
+        if handle_connection(shared, stream) {
+            return WorkerExit::Recycle;
+        }
+        #[cfg(any(test, feature = "chaos"))]
+        if let Some(chaos) = &shared.chaos {
+            chaos.maybe_kill_worker();
+        }
+    }
+    WorkerExit::Drained
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` unless someone panicked with an exotic value).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One HTTP response. All bodies are JSON; `job_panicked` tells the worker
+/// loop to recycle after the reply is written.
+struct Reply {
+    status: u16,
+    body: String,
+    job_panicked: bool,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply { status, body, job_panicked: false }
+    }
+
+    fn error(status: u16, message: &str) -> Reply {
+        Reply::json(status, error_body(message))
+    }
+}
+
+/// Serve exactly one request on `stream`. Returns whether a repair job
+/// panicked while producing the response.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
-        Err(e) if e.status == 0 => return, // peer went away; nothing to say
+        Err(e) if e.status == 0 => return false, // peer went away; nothing to say
         Err(e) => {
             let _ = http::write_response(&mut stream, e.status, JSON, &error_body(&e.message));
-            return;
+            return false;
         }
     };
 
     let _span = shared.tele.span("server.request");
     shared.tele.add("server.http.requests", 1);
-    let (status, content_type, body) = route(shared, &request);
-    shared.tele.add(&format!("server.http.status.{status}"), 1);
-    if http::write_response(&mut stream, status, content_type, &body).is_err() {
+    let reply = route(shared, &request);
+    shared.tele.add(&format!("server.http.status.{}", reply.status), 1);
+    if http::write_response(&mut stream, reply.status, JSON, &reply.body).is_err() {
         shared.tele.add("server.http.write_failures", 1);
     }
+    reply.job_panicked
 }
 
-fn route(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+fn route(shared: &Shared, req: &Request) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/metrics") => handle_metrics(shared),
         ("POST", "/repair") => handle_repair(shared, req),
         ("POST", "/simulate") => handle_simulate(shared, req),
         ("GET", "/repair" | "/simulate") | ("POST", "/healthz" | "/metrics") => {
-            (405, JSON, error_body("method not allowed for this path"))
+            Reply::error(405, "method not allowed for this path")
         }
-        _ => (404, JSON, error_body(&format!("no such endpoint {}", req.path))),
+        _ => Reply::error(404, &format!("no such endpoint {}", req.path)),
     }
 }
 
-fn handle_healthz(shared: &Shared) -> (u16, &'static str, String) {
+fn handle_healthz(shared: &Shared) -> Reply {
+    // Always 200: load balancers poll this, and a degraded-but-serving
+    // daemon should keep receiving traffic. The `status` field carries the
+    // nuance — "ok", "degraded" (a worker died or the queue saturated
+    // within the degraded window), or "draining" (shutdown in progress).
+    let status = if shared.shutting_down() {
+        "draining"
+    } else if shared.degraded() {
+        "degraded"
+    } else {
+        "ok"
+    };
     let mut j = Json::obj();
     j.set("ok", true.into());
-    j.set("status", if shared.shutting_down() { "draining" } else { "up" }.into());
+    j.set("status", status.into());
     j.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
-    (200, JSON, j.to_string())
+    j.set("workers", shared.workers.into());
+    j.set("workers_alive", (*shared.workers_alive.lock().unwrap()).into());
+    Reply::json(200, j.to_string())
 }
 
-fn handle_metrics(shared: &Shared) -> (u16, &'static str, String) {
+fn handle_metrics(shared: &Shared) -> Reply {
     // Same rendering as a run report so consumers parse one shape.
     let mut r = RunReport::new("server", "metrics");
     r.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
     r.set("workers", shared.workers.into());
     r.set("queue_depth", shared.queue.len().into());
     r.set("cache_entries", shared.cache.len().into());
+    r.set("quarantined_keys", shared.poison.len().into());
     r.set_snapshot(&shared.tele.snapshot());
-    (200, JSON, r.to_json_line())
+    Reply::json(200, r.to_json_line())
 }
 
 /// Decode the repair knobs shared by `/repair` and `/simulate`.
@@ -308,16 +523,34 @@ fn job_params(req: &Request) -> Result<(Mode, RepairOptions), String> {
     Ok((mode, opts))
 }
 
-/// Run a spec through the cache: prepare, look up, execute on miss. Returns
-/// the entry plus whether it was served from cache, or an HTTP error pair.
-fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, bool), (u16, String)> {
-    let source =
-        std::str::from_utf8(&req.body).map_err(|_| (400, "spec must be UTF-8 text".to_string()))?;
-    if source.trim().is_empty() {
-        return Err((400, "empty request body: POST the .ftr spec text".to_string()));
+/// Why `cached_repair` could not produce a cache entry.
+struct JobFailure {
+    status: u16,
+    message: String,
+    /// The job panicked (absorbed); the worker recycles after replying.
+    panicked: bool,
+}
+
+fn refuse(status: u16, message: impl Into<String>) -> JobFailure {
+    JobFailure { status, message: message.into(), panicked: false }
+}
+
+impl JobFailure {
+    fn reply(&self) -> Reply {
+        Reply { status: self.status, body: error_body(&self.message), job_panicked: self.panicked }
     }
-    let (mode, opts) = job_params(req).map_err(|m| (400, m))?;
-    let spec = job::prepare(source, mode, opts).map_err(|m| (400, m))?;
+}
+
+/// Run a spec through the cache: prepare, look up, execute on miss. Returns
+/// the entry plus whether it was served from cache, or an HTTP failure.
+fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, bool), JobFailure> {
+    let source =
+        std::str::from_utf8(&req.body).map_err(|_| refuse(400, "spec must be UTF-8 text"))?;
+    if source.trim().is_empty() {
+        return Err(refuse(400, "empty request body: POST the .ftr spec text"));
+    }
+    let (mode, opts) = job_params(req).map_err(|m| refuse(400, m))?;
+    let spec = job::prepare(source, mode, opts).map_err(|m| refuse(400, m))?;
 
     // Single-flight: the first request for a key becomes the leader and
     // runs the repair; concurrent requests for the same key block in
@@ -325,6 +558,13 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     // in the cache instead of duplicating the fixpoint computation. If the
     // leader errors out, one waiting follower claims leadership and tries.
     let _lead = loop {
+        // The quarantine check sits on the cache path, before the cache
+        // itself: a resubmission of a spec that panicked the engine — and
+        // every follower woken by a panicking leader — is refused here
+        // without ever reaching a worker again.
+        if shared.poison.contains(&spec.key) {
+            return Err(refuse(422, "quarantined: this spec previously crashed the repair engine"));
+        }
         if let Some(entry) = shared.cache.get(&spec.key) {
             return Ok((entry, true));
         }
@@ -333,13 +573,62 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
             None => continue,
         }
     };
+    // Re-check after winning leadership: a request that passed the poison
+    // check while the previous leader was still running can acquire the
+    // flight right after that leader panicked — without this it would
+    // re-execute the crashing spec once per such race.
+    if shared.poison.contains(&spec.key) {
+        return Err(refuse(422, "quarantined: this spec previously crashed the repair engine"));
+    }
 
     // Per-job telemetry keeps concurrent jobs' reports separate; the
     // snapshot is folded into the server registry afterwards so /metrics
     // still aggregates everything.
     let job_tele = Telemetry::new();
-    let result = job::execute(&spec, &job_tele, true).map_err(|m| (400, m))?;
+    let token = shared.job_token();
+    // The per-job panic boundary: a crashing repair costs the client a 500
+    // and the server one recycled worker — nothing more, and the response
+    // is written by this (surviving) thread, so no connection is ever
+    // dropped. `AssertUnwindSafe` is honest here: the job owns all of its
+    // state (program, BDD manager, and telemetry are built inside
+    // `execute_cancellable` or are this job's own), and everything shared
+    // that we touch afterwards is lock-protected.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(any(test, feature = "chaos"))]
+        if let Some(chaos) = &shared.chaos {
+            chaos.before_execute(&spec.key, &token);
+        }
+        job::execute_cancellable(&spec, &job_tele, true, &token)
+    }));
     shared.tele.absorb_snapshot(&job_tele.snapshot());
+    let result = match run {
+        Err(payload) => {
+            shared.quarantine(&spec, &panic_message(payload.as_ref()));
+            return Err(JobFailure {
+                status: 500,
+                message: "internal error: repair engine panicked; spec quarantined".to_string(),
+                panicked: true,
+            });
+        }
+        Ok(Err(job::ExecError::Invalid(message))) => return Err(refuse(400, message)),
+        Ok(Err(job::ExecError::Aborted(why))) => {
+            // Aborted runs are never cached: the next attempt may run
+            // under a larger budget (or after the cancel flag clears) and
+            // succeed, while a cached failure would pin the 503 forever.
+            let message = match why {
+                RepairAborted::Timeout => {
+                    shared.tele.add("server.jobs.timed_out", 1);
+                    "timeout"
+                }
+                RepairAborted::Cancelled => {
+                    shared.tele.add("server.jobs.cancelled", 1);
+                    "cancelled"
+                }
+            };
+            return Err(refuse(503, message));
+        }
+        Ok(Ok(result)) => result,
+    };
 
     let mut report = result.report;
     report.set("server_key", spec.key.as_str().into());
@@ -357,49 +646,48 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     Ok((entry, false))
 }
 
-fn handle_repair(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+fn handle_repair(shared: &Shared, req: &Request) -> Reply {
     match cached_repair(shared, req) {
         Ok((entry, cached)) => {
             let mut body = entry.response.clone();
             body.set("cached", cached.into());
-            (200, JSON, body.to_string())
+            Reply::json(200, body.to_string())
         }
-        Err((status, message)) => (status, JSON, error_body(&message)),
+        Err(failure) => failure.reply(),
     }
 }
 
-fn handle_simulate(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+fn handle_simulate(shared: &Shared, req: &Request) -> Reply {
     let config = SimConfig {
         runs: req.query("runs").and_then(|v| v.parse().ok()).unwrap_or(200),
         max_faults: req.query("max-faults").and_then(|v| v.parse().ok()).unwrap_or(3),
         ..Default::default()
     };
     if config.runs == 0 || config.runs > 100_000 {
-        return (400, JSON, error_body("runs must be between 1 and 100000"));
+        return Reply::error(400, "runs must be between 1 and 100000");
     }
     // Every injected fault re-arms the recovery budget and grows the trace,
     // so an unbounded max-faults lets one request pin a worker arbitrarily
     // long. Bound it like runs.
     if config.max_faults > 1_000 {
-        return (400, JSON, error_body("max-faults must be between 0 and 1000"));
+        return Reply::error(400, "max-faults must be between 0 and 1000");
     }
     let seed = req.query("seed").and_then(|v| v.parse().ok()).unwrap_or(0xF7_5EED);
 
     let (entry, cached) = match cached_repair(shared, req) {
         Ok(pair) => pair,
-        Err((status, message)) => return (status, JSON, error_body(&message)),
+        Err(failure) => return failure.reply(),
     };
     if entry.response.get("failed").and_then(Json::as_bool) == Some(true) {
-        return (422, JSON, error_body("no repair exists for this spec; nothing to simulate"));
+        return Reply::error(422, "no repair exists for this spec; nothing to simulate");
     }
     let Some(bundle) = &entry.sim else {
-        return (
+        return Reply::error(
             422,
-            JSON,
-            error_body(&format!(
+            &format!(
                 "state space exceeds {} states; explicit simulation is only for oracle-sized instances",
                 job::SIM_STATE_CAP
-            )),
+            ),
         );
     };
 
@@ -417,5 +705,5 @@ fn handle_simulate(shared: &Shared, req: &Request) -> (u16, &'static str, String
     body.set("cached", cached.into());
     body.set("case", entry.response.get("case").cloned().unwrap_or(Json::Null));
     body.set("simulation", job::sim_report_json(&report, seed));
-    (200, JSON, body.to_string())
+    Reply::json(200, body.to_string())
 }

@@ -1,0 +1,90 @@
+//! Regression test for the shutdown-after-panic crash: a scoped worker
+//! thread that dies panicking re-raises its panic when `std::thread::scope`
+//! joins it, so before the supervisor's `catch_unwind` boundary existed a
+//! server could absorb a panicking job, serve traffic normally — and then
+//! crash at SIGTERM time, inside the drain, with a half-written metrics
+//! file. This test pins the fixed behavior: panic, then drain, then a clean
+//! return and a valid JSONL summary.
+//!
+//! Lives in its own integration-test binary because it drives the
+//! process-global signal flag (`signal::request`), which must not race the
+//! in-process servers of the other test files.
+#![cfg(feature = "chaos")]
+
+use ftrepair_core::RepairOptions;
+use ftrepair_server::job::{self, Mode};
+use ftrepair_server::{signal, Chaos, Server, ServerConfig};
+use ftrepair_telemetry::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SPEC: &str = "program toggle;\n\
+    var x : 0..2;\n\
+    process p read x; write x;\n\
+    begin\n  (x = 0) -> x := 1;\n  (x = 1) -> x := 0;\nend\n\
+    fault hit begin (x = 1) -> x := 2; end\n\
+    invariant (x = 0) | (x = 1);\n";
+
+#[test]
+fn sigterm_drain_after_absorbing_a_panicking_job_exits_cleanly() {
+    signal::reset();
+    let dir = std::env::temp_dir().join("ftrepair-server-drain-after-panic");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let chaos = Arc::new(Chaos::new());
+    let key = job::prepare(SPEC, Mode::Lazy, RepairOptions::default()).unwrap().key;
+    chaos.panic_on_key(&key);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(2),
+        metrics_out: Some(path.clone()),
+        chaos: Some(Arc::clone(&chaos)),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().unwrap();
+    let join = std::thread::spawn(move || server.run());
+
+    // Absorb one panicking job...
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let raw = format!(
+        "POST /repair HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{SPEC}",
+        SPEC.len(),
+    );
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let text = String::from_utf8(reply).unwrap();
+    assert!(text.starts_with("HTTP/1.1 500 "), "panicking job answers 500: {text:?}");
+
+    // ...then deliver the (emulated) SIGTERM. Before the supervisor's panic
+    // boundary this join re-raised the worker's panic and the server thread
+    // died mid-drain instead of returning Ok.
+    signal::request();
+    let result = join.join().expect("server thread must not die at the scope join");
+    result.expect("run() returns Ok after draining");
+    signal::reset();
+
+    // The metrics file is intact and complete: the panic's postmortem line
+    // followed by the shutdown summary.
+    let file = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<Json> = file.lines().map(|l| Json::parse(l).expect("valid JSONL")).collect();
+    assert_eq!(lines.len(), 2, "{file}");
+    assert_eq!(lines[0].get("mode").and_then(Json::as_str), Some("panic"), "{file}");
+    assert!(
+        lines[0].get("panic").and_then(Json::as_str).unwrap_or("").contains("injected panic"),
+        "{file}"
+    );
+    assert_eq!(lines[0].get("server_key").and_then(Json::as_str), Some(key.as_str()), "{file}");
+    assert_eq!(lines[1].get("mode").and_then(Json::as_str), Some("summary"), "{file}");
+    let counters = lines[1].get("counters").expect("summary carries the counter snapshot");
+    assert_eq!(counters.get("server.workers.panics").and_then(Json::as_u64), Some(1), "{file}");
+    assert_eq!(counters.get("server.jobs.quarantined").and_then(Json::as_u64), Some(1), "{file}");
+}

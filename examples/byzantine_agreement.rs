@@ -23,7 +23,7 @@ fn main() {
 
     // Lazy repair.
     let t0 = Instant::now();
-    let out = lazy_repair(&mut prog, &RepairOptions::default());
+    let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
     let lazy_time = t0.elapsed();
     assert!(!out.failed);
     let (m, r) = verify_outcome(&mut prog, &out);
@@ -38,7 +38,7 @@ fn main() {
     // Cautious baseline on a fresh instance.
     let (mut prog2, _) = byzantine_agreement(n);
     let t1 = Instant::now();
-    let cau = cautious_repair(&mut prog2, &RepairOptions::default());
+    let cau = cautious_repair(&mut prog2, &RepairOptions::default()).unwrap();
     let cautious_time = t1.elapsed();
     assert!(!cau.failed);
     println!(

@@ -51,7 +51,7 @@ fn main() {
         prog.cx.num_program_vars()
     );
 
-    let out = lazy_repair(&mut prog, &RepairOptions::default());
+    let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
     assert!(!out.failed, "repair failed");
     let (m, r) = verify_outcome(&mut prog, &out);
     println!("masking tolerant: {} | realizable: {}\n", m.ok(), r.ok());

@@ -13,20 +13,20 @@ fn main() {
     let runs = 15;
     for _ in 0..2 {
         let mut p = byzantine_failstop(3).0;
-        std::hint::black_box(lazy_repair(&mut p, &RepairOptions::default()));
+        std::hint::black_box(lazy_repair(&mut p, &RepairOptions::default()).unwrap());
     }
     let mut off = vec![];
     let mut on = vec![];
     for _ in 0..runs {
         let mut p = byzantine_failstop(3).0;
         let t = Instant::now();
-        std::hint::black_box(lazy_repair(&mut p, &RepairOptions::default()));
+        std::hint::black_box(lazy_repair(&mut p, &RepairOptions::default()).unwrap());
         off.push(t.elapsed().as_secs_f64());
 
         let mut p = byzantine_failstop(3).0;
         let tele = Telemetry::new();
         let t = Instant::now();
-        std::hint::black_box(lazy_repair_traced(&mut p, &RepairOptions::default(), &tele));
+        std::hint::black_box(lazy_repair_traced(&mut p, &RepairOptions::default(), &tele).unwrap());
         on.push(t.elapsed().as_secs_f64());
     }
     let (o, n) = (median(off), median(on));

@@ -46,7 +46,7 @@ fn main() {
     });
 
     // Repair.
-    let out = lazy_repair(&mut prog, &RepairOptions::default());
+    let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
     assert!(!out.failed, "repair failed");
     println!(
         "repaired in {} outer iteration(s): step1 {:?}, step2 {:?}",

@@ -17,7 +17,7 @@ fn main() {
     let states = (d as f64).powi(n as i32);
     println!("state space: {:.2e} states (10^{:.1})", states, states.log10());
 
-    let out = lazy_repair(&mut prog, &RepairOptions::default());
+    let out = lazy_repair(&mut prog, &RepairOptions::default()).unwrap();
     assert!(!out.failed);
     println!(
         "lazy repair: step1 {:.3}s, step2 {:.3}s — the paper's Table III shape\n",

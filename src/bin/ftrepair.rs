@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! ftrepair repair   <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
-//!                              [--parallel] [--strict-terminal]
+//!                              [--parallel] [--strict-terminal] [--timeout <secs>]
 //!                              [--metrics-out <path>] [--trace]
 //! ftrepair check    <file.ftr>
 //! ftrepair info     <file.ftr>
 //! ftrepair simulate <file.ftr> [--cautious] [--runs N] [--max-faults K] [--seed S]
+//!                              [--timeout <secs>]
 //! ftrepair serve    [--addr host:port] [--workers N] [--queue-cap M]
-//!                   [--cache-cap C] [--metrics-out <path>]
+//!                   [--cache-cap C] [--job-timeout <secs>] [--metrics-out <path>]
 //! ```
 //!
 //! `repair` adds masking fault-tolerance and prints the repaired program as
@@ -20,7 +21,10 @@
 //! README "Serving" section). `--metrics-out` appends one JSONL run report
 //! (phase timings, telemetry counters/gauges, per-iteration BDD sizes,
 //! op-cache hit rates) per repair; `--trace` streams span open/close events
-//! to stderr.
+//! to stderr. `--timeout` bounds the repair's wall clock — a run that
+//! exhausts it stops at the next cancellation checkpoint and exits 124
+//! (the `timeout(1)` convention); `serve --job-timeout` is the same budget
+//! applied per job (default 30s, `503 {"error":"timeout"}`).
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
@@ -32,6 +36,11 @@ use ftrepair::server::{job, signal, Server, ServerConfig};
 use ftrepair::telemetry::Telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for a repair that exhausted `--timeout`, following the
+/// convention of coreutils `timeout(1)`.
+const EXIT_TIMED_OUT: u8 = 124;
 
 const USAGE: &str = "usage: ftrepair <repair|check|info|simulate|serve> [<file.ftr>] [options]";
 
@@ -99,6 +108,18 @@ fn parsed_flag<T: std::str::FromStr>(
     }
 }
 
+/// Parse `name` as non-negative seconds (fractional allowed); `None` when
+/// the flag is absent.
+fn duration_flag(flags: &[String], name: &str) -> Result<Option<Duration>, String> {
+    match flag_value(flags, name)? {
+        Some(v) => match v.parse::<f64>() {
+            Ok(secs) if secs.is_finite() && secs >= 0.0 => Ok(Some(Duration::from_secs_f64(secs))),
+            _ => Err(format!("{name}: cannot parse {v:?} (non-negative seconds)")),
+        },
+        None => Ok(None),
+    }
+}
+
 fn serve(flags: &[String]) -> ExitCode {
     let config = (|| -> Result<ServerConfig, String> {
         let defaults = ServerConfig::default();
@@ -108,6 +129,7 @@ fn serve(flags: &[String]) -> ExitCode {
             queue_cap: parsed_flag(flags, "--queue-cap", defaults.queue_cap)?,
             cache_cap: parsed_flag(flags, "--cache-cap", defaults.cache_cap)?,
             metrics_out: flag_value(flags, "--metrics-out")?.map(PathBuf::from),
+            job_timeout: duration_flag(flags, "--job-timeout")?.unwrap_or(defaults.job_timeout),
             ..defaults
         })
     })();
@@ -149,14 +171,15 @@ fn serve(flags: &[String]) -> ExitCode {
 
 fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
     let has = |f: &str| flags.iter().any(|a| a == f);
-    let params = (|| -> Result<(usize, usize, u64), String> {
+    let params = (|| -> Result<(usize, usize, u64, Option<Duration>), String> {
         Ok((
             parsed_flag(flags, "--runs", 200usize)?,
             parsed_flag(flags, "--max-faults", 3usize)?,
             parsed_flag(flags, "--seed", 0xF7_5EEDu64)?,
+            duration_flag(flags, "--timeout")?,
         ))
     })();
-    let (runs, max_faults, seed) = match params {
+    let (runs, max_faults, seed, deadline) = match params {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -164,7 +187,7 @@ fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
         }
     };
     let mode = if has("--cautious") { job::Mode::Cautious } else { job::Mode::Lazy };
-    let opts = RepairOptions::default();
+    let opts = RepairOptions { deadline, ..Default::default() };
 
     let spec = match job::prepare(source, mode, opts) {
         Ok(s) => s,
@@ -175,6 +198,10 @@ fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
     };
     let result = match job::execute(&spec, &Telemetry::off(), true) {
         Ok(r) => r,
+        Err(job::ExecError::Aborted(why)) => {
+            eprintln!("{path}: {why}");
+            return ExitCode::from(EXIT_TIMED_OUT);
+        }
         Err(e) => {
             eprintln!("{path}: {e}");
             return ExitCode::from(1);
@@ -279,11 +306,19 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
         },
         None => None,
     };
+    let deadline = match duration_flag(flags, "--timeout") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = RepairOptions {
         restrict_to_reachable: !has("--pure-lazy"),
         step2_closed_form: !has("--iterative-step2"),
         parallel_step2: has("--parallel"),
         allow_new_terminal_inside: !has("--strict-terminal"),
+        deadline,
         ..Default::default()
     };
     // Telemetry costs nothing when off; turn it on whenever the run is
@@ -296,18 +331,24 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
     };
 
     let mode = if has("--cautious") { "cautious" } else { "lazy" };
-    let out: LazyOutcome = if has("--cautious") {
-        let c = cautious_repair_traced(prog, &opts, &tele);
-        LazyOutcome {
+    let outcome = if has("--cautious") {
+        cautious_repair_traced(prog, &opts, &tele).map(|c| LazyOutcome {
             processes: c.processes,
             invariant: c.invariant,
             span: c.span,
             trans: c.trans,
             failed: c.failed,
             stats: c.stats,
-        }
+        })
     } else {
         lazy_repair_traced(prog, &opts, &tele)
+    };
+    let out: LazyOutcome = match outcome {
+        Ok(o) => o,
+        Err(aborted) => {
+            eprintln!("{aborted}");
+            return ExitCode::from(EXIT_TIMED_OUT);
+        }
     };
 
     // Report before verification, so the verifier's BDD traffic does not

@@ -27,7 +27,7 @@ fn byzantine_agreement_all_option_combinations() {
                     parallel_step2: parallel,
                     ..Default::default()
                 };
-                let out = lazy_repair(&mut p, &opts);
+                let out = lazy_repair(&mut p, &opts).unwrap();
                 check(&mut p, &out);
             }
         }
@@ -37,23 +37,23 @@ fn byzantine_agreement_all_option_combinations() {
 #[test]
 fn all_case_studies_repair_and_verify() {
     let (mut ba, _) = byzantine_agreement(3);
-    let out = lazy_repair(&mut ba, &RepairOptions::default());
+    let out = lazy_repair(&mut ba, &RepairOptions::default()).unwrap();
     check(&mut ba, &out);
 
     let (mut fs, _) = byzantine_failstop(2);
-    let out = lazy_repair(&mut fs, &RepairOptions::default());
+    let out = lazy_repair(&mut fs, &RepairOptions::default()).unwrap();
     check(&mut fs, &out);
 
     let (mut sc, _) = stabilizing_chain(4, 3);
-    let out = lazy_repair(&mut sc, &RepairOptions::default());
+    let out = lazy_repair(&mut sc, &RepairOptions::default()).unwrap();
     check(&mut sc, &out);
 }
 
 #[test]
 fn cautious_agrees_with_lazy_on_byzantine_invariant() {
     let (mut p, _) = byzantine_agreement(2);
-    let lazy = lazy_repair(&mut p, &RepairOptions::default());
-    let cautious = cautious_repair(&mut p, &RepairOptions::default());
+    let lazy = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
+    let cautious = cautious_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!lazy.failed && !cautious.failed);
     assert_eq!(lazy.invariant, cautious.invariant, "the two algorithms' invariants differ");
     // Cautious output also verifies.
@@ -88,7 +88,7 @@ fn language_pipeline_repairs() {
     invariant (x = 0) | (x = 1);
     "#;
     let mut p = ftrepair::lang::load(src).expect("compile");
-    let out = lazy_repair(&mut p, &RepairOptions::default());
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     check(&mut p, &out);
     // Recovery synthesized for px.
     let x = p.cx.find_var("x").unwrap();
@@ -107,7 +107,7 @@ fn repaired_byzantine_masks_an_actual_attack() {
     // program cycle outside it) — i.e. exactly the verifier conditions —
     // plus a spot check that the initial undecided state is in the span.
     let (mut p, vars) = byzantine_agreement(2);
-    let out = lazy_repair(&mut p, &RepairOptions::default());
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!out.failed);
     let init = p.cx.state_cube(&[0, 1, 0, 2, 0, 0, 2, 0]); // ¬b, d.g=1, all ⊥
     assert!(p.cx.mgr().leq(init, out.invariant), "initial state must be legitimate");
@@ -127,7 +127,7 @@ fn repaired_byzantine_survives_fault_injection() {
 
     let (mut p, _) = byzantine_agreement(2);
     let explicit = ExplicitProgram::from_symbolic(&mut p);
-    let out = lazy_repair(&mut p, &RepairOptions::default());
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     assert!(!out.failed);
     let trans = extract::bdd_to_edges(&mut p, &explicit.space, out.trans);
     let inv = extract::bdd_to_states(&mut p, &explicit.space, out.invariant);
@@ -161,7 +161,7 @@ fn step1_is_polynomial_friendly_step2_small_on_chain() {
     // The paper's Table III shape on a mid-size chain: Step 2 is at least
     // an order of magnitude cheaper than Step 1.
     let (mut p, _) = stabilizing_chain(8, 4);
-    let out = lazy_repair(&mut p, &RepairOptions::default());
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
     check(&mut p, &out);
     assert!(
         out.stats.step2_time < out.stats.step1_time,

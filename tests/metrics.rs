@@ -11,7 +11,7 @@ fn token_ring_report_is_valid_jsonl_and_agrees_with_stats() {
     let (mut p, _) = token_ring(3, 3);
     let tele = Telemetry::new();
     let opts = RepairOptions::default();
-    let out = lazy_repair_traced(&mut p, &opts, &tele);
+    let out = lazy_repair_traced(&mut p, &opts, &tele).unwrap();
     assert!(!out.failed);
 
     let report = build_run_report("token-ring-3x3", "lazy", &opts, &out.stats, false, &tele, &p.cx);
@@ -66,9 +66,9 @@ fn telemetry_off_leaves_stats_identical() {
     // The traced entry point with a disabled handle must behave exactly
     // like the plain one: same invariant, same group decisions.
     let (mut a, _) = token_ring(3, 3);
-    let on = lazy_repair_traced(&mut a, &RepairOptions::default(), &Telemetry::new());
+    let on = lazy_repair_traced(&mut a, &RepairOptions::default(), &Telemetry::new()).unwrap();
     let (mut b, _) = token_ring(3, 3);
-    let off = lazy_repair_traced(&mut b, &RepairOptions::default(), &Telemetry::off());
+    let off = lazy_repair_traced(&mut b, &RepairOptions::default(), &Telemetry::off()).unwrap();
     assert_eq!(on.failed, off.failed);
     assert_eq!(on.stats.outer_iterations, off.stats.outer_iterations);
     assert_eq!(on.stats.groups_kept, off.stats.groups_kept);

@@ -252,6 +252,55 @@ fn thirty_two_concurrent_posts_all_succeed() {
 }
 
 #[test]
+fn exhausted_job_timeout_answers_503_and_is_never_cached() {
+    let config = ServerConfig { job_timeout: Duration::ZERO, ..test_config() };
+    let (addr, handle, join) = start(config);
+    let toggle = spec("toggle_pair.ftr");
+
+    let (status, body) = request(addr, "POST", "/repair", &toggle);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("timeout"), "{body}");
+
+    // The failure was not cached: the same spec times out again instead of
+    // serving a pinned 503 (a retry may run under a larger budget).
+    let (status, body) = request(addr, "POST", "/repair", &toggle);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("timeout"), "{body}");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let counters = metrics.get("counters").expect("counters object");
+    assert_eq!(counters.get("server.jobs.timed_out").and_then(Json::as_u64), Some(2), "{metrics}");
+    assert_eq!(metrics.get("cache_entries").and_then(Json::as_u64), Some(0), "{metrics}");
+
+    // Timeouts are transient conditions, not worker faults: still healthy.
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"), "{health}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn cancel_jobs_aborts_repairs_with_503_cancelled() {
+    let (addr, handle, join) = start(test_config());
+    handle.cancel_jobs();
+
+    let (status, body) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("cancelled"), "{body}");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let counters = metrics.get("counters").expect("counters object");
+    assert_eq!(counters.get("server.jobs.cancelled").and_then(Json::as_u64), Some(1), "{metrics}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn metrics_out_gets_per_job_reports_and_a_shutdown_summary() {
     let dir = std::env::temp_dir().join("ftrepair-server-metrics");
     std::fs::create_dir_all(&dir).unwrap();
