@@ -2,7 +2,11 @@
 //!
 //! [`SerializedBdd`] is how BDDs travel between managers: the parallel
 //! Step 2 of lazy repair gives each worker thread its own manager and ships
-//! the per-process transition predicates across as serialized DAGs.
+//! the per-process transition predicates across as serialized DAGs. With
+//! dynamic reordering each manager's variable order can diverge, so the blob
+//! records the source order explicitly; import replays the fast `mk` path
+//! when the orders agree (on the function's support) and falls back to an
+//! `ite`-based rebuild when they do not.
 
 use crate::hash::FxHashMap;
 use crate::manager::Manager;
@@ -11,17 +15,135 @@ use crate::node::{NodeId, FALSE, TRUE};
 /// A manager-independent, topologically-ordered encoding of one BDD.
 ///
 /// Nodes `0` and `1` are the implicit terminals; entry `i` of `nodes`
-/// describes node `i + 2` as `(level, lo, hi)` where `lo`/`hi` index earlier
-/// nodes (or terminals). `root` indexes the whole table the same way.
+/// describes node `i + 2` as `(var, lo, hi)` where `var` is a stable
+/// variable index and `lo`/`hi` index earlier nodes (or terminals). `root`
+/// indexes the whole table the same way. `order` is the source manager's
+/// level-to-variable permutation at export time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SerializedBdd {
     /// Number of variables the source manager had (import target must have at
     /// least this many).
     pub num_vars: u32,
+    /// The source variable order: `order[level] = variable index`. A
+    /// permutation of `0..num_vars`.
+    pub order: Vec<u32>,
     /// Internal nodes in topological (children-first) order.
     pub nodes: Vec<(u32, u32, u32)>,
     /// Index of the root (0/1 for terminals, `i + 2` for `nodes[i]`).
     pub root: u32,
+}
+
+/// Why a [`SerializedBdd`] failed validation on import — hostile or stale
+/// blobs are rejected instead of indexing the arena unchecked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// The blob needs more variables than the importing manager has.
+    TooManyVars { needed: u32, have: u32 },
+    /// `order` is not a permutation of `0..num_vars`.
+    BadOrder,
+    /// A node's variable index is out of `0..num_vars`.
+    VarOutOfRange { node: u32, var: u32 },
+    /// A node references itself or a later node (the table must be
+    /// topological, children first).
+    ForwardReference { node: u32, child: u32 },
+    /// A node's child branches on a variable at or above the node's own
+    /// level in the declared source order.
+    OrderViolation { node: u32 },
+    /// A node has `lo == hi` (unreduced).
+    Unreduced { node: u32 },
+    /// `root` indexes past the node table.
+    BadRoot { root: u32 },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::TooManyVars { needed, have } => {
+                write!(f, "import needs {needed} vars, manager has {have}")
+            }
+            ImportError::BadOrder => write!(f, "order is not a permutation of the variables"),
+            ImportError::VarOutOfRange { node, var } => {
+                write!(f, "node {node} branches on out-of-range variable {var}")
+            }
+            ImportError::ForwardReference { node, child } => {
+                write!(f, "node {node} references non-earlier entry {child}")
+            }
+            ImportError::OrderViolation { node } => {
+                write!(f, "node {node} violates the declared variable order")
+            }
+            ImportError::Unreduced { node } => write!(f, "node {node} has equal children"),
+            ImportError::BadRoot { root } => write!(f, "root {root} indexes past the table"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl SerializedBdd {
+    /// Structural validation against an importing manager with `have` >=
+    /// `num_vars` variables; every check `import` relies on.
+    fn validate(&self, have: u32) -> Result<(), ImportError> {
+        if self.num_vars > have {
+            return Err(ImportError::TooManyVars { needed: self.num_vars, have });
+        }
+        // `order` must be a permutation of 0..num_vars.
+        if self.order.len() != self.num_vars as usize {
+            return Err(ImportError::BadOrder);
+        }
+        let mut seen = vec![false; self.num_vars as usize];
+        for &v in &self.order {
+            if v >= self.num_vars || seen[v as usize] {
+                return Err(ImportError::BadOrder);
+            }
+            seen[v as usize] = true;
+        }
+        let src_level = |v: u32| self.order.iter().position(|&w| w == v).unwrap() as u32;
+        for (i, &(var, lo, hi)) in self.nodes.iter().enumerate() {
+            let id = (i + 2) as u32;
+            if var >= self.num_vars {
+                return Err(ImportError::VarOutOfRange { node: id, var });
+            }
+            if lo == hi {
+                return Err(ImportError::Unreduced { node: id });
+            }
+            let my_level = src_level(var);
+            for child in [lo, hi] {
+                if child >= id {
+                    return Err(ImportError::ForwardReference { node: id, child });
+                }
+                if child >= 2 {
+                    let child_var = self.nodes[child as usize - 2].0;
+                    if src_level(child_var) <= my_level {
+                        return Err(ImportError::OrderViolation { node: id });
+                    }
+                }
+            }
+        }
+        if self.root as usize >= self.nodes.len() + 2 {
+            return Err(ImportError::BadRoot { root: self.root });
+        }
+        Ok(())
+    }
+
+    /// Whether the declared source order agrees with `target` (the importing
+    /// manager's `var2level`) on the *relative* order of all variables in
+    /// this blob's support — the condition for the fast `mk` replay path.
+    fn order_compatible(&self, target: &Manager) -> bool {
+        let mut prev = None;
+        for &v in &self.order {
+            if !self.nodes.iter().any(|&(var, _, _)| var == v) {
+                continue; // not in support: its position is irrelevant
+            }
+            let lvl = target.var2level[v as usize];
+            if let Some(p) = prev {
+                if lvl <= p {
+                    return false;
+                }
+            }
+            prev = Some(lvl);
+        }
+        true
+    }
 }
 
 impl Manager {
@@ -49,35 +171,60 @@ impl Manager {
         }
         let nodes = order
             .iter()
-            .map(|&g| (self.level(g), index[&self.lo(g)], index[&self.hi(g)]))
+            .map(|&g| (self.var_of(g), index[&self.lo(g)], index[&self.hi(g)]))
             .collect();
-        SerializedBdd { num_vars: self.num_vars(), nodes, root: index[&f] }
+        SerializedBdd {
+            num_vars: self.num_vars(),
+            order: self.current_order(),
+            nodes,
+            root: index[&f],
+        }
     }
 
     /// Import a serialized DAG into this manager, returning the root.
     ///
-    /// Canonicity is restored by re-running every node through `mk`, so the
-    /// result is hash-consed against everything already in this manager.
+    /// Panics on a malformed blob; use [`Manager::try_import`] when the blob
+    /// comes from an untrusted or possibly stale source.
     pub fn import(&mut self, s: &SerializedBdd) -> NodeId {
-        assert!(
-            s.num_vars <= self.num_vars(),
-            "import needs {} vars, manager has {}",
-            s.num_vars,
-            self.num_vars()
-        );
+        match self.try_import(s) {
+            Ok(root) => root,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validated import. When the blob's variable order is compatible with
+    /// this manager's (on the function's support), every node replays
+    /// through `mk` — linear time, hash-consed against everything already
+    /// here. Otherwise the function is rebuilt bottom-up with `ite`, which
+    /// re-expresses it in this manager's order.
+    pub fn try_import(&mut self, s: &SerializedBdd) -> Result<NodeId, ImportError> {
+        s.validate(self.num_vars())?;
         let mut ids: Vec<NodeId> = Vec::with_capacity(s.nodes.len() + 2);
         ids.push(FALSE);
         ids.push(TRUE);
-        for &(level, lo, hi) in &s.nodes {
-            let lo = ids[lo as usize];
-            let hi = ids[hi as usize];
-            ids.push(self.mk(level, lo, hi));
+        if s.order_compatible(self) {
+            for &(var, lo, hi) in &s.nodes {
+                let lo = ids[lo as usize];
+                let hi = ids[hi as usize];
+                ids.push(self.mk_var(var, lo, hi));
+            }
+        } else {
+            // Diverged orders: Shannon-recombine each node in *this*
+            // manager's order. Children are already rebuilt (topological
+            // order), so `ite(var, hi, lo)` is correct regardless of where
+            // `var` now sits.
+            for &(var, lo, hi) in &s.nodes {
+                let v = self.var(var);
+                let lo = ids[lo as usize];
+                let hi = ids[hi as usize];
+                ids.push(self.ite(v, hi, lo));
+            }
         }
-        ids[s.root as usize]
+        Ok(ids[s.root as usize])
     }
 
     /// Graphviz `dot` rendering of the DAG rooted at `f`, with an optional
-    /// naming function for variable levels.
+    /// naming function for variable indices.
     pub fn to_dot(&self, f: NodeId, name: impl Fn(u32) -> String) -> String {
         use std::fmt::Write;
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
@@ -93,7 +240,7 @@ impl Manager {
                 TRUE => "f1".to_string(),
                 NodeId(i) => format!("n{i}"),
             };
-            writeln!(out, "  {} [label=\"{}\", shape=circle];", node_name(g), name(self.level(g)))
+            writeln!(out, "  {} [label=\"{}\", shape=circle];", node_name(g), name(self.var_of(g)))
                 .unwrap();
             writeln!(out, "  {} -> {} [style=dashed];", node_name(g), node_name(self.lo(g)))
                 .unwrap();
@@ -167,6 +314,7 @@ mod tests {
             assert!(lo < my_id && hi < my_id, "node {my_id} references a later node");
         }
         assert_eq!(s.root as usize, s.nodes.len() + 1);
+        assert_eq!(s.order, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -189,6 +337,109 @@ mod tests {
         let s = m1.export(f);
         let mut m2 = Manager::new(2);
         let _ = m2.import(&s);
+    }
+
+    #[test]
+    fn import_from_reordered_manager() {
+        // Build a function, sift the source manager so its order diverges,
+        // export, and import into a fresh identity-order manager: the
+        // function (by stable variable index) must survive.
+        let mut m1 = Manager::new(8);
+        let mut f = FALSE;
+        for i in 0..4 {
+            let a = m1.var(i);
+            let b = m1.var(4 + i);
+            let ab = m1.and(a, b);
+            f = m1.or(f, ab);
+        }
+        let _ = m1.reorder_sift(&[f]);
+        assert_ne!(m1.current_order(), (0..8).collect::<Vec<u32>>(), "sift should reorder");
+        let s = m1.export(f);
+        let mut m2 = Manager::new(8);
+        let g = m2.import(&s);
+        for bits in 0..256u32 {
+            let a: Vec<bool> = (0..8).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(m1.eval(f, &a), m2.eval(g, &a), "bits={bits:08b}");
+        }
+        // And the reverse direction: identity blob into the sifted manager.
+        let s2 = m2.export(g);
+        let h = m1.import(&s2);
+        assert_eq!(h, f, "canonicity after cross-order roundtrip");
+    }
+
+    #[test]
+    fn adversarial_order_not_permutation() {
+        let blob =
+            SerializedBdd { num_vars: 2, order: vec![0, 0], nodes: vec![(0, 0, 1)], root: 2 };
+        let mut m = Manager::new(2);
+        assert_eq!(m.try_import(&blob), Err(ImportError::BadOrder));
+        let blob = SerializedBdd { num_vars: 2, order: vec![0], nodes: vec![], root: 0 };
+        assert_eq!(m.try_import(&blob), Err(ImportError::BadOrder));
+    }
+
+    #[test]
+    fn adversarial_var_out_of_range() {
+        let blob =
+            SerializedBdd { num_vars: 2, order: vec![0, 1], nodes: vec![(7, 0, 1)], root: 2 };
+        let mut m = Manager::new(4);
+        assert_eq!(m.try_import(&blob), Err(ImportError::VarOutOfRange { node: 2, var: 7 }));
+    }
+
+    #[test]
+    fn adversarial_forward_reference() {
+        // Node 2 points at node 3 (later) and at itself — both rejected.
+        let blob = SerializedBdd {
+            num_vars: 2,
+            order: vec![0, 1],
+            nodes: vec![(0, 3, 1), (1, 0, 1)],
+            root: 2,
+        };
+        let mut m = Manager::new(2);
+        assert_eq!(m.try_import(&blob), Err(ImportError::ForwardReference { node: 2, child: 3 }));
+        let blob =
+            SerializedBdd { num_vars: 2, order: vec![0, 1], nodes: vec![(0, 2, 1)], root: 2 };
+        assert_eq!(m.try_import(&blob), Err(ImportError::ForwardReference { node: 2, child: 2 }));
+    }
+
+    #[test]
+    fn adversarial_bad_root() {
+        let blob = SerializedBdd { num_vars: 1, order: vec![0], nodes: vec![], root: 5 };
+        let mut m = Manager::new(1);
+        assert_eq!(m.try_import(&blob), Err(ImportError::BadRoot { root: 5 }));
+    }
+
+    #[test]
+    fn adversarial_order_violation_and_unreduced() {
+        // Child branches on a variable *above* its parent in the declared
+        // order: structurally a DAG, but not an ordered BDD.
+        let blob = SerializedBdd {
+            num_vars: 2,
+            order: vec![0, 1],
+            nodes: vec![(0, 0, 1), (1, 2, 1)],
+            root: 3,
+        };
+        let mut m = Manager::new(2);
+        assert_eq!(m.try_import(&blob), Err(ImportError::OrderViolation { node: 3 }));
+        let blob = SerializedBdd { num_vars: 1, order: vec![0], nodes: vec![(0, 1, 1)], root: 2 };
+        assert_eq!(m.try_import(&blob), Err(ImportError::Unreduced { node: 2 }));
+    }
+
+    #[test]
+    fn import_errors_display() {
+        // Every variant renders a human-readable message (the server logs
+        // these verbatim).
+        let msgs = [
+            ImportError::TooManyVars { needed: 4, have: 2 }.to_string(),
+            ImportError::BadOrder.to_string(),
+            ImportError::VarOutOfRange { node: 2, var: 9 }.to_string(),
+            ImportError::ForwardReference { node: 2, child: 3 }.to_string(),
+            ImportError::OrderViolation { node: 2 }.to_string(),
+            ImportError::Unreduced { node: 2 }.to_string(),
+            ImportError::BadRoot { root: 9 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
     }
 
     #[test]

@@ -18,9 +18,14 @@
 //!   to current-state variables),
 //! * sat-counting, deterministic minterm picking and cube iteration,
 //! * mark-and-sweep garbage collection with stable node ids,
+//! * dynamic variable reordering — in-place adjacent-level swaps with
+//!   grouped Rudell sifting on top and an optional auto-reorder trigger
+//!   (`reorder.rs`); node ids and functions survive a reorder, only the
+//!   order (and the node count) changes,
 //! * a portable serialized DAG form ([`SerializedBdd`]) used to ship BDDs
 //!   between managers (e.g. to per-thread managers in the parallel Step 2 of
-//!   the lazy-repair algorithm).
+//!   the lazy-repair algorithm), recording the source variable order so
+//!   managers with diverged orders can still exchange functions.
 //!
 //! There are **no complemented edges**: plain canonical nodes keep invariants
 //! simple enough to property-test exhaustively against a truth-table oracle
@@ -45,14 +50,16 @@ mod node;
 mod ops;
 mod quant;
 mod rename;
+mod reorder;
 pub mod rng;
 mod sat;
 
-pub use dump::SerializedBdd;
+pub use dump::{ImportError, SerializedBdd};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use manager::{CacheCounter, CacheStats, Manager, ManagerStats};
 pub use node::{NodeId, FALSE, TRUE};
 pub use quant::VarSetId;
 pub use rename::VarMapId;
+pub use reorder::ReorderOutcome;
 pub use rng::SplitMix64;
 pub use sat::CubeIter;

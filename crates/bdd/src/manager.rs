@@ -45,6 +45,11 @@ impl<K: std::hash::Hash + Eq> MemoCache<K> {
         self.map.clear();
     }
 
+    fn retain(&mut self, keep: impl FnMut(&K, NodeId) -> bool) {
+        let mut keep = keep;
+        self.map.retain(|k, v| keep(k, *v));
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }
@@ -56,9 +61,11 @@ impl<K: std::hash::Hash + Eq> MemoCache<K> {
 
 /// Memoization caches for the recursive operations.
 ///
-/// All caches are cleared on garbage collection (a cached result may reference
-/// a dead node). Keys embed everything the result depends on, so the caches
-/// never need invalidation otherwise: nodes are immutable once created.
+/// Garbage collection drops exactly the entries that reference a dead node
+/// ([`Caches::retain_live`]); every surviving entry stays valid because a
+/// surviving `NodeId`'s *function* never changes — neither GC nor an
+/// in-place reorder rebinds a live slot. Keys embed everything the result
+/// depends on, so the caches never need invalidation otherwise.
 #[derive(Default)]
 pub(crate) struct Caches {
     /// `NOT f ↦ result`.
@@ -77,7 +84,21 @@ pub(crate) struct Caches {
 }
 
 impl Caches {
-    fn clear(&mut self) {
+    /// Drop every entry that references a node `live` rejects. Cached
+    /// results are function identities (`and(f, g) = h` holds under any
+    /// variable order, and the interned varset/varmap indices in the
+    /// quantification/rename keys are never recycled), so liveness of the
+    /// mentioned nodes is the *only* validity condition.
+    pub(crate) fn retain_live(&mut self, live: impl Fn(NodeId) -> bool) {
+        self.not.retain(|&f, v| live(f) && live(v));
+        self.apply.retain(|&(_, f, g), v| live(f) && live(g) && live(v));
+        self.ite.retain(|&(f, g, h), v| live(f) && live(g) && live(h) && live(v));
+        self.quant.retain(|&(_, f, _), v| live(f) && live(v));
+        self.and_exists.retain(|&(f, g, _), v| live(f) && live(g) && live(v));
+        self.rename.retain(|&(f, _), v| live(f) && live(v));
+    }
+
+    pub(crate) fn clear(&mut self) {
         self.not.clear();
         self.apply.clear();
         self.ite.clear();
@@ -156,6 +177,8 @@ impl CacheStats {
 pub struct ManagerStats {
     /// Live (allocated, not freed) internal nodes, excluding terminals.
     pub live_nodes: usize,
+    /// High-water mark of `live_nodes` over the manager's lifetime.
+    pub peak_live_nodes: usize,
     /// Total arena capacity ever allocated, excluding terminals.
     pub allocated_nodes: usize,
     /// Slots currently on the free list.
@@ -168,30 +191,72 @@ pub struct ManagerStats {
     pub unique_hits: u64,
     /// `mk` calls that created a fresh node.
     pub unique_misses: u64,
+    /// Completed [`Manager::reorder_sift`] runs.
+    pub reorder_runs: u64,
+    /// Adjacent-level swaps performed across all reorder runs.
+    pub reorder_swaps: u64,
+    /// Sift directions abandoned because the arena outgrew the max-growth
+    /// bound.
+    pub reorder_aborted: u64,
+    /// Live nodes right after the most recent reorder (0 if none ran).
+    pub post_reorder_nodes: usize,
 }
 
 /// A BDD manager owning the node arena for one variable order.
 ///
-/// Variables are identified by their *level* `0..num_vars` in the (fixed)
-/// order. All [`NodeId`]s returned by a manager are only valid with that
-/// manager; use [`crate::SerializedBdd`] to move functions between managers.
+/// Variables are identified by a stable *variable index* `0..num_vars`; the
+/// manager maintains a separate (mutable) level permutation so that dynamic
+/// reordering (see `reorder.rs`) can move variables without invalidating any
+/// caller-held index. Until a reorder runs, level `i` is variable `i`. All
+/// [`NodeId`]s returned by a manager are only valid with that manager; use
+/// [`crate::SerializedBdd`] to move functions between managers (it records
+/// the source order so managers with diverged orders can still exchange
+/// BDDs).
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
-    unique: FxHashMap<Node, NodeId>,
-    free: Vec<u32>,
+    pub(crate) unique: FxHashMap<Node, NodeId>,
+    pub(crate) free: Vec<u32>,
     num_vars: u32,
+    /// Level of each variable index (a permutation of `0..num_vars`).
+    pub(crate) var2level: Vec<u32>,
+    /// Variable index at each level (the inverse permutation).
+    pub(crate) level2var: Vec<u32>,
     pub(crate) caches: Caches,
     /// Externally protected roots (refcounted) that GC must keep alive.
-    protected: FxHashMap<NodeId, u32>,
-    /// Interned variable sets for quantification (see `quant.rs`).
+    pub(crate) protected: FxHashMap<NodeId, u32>,
+    /// Interned variable sets for quantification (see `quant.rs`), stored as
+    /// sorted variable indices — the order-independent interning identity.
     pub(crate) varsets: Vec<Vec<u32>>,
     varset_ids: FxHashMap<Vec<u32>, u32>,
-    /// Interned variable maps for renaming (see `rename.rs`).
+    /// Level-space view of each varset under the current order (sorted
+    /// ascending); rebuilt after every reorder.
+    pub(crate) varsets_lvl: Vec<Vec<u32>>,
+    /// Interned variable maps for renaming (see `rename.rs`), as variable
+    /// index pairs sorted by source index.
     pub(crate) varmaps: Vec<Vec<(u32, u32)>>,
     varmap_ids: FxHashMap<Vec<(u32, u32)>, u32>,
+    /// Level-space view of each varmap, sorted by source level; rebuilt (and
+    /// re-checked for order preservation) after every reorder.
+    pub(crate) varmaps_lvl: Vec<Vec<(u32, u32)>>,
     gc_runs: usize,
-    unique_hits: u64,
-    unique_misses: u64,
+    pub(crate) unique_hits: u64,
+    pub(crate) unique_misses: u64,
+    /// Live internal nodes, maintained incrementally by `mk`/GC/reorder.
+    pub(crate) live_count: usize,
+    /// High-water mark of `live_count`.
+    pub(crate) peak_live: usize,
+    /// Sift groups (variable indices occupying contiguous levels); empty
+    /// means every variable sifts alone. See [`Manager::set_reorder_groups`].
+    pub(crate) groups: Vec<Vec<u32>>,
+    /// Armed auto-reorder trigger, if any (see [`Manager::set_auto_reorder`]).
+    pub(crate) auto_reorder: Option<crate::reorder::AutoReorder>,
+    /// Sifting abandons a direction once the arena exceeds this factor of its
+    /// size at the start of the current block's sift.
+    pub(crate) max_growth: f64,
+    pub(crate) reorder_runs: u64,
+    pub(crate) reorder_swaps: u64,
+    pub(crate) reorder_aborted: u64,
+    pub(crate) post_reorder_nodes: usize,
 }
 
 impl Manager {
@@ -201,22 +266,35 @@ impl Manager {
         let mut nodes = Vec::with_capacity(1024);
         // Terminal nodes occupy slots 0 and 1; their children are self-loops
         // that no traversal ever follows (guarded by `is_terminal`).
-        nodes.push(Node { level: TERMINAL_LEVEL, lo: FALSE, hi: FALSE });
-        nodes.push(Node { level: TERMINAL_LEVEL, lo: TRUE, hi: TRUE });
+        nodes.push(Node { var: TERMINAL_LEVEL, lo: FALSE, hi: FALSE });
+        nodes.push(Node { var: TERMINAL_LEVEL, lo: TRUE, hi: TRUE });
         Manager {
             nodes,
             unique: FxHashMap::default(),
             free: Vec::new(),
             num_vars,
+            var2level: (0..num_vars).collect(),
+            level2var: (0..num_vars).collect(),
             caches: Caches::default(),
             protected: FxHashMap::default(),
             varsets: Vec::new(),
             varset_ids: FxHashMap::default(),
+            varsets_lvl: Vec::new(),
             varmaps: Vec::new(),
             varmap_ids: FxHashMap::default(),
+            varmaps_lvl: Vec::new(),
             gc_runs: 0,
             unique_hits: 0,
             unique_misses: 0,
+            live_count: 0,
+            peak_live: 0,
+            groups: Vec::new(),
+            auto_reorder: None,
+            max_growth: crate::reorder::DEFAULT_MAX_GROWTH,
+            reorder_runs: 0,
+            reorder_swaps: 0,
+            reorder_aborted: 0,
+            post_reorder_nodes: 0,
         }
     }
 
@@ -226,17 +304,35 @@ impl Manager {
         self.num_vars
     }
 
-    /// Grow the variable universe (levels are append-only; existing BDDs are
-    /// unaffected because new levels sort below all existing nodes).
+    /// Grow the variable universe (new variables enter at the bottom of the
+    /// current order; existing BDDs are unaffected because the new levels
+    /// sort below all existing nodes).
     pub fn add_vars(&mut self, extra: u32) {
-        self.num_vars += extra;
+        for _ in 0..extra {
+            let v = self.num_vars;
+            self.var2level.push(v);
+            self.level2var.push(v);
+            self.num_vars += 1;
+        }
     }
 
-    /// The level of a node's branching variable (`TERMINAL_LEVEL` for
-    /// terminals).
+    /// The current level of a node's branching variable (`TERMINAL_LEVEL`
+    /// for terminals).
     #[inline]
     pub(crate) fn level(&self, f: NodeId) -> u32 {
-        self.nodes[f.0 as usize].level
+        let v = self.nodes[f.0 as usize].var;
+        if v == TERMINAL_LEVEL {
+            TERMINAL_LEVEL
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    /// The branching variable index of a node (`TERMINAL_LEVEL` for
+    /// terminals). Stable across reorders.
+    #[inline]
+    pub(crate) fn var_of(&self, f: NodeId) -> u32 {
+        self.nodes[f.0 as usize].var
     }
 
     /// Low (else) child. Caller must ensure `f` is internal.
@@ -251,8 +347,9 @@ impl Manager {
         self.nodes[f.0 as usize].hi
     }
 
-    /// Hash-consing constructor: the unique canonical node for
-    /// `if var(level) then hi else lo`.
+    /// Hash-consing constructor in **level space**: the unique canonical node
+    /// branching at the current `level`. The recursive ops work on levels
+    /// (order-dependent) while nodes store the stable variable index.
     #[inline]
     pub(crate) fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
         debug_assert!(level < self.num_vars, "level {level} out of range");
@@ -260,7 +357,30 @@ impl Manager {
             return lo; // reduction rule
         }
         debug_assert!(level < self.level(lo) && level < self.level(hi), "order violation");
-        let node = Node { level, lo, hi };
+        let node = Node { var: self.level2var[level as usize], lo, hi };
+        self.hash_cons(node)
+    }
+
+    /// Hash-consing constructor in **variable space** (for callers that hold
+    /// stable variable indices: `var`, `cube`, import, reorder).
+    #[inline]
+    pub(crate) fn mk_var(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        debug_assert!(var < self.num_vars, "variable {var} out of range");
+        if lo == hi {
+            return lo; // reduction rule
+        }
+        debug_assert!(
+            {
+                let l = self.var2level[var as usize];
+                l < self.level(lo) && l < self.level(hi)
+            },
+            "order violation"
+        );
+        self.hash_cons(Node { var, lo, hi })
+    }
+
+    #[inline]
+    fn hash_cons(&mut self, node: Node) -> NodeId {
         if let Some(&id) = self.unique.get(&node) {
             self.unique_hits += 1;
             return id;
@@ -278,21 +398,26 @@ impl Manager {
             }
         };
         self.unique.insert(node, id);
+        self.live_count += 1;
+        if self.live_count > self.peak_live {
+            self.peak_live = self.live_count;
+        }
         id
     }
 
-    /// The function `var(level)` — true iff variable `level` is true.
-    pub fn var(&mut self, level: u32) -> NodeId {
-        self.mk(level, FALSE, TRUE)
+    /// The function `var(v)` — true iff variable `v` is true. The index is
+    /// stable across reorders.
+    pub fn var(&mut self, v: u32) -> NodeId {
+        self.mk_var(v, FALSE, TRUE)
     }
 
-    /// The function `¬var(level)`.
-    pub fn nvar(&mut self, level: u32) -> NodeId {
-        self.mk(level, TRUE, FALSE)
+    /// The function `¬var(v)`.
+    pub fn nvar(&mut self, v: u32) -> NodeId {
+        self.mk_var(v, TRUE, FALSE)
     }
 
-    /// The conjunction of literals described by `(level, positive)` pairs.
-    /// Pairs may be in any order; duplicate levels must agree (conflicting
+    /// The conjunction of literals described by `(variable, positive)` pairs.
+    /// Pairs may be in any order; duplicate variables must agree (conflicting
     /// literals yield `FALSE`).
     pub fn cube(&mut self, literals: &[(u32, bool)]) -> NodeId {
         let mut lits: Vec<(u32, bool)> = literals.to_vec();
@@ -303,9 +428,11 @@ impl Manager {
             }
         }
         lits.dedup();
+        // Build bottom-up in the *current* order: deepest level first.
+        lits.sort_unstable_by_key(|&(v, _)| self.var2level[v as usize]);
         let mut acc = TRUE;
-        for &(level, pos) in lits.iter().rev() {
-            acc = if pos { self.mk(level, FALSE, acc) } else { self.mk(level, acc, FALSE) };
+        for &(v, pos) in lits.iter().rev() {
+            acc = if pos { self.mk_var(v, FALSE, acc) } else { self.mk_var(v, acc, FALSE) };
         }
         acc
     }
@@ -346,7 +473,10 @@ impl Manager {
     ///
     /// Keeps every node reachable from `roots` or from a
     /// [`Manager::protect`]ed root; all other slots go to the free list and
-    /// node ids of survivors remain stable. All memo caches are cleared.
+    /// node ids of survivors remain stable. Memo entries touching a dead
+    /// node are dropped; the rest stay (see [`Caches::retain_live`]), so a
+    /// GC mid-fixpoint does not force the next iteration to recompute
+    /// everything from scratch.
     pub fn gc<I: IntoIterator<Item = NodeId>>(&mut self, roots: I) {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -376,7 +506,8 @@ impl Manager {
                 self.free.push(idx as u32);
             }
         }
-        self.caches.clear();
+        self.live_count = self.nodes.len() - 2 - self.free.len();
+        self.caches.retain_live(|f| marked[f.0 as usize]);
         self.gc_runs += 1;
     }
 
@@ -399,6 +530,16 @@ impl Manager {
     /// to live slots. Panics with a description on the first violation.
     /// O(arena size); meant for tests and debugging, not hot paths.
     pub fn check_integrity(&self) {
+        assert_eq!(self.var2level.len(), self.num_vars as usize, "var2level length");
+        assert_eq!(self.level2var.len(), self.num_vars as usize, "level2var length");
+        for v in 0..self.num_vars {
+            let l = self.var2level[v as usize];
+            assert!(l < self.num_vars, "variable {v} mapped to level {l} out of range");
+            assert_eq!(
+                self.level2var[l as usize], v,
+                "var2level and level2var are not inverse permutations at variable {v}"
+            );
+        }
         let free: crate::hash::FxHashSet<u32> = self.free.iter().copied().collect();
         assert_eq!(free.len(), self.free.len(), "duplicate slots on the free list");
         for idx in 2..self.nodes.len() {
@@ -408,7 +549,8 @@ impl Manager {
             }
             let node = self.nodes[idx];
             assert!(node.lo != node.hi, "unreduced node {id:?}");
-            assert!(node.level < self.num_vars, "node {id:?} level out of range");
+            assert!(node.var < self.num_vars, "node {id:?} variable out of range");
+            let level = self.var2level[node.var as usize];
             for child in [node.lo, node.hi] {
                 assert!(
                     (child.0 as usize) < self.nodes.len(),
@@ -416,9 +558,9 @@ impl Manager {
                 );
                 assert!(!free.contains(&child.0), "node {id:?} points to freed slot {child:?}");
                 assert!(
-                    node.level < self.level(child),
+                    level < self.level(child),
                     "order violation at {id:?}: level {} !< child {}",
-                    node.level,
+                    level,
                     self.level(child)
                 );
             }
@@ -433,6 +575,23 @@ impl Manager {
             self.nodes.len() - 2 - self.free.len(),
             "unique table size does not match live node count"
         );
+        assert_eq!(
+            self.live_count,
+            self.nodes.len() - 2 - self.free.len(),
+            "incremental live counter out of sync"
+        );
+        // Order-derived views of the interned sets/maps must match a fresh
+        // recomputation under the current order.
+        for (i, vars) in self.varsets.iter().enumerate() {
+            assert_eq!(self.varsets_lvl[i], self.levels_of(vars), "stale varset level view {i}");
+        }
+        for (i, pairs) in self.varmaps.iter().enumerate() {
+            assert_eq!(
+                self.varmaps_lvl[i],
+                self.varmap_levels(pairs),
+                "stale varmap level view {i}"
+            );
+        }
     }
 
     /// Per-cache hit/miss snapshot across all six op caches and the unique
@@ -457,57 +616,101 @@ impl Manager {
     pub fn stats(&self) -> ManagerStats {
         ManagerStats {
             live_nodes: self.nodes.len() - 2 - self.free.len(),
+            peak_live_nodes: self.peak_live,
             allocated_nodes: self.nodes.len() - 2,
             free_nodes: self.free.len(),
             cache_entries: self.caches.len(),
             gc_runs: self.gc_runs,
             unique_hits: self.unique_hits,
             unique_misses: self.unique_misses,
+            reorder_runs: self.reorder_runs,
+            reorder_swaps: self.reorder_swaps,
+            reorder_aborted: self.reorder_aborted,
+            post_reorder_nodes: self.post_reorder_nodes,
         }
     }
 
-    /// Intern a set of variable levels for quantification; sorted and deduped.
-    pub fn varset(&mut self, levels: &[u32]) -> crate::quant::VarSetId {
-        let mut vs: Vec<u32> = levels.to_vec();
+    /// The current levels of a list of variable indices, sorted ascending.
+    pub(crate) fn levels_of(&self, vars: &[u32]) -> Vec<u32> {
+        let mut levels: Vec<u32> = vars.iter().map(|&v| self.var2level[v as usize]).collect();
+        levels.sort_unstable();
+        levels
+    }
+
+    /// Level-space view of a variable map under the current order, sorted by
+    /// source level. Asserts order preservation — the property that makes
+    /// renaming a single linear rebuild. Grouped sifting (pairs move as one
+    /// block) keeps every current/next map order-preserving by construction.
+    pub(crate) fn varmap_levels(&self, pairs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let mut lvl: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|&(from, to)| (self.var2level[from as usize], self.var2level[to as usize]))
+            .collect();
+        lvl.sort_unstable();
+        for w in lvl.windows(2) {
+            assert!(w[0].1 < w[1].1, "variable map is not order-preserving");
+        }
+        lvl
+    }
+
+    /// Rebuild the level-space views of all interned varsets and varmaps —
+    /// called after a reorder changed `var2level`.
+    pub(crate) fn rebuild_order_views(&mut self) {
+        for i in 0..self.varsets.len() {
+            self.varsets_lvl[i] = self.levels_of(&self.varsets[i]);
+        }
+        for i in 0..self.varmaps.len() {
+            self.varmaps_lvl[i] = self.varmap_levels(&self.varmaps[i]);
+        }
+    }
+
+    /// Intern a set of variable indices for quantification; sorted and
+    /// deduped.
+    pub fn varset(&mut self, vars: &[u32]) -> crate::quant::VarSetId {
+        let mut vs: Vec<u32> = vars.to_vec();
         vs.sort_unstable();
         vs.dedup();
         for &v in &vs {
-            assert!(v < self.num_vars, "varset level {v} out of range");
+            assert!(v < self.num_vars, "varset variable {v} out of range");
         }
         if let Some(&id) = self.varset_ids.get(&vs) {
             return crate::quant::VarSetId(id);
         }
         let id = self.varsets.len() as u32;
+        let lvl = self.levels_of(&vs);
         self.varsets.push(vs.clone());
+        self.varsets_lvl.push(lvl);
         self.varset_ids.insert(vs, id);
         crate::quant::VarSetId(id)
     }
 
-    /// The levels of an interned variable set (sorted ascending).
+    /// The variable indices of an interned variable set (sorted ascending).
     pub fn varset_levels(&self, vs: crate::quant::VarSetId) -> &[u32] {
         &self.varsets[vs.0 as usize]
     }
 
     /// Intern an **order-preserving** variable map `from → to` for renaming.
     ///
-    /// Order preservation (`from` ascending ⇒ `to` ascending) is what makes
-    /// renaming a single linear rebuild; it is asserted here.
+    /// Order preservation (`from` before `to` in the current order, pairwise
+    /// consistently) is what makes renaming a single linear rebuild; it is
+    /// asserted here and re-asserted after every reorder.
     pub fn varmap(&mut self, pairs: &[(u32, u32)]) -> crate::rename::VarMapId {
         let mut map: Vec<(u32, u32)> = pairs.to_vec();
         map.sort_unstable();
         map.dedup();
         for w in map.windows(2) {
-            assert!(w[0].0 != w[1].0, "duplicate source level {}", w[0].0);
-            assert!(w[0].1 < w[1].1, "variable map is not order-preserving");
+            assert!(w[0].0 != w[1].0, "duplicate source variable {}", w[0].0);
         }
         for &(from, to) in &map {
-            assert!(from < self.num_vars && to < self.num_vars, "varmap level out of range");
+            assert!(from < self.num_vars && to < self.num_vars, "varmap variable out of range");
         }
+        let lvl = self.varmap_levels(&map);
         if let Some(&id) = self.varmap_ids.get(&map) {
             return crate::rename::VarMapId(id);
         }
         let id = self.varmaps.len() as u32;
         self.varmaps.push(map.clone());
+        self.varmaps_lvl.push(lvl);
         self.varmap_ids.insert(map, id);
         crate::rename::VarMapId(id)
     }

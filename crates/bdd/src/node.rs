@@ -14,8 +14,9 @@ pub const FALSE: NodeId = NodeId(0);
 /// The constant-`true` BDD (terminal node `1`).
 pub const TRUE: NodeId = NodeId(1);
 
-/// Sentinel level for the two terminal nodes; greater than any variable
-/// level, so `min(level(f), level(g))` naturally picks the branching variable.
+/// Sentinel level (and variable index) for the two terminal nodes; greater
+/// than any variable level, so `min(level(f), level(g))` naturally picks the
+/// branching variable.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 impl NodeId {
@@ -42,15 +43,21 @@ impl std::fmt::Debug for NodeId {
     }
 }
 
-/// An internal decision node: `ite(var(level), hi, lo)`.
+/// An internal decision node: `ite(var, hi, lo)`.
+///
+/// Nodes store the branching **variable index**, not its level: dynamic
+/// reordering (see `reorder.rs`) moves variables between levels, and the
+/// indirection through `Manager::var2level` is what lets untouched nodes keep
+/// their identity across a swap.
 ///
 /// Invariants maintained by [`crate::Manager::mk`]:
 /// * `lo != hi` (reduced),
-/// * `level < level(lo)` and `level < level(hi)` (ordered),
-/// * at most one node per `(level, lo, hi)` triple (hash-consed).
+/// * `level(var) < level(lo)` and `level(var) < level(hi)` (ordered under the
+///   manager's current variable order),
+/// * at most one node per `(var, lo, hi)` triple (hash-consed).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct Node {
-    pub level: u32,
+    pub var: u32,
     pub lo: NodeId,
     pub hi: NodeId,
 }

@@ -1,0 +1,659 @@
+//! Dynamic variable reordering: in-place adjacent-level swap and Rudell's
+//! sifting.
+//!
+//! The swap primitive exchanges two adjacent levels by rewriting only the
+//! nodes of the *upper* level that actually depend on the lower one, **in
+//! place**: a rewritten slot keeps its `NodeId` and its function, so every
+//! caller-held handle stays valid. Nodes of the lower level and everything
+//! above/below the swapped pair are untouched. Canonicity makes the rewrite
+//! collision-free: a rewritten node's function depends on the upper variable,
+//! so it can never coincide with a pre-existing node of the lower level.
+//!
+//! Sifting (Rudell 1993) moves one variable — here, one *block* of variables
+//! — through every level position via adjacent swaps, records the arena size
+//! at each stop, and parks it at the best position found. Blocks are sifted
+//! largest-population-first, and a direction is abandoned once the arena
+//! outgrows a configurable factor of its starting size.
+//!
+//! Blocks exist because the symbolic layer interleaves current/next state
+//! bits: `image`/`preimage` renaming is a single linear rebuild only while
+//! each `(current, next)` pair occupies adjacent levels, so the pair must
+//! move as a unit ([`Manager::set_reorder_groups`]).
+//!
+//! Reordering must never interleave with an in-flight recursive operation:
+//! the op caches and every local `level` variable in `ops.rs`/`quant.rs`
+//! assume a frozen order. Callers therefore invoke
+//! [`Manager::maybe_reorder`] only at quiescent points — the repair
+//! algorithms use the same loop boundaries where `cancel::Token` is polled.
+
+use crate::manager::Manager;
+use crate::node::{Node, NodeId};
+
+/// Default max-growth factor for sifting: a direction is abandoned once the
+/// arena exceeds this multiple of its size when the block's sift began.
+pub(crate) const DEFAULT_MAX_GROWTH: f64 = 1.2;
+
+/// Armed auto-reorder trigger (see [`Manager::set_auto_reorder`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AutoReorder {
+    /// Fire the next reorder when the live-node count reaches this.
+    pub threshold: usize,
+    /// Configured floor the threshold never drops below.
+    pub initial: usize,
+}
+
+/// Summary of one [`Manager::reorder_sift`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderOutcome {
+    /// Adjacent-level swaps performed.
+    pub swaps: u64,
+    /// Sift directions abandoned by the max-growth bound.
+    pub aborted: u64,
+    /// Live nodes entering the run (after the initial GC).
+    pub nodes_before: usize,
+    /// Live nodes leaving the run.
+    pub nodes_after: usize,
+}
+
+/// Transient bookkeeping that exists only while a reorder runs.
+///
+/// The arena has no reference counts in normal operation (GC is
+/// mark-and-sweep); a reorder builds an in-degree census once, maintains it
+/// through every swap so nodes orphaned by a rewrite are freed eagerly, and
+/// throws it away at the end. Slots freed mid-run go to `freed`, not the
+/// manager's free list: the per-variable slot lists may still mention them,
+/// so they must not be recycled until the run completes.
+struct Workspace {
+    /// In-degree of each slot from live parents, plus one per external root
+    /// or protected entry. A live node's count reaching zero frees it.
+    refs: Vec<u32>,
+    /// Slots freed during this run (skipped lazily in `by_var`).
+    dead: Vec<bool>,
+    /// Live slots per variable index.
+    by_var: Vec<Vec<u32>>,
+    /// Slots freed during this run, handed to the manager's free list at the
+    /// end.
+    freed: Vec<u32>,
+    swaps: u64,
+}
+
+impl Workspace {
+    #[inline]
+    fn inc(&mut self, f: NodeId) {
+        if !f.is_terminal() {
+            self.refs[f.0 as usize] += 1;
+        }
+    }
+}
+
+impl Manager {
+    /// The current variable order: `order[level] = variable index`.
+    pub fn current_order(&self) -> Vec<u32> {
+        self.level2var.clone()
+    }
+
+    /// Arm (or disarm, with `None`) the auto-reorder trigger:
+    /// [`Manager::maybe_reorder`] sifts once the live-node count reaches the
+    /// threshold, then re-arms at twice the post-sift size (never below the
+    /// configured initial threshold), so each subsequent trigger requires the
+    /// arena to double again.
+    pub fn set_auto_reorder(&mut self, threshold: Option<usize>) {
+        self.auto_reorder = threshold.map(|t| {
+            let t = t.max(16);
+            AutoReorder { threshold: t, initial: t }
+        });
+    }
+
+    /// Set the sifting max-growth factor (default 1.2). Must be ≥ 1.
+    pub fn set_reorder_max_growth(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "max-growth factor must be at least 1");
+        self.max_growth = factor;
+    }
+
+    /// Declare groups of variables that sift as one block. Each group must be
+    /// disjoint from the others and occupy contiguous levels in the current
+    /// order; variables in no group sift alone. The symbolic layer groups
+    /// every `(current, next)` bit pair so renaming stays order-preserving.
+    pub fn set_reorder_groups(&mut self, groups: &[Vec<u32>]) {
+        let mut seen = vec![false; self.num_vars() as usize];
+        for group in groups {
+            assert!(!group.is_empty(), "empty reorder group");
+            for &v in group {
+                assert!(v < self.num_vars(), "reorder group variable {v} out of range");
+                assert!(!seen[v as usize], "variable {v} appears in two reorder groups");
+                seen[v as usize] = true;
+            }
+            let levels = self.levels_of(group);
+            for w in levels.windows(2) {
+                assert!(w[1] == w[0] + 1, "reorder group is not contiguous in the current order");
+            }
+        }
+        self.groups = groups.to_vec();
+    }
+
+    /// Fire the auto-reorder trigger if it is armed and the live-node count
+    /// has reached its threshold. `roots` must cover every external
+    /// `NodeId` the caller intends to use again that is not covered by
+    /// [`Manager::protect`]; anything unreachable from them is garbage.
+    ///
+    /// Arena growth during a fixpoint is usually *garbage* — dead
+    /// intermediates no operation will touch again — so the trigger
+    /// collects first, and pays for a sift only when the collection alone
+    /// did not bring the arena back under the threshold (growth in the
+    /// functions themselves, which a better order can actually shrink).
+    /// Either way it re-arms at twice the surviving size, never below the
+    /// configured floor.
+    pub fn maybe_reorder(&mut self, roots: &[NodeId]) -> Option<ReorderOutcome> {
+        let ar = self.auto_reorder?;
+        if self.live_count < ar.threshold {
+            return None;
+        }
+        self.gc(roots.iter().copied());
+        let out =
+            if self.live_count >= ar.threshold { Some(self.reorder_sift(roots)) } else { None };
+        let surviving = self.live_count;
+        if let Some(ar) = &mut self.auto_reorder {
+            ar.threshold = (2 * surviving).max(ar.initial);
+        }
+        out
+    }
+
+    /// One full sifting pass (Rudell): GC down to `roots` ∪ protected, then
+    /// move each block of variables — largest level population first — to
+    /// its locally optimal position. Node ids of surviving nodes are stable
+    /// and every function is preserved; only the order (and therefore the
+    /// node *count*) changes. Op-cache entries touching a freed slot are
+    /// dropped; the rest remain valid (cached results are function
+    /// identities, independent of the order).
+    pub fn reorder_sift(&mut self, roots: &[NodeId]) -> ReorderOutcome {
+        // Start from a garbage-free arena: dead nodes would distort both the
+        // census and the size signal sifting minimizes. The GC also clears
+        // the op caches, which may hold ids about to be freed.
+        self.gc(roots.iter().copied());
+        let before = self.live_count;
+        let mut ws = self.census(roots);
+        let mut blocks = self.build_blocks();
+
+        // Sift order: blocks by live-node population, largest first.
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        let population = |b: &Vec<u32>, ws: &Workspace| -> usize {
+            b.iter().map(|&v| ws.by_var[v as usize].len()).sum()
+        };
+        order.sort_by_key(|&i| std::cmp::Reverse(population(&blocks[i], &ws)));
+        // Blocks move while sifting, so track each target by its lead
+        // variable, not by position.
+        let targets: Vec<u32> = order.iter().map(|&i| blocks[i][0]).collect();
+
+        let mut aborted = 0u64;
+        for lead in targets {
+            let pos = blocks.iter().position(|b| b[0] == lead).expect("block vanished");
+            aborted += self.sift_block(&mut blocks, pos, &mut ws);
+        }
+
+        // Recycle slots freed during the run and refresh order-derived state.
+        self.free.append(&mut ws.freed);
+        self.live_count = self.nodes.len() - 2 - self.free.len();
+        self.rebuild_order_views();
+        // Memo entries are function identities, and surviving slots keep
+        // their function through a reorder — only entries touching a slot
+        // freed during the run are stale.
+        self.caches.retain_live(|f| !ws.dead[f.0 as usize]);
+
+        self.reorder_runs += 1;
+        self.reorder_swaps += ws.swaps;
+        self.reorder_aborted += aborted;
+        self.post_reorder_nodes = self.live_count;
+        ReorderOutcome {
+            swaps: ws.swaps,
+            aborted,
+            nodes_before: before,
+            nodes_after: self.live_count,
+        }
+    }
+
+    /// Build the in-degree census and per-variable slot lists over the
+    /// (garbage-free) arena.
+    fn census(&self, roots: &[NodeId]) -> Workspace {
+        let n = self.nodes.len();
+        let mut refs = vec![0u32; n];
+        let mut dead = vec![false; n];
+        for &slot in &self.free {
+            dead[slot as usize] = true;
+        }
+        let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); self.num_vars() as usize];
+        for (idx, &node) in self.nodes.iter().enumerate().skip(2) {
+            if dead[idx] {
+                continue;
+            }
+            by_var[node.var as usize].push(idx as u32);
+            for child in [node.lo, node.hi] {
+                if !child.is_terminal() {
+                    refs[child.0 as usize] += 1;
+                }
+            }
+        }
+        for &r in roots {
+            if !r.is_terminal() {
+                refs[r.0 as usize] += 1;
+            }
+        }
+        for &r in self.protected.keys() {
+            if !r.is_terminal() {
+                refs[r.0 as usize] += 1;
+            }
+        }
+        Workspace { refs, dead, by_var, freed: Vec::new(), swaps: 0 }
+    }
+
+    /// The block sequence in current level order: declared groups move as
+    /// units, every other variable is a singleton. Inner vectors list the
+    /// block's variables top-to-bottom.
+    fn build_blocks(&self) -> Vec<Vec<u32>> {
+        let mut group_of = vec![usize::MAX; self.num_vars() as usize];
+        for (gi, group) in self.groups.iter().enumerate() {
+            for &v in group {
+                group_of[v as usize] = gi;
+            }
+        }
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut level = 0u32;
+        while level < self.num_vars() {
+            let v = self.level2var[level as usize];
+            let gi = group_of[v as usize];
+            if gi == usize::MAX {
+                blocks.push(vec![v]);
+                level += 1;
+            } else {
+                let group = &self.groups[gi];
+                let levels = self.levels_of(group);
+                assert!(
+                    levels[0] == level && *levels.last().unwrap() == level + group.len() as u32 - 1,
+                    "reorder group no longer contiguous"
+                );
+                let mut vars: Vec<u32> = group.clone();
+                vars.sort_unstable_by_key(|&v| self.var2level[v as usize]);
+                level += vars.len() as u32;
+                blocks.push(vars);
+            }
+        }
+        blocks
+    }
+
+    /// Sift the block at position `p` to its best position; returns how many
+    /// directions the max-growth bound cut short.
+    fn sift_block(&mut self, blocks: &mut [Vec<u32>], mut p: usize, ws: &mut Workspace) -> u64 {
+        let start = self.live_count;
+        let limit = ((start as f64) * self.max_growth).ceil() as usize + 16;
+        let mut best_size = start;
+        let mut best_pos = p;
+        let mut aborts = 0u64;
+        // Downward pass.
+        while p + 1 < blocks.len() {
+            self.swap_blocks(blocks, p, ws);
+            p += 1;
+            if self.live_count < best_size {
+                best_size = self.live_count;
+                best_pos = p;
+            }
+            if self.live_count > limit {
+                aborts += 1;
+                break;
+            }
+        }
+        // Upward pass, passing back through the start position.
+        while p > 0 {
+            self.swap_blocks(blocks, p - 1, ws);
+            p -= 1;
+            if self.live_count < best_size {
+                best_size = self.live_count;
+                best_pos = p;
+            }
+            if self.live_count > limit {
+                aborts += 1;
+                break;
+            }
+        }
+        // Park at the best position seen.
+        while p < best_pos {
+            self.swap_blocks(blocks, p, ws);
+            p += 1;
+        }
+        while p > best_pos {
+            self.swap_blocks(blocks, p - 1, ws);
+            p -= 1;
+        }
+        debug_assert_eq!(
+            self.live_count, best_size,
+            "returning to a seen position must reproduce its size"
+        );
+        aborts
+    }
+
+    /// Exchange adjacent blocks at positions `p` and `p + 1` by bubbling each
+    /// lower-block variable up through the upper block (`m·n` adjacent
+    /// swaps). Relative order *within* each block is preserved.
+    fn swap_blocks(&mut self, blocks: &mut [Vec<u32>], p: usize, ws: &mut Workspace) {
+        let m = blocks[p].len() as u32;
+        let n = blocks[p + 1].len() as u32;
+        let top = self.var2level[blocks[p][0] as usize];
+        for i in 0..n {
+            let from = top + m + i;
+            let to = top + i;
+            let mut l = from;
+            while l > to {
+                self.swap_adjacent(l - 1, ws);
+                l -= 1;
+            }
+        }
+        blocks.swap(p, p + 1);
+    }
+
+    /// Exchange levels `l` and `l + 1`.
+    ///
+    /// Writing `x` for the variable at level `l` and `y` for the one below:
+    /// only x-nodes with a y-child change. Such a node `(x, lo, hi)` encodes
+    /// the Shannon expansion over `(x, y)` with cofactors `f00, f01, f10,
+    /// f11`; the same function expanded over `(y, x)` is
+    /// `(y, (x, f00, f10), (x, f01, f11))`, which is written back **into the
+    /// same slot** so the node's id and function survive. x-nodes without a
+    /// y-child, all y-nodes, and everything else keep their meaning because
+    /// node identity is the stable variable index, not the level.
+    fn swap_adjacent(&mut self, l: u32, ws: &mut Workspace) {
+        ws.swaps += 1;
+        let x = self.level2var[l as usize];
+        let y = self.level2var[l as usize + 1];
+        // Exchange the two levels in the order maps up front; the surgery
+        // below works purely on variable indices.
+        self.level2var.swap(l as usize, l as usize + 1);
+        self.var2level[x as usize] = l + 1;
+        self.var2level[y as usize] = l;
+
+        // Partition the x-nodes: nodes without a y-child are untouched.
+        let xs = std::mem::take(&mut ws.by_var[x as usize]);
+        let mut keep: Vec<u32> = Vec::with_capacity(xs.len());
+        let mut rewrite: Vec<u32> = Vec::new();
+        for slot in xs {
+            if ws.dead[slot as usize] {
+                continue;
+            }
+            let node = self.nodes[slot as usize];
+            debug_assert_eq!(node.var, x);
+            let lo_y = self.nodes[node.lo.0 as usize].var == y;
+            let hi_y = self.nodes[node.hi.0 as usize].var == y;
+            if lo_y || hi_y {
+                rewrite.push(slot);
+            } else {
+                keep.push(slot);
+            }
+        }
+        // Every node to be rewritten leaves the unique table before any
+        // rewrite runs, so hash-consing during the rewrite can never resolve
+        // to a stale pre-swap entry.
+        for &slot in &rewrite {
+            self.unique.remove(&self.nodes[slot as usize]);
+        }
+        ws.by_var[x as usize] = keep;
+
+        for slot in rewrite {
+            let Node { lo, hi, .. } = self.nodes[slot as usize];
+            let lo_node = self.nodes[lo.0 as usize];
+            let hi_node = self.nodes[hi.0 as usize];
+            let (f00, f01) = if lo_node.var == y { (lo_node.lo, lo_node.hi) } else { (lo, lo) };
+            let (f10, f11) = if hi_node.var == y { (hi_node.lo, hi_node.hi) } else { (hi, hi) };
+            let n0 = self.swap_mk(x, f00, f10, ws);
+            let n1 = self.swap_mk(x, f01, f11, ws);
+            // n0 == n1 would need lo and hi to share both cofactor pairs,
+            // which contradicts this node being in the rewrite set.
+            debug_assert_ne!(n0, n1, "rewritten node would be unreduced");
+            ws.inc(n0);
+            ws.inc(n1);
+            let new_node = Node { var: y, lo: n0, hi: n1 };
+            self.nodes[slot as usize] = new_node;
+            self.unique.insert(new_node, NodeId(slot));
+            ws.by_var[y as usize].push(slot);
+            // Release the old children only after the new ones are held, so
+            // shared structure never dips to zero in between.
+            self.dec_ref(lo, ws);
+            self.dec_ref(hi, ws);
+        }
+    }
+
+    /// Hash-consing constructor used during a swap: like `mk_var`, but it
+    /// maintains the transient refcounts and per-variable lists.
+    fn swap_mk(&mut self, var: u32, lo: NodeId, hi: NodeId, ws: &mut Workspace) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            self.unique_hits += 1;
+            return id;
+        }
+        self.unique_misses += 1;
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                NodeId(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices");
+                self.nodes.push(node);
+                ws.refs.push(0);
+                ws.dead.push(false);
+                NodeId(slot)
+            }
+        };
+        let idx = id.0 as usize;
+        ws.refs[idx] = 0;
+        ws.dead[idx] = false;
+        self.unique.insert(node, id);
+        ws.inc(lo);
+        ws.inc(hi);
+        ws.by_var[var as usize].push(id.0);
+        self.live_count += 1;
+        if self.live_count > self.peak_live {
+            self.peak_live = self.live_count;
+        }
+        id
+    }
+
+    /// Drop one reference from `f`; frees it (and cascades into its
+    /// children) when the count reaches zero. Roots and protected nodes hold
+    /// an external reference, so they can never be freed here.
+    fn dec_ref(&mut self, f: NodeId, ws: &mut Workspace) {
+        if f.is_terminal() {
+            return;
+        }
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            let idx = g.0 as usize;
+            debug_assert!(ws.refs[idx] > 0, "refcount underflow at {g:?}");
+            ws.refs[idx] -= 1;
+            if ws.refs[idx] == 0 {
+                let node = self.nodes[idx];
+                self.unique.remove(&node);
+                ws.dead[idx] = true;
+                ws.freed.push(g.0);
+                self.live_count -= 1;
+                if !node.lo.is_terminal() {
+                    stack.push(node.lo);
+                }
+                if !node.hi.is_terminal() {
+                    stack.push(node.hi);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FALSE, TRUE};
+
+    /// A function whose size is extremely order-sensitive:
+    /// `(x0 ∧ x_n) ∨ (x1 ∧ x_{n+1}) ∨ …` — linear when pairs are adjacent,
+    /// exponential when the two halves are separated.
+    fn pairing_function(m: &mut Manager, pairs: u32) -> NodeId {
+        let mut f = FALSE;
+        for i in 0..pairs {
+            let a = m.var(i);
+            let b = m.var(pairs + i);
+            let ab = m.and(a, b);
+            f = m.or(f, ab);
+        }
+        f
+    }
+
+    #[test]
+    fn sift_shrinks_pairing_function() {
+        let mut m = Manager::new(16);
+        let f = pairing_function(&mut m, 8);
+        m.gc([f]);
+        let before = m.stats().live_nodes;
+        let truth: Vec<bool> = (0..1u32 << 16)
+            .step_by(257) // sparse sample of the truth table
+            .map(|bits| {
+                let a: Vec<bool> = (0..16).map(|i| (bits >> i) & 1 == 1).collect();
+                m.eval(f, &a)
+            })
+            .collect();
+        let out = m.reorder_sift(&[f]);
+        m.check_integrity();
+        assert_eq!(out.nodes_before, before);
+        assert!(
+            out.nodes_after * 4 <= before,
+            "sifting should collapse the pairing function: {before} -> {}",
+            out.nodes_after
+        );
+        assert!(out.swaps > 0);
+        // Function (by stable variable index) unchanged.
+        for (k, bits) in (0..1u32 << 16).step_by(257).enumerate() {
+            let a: Vec<bool> = (0..16).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(m.eval(f, &a), truth[k], "bits={bits}");
+        }
+        let stats = m.stats();
+        assert_eq!(stats.reorder_runs, 1);
+        assert_eq!(stats.post_reorder_nodes, out.nodes_after);
+    }
+
+    #[test]
+    fn swap_preserves_ids_and_functions() {
+        let mut m = Manager::new(4);
+        let (a, b, c, d) = (m.var(0), m.var(1), m.var(2), m.var(3));
+        let ab = m.and(a, b);
+        let cd = m.xor(c, d);
+        let f = m.or(ab, cd);
+        let g = m.imp(ab, cd);
+        let mut ws = m.census(&[f, g]);
+        m.swap_adjacent(1, &mut ws); // exchange variables 1 and 2
+        m.free.append(&mut ws.freed);
+        m.live_count = m.nodes.len() - 2 - m.free.len();
+        m.rebuild_order_views();
+        m.caches.clear();
+        m.check_integrity();
+        assert_eq!(m.current_order(), vec![0, 2, 1, 3]);
+        for bits in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let expected_f = (asg[0] && asg[1]) || (asg[2] ^ asg[3]);
+            let expected_g = !(asg[0] && asg[1]) || (asg[2] ^ asg[3]);
+            assert_eq!(m.eval(f, &asg), expected_f, "f at {bits:04b}");
+            assert_eq!(m.eval(g, &asg), expected_g, "g at {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn grouped_sift_keeps_pairs_adjacent() {
+        let mut m = Manager::new(8);
+        // Pair up (0,1), (2,3), (4,5), (6,7) like current/next bits.
+        let groups: Vec<Vec<u32>> = (0..4).map(|g| vec![2 * g, 2 * g + 1]).collect();
+        m.set_reorder_groups(&groups);
+        // Make variables 0 and 6 strongly related so sifting wants to move
+        // their pairs together.
+        let (a, b) = (m.var(0), m.var(6));
+        let ab = m.xor(a, b);
+        let (c, d) = (m.var(2), m.var(5));
+        let cd = m.and(c, d);
+        let f = m.or(ab, cd);
+        let _ = m.reorder_sift(&[f]);
+        m.check_integrity();
+        let order = m.current_order();
+        for g in 0..4u32 {
+            let cur = order.iter().position(|&v| v == 2 * g).unwrap();
+            let next = order.iter().position(|&v| v == 2 * g + 1).unwrap();
+            assert_eq!(next, cur + 1, "pair {g} split: order {order:?}");
+        }
+    }
+
+    #[test]
+    fn auto_reorder_fires_and_rearms() {
+        let mut m = Manager::new(16);
+        m.set_auto_reorder(Some(32));
+        assert!(m.maybe_reorder(&[]).is_none(), "below threshold");
+        let f = pairing_function(&mut m, 8);
+        let out = m.maybe_reorder(&[f]).expect("should fire above threshold");
+        assert!(out.nodes_after <= out.nodes_before);
+        m.check_integrity();
+        // Re-armed: an immediate second call must not fire again.
+        assert!(m.maybe_reorder(&[f]).is_none());
+        let stats = m.stats();
+        assert_eq!(stats.reorder_runs, 1);
+        assert!(stats.reorder_swaps > 0);
+    }
+
+    #[test]
+    fn reorder_respects_protected_roots() {
+        let mut m = Manager::new(6);
+        let (a, b) = (m.var(1), m.var(4));
+        let f = m.xor(a, b);
+        m.protect(f);
+        let _ = m.reorder_sift(&[]); // no explicit roots: protection must hold f
+        m.check_integrity();
+        assert!(m.eval(f, &[false, true, false, false, false, false]));
+        assert!(!m.eval(f, &[false, true, false, false, true, false]));
+        m.unprotect(f);
+    }
+
+    #[test]
+    fn interned_sets_and_maps_survive_reorder() {
+        let mut m = Manager::new(6);
+        let groups: Vec<Vec<u32>> = (0..3).map(|g| vec![2 * g, 2 * g + 1]).collect();
+        m.set_reorder_groups(&groups);
+        let (a, b, c) = (m.var(0), m.var(2), m.var(4));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let cur = m.varset(&[0, 2, 4]);
+        let up = m.varmap(&[(0, 1), (2, 3), (4, 5)]);
+        let shifted = m.rename(f, up);
+        let _ = m.reorder_sift(&[f, shifted]);
+        m.check_integrity();
+        // Quantification and renaming still work against the new order.
+        let ex = m.exists(f, cur);
+        assert_eq!(ex, TRUE);
+        let shifted2 = m.rename(f, up);
+        assert_eq!(shifted2, shifted, "rename result must be stable across reorder");
+    }
+
+    #[test]
+    fn sift_on_empty_manager_is_a_noop() {
+        let mut m = Manager::new(4);
+        let out = m.reorder_sift(&[]);
+        assert_eq!(out.nodes_before, 0);
+        assert_eq!(out.nodes_after, 0);
+        m.check_integrity();
+    }
+
+    #[test]
+    #[should_panic(expected = "two reorder groups")]
+    fn overlapping_groups_rejected() {
+        let mut m = Manager::new(4);
+        m.set_reorder_groups(&[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn non_contiguous_group_rejected() {
+        let mut m = Manager::new(4);
+        m.set_reorder_groups(&[vec![0, 2]]);
+    }
+}

@@ -43,9 +43,10 @@ impl Manager {
     }
 
     /// A deterministic satisfying assignment of `f` restricted to `vars`
-    /// (missing/don't-care variables default to `false`), or `None` if
-    /// `f = ⊥`. Prefers the low branch, so the witness is the
-    /// lexicographically smallest when `vars` is ascending.
+    /// (variable indices; missing/don't-care variables default to `false`),
+    /// or `None` if `f = ⊥`. Prefers the low branch at every node, so the
+    /// witness is deterministic for a given variable order (and the
+    /// lexicographically smallest under the identity order).
     pub fn pick_minterm(&self, f: NodeId, vars: &[u32]) -> Option<Vec<bool>> {
         if f == FALSE {
             return None;
@@ -53,12 +54,12 @@ impl Manager {
         let mut values: FxHashMap<u32, bool> = FxHashMap::default();
         let mut cur = f;
         while !cur.is_terminal() {
-            let level = self.level(cur);
+            let v = self.var_of(cur);
             if self.lo(cur) != FALSE {
-                values.insert(level, false);
+                values.insert(v, false);
                 cur = self.lo(cur);
             } else {
-                values.insert(level, true);
+                values.insert(v, true);
                 cur = self.hi(cur);
             }
         }
@@ -81,8 +82,8 @@ impl Manager {
     }
 
     /// Iterate over the satisfying *paths* (partial cubes) of `f`. Each item
-    /// maps level → value for the variables tested on that path; variables
-    /// absent from the map are don't-cares.
+    /// maps variable index → value for the variables tested on that path;
+    /// variables absent from the map are don't-cares.
     pub fn cubes<'a>(&'a self, f: NodeId) -> CubeIter<'a> {
         CubeIter { manager: self, stack: if f == FALSE { vec![] } else { vec![(f, Vec::new())] } }
     }
@@ -104,12 +105,12 @@ impl<'a> Iterator for CubeIter<'a> {
                 FALSE => continue,
                 TRUE => return Some(path),
                 _ => {
-                    let level = self.manager.level(f);
+                    let v = self.manager.var_of(f);
                     let mut hi_path = path.clone();
-                    hi_path.push((level, true));
+                    hi_path.push((v, true));
                     self.stack.push((self.manager.hi(f), hi_path));
                     let mut lo_path = path;
-                    lo_path.push((level, false));
+                    lo_path.push((v, false));
                     self.stack.push((self.manager.lo(f), lo_path));
                 }
             }

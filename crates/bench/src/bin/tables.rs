@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p ftrepair-bench --bin tables -- \
-//!     [table1|table2|table3|ablations|all] [--large] [--metrics-out <path>]
+//!     [table1|table2|table3|ablations|ablation_reorder|all] [--large] [--metrics-out <path>]
 //! ```
 //!
 //! `--large` extends every sweep to the biggest instances (minutes of
@@ -13,7 +13,10 @@
 //! the same schema the CLI's `ftrepair repair --metrics-out` emits — so
 //! downstream tooling can consume table runs and CLI runs uniformly.
 
-use ftrepair_bench::{measure, render, table1, table1_lazy_only, table2, table3, Row};
+use ftrepair_bench::{
+    ablation_reorder, measure, render, render_reorder, table1, table1_lazy_only, table2, table3,
+    Row,
+};
 use ftrepair_casestudies::{byzantine_agreement, stabilizing_chain};
 use ftrepair_core::RepairOptions;
 use std::path::PathBuf;
@@ -43,15 +46,19 @@ fn main() {
         "table2" => run_table2(large),
         "table3" => run_table3(large, huge),
         "ablations" => run_ablations(large),
+        "ablation_reorder" => run_ablation_reorder(large),
         "all" => {
             let mut rows = run_table1(large);
             rows.extend(run_table2(large));
             rows.extend(run_table3(large, huge));
             rows.extend(run_ablations(large));
+            rows.extend(run_ablation_reorder(large));
             rows
         }
         other => {
-            eprintln!("unknown selector {other}; use table1|table2|table3|ablations|all");
+            eprintln!(
+                "unknown selector {other}; use table1|table2|table3|ablations|ablation_reorder|all"
+            );
             std::process::exit(1);
         }
     };
@@ -177,4 +184,29 @@ fn run_ablations(large: bool) -> Vec<Row> {
     );
 
     vec![with, without, closed, iter_expand, iter_plain, seq, par]
+}
+
+/// Ablation D: dynamic variable reordering. Runs the big chain instances —
+/// the only case studies whose peaks clear the Auto trigger's threshold —
+/// under all three [`ftrepair_core::ReorderMode`]s, reporting the peak
+/// live-node counts next to wall-clock so the memory/time trade is visible
+/// in one table.
+fn run_ablation_reorder(large: bool) -> Vec<Row> {
+    let mut sizes = vec![12usize];
+    if large {
+        sizes.push(14);
+    }
+    let mut rows = Vec::new();
+    for n in sizes {
+        let measured = ablation_reorder(format!("Sc^{n}"), || stabilizing_chain(n, 8).0);
+        println!(
+            "{}",
+            render_reorder(
+                &measured,
+                &format!("Ablation D — dynamic variable reordering on Sc^{n} (d = 8)")
+            )
+        );
+        rows.extend(measured.into_iter().map(|r| r.row));
+    }
+    rows
 }

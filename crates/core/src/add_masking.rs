@@ -71,6 +71,19 @@ pub fn add_masking(
     ms = cx.mgr().and(ms, universe);
     loop {
         token.check()?;
+        // Reorder checkpoint (no-op unless the caller armed the automatic
+        // trigger): every live local is a root; the caller's own roots are
+        // protected in the manager.
+        cx.maybe_reorder(&[
+            invariant,
+            safety.bad_states,
+            safety.bad_trans,
+            delta_p,
+            universe,
+            t_universe,
+            stutters,
+            ms,
+        ]);
         let pre = cx.preimage(ms, faults);
         let next = cx.mgr().or(ms, pre);
         if next == ms {
@@ -91,10 +104,27 @@ pub fn add_masking(
     s1 = cx.mgr().diff(s1, ms);
     s1 = semantics::prune_deadlocks_except(cx, s1, safe_delta, stutters);
 
-    // Phase 3: initial fault-span guess.
+    // Phase 3: initial fault-span guess. The reachability fixpoint is one
+    // of the two places the arena peaks on the big chain instances, so it
+    // checkpoints per frontier step — every local still live here rides
+    // along as a root.
     let mut t1 = if restrict_to_reachable {
         let combined = cx.mgr().or(delta_p, faults);
-        let reach = cx.forward_reachable(s1, combined);
+        let keep = [
+            invariant,
+            safety.bad_states,
+            safety.bad_trans,
+            delta_p,
+            universe,
+            t_universe,
+            stutters,
+            ms,
+            mt,
+            not_mt,
+            safe_delta,
+            s1,
+        ];
+        let reach = cx.forward_reachable_keep(s1, combined, &keep);
         cx.mgr().diff(reach, ms)
     } else {
         cx.mgr().diff(universe, ms)
@@ -124,17 +154,50 @@ pub fn add_masking(
         token.check()?;
         let (old_s1, old_t1) = (s1, t1);
         prog.cx.maybe_trim_caches(CACHE_TRIM_THRESHOLD);
+        prog.cx.maybe_reorder(&[
+            invariant,
+            safety.bad_states,
+            safety.bad_trans,
+            delta_p,
+            stutters,
+            ms,
+            mt,
+            not_mt,
+            safe_delta,
+            s1,
+            t1,
+            one_writer,
+        ]);
 
         p1 = allowed_transitions(prog, delta_p, not_mt, one_writer, s1, t1);
         let cx = &mut prog.cx;
+        let live = [
+            invariant,
+            safety.bad_states,
+            safety.bad_trans,
+            delta_p,
+            stutters,
+            ms,
+            mt,
+            not_mt,
+            safe_delta,
+            s1,
+            t1,
+            one_writer,
+            p1,
+        ];
 
-        // (a) span states must be able to recover to S₁ via p1.
-        let can_reach = cx.backward_reachable(s1, p1);
+        // (a) span states must be able to recover to S₁ via p1 — the other
+        // arena peak; checkpoints per frontier step like Phase 3.
+        let can_reach = cx.backward_reachable_keep(s1, p1, &live);
         t1 = cx.mgr().and(t1, can_reach);
 
         // (b) fault closure: faults must never exit the span.
         loop {
             token.check()?;
+            let mut roots = live.to_vec();
+            roots.push(t1);
+            cx.maybe_reorder(&roots);
             let not_t1 = cx.mgr().not(t1);
             let escaping = cx.preimage(not_t1, faults);
             let keep = cx.mgr().diff(t1, escaping);

@@ -69,7 +69,26 @@ pub fn cautious_repair_cancellable(
     tele: &Telemetry,
     token: &Token,
 ) -> Result<CautiousOutcome, RepairAborted> {
+    let r = cautious_repair_inner(prog, opts, tele, token);
+    if let Ok(out) = &r {
+        let roots: Vec<NodeId> = [out.invariant, out.span, out.trans]
+            .into_iter()
+            .chain(out.processes.iter().map(|p| p.trans))
+            .collect();
+        crate::reorder::protect_outcome(prog, roots);
+    }
+    crate::reorder::emit_bdd_tele(tele, prog);
+    r
+}
+
+fn cautious_repair_inner(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<CautiousOutcome, RepairAborted> {
     token.check()?;
+    let auto_reorder = crate::reorder::configure(prog, opts);
     let started = Instant::now();
     let mut stats = RepairStats::default();
 
@@ -145,6 +164,10 @@ pub fn cautious_repair_cancellable(
     let mut grouped: Vec<NodeId> = vec![FALSE; prog.processes.len()];
     let mut p1;
 
+    if opts.reorder == crate::options::ReorderMode::Sift {
+        prog.cx.reorder_sift(&[delta_p, t_universe, stutters, not_mt, one_writer, s1, t1]);
+    }
+
     let mut iterations = 0usize;
     let fail = |stats: RepairStats| CautiousOutcome {
         processes: Vec::new(),
@@ -158,6 +181,14 @@ pub fn cautious_repair_cancellable(
     loop {
         stats.cancel_checks += 1;
         token.check()?;
+        if auto_reorder {
+            // Previous-iteration `p1`/`grouped` values are dead here (both
+            // are fully rebuilt before their next use), so only the
+            // long-lived locals are roots.
+            prog.cx.maybe_reorder(&[
+                delta_p, t_universe, stutters, not_mt, one_writer, banned, s1, t1,
+            ]);
+        }
         iterations += 1;
         stats.outer_iterations = iterations;
         tele.add("repair.outer_iterations", 1);
@@ -188,20 +219,28 @@ pub fn cautious_repair_cancellable(
             let _group_span = tele.span("cautious.group_enforcement");
             let with_free = with_outside_span(&mut prog.cx, p1_raw, t1);
             p1 = FALSE;
-            for (j, slot) in grouped.iter_mut().enumerate() {
+            for j in 0..grouped.len() {
                 let read = prog.processes[j].read.clone();
                 let write = prog.processes[j].write.clone();
+                // Checkpoint roots: the loop's long-lived locals plus this
+                // iteration's fresh partitions (earlier `grouped` slots).
+                let mut keep = vec![
+                    delta_p, t_universe, stutters, not_mt, one_writer, banned, s1, t1, with_free,
+                    p1,
+                ];
+                keep.extend(grouped.iter().take(j).copied());
                 let dj = partition_for(
                     &mut prog.cx,
                     &read,
                     &write,
                     with_free,
                     opts,
+                    &keep,
                     &mut stats,
                     tele,
                     token,
                 )?;
-                *slot = dj;
+                grouped[j] = dj;
                 p1 = prog.cx.mgr().or(p1, dj);
             }
         }

@@ -66,7 +66,28 @@ pub fn lazy_repair_cancellable(
     tele: &Telemetry,
     token: &Token,
 ) -> Result<LazyOutcome, RepairAborted> {
+    let r = lazy_repair_inner(prog, opts, tele, token);
+    if let Ok(out) = &r {
+        let roots: Vec<NodeId> = [out.invariant, out.span, out.trans]
+            .into_iter()
+            .chain(out.processes.iter().map(|p| p.trans))
+            .collect();
+        crate::reorder::protect_outcome(prog, roots);
+    }
+    // Reorder/peak statistics flow into the run report whatever happened —
+    // success, declared failure, or abort.
+    crate::reorder::emit_bdd_tele(tele, prog);
+    r
+}
+
+fn lazy_repair_inner(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<LazyOutcome, RepairAborted> {
     token.check()?;
+    let auto_reorder = crate::reorder::configure(prog, opts);
     let mut stats = RepairStats::default();
     let mut s_prime = prog.invariant;
     let mut safety = prog.safety;
@@ -78,6 +99,14 @@ pub fn lazy_repair_cancellable(
         let universe = prog.cx.state_universe();
         prog.cx.deadlocks(universe, delta_p)
     };
+    if opts.reorder != crate::options::ReorderMode::None {
+        // `stutters` must survive the checkpoints inside Step 1/2 (they
+        // cannot see it); the protection persists like the base roots'.
+        prog.cx.mgr().protect(stutters);
+        if opts.reorder == crate::options::ReorderMode::Sift {
+            prog.cx.reorder_sift(&[s_prime, safety.bad_states, safety.bad_trans]);
+        }
+    }
 
     for _ in 0..opts.max_outer_iterations {
         let _iter_span = tele.span("outer_iteration");
@@ -128,7 +157,15 @@ pub fn lazy_repair_cancellable(
             );
         }
 
-        // Step 2 (Line 9).
+        // Step 2 (Line 9). Step 2's reorder checkpoints root only its own
+        // values, so the locals this loop still needs afterwards are
+        // protected across the call.
+        let step2_guard = [s_prime, safety.bad_states, safety.bad_trans];
+        if auto_reorder {
+            for r in step2_guard {
+                prog.cx.mgr().protect(r);
+            }
+        }
         let t1 = Instant::now();
         let r2 = {
             let _s = tele.span("step2");
@@ -139,6 +176,11 @@ pub fn lazy_repair_cancellable(
             }
         };
         stats.step2_time += t1.elapsed();
+        if auto_reorder {
+            for r in step2_guard {
+                prog.cx.mgr().unprotect(r);
+            }
+        }
         let r2 = r2?;
         stats.absorb(&r2.stats);
 

@@ -41,6 +41,7 @@ pub mod lazy;
 pub mod options;
 pub mod parallel;
 pub mod ranking;
+mod reorder;
 pub mod report;
 pub mod stats;
 pub mod step2;
@@ -52,7 +53,7 @@ pub use cautious::{
     cautious_repair, cautious_repair_cancellable, cautious_repair_traced, CautiousOutcome,
 };
 pub use lazy::{lazy_repair, lazy_repair_cancellable, lazy_repair_traced, LazyOutcome};
-pub use options::RepairOptions;
+pub use options::{ReorderMode, RepairOptions, AUTO_REORDER_THRESHOLD};
 pub use report::build_run_report;
 pub use stats::RepairStats;
 pub use step2::{step2, step2_cancellable, step2_traced, Step2Result};

@@ -91,7 +91,23 @@ pub fn step2_parallel_cancellable(
                 scope.spawn(move || -> WorkerResult {
                     let label = format!("step2.worker.{}", job.name);
                     let _shard = tele.span(&label);
+                    // Each worker manages its own variable order: `Auto`
+                    // arms the dynamic trigger on the forked manager, `Sift`
+                    // runs one pass over the imported relation. Orders can
+                    // diverge freely between workers — the serialized form
+                    // records each side's order and import re-expresses the
+                    // function (see `ftrepair_bdd::SerializedBdd`).
+                    match opts.reorder {
+                        crate::options::ReorderMode::Auto => {
+                            job.cx.configure_reorder(Some(crate::options::AUTO_REORDER_THRESHOLD));
+                        }
+                        crate::options::ReorderMode::Sift => job.cx.configure_reorder(None),
+                        crate::options::ReorderMode::None => {}
+                    }
                     let delta = job.cx.mgr().import(shipped);
+                    if opts.reorder == crate::options::ReorderMode::Sift {
+                        job.cx.reorder_sift(&[delta]);
+                    }
                     let mut stats = RepairStats::default();
                     let dj = partition_for(
                         &mut job.cx,
@@ -99,6 +115,7 @@ pub fn step2_parallel_cancellable(
                         &job.write,
                         delta,
                         &opts,
+                        &[],
                         &mut stats,
                         &tele,
                         &token,

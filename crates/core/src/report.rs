@@ -30,7 +30,22 @@ pub fn build_run_report(
     r.set_phases(&[("step1", stats.step1_time), ("step2", stats.step2_time)]);
     r.set_snapshot(&tele.snapshot());
     r.set("caches", cache_stats_json(&cx.mgr_ref().cache_stats()));
+    r.set("bdd", bdd_stats_json(cx));
     r
+}
+
+/// Node-count and reorder statistics from the manager: the peak live-node
+/// gauge the ablation benches compare, and the sift counters.
+pub fn bdd_stats_json(cx: &SymbolicContext) -> Json {
+    let s = cx.mgr_ref().stats();
+    let mut o = Json::obj();
+    o.set("live_nodes", (s.live_nodes as u64).into());
+    o.set("peak_live_nodes", (s.peak_live_nodes as u64).into());
+    o.set("reorder_runs", s.reorder_runs.into());
+    o.set("reorder_swaps", s.reorder_swaps.into());
+    o.set("reorder_aborted", s.reorder_aborted.into());
+    o.set("post_reorder_nodes", (s.post_reorder_nodes as u64).into());
+    o
 }
 
 fn options_json(opts: &RepairOptions) -> Json {
@@ -40,6 +55,7 @@ fn options_json(opts: &RepairOptions) -> Json {
     o.set("use_expand_group", opts.use_expand_group.into());
     o.set("parallel_step2", opts.parallel_step2.into());
     o.set("allow_new_terminal_inside", opts.allow_new_terminal_inside.into());
+    o.set("reorder", opts.reorder.as_str().into());
     o
 }
 

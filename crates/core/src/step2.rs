@@ -67,7 +67,12 @@ pub fn step2_cancellable(
     let mut processes = Vec::with_capacity(nprocs);
     let mut union = FALSE;
     for j in 0..nprocs {
-        let delta_j = process_partition(prog, j, delta, opts, &mut stats, tele, token)?;
+        // Roots for reorder checkpoints inside the partition loop: the
+        // spanning inputs (the caller keeps using `span` afterwards), the
+        // shared candidate relation, and everything accumulated so far.
+        let mut keep = vec![trans, span, delta, union];
+        keep.extend(processes.iter().map(|p: &Process| p.trans));
+        let delta_j = process_partition(prog, j, delta, opts, &keep, &mut stats, tele, token)?;
         let p = &prog.processes[j];
         processes.push(Process {
             name: p.name.clone(),
@@ -98,20 +103,23 @@ pub(crate) fn process_partition(
     j: usize,
     delta: NodeId,
     opts: &RepairOptions,
+    keep: &[NodeId],
     stats: &mut RepairStats,
     tele: &Telemetry,
     token: &Token,
 ) -> Result<NodeId, RepairAborted> {
     let read = prog.processes[j].read.clone();
     let write = prog.processes[j].write.clone();
-    partition_for(&mut prog.cx, &read, &write, delta, opts, stats, tele, token)
+    partition_for(&mut prog.cx, &read, &write, delta, opts, keep, stats, tele, token)
 }
 
 /// Standalone form of the per-process loop: everything it needs is the
 /// context and the process's read/write sets, so the parallel Step 2 can
 /// run it on a forked context in a worker thread. Checks `token` before
 /// each group-operation batch: once per closed-form pass, once per pick in
-/// the iterative loop.
+/// the iterative loop. `keep` lists the caller's live BDD roots — the
+/// reorder checkpoints here (same boundaries as the token checks) pass
+/// them through so a mid-partition sift cannot collect them.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn partition_for(
     cx: &mut SymbolicContext,
@@ -119,10 +127,17 @@ pub(crate) fn partition_for(
     write: &[ftrepair_symbolic::VarId],
     delta: NodeId,
     opts: &RepairOptions,
+    keep: &[NodeId],
     stats: &mut RepairStats,
     tele: &Telemetry,
     token: &Token,
 ) -> Result<NodeId, RepairAborted> {
+    let with_keep = |extra: &[NodeId]| {
+        let mut roots = keep.to_vec();
+        roots.extend_from_slice(extra);
+        roots
+    };
+    cx.maybe_reorder(&with_keep(&[delta]));
     // Lock-free counter handles, registered once per process — the inner
     // pick loop only touches atomics. Each increment sits next to its
     // `RepairStats` twin so the two tallies cannot drift apart.
@@ -178,6 +193,7 @@ pub(crate) fn partition_for(
     while cand != FALSE {
         stats.cancel_checks += 1;
         token.check()?;
+        cx.maybe_reorder(&with_keep(&[cand, delta_j]));
         stats.step2_picks += 1;
         c_picks.inc();
         // Line 8: choose one concrete transition.

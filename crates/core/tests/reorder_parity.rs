@@ -1,0 +1,133 @@
+//! Reorder parity: variable reordering permutes the BDD order, never a
+//! function, so lazy repair must compute the *same* repair under every
+//! [`ReorderMode`]. Verified two ways on instances small enough to
+//! enumerate: exact agreement of the extracted state/edge sets through the
+//! `ftrepair-explicit` oracle, and identical sat-counts of every output
+//! set. A third test arms the automatic trigger far below its production
+//! threshold so garbage collections and sifts fire *mid-repair* on toy
+//! instances — a direct check of the checkpoints' rooting discipline.
+
+use ftrepair_core::{lazy_repair, ReorderMode, RepairOptions};
+use ftrepair_explicit::{extract, ExplicitProgram};
+use ftrepair_program::DistributedProgram;
+use std::collections::HashSet;
+
+/// Everything observable about one repair, in explicit form.
+#[derive(Debug, PartialEq)]
+struct Shape {
+    invariant: HashSet<u32>,
+    span: HashSet<u32>,
+    trans: Vec<(u32, u32)>,
+    per_process: Vec<Vec<(u32, u32)>>,
+}
+
+/// Run lazy repair on a fresh instance and enumerate its outputs.
+fn shape_of(mut prog: DistributedProgram, opts: &RepairOptions) -> Shape {
+    let explicit = ExplicitProgram::from_symbolic(&mut prog);
+    let out = lazy_repair(&mut prog, opts).expect("no deadline configured");
+    assert!(!out.failed, "{} unexpectedly failed to repair", prog.name);
+    Shape {
+        invariant: extract::bdd_to_states(&mut prog, &explicit.space, out.invariant),
+        span: extract::bdd_to_states(&mut prog, &explicit.space, out.span),
+        trans: extract::bdd_to_edges(&mut prog, &explicit.space, out.trans),
+        per_process: out
+            .processes
+            .iter()
+            .map(|p| extract::bdd_to_edges(&mut prog, &explicit.space, p.trans))
+            .collect(),
+    }
+}
+
+/// Assert that all three modes produce the identical repair on `factory`'s
+/// instance, and return the baseline for further checks.
+fn assert_modes_agree(factory: impl Fn() -> DistributedProgram) -> Shape {
+    let baseline = shape_of(factory(), &RepairOptions::default().with_reorder(ReorderMode::None));
+    for mode in [ReorderMode::Sift, ReorderMode::Auto] {
+        let got = shape_of(factory(), &RepairOptions::default().with_reorder(mode));
+        assert_eq!(got, baseline, "reorder={} changed the repair", mode.as_str());
+    }
+    baseline
+}
+
+trait WithReorder {
+    fn with_reorder(self, mode: ReorderMode) -> Self;
+}
+
+impl WithReorder for RepairOptions {
+    fn with_reorder(self, mode: ReorderMode) -> Self {
+        RepairOptions { reorder: mode, ..self }
+    }
+}
+
+#[test]
+fn modes_agree_on_token_ring() {
+    let shape = assert_modes_agree(|| ftrepair_casestudies::token_ring(3, 3).0);
+    assert!(!shape.invariant.is_empty(), "token ring repair has a non-trivial invariant");
+}
+
+#[test]
+fn modes_agree_on_byzantine_failstop() {
+    let shape = assert_modes_agree(|| ftrepair_casestudies::byzantine_failstop(1).0);
+    assert!(!shape.invariant.is_empty(), "fail-stop repair has a non-trivial invariant");
+}
+
+#[test]
+fn sat_counts_agree_beyond_enumeration() {
+    // Sizes past what the oracle can enumerate: compare the model counts of
+    // every output set instead. Counts are order-independent, so any
+    // reorder-induced corruption (a function silently changed by a swap)
+    // shows up here.
+    let factory = || ftrepair_casestudies::token_ring(6, 6).0;
+    let mut counts = Vec::new();
+    for mode in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+        let mut prog = factory();
+        let out = lazy_repair(&mut prog, &RepairOptions::default().with_reorder(mode)).unwrap();
+        assert!(!out.failed);
+        let inv = prog.cx.count_states(out.invariant);
+        let span = prog.cx.count_states(out.span);
+        counts.push((mode.as_str(), inv, span));
+    }
+    let (_, inv0, span0) = counts[0];
+    assert!(inv0 > 0.0 && span0 >= inv0, "baseline shape: {counts:?}");
+    for &(mode, inv, span) in &counts[1..] {
+        assert_eq!((inv, span), (inv0, span0), "reorder={mode} changed sat-counts: {counts:?}");
+    }
+}
+
+#[test]
+fn forced_low_threshold_trigger_preserves_the_repair() {
+    // Arm the automatic trigger at a toy threshold so it fires constantly
+    // during the repair — every checkpoint then collects (and often sifts)
+    // with the arena at a few hundred nodes. The production threshold never
+    // fires on instances this small, so this is the only coverage of
+    // mid-repair reordering on an oracle-checkable instance. `reorder:
+    // None` keeps `lazy_repair` from re-configuring the manager; the base
+    // roots must then be protected by hand, exactly as `configure` would.
+    let baseline = shape_of(
+        ftrepair_casestudies::token_ring(3, 3).0,
+        &RepairOptions::default().with_reorder(ReorderMode::None),
+    );
+
+    let mut prog = ftrepair_casestudies::token_ring(3, 3).0;
+    let explicit = ExplicitProgram::from_symbolic(&mut prog);
+    prog.cx.configure_reorder(Some(64));
+    prog.protect_base();
+    let out = lazy_repair(&mut prog, &RepairOptions::default().with_reorder(ReorderMode::None))
+        .expect("no deadline configured");
+    assert!(!out.failed);
+
+    let stats = prog.cx.mgr_ref().stats();
+    assert!(stats.gc_runs > 0, "trigger never fired; threshold too high for this instance");
+
+    let got = Shape {
+        invariant: extract::bdd_to_states(&mut prog, &explicit.space, out.invariant),
+        span: extract::bdd_to_states(&mut prog, &explicit.space, out.span),
+        trans: extract::bdd_to_edges(&mut prog, &explicit.space, out.trans),
+        per_process: out
+            .processes
+            .iter()
+            .map(|p| extract::bdd_to_edges(&mut prog, &explicit.space, p.trans))
+            .collect(),
+    };
+    assert_eq!(got, baseline, "mid-repair reordering changed the repair");
+}

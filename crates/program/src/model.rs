@@ -69,6 +69,32 @@ impl DistributedProgram {
         let r = &self.processes[j].read;
         self.cx.var_ids().into_iter().filter(|v| !r.contains(v)).collect()
     }
+
+    /// Every BDD root the program itself owns: invariant, faults, the
+    /// safety and liveness specification, and each process's transition
+    /// predicate. A garbage collection or dynamic reorder during a repair
+    /// must keep all of these alive for the program to stay meaningful.
+    pub fn base_roots(&self) -> Vec<NodeId> {
+        let mut roots =
+            vec![self.invariant, self.faults, self.safety.bad_states, self.safety.bad_trans];
+        roots.extend(self.processes.iter().map(|p| p.trans));
+        for &(l, t) in &self.liveness.leads_to {
+            roots.push(l);
+            roots.push(t);
+        }
+        roots
+    }
+
+    /// Protect every base root in the manager (refcounted, see
+    /// [`ftrepair_bdd::Manager::protect`]). Repair entry points that enable
+    /// dynamic reordering call this once; the protections deliberately
+    /// persist for the life of the program — the roots must stay valid for
+    /// post-repair verification anyway.
+    pub fn protect_base(&mut self) {
+        for r in self.base_roots() {
+            self.cx.mgr().protect(r);
+        }
+    }
 }
 
 impl std::fmt::Debug for DistributedProgram {

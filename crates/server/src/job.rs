@@ -62,9 +62,12 @@ pub struct JobSpec {
 /// whether the repair *finishes*, never what it computes, and aborted runs
 /// are never cached — so two clients differing only in timeout share one
 /// entry.
+/// `reorder` IS part of the address: all modes compute a semantically
+/// identical repair, but the rendered guarded commands enumerate cubes in
+/// BDD-structure order, so the cached *text* can differ between orders.
 fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
     format!(
-        "{}:r{}c{}e{}p{}t{}m{}",
+        "{}:r{}c{}e{}p{}t{}m{}:{}",
         mode.as_str(),
         o.restrict_to_reachable as u8,
         o.step2_closed_form as u8,
@@ -72,6 +75,7 @@ fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
         o.parallel_step2 as u8,
         o.allow_new_terminal_inside as u8,
         o.max_outer_iterations,
+        o.reorder.as_str(),
     )
 }
 

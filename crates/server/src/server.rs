@@ -57,6 +57,9 @@ pub struct ServerConfig {
     /// Capacity of the poison list quarantining specs that panicked the
     /// engine.
     pub poison_cap: usize,
+    /// Default BDD reorder policy for jobs that do not pass an explicit
+    /// `reorder` query parameter (`serve --reorder`).
+    pub reorder: ftrepair_core::ReorderMode,
     /// Fault-injection plan (tests and the `chaos` feature only).
     #[cfg(any(test, feature = "chaos"))]
     pub chaos: Option<Arc<crate::chaos::Chaos>>,
@@ -74,6 +77,7 @@ impl Default for ServerConfig {
             job_timeout: Duration::from_secs(30),
             degraded_window: Duration::from_secs(60),
             poison_cap: 64,
+            reorder: ftrepair_core::ReorderMode::default(),
             #[cfg(any(test, feature = "chaos"))]
             chaos: None,
         }
@@ -93,6 +97,7 @@ struct Shared {
     cancel_jobs: Arc<AtomicBool>,
     io_timeout: Duration,
     job_timeout: Duration,
+    default_reorder: ftrepair_core::ReorderMode,
     degraded_window: Duration,
     workers: usize,
     /// Workers currently inside their serve loop (dips while the
@@ -233,6 +238,7 @@ impl Server {
             cancel_jobs: Arc::new(AtomicBool::new(false)),
             io_timeout: config.io_timeout,
             job_timeout: config.job_timeout,
+            default_reorder: config.reorder,
             degraded_window: config.degraded_window,
             workers,
             workers_alive: Mutex::new(0),
@@ -507,17 +513,26 @@ fn handle_metrics(shared: &Shared) -> Reply {
 }
 
 /// Decode the repair knobs shared by `/repair` and `/simulate`.
-fn job_params(req: &Request) -> Result<(Mode, RepairOptions), String> {
+fn job_params(
+    req: &Request,
+    default_reorder: ftrepair_core::ReorderMode,
+) -> Result<(Mode, RepairOptions), String> {
     let mode = match req.query("mode") {
         None | Some("lazy") => Mode::Lazy,
         Some("cautious") => Mode::Cautious,
         Some(other) => return Err(format!("unknown mode {other:?} (use lazy or cautious)")),
+    };
+    let reorder = match req.query("reorder") {
+        None => default_reorder,
+        Some(s) => ftrepair_core::ReorderMode::parse(s)
+            .ok_or_else(|| format!("unknown reorder {s:?} (use none, sift or auto)"))?,
     };
     let opts = RepairOptions {
         restrict_to_reachable: !req.query_flag("pure-lazy"),
         step2_closed_form: !req.query_flag("iterative-step2"),
         parallel_step2: req.query_flag("parallel"),
         allow_new_terminal_inside: !req.query_flag("strict-terminal"),
+        reorder,
         ..Default::default()
     };
     Ok((mode, opts))
@@ -549,7 +564,7 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     if source.trim().is_empty() {
         return Err(refuse(400, "empty request body: POST the .ftr spec text"));
     }
-    let (mode, opts) = job_params(req).map_err(|m| refuse(400, m))?;
+    let (mode, opts) = job_params(req, shared.default_reorder).map_err(|m| refuse(400, m))?;
     let spec = job::prepare(source, mode, opts).map_err(|m| refuse(400, m))?;
 
     // Single-flight: the first request for a key becomes the leader and

@@ -57,6 +57,32 @@ impl SymbolicContext {
         }
     }
 
+    /// [`Self::forward_reachable`] with a reorder checkpoint per frontier
+    /// iteration: long reachability runs are where the arena peaks, so the
+    /// automatic trigger must get a chance to fire *between* image steps.
+    /// `keep` is every NodeId the caller still holds across this call —
+    /// the fixpoint's own state is rooted automatically. A no-op unless the
+    /// manager's automatic trigger is armed.
+    pub fn forward_reachable_keep(
+        &mut self,
+        init: NodeId,
+        trans: NodeId,
+        keep: &[NodeId],
+    ) -> NodeId {
+        let mut reach = init;
+        loop {
+            let mut roots = keep.to_vec();
+            roots.extend([reach, trans]);
+            self.maybe_reorder(&roots);
+            let step = self.image(reach, trans);
+            let next = self.mgr().or(reach, step);
+            if next == reach {
+                return reach;
+            }
+            reach = next;
+        }
+    }
+
     /// Forward reachability under partitioned relations.
     pub fn forward_reachable_partitioned(&mut self, init: NodeId, parts: &[NodeId]) -> NodeId {
         let mut reach = init;
@@ -75,6 +101,28 @@ impl SymbolicContext {
     pub fn backward_reachable(&mut self, target: NodeId, trans: NodeId) -> NodeId {
         let mut reach = target;
         loop {
+            let step = self.preimage(reach, trans);
+            let next = self.mgr().or(reach, step);
+            if next == reach {
+                return reach;
+            }
+            reach = next;
+        }
+    }
+
+    /// [`Self::backward_reachable`] with a reorder checkpoint per frontier
+    /// iteration; see [`Self::forward_reachable_keep`].
+    pub fn backward_reachable_keep(
+        &mut self,
+        target: NodeId,
+        trans: NodeId,
+        keep: &[NodeId],
+    ) -> NodeId {
+        let mut reach = target;
+        loop {
+            let mut roots = keep.to_vec();
+            roots.extend([reach, trans]);
+            self.maybe_reorder(&roots);
             let step = self.preimage(reach, trans);
             let next = self.mgr().or(reach, step);
             if next == reach {

@@ -1,0 +1,40 @@
+//! Quick comparison of the three reorder modes on one case-study instance.
+//!
+//! Usage: `cargo run --release --example reorder_probe [chain|byz] [n] [d]`
+
+use ftrepair::casestudies::{byzantine_agreement, stabilizing_chain};
+use ftrepair::program::DistributedProgram;
+use ftrepair::repair::{lazy_repair, ReorderMode, RepairOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let family = args.get(1).map(String::as_str).unwrap_or("chain");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let d: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let build = |family: &str| -> DistributedProgram {
+        match family {
+            "byz" => byzantine_agreement(n).0,
+            _ => stabilizing_chain(n, d).0,
+        }
+    };
+    println!("instance: {family} n={n} d={d}");
+    for mode in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+        let mut p = build(family);
+        let t = std::time::Instant::now();
+        let out =
+            lazy_repair(&mut p, &RepairOptions { reorder: mode, ..Default::default() }).unwrap();
+        let s = p.cx.mgr_ref().stats();
+        let gcs = s.gc_runs;
+        println!(
+            "{mode:?}: total={:?} step1={:?} step2={:?} peak={} post={} runs={} swaps={} aborted={} gcs={gcs}",
+            t.elapsed(),
+            out.stats.step1_time,
+            out.stats.step2_time,
+            s.peak_live_nodes,
+            s.post_reorder_nodes,
+            s.reorder_runs,
+            s.reorder_swaps,
+            s.reorder_aborted
+        );
+    }
+}

@@ -3,13 +3,15 @@
 //! ```text
 //! ftrepair repair   <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
 //!                              [--parallel] [--strict-terminal] [--timeout <secs>]
+//!                              [--reorder none|sift|auto]
 //!                              [--metrics-out <path>] [--trace]
 //! ftrepair check    <file.ftr>
 //! ftrepair info     <file.ftr>
 //! ftrepair simulate <file.ftr> [--cautious] [--runs N] [--max-faults K] [--seed S]
-//!                              [--timeout <secs>]
+//!                              [--timeout <secs>] [--reorder none|sift|auto]
 //! ftrepair serve    [--addr host:port] [--workers N] [--queue-cap M]
 //!                   [--cache-cap C] [--job-timeout <secs>] [--metrics-out <path>]
+//!                   [--reorder none|sift|auto]
 //! ```
 //!
 //! `repair` adds masking fault-tolerance and prints the repaired program as
@@ -24,13 +26,17 @@
 //! to stderr. `--timeout` bounds the repair's wall clock — a run that
 //! exhausts it stops at the next cancellation checkpoint and exits 124
 //! (the `timeout(1)` convention); `serve --job-timeout` is the same budget
-//! applied per job (default 30s, `503 {"error":"timeout"}`).
+//! applied per job (default 30s, `503 {"error":"timeout"}`). `--reorder`
+//! picks the BDD dynamic variable-reordering policy (default `auto`; see
+//! the README's "Performance" section); for `serve` it sets the default a
+//! job's `reorder` query parameter can override.
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
 use ftrepair::repair::verify::verify_outcome;
 use ftrepair::repair::{
-    build_run_report, cautious_repair_traced, lazy_repair_traced, LazyOutcome, RepairOptions,
+    build_run_report, cautious_repair_traced, lazy_repair_traced, LazyOutcome, ReorderMode,
+    RepairOptions,
 };
 use ftrepair::server::{job, signal, Server, ServerConfig};
 use ftrepair::telemetry::Telemetry;
@@ -108,6 +114,16 @@ fn parsed_flag<T: std::str::FromStr>(
     }
 }
 
+/// Parse `--reorder none|sift|auto`; the engine default (`auto`) when the
+/// flag is absent.
+fn reorder_flag(flags: &[String]) -> Result<ReorderMode, String> {
+    match flag_value(flags, "--reorder")? {
+        Some(v) => ReorderMode::parse(v)
+            .ok_or_else(|| format!("--reorder: unknown mode {v:?} (use none, sift or auto)")),
+        None => Ok(ReorderMode::default()),
+    }
+}
+
 /// Parse `name` as non-negative seconds (fractional allowed); `None` when
 /// the flag is absent.
 fn duration_flag(flags: &[String], name: &str) -> Result<Option<Duration>, String> {
@@ -130,6 +146,7 @@ fn serve(flags: &[String]) -> ExitCode {
             cache_cap: parsed_flag(flags, "--cache-cap", defaults.cache_cap)?,
             metrics_out: flag_value(flags, "--metrics-out")?.map(PathBuf::from),
             job_timeout: duration_flag(flags, "--job-timeout")?.unwrap_or(defaults.job_timeout),
+            reorder: reorder_flag(flags)?,
             ..defaults
         })
     })();
@@ -171,15 +188,16 @@ fn serve(flags: &[String]) -> ExitCode {
 
 fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
     let has = |f: &str| flags.iter().any(|a| a == f);
-    let params = (|| -> Result<(usize, usize, u64, Option<Duration>), String> {
+    let params = (|| -> Result<(usize, usize, u64, Option<Duration>, ReorderMode), String> {
         Ok((
             parsed_flag(flags, "--runs", 200usize)?,
             parsed_flag(flags, "--max-faults", 3usize)?,
             parsed_flag(flags, "--seed", 0xF7_5EEDu64)?,
             duration_flag(flags, "--timeout")?,
+            reorder_flag(flags)?,
         ))
     })();
-    let (runs, max_faults, seed, deadline) = match params {
+    let (runs, max_faults, seed, deadline, reorder) = match params {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -187,7 +205,7 @@ fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
         }
     };
     let mode = if has("--cautious") { job::Mode::Cautious } else { job::Mode::Lazy };
-    let opts = RepairOptions { deadline, ..Default::default() };
+    let opts = RepairOptions { deadline, reorder, ..Default::default() };
 
     let spec = match job::prepare(source, mode, opts) {
         Ok(s) => s,
@@ -313,12 +331,20 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let reorder = match reorder_flag(flags) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = RepairOptions {
         restrict_to_reachable: !has("--pure-lazy"),
         step2_closed_form: !has("--iterative-step2"),
         parallel_step2: has("--parallel"),
         allow_new_terminal_inside: !has("--strict-terminal"),
         deadline,
+        reorder,
         ..Default::default()
     };
     // Telemetry costs nothing when off; turn it on whenever the run is
