@@ -16,11 +16,18 @@
 //! batch), and a failed connect or a `429` is retried up to `--retries`
 //! times with full-jitter exponential backoff, so the generator behaves
 //! like a disciplined client instead of re-slamming a saturated queue in
-//! lockstep. Reports throughput, latency percentiles, retries, and
-//! status/cache breakdowns; `--metrics-out` appends the summary as one
-//! JSONL run report in the same schema as the CLI and the bench tables.
+//! lockstep. Every request carries a deterministically minted `X-Trace-Id`
+//! header and checks that the daemon echoes it back, so any retained
+//! sample can be looked up at `/jobs/<trace-id>` afterwards. Per-request
+//! latency goes into a lock-free log-bucketed histogram (every request, no
+//! sampling); the report's percentiles are derived from it. Reports
+//! throughput, latency percentiles, retries, and status/cache breakdowns;
+//! `--metrics-out` appends the summary as one JSONL run report in the same
+//! schema as the CLI and the bench tables, histogram included.
 
-use ftrepair_telemetry::{Json, RunReport};
+use ftrepair_telemetry::report::histogram_to_json;
+use ftrepair_telemetry::trace::format_trace_id;
+use ftrepair_telemetry::{Histogram, Json, RunReport};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -107,6 +114,8 @@ struct Sample {
     latency: Duration,
     status: u16,
     cached: bool,
+    /// Did the daemon echo our `X-Trace-Id` back unchanged?
+    trace_echoed: bool,
 }
 
 /// Issue one request and parse the status line + body out of the raw reply.
@@ -115,6 +124,7 @@ fn one_request(
     endpoint: &str,
     mode: &str,
     body: &str,
+    trace_id: u64,
     connect_timeout: Duration,
 ) -> Result<Sample, String> {
     use std::net::ToSocketAddrs;
@@ -128,8 +138,9 @@ fn one_request(
         .map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
     stream.set_write_timeout(Some(Duration::from_secs(60))).ok();
+    let trace_hex = format_trace_id(trace_id);
     let request = format!(
-        "POST /{endpoint}?mode={mode} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "POST /{endpoint}?mode={mode} HTTP/1.1\r\nHost: {addr}\r\nX-Trace-Id: {trace_hex}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
     stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
@@ -143,22 +154,34 @@ fn one_request(
         .and_then(|rest| rest.get(..3))
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| format!("malformed reply: {:?}", text.lines().next().unwrap_or("")))?;
-    let json_body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let (head, json_body) = match text.split_once("\r\n\r\n") {
+        Some((h, b)) => (h, b),
+        None => (text.as_ref(), ""),
+    };
+    let trace_echoed = head.lines().any(|line| {
+        line.split_once(':').is_some_and(|(name, value)| {
+            name.eq_ignore_ascii_case("x-trace-id") && value.trim() == trace_hex
+        })
+    });
     let cached = Json::parse(json_body)
         .ok()
         .and_then(|j| j.get("cached").and_then(Json::as_bool))
         .unwrap_or(false);
-    Ok(Sample { latency, status, cached })
+    Ok(Sample { latency, status, cached, trace_echoed })
 }
 
-/// One SplitMix64 step mapped to `[0, 1)`.
-fn next_unit(state: &mut u64) -> f64 {
+/// One SplitMix64 step.
+fn next_u64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    z ^ (z >> 31)
+}
+
+/// One SplitMix64 step mapped to `[0, 1)`.
+fn next_unit(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Issue a request, retrying failed connects and `429`s up to
@@ -166,10 +189,20 @@ fn next_unit(state: &mut u64) -> f64 {
 /// retries it took.
 fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample, String>, usize) {
     const BACKOFF_BASE: Duration = Duration::from_millis(50);
+    // One trace ID per logical request (retries reuse it — they are the
+    // same attempt from the client's point of view). `max(1)`: trace IDs
+    // are nonzero by contract.
+    let trace_id = next_u64(rng).max(1);
     let mut retries = 0;
     loop {
-        let result =
-            one_request(&args.addr, &args.endpoint, &args.mode, body, args.connect_timeout);
+        let result = one_request(
+            &args.addr,
+            &args.endpoint,
+            &args.mode,
+            body,
+            trace_id,
+            args.connect_timeout,
+        );
         let retryable = match &result {
             // Connects are retryable (daemon restarting, listen backlog
             // full); read/write errors are not — the job may have run, and
@@ -187,14 +220,6 @@ fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample,
         std::thread::sleep(Duration::from_secs_f64((cap * next_unit(rng)).max(0.001)));
         retries += 1;
     }
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn main() -> ExitCode {
@@ -234,24 +259,29 @@ fn main() -> ExitCode {
     });
     let elapsed = started.elapsed();
 
-    let mut latencies = Vec::new();
+    // Every completed request's latency lands in the histogram — no
+    // sampling, fixed memory — and the reported percentiles come straight
+    // out of its buckets (≤6.25% relative error).
+    let latency_hist = Histogram::new();
     let mut ok = 0usize;
     let mut busy = 0usize;
     let mut cached = 0usize;
     let mut errors = 0usize;
     let mut other_status = 0usize;
     let mut retries = 0usize;
+    let mut trace_mismatches = 0usize;
     for (r, tries) in &results {
         retries += tries;
         match r {
             Ok(s) => {
-                latencies.push(s.latency);
+                latency_hist.observe_duration(s.latency);
                 match s.status {
                     200 => ok += 1,
                     429 => busy += 1,
                     _ => other_status += 1,
                 }
                 cached += s.cached as usize;
+                trace_mismatches += !s.trace_echoed as usize;
             }
             Err(e) => {
                 errors += 1;
@@ -259,9 +289,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    latencies.sort();
-    let (p50, p90, p99) =
-        (percentile(&latencies, 50.0), percentile(&latencies, 90.0), percentile(&latencies, 99.0));
+    let latency = latency_hist.snapshot();
+    let (p50, p90, p99, p999) = (
+        latency.percentile_duration(50.0),
+        latency.percentile_duration(90.0),
+        latency.percentile_duration(99.0),
+        latency.percentile_duration(99.9),
+    );
     let throughput = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
 
     eprintln!(
@@ -274,7 +308,10 @@ fn main() -> ExitCode {
     eprintln!(
         "  status: {ok} ok, {busy} busy (429), {other_status} other, {errors} transport errors; {cached} cache hits; {retries} retries",
     );
-    eprintln!("  latency: p50 {p50:.2?}, p90 {p90:.2?}, p99 {p99:.2?}");
+    eprintln!("  latency: p50 {p50:.2?}, p90 {p90:.2?}, p99 {p99:.2?}, p999 {p999:.2?} (histogram, {} samples)", latency.count);
+    if trace_mismatches > 0 {
+        eprintln!("  WARNING: {trace_mismatches} responses did not echo X-Trace-Id");
+    }
 
     let mut report = RunReport::new("loadgen", &args.endpoint);
     report.set("addr", args.addr.as_str().into());
@@ -291,9 +328,17 @@ fn main() -> ExitCode {
     report.set("transport_errors", errors.into());
     report.set("retries", retries.into());
     report.set("cache_hits", cached.into());
+    report.set("trace_mismatches", trace_mismatches.into());
     report.set("latency_p50_s", p50.as_secs_f64().into());
     report.set("latency_p90_s", p90.as_secs_f64().into());
     report.set("latency_p99_s", p99.as_secs_f64().into());
+    report.set("latency_p999_s", p999.as_secs_f64().into());
+    report.set("latency_count", latency.count.into());
+    // The full histogram, in the same shape the schema-v2 run reports use,
+    // so `ftrepair metrics-dump` can merge loadgen files too.
+    let mut hists = Json::obj();
+    hists.set("loadgen.request.seconds", histogram_to_json(&latency));
+    report.set("histograms", hists);
     match &args.metrics_out {
         Some(path) => {
             if let Err(e) = report.append_to(path) {

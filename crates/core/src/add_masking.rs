@@ -8,6 +8,7 @@
 use crate::cancel::{RepairAborted, Token};
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{semantics, DistributedProgram, Safety};
+use ftrepair_telemetry::{Json, Telemetry};
 
 /// Memo caches above this size are cleared between fixpoint iterations —
 /// they, not the node arena, dominate memory on the big chain instances.
@@ -49,6 +50,22 @@ pub fn add_masking(
     restrict_to_reachable: bool,
     token: &Token,
 ) -> Result<AddMaskingResult, RepairAborted> {
+    add_masking_traced(prog, invariant, safety, restrict_to_reachable, &Telemetry::off(), token)
+}
+
+/// [`add_masking`] with telemetry: a span around the Phase 1 `ms` fixpoint
+/// (carrying its iteration count as a structured field) and one span per
+/// Phase 4 joint-fixpoint iteration (carrying the iteration index), so a
+/// Chrome trace of a repair shows exactly where a slow Step 1 spends its
+/// time.
+pub fn add_masking_traced(
+    prog: &mut DistributedProgram,
+    invariant: NodeId,
+    safety: &Safety,
+    restrict_to_reachable: bool,
+    tele: &Telemetry,
+    token: &Token,
+) -> Result<AddMaskingResult, RepairAborted> {
     token.check()?;
     let cx = &mut prog.cx;
     let mut delta_p = FALSE;
@@ -69,8 +86,11 @@ pub fn add_masking(
     let bad_fault_sources = cx.preimage_of_anything(bad_fault);
     let mut ms = cx.mgr().or(safety.bad_states, bad_fault_sources);
     ms = cx.mgr().and(ms, universe);
+    let mut ms_span = tele.span("step1.ms_fixpoint");
+    let mut ms_iters = 0u64;
     loop {
         token.check()?;
+        ms_iters += 1;
         // Reorder checkpoint (no-op unless the caller armed the automatic
         // trigger): every live local is a root; the caller's own roots are
         // protected in the manager.
@@ -91,6 +111,8 @@ pub fn add_masking(
         }
         ms = next;
     }
+    ms_span.field("iters", Json::from(ms_iters));
+    drop(ms_span);
 
     // Phase 2: mt and the safe program relation.
     let ms_next = cx.as_next(ms);
@@ -109,6 +131,7 @@ pub fn add_masking(
     // checkpoints per frontier step — every local still live here rides
     // along as a root.
     let mut t1 = if restrict_to_reachable {
+        let _reach_span = tele.span("step1.reachability");
         let combined = cx.mgr().or(delta_p, faults);
         let keep = [
             invariant,
@@ -150,8 +173,12 @@ pub fn add_masking(
 
     // Phase 4: joint fixpoint on (S₁, T₁).
     let mut p1;
+    let mut fixpoint_iter = 0u64;
     loop {
         token.check()?;
+        fixpoint_iter += 1;
+        let mut fixpoint_span = tele.span("step1.fixpoint");
+        fixpoint_span.field("iter", Json::from(fixpoint_iter));
         let (old_s1, old_t1) = (s1, t1);
         prog.cx.maybe_trim_caches(CACHE_TRIM_THRESHOLD);
         prog.cx.maybe_reorder(&[

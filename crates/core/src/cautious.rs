@@ -168,6 +168,10 @@ fn cautious_repair_inner(
         prog.cx.reorder_sift(&[delta_p, t_universe, stutters, not_mt, one_writer, s1, t1]);
     }
 
+    // One observation per iteration's group-enforcement pass — the cost
+    // this baseline exists to expose, now as a distribution.
+    let h_group = tele.histogram("cautious.group_enforcement.seconds");
+
     let mut iterations = 0usize;
     let fail = |stats: RepairStats| CautiousOutcome {
         processes: Vec::new(),
@@ -215,8 +219,10 @@ fn cautious_repair_inner(
 
         // THE CAUTIOUS COST: re-derive group-closed per-process relations
         // for this iteration's estimate.
+        let group_started = Instant::now();
         {
-            let _group_span = tele.span("cautious.group_enforcement");
+            let mut group_span = tele.span("cautious.group_enforcement");
+            group_span.field("iter", ftrepair_telemetry::Json::from(iterations as u64));
             let with_free = with_outside_span(&mut prog.cx, p1_raw, t1);
             p1 = FALSE;
             for j in 0..grouped.len() {
@@ -244,6 +250,7 @@ fn cautious_repair_inner(
                 p1 = prog.cx.mgr().or(p1, dj);
             }
         }
+        h_group.observe_duration(group_started.elapsed());
 
         // Fixpoint updates against the *grouped* relation.
         let cx = &mut prog.cx;

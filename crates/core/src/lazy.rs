@@ -2,7 +2,7 @@
 //! lazy repair — Step 1 (Add-Masking, no realizability), Step 2
 //! (realizability by removal), and the deadlock-resolution outer loop.
 
-use crate::add_masking::add_masking;
+use crate::add_masking::add_masking_traced;
 use crate::cancel::{RepairAborted, Token};
 use crate::options::RepairOptions;
 use crate::parallel::step2_parallel_cancellable;
@@ -10,7 +10,7 @@ use crate::stats::RepairStats;
 use crate::step2::step2_cancellable;
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{DistributedProgram, Process};
-use ftrepair_telemetry::Telemetry;
+use ftrepair_telemetry::{Json, Telemetry};
 use std::time::Instant;
 
 /// Output of lazy repair.
@@ -108,20 +108,28 @@ fn lazy_repair_inner(
         }
     }
 
+    // Per-phase latency histograms: one observation per outer iteration,
+    // so distributions across many jobs (server mode) stay meaningful.
+    let h_step1 = tele.histogram("repair.step1.seconds");
+    let h_step2 = tele.histogram("repair.step2.seconds");
+
     for _ in 0..opts.max_outer_iterations {
-        let _iter_span = tele.span("outer_iteration");
+        let mut iter_span = tele.span("outer_iteration");
         stats.cancel_checks += 1;
         token.check()?;
         stats.outer_iterations += 1;
+        iter_span.field("iter", Json::from(stats.outer_iterations as u64));
         tele.add("repair.outer_iterations", 1);
 
         // Step 1 (Line 3).
         let t0 = Instant::now();
         let r1 = {
             let _s = tele.span("step1");
-            add_masking(prog, s_prime, &safety, opts.restrict_to_reachable, token)
+            add_masking_traced(prog, s_prime, &safety, opts.restrict_to_reachable, tele, token)
         };
-        stats.step1_time += t0.elapsed();
+        let step1_elapsed = t0.elapsed();
+        stats.step1_time += step1_elapsed;
+        h_step1.observe_duration(step1_elapsed);
         let r1 = r1?;
         if r1.failed {
             return Ok(LazyOutcome {
@@ -143,6 +151,9 @@ fn lazy_repair_inner(
             let inv_nodes = mgr.node_count(s_prime) as u64;
             let span_nodes = mgr.node_count(r1.span) as u64;
             let live = mgr.stats().live_nodes as u64;
+            iter_span.field("invariant_nodes", Json::from(inv_nodes));
+            iter_span.field("span_nodes", Json::from(span_nodes));
+            iter_span.field("live_nodes", Json::from(live));
             tele.max_gauge("bdd.peak_invariant_nodes", inv_nodes);
             tele.max_gauge("bdd.peak_span_nodes", span_nodes);
             tele.max_gauge("bdd.peak_live_nodes", live);
@@ -175,7 +186,9 @@ fn lazy_repair_inner(
                 step2_cancellable(prog, r1.trans, r1.span, opts, tele, token)
             }
         };
-        stats.step2_time += t1.elapsed();
+        let step2_elapsed = t1.elapsed();
+        stats.step2_time += step2_elapsed;
+        h_step2.observe_duration(step2_elapsed);
         if auto_reorder {
             for r in step2_guard {
                 prog.cx.mgr().unprotect(r);

@@ -248,13 +248,31 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. the echoed
+/// `X-Trace-Id`). Header values must be line-safe; callers only pass
+/// values the daemon minted or re-rendered itself.
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
     );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -5,7 +5,7 @@
 
 use ftrepair_core::{
     build_run_report, cautious_repair_cancellable, lazy_repair_cancellable, verify::verify_outcome,
-    LazyOutcome, RepairAborted, RepairOptions, Token,
+    LazyOutcome, RepairAborted, RepairOptions, RepairStats, Token,
 };
 use ftrepair_explicit::extract::{bdd_to_edges, bdd_to_states, ExplicitProgram};
 use ftrepair_explicit::simulate::{simulate, SimConfig, SimFailure, SimReport};
@@ -114,6 +114,8 @@ pub struct JobResult {
     pub verified: bool,
     /// Explicit bundle for simulation, when the instance is small enough.
     pub sim: Option<SimBundle>,
+    /// Repair statistics (iterations, phase times) for job introspection.
+    pub stats: RepairStats,
 }
 
 /// Why a job produced no result.
@@ -208,7 +210,7 @@ pub fn execute_cancellable(
     response.set("verified", verified.into());
     response.set("report", report.0.clone());
 
-    Ok(JobResult { response, report, failed: out.failed, verified, sim })
+    Ok(JobResult { response, report, failed: out.failed, verified, sim, stats: out.stats })
 }
 
 /// Render the repaired program as guarded commands, restricted to the

@@ -19,7 +19,14 @@
 //! | `POST /repair` | body = `.ftr` spec; returns repaired guarded commands + run report (JSON). Query: `mode=lazy\|cautious`, `pure-lazy`, `iterative-step2`, `parallel`, `strict-terminal`. |
 //! | `POST /simulate` | same body/query, plus `runs=N`, `max-faults=K`, `seed=S`; replays fault-injection batches against the (cached) repair. |
 //! | `GET /healthz` | liveness + uptime. |
-//! | `GET /metrics` | telemetry registry snapshot (cache hits/misses, queue depth, per-status counts, span times). |
+//! | `GET /metrics` | telemetry registry snapshot (cache hits/misses, queue depth, per-status counts, span times, latency histograms). `?format=prometheus` renders the Prometheus 0.0.4 text exposition instead of JSON. |
+//! | `GET /jobs` | the most recent jobs (bounded ring), newest first — running jobs included, each keyed by its trace ID. |
+//! | `GET /jobs/<trace-id>` | one retained job record: status, queue wait, run time, iteration/phase/BDD detail. |
+//!
+//! Every request carries a 64-bit trace ID — taken from a well-formed
+//! `X-Trace-Id` header or minted server-side — echoed back in the
+//! `X-Trace-Id` response header and in `/repair` / `/simulate` bodies,
+//! and used as the `/jobs` key.
 //!
 //! Backpressure: the job queue is bounded; when it is full new connections
 //! are answered `429` immediately. Shutdown: SIGTERM/ctrl-c stops the
@@ -43,6 +50,7 @@ pub mod cache;
 pub mod chaos;
 pub mod flight;
 pub mod http;
+pub mod introspect;
 pub mod job;
 pub mod queue;
 pub mod server;
@@ -51,6 +59,7 @@ pub mod signal;
 pub use cache::{content_key, CacheEntry, PoisonList, ResultCache};
 #[cfg(any(test, feature = "chaos"))]
 pub use chaos::Chaos;
+pub use introspect::{JobRecord, JobRing, JobStatus};
 pub use job::{JobResult, JobSpec, Mode, SimBundle};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -15,12 +15,15 @@
 use crate::cache::{CacheEntry, PoisonList, ResultCache};
 use crate::flight::InFlight;
 use crate::http::{self, Request};
+use crate::introspect::{JobRecord, JobRing, JobStatus, JOB_RING_CAP};
 use crate::job::{self, Mode};
 use crate::queue::{JobQueue, PushError};
 use crate::signal;
 use ftrepair_core::{RepairAborted, RepairOptions, Token};
 use ftrepair_explicit::simulate::SimConfig;
-use ftrepair_telemetry::{Json, RunReport, Telemetry};
+use ftrepair_telemetry::report::set_snapshot_fields;
+use ftrepair_telemetry::trace::{format_trace_id, mint_trace_id, parse_trace_id};
+use ftrepair_telemetry::{prometheus, Histogram, Json, RunReport, Telemetry, SCHEMA_VERSION};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,11 +88,19 @@ impl Default for ServerConfig {
 }
 
 struct Shared {
-    queue: JobQueue<TcpStream>,
+    /// Accepted connections, each paired with its enqueue instant so the
+    /// worker that pops it can record the queue wait.
+    queue: JobQueue<(TcpStream, Instant)>,
     cache: ResultCache,
     poison: PoisonList,
     inflight: InFlight,
+    /// Ring of the most recent jobs for `GET /jobs`.
+    jobs: JobRing,
     tele: Telemetry,
+    /// Pre-registered handles for the two per-request histograms — the
+    /// hot path must not take the registry lock per connection.
+    h_request: Histogram,
+    h_queue_wait: Histogram,
     metrics_out: Option<PathBuf>,
     metrics_lock: Mutex<()>,
     shutdown: AtomicBool,
@@ -172,10 +183,14 @@ impl Shared {
 
     /// Serialize JSONL appends: lines can exceed the pipe-atomicity size,
     /// and interleaved lines would corrupt the file for every consumer.
+    /// Failed appends are counted (`telemetry.write_errors`) as well as
+    /// logged — a full disk shows up on `/metrics` scrapes, not only in a
+    /// log nobody tails.
     fn append_report(&self, report: &RunReport) {
         if let Some(path) = &self.metrics_out {
             let _guard = self.metrics_lock.lock().unwrap();
             if let Err(e) = report.append_to(path) {
+                self.tele.add("telemetry.write_errors", 1);
                 eprintln!("ftrepair-server: cannot append metrics to {}: {e}", path.display());
             }
         }
@@ -226,12 +241,17 @@ impl Server {
         };
         let tele = Telemetry::new();
         let cache = ResultCache::new(config.cache_cap, &tele);
+        let h_request = tele.histogram("server.request.seconds");
+        let h_queue_wait = tele.histogram("server.queue_wait.seconds");
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_cap),
             cache,
             poison: PoisonList::new(config.poison_cap),
             inflight: InFlight::new(),
+            jobs: JobRing::new(JOB_RING_CAP),
             tele,
+            h_request,
+            h_queue_wait,
             metrics_out: config.metrics_out.clone(),
             metrics_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
@@ -281,16 +301,17 @@ impl Server {
                         accepted.inc();
                         let _ = stream.set_read_timeout(Some(shared.io_timeout));
                         let _ = stream.set_write_timeout(Some(shared.io_timeout));
+                        let item = (stream, Instant::now());
                         #[cfg(any(test, feature = "chaos"))]
                         let push = match &shared.chaos {
                             Some(chaos) if chaos.queue_forced_full() => {
-                                Err((stream, PushError::Full))
+                                Err((item, PushError::Full))
                             }
-                            _ => shared.queue.try_push(stream),
+                            _ => shared.queue.try_push(item),
                         };
                         #[cfg(not(any(test, feature = "chaos")))]
-                        let push = shared.queue.try_push(stream);
-                        if let Err((mut stream, why)) = push {
+                        let push = shared.queue.try_push(item);
+                        if let Err(((mut stream, _queued_at), why)) = push {
                             rejected.inc();
                             if why == PushError::Full {
                                 shared.note_saturation();
@@ -350,6 +371,8 @@ impl Server {
 }
 
 const JSON: &str = "application/json";
+/// Prometheus text exposition format 0.0.4.
+const PROMETHEUS: &str = "text/plain; version=0.0.4";
 
 fn error_body(message: &str) -> String {
     let mut j = Json::obj();
@@ -402,8 +425,8 @@ fn supervise_worker(shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) -> WorkerExit {
-    while let Some(stream) = shared.queue.pop() {
-        if handle_connection(shared, stream) {
+    while let Some((stream, queued_at)) = shared.queue.pop() {
+        if handle_connection(shared, stream, queued_at) {
             return WorkerExit::Recycle;
         }
         #[cfg(any(test, feature = "chaos"))]
@@ -426,17 +449,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// One HTTP response. All bodies are JSON; `job_panicked` tells the worker
-/// loop to recycle after the reply is written.
+/// One HTTP response; `job_panicked` tells the worker loop to recycle
+/// after the reply is written. Bodies are JSON except the Prometheus
+/// exposition, which carries its own content type.
 struct Reply {
     status: u16,
+    content_type: &'static str,
     body: String,
     job_panicked: bool,
 }
 
 impl Reply {
     fn json(status: u16, body: String) -> Reply {
-        Reply { status, body, job_panicked: false }
+        Reply { status, content_type: JSON, body, job_panicked: false }
     }
 
     fn error(status: u16, message: &str) -> Reply {
@@ -444,9 +469,20 @@ impl Reply {
     }
 }
 
+/// Per-request context threaded from `handle_connection` down to the job
+/// pipeline: the trace ID (client-supplied or minted) and how long the
+/// connection waited in the queue.
+struct ReqCtx {
+    trace_id: u64,
+    queue_wait: Duration,
+}
+
 /// Serve exactly one request on `stream`. Returns whether a repair job
 /// panicked while producing the response.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
+fn handle_connection(shared: &Shared, mut stream: TcpStream, queued_at: Instant) -> bool {
+    let queue_wait = queued_at.elapsed();
+    shared.h_queue_wait.observe_duration(queue_wait);
+    let started = Instant::now();
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(e) if e.status == 0 => return false, // peer went away; nothing to say
@@ -456,23 +492,43 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
         }
     };
 
+    // One trace ID per request: honor a well-formed `X-Trace-Id` header,
+    // mint otherwise, and echo it back so the client can correlate its
+    // request with `/jobs/<trace-id>` and any exported trace tree.
+    let trace_id =
+        request.header("x-trace-id").and_then(parse_trace_id).unwrap_or_else(mint_trace_id);
+    let ctx = ReqCtx { trace_id, queue_wait };
+
     let _span = shared.tele.span("server.request");
     shared.tele.add("server.http.requests", 1);
-    let reply = route(shared, &request);
+    let reply = route(shared, &request, &ctx);
     shared.tele.add(&format!("server.http.status.{}", reply.status), 1);
-    if http::write_response(&mut stream, reply.status, JSON, &reply.body).is_err() {
+    let trace_hex = format_trace_id(trace_id);
+    let headers = [("X-Trace-Id", trace_hex.as_str())];
+    if http::write_response_with_headers(
+        &mut stream,
+        reply.status,
+        reply.content_type,
+        &headers,
+        &reply.body,
+    )
+    .is_err()
+    {
         shared.tele.add("server.http.write_failures", 1);
     }
+    shared.h_request.observe_duration(started.elapsed());
     reply.job_panicked
 }
 
-fn route(shared: &Shared, req: &Request) -> Reply {
+fn route(shared: &Shared, req: &Request, ctx: &ReqCtx) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(shared),
-        ("GET", "/metrics") => handle_metrics(shared),
-        ("POST", "/repair") => handle_repair(shared, req),
-        ("POST", "/simulate") => handle_simulate(shared, req),
-        ("GET", "/repair" | "/simulate") | ("POST", "/healthz" | "/metrics") => {
+        ("GET", "/metrics") => handle_metrics(shared, req.query("format")),
+        ("GET", "/jobs") => handle_jobs(shared),
+        ("GET", path) if path.starts_with("/jobs/") => handle_job(shared, &path["/jobs/".len()..]),
+        ("POST", "/repair") => handle_repair(shared, req, ctx),
+        ("POST", "/simulate") => handle_simulate(shared, req, ctx),
+        ("GET", "/repair" | "/simulate") | ("POST", "/healthz" | "/metrics" | "/jobs") => {
             Reply::error(405, "method not allowed for this path")
         }
         _ => Reply::error(404, &format!("no such endpoint {}", req.path)),
@@ -500,16 +556,64 @@ fn handle_healthz(shared: &Shared) -> Reply {
     Reply::json(200, j.to_string())
 }
 
-fn handle_metrics(shared: &Shared) -> Reply {
-    // Same rendering as a run report so consumers parse one shape.
-    let mut r = RunReport::new("server", "metrics");
-    r.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
-    r.set("workers", shared.workers.into());
-    r.set("queue_depth", shared.queue.len().into());
-    r.set("cache_entries", shared.cache.len().into());
-    r.set("quarantined_keys", shared.poison.len().into());
-    r.set_snapshot(&shared.tele.snapshot());
-    Reply::json(200, r.to_json_line())
+fn handle_metrics(shared: &Shared, format: Option<&str>) -> Reply {
+    // Stamp the scrape-time gauges first so both renderings carry them.
+    shared.tele.set_gauge("server.uptime_seconds", shared.started.elapsed().as_secs());
+    shared.tele.set_gauge("server.queue.depth", shared.queue.len() as u64);
+    shared.tele.set_gauge("server.cache.entries", shared.cache.len() as u64);
+    shared.tele.set_gauge("server.jobs.quarantined_keys", shared.poison.len() as u64);
+    let snap = shared.tele.snapshot();
+
+    match format {
+        Some("prometheus") => Reply {
+            status: 200,
+            content_type: PROMETHEUS,
+            body: prometheus::render(&snap),
+            job_panicked: false,
+        },
+        None | Some("json") => {
+            // The snapshot is rendered straight into the response — no
+            // intermediate RunReport per scrape — but keeps the run-report
+            // field shape (schema_version/case/mode + snapshot fields) so
+            // consumers parse exactly one format.
+            let mut j = Json::obj();
+            j.set("schema_version", SCHEMA_VERSION.into());
+            j.set("case", "server".into());
+            j.set("mode", "metrics".into());
+            j.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
+            j.set("workers", shared.workers.into());
+            j.set("queue_depth", shared.queue.len().into());
+            j.set("cache_entries", shared.cache.len().into());
+            j.set("quarantined_keys", shared.poison.len().into());
+            set_snapshot_fields(&mut j, &snap);
+            Reply::json(200, j.to_string())
+        }
+        Some(other) => {
+            Reply::error(400, &format!("unknown format {other:?} (use json or prometheus)"))
+        }
+    }
+}
+
+fn handle_jobs(shared: &Shared) -> Reply {
+    let jobs: Vec<Json> = shared.jobs.recent().iter().map(|r| r.to_json()).collect();
+    let mut j = Json::obj();
+    j.set("ok", true.into());
+    j.set("jobs", Json::Arr(jobs));
+    Reply::json(200, j.to_string())
+}
+
+fn handle_job(shared: &Shared, id: &str) -> Reply {
+    let Some(trace_id) = parse_trace_id(id) else {
+        return Reply::error(400, &format!("malformed trace id {id:?} (want 16 hex chars)"));
+    };
+    match shared.jobs.find(trace_id) {
+        Some(record) => {
+            let mut j = record.to_json();
+            j.set("ok", true.into());
+            Reply::json(200, j.to_string())
+        }
+        None => Reply::error(404, "no retained job with that trace id"),
+    }
 }
 
 /// Decode the repair knobs shared by `/repair` and `/simulate`.
@@ -552,13 +656,24 @@ fn refuse(status: u16, message: impl Into<String>) -> JobFailure {
 
 impl JobFailure {
     fn reply(&self) -> Reply {
-        Reply { status: self.status, body: error_body(&self.message), job_panicked: self.panicked }
+        Reply {
+            status: self.status,
+            content_type: JSON,
+            body: error_body(&self.message),
+            job_panicked: self.panicked,
+        }
     }
 }
 
 /// Run a spec through the cache: prepare, look up, execute on miss. Returns
 /// the entry plus whether it was served from cache, or an HTTP failure.
-fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, bool), JobFailure> {
+/// Every request that survives `prepare` — cache hits included — gets a
+/// [`JobRecord`] in the introspection ring under its own trace ID.
+fn cached_repair(
+    shared: &Shared,
+    req: &Request,
+    ctx: &ReqCtx,
+) -> Result<(Arc<CacheEntry>, bool), JobFailure> {
     let source =
         std::str::from_utf8(&req.body).map_err(|_| refuse(400, "spec must be UTF-8 text"))?;
     if source.trim().is_empty() {
@@ -566,6 +681,10 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     }
     let (mode, opts) = job_params(req, shared.default_reorder).map_err(|m| refuse(400, m))?;
     let spec = job::prepare(source, mode, opts).map_err(|m| refuse(400, m))?;
+
+    let record =
+        JobRecord::new(ctx.trace_id, &spec.name, spec.mode.as_str(), &spec.key, ctx.queue_wait);
+    shared.jobs.push(Arc::clone(&record));
 
     // Single-flight: the first request for a key becomes the leader and
     // runs the repair; concurrent requests for the same key block in
@@ -578,9 +697,11 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
         // every follower woken by a panicking leader — is refused here
         // without ever reaching a worker again.
         if shared.poison.contains(&spec.key) {
+            record.finish(JobStatus::Quarantined);
             return Err(refuse(422, "quarantined: this spec previously crashed the repair engine"));
         }
         if let Some(entry) = shared.cache.get(&spec.key) {
+            record.finish(JobStatus::CacheHit);
             return Ok((entry, true));
         }
         match shared.inflight.begin(&spec.key) {
@@ -593,6 +714,7 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     // flight right after that leader panicked — without this it would
     // re-execute the crashing spec once per such race.
     if shared.poison.contains(&spec.key) {
+        record.finish(JobStatus::Quarantined);
         return Err(refuse(422, "quarantined: this spec previously crashed the repair engine"));
     }
 
@@ -615,9 +737,11 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
         }
         job::execute_cancellable(&spec, &job_tele, true, &token)
     }));
-    shared.tele.absorb_snapshot(&job_tele.snapshot());
+    let job_snap = job_tele.snapshot();
+    shared.tele.absorb_snapshot(&job_snap);
     let result = match run {
         Err(payload) => {
+            record.finish(JobStatus::Panicked);
             shared.quarantine(&spec, &panic_message(payload.as_ref()));
             return Err(JobFailure {
                 status: 500,
@@ -625,17 +749,22 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
                 panicked: true,
             });
         }
-        Ok(Err(job::ExecError::Invalid(message))) => return Err(refuse(400, message)),
+        Ok(Err(job::ExecError::Invalid(message))) => {
+            record.finish(JobStatus::Invalid);
+            return Err(refuse(400, message));
+        }
         Ok(Err(job::ExecError::Aborted(why))) => {
             // Aborted runs are never cached: the next attempt may run
             // under a larger budget (or after the cancel flag clears) and
             // succeed, while a cached failure would pin the 503 forever.
             let message = match why {
                 RepairAborted::Timeout => {
+                    record.finish(JobStatus::Timeout);
                     shared.tele.add("server.jobs.timed_out", 1);
                     "timeout"
                 }
                 RepairAborted::Cancelled => {
+                    record.finish(JobStatus::Cancelled);
                     shared.tele.add("server.jobs.cancelled", 1);
                     "cancelled"
                 }
@@ -644,6 +773,20 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
         }
         Ok(Ok(result)) => result,
     };
+
+    // The outcome document `/jobs` shows for this record: iteration and
+    // phase data from the repair stats, BDD peaks from the job's own
+    // telemetry (gauges would smear across jobs in the shared registry).
+    let mut detail = Json::obj();
+    detail.set("outer_iterations", (result.stats.outer_iterations as u64).into());
+    detail.set("step1_s", result.stats.step1_time.as_secs_f64().into());
+    detail.set("step2_s", result.stats.step2_time.as_secs_f64().into());
+    detail.set("groups_kept", result.stats.groups_kept.into());
+    detail.set("groups_dropped", result.stats.groups_dropped.into());
+    detail.set("bdd_peak_live_nodes", job_snap.gauge("bdd.peak_live_nodes").into());
+    detail.set("verified", result.verified.into());
+    record.set_detail(detail);
+    record.finish(if result.failed { JobStatus::Unrepairable } else { JobStatus::Done });
 
     let mut report = result.report;
     report.set("server_key", spec.key.as_str().into());
@@ -661,18 +804,19 @@ fn cached_repair(shared: &Shared, req: &Request) -> Result<(Arc<CacheEntry>, boo
     Ok((entry, false))
 }
 
-fn handle_repair(shared: &Shared, req: &Request) -> Reply {
-    match cached_repair(shared, req) {
+fn handle_repair(shared: &Shared, req: &Request, ctx: &ReqCtx) -> Reply {
+    match cached_repair(shared, req, ctx) {
         Ok((entry, cached)) => {
             let mut body = entry.response.clone();
             body.set("cached", cached.into());
+            body.set("trace_id", format_trace_id(ctx.trace_id).into());
             Reply::json(200, body.to_string())
         }
         Err(failure) => failure.reply(),
     }
 }
 
-fn handle_simulate(shared: &Shared, req: &Request) -> Reply {
+fn handle_simulate(shared: &Shared, req: &Request, ctx: &ReqCtx) -> Reply {
     let config = SimConfig {
         runs: req.query("runs").and_then(|v| v.parse().ok()).unwrap_or(200),
         max_faults: req.query("max-faults").and_then(|v| v.parse().ok()).unwrap_or(3),
@@ -689,7 +833,7 @@ fn handle_simulate(shared: &Shared, req: &Request) -> Reply {
     }
     let seed = req.query("seed").and_then(|v| v.parse().ok()).unwrap_or(0xF7_5EED);
 
-    let (entry, cached) = match cached_repair(shared, req) {
+    let (entry, cached) = match cached_repair(shared, req, ctx) {
         Ok(pair) => pair,
         Err(failure) => return failure.reply(),
     };
@@ -718,6 +862,7 @@ fn handle_simulate(shared: &Shared, req: &Request) -> Reply {
     body.set("ok", true.into());
     body.set("key", entry.key.as_str().into());
     body.set("cached", cached.into());
+    body.set("trace_id", format_trace_id(ctx.trace_id).into());
     body.set("case", entry.response.get("case").cloned().unwrap_or(Json::Null));
     body.set("simulation", job::sim_report_json(&report, seed));
     Reply::json(200, body.to_string())

@@ -3,11 +3,19 @@
 //! Three pieces, deliberately free of external dependencies so the crate can
 //! sit below everything except `std`:
 //!
-//! * [`registry`] — a counter/gauge/timing registry whose hot path (counter
-//!   increments through pre-registered [`Counter`] handles) is a single
-//!   relaxed atomic add, safe to share across Step 2 worker threads;
+//! * [`registry`] — a counter/gauge/histogram/timing registry whose hot
+//!   paths (counter increments and histogram observations through
+//!   pre-registered [`Counter`]/[`Histogram`] handles) are single relaxed
+//!   atomic adds, safe to share across Step 2 worker threads;
 //! * [`span`] — RAII span guards that accumulate per-phase wall time into
-//!   the registry and, with `--trace`, print a nested call trace to stderr;
+//!   the registry, with `--trace` print a nested call trace to stderr,
+//!   and (when built via [`Telemetry::with_spans`]) log hierarchical
+//!   [`SpanRecord`]s with parent IDs and structured fields;
+//! * [`trace`] — 64-bit trace IDs and Chrome `trace_event` JSON export of
+//!   a span log, viewable in Perfetto;
+//! * [`prometheus`] — text exposition of a [`MetricsSnapshot`] in the
+//!   Prometheus `# TYPE`/`_bucket`/`_sum`/`_count` format, plus a lint
+//!   used by tests and CI to validate any exposition;
 //! * [`json`] / [`report`] — a tiny JSON value type (writer *and* parser)
 //!   and the versioned JSONL run-report schema shared by the CLI
 //!   (`--metrics-out`) and `crates/bench`.
@@ -17,22 +25,28 @@
 //! a branch on that option and nothing else, which is what keeps the
 //! overhead of compiled-in telemetry below noise when no sink is requested.
 
+pub mod histogram;
 pub mod json;
+pub mod prometheus;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use registry::{Counter, MetricsRegistry, MetricsSnapshot};
 pub use report::{RunReport, SCHEMA_VERSION};
-pub use span::Span;
+pub use span::{Span, SpanRecord};
 
+use span::SpanLog;
 use std::sync::Arc;
 use std::time::Duration;
 
 struct Inner {
     registry: MetricsRegistry,
     trace: bool,
+    spans: Option<SpanLog>,
 }
 
 /// Cheaply clonable handle to a metrics registry plus trace switch.
@@ -59,7 +73,23 @@ impl Telemetry {
     /// An enabled handle; `trace` additionally prints nested span
     /// enter/exit lines to stderr.
     pub fn with_trace(trace: bool) -> Self {
-        Telemetry { inner: Some(Arc::new(Inner { registry: MetricsRegistry::new(), trace })) }
+        Telemetry {
+            inner: Some(Arc::new(Inner { registry: MetricsRegistry::new(), trace, spans: None })),
+        }
+    }
+
+    /// An enabled handle that also logs hierarchical [`SpanRecord`]s with
+    /// span/parent IDs and structured fields, for Chrome-trace export via
+    /// [`trace::chrome_trace`]. `trace` controls stderr tracing as in
+    /// [`Telemetry::with_trace`].
+    pub fn with_spans(trace: bool) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: MetricsRegistry::new(),
+                trace,
+                spans: Some(SpanLog::new()),
+            })),
+        }
     }
 
     /// Is metric collection on at all?
@@ -80,6 +110,17 @@ impl Telemetry {
         match &self.inner {
             Some(i) => i.registry.counter(name),
             None => Counter::detached(),
+        }
+    }
+
+    /// Pre-register a histogram and get a lock-free handle to it.
+    ///
+    /// On a disabled `Telemetry` the histogram still works but is not
+    /// registered anywhere, so observing into it is harmless and invisible.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(i) => i.registry.histogram(name),
+            None => Histogram::detached(),
         }
     }
 
@@ -139,6 +180,24 @@ impl Telemetry {
         if let Some(i) = &self.inner {
             i.registry.absorb(snap);
         }
+    }
+
+    /// Is hierarchical span recording on?
+    pub fn spans_enabled(&self) -> bool {
+        self.span_log().is_some()
+    }
+
+    /// Drain all recorded spans (empty unless built with
+    /// [`Telemetry::with_spans`]).
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        match self.span_log() {
+            Some(log) => log.take(),
+            None => Vec::new(),
+        }
+    }
+
+    pub(crate) fn span_log(&self) -> Option<&SpanLog> {
+        self.inner.as_ref().and_then(|i| i.spans.as_ref())
     }
 }
 

@@ -1,12 +1,14 @@
-//! The metrics registry: named counters, gauges, accumulated timings, and
-//! per-iteration sample series.
+//! The metrics registry: named counters, gauges, histograms, accumulated
+//! timings, and per-iteration sample series.
 //!
-//! Counters are `Arc<AtomicU64>` handles; once registered, incrementing one
-//! never takes a lock, so handles can be hoisted out of hot loops and shared
-//! with worker threads. Everything else (gauges, timings, series, and the
-//! name→counter map itself) sits behind plain mutexes — those paths run a
-//! handful of times per repair, not per BDD operation.
+//! Counters and histograms are `Arc`-shared handles; once registered,
+//! recording through one never takes a lock, so handles can be hoisted out
+//! of hot loops and shared with worker threads. Everything else (gauges,
+//! timings, series, and the name→handle maps themselves) sits behind plain
+//! mutexes — those paths run a handful of times per repair, not per BDD
+//! operation.
 
+use crate::histogram::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -44,6 +46,7 @@ pub struct MetricsRegistry {
     gauges: Mutex<BTreeMap<String, u64>>,
     times: Mutex<BTreeMap<String, Duration>>,
     series: Mutex<BTreeMap<String, Vec<Sample>>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
 impl MetricsRegistry {
@@ -61,6 +64,12 @@ impl MetricsRegistry {
     /// Convenience: add `n` to the named counter (takes the registry lock).
     pub fn add(&self, name: &str, n: u64) {
         self.counter(name).add(n);
+    }
+
+    /// Get-or-create the named histogram and return a lock-free handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
     }
 
     pub fn set_gauge(&self, name: &str, v: u64) {
@@ -95,16 +104,24 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges: self.gauges.lock().unwrap().clone(),
             times: self.times.lock().unwrap().clone(),
             series: self.series.lock().unwrap().clone(),
+            histograms,
         }
     }
 
-    /// Merge a snapshot into the live registry: counters and timings add,
-    /// gauges take the maximum, series rows append.
+    /// Merge a snapshot into the live registry: counters, timings, and
+    /// histogram buckets add, gauges take the maximum, series rows append.
     pub fn absorb(&self, snap: &MetricsSnapshot) {
         for (k, v) in &snap.counters {
             self.add(k, *v);
@@ -119,6 +136,10 @@ impl MetricsRegistry {
         for (k, rows) in &snap.series {
             series.entry(k.clone()).or_default().extend(rows.iter().cloned());
         }
+        drop(series);
+        for (k, h) in &snap.histograms {
+            self.histogram(k).absorb(h);
+        }
     }
 }
 
@@ -129,6 +150,7 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     pub times: BTreeMap<String, Duration>,
     pub series: BTreeMap<String, Vec<Sample>>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -160,6 +182,9 @@ impl MetricsSnapshot {
         }
         for (k, rows) in &other.series {
             self.series.entry(k.clone()).or_default().extend(rows.iter().cloned());
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
 }
@@ -229,6 +254,27 @@ mod tests {
         assert_eq!(a.gauge("g"), 10, "gauges merge by max");
         assert_eq!(a.times["t"], Duration::from_secs(3));
         assert_eq!(a.series["s"].len(), 2);
+    }
+
+    #[test]
+    fn histogram_handles_are_shared_and_absorbable() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        h.observe(100);
+        r.histogram("lat").observe(200);
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["lat"].count, 2);
+        assert_eq!(snap.histograms["lat"].sum, 300);
+
+        let other = MetricsRegistry::new();
+        other.histogram("lat").observe(50);
+        r.absorb(&other.snapshot());
+        assert_eq!(r.snapshot().histograms["lat"].count, 3);
+        assert_eq!(r.snapshot().histograms["lat"].sum, 350);
+
+        let mut a = snap.clone();
+        a.merge(&other.snapshot());
+        assert_eq!(a.histograms["lat"], r.snapshot().histograms["lat"]);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! harness so downstream tooling parses exactly one format. See the README
 //! "Observability" section for the field table.
 
+use crate::histogram::HistogramSnapshot;
 use crate::json::Json;
 use crate::registry::MetricsSnapshot;
 use std::fs::OpenOptions;
@@ -14,7 +15,11 @@ use std::time::Duration;
 
 /// Bump whenever the meaning or shape of an existing field changes;
 /// consumers must check this before interpreting a line.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added the top-level `histograms` object (per-name
+/// `{count, sum, p50, p90, p99, p999, buckets}` with nanosecond values and
+/// cumulative `[le, count]` bucket pairs).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Builder for one run-report line.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,40 +59,10 @@ impl RunReport {
     }
 
     /// Fold a metrics snapshot in: counters, gauges, accumulated span
-    /// times (`spans_s`, in seconds), and sample series (e.g. the
-    /// per-outer-iteration BDD size rows under `iterations`).
+    /// times (`spans_s`, in seconds), histograms, and sample series (e.g.
+    /// the per-outer-iteration BDD size rows under `iterations`).
     pub fn set_snapshot(&mut self, snap: &MetricsSnapshot) -> &mut RunReport {
-        let mut counters = Json::obj();
-        for (k, v) in &snap.counters {
-            counters.set(k, (*v).into());
-        }
-        self.0.set("counters", counters);
-
-        let mut gauges = Json::obj();
-        for (k, v) in &snap.gauges {
-            gauges.set(k, (*v).into());
-        }
-        self.0.set("gauges", gauges);
-
-        let mut spans = Json::obj();
-        for (k, d) in &snap.times {
-            spans.set(k, d.as_secs_f64().into());
-        }
-        self.0.set("spans_s", spans);
-
-        for (name, rows) in &snap.series {
-            let arr = rows
-                .iter()
-                .map(|row| {
-                    let mut o = Json::obj();
-                    for (k, v) in row {
-                        o.set(k, (*v).into());
-                    }
-                    o
-                })
-                .collect();
-            self.0.set(name, Json::Arr(arr));
-        }
+        set_snapshot_fields(&mut self.0, snap);
         self
     }
 
@@ -102,6 +77,133 @@ impl RunReport {
         let mut f = OpenOptions::new().create(true).append(true).open(path)?;
         writeln!(f, "{}", self.to_json_line())
     }
+}
+
+/// Write a [`MetricsSnapshot`]'s fields into a JSON object: `counters`,
+/// `gauges`, `spans_s` (seconds), `histograms` (nanoseconds, with derived
+/// percentiles and cumulative `[le, count]` bucket pairs), and each sample
+/// series under its own name. Shared by [`RunReport::set_snapshot`] and
+/// the server's `/metrics` endpoint so both emit the same shape.
+pub fn set_snapshot_fields(obj: &mut Json, snap: &MetricsSnapshot) {
+    let mut counters = Json::obj();
+    for (k, v) in &snap.counters {
+        counters.set(k, (*v).into());
+    }
+    obj.set("counters", counters);
+
+    let mut gauges = Json::obj();
+    for (k, v) in &snap.gauges {
+        gauges.set(k, (*v).into());
+    }
+    obj.set("gauges", gauges);
+
+    let mut spans = Json::obj();
+    for (k, d) in &snap.times {
+        spans.set(k, d.as_secs_f64().into());
+    }
+    obj.set("spans_s", spans);
+
+    let mut hists = Json::obj();
+    for (name, h) in &snap.histograms {
+        hists.set(name, histogram_to_json(h));
+    }
+    obj.set("histograms", hists);
+
+    for (name, rows) in &snap.series {
+        let arr = rows
+            .iter()
+            .map(|row| {
+                let mut o = Json::obj();
+                for (k, v) in row {
+                    o.set(k, (*v).into());
+                }
+                o
+            })
+            .collect();
+        obj.set(name, Json::Arr(arr));
+    }
+}
+
+/// One histogram as report JSON: exact count/sum, headline percentiles,
+/// and the sparse buckets as cumulative `[le, count]` pairs. Values stay
+/// in the histogram's native unit (nanoseconds for durations); consumers
+/// convert at the edge, exactly like the Prometheus renderer does.
+pub fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    let mut o = Json::obj();
+    o.set("count", h.count.into());
+    o.set("sum", (h.sum as f64).into());
+    o.set("p50", h.percentile(50.0).into());
+    o.set("p90", h.percentile(90.0).into());
+    o.set("p99", h.percentile(99.0).into());
+    o.set("p999", h.percentile(99.9).into());
+    let mut cumulative = 0u64;
+    let buckets = h
+        .buckets
+        .iter()
+        .map(|&(upper, n)| {
+            cumulative += n;
+            Json::Arr(vec![upper.into(), cumulative.into()])
+        })
+        .collect();
+    o.set("buckets", Json::Arr(buckets));
+    o
+}
+
+/// Parse a histogram back out of its report JSON (inverse of
+/// [`histogram_to_json`] up to f64 sum precision). Returns `None` when the
+/// shape is not a histogram object.
+pub fn histogram_from_json(j: &Json) -> Option<HistogramSnapshot> {
+    let count = j.get("count")?.as_u64()?;
+    let sum = j.get("sum")?.as_f64()? as u64;
+    let mut buckets = Vec::new();
+    let mut prev = 0u64;
+    for pair in j.get("buckets")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        let upper = pair.first()?.as_u64()?;
+        let cumulative = pair.get(1)?.as_u64()?;
+        buckets.push((upper, cumulative.checked_sub(prev)?));
+        prev = cumulative;
+    }
+    Some(HistogramSnapshot { buckets, count, sum })
+}
+
+/// Rebuild a [`MetricsSnapshot`] from one report line's JSON — counters,
+/// gauges, `spans_s`, and `histograms` (series are not recovered). Used by
+/// `ftrepair metrics-dump` to merge JSONL reports into one snapshot for
+/// Prometheus rendering.
+pub fn snapshot_from_json(j: &Json) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    if let Some(entries) = j.get("counters").and_then(Json::as_obj) {
+        for (k, v) in entries {
+            if let Some(n) = v.as_u64() {
+                snap.counters.insert(k.clone(), n);
+            }
+        }
+    }
+    if let Some(entries) = j.get("gauges").and_then(Json::as_obj) {
+        for (k, v) in entries {
+            if let Some(n) = v.as_u64() {
+                snap.gauges.insert(k.clone(), n);
+            }
+        }
+    }
+    if let Some(entries) = j.get("spans_s").and_then(Json::as_obj) {
+        for (k, v) in entries {
+            if let Some(secs) = v.as_f64() {
+                if secs >= 0.0 && secs.is_finite() {
+                    snap.times.insert(k.clone(), Duration::from_secs_f64(secs));
+                }
+            }
+        }
+    }
+    if let Some(entries) = j.get("histograms").and_then(Json::as_obj) {
+        for (k, v) in entries {
+            if let Some(h) = histogram_from_json(v) {
+                snap.histograms.insert(k.clone(), h);
+            }
+        }
+    }
+    snap
 }
 
 /// Parse every line of a JSONL report file, with line numbers in errors.
@@ -154,6 +256,33 @@ mod tests {
         let iters = j.get("iterations").unwrap().as_arr().unwrap();
         assert_eq!(iters[0].get("span_nodes").unwrap().as_f64(), Some(40.0));
         assert!(j.get("spans_s").unwrap().get("span.step1").is_some());
+    }
+
+    #[test]
+    fn histograms_round_trip_through_report_json() {
+        let t = Telemetry::new();
+        let h = t.histogram("repair.step1.seconds");
+        for v in [1_000u64, 2_000, 2_000, 4_000_000, 90_000_000_000] {
+            h.observe(v);
+        }
+        let mut r = RunReport::new("ring", "lazy");
+        r.set_snapshot(&t.snapshot());
+        let j = Json::parse(&r.to_json_line()).unwrap();
+        assert_eq!(j.get("schema_version").unwrap().as_u64(), Some(2));
+
+        let hj = j.get("histograms").unwrap().get("repair.step1.seconds").unwrap();
+        assert_eq!(hj.get("count").unwrap().as_u64(), Some(5));
+        assert!(hj.get("p50").unwrap().as_u64().is_some());
+        // Cumulative bucket pairs end at the total count.
+        let buckets = hj.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.last().unwrap().as_arr().unwrap()[1].as_u64(), Some(5));
+
+        let snap = snapshot_from_json(&j);
+        assert_eq!(
+            snap.histograms["repair.step1.seconds"],
+            t.snapshot().histograms["repair.step1.seconds"]
+        );
+        assert_eq!(snap.counters, t.snapshot().counters);
     }
 
     #[test]

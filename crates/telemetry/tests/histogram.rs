@@ -1,0 +1,98 @@
+//! Property and concurrency tests for the lock-free log-bucketed histogram:
+//! bucketed percentiles must track exact sorted-vector percentiles to within
+//! one bucket (≤ 6.25% relative error), and 16 concurrent writers must lose
+//! no observations.
+
+use ftrepair_telemetry::Histogram;
+
+/// SplitMix64 — the workspace is dependency-free, so seeded randomness for
+/// property tests is inlined rather than pulled from a crate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile over an already-sorted slice, matching the
+/// convention documented on `HistogramSnapshot::percentile`.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+#[test]
+fn bucketed_percentiles_stay_within_one_bucket_of_exact() {
+    for seed in 0..24u64 {
+        let mut rng = 0xF7_1DE5 ^ (seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        let n = 500 + (splitmix(&mut rng) % 4500) as usize;
+        let hist = Histogram::new();
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Spread values across many orders of magnitude (1ns .. ~1000s in
+            // the values-are-nanoseconds convention) so every bucket regime —
+            // exact low buckets and log-linear high ones — gets exercised.
+            let shift = (splitmix(&mut rng) % 40) as u32;
+            let v = (splitmix(&mut rng) >> (24 + (shift % 24))).max(1);
+            hist.observe(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+
+        let snap = hist.snapshot();
+        assert_eq!(snap.count as usize, n, "seed {seed}: lost observations");
+        let exact_sum: u64 = values.iter().sum();
+        assert_eq!(snap.sum, exact_sum, "seed {seed}: sum must be exact");
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, snap.count, "seed {seed}: bucket counts must add up");
+
+        for &p in &[0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let exact = exact_percentile(&values, p);
+            let bucketed = snap.percentile(p);
+            // The reported value is the upper bound of the bucket holding the
+            // rank-p sample: never below the exact value, and above it by at
+            // most one bucket width (≤ value/16 + 1 in the log-linear regime).
+            assert!(bucketed >= exact, "seed {seed} p{p}: bucketed {bucketed} < exact {exact}");
+            assert!(
+                bucketed <= exact + exact / 16 + 1,
+                "seed {seed} p{p}: bucketed {bucketed} overshoots exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sixteen_concurrent_writers_lose_nothing() {
+    const THREADS: u64 = 16;
+    const PER_THREAD: u64 = 20_000;
+
+    let hist = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            scope.spawn(move || {
+                let mut rng = t.wrapping_mul(0x9E37_79B9) + 1;
+                for _ in 0..PER_THREAD {
+                    hist.observe(splitmix(&mut rng) % 1_000_000_000);
+                }
+            });
+        }
+    });
+
+    // Replay the exact same deterministic streams single-threaded to get the
+    // ground-truth sum; count and sum must match exactly once writers quiesce.
+    let mut expected_sum = 0u64;
+    for t in 0..THREADS {
+        let mut rng = t.wrapping_mul(0x9E37_79B9) + 1;
+        for _ in 0..PER_THREAD {
+            expected_sum += splitmix(&mut rng) % 1_000_000_000;
+        }
+    }
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD, "dropped observations under contention");
+    assert_eq!(snap.sum, expected_sum, "sum drifted under contention");
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, snap.count);
+}

@@ -4,7 +4,7 @@
 //! ftrepair repair   <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
 //!                              [--parallel] [--strict-terminal] [--timeout <secs>]
 //!                              [--reorder none|sift|auto]
-//!                              [--metrics-out <path>] [--trace]
+//!                              [--metrics-out <path>] [--trace] [--trace-out <path>]
 //! ftrepair check    <file.ftr>
 //! ftrepair info     <file.ftr>
 //! ftrepair simulate <file.ftr> [--cautious] [--runs N] [--max-faults K] [--seed S]
@@ -12,6 +12,8 @@
 //! ftrepair serve    [--addr host:port] [--workers N] [--queue-cap M]
 //!                   [--cache-cap C] [--job-timeout <secs>] [--metrics-out <path>]
 //!                   [--reorder none|sift|auto]
+//! ftrepair metrics-dump <reports.jsonl>
+//! ftrepair prom-lint    [<exposition.txt>|-]
 //! ```
 //!
 //! `repair` adds masking fault-tolerance and prints the repaired program as
@@ -22,8 +24,15 @@
 //! `POST /simulate`); `serve` runs the repair-as-a-service daemon (see the
 //! README "Serving" section). `--metrics-out` appends one JSONL run report
 //! (phase timings, telemetry counters/gauges, per-iteration BDD sizes,
-//! op-cache hit rates) per repair; `--trace` streams span open/close events
-//! to stderr. `--timeout` bounds the repair's wall clock — a run that
+//! op-cache hit rates, latency histograms) per repair; `--trace` streams
+//! span open/close events to stderr; `--trace-out` writes the run's full
+//! hierarchical span tree — outer iterations, Step 1/Step 2, fixpoint
+//! iterations, with structured fields — as Chrome `trace_event` JSON,
+//! viewable in Perfetto or `chrome://tracing`. `metrics-dump` merges a
+//! `--metrics-out` JSONL file into one snapshot and prints it in the
+//! Prometheus text exposition format; `prom-lint` validates such an
+//! exposition (from a file or stdin) and exits non-zero on violations.
+//! `--timeout` bounds the repair's wall clock — a run that
 //! exhausts it stops at the next cancellation checkpoint and exits 124
 //! (the `timeout(1)` convention); `serve --job-timeout` is the same budget
 //! applied per job (default 30s, `503 {"error":"timeout"}`). `--reorder`
@@ -48,7 +57,8 @@ use std::time::Duration;
 /// convention of coreutils `timeout(1)`.
 const EXIT_TIMED_OUT: u8 = 124;
 
-const USAGE: &str = "usage: ftrepair <repair|check|info|simulate|serve> [<file.ftr>] [options]";
+const USAGE: &str =
+    "usage: ftrepair <repair|check|info|simulate|serve|metrics-dump|prom-lint> [<file>] [options]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +68,12 @@ fn main() -> ExitCode {
     };
     if command == "serve" {
         return serve(&args[1..]);
+    }
+    if command == "metrics-dump" {
+        return metrics_dump(&args[1..]);
+    }
+    if command == "prom-lint" {
+        return prom_lint(&args[1..]);
     }
     if !matches!(command.as_str(), "info" | "check" | "repair" | "simulate") {
         eprintln!("unknown command {command}");
@@ -184,6 +200,73 @@ fn serve(flags: &[String]) -> ExitCode {
     }
     eprintln!("ftrepair-server: drained and stopped");
     ExitCode::SUCCESS
+}
+
+/// `metrics-dump <reports.jsonl>` — merge every run report in a JSONL file
+/// into one metrics snapshot and print it as Prometheus text exposition.
+/// Bridges offline `--metrics-out` files into the same format the daemon
+/// serves at `/metrics?format=prometheus`.
+fn metrics_dump(args: &[String]) -> ExitCode {
+    use ftrepair::telemetry::report::{parse_jsonl, snapshot_from_json};
+    let Some(path) = args.first() else {
+        eprintln!("usage: ftrepair metrics-dump <reports.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let lines = match parse_jsonl(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut snap = ftrepair::telemetry::MetricsSnapshot::default();
+    for line in &lines {
+        snap.merge(&snapshot_from_json(line));
+    }
+    print!("{}", ftrepair::telemetry::prometheus::render(&snap));
+    eprintln!("merged {} report line(s) from {path}", lines.len());
+    ExitCode::SUCCESS
+}
+
+/// `prom-lint [<file>|-]` — validate a Prometheus text exposition (`-` or
+/// no argument reads stdin). Exits 1 listing every violation; this is what
+/// CI runs against the live `/metrics?format=prometheus` scrape.
+fn prom_lint(args: &[String]) -> ExitCode {
+    let (name, text) = match args.first().map(String::as_str) {
+        None | Some("-") => {
+            let mut buf = String::new();
+            use std::io::Read;
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            ("<stdin>".to_string(), buf)
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => (path.to_string(), t),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let violations = ftrepair::telemetry::prometheus::lint(&text);
+    if violations.is_empty() {
+        eprintln!("prom-lint: {name}: ok");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("prom-lint: {name}: {v}");
+        }
+        ExitCode::from(1)
+    }
 }
 
 fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
@@ -338,6 +421,13 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let trace_out: Option<PathBuf> = match flag_value(flags, "--trace-out") {
+        Ok(v) => v.map(PathBuf::from),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = RepairOptions {
         restrict_to_reachable: !has("--pure-lazy"),
         step2_closed_form: !has("--iterative-step2"),
@@ -348,31 +438,62 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
         ..Default::default()
     };
     // Telemetry costs nothing when off; turn it on whenever the run is
-    // observed (a metrics sink or stderr tracing was requested).
+    // observed (a metrics sink, stderr tracing, or a trace export was
+    // requested). `--trace-out` needs the hierarchical span log too.
     let trace = has("--trace");
-    let tele = if metrics_out.is_some() || trace {
+    let tele = if trace_out.is_some() {
+        Telemetry::with_spans(trace)
+    } else if metrics_out.is_some() || trace {
         Telemetry::with_trace(trace)
     } else {
         Telemetry::off()
     };
 
     let mode = if has("--cautious") { "cautious" } else { "lazy" };
-    let outcome = if has("--cautious") {
-        cautious_repair_traced(prog, &opts, &tele).map(|c| LazyOutcome {
-            processes: c.processes,
-            invariant: c.invariant,
-            span: c.span,
-            trans: c.trans,
-            failed: c.failed,
-            stats: c.stats,
-        })
-    } else {
-        lazy_repair_traced(prog, &opts, &tele)
+    // One trace ID per CLI run, same wire format as the server's
+    // `X-Trace-Id`; it names the exported trace tree.
+    let trace_id = ftrepair::telemetry::trace::mint_trace_id();
+    let outcome = {
+        // The root span every repair-phase span nests under in the export.
+        let mut root = tele.span("job");
+        root.field("case", prog.name.as_str().into());
+        root.field("mode", mode.into());
+        root.field("trace_id", ftrepair::telemetry::trace::format_trace_id(trace_id).into());
+        if has("--cautious") {
+            cautious_repair_traced(prog, &opts, &tele).map(|c| LazyOutcome {
+                processes: c.processes,
+                invariant: c.invariant,
+                span: c.span,
+                trans: c.trans,
+                failed: c.failed,
+                stats: c.stats,
+            })
+        } else {
+            lazy_repair_traced(prog, &opts, &tele)
+        }
+    };
+    let emit_trace = |tele: &Telemetry, case: &str| -> ExitCode {
+        if let Some(path) = &trace_out {
+            let records = tele.take_spans();
+            let doc = ftrepair::telemetry::trace::chrome_trace(&records, trace_id, case);
+            if let Err(e) = std::fs::write(path, doc.to_string()) {
+                eprintln!("cannot write trace to {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "trace {} ({} spans) written to {} (open in Perfetto or chrome://tracing)",
+                ftrepair::telemetry::trace::format_trace_id(trace_id),
+                records.len(),
+                path.display(),
+            );
+        }
+        ExitCode::SUCCESS
     };
     let out: LazyOutcome = match outcome {
         Ok(o) => o,
         Err(aborted) => {
             eprintln!("{aborted}");
+            emit_trace(&tele, &prog.name);
             return ExitCode::from(EXIT_TIMED_OUT);
         }
     };
@@ -395,12 +516,16 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
     if out.failed {
         eprintln!("no masking fault-tolerant repair exists under these inputs");
         emit_report(&report);
+        emit_trace(&tele, &prog.name);
         return ExitCode::from(1);
     }
 
     let (m, r) = verify_outcome(prog, &out);
     report.set("verified", (m.ok() && r.ok()).into());
     if emit_report(&report) != ExitCode::SUCCESS {
+        return ExitCode::from(2);
+    }
+    if emit_trace(&tele, &prog.name) != ExitCode::SUCCESS {
         return ExitCode::from(2);
     }
     eprintln!(

@@ -110,7 +110,8 @@ fn repair_with_metrics_out_appends_jsonl() {
 fn repair_with_trace_streams_spans_to_stderr() {
     let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--trace"]);
     assert!(ok, "{stderr}");
-    assert!(stderr.contains("trace: > outer_iteration"), "{stderr}");
+    assert!(stderr.contains("trace: > job"), "{stderr}");
+    assert!(stderr.contains("> outer_iteration"), "{stderr}");
     assert!(stderr.contains("< step1"), "{stderr}");
     assert!(stderr.contains("< step2"), "{stderr}");
 }
@@ -176,4 +177,52 @@ fn unknown_command_is_rejected() {
     let (_, stderr, ok) = ftrepair(&["frobnicate", &spec("toggle_pair.ftr")]);
     assert!(!ok);
     assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn metrics_dump_renders_prometheus_that_passes_prom_lint() {
+    let dir = std::env::temp_dir().join("ftrepair-cli-promdump");
+    std::fs::create_dir_all(&dir).unwrap();
+    let runs = dir.join("runs.jsonl");
+    let _ = std::fs::remove_file(&runs);
+    let runs_str = runs.to_str().unwrap();
+
+    let (_, _, ok) = ftrepair(&["repair", &spec("token_ring.ftr"), "--metrics-out", runs_str]);
+    assert!(ok);
+    let (_, _, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--metrics-out", runs_str]);
+    assert!(ok);
+
+    let (exposition, stderr, ok) = ftrepair(&["metrics-dump", runs_str]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("merged 2 report line(s)"), "{stderr}");
+    assert!(exposition.contains("# TYPE ftr_repair_step1_seconds histogram"), "{exposition}");
+    assert!(exposition.contains("ftr_repair_step1_seconds_bucket{le=\"+Inf\"} 2"), "{exposition}");
+    let violations = ftrepair::telemetry::prometheus::lint(&exposition);
+    assert!(violations.is_empty(), "{violations:?}\n{exposition}");
+
+    // The same text satisfies the in-tree linter subcommand (file and stdin
+    // are both accepted; CI pipes the live /metrics scrape through `-`).
+    let exposition_path = dir.join("exposition.txt");
+    std::fs::write(&exposition_path, &exposition).unwrap();
+    let (_, lint_stderr, ok) = ftrepair(&["prom-lint", exposition_path.to_str().unwrap()]);
+    assert!(ok, "{lint_stderr}");
+    assert!(lint_stderr.contains(": ok"), "{lint_stderr}");
+}
+
+#[test]
+fn prom_lint_rejects_malformed_exposition() {
+    let dir = std::env::temp_dir().join("ftrepair-cli-promdump");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad-exposition.txt");
+    std::fs::write(&bad, "ftr_orphan_bucket{le=\"0.5\"} 3\nnot a sample line\n").unwrap();
+    let (_, stderr, ok) = ftrepair(&["prom-lint", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("prom-lint"), "{stderr}");
+}
+
+#[test]
+fn trace_out_without_a_path_is_rejected() {
+    let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--trace-out"]);
+    assert!(!ok);
+    assert!(stderr.contains("--trace-out requires an argument"), "{stderr}");
 }

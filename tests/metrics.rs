@@ -20,7 +20,7 @@ fn token_ring_report_is_valid_jsonl_and_agrees_with_stats() {
     let j = Json::parse(&line).unwrap();
 
     // Identification and schema.
-    assert_eq!(j.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(j.get("schema_version").unwrap().as_u64(), Some(2));
     assert_eq!(j.get("case").unwrap().as_str(), Some("token-ring-3x3"));
     assert_eq!(j.get("failed").unwrap().as_bool(), Some(false));
 

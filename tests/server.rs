@@ -55,6 +55,46 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json
     (status, json)
 }
 
+/// Like [`request`] but with caller-supplied request headers, returning the
+/// response headers (lowercased names) and the raw body text — for tests
+/// that care about `X-Trace-Id` echo or non-JSON bodies.
+fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\nConnection: close\r\n\r\n{body}", body.len()));
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let text = String::from_utf8(reply).expect("UTF-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {:?}", text.lines().next()));
+    let (head, tail) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    let response_headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    (status, response_headers, tail.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
 #[test]
 fn repair_round_trips_both_example_specs() {
     let (addr, handle, join) = start(test_config());
@@ -321,6 +361,94 @@ fn metrics_out_gets_per_job_reports_and_a_shutdown_summary() {
     assert!(lines[0].get("server_key").is_some(), "job line carries the content address");
     assert_eq!(lines[1].get("case").and_then(Json::as_str), Some("server"));
     assert_eq!(lines[1].get("mode").and_then(Json::as_str), Some("summary"));
+}
+
+#[test]
+fn trace_ids_round_trip_and_jobs_expose_records() {
+    let (addr, handle, join) = start(test_config());
+    let toggle = spec("toggle_pair.ftr");
+
+    // A well-formed X-Trace-Id header is adopted: echoed in the response
+    // header and body, and used as the /jobs key.
+    let hex = "00000000deadbeef";
+    let (status, headers, body) =
+        request_full(addr, "POST", "/repair", &[("X-Trace-Id", hex)], &toggle);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-trace-id"), Some(hex), "{headers:?}");
+    let body = Json::parse(&body).expect("JSON body");
+    assert_eq!(body.get("trace_id").and_then(Json::as_str), Some(hex), "{body}");
+
+    let (status, record) = request(addr, "GET", &format!("/jobs/{hex}"), "");
+    assert_eq!(status, 200, "{record}");
+    assert_eq!(record.get("ok").and_then(Json::as_bool), Some(true), "{record}");
+    assert_eq!(record.get("trace_id").and_then(Json::as_str), Some(hex));
+    assert_eq!(record.get("case").and_then(Json::as_str), Some("toggle_pair"));
+    assert_eq!(record.get("status").and_then(Json::as_str), Some("done"), "{record}");
+    let detail = record.get("detail").expect("detail object");
+    assert!(detail.get("outer_iterations").and_then(Json::as_u64) >= Some(1), "{record}");
+    assert_eq!(detail.get("verified").and_then(Json::as_bool), Some(true), "{record}");
+
+    // A resubmission is a cache hit under its own server-minted ID; /jobs
+    // lists both records newest-first.
+    let (status, body) = request(addr, "POST", "/repair", &toggle);
+    assert_eq!(status, 200, "{body}");
+    let minted = body.get("trace_id").and_then(Json::as_str).expect("minted id").to_string();
+    assert_ne!(minted, hex, "server must mint when no header is sent");
+    let (status, listing) = request(addr, "GET", "/jobs", "");
+    assert_eq!(status, 200, "{listing}");
+    let jobs = match listing.get("jobs").expect("jobs array") {
+        Json::Arr(v) => v,
+        other => panic!("jobs not an array: {other:?}"),
+    };
+    assert_eq!(jobs.len(), 2, "{listing}");
+    assert_eq!(jobs[0].get("trace_id").and_then(Json::as_str), Some(minted.as_str()));
+    assert_eq!(jobs[0].get("status").and_then(Json::as_str), Some("cache_hit"), "{listing}");
+    assert_eq!(jobs[1].get("trace_id").and_then(Json::as_str), Some(hex));
+
+    // Unknown and malformed IDs are clean errors, not 500s.
+    let (status, _) = request(addr, "GET", "/jobs/0000000000000001", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/jobs/not-a-trace-id", "");
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn prometheus_exposition_lints_clean_and_metrics_json_is_v2() {
+    let (addr, handle, join) = start(test_config());
+    let (status, _) = request(addr, "POST", "/repair", &spec("toggle_pair.ftr"));
+    assert_eq!(status, 200);
+
+    let (status, headers, text) = request_full(addr, "GET", "/metrics?format=prometheus", &[], "");
+    assert_eq!(status, 200, "{text}");
+    assert!(
+        header(&headers, "content-type").unwrap_or("").contains("version=0.0.4"),
+        "{headers:?}"
+    );
+    let violations = ftrepair::telemetry::prometheus::lint(&text);
+    assert!(violations.is_empty(), "lint violations {violations:?} in:\n{text}");
+    assert!(text.contains("# TYPE ftr_server_request_seconds histogram"), "{text}");
+    assert!(text.contains("ftr_server_request_seconds_bucket{le=\"+Inf\"}"), "{text}");
+    assert!(text.contains("ftr_server_cache_misses_total"), "{text}");
+    assert!(text.contains("ftr_server_uptime_seconds"), "{text}");
+
+    let (status, _, body) = request_full(addr, "GET", "/metrics?format=csv", &[], "");
+    assert_eq!(status, 400, "unknown formats must be rejected: {body}");
+
+    // The JSON shape: schema v2 with first-class histogram objects, built
+    // from a direct registry snapshot (no synthetic RunReport).
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metrics.get("schema_version").and_then(Json::as_u64), Some(2), "{metrics}");
+    let hists = metrics.get("histograms").expect("histograms object");
+    let req = hists.get("server.request.seconds").expect("request latency histogram");
+    assert!(req.get("count").and_then(Json::as_u64) >= Some(1), "{metrics}");
+    assert!(hists.get("server.queue_wait.seconds").is_some(), "{metrics}");
+
+    handle.shutdown();
+    join.join().unwrap();
 }
 
 /// Binary-level: `ftrepair serve` announces its address, serves traffic,
