@@ -79,7 +79,120 @@ impl std::fmt::Display for ImportError {
 
 impl std::error::Error for ImportError {}
 
+/// Why a binary [`SerializedBdd`] blob failed to decode. Decoding is purely
+/// syntactic — a blob that decodes still goes through [`Manager::try_import`]
+/// for structural validation, so a byte flip that survives decode is caught
+/// there (or by the disk store's whole-file checksum before it ever gets
+/// here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// The first four bytes are not the `FBDD` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion { got: u32 },
+    /// A declared length does not fit in the remaining buffer (rejected
+    /// before allocating, so a hostile length prefix cannot balloon memory).
+    Oversized,
+    /// Bytes remain after the encoded root.
+    TrailingBytes { extra: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "blob truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic (not an FBDD blob)"),
+            DecodeError::BadVersion { got } => write!(f, "unsupported FBDD version {got}"),
+            DecodeError::Oversized => write!(f, "declared length exceeds the blob"),
+            DecodeError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after root"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Binary format magic: "FBDD".
+const FBDD_MAGIC: [u8; 4] = *b"FBDD";
+/// Binary format version.
+const FBDD_VERSION: u32 = 1;
+
+/// Little-endian u32 reader over a byte cursor.
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let end = pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+    let chunk = bytes.get(*pos..end).ok_or(DecodeError::Truncated)?;
+    *pos = end;
+    Ok(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+}
+
 impl SerializedBdd {
+    /// Encode as a self-describing little-endian binary blob:
+    /// `"FBDD"` magic, version, `num_vars`, length-prefixed `order`,
+    /// length-prefixed `nodes` (three u32 per node), `root`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 4 * self.order.len() + 12 * self.nodes.len());
+        out.extend_from_slice(&FBDD_MAGIC);
+        out.extend_from_slice(&FBDD_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.num_vars.to_le_bytes());
+        out.extend_from_slice(&(self.order.len() as u32).to_le_bytes());
+        for &v in &self.order {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for &(var, lo, hi) in &self.nodes {
+            out.extend_from_slice(&var.to_le_bytes());
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+        }
+        out.extend_from_slice(&self.root.to_le_bytes());
+        out
+    }
+
+    /// Decode a blob produced by [`SerializedBdd::to_bytes`]. Length
+    /// prefixes are checked against the remaining buffer before any
+    /// allocation; the whole buffer must be consumed. The result is *not*
+    /// structurally validated — pass it to [`Manager::try_import`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<SerializedBdd, DecodeError> {
+        let mut pos = 0usize;
+        if bytes.len() < 4 || bytes[..4] != FBDD_MAGIC {
+            if bytes.len() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            return Err(DecodeError::BadMagic);
+        }
+        pos += 4;
+        let version = read_u32(bytes, &mut pos)?;
+        if version != FBDD_VERSION {
+            return Err(DecodeError::BadVersion { got: version });
+        }
+        let num_vars = read_u32(bytes, &mut pos)?;
+        let order_len = read_u32(bytes, &mut pos)? as usize;
+        if order_len > (bytes.len() - pos) / 4 {
+            return Err(DecodeError::Oversized);
+        }
+        let mut order = Vec::with_capacity(order_len);
+        for _ in 0..order_len {
+            order.push(read_u32(bytes, &mut pos)?);
+        }
+        let node_len = read_u32(bytes, &mut pos)? as usize;
+        if node_len > (bytes.len() - pos) / 12 {
+            return Err(DecodeError::Oversized);
+        }
+        let mut nodes = Vec::with_capacity(node_len);
+        for _ in 0..node_len {
+            let var = read_u32(bytes, &mut pos)?;
+            let lo = read_u32(bytes, &mut pos)?;
+            let hi = read_u32(bytes, &mut pos)?;
+            nodes.push((var, lo, hi));
+        }
+        let root = read_u32(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(DecodeError::TrailingBytes { extra: bytes.len() - pos });
+        }
+        Ok(SerializedBdd { num_vars, order, nodes, root })
+    }
+
     /// Structural validation against an importing manager with `have` >=
     /// `num_vars` variables; every check `import` relies on.
     fn validate(&self, have: u32) -> Result<(), ImportError> {
@@ -451,6 +564,109 @@ mod tests {
         let s = m.export(f);
         let s2 = s.clone();
         assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = Manager::new(3);
+        let f = sample(&mut m);
+        let s = m.export(f);
+        let bytes = s.to_bytes();
+        let back = SerializedBdd::from_bytes(&bytes).expect("decodes");
+        assert_eq!(s, back);
+        let mut m2 = Manager::new(3);
+        let g = m2.try_import(&back).expect("imports");
+        for bits in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(m.eval(f, &a), m2.eval(g, &a), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_terminals() {
+        let m = Manager::new(2);
+        for t in [FALSE, TRUE] {
+            let s = m.export(t);
+            let back = SerializedBdd::from_bytes(&s.to_bytes()).expect("decodes");
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_version() {
+        let mut m = Manager::new(2);
+        let f = m.var(0);
+        let mut bytes = m.export(f).to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(SerializedBdd::from_bytes(&bytes), Err(DecodeError::BadMagic));
+        let mut bytes = m.export(f).to_bytes();
+        bytes[4] = 99;
+        assert_eq!(SerializedBdd::from_bytes(&bytes), Err(DecodeError::BadVersion { got: 99 }));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let mut m = Manager::new(4);
+        let f = sample(&mut m);
+        let bytes = m.export(f).to_bytes();
+        for cut in 0..bytes.len() {
+            let err = SerializedBdd::from_bytes(&bytes[..cut]).unwrap_err();
+            // A cut inside a length-prefixed section reads back as
+            // `Oversized` (the surviving prefix declares more content than
+            // remains) — any of the three is a correct rejection.
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated | DecodeError::BadMagic | DecodeError::Oversized
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut m = Manager::new(2);
+        let f = m.var(1);
+        let mut bytes = m.export(f).to_bytes();
+        bytes.push(0);
+        assert_eq!(SerializedBdd::from_bytes(&bytes), Err(DecodeError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn decode_rejects_hostile_length_prefix_before_allocating() {
+        // A blob claiming u32::MAX order entries in a 32-byte buffer must be
+        // rejected by the length-vs-remaining check, not by attempting a
+        // 16 GiB allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FBDD");
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // version
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // num_vars
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // order_len: hostile
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(SerializedBdd::from_bytes(&bytes), Err(DecodeError::Oversized));
+        // Same for the node table.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FBDD");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // num_vars
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // order_len
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // order[0]
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // node_len: hostile
+        assert_eq!(SerializedBdd::from_bytes(&bytes), Err(DecodeError::Oversized));
+    }
+
+    #[test]
+    fn decode_errors_display() {
+        for e in [
+            DecodeError::Truncated,
+            DecodeError::BadMagic,
+            DecodeError::BadVersion { got: 2 },
+            DecodeError::Oversized,
+            DecodeError::TrailingBytes { extra: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod reorder;
 pub mod rng;
 mod sat;
 
-pub use dump::{ImportError, SerializedBdd};
+pub use dump::{DecodeError, ImportError, SerializedBdd};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use manager::{CacheCounter, CacheStats, Manager, ManagerStats};
 pub use node::{NodeId, FALSE, TRUE};

@@ -1,0 +1,20 @@
+//! Ablation E — warm-start repair from a stored neighbor (our persistence
+//! extension, not in the paper).
+//!
+//! A one-action edit of a spec whose repair is already on disk should not
+//! pay for the full forward-reachability fixpoint again: the stored
+//! invariant/fault-span BDDs seed Step 1's Phase 3, and Phase 4 shrinks
+//! any over-approximation back to the same fixpoint. This bench prints
+//! cold vs warm totals for the stabilizing chain and asserts exact parity
+//! between the two repairs.
+
+use ftrepair_bench::{ablation_warm_start, render_warm_start};
+
+fn main() {
+    let rows = ablation_warm_start(&[(6, 8), (8, 8), (10, 8)]);
+    for r in &rows {
+        assert!(r.parity, "warm/cold diverged on {}", r.cold.instance);
+        assert!(r.cold.verified && r.warm.verified);
+    }
+    print!("{}", render_warm_start(&rows, "Ablation E — warm-start from stored neighbor"));
+}

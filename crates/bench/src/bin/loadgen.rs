@@ -24,6 +24,15 @@
 //! throughput, latency percentiles, retries, and status/cache breakdowns;
 //! `--metrics-out` appends the summary as one JSONL run report in the same
 //! schema as the CLI and the bench tables, histogram included.
+//!
+//! `--restart-after N` splits the run into two phases for measuring the
+//! persistent store's warm restart: the first N requests form the *cold*
+//! phase, then the generator pauses `--restart-pause` seconds — long
+//! enough for a harness to SIGTERM the daemon and restart it on the same
+//! `--store-dir` — and the remaining requests form the *warm* phase
+//! against the restarted daemon (connect retries absorb the gap). The
+//! report then carries separate `cold_*`/`warm_*` latency percentiles, so
+//! the post-restart p99 collapse is one JSONL line.
 
 use ftrepair_telemetry::report::histogram_to_json;
 use ftrepair_telemetry::trace::format_trace_id;
@@ -45,6 +54,8 @@ struct Args {
     connect_timeout: Duration,
     max_retries: usize,
     metrics_out: Option<PathBuf>,
+    restart_after: Option<usize>,
+    restart_pause: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         connect_timeout: Duration::from_secs(5),
         max_retries: 3,
         metrics_out: None,
+        restart_after: None,
+        restart_pause: Duration::from_secs(2),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -90,6 +103,17 @@ fn parse_args() -> Result<Args, String> {
                 args.max_retries = value(i)?.parse().map_err(|_| "--retries: not a number")?
             }
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value(i)?)),
+            "--restart-after" => {
+                args.restart_after =
+                    Some(value(i)?.parse().map_err(|_| "--restart-after: not a number")?)
+            }
+            "--restart-pause" => {
+                let secs: f64 = value(i)?.parse().map_err(|_| "--restart-pause: not a number")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--restart-pause must be non-negative seconds".to_string());
+                }
+                args.restart_pause = Duration::from_secs_f64(secs);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += if argv[i].starts_with("--") { 2 } else { 1 };
@@ -105,6 +129,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.conns == 0 || args.requests == 0 {
         return Err("--conns and --requests must be at least 1".to_string());
+    }
+    if let Some(n) = args.restart_after {
+        if n == 0 || n >= args.requests {
+            return Err("--restart-after must leave requests in both phases".to_string());
+        }
     }
     Ok(args)
 }
@@ -222,30 +251,27 @@ fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample,
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
+/// Issue `count` requests over `args.conns` connections, rotating through
+/// the spec list from index 0 (both phases of a restart run post the same
+/// spec rotation — that is what makes the second phase warm). `phase`
+/// seeds the jitter streams so the two phases do not replay identical
+/// backoff schedules.
+fn run_batch(args: &Args, count: usize, phase: u64) -> Vec<(Result<Sample, String>, usize)> {
     let next = AtomicUsize::new(0);
-    let started = Instant::now();
-    let results: Vec<(Result<Sample, String>, usize)> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.conns)
             .map(|conn| {
                 let next = &next;
-                let args = &args;
                 scope.spawn(move || {
                     // Per-connection jitter stream, seeded distinctly so
                     // concurrent backoffs do not march in step.
-                    let mut rng: u64 = 0x10AD_6E4E ^ (conn as u64).wrapping_mul(0xA5A5_A5A5);
+                    let mut rng: u64 = 0x10AD_6E4E
+                        ^ (conn as u64).wrapping_mul(0xA5A5_A5A5)
+                        ^ phase.wrapping_mul(0x5EED_0CE1);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= args.requests {
+                        if i >= count {
                             break;
                         }
                         let (_, body) = &args.specs[i % args.specs.len()];
@@ -256,8 +282,52 @@ fn main() -> ExitCode {
             })
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-    });
-    let elapsed = started.elapsed();
+    })
+}
+
+/// Latency percentiles of one phase's successful requests.
+fn phase_latency(results: &[(Result<Sample, String>, usize)]) -> (Duration, Duration, u64) {
+    let hist = Histogram::new();
+    for (r, _) in results {
+        if let Ok(s) = r {
+            hist.observe_duration(s.latency);
+        }
+    }
+    let snap = hist.snapshot();
+    (snap.percentile_duration(50.0), snap.percentile_duration(99.0), snap.count)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // `elapsed` sums the measuring windows only — the restart pause is not
+    // the daemon's latency and must not dilute the throughput number.
+    let cold_count = args.restart_after.unwrap_or(args.requests);
+    let started = Instant::now();
+    let cold_results = run_batch(&args, cold_count, 0);
+    let mut elapsed = started.elapsed();
+    let warm_results = if args.restart_after.is_some() {
+        eprintln!(
+            "loadgen: cold phase done ({} requests); pausing {:.2?} for the daemon restart",
+            cold_results.len(),
+            args.restart_pause,
+        );
+        std::thread::sleep(args.restart_pause);
+        let warm_started = Instant::now();
+        let warm = run_batch(&args, args.requests - cold_count, 1);
+        elapsed += warm_started.elapsed();
+        warm
+    } else {
+        Vec::new()
+    };
+    let results: Vec<&(Result<Sample, String>, usize)> =
+        cold_results.iter().chain(warm_results.iter()).collect();
 
     // Every completed request's latency lands in the histogram — no
     // sampling, fixed memory — and the reported percentiles come straight
@@ -270,7 +340,7 @@ fn main() -> ExitCode {
     let mut other_status = 0usize;
     let mut retries = 0usize;
     let mut trace_mismatches = 0usize;
-    for (r, tries) in &results {
+    for (r, tries) in results.iter().copied() {
         retries += tries;
         match r {
             Ok(s) => {
@@ -309,6 +379,16 @@ fn main() -> ExitCode {
         "  status: {ok} ok, {busy} busy (429), {other_status} other, {errors} transport errors; {cached} cache hits; {retries} retries",
     );
     eprintln!("  latency: p50 {p50:.2?}, p90 {p90:.2?}, p99 {p99:.2?}, p999 {p999:.2?} (histogram, {} samples)", latency.count);
+    if args.restart_after.is_some() {
+        let (cold_p50, cold_p99, cold_n) = phase_latency(&cold_results);
+        let (warm_p50, warm_p99, warm_n) = phase_latency(&warm_results);
+        eprintln!(
+            "  cold (before restart): p50 {cold_p50:.2?}, p99 {cold_p99:.2?} ({cold_n} samples)"
+        );
+        eprintln!(
+            "  warm (after restart):  p50 {warm_p50:.2?}, p99 {warm_p99:.2?} ({warm_n} samples)"
+        );
+    }
     if trace_mismatches > 0 {
         eprintln!("  WARNING: {trace_mismatches} responses did not echo X-Trace-Id");
     }
@@ -334,6 +414,18 @@ fn main() -> ExitCode {
     report.set("latency_p99_s", p99.as_secs_f64().into());
     report.set("latency_p999_s", p999.as_secs_f64().into());
     report.set("latency_count", latency.count.into());
+    if let Some(n) = args.restart_after {
+        let (cold_p50, cold_p99, cold_n) = phase_latency(&cold_results);
+        let (warm_p50, warm_p99, warm_n) = phase_latency(&warm_results);
+        report.set("restart_after", n.into());
+        report.set("restart_pause_s", args.restart_pause.as_secs_f64().into());
+        report.set("cold_p50_s", cold_p50.as_secs_f64().into());
+        report.set("cold_p99_s", cold_p99.as_secs_f64().into());
+        report.set("cold_count", cold_n.into());
+        report.set("warm_p50_s", warm_p50.as_secs_f64().into());
+        report.set("warm_p99_s", warm_p99.as_secs_f64().into());
+        report.set("warm_count", warm_n.into());
+    }
     // The full histogram, in the same shape the schema-v2 run reports use,
     // so `ftrepair metrics-dump` can merge loadgen files too.
     let mut hists = Json::obj();

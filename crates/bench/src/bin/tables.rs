@@ -14,8 +14,8 @@
 //! downstream tooling can consume table runs and CLI runs uniformly.
 
 use ftrepair_bench::{
-    ablation_reorder, measure, render, render_reorder, table1, table1_lazy_only, table2, table3,
-    Row,
+    ablation_reorder, ablation_warm_start, measure, render, render_reorder, render_warm_start,
+    table1, table1_lazy_only, table2, table3, Row,
 };
 use ftrepair_casestudies::{byzantine_agreement, stabilizing_chain};
 use ftrepair_core::RepairOptions;
@@ -47,17 +47,19 @@ fn main() {
         "table3" => run_table3(large, huge),
         "ablations" => run_ablations(large),
         "ablation_reorder" => run_ablation_reorder(large),
+        "ablation_warm" => run_ablation_warm(large),
         "all" => {
             let mut rows = run_table1(large);
             rows.extend(run_table2(large));
             rows.extend(run_table3(large, huge));
             rows.extend(run_ablations(large));
             rows.extend(run_ablation_reorder(large));
+            rows.extend(run_ablation_warm(large));
             rows
         }
         other => {
             eprintln!(
-                "unknown selector {other}; use table1|table2|table3|ablations|ablation_reorder|all"
+                "unknown selector {other}; use table1|table2|table3|ablations|ablation_reorder|ablation_warm|all"
             );
             std::process::exit(1);
         }
@@ -184,6 +186,21 @@ fn run_ablations(large: bool) -> Vec<Row> {
     );
 
     vec![with, without, closed, iter_expand, iter_plain, seq, par]
+}
+
+/// Ablation E: warm-start repair from the disk store. A one-action edit of
+/// a spec whose repair is already persisted seeds Step 1's reachability
+/// from the stored neighbor's invariant/span BDDs; cold and warm results
+/// are compared root-for-root (exact parity) and both re-verified.
+fn run_ablation_warm(large: bool) -> Vec<Row> {
+    let sizes: &[(usize, u64)] =
+        if large { &[(6, 8), (8, 8), (10, 8), (12, 8)] } else { &[(6, 8), (8, 8), (10, 8)] };
+    let measured = ablation_warm_start(sizes);
+    println!(
+        "{}",
+        render_warm_start(&measured, "Ablation E — warm-start from stored neighbor (ours)")
+    );
+    measured.into_iter().flat_map(|r| [r.cold, r.warm]).collect()
 }
 
 /// Ablation D: dynamic variable reordering. Runs the big chain instances —

@@ -254,6 +254,226 @@ pub fn ablation_reorder(
         .collect()
 }
 
+/// One measurement of the warm-start ablation: the same one-action-edited
+/// spec repaired cold and warm (seeded through the disk store's near-key
+/// lookup), plus the exact parity verdict between the two results.
+#[derive(Clone, Debug)]
+pub struct WarmStartRow {
+    /// Fingerprint distance between the edited spec and its stored donor.
+    pub neighbor_distance: usize,
+    /// The edited spec repaired from scratch.
+    pub cold: Row,
+    /// The edited spec repaired with the donor's invariant/span seeds.
+    pub warm: Row,
+    /// `cold total / warm total`.
+    pub speedup: f64,
+    /// Did warm and cold produce semantically identical invariant, span,
+    /// and repaired transition relation? Checked exactly: the cold BDDs are
+    /// exported, re-imported into the warm run's manager (canonicalizing
+    /// them in its order), and compared root-for-root.
+    pub parity: bool,
+}
+
+/// The stabilizing chain `Sc^n` written in the input language, so the
+/// warm-start ablation exercises the same text → fingerprint → store →
+/// seed pipeline the daemon uses. `edited` adds one action to the first
+/// cell — a different content key at fingerprint distance 1.
+pub fn warm_chain_spec(n: usize, d: u64, edited: bool) -> String {
+    use std::fmt::Write;
+    assert!(n >= 2 && d >= 2);
+    let mut s = String::new();
+    writeln!(s, "program warmchain{n}x{d}{};\n", if edited { "e" } else { "" }).unwrap();
+    for i in 0..n {
+        writeln!(s, "var x{i} : 0..{};", d - 1).unwrap();
+    }
+    for i in 1..n {
+        writeln!(s, "\nprocess c{i}\n  read x{}, x{i};\n  write x{i};\nbegin", i - 1).unwrap();
+        writeln!(s, "  !(x{i} = x{}) -> x{i} := x{};", i - 1, i - 1).unwrap();
+        if edited && i == 1 {
+            // The one-action edit: a distinct action whose transitions are
+            // already covered by the copy action above, so the program's
+            // behavior (and its repair) is unchanged — only the text, the
+            // content key, and the fingerprint move.
+            writeln!(s, "  (x1 < x0) -> x1 := x0;").unwrap();
+        }
+        writeln!(s, "end").unwrap();
+    }
+    let choices = (0..d).map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+    writeln!(s, "\nfault transient\nbegin").unwrap();
+    for i in 0..n {
+        writeln!(s, "  true -> x{i} := {{{choices}}};").unwrap();
+    }
+    writeln!(s, "end\n").unwrap();
+    let inv = (1..n).map(|i| format!("(x{} = x{i})", i - 1)).collect::<Vec<_>>().join(" & ");
+    writeln!(s, "invariant {inv};").unwrap();
+    s
+}
+
+/// The warm-start ablation: persist the unedited chain's repair in a
+/// throwaway [`DiskStore`], then repair the one-action-edited chain twice —
+/// cold, and warm via the store's fingerprint nearest-neighbor lookup (the
+/// full serialize → disk → decode → import round trip). Each row reports
+/// the speedup and an exact parity check between the two repairs.
+///
+/// [`DiskStore`]: ftrepair_store::DiskStore
+pub fn ablation_warm_start(sizes: &[(usize, u64)]) -> Vec<WarmStartRow> {
+    use ftrepair_store::{
+        DiskStore, NewEntry, SpecFingerprint, ART_INVARIANT, ART_SPAN, ART_TRANS,
+    };
+
+    let store_root =
+        std::env::temp_dir().join(format!("ftrepair-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let tele = Telemetry::off();
+    let store = DiskStore::open(&store_root, 0, &tele).expect("open bench store");
+
+    let rows = sizes
+        .iter()
+        .map(|&(n, d)| {
+            let instance = format!("Sc^{n}(d={d})");
+            let opts = RepairOptions::default();
+
+            // Donor: cold-repair the unedited spec, persist its artifacts.
+            let donor_src = warm_chain_spec(n, d, false);
+            let donor_ast = ftrepair_lang::parse(&donor_src).expect("donor parses");
+            let mut donor = ftrepair_lang::compile(&donor_ast).expect("donor compiles");
+            let donor_out = lazy_repair_traced(&mut donor, &opts, &Telemetry::off())
+                .expect("bench runs have no deadline");
+            assert!(!donor_out.failed, "donor repair failed on {instance}");
+            let mgr = donor.cx.mgr_ref();
+            store
+                .put(&NewEntry {
+                    key: ftrepair_store::content_key(&donor_src, "lazy"),
+                    case: instance.clone(),
+                    mode: "lazy".into(),
+                    warm_start: false,
+                    fingerprint: SpecFingerprint::of(&donor_ast),
+                    response: ftrepair_telemetry::Json::obj(),
+                    artifacts: vec![
+                        (ART_TRANS.into(), mgr.export(donor_out.trans)),
+                        (ART_INVARIANT.into(), mgr.export(donor_out.invariant)),
+                        (ART_SPAN.into(), mgr.export(donor_out.span)),
+                    ],
+                })
+                .expect("store donor entry");
+
+            // Cold baseline on the edited spec.
+            let edited_src = warm_chain_spec(n, d, true);
+            let edited_ast = ftrepair_lang::parse(&edited_src).expect("edited parses");
+            let factory = || ftrepair_lang::compile(&edited_ast).expect("edited compiles");
+            let cold = measure(format!("{instance} cold"), factory, &opts, false);
+            assert!(cold.verified, "cold repair unverified on {instance}");
+
+            // Warm: fingerprint lookup → donor artifacts → seeded repair.
+            let fp = SpecFingerprint::of(&edited_ast);
+            let (donor_key, neighbor_distance) =
+                store.nearest(&fp, 16).expect("donor is within warm distance");
+            let stored = store.peek(&donor_key).expect("donor entry readable");
+            let mut prog = factory();
+            let seeds = ftrepair_core::WarmSeeds {
+                invariant: ftrepair_store::find_artifact(&stored.artifacts, ART_INVARIANT)
+                    .map(|a| prog.cx.mgr().try_import(a).expect("invariant imports")),
+                span: ftrepair_store::find_artifact(&stored.artifacts, ART_SPAN)
+                    .map(|a| prog.cx.mgr().try_import(a).expect("span imports")),
+            };
+            for root in seeds.roots() {
+                prog.cx.mgr().protect(root);
+            }
+            let wtele = Telemetry::new();
+            let winstance = format!("{instance} warm");
+            let wout = ftrepair_core::lazy_repair_warm(
+                &mut prog,
+                &opts,
+                &wtele,
+                &ftrepair_core::Token::unbounded(),
+                &seeds,
+            )
+            .expect("bench runs have no deadline");
+            assert!(!wout.failed, "warm repair failed on {instance}");
+            let mut wreport = build_run_report(
+                &winstance,
+                "lazy",
+                &opts,
+                &wout.stats,
+                wout.failed,
+                &wtele,
+                &prog.cx,
+            );
+            let wverified = {
+                let (m, r) = verify_outcome(&mut prog, &wout);
+                m.ok() && r.ok()
+            };
+            assert!(wverified, "warm repair unverified on {instance}");
+            wreport.set("reachable_states", cold.reachable_states.into());
+            wreport.set("verified", wverified.into());
+
+            // Exact parity: canonicalize the cold roots in the warm
+            // manager and compare. Import is order-robust, so this holds
+            // even if dynamic reordering moved the two managers apart.
+            let parity = {
+                let cold_prog_exports = {
+                    let mut cp = factory();
+                    let cout = ftrepair_core::lazy_repair(&mut cp, &opts)
+                        .expect("bench runs have no deadline");
+                    let m = cp.cx.mgr_ref();
+                    [m.export(cout.invariant), m.export(cout.span), m.export(cout.trans)]
+                };
+                let m = prog.cx.mgr();
+                m.try_import(&cold_prog_exports[0]) == Ok(wout.invariant)
+                    && m.try_import(&cold_prog_exports[1]) == Ok(wout.span)
+                    && m.try_import(&cold_prog_exports[2]) == Ok(wout.trans)
+            };
+
+            let warm = Row {
+                instance: winstance,
+                reachable_states: cold.reachable_states,
+                cautious: None,
+                step1: wout.stats.step1_time,
+                step2: wout.stats.step2_time,
+                outer_iterations: wout.stats.outer_iterations,
+                verified: wverified,
+                failed: wout.failed,
+                report: wreport,
+            };
+            let speedup =
+                cold.lazy_total().as_secs_f64() / warm.lazy_total().as_secs_f64().max(f64::EPSILON);
+            WarmStartRow { neighbor_distance, cold, warm, speedup, parity }
+        })
+        .collect();
+
+    let _ = std::fs::remove_dir_all(&store_root);
+    rows
+}
+
+/// Render warm-start ablation rows as a markdown table.
+pub fn render_warm_start(rows: &[WarmStartRow], title: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "### {title}\n").unwrap();
+    writeln!(
+        out,
+        "| Instance | Reachable states | Distance | Cold total | Warm total | Speedup | Parity | Verified |"
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|---|---|---|---|---|").unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "| {} | 10^{:.1} | {} | {:.3}s | {:.3}s | {:.2}× | {} | {} |",
+            r.cold.instance.trim_end_matches(" cold"),
+            r.cold.reachable_states.log10(),
+            r.neighbor_distance,
+            r.cold.lazy_total().as_secs_f64(),
+            r.warm.lazy_total().as_secs_f64(),
+            r.speedup,
+            if r.parity { "exact" } else { "DIVERGED" },
+            if r.cold.verified && r.warm.verified { "yes" } else { "NO" },
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Render reorder-ablation rows as a markdown table. "Peak ×" is the
 /// baseline (`none`) peak divided by this row's peak — the factor by which
 /// the mode shrinks the repair's memory high-water mark.

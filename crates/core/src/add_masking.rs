@@ -6,6 +6,7 @@
 //! cross-validation tests).
 
 use crate::cancel::{RepairAborted, Token};
+use crate::warm::WarmSeeds;
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{semantics, DistributedProgram, Safety};
 use ftrepair_telemetry::{Json, Telemetry};
@@ -65,6 +66,31 @@ pub fn add_masking_traced(
     restrict_to_reachable: bool,
     tele: &Telemetry,
     token: &Token,
+) -> Result<AddMaskingResult, RepairAborted> {
+    add_masking_seeded(
+        prog,
+        invariant,
+        safety,
+        restrict_to_reachable,
+        tele,
+        token,
+        &WarmSeeds::none(),
+    )
+}
+
+/// [`add_masking_traced`] with warm-start seeds: Phase 3's forward
+/// reachability starts from `s1 ∪ (seed ∩ universe)` instead of `s1`. Any
+/// seed is sound — the span stays within `universe − ms` (the
+/// non-heuristic mode's span) and Phase 4 shrinks it to the same fixpoint;
+/// see [`crate::warm`]. Empty seeds reproduce the cold path bit-for-bit.
+pub fn add_masking_seeded(
+    prog: &mut DistributedProgram,
+    invariant: NodeId,
+    safety: &Safety,
+    restrict_to_reachable: bool,
+    tele: &Telemetry,
+    token: &Token,
+    seeds: &WarmSeeds,
 ) -> Result<AddMaskingResult, RepairAborted> {
     token.check()?;
     let cx = &mut prog.cx;
@@ -133,6 +159,22 @@ pub fn add_masking_traced(
     let mut t1 = if restrict_to_reachable {
         let _reach_span = tele.span("step1.reachability");
         let combined = cx.mgr().or(delta_p, faults);
+        // Warm start: widen the frontier with the cached neighbor's
+        // invariant ∪ span, clamped to this program's universe. The fixpoint
+        // from a superset start converges in O(1) frontier steps when the
+        // seed already covers the reachable set, and the extra states are
+        // swept out by `− ms` here and by Phase 4's shrinking fixpoint —
+        // the seeded span never exceeds the non-heuristic `universe − ms`.
+        let mut start = s1;
+        if !seeds.is_empty() {
+            tele.add("repair.warm_seeded_reachability", 1);
+            let mut seed = FALSE;
+            for s in [seeds.invariant, seeds.span].into_iter().flatten() {
+                seed = cx.mgr().or(seed, s);
+            }
+            seed = cx.mgr().and(seed, universe);
+            start = cx.mgr().or(start, seed);
+        }
         let keep = [
             invariant,
             safety.bad_states,
@@ -146,8 +188,9 @@ pub fn add_masking_traced(
             not_mt,
             safe_delta,
             s1,
+            start,
         ];
-        let reach = cx.forward_reachable_keep(s1, combined, &keep);
+        let reach = cx.forward_reachable_keep(start, combined, &keep);
         cx.mgr().diff(reach, ms)
     } else {
         cx.mgr().diff(universe, ms)

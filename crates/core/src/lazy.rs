@@ -2,12 +2,13 @@
 //! lazy repair — Step 1 (Add-Masking, no realizability), Step 2
 //! (realizability by removal), and the deadlock-resolution outer loop.
 
-use crate::add_masking::add_masking_traced;
+use crate::add_masking::add_masking_seeded;
 use crate::cancel::{RepairAborted, Token};
 use crate::options::RepairOptions;
 use crate::parallel::step2_parallel_cancellable;
 use crate::stats::RepairStats;
 use crate::step2::step2_cancellable;
+use crate::warm::WarmSeeds;
 use ftrepair_bdd::{NodeId, FALSE};
 use ftrepair_program::{DistributedProgram, Process};
 use ftrepair_telemetry::{Json, Telemetry};
@@ -66,7 +67,34 @@ pub fn lazy_repair_cancellable(
     tele: &Telemetry,
     token: &Token,
 ) -> Result<LazyOutcome, RepairAborted> {
-    let r = lazy_repair_inner(prog, opts, tele, token);
+    lazy_repair_warm(prog, opts, tele, token, &WarmSeeds::none())
+}
+
+/// [`lazy_repair_cancellable`] with warm-start seeds: a cached neighbor's
+/// invariant/fault-span BDDs (already imported into `prog`'s manager) seed
+/// the first outer iteration's Step 1 reachability. Deadlock retries run
+/// unseeded — their whole point is to shrink what the first pass grew. With
+/// empty seeds this *is* the cold path. The caller is responsible for
+/// verifying the outcome (e.g. `verify::verify_outcome`) exactly as for a
+/// cold repair; soundness is argued in [`crate::warm`], verification is the
+/// belt to those braces.
+pub fn lazy_repair_warm(
+    prog: &mut DistributedProgram,
+    opts: &RepairOptions,
+    tele: &Telemetry,
+    token: &Token,
+    seeds: &WarmSeeds,
+) -> Result<LazyOutcome, RepairAborted> {
+    if !seeds.is_empty() {
+        tele.add("repair.warm_starts", 1);
+        // Seeds must survive GC at reorder checkpoints (which collect down
+        // to roots) until their one use in iteration 1; like `stutters`,
+        // the protection simply persists for the manager's lifetime.
+        for root in seeds.roots() {
+            prog.cx.mgr().protect(root);
+        }
+    }
+    let r = lazy_repair_inner(prog, opts, tele, token, seeds);
     if let Ok(out) = &r {
         let roots: Vec<NodeId> = [out.invariant, out.span, out.trans]
             .into_iter()
@@ -85,6 +113,7 @@ fn lazy_repair_inner(
     opts: &RepairOptions,
     tele: &Telemetry,
     token: &Token,
+    seeds: &WarmSeeds,
 ) -> Result<LazyOutcome, RepairAborted> {
     token.check()?;
     let auto_reorder = crate::reorder::configure(prog, opts);
@@ -121,11 +150,22 @@ fn lazy_repair_inner(
         iter_span.field("iter", Json::from(stats.outer_iterations as u64));
         tele.add("repair.outer_iterations", 1);
 
-        // Step 1 (Line 3).
+        // Step 1 (Line 3). Warm seeds apply to the first iteration only:
+        // a deadlock retry re-enters with a mutated safety relation, and
+        // re-widening the span there would fight the retry's shrinking.
+        let iteration_seeds = if stats.outer_iterations == 1 { *seeds } else { WarmSeeds::none() };
         let t0 = Instant::now();
         let r1 = {
             let _s = tele.span("step1");
-            add_masking_traced(prog, s_prime, &safety, opts.restrict_to_reachable, tele, token)
+            add_masking_seeded(
+                prog,
+                s_prime,
+                &safety,
+                opts.restrict_to_reachable,
+                tele,
+                token,
+                &iteration_seeds,
+            )
         };
         let step1_elapsed = t0.elapsed();
         stats.step1_time += step1_elapsed;

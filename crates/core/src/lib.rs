@@ -46,14 +46,18 @@ pub mod report;
 pub mod stats;
 pub mod step2;
 pub mod verify;
+pub mod warm;
 
-pub use add_masking::{add_masking, AddMaskingResult};
+pub use add_masking::{add_masking, add_masking_seeded, AddMaskingResult};
 pub use cancel::{RepairAborted, Token};
 pub use cautious::{
     cautious_repair, cautious_repair_cancellable, cautious_repair_traced, CautiousOutcome,
 };
-pub use lazy::{lazy_repair, lazy_repair_cancellable, lazy_repair_traced, LazyOutcome};
+pub use lazy::{
+    lazy_repair, lazy_repair_cancellable, lazy_repair_traced, lazy_repair_warm, LazyOutcome,
+};
 pub use options::{ReorderMode, RepairOptions, AUTO_REORDER_THRESHOLD};
 pub use report::build_run_report;
 pub use stats::RepairStats;
 pub use step2::{step2, step2_cancellable, step2_traced, Step2Result};
+pub use warm::WarmSeeds;

@@ -1,0 +1,211 @@
+//! Warm-start parity: seeding Step 1's reachability from a cached
+//! neighbor's invariant/fault-span BDDs must not change what lazy repair
+//! computes — only how fast it converges. Checked through the explicit
+//! oracle on enumerable instances, both for same-spec seeds (the disk-hit
+//! promotion path) and for seeds taken from a *different* (one-action-
+//! edited) spec's repair (the near-key warm-start path).
+
+use ftrepair_core::{lazy_repair, lazy_repair_warm, Token, WarmSeeds};
+use ftrepair_core::{verify::verify_outcome, LazyOutcome, RepairOptions};
+use ftrepair_explicit::{extract, ExplicitProgram};
+use ftrepair_program::{DistributedProgram, ProgramBuilder, Update};
+use ftrepair_telemetry::Telemetry;
+use std::collections::HashSet;
+
+/// Everything observable about one repair, in explicit form.
+#[derive(Debug, PartialEq)]
+struct Shape {
+    invariant: HashSet<u32>,
+    span: HashSet<u32>,
+    trans: Vec<(u32, u32)>,
+}
+
+fn shape(
+    prog: &mut DistributedProgram,
+    space: &ftrepair_explicit::StateSpace,
+    out: &LazyOutcome,
+) -> Shape {
+    Shape {
+        invariant: extract::bdd_to_states(prog, space, out.invariant),
+        span: extract::bdd_to_states(prog, space, out.span),
+        trans: extract::bdd_to_edges(prog, space, out.trans),
+    }
+}
+
+/// A counter that faults walk up (1→2→3) and the process walks down —
+/// recovery has real diameter, so the reachability phase does actual work.
+fn counter_prog(extra_action: bool) -> DistributedProgram {
+    let mut b = ProgramBuilder::new(if extra_action { "counter_edited" } else { "counter" });
+    let x = b.var("x", 4);
+    b.process("p", &[x], &[x]);
+    let g0 = b.cx().assign_eq(x, 0);
+    b.action(g0, &[(x, Update::Const(1))]);
+    let g1 = b.cx().assign_eq(x, 1);
+    b.action(g1, &[(x, Update::Const(0))]);
+    if extra_action {
+        // The one-action edit: an extra legal move inside the invariant.
+        let g = b.cx().assign_eq(x, 1);
+        b.action(g, &[(x, Update::Const(1))]);
+    }
+    let inv = {
+        let a = b.cx().assign_eq(x, 0);
+        let c = b.cx().assign_eq(x, 1);
+        b.cx().mgr().or(a, c)
+    };
+    b.invariant(inv);
+    let f1 = b.cx().assign_eq(x, 1);
+    b.fault_action(f1, &[(x, Update::Const(2))]);
+    let f2 = b.cx().assign_eq(x, 2);
+    b.fault_action(f2, &[(x, Update::Const(3))]);
+    b.build()
+}
+
+/// Cold-repair `donor` and export its invariant/span artifacts — what the
+/// disk store would persist.
+fn donor_artifacts(
+    mut donor: DistributedProgram,
+) -> (ftrepair_bdd::SerializedBdd, ftrepair_bdd::SerializedBdd) {
+    let out = lazy_repair(&mut donor, &RepairOptions::default()).unwrap();
+    assert!(!out.failed);
+    (donor.cx.mgr_ref().export(out.invariant), donor.cx.mgr_ref().export(out.span))
+}
+
+/// Import donor artifacts into `prog`'s manager and run a warm repair.
+fn warm_repair(
+    prog: &mut DistributedProgram,
+    artifacts: &(ftrepair_bdd::SerializedBdd, ftrepair_bdd::SerializedBdd),
+    tele: &Telemetry,
+) -> LazyOutcome {
+    let invariant = prog.cx.mgr().try_import(&artifacts.0).expect("invariant imports");
+    let span = prog.cx.mgr().try_import(&artifacts.1).expect("span imports");
+    let seeds = WarmSeeds { invariant: Some(invariant), span: Some(span) };
+    let out = lazy_repair_warm(prog, &RepairOptions::default(), tele, &Token::unbounded(), &seeds)
+        .expect("no deadline configured");
+    assert!(!out.failed);
+    out
+}
+
+#[test]
+fn same_spec_seeds_reproduce_the_cold_repair_exactly() {
+    // Cold baseline.
+    let mut cold_prog = counter_prog(false);
+    let space = ExplicitProgram::from_symbolic(&mut cold_prog).space;
+    let cold = lazy_repair(&mut cold_prog, &RepairOptions::default()).unwrap();
+    assert!(!cold.failed);
+    let cold_shape = shape(&mut cold_prog, &space, &cold);
+
+    // Warm from the same spec's own artifacts (what a disk hit re-imports).
+    let artifacts = donor_artifacts(counter_prog(false));
+    let mut warm_prog = counter_prog(false);
+    let tele = Telemetry::new();
+    let warm = warm_repair(&mut warm_prog, &artifacts, &tele);
+    let warm_shape = shape(&mut warm_prog, &space, &warm);
+
+    assert_eq!(warm_shape, cold_shape, "same-spec warm start changed the repair");
+    let snap = tele.snapshot();
+    assert_eq!(snap.counter("repair.warm_starts"), 1);
+    assert_eq!(snap.counter("repair.warm_seeded_reachability"), 1);
+    let (masking, realizability) = verify_outcome(&mut warm_prog, &warm);
+    assert!(masking.ok(), "{masking:?}");
+    assert!(realizability.ok(), "{realizability:?}");
+}
+
+#[test]
+fn one_action_edit_warm_start_matches_cold_via_oracle() {
+    // The near-key path: the donor is the *unedited* spec; the job is the
+    // edited one. Seeds over-approximate, Phase 4 shrinks, and the repair
+    // must come out oracle-identical to the edited spec's cold repair.
+    let artifacts = donor_artifacts(counter_prog(false));
+
+    let mut cold_prog = counter_prog(true);
+    let space = ExplicitProgram::from_symbolic(&mut cold_prog).space;
+    let cold = lazy_repair(&mut cold_prog, &RepairOptions::default()).unwrap();
+    assert!(!cold.failed);
+    let cold_shape = shape(&mut cold_prog, &space, &cold);
+
+    let mut warm_prog = counter_prog(true);
+    let tele = Telemetry::new();
+    let warm = warm_repair(&mut warm_prog, &artifacts, &tele);
+    let warm_shape = shape(&mut warm_prog, &space, &warm);
+
+    assert_eq!(warm_shape, cold_shape, "cross-spec warm start changed the repair");
+    let (masking, realizability) = verify_outcome(&mut warm_prog, &warm);
+    assert!(masking.ok(), "{masking:?}");
+    assert!(realizability.ok(), "{realizability:?}");
+}
+
+#[test]
+fn garbage_seeds_are_sound() {
+    // Soundness does not depend on the seed being meaningful: seed with the
+    // whole universe and with an unrelated cube — the repair must still
+    // verify and oracle-match the cold baseline (the span is clamped to
+    // `universe − ms` and Phase 4 shrinks it back down).
+    let mut cold_prog = counter_prog(false);
+    let space = ExplicitProgram::from_symbolic(&mut cold_prog).space;
+    let cold = lazy_repair(&mut cold_prog, &RepairOptions::default()).unwrap();
+    let cold_shape = shape(&mut cold_prog, &space, &cold);
+
+    for tag in ["universe", "cube"] {
+        let mut prog = counter_prog(false);
+        let seed = match tag {
+            "universe" => prog.cx.state_universe(),
+            _ => {
+                let x = prog.cx.find_var("x").unwrap();
+                prog.cx.assign_eq(x, 3)
+            }
+        };
+        let seeds = WarmSeeds { invariant: None, span: Some(seed) };
+        let out = lazy_repair_warm(
+            &mut prog,
+            &RepairOptions::default(),
+            &Telemetry::off(),
+            &Token::unbounded(),
+            &seeds,
+        )
+        .unwrap();
+        assert!(!out.failed, "seed={tag}");
+        let got = shape(&mut prog, &space, &out);
+        assert_eq!(got, cold_shape, "seed={tag} changed the repair");
+        let (masking, realizability) = verify_outcome(&mut prog, &out);
+        assert!(masking.ok(), "seed={tag}: {masking:?}");
+        assert!(realizability.ok(), "seed={tag}: {realizability:?}");
+    }
+}
+
+#[test]
+fn token_ring_warm_start_parity() {
+    // A multi-process case study, same-spec seeding, full shape parity.
+    let factory = || ftrepair_casestudies::token_ring(3, 3).0;
+    let mut cold_prog = factory();
+    let space = ExplicitProgram::from_symbolic(&mut cold_prog).space;
+    let cold = lazy_repair(&mut cold_prog, &RepairOptions::default()).unwrap();
+    assert!(!cold.failed);
+    let cold_shape = shape(&mut cold_prog, &space, &cold);
+
+    let artifacts = donor_artifacts(factory());
+    let mut warm_prog = factory();
+    let warm = warm_repair(&mut warm_prog, &artifacts, &Telemetry::off());
+    let warm_shape = shape(&mut warm_prog, &space, &warm);
+    assert_eq!(warm_shape, cold_shape);
+    let (masking, realizability) = verify_outcome(&mut warm_prog, &warm);
+    assert!(masking.ok(), "{masking:?}");
+    assert!(realizability.ok(), "{realizability:?}");
+}
+
+#[test]
+fn empty_seeds_are_the_cold_path() {
+    let mut a = counter_prog(false);
+    let out_a = lazy_repair_warm(
+        &mut a,
+        &RepairOptions::default(),
+        &Telemetry::off(),
+        &Token::unbounded(),
+        &WarmSeeds::none(),
+    )
+    .unwrap();
+    let mut b = counter_prog(false);
+    let out_b = lazy_repair(&mut b, &RepairOptions::default()).unwrap();
+    assert_eq!(out_a.failed, out_b.failed);
+    assert_eq!(a.cx.count_states(out_a.invariant), b.cx.count_states(out_b.invariant));
+    assert_eq!(a.cx.count_states(out_a.span), b.cx.count_states(out_b.span));
+}

@@ -1,4 +1,4 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache (the in-memory tier).
 //!
 //! A repair is a pure function of the *canonicalized* spec text and the
 //! [`RepairOptions`](ftrepair_core::RepairOptions), so its result can be
@@ -7,19 +7,23 @@
 //! fragment the cache; two differently-indented copies of the same program
 //! hit the same entry.
 //!
-//! Keys are SHA-256 digests. The spec text is untrusted network input, so
-//! the address must be collision-resistant — a non-cryptographic hash
-//! (FNV, FxHash, …) would let a crafted pair of colliding specs poison the
-//! cache and serve one spec's repaired program for another. SHA-256 is
-//! implemented here (FIPS 180-4) because the workspace takes no
-//! third-party dependencies. The capacity is bounded with FIFO eviction —
-//! the daemon's memory stays flat no matter how many distinct specs it has
-//! seen.
+//! Keys are SHA-256 digests computed by [`ftrepair_store::content_key`] —
+//! the same addressing the on-disk tier uses, so one key identifies a
+//! result in both tiers. (The hash must be collision-resistant because the
+//! spec text is untrusted network input; see `ftrepair_store::sha`.) The
+//! capacity is bounded with LRU eviction — touch-on-hit, matching the disk
+//! tier's policy — so the daemon's memory stays flat no matter how many
+//! distinct specs it has seen, and a hot key survives capacity pressure
+//! from a stream of one-off specs.
 
 use crate::job::SimBundle;
 use ftrepair_telemetry::{Counter, Json, Telemetry};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
+
+/// The content address of a (canonical spec, options fingerprint) pair —
+/// shared with the disk tier.
+pub use ftrepair_store::content_key;
 
 /// One cached repair: the `/repair` response document plus, for instances
 /// small enough to enumerate, the explicit bundle `/simulate` replays.
@@ -36,6 +40,8 @@ pub struct CacheEntry {
 
 struct Inner {
     map: HashMap<String, Arc<CacheEntry>>,
+    /// Front = least recently used. A hit moves the key to the back; the
+    /// O(n) reposition is fine at the default capacity (256).
     order: VecDeque<String>,
 }
 
@@ -47,90 +53,6 @@ pub struct ResultCache {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
-}
-
-/// SHA-256 round constants: first 32 bits of the fractional parts of the
-/// cube roots of the first 64 primes (FIPS 180-4 §4.2.2).
-const SHA256_K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
-    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
-    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
-    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
-    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
-];
-
-/// SHA-256 over `bytes` (FIPS 180-4).
-fn sha256(bytes: &[u8]) -> [u8; 32] {
-    let mut h: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
-
-    // Pad: message, 0x80, zeros to 56 mod 64, then the bit length as u64.
-    let mut msg = bytes.to_vec();
-    let bit_len = (bytes.len() as u64).wrapping_mul(8);
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
-
-    let mut w = [0u32; 64];
-    for block in msg.chunks_exact(64) {
-        for (i, word) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 =
-                hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(SHA256_K[i]).wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            hh = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
-            *hi = hi.wrapping_add(v);
-        }
-    }
-
-    let mut out = [0u8; 32];
-    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
-        chunk.copy_from_slice(&word.to_be_bytes());
-    }
-    out
-}
-
-/// The content address of a (canonical spec, options fingerprint) pair.
-pub fn content_key(canonical_spec: &str, fingerprint: &str) -> String {
-    let mut material = String::with_capacity(canonical_spec.len() + fingerprint.len() + 1);
-    material.push_str(fingerprint);
-    material.push('\n');
-    material.push_str(canonical_spec);
-    let digest = sha256(material.as_bytes());
-    let mut key = String::with_capacity(64);
-    for byte in digest {
-        use std::fmt::Write;
-        let _ = write!(key, "{byte:02x}");
-    }
-    key
 }
 
 impl ResultCache {
@@ -146,13 +68,19 @@ impl ResultCache {
         }
     }
 
-    /// Look up a content address, counting the hit or miss.
+    /// Look up a content address, counting the hit or miss. A hit marks the
+    /// key most-recently-used.
     pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
-        let inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap();
         match inner.map.get(key) {
             Some(entry) => {
+                let entry = Arc::clone(entry);
                 self.hits.inc();
-                Some(Arc::clone(entry))
+                if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                    inner.order.remove(pos);
+                    inner.order.push_back(key.to_string());
+                }
+                Some(entry)
             }
             None => {
                 self.misses.inc();
@@ -161,8 +89,9 @@ impl ResultCache {
         }
     }
 
-    /// Insert an entry, evicting the oldest one when full. Re-inserting an
-    /// existing key replaces the value without growing the queue.
+    /// Insert an entry, evicting the least recently used when full.
+    /// Re-inserting an existing key replaces the value and refreshes its
+    /// recency without growing the queue.
     pub fn insert(&self, entry: CacheEntry) -> Arc<CacheEntry> {
         let entry = Arc::new(entry);
         let mut inner = self.inner.lock().unwrap();
@@ -174,6 +103,9 @@ impl ResultCache {
                     self.evictions.inc();
                 }
             }
+        } else if let Some(pos) = inner.order.iter().position(|k| k == &entry.key) {
+            inner.order.remove(pos);
+            inner.order.push_back(entry.key.clone());
         }
         entry
     }
@@ -199,10 +131,11 @@ struct PoisonInner {
 /// A spec that crashed the worker once will crash it again — the repair is
 /// deterministic — so resubmissions are refused (`422`) straight from the
 /// cache path instead of being handed to a fresh worker to kill. Like
-/// [`ResultCache`] the set is bounded with FIFO eviction: an adversary
-/// feeding an endless stream of crashing specs must not grow the daemon's
-/// memory, and the oldest quarantine aging out is harmless (the spec just
-/// gets one more chance to panic and be re-quarantined).
+/// [`ResultCache`] the set is bounded, but with FIFO eviction (quarantine
+/// entries have no useful recency): an adversary feeding an endless stream
+/// of crashing specs must not grow the daemon's memory, and the oldest
+/// quarantine aging out is harmless (the spec just gets one more chance to
+/// panic and be re-quarantined).
 pub struct PoisonList {
     inner: Mutex<PoisonInner>,
     capacity: usize,
@@ -270,23 +203,6 @@ mod tests {
     }
 
     #[test]
-    fn sha256_matches_fips_test_vectors() {
-        let hex = |d: [u8; 32]| d.iter().map(|b| format!("{b:02x}")).collect::<String>();
-        assert_eq!(
-            hex(sha256(b"")),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
-        );
-        assert_eq!(
-            hex(sha256(b"abc")),
-            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
-        );
-        assert_eq!(
-            hex(sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
-            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
-        );
-    }
-
-    #[test]
     fn hits_and_misses_are_counted() {
         let tele = Telemetry::new();
         let cache = ResultCache::new(8, &tele);
@@ -299,29 +215,51 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_bounded_fifo() {
+    fn capacity_is_bounded_lru() {
         let tele = Telemetry::new();
         let cache = ResultCache::new(2, &tele);
         cache.insert(entry("a"));
         cache.insert(entry("b"));
         cache.insert(entry("c"));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("a").is_none(), "least recently used evicted");
         assert!(cache.get("b").is_some());
         assert!(cache.get("c").is_some());
         assert_eq!(tele.snapshot().counter("server.cache.evictions"), 1);
     }
 
     #[test]
-    fn reinsert_replaces_without_evicting() {
+    fn hot_key_survives_capacity_pressure() {
+        // The LRU upgrade's whole point: a key that is *hit* between
+        // insertions of one-off keys must outlive them all. Under the old
+        // FIFO policy `hot` would age out after two insertions regardless
+        // of traffic.
+        let tele = Telemetry::new();
+        let cache = ResultCache::new(2, &tele);
+        cache.insert(entry("hot"));
+        for i in 0..10 {
+            assert!(cache.get("hot").is_some(), "hot key evicted after {i} one-offs");
+            cache.insert(entry(&format!("one-off-{i}")));
+        }
+        assert!(cache.get("hot").is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(tele.snapshot().counter("server.cache.evictions"), 9);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_refreshes_recency() {
         let tele = Telemetry::new();
         let cache = ResultCache::new(2, &tele);
         cache.insert(entry("a"));
-        cache.insert(entry("a"));
         cache.insert(entry("b"));
+        // Re-inserting `a` marks it most recently used, so `b` is the LRU
+        // victim when `c` arrives.
+        cache.insert(entry("a"));
+        cache.insert(entry("c"));
         assert_eq!(cache.len(), 2);
         assert!(cache.get("a").is_some());
-        assert_eq!(tele.snapshot().counter("server.cache.evictions"), 0);
+        assert!(cache.get("b").is_none());
+        assert_eq!(tele.snapshot().counter("server.cache.evictions"), 1);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub enum JobStatus {
     Cancelled = 7,
     /// The repair engine panicked on this spec (HTTP 500).
     Panicked = 8,
+    /// Served from the on-disk store (promoted into the memory cache).
+    DiskHit = 9,
 }
 
 impl JobStatus {
@@ -60,6 +62,7 @@ impl JobStatus {
             JobStatus::Timeout => "timeout",
             JobStatus::Cancelled => "cancelled",
             JobStatus::Panicked => "panicked",
+            JobStatus::DiskHit => "disk_hit",
         }
     }
 
@@ -73,6 +76,7 @@ impl JobStatus {
             6 => JobStatus::Timeout,
             7 => JobStatus::Cancelled,
             8 => JobStatus::Panicked,
+            9 => JobStatus::DiskHit,
             _ => JobStatus::Running,
         }
     }

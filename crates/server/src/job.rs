@@ -3,14 +3,16 @@
 //! and (for small instances) build the explicit bundle that fault-injection
 //! simulation replays.
 
+use ftrepair_bdd::{NodeId, SerializedBdd};
 use ftrepair_core::{
-    build_run_report, cautious_repair_cancellable, lazy_repair_cancellable, verify::verify_outcome,
-    LazyOutcome, RepairAborted, RepairOptions, RepairStats, Token,
+    build_run_report, cautious_repair_cancellable, lazy_repair_warm, verify::verify_outcome,
+    LazyOutcome, RepairAborted, RepairOptions, RepairStats, Token, WarmSeeds,
 };
 use ftrepair_explicit::extract::{bdd_to_edges, bdd_to_states, ExplicitProgram};
 use ftrepair_explicit::simulate::{simulate, SimConfig, SimFailure, SimReport};
 use ftrepair_lang::ast::Program as Ast;
 use ftrepair_program::Process;
+use ftrepair_store::{find_artifact, SpecFingerprint, ART_INVARIANT, ART_SPAN, ART_TRANS};
 use ftrepair_telemetry::{Json, RunReport, Telemetry};
 use std::collections::HashSet;
 
@@ -55,6 +57,10 @@ pub struct JobSpec {
     pub opts: RepairOptions,
     /// Content address (see [`crate::cache::content_key`]).
     pub key: String,
+    /// Structural fingerprint for near-key lookups in the disk store: a
+    /// resubmitted spec that differs in a few actions can find its nearest
+    /// cached neighbor and warm-start from its artifacts.
+    pub fingerprint: SpecFingerprint,
 }
 
 /// Options rendered into a short stable string for the content address.
@@ -85,7 +91,8 @@ pub fn prepare(source: &str, mode: Mode, opts: RepairOptions) -> Result<JobSpec,
     let ast = ftrepair_lang::parse(source).map_err(|e| format!("parse error: {e}"))?;
     let canonical = ftrepair_lang::unparse(&ast);
     let key = crate::cache::content_key(&canonical, &options_fingerprint(mode, &opts));
-    Ok(JobSpec { name: ast.name.clone(), canonical, ast, mode, opts, key })
+    let fingerprint = SpecFingerprint::of(&ast);
+    Ok(JobSpec { name: ast.name.clone(), canonical, ast, mode, opts, key, fingerprint })
 }
 
 /// Everything `/simulate` needs, explicit and manager-free so it can live
@@ -116,6 +123,27 @@ pub struct JobResult {
     pub sim: Option<SimBundle>,
     /// Repair statistics (iterations, phase times) for job introspection.
     pub stats: RepairStats,
+    /// Serialized BDD artifacts (repaired transition relation, invariant,
+    /// fault-span) for the disk store; only exported on request and only
+    /// for verified successful repairs.
+    pub artifacts: Option<Vec<(String, SerializedBdd)>>,
+    /// Did a near-key neighbor's artifacts actually seed this repair?
+    pub warm_used: bool,
+}
+
+/// A cached neighbor's artifacts, handed to [`execute_store`] to seed the
+/// repair's first reachability fixpoint.
+#[derive(Debug)]
+pub struct WarmInfo {
+    /// Content address of the donor entry (reported in the response).
+    pub neighbor: String,
+    /// Fingerprint distance between donor and job (number of differing
+    /// action hashes).
+    pub distance: usize,
+    /// The donor's repaired invariant.
+    pub invariant: SerializedBdd,
+    /// The donor's fault-span.
+    pub span: SerializedBdd,
 }
 
 /// Why a job produced no result.
@@ -155,25 +183,85 @@ pub fn execute_cancellable(
     build_sim: bool,
     token: &Token,
 ) -> Result<JobResult, ExecError> {
+    execute_store(spec, tele, build_sim, token, None, false)
+}
+
+/// Compile, optionally warm-start, and run one repair. Seeds are accepted
+/// only for [`Mode::Lazy`] (the cautious baseline has no seedable phase).
+/// Returns the outcome plus whether the seeds were actually used.
+fn run_repair(
+    prog: &mut ftrepair_program::DistributedProgram,
+    spec: &JobSpec,
+    tele: &Telemetry,
+    token: &Token,
+    seeds: &WarmSeeds,
+) -> Result<(LazyOutcome, bool), ExecError> {
+    match spec.mode {
+        Mode::Lazy => {
+            let out = lazy_repair_warm(prog, &spec.opts, tele, token, seeds)
+                .map_err(ExecError::Aborted)?;
+            Ok((out, !seeds.is_empty()))
+        }
+        Mode::Cautious => {
+            let c = cautious_repair_cancellable(prog, &spec.opts, tele, token)
+                .map_err(ExecError::Aborted)?;
+            Ok((
+                LazyOutcome {
+                    processes: c.processes,
+                    invariant: c.invariant,
+                    span: c.span,
+                    trans: c.trans,
+                    failed: c.failed,
+                    stats: c.stats,
+                },
+                false,
+            ))
+        }
+    }
+}
+
+/// The full store-aware pipeline behind [`execute_cancellable`].
+///
+/// `warm` carries a cached neighbor's invariant/fault-span artifacts; when
+/// they import cleanly (and the mode is lazy) they seed Step 1's first
+/// reachability fixpoint. Seeding never changes the result — the seeded
+/// span is clamped and Phase 4 shrinks it back to the fixpoint — but the
+/// output is belt-and-braces re-verified anyway, and on the (never yet
+/// observed) event of a warm run failing verification the job is rerun
+/// cold from a fresh compile. `export_artifacts` additionally serializes
+/// the repaired transition relation, invariant, and fault-span for the
+/// disk store (verified successful repairs only).
+pub fn execute_store(
+    spec: &JobSpec,
+    tele: &Telemetry,
+    build_sim: bool,
+    token: &Token,
+    warm: Option<&WarmInfo>,
+    export_artifacts: bool,
+) -> Result<JobResult, ExecError> {
     let mut prog = ftrepair_lang::compile(&spec.ast)
         .map_err(|e| ExecError::Invalid(format!("compile error: {e}")))?;
 
-    let out: LazyOutcome = match spec.mode {
-        Mode::Lazy => lazy_repair_cancellable(&mut prog, &spec.opts, tele, token)
-            .map_err(ExecError::Aborted)?,
-        Mode::Cautious => {
-            let c = cautious_repair_cancellable(&mut prog, &spec.opts, tele, token)
-                .map_err(ExecError::Aborted)?;
-            LazyOutcome {
-                processes: c.processes,
-                invariant: c.invariant,
-                span: c.span,
-                trans: c.trans,
-                failed: c.failed,
-                stats: c.stats,
+    let seeds = match (spec.mode, warm) {
+        (Mode::Lazy, Some(info)) => {
+            let invariant = prog.cx.mgr().try_import(&info.invariant);
+            let span = prog.cx.mgr().try_import(&info.span);
+            match (invariant, span) {
+                (Ok(invariant), Ok(span)) => {
+                    WarmSeeds { invariant: Some(invariant), span: Some(span) }
+                }
+                _ => {
+                    // Artifacts from an incompatible manager shape (e.g. a
+                    // different variable count) — run cold, don't fail.
+                    tele.add("repair.warm_import_failures", 1);
+                    WarmSeeds::none()
+                }
             }
         }
+        _ => WarmSeeds::none(),
     };
+
+    let (mut out, mut warm_used) = run_repair(&mut prog, spec, tele, token, &seeds)?;
 
     // Snapshot the report before the verifier pollutes cache hit rates
     // (same ordering as the CLI).
@@ -187,30 +275,86 @@ pub fn execute_cancellable(
         &prog.cx,
     );
 
+    let mut verified = false;
+    if !out.failed {
+        let (m, r) = verify_outcome(&mut prog, &out);
+        verified = m.ok() && r.ok();
+        if !verified && warm_used {
+            // Warm seeding is proven sound, but a cached artifact is still
+            // external input: if the seeded run somehow fails the
+            // independent verifiers, distrust the seed and redo the job
+            // cold from scratch rather than serving an unverified repair.
+            tele.add("repair.warm_verify_failures", 1);
+            prog = ftrepair_lang::compile(&spec.ast)
+                .map_err(|e| ExecError::Invalid(format!("compile error: {e}")))?;
+            let (cold, _) = run_repair(&mut prog, spec, tele, token, &WarmSeeds::none())?;
+            out = cold;
+            warm_used = false;
+            report = build_run_report(
+                &spec.name,
+                spec.mode.as_str(),
+                &spec.opts,
+                &out.stats,
+                out.failed,
+                tele,
+                &prog.cx,
+            );
+            verified = if out.failed {
+                false
+            } else {
+                let (m, r) = verify_outcome(&mut prog, &out);
+                m.ok() && r.ok()
+            };
+        }
+    }
+
     let mut response = Json::obj();
     response.set("ok", true.into());
     response.set("key", spec.key.as_str().into());
     response.set("case", spec.name.as_str().into());
     response.set("mode", spec.mode.as_str().into());
     response.set("failed", out.failed.into());
+    response.set("warm_start", warm_used.into());
+    if warm_used {
+        if let Some(info) = warm {
+            response.set("warm_neighbor", info.neighbor.as_str().into());
+            response.set("warm_distance", (info.distance as u64).into());
+            report.set("warm_neighbor", info.neighbor.as_str().into());
+            report.set("warm_distance", (info.distance as u64).into());
+        }
+    }
 
-    let mut verified = false;
     let mut sim = None;
+    let mut artifacts = None;
     if !out.failed {
-        let (m, r) = verify_outcome(&mut prog, &out);
-        verified = m.ok() && r.ok();
         report.set("verified", verified.into());
         response.set("invariant_states", prog.cx.count_states(out.invariant).into());
         response.set("span_states", prog.cx.count_states(out.span).into());
         response.set("program", render_repaired(&mut prog, &out).into());
         if build_sim {
-            sim = build_sim_bundle(&mut prog, &out);
+            sim = build_sim_bundle(&mut prog, out.trans, out.invariant);
+        }
+        if export_artifacts && verified {
+            artifacts = Some(vec![
+                (ART_TRANS.to_string(), prog.cx.mgr_ref().export(out.trans)),
+                (ART_INVARIANT.to_string(), prog.cx.mgr_ref().export(out.invariant)),
+                (ART_SPAN.to_string(), prog.cx.mgr_ref().export(out.span)),
+            ]);
         }
     }
     response.set("verified", verified.into());
     response.set("report", report.0.clone());
 
-    Ok(JobResult { response, report, failed: out.failed, verified, sim, stats: out.stats })
+    Ok(JobResult {
+        response,
+        report,
+        failed: out.failed,
+        verified,
+        sim,
+        stats: out.stats,
+        artifacts,
+        warm_used,
+    })
 }
 
 /// Render the repaired program as guarded commands, restricted to the
@@ -236,7 +380,8 @@ fn render_repaired(prog: &mut ftrepair_program::DistributedProgram, out: &LazyOu
 /// Enumerate the repaired program if it is small enough, `None` otherwise.
 fn build_sim_bundle(
     prog: &mut ftrepair_program::DistributedProgram,
-    out: &LazyOutcome,
+    trans: NodeId,
+    invariant: NodeId,
 ) -> Option<SimBundle> {
     let mut states: u64 = 1;
     for v in prog.cx.var_ids() {
@@ -246,9 +391,22 @@ fn build_sim_bundle(
         }
     }
     let explicit = ExplicitProgram::from_symbolic(prog);
-    let trans = bdd_to_edges(prog, &explicit.space, out.trans);
-    let invariant = bdd_to_states(prog, &explicit.space, out.invariant);
+    let trans = bdd_to_edges(prog, &explicit.space, trans);
+    let invariant = bdd_to_states(prog, &explicit.space, invariant);
     Some(SimBundle { explicit, trans, invariant })
+}
+
+/// Reconstruct the `/simulate` bundle for a repair promoted from the disk
+/// store: recompile the spec and import the stored transition-relation and
+/// invariant artifacts. Returns `None` when anything is off — a missing
+/// artifact, an import mismatch, or a state space over [`SIM_STATE_CAP`] —
+/// the promoted entry then simply answers `/simulate` with the too-large
+/// explanation, same as a fresh oversized repair.
+pub fn rebuild_sim_bundle(ast: &Ast, artifacts: &[(String, SerializedBdd)]) -> Option<SimBundle> {
+    let mut prog = ftrepair_lang::compile(ast).ok()?;
+    let trans = prog.cx.mgr().try_import(find_artifact(artifacts, ART_TRANS)?).ok()?;
+    let invariant = prog.cx.mgr().try_import(find_artifact(artifacts, ART_INVARIANT)?).ok()?;
+    build_sim_bundle(&mut prog, trans, invariant)
 }
 
 /// Run one fault-injection batch against a bundle.

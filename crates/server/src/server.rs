@@ -21,6 +21,7 @@ use crate::queue::{JobQueue, PushError};
 use crate::signal;
 use ftrepair_core::{RepairAborted, RepairOptions, Token};
 use ftrepair_explicit::simulate::SimConfig;
+use ftrepair_store::{DiskStore, NewEntry as StoreWrite, ART_INVARIANT, ART_SPAN};
 use ftrepair_telemetry::report::set_snapshot_fields;
 use ftrepair_telemetry::trace::{format_trace_id, mint_trace_id, parse_trace_id};
 use ftrepair_telemetry::{prometheus, Histogram, Json, RunReport, Telemetry, SCHEMA_VERSION};
@@ -63,6 +64,15 @@ pub struct ServerConfig {
     /// Default BDD reorder policy for jobs that do not pass an explicit
     /// `reorder` query parameter (`serve --reorder`).
     pub reorder: ftrepair_core::ReorderMode,
+    /// Root directory of the on-disk result store (`serve --store-dir`);
+    /// `None` runs memory-only, exactly as before the store existed.
+    pub store_dir: Option<PathBuf>,
+    /// Byte budget for the store's entries (0 = unlimited); beyond it the
+    /// coldest entries are evicted.
+    pub store_budget: u64,
+    /// Warm-start lazy repairs from the nearest cached neighbor when the
+    /// exact key misses (`serve --no-warm-start` clears this).
+    pub warm_start: bool,
     /// Fault-injection plan (tests and the `chaos` feature only).
     #[cfg(any(test, feature = "chaos"))]
     pub chaos: Option<Arc<crate::chaos::Chaos>>,
@@ -81,17 +91,35 @@ impl Default for ServerConfig {
             degraded_window: Duration::from_secs(60),
             poison_cap: 64,
             reorder: ftrepair_core::ReorderMode::default(),
+            store_dir: None,
+            store_budget: 0,
+            warm_start: true,
             #[cfg(any(test, feature = "chaos"))]
             chaos: None,
         }
     }
 }
 
+/// Fingerprint distance (differing action hashes) up to which a cached
+/// neighbor is considered close enough to donate warm-start seeds. One
+/// edited action costs 2 (one hash removed, one added), so this admits a
+/// handful of action edits — beyond that the seed's head start fades and
+/// the lookup is just wasted imports.
+const WARM_MAX_DISTANCE: usize = 16;
+
 struct Shared {
     /// Accepted connections, each paired with its enqueue instant so the
     /// worker that pops it can record the queue wait.
     queue: JobQueue<(TcpStream, Instant)>,
     cache: ResultCache,
+    /// The durable tier under the in-memory cache; `None` when the daemon
+    /// runs without `--store-dir`.
+    store: Option<Arc<DiskStore>>,
+    /// Completed repairs queued for asynchronous write-through — the
+    /// response path never waits on disk.
+    store_writes: JobQueue<StoreWrite>,
+    /// Warm-start lookups enabled?
+    warm_start: bool,
     poison: PoisonList,
     inflight: InFlight,
     /// Ring of the most recent jobs for `GET /jobs`.
@@ -230,10 +258,67 @@ pub struct Server {
     shared: Arc<Shared>,
 }
 
+/// Bind with `SO_REUSEADDR` so a restarted daemon can reclaim its port
+/// immediately. The daemon closes every connection (`Connection: close`),
+/// which leaves server-side TIME_WAIT pairs behind; without the option a
+/// warm restart on the same `--addr` fails with `EADDRINUSE` for up to a
+/// minute — exactly the window the persistent store is meant to cover. The
+/// workspace links no third-party crates, so the option is set through raw
+/// `socket(2)`/`setsockopt(2)` (libc is always linked on Linux); on other
+/// targets or non-IPv4 addresses this falls back to a plain bind.
+fn bind_reusable(addr: &str) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::{SocketAddr, ToSocketAddrs};
+        use std::os::fd::FromRawFd;
+        extern "C" {
+            fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+            fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+            fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+            fn listen(fd: i32, backlog: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+        const AF_INET: i32 = 2;
+        const SOCK_STREAM: i32 = 1;
+        const SOL_SOCKET: i32 = 1;
+        const SO_REUSEADDR: i32 = 2;
+
+        let v4 = addr.to_socket_addrs().ok().and_then(|mut addrs| {
+            addrs.find_map(|a| match a {
+                SocketAddr::V4(v4) => Some(v4),
+                SocketAddr::V6(_) => None,
+            })
+        });
+        if let Some(v4) = v4 {
+            unsafe {
+                let fd = socket(AF_INET, SOCK_STREAM, 0);
+                if fd >= 0 {
+                    let one: i32 = 1;
+                    // struct sockaddr_in: family, port (BE), addr (BE), pad.
+                    let mut sa = [0u8; 16];
+                    sa[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+                    sa[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                    sa[4..8].copy_from_slice(&v4.ip().octets());
+                    if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) == 0
+                        && bind(fd, sa.as_ptr(), 16) == 0
+                        && listen(fd, 128) == 0
+                    {
+                        return Ok(TcpListener::from_raw_fd(fd));
+                    }
+                    let err = io::Error::last_os_error();
+                    close(fd);
+                    return Err(err);
+                }
+            }
+        }
+    }
+    TcpListener::bind(addr)
+}
+
 impl Server {
     /// Bind the listener and set up queue, cache, and telemetry.
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = bind_reusable(&config.addr)?;
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
         } else {
@@ -241,11 +326,20 @@ impl Server {
         };
         let tele = Telemetry::new();
         let cache = ResultCache::new(config.cache_cap, &tele);
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(DiskStore::open(dir, config.store_budget, &tele)?)),
+            None => None,
+        };
         let h_request = tele.histogram("server.request.seconds");
         let h_queue_wait = tele.histogram("server.queue_wait.seconds");
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_cap),
             cache,
+            store,
+            // Same bound as the connection queue: a burst beyond it drops
+            // writes (counted), never blocks a worker.
+            store_writes: JobQueue::new(config.queue_cap.max(16)),
+            warm_start: config.warm_start,
             poison: PoisonList::new(config.poison_cap),
             inflight: InFlight::new(),
             jobs: JobRing::new(JOB_RING_CAP),
@@ -288,6 +382,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let accepted = shared.tele.counter("server.http.accepted");
         let rejected = shared.tele.counter("server.http.rejected_busy");
+
+        // The store writer outlives the worker scope (it must drain writes
+        // the last workers enqueue), so it runs as a plain spawned thread
+        // holding its own `Arc<Shared>` and is joined explicitly after the
+        // scope — deterministic drain, no writes lost at shutdown.
+        let writer = shared.store.as_ref().map(|store| {
+            let store = Arc::clone(store);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || store_writer(&shared, &store))
+        });
 
         std::thread::scope(|scope| {
             for _ in 0..shared.workers {
@@ -359,6 +463,12 @@ impl Server {
             // Drain: no new connections, but every accepted one is served.
             shared.queue.close();
         });
+        // Workers are done, so nothing can enqueue further writes: close
+        // the write queue and wait for the writer to flush what is left.
+        shared.store_writes.close();
+        if let Some(handle) = writer {
+            let _ = handle.join();
+        }
 
         let mut summary = RunReport::new("server", "summary");
         summary.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
@@ -379,6 +489,22 @@ fn error_body(message: &str) -> String {
     j.set("ok", false.into());
     j.set("error", message.into());
     j.to_string()
+}
+
+/// Drain the write-through queue into the disk store until it closes.
+/// Failures are counted and logged but never propagate — persistence is an
+/// optimization, and a full disk must not take repairs down with it.
+fn store_writer(shared: &Shared, store: &DiskStore) {
+    while let Some(entry) = shared.store_writes.pop() {
+        match store.put(&entry) {
+            Ok(true) => shared.tele.add("store.writes", 1),
+            Ok(false) => {} // benign race: another writer landed this key
+            Err(e) => {
+                shared.tele.add("telemetry.write_errors", 1);
+                eprintln!("ftrepair-server: store write for {} failed: {e}", entry.key);
+            }
+        }
+    }
 }
 
 /// How one incarnation of a worker's serve loop ended.
@@ -553,6 +679,20 @@ fn handle_healthz(shared: &Shared) -> Reply {
     j.set("uptime_s", shared.started.elapsed().as_secs_f64().into());
     j.set("workers", shared.workers.into());
     j.set("workers_alive", (*shared.workers_alive.lock().unwrap()).into());
+    let mut store = Json::obj();
+    match &shared.store {
+        Some(s) => {
+            store.set("enabled", true.into());
+            store.set("path", s.root().display().to_string().into());
+            store.set("entries", s.len().into());
+            store.set("bytes", s.bytes().into());
+            store.set("write_queue_depth", shared.store_writes.len().into());
+        }
+        None => {
+            store.set("enabled", false.into());
+        }
+    }
+    j.set("store", store);
     Reply::json(200, j.to_string())
 }
 
@@ -562,6 +702,11 @@ fn handle_metrics(shared: &Shared, format: Option<&str>) -> Reply {
     shared.tele.set_gauge("server.queue.depth", shared.queue.len() as u64);
     shared.tele.set_gauge("server.cache.entries", shared.cache.len() as u64);
     shared.tele.set_gauge("server.jobs.quarantined_keys", shared.poison.len() as u64);
+    if shared.store.is_some() {
+        // store.bytes / store.entries are published by the store itself on
+        // every operation; only the queue depth is scrape-time state.
+        shared.tele.set_gauge("store.write_queue.depth", shared.store_writes.len() as u64);
+    }
     let snap = shared.tele.snapshot();
 
     match format {
@@ -718,6 +863,51 @@ fn cached_repair(
         return Err(refuse(422, "quarantined: this spec previously crashed the repair engine"));
     }
 
+    if let Some(store) = &shared.store {
+        // The durable tier: an exact key persisted by an earlier process
+        // incarnation is promoted into the memory cache — no recomputation,
+        // and followers of this flight find it there. Corrupt entries read
+        // as misses (counted and quarantined inside the store).
+        if let Some(stored) = store.get(&spec.key) {
+            shared.tele.add("store.promotions", 1);
+            let sim = job::rebuild_sim_bundle(&spec.ast, &stored.artifacts);
+            let entry = shared.cache.insert(CacheEntry {
+                key: spec.key.clone(),
+                response: stored.response,
+                sim,
+            });
+            record.finish(JobStatus::DiskHit);
+            return Ok((entry, true));
+        }
+    }
+
+    // Full miss. Before computing from scratch, ask the store for the
+    // nearest structural neighbor: a resubmitted spec differing in a few
+    // actions imports the neighbor's invariant/fault-span BDDs and seeds
+    // the first reachability fixpoint (lazy mode only — the cautious
+    // baseline has no seedable phase).
+    let warm = match &shared.store {
+        Some(store) if shared.warm_start && spec.mode == Mode::Lazy => {
+            store.nearest(&spec.fingerprint, WARM_MAX_DISTANCE).and_then(|(neighbor, distance)| {
+                let donor = store.peek(&neighbor)?;
+                let mut invariant = None;
+                let mut span = None;
+                for (name, bdd) in donor.artifacts {
+                    match name.as_str() {
+                        ART_INVARIANT => invariant = Some(bdd),
+                        ART_SPAN => span = Some(bdd),
+                        _ => {}
+                    }
+                }
+                Some(job::WarmInfo { neighbor, distance, invariant: invariant?, span: span? })
+            })
+        }
+        _ => None,
+    };
+    if warm.is_some() {
+        shared.tele.add("store.warm_lookups", 1);
+    }
+
     // Per-job telemetry keeps concurrent jobs' reports separate; the
     // snapshot is folded into the server registry afterwards so /metrics
     // still aggregates everything.
@@ -735,7 +925,7 @@ fn cached_repair(
         if let Some(chaos) = &shared.chaos {
             chaos.before_execute(&spec.key, &token);
         }
-        job::execute_cancellable(&spec, &job_tele, true, &token)
+        job::execute_store(&spec, &job_tele, true, &token, warm.as_ref(), shared.store.is_some())
     }));
     let job_snap = job_tele.snapshot();
     shared.tele.absorb_snapshot(&job_snap);
@@ -785,6 +975,7 @@ fn cached_repair(
     detail.set("groups_dropped", result.stats.groups_dropped.into());
     detail.set("bdd_peak_live_nodes", job_snap.gauge("bdd.peak_live_nodes").into());
     detail.set("verified", result.verified.into());
+    detail.set("warm_start", result.warm_used.into());
     record.set_detail(detail);
     record.finish(if result.failed { JobStatus::Unrepairable } else { JobStatus::Done });
 
@@ -794,6 +985,34 @@ fn cached_repair(
     shared.tele.add("server.jobs.completed", 1);
     if result.failed {
         shared.tele.add("server.jobs.unrepairable", 1);
+    }
+    if result.warm_used {
+        shared.tele.add("server.jobs.warm_started", 1);
+    }
+
+    // Write-through: hand verified successful repairs (the only ones
+    // `execute_store` exports artifacts for) to the async writer. The
+    // response path never blocks on disk; a full queue drops the write and
+    // counts it.
+    if shared.store.is_some() {
+        if let Some(artifacts) = result.artifacts {
+            let write = StoreWrite {
+                key: spec.key.clone(),
+                case: spec.name.clone(),
+                mode: spec.mode.as_str().to_string(),
+                warm_start: result.warm_used,
+                fingerprint: spec.fingerprint.clone(),
+                response: result.response.clone(),
+                artifacts,
+            };
+            if shared.store_writes.try_push(write).is_err() {
+                shared.tele.add("telemetry.write_errors", 1);
+                eprintln!(
+                    "ftrepair-server: store write queue full; dropping write for {}",
+                    spec.key
+                );
+            }
+        }
     }
 
     let entry = shared.cache.insert(CacheEntry {

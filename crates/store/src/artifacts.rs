@@ -1,0 +1,191 @@
+//! The `artifacts.bin` container: named [`SerializedBdd`] blobs in one file.
+//!
+//! Layout (all little-endian): `"FTAR"` magic, format version, artifact
+//! count, then per artifact a length-prefixed UTF-8 name and a
+//! length-prefixed `FBDD` blob ([`SerializedBdd::to_bytes`]). The container
+//! is covered by the manifest's whole-file SHA-256, so decoding here only
+//! guards against version skew and truncation; a corrupted file is caught
+//! by the checksum before this code runs. Decoded BDDs are *still*
+//! structurally validated by `Manager::try_import` at use — three
+//! independent layers between the disk and the node arena.
+
+use ftrepair_bdd::SerializedBdd;
+
+/// Container magic: "FTAR" (fault-tolerance artifacts).
+const FTAR_MAGIC: [u8; 4] = *b"FTAR";
+/// Container format version.
+const FTAR_VERSION: u32 = 1;
+
+/// Artifact name for the repaired transition relation.
+pub const ART_TRANS: &str = "trans";
+/// Artifact name for the repaired invariant.
+pub const ART_INVARIANT: &str = "invariant";
+/// Artifact name for the fault span.
+pub const ART_SPAN: &str = "span";
+
+/// Why an `artifacts.bin` failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The buffer ended early or a declared length overruns it.
+    Malformed(String),
+    /// An embedded BDD blob failed to decode.
+    Bdd(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Malformed(why) => write!(f, "malformed artifact container: {why}"),
+            ArtifactError::Bdd(why) => write!(f, "bad BDD blob in container: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, ArtifactError> {
+    let end = *pos + 4;
+    let chunk = bytes
+        .get(*pos..end)
+        .ok_or_else(|| ArtifactError::Malformed("truncated length field".into()))?;
+    *pos = end;
+    Ok(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+}
+
+fn read_slice<'a>(bytes: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], ArtifactError> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| ArtifactError::Malformed("declared length overruns file".into()))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+/// Encode named artifacts into one container.
+pub fn encode_artifacts(artifacts: &[(String, SerializedBdd)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&FTAR_MAGIC);
+    out.extend_from_slice(&FTAR_VERSION.to_le_bytes());
+    out.extend_from_slice(&(artifacts.len() as u32).to_le_bytes());
+    for (name, bdd) in artifacts {
+        let blob = bdd.to_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(&blob);
+    }
+    out
+}
+
+/// Decode a container back into named artifacts.
+pub fn decode_artifacts(bytes: &[u8]) -> Result<Vec<(String, SerializedBdd)>, ArtifactError> {
+    let mut pos = 0usize;
+    let magic = read_slice(bytes, &mut pos, 4)?;
+    if magic != FTAR_MAGIC {
+        return Err(ArtifactError::Malformed("bad magic".into()));
+    }
+    let version = read_u32(bytes, &mut pos)?;
+    if version != FTAR_VERSION {
+        return Err(ArtifactError::Malformed(format!("unsupported version {version}")));
+    }
+    let count = read_u32(bytes, &mut pos)? as usize;
+    // 8 bytes of length prefixes per artifact at minimum: bounds hostile
+    // counts before the loop allocates anything.
+    if count > bytes.len().saturating_sub(pos) / 8 {
+        return Err(ArtifactError::Malformed("artifact count overruns file".into()));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(bytes, &mut pos)? as usize;
+        let name_bytes = read_slice(bytes, &mut pos, name_len)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| ArtifactError::Malformed("non-UTF-8 artifact name".into()))?
+            .to_string();
+        let blob_len = read_u32(bytes, &mut pos)? as usize;
+        let blob = read_slice(bytes, &mut pos, blob_len)?;
+        let bdd = SerializedBdd::from_bytes(blob).map_err(|e| ArtifactError::Bdd(e.to_string()))?;
+        out.push((name, bdd));
+    }
+    if pos != bytes.len() {
+        return Err(ArtifactError::Malformed(format!("{} trailing bytes", bytes.len() - pos)));
+    }
+    Ok(out)
+}
+
+/// Look an artifact up by name.
+pub fn find_artifact<'a>(
+    artifacts: &'a [(String, SerializedBdd)],
+    name: &str,
+) -> Option<&'a SerializedBdd> {
+    artifacts.iter().find(|(n, _)| n == name).map(|(_, b)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bdd(seed: u32) -> SerializedBdd {
+        SerializedBdd {
+            num_vars: 3,
+            order: vec![0, 1, 2],
+            nodes: vec![(2, 0, 1), (seed % 2, 2, 1)],
+            root: 3,
+        }
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let arts = vec![
+            (ART_TRANS.to_string(), sample_bdd(0)),
+            (ART_INVARIANT.to_string(), sample_bdd(1)),
+            (ART_SPAN.to_string(), sample_bdd(2)),
+        ];
+        let bytes = encode_artifacts(&arts);
+        let back = decode_artifacts(&bytes).expect("decodes");
+        assert_eq!(arts, back);
+        assert_eq!(find_artifact(&back, ART_SPAN), Some(&sample_bdd(2)));
+        assert_eq!(find_artifact(&back, "nope"), None);
+    }
+
+    #[test]
+    fn empty_container_roundtrip() {
+        let bytes = encode_artifacts(&[]);
+        assert_eq!(decode_artifacts(&bytes).expect("decodes"), vec![]);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_rejected() {
+        let arts = vec![(ART_TRANS.to_string(), sample_bdd(0))];
+        let bytes = encode_artifacts(&arts);
+        for cut in 0..bytes.len() {
+            assert!(decode_artifacts(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_artifacts(&[(ART_TRANS.to_string(), sample_bdd(0))]);
+        bytes.push(7);
+        assert!(decode_artifacts(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FTAR");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_artifacts(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = encode_artifacts(&[]);
+        bytes[0] = b'Z';
+        assert!(decode_artifacts(&bytes).is_err());
+        let mut bytes = encode_artifacts(&[]);
+        bytes[4] = 9;
+        assert!(decode_artifacts(&bytes).is_err());
+    }
+}

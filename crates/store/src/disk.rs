@@ -1,0 +1,774 @@
+//! The on-disk tier: one directory per content key, crash-safe writes,
+//! checksum-on-read, LRU byte budget, quarantine for corruption.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! root/
+//!   entries/<key>/manifest.json    # version, checksum, fingerprint, response
+//!   entries/<key>/artifacts.bin    # FTAR container of SerializedBdd blobs
+//!   tmp/                           # in-flight writes (swept at open)
+//!   quarantine/                    # entries that failed checksum/decode
+//! ```
+//!
+//! Crash-safety discipline: an entry is staged in full under `tmp/`, both
+//! files are fsynced, and the staged directory is atomically renamed into
+//! `entries/`. A crash before the rename leaves only `tmp/` garbage (swept
+//! at the next open); a crash after it leaves a complete entry. There is no
+//! in-between state in `entries/`, and torn artifact bytes that somehow
+//! survive are caught by the manifest's whole-file SHA-256 at read time —
+//! the entry is then moved to `quarantine/` (for post-mortems and `store
+//! gc`), counted in `store.corrupt`, and reported as a miss so the caller
+//! repairs cleanly.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ftrepair_bdd::SerializedBdd;
+use ftrepair_telemetry::{Json, Telemetry};
+
+use crate::artifacts::{decode_artifacts, encode_artifacts};
+use crate::fingerprint::SpecFingerprint;
+use crate::sha::sha256_hex;
+
+/// Manifest schema version.
+const MANIFEST_FORMAT: u64 = 1;
+const MANIFEST_FILE: &str = "manifest.json";
+const ARTIFACTS_FILE: &str = "artifacts.bin";
+
+/// Distinguishes concurrent staging directories for the same key.
+static STAGE_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A completed repair to be persisted.
+pub struct NewEntry {
+    /// Content key (64 hex chars) — the directory name.
+    pub key: String,
+    /// Program name, for `store ls`.
+    pub case: String,
+    /// Repair mode ("lazy" / "cautious").
+    pub mode: String,
+    /// Whether this result itself came from a warm-started repair.
+    pub warm_start: bool,
+    /// Structural fingerprint for the near-key index.
+    pub fingerprint: SpecFingerprint,
+    /// The `/repair` response body to replay on a future hit.
+    pub response: Json,
+    /// Named result BDDs (transition relation, invariant, fault span).
+    pub artifacts: Vec<(String, SerializedBdd)>,
+}
+
+/// A persisted repair read back from disk (checksum already verified).
+pub struct StoredEntry {
+    pub key: String,
+    pub case: String,
+    pub mode: String,
+    pub warm_start: bool,
+    pub created_unix: u64,
+    pub fingerprint: SpecFingerprint,
+    pub response: Json,
+    pub artifacts: Vec<(String, SerializedBdd)>,
+}
+
+/// One row of `store ls`: index metadata without touching artifact bytes.
+#[derive(Clone, Debug)]
+pub struct EntryInfo {
+    pub key: String,
+    pub case: String,
+    pub mode: String,
+    pub warm_start: bool,
+    pub created_unix: u64,
+    pub bytes: u64,
+}
+
+struct IndexEntry {
+    case: String,
+    mode: String,
+    warm_start: bool,
+    created_unix: u64,
+    bytes: u64,
+    fingerprint: SpecFingerprint,
+}
+
+struct Inner {
+    index: HashMap<String, IndexEntry>,
+    /// Front = coldest. Rebuilt from `created_unix` at open (read
+    /// recency is not persisted), maintained exactly thereafter.
+    lru: Vec<String>,
+    bytes: u64,
+}
+
+/// The on-disk store. All methods take `&self`; an internal mutex orders
+/// concurrent readers, the async write-through thread, and eviction.
+pub struct DiskStore {
+    root: PathBuf,
+    /// Byte budget for `entries/`; 0 = unlimited.
+    budget: u64,
+    tele: Telemetry,
+    inner: Mutex<Inner>,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`. Sweeps stale
+    /// staging directories, scans every manifest into the in-memory index
+    /// (quarantining unreadable ones), and seeds the LRU order from entry
+    /// creation times.
+    pub fn open(root: &Path, budget: u64, tele: &Telemetry) -> std::io::Result<DiskStore> {
+        fs::create_dir_all(root.join("entries"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        let store = DiskStore {
+            root: root.to_path_buf(),
+            budget,
+            tele: tele.clone(),
+            inner: Mutex::new(Inner { index: HashMap::new(), lru: Vec::new(), bytes: 0 }),
+        };
+        // A crash mid-write leaves a partial directory under tmp/ and
+        // nothing under entries/ — dropping tmp wholesale is exactly the
+        // "torn write is discarded" guarantee.
+        for item in fs::read_dir(store.root.join("tmp"))? {
+            let path = item?.path();
+            let _ = if path.is_dir() { fs::remove_dir_all(&path) } else { fs::remove_file(&path) };
+        }
+        let mut scanned: Vec<(String, IndexEntry)> = Vec::new();
+        for item in fs::read_dir(store.root.join("entries"))? {
+            let dir = item?.path();
+            let key = match dir.file_name().and_then(|n| n.to_str()) {
+                Some(k) => k.to_string(),
+                None => continue,
+            };
+            match read_index_entry(&dir) {
+                Some(entry) => scanned.push((key, entry)),
+                None => {
+                    // Unreadable manifest: a torn write that somehow landed
+                    // in entries/, or bit rot. Out of the serving path.
+                    store.tele.add("store.corrupt", 1);
+                    store.quarantine_dir(&dir);
+                }
+            }
+        }
+        scanned.sort_by_key(|(_, e)| e.created_unix);
+        {
+            let mut inner = store.inner.lock().unwrap();
+            for (key, entry) in scanned {
+                inner.bytes += entry.bytes;
+                inner.lru.push(key.clone());
+                inner.index.insert(key, entry);
+            }
+            store.publish_gauges(&inner);
+        }
+        Ok(store)
+    }
+
+    /// The store root path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes under `entries/`.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Look a key up, verifying the artifact checksum and decoding the
+    /// container. Counts `store.hits`/`store.misses`; corruption counts
+    /// `store.corrupt`, quarantines the entry, and reads as a miss.
+    pub fn get(&self, key: &str) -> Option<StoredEntry> {
+        self.get_counted(key, true)
+    }
+
+    /// [`DiskStore::get`] without the hit/miss accounting — used for
+    /// warm-start neighbor fetches, which are not cache lookups and must
+    /// not inflate the hit rate. Corruption is still counted and
+    /// quarantined.
+    pub fn peek(&self, key: &str) -> Option<StoredEntry> {
+        self.get_counted(key, false)
+    }
+
+    fn get_counted(&self, key: &str, count: bool) -> Option<StoredEntry> {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.index.contains_key(key) {
+            if count {
+                self.tele.add("store.misses", 1);
+            }
+            return None;
+        }
+        let dir = self.root.join("entries").join(key);
+        match read_entry(&dir, key) {
+            Some(entry) => {
+                if count {
+                    self.tele.add("store.hits", 1);
+                    touch(&mut inner.lru, key);
+                }
+                Some(entry)
+            }
+            None => {
+                self.tele.add("store.corrupt", 1);
+                self.evict_locked(&mut inner, key);
+                self.quarantine_dir(&dir);
+                self.publish_gauges(&inner);
+                if count {
+                    self.tele.add("store.misses", 1);
+                }
+                None
+            }
+        }
+    }
+
+    /// Persist a completed repair. Stages under `tmp/`, fsyncs, and
+    /// atomically renames into `entries/`; then evicts coldest entries
+    /// while over the byte budget. Returns `false` when the key was
+    /// already stored (not an error — concurrent writers race benignly).
+    pub fn put(&self, entry: &NewEntry) -> std::io::Result<bool> {
+        {
+            let inner = self.inner.lock().unwrap();
+            if inner.index.contains_key(&entry.key) {
+                return Ok(false);
+            }
+        }
+        let created_unix = now_unix();
+        let artifact_bytes = encode_artifacts(&entry.artifacts);
+        let manifest = render_manifest(entry, created_unix, &artifact_bytes);
+
+        let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let stage =
+            self.root.join("tmp").join(format!("{}.{}.{}", entry.key, std::process::id(), nonce));
+        fs::create_dir_all(&stage)?;
+        let staged = (|| -> std::io::Result<()> {
+            write_fsync(&stage.join(ARTIFACTS_FILE), &artifact_bytes)?;
+            write_fsync(&stage.join(MANIFEST_FILE), manifest.to_string().as_bytes())?;
+            fsync_dir(&stage)?;
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            let _ = fs::remove_dir_all(&stage);
+            return Err(e);
+        }
+
+        let dest = self.root.join("entries").join(&entry.key);
+        let mut inner = self.inner.lock().unwrap();
+        // Re-check under the lock: a racing writer may have landed the key
+        // while we staged. `entries/<key>` existing on disk without an
+        // index entry means a quarantined/evicted leftover — clear it.
+        if inner.index.contains_key(&entry.key) {
+            drop(inner);
+            let _ = fs::remove_dir_all(&stage);
+            return Ok(false);
+        }
+        if dest.exists() {
+            let _ = fs::remove_dir_all(&dest);
+        }
+        if let Err(e) = fs::rename(&stage, &dest) {
+            drop(inner);
+            let _ = fs::remove_dir_all(&stage);
+            return Err(e);
+        }
+        let _ = fsync_dir(&self.root.join("entries"));
+
+        let bytes = dir_bytes(&dest);
+        inner.bytes += bytes;
+        inner.lru.push(entry.key.clone());
+        inner.index.insert(
+            entry.key.clone(),
+            IndexEntry {
+                case: entry.case.clone(),
+                mode: entry.mode.clone(),
+                warm_start: entry.warm_start,
+                created_unix,
+                bytes,
+                fingerprint: entry.fingerprint.clone(),
+            },
+        );
+        self.enforce_budget_locked(&mut inner);
+        self.publish_gauges(&inner);
+        Ok(true)
+    }
+
+    /// Find the nearest stored neighbor of `fp` within `max_distance`
+    /// structural edits (see [`SpecFingerprint::distance`]). Ties prefer
+    /// the most recently created entry. Returns `(key, distance)`.
+    pub fn nearest(&self, fp: &SpecFingerprint, max_distance: usize) -> Option<(String, usize)> {
+        let inner = self.inner.lock().unwrap();
+        let mut best: Option<(&String, usize, u64)> = None;
+        for (key, entry) in &inner.index {
+            let Some(d) = fp.distance(&entry.fingerprint) else { continue };
+            if d > max_distance {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bd, bc)) => d < bd || (d == bd && entry.created_unix > bc),
+            };
+            if better {
+                best = Some((key, d, entry.created_unix));
+            }
+        }
+        best.map(|(key, d, _)| (key.clone(), d))
+    }
+
+    /// Index metadata for every entry, coldest first.
+    pub fn ls(&self) -> Vec<EntryInfo> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .lru
+            .iter()
+            .filter_map(|key| {
+                let e = inner.index.get(key)?;
+                Some(EntryInfo {
+                    key: key.clone(),
+                    case: e.case.clone(),
+                    mode: e.mode.clone(),
+                    warm_start: e.warm_start,
+                    created_unix: e.created_unix,
+                    bytes: e.bytes,
+                })
+            })
+            .collect()
+    }
+
+    /// Re-read and checksum every entry, quarantining failures. Returns
+    /// `(entries_ok, keys_quarantined)`.
+    pub fn verify(&self) -> (usize, Vec<String>) {
+        let keys: Vec<String> = {
+            let inner = self.inner.lock().unwrap();
+            inner.lru.clone()
+        };
+        let mut ok = 0;
+        let mut bad = Vec::new();
+        for key in keys {
+            if self.peek(&key).is_some() {
+                ok += 1;
+            } else {
+                bad.push(key);
+            }
+        }
+        (ok, bad)
+    }
+
+    /// Delete quarantined entries and stale staging files, then enforce
+    /// the byte budget. Returns bytes freed.
+    pub fn gc(&self) -> std::io::Result<u64> {
+        let mut freed = 0u64;
+        for sub in ["quarantine", "tmp"] {
+            for item in fs::read_dir(self.root.join(sub))? {
+                let path = item?.path();
+                freed += dir_bytes(&path);
+                let _ =
+                    if path.is_dir() { fs::remove_dir_all(&path) } else { fs::remove_file(&path) };
+            }
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.bytes;
+        self.enforce_budget_locked(&mut inner);
+        freed += before - inner.bytes;
+        self.publish_gauges(&inner);
+        Ok(freed)
+    }
+
+    /// Remove coldest entries until within the byte budget.
+    fn enforce_budget_locked(&self, inner: &mut Inner) {
+        if self.budget == 0 {
+            return;
+        }
+        while inner.bytes > self.budget {
+            let Some(coldest) = inner.lru.first().cloned() else { break };
+            self.evict_locked(inner, &coldest);
+            let dir = self.root.join("entries").join(&coldest);
+            let _ = fs::remove_dir_all(&dir);
+            self.tele.add("store.evictions", 1);
+        }
+    }
+
+    /// Drop `key` from the index and LRU (filesystem handled by caller).
+    fn evict_locked(&self, inner: &mut Inner, key: &str) {
+        if let Some(entry) = inner.index.remove(key) {
+            inner.bytes = inner.bytes.saturating_sub(entry.bytes);
+        }
+        inner.lru.retain(|k| k != key);
+    }
+
+    fn publish_gauges(&self, inner: &Inner) {
+        self.tele.set_gauge("store.bytes", inner.bytes);
+        self.tele.set_gauge("store.entries", inner.index.len() as u64);
+    }
+
+    /// Move a directory out of the serving path into `quarantine/`.
+    fn quarantine_dir(&self, dir: &Path) {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let dest = self.root.join("quarantine").join(format!("{name}.{nonce}"));
+        if fs::rename(dir, &dest).is_err() {
+            // Cross-device or permission trouble: deleting still gets the
+            // poison out of the serving path, just without the post-mortem.
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Move `key` to the hot end of the LRU order.
+fn touch(lru: &mut Vec<String>, key: &str) {
+    if let Some(pos) = lru.iter().position(|k| k == key) {
+        let k = lru.remove(pos);
+        lru.push(k);
+    }
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Write `bytes` to `path` and fsync the file.
+fn write_fsync(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Fsync a directory so a completed rename/create survives power loss.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+/// Total size of a file or directory tree (fs metadata only).
+fn dir_bytes(path: &Path) -> u64 {
+    if path.is_file() {
+        return fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    }
+    let Ok(items) = fs::read_dir(path) else { return 0 };
+    items.flatten().map(|item| dir_bytes(&item.path())).sum()
+}
+
+fn render_manifest(entry: &NewEntry, created_unix: u64, artifact_bytes: &[u8]) -> Json {
+    let mut m = Json::obj();
+    m.set("format", Json::Num(MANIFEST_FORMAT as f64));
+    m.set("key", Json::Str(entry.key.clone()));
+    m.set("case", Json::Str(entry.case.clone()));
+    m.set("mode", Json::Str(entry.mode.clone()));
+    m.set("warm_start", Json::Bool(entry.warm_start));
+    m.set("created_unix", Json::Num(created_unix as f64));
+    m.set("artifacts_bytes", Json::Num(artifact_bytes.len() as f64));
+    m.set("artifacts_sha256", Json::Str(sha256_hex(artifact_bytes)));
+    m.set("fingerprint", entry.fingerprint.to_json());
+    m.set("response", entry.response.clone());
+    m
+}
+
+fn parse_manifest(dir: &Path) -> Option<Json> {
+    let text = fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?;
+    let manifest = Json::parse(&text).ok()?;
+    if manifest.get("format")?.as_u64()? != MANIFEST_FORMAT {
+        return None;
+    }
+    Some(manifest)
+}
+
+/// Index-scan read: manifest only, no artifact checksum (deferred to the
+/// first `get`). `None` means the entry is unreadable and must be
+/// quarantined.
+fn read_index_entry(dir: &Path) -> Option<IndexEntry> {
+    let manifest = parse_manifest(dir)?;
+    Some(IndexEntry {
+        case: manifest.get("case")?.as_str()?.to_string(),
+        mode: manifest.get("mode")?.as_str()?.to_string(),
+        warm_start: manifest.get("warm_start")?.as_bool()?,
+        created_unix: manifest.get("created_unix")?.as_u64()?,
+        bytes: dir_bytes(dir),
+        fingerprint: SpecFingerprint::from_json(manifest.get("fingerprint")?)?,
+    })
+}
+
+/// Full read: manifest, artifact checksum, container decode.
+fn read_entry(dir: &Path, key: &str) -> Option<StoredEntry> {
+    let manifest = parse_manifest(dir)?;
+    if manifest.get("key")?.as_str()? != key {
+        return None;
+    }
+    let artifact_bytes = fs::read(dir.join(ARTIFACTS_FILE)).ok()?;
+    if artifact_bytes.len() as u64 != manifest.get("artifacts_bytes")?.as_u64()? {
+        return None;
+    }
+    if sha256_hex(&artifact_bytes) != manifest.get("artifacts_sha256")?.as_str()? {
+        return None;
+    }
+    let artifacts = decode_artifacts(&artifact_bytes).ok()?;
+    Some(StoredEntry {
+        key: key.to_string(),
+        case: manifest.get("case")?.as_str()?.to_string(),
+        mode: manifest.get("mode")?.as_str()?.to_string(),
+        warm_start: manifest.get("warm_start")?.as_bool()?,
+        created_unix: manifest.get("created_unix")?.as_u64()?,
+        fingerprint: SpecFingerprint::from_json(manifest.get("fingerprint")?)?,
+        response: manifest.get("response")?.clone(),
+        artifacts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::{ART_INVARIANT, ART_SPAN, ART_TRANS};
+
+    /// A unique temp dir per test (no tempfile crate in the workspace).
+    fn temp_root(tag: &str) -> PathBuf {
+        let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("ftrepair-store-test-{tag}-{}-{nonce}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_bdd(seed: u32) -> SerializedBdd {
+        SerializedBdd {
+            num_vars: 4,
+            order: vec![0, 1, 2, 3],
+            nodes: vec![(3, 0, 1), (seed % 3, 2, 1)],
+            root: 3,
+        }
+    }
+
+    fn sample_fp(tag: &str) -> SpecFingerprint {
+        SpecFingerprint {
+            vars: "0011223344556677".into(),
+            faults: "8899aabbccddeeff".into(),
+            safety: "0123456789abcdef".into(),
+            actions: vec![format!("{tag:0>16}")],
+        }
+    }
+
+    fn sample_entry(key_tag: &str) -> NewEntry {
+        let mut response = Json::obj();
+        response.set("ok", Json::Bool(true));
+        response.set("case", Json::Str("sample".into()));
+        NewEntry {
+            key: format!("{key_tag:0>64}"),
+            case: "sample".into(),
+            mode: "lazy".into(),
+            warm_start: false,
+            fingerprint: sample_fp(key_tag),
+            response,
+            artifacts: vec![
+                (ART_TRANS.into(), sample_bdd(0)),
+                (ART_INVARIANT.into(), sample_bdd(1)),
+                (ART_SPAN.into(), sample_bdd(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_metrics() {
+        let root = temp_root("roundtrip");
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        let entry = sample_entry("a");
+        assert!(store.get(&entry.key).is_none(), "empty store misses");
+        assert!(store.put(&entry).unwrap());
+        assert!(!store.put(&entry).unwrap(), "second put is a no-op");
+        let got = store.get(&entry.key).expect("hit");
+        assert_eq!(got.response, entry.response);
+        assert_eq!(got.artifacts, entry.artifacts);
+        assert_eq!(got.case, "sample");
+        assert_eq!(got.fingerprint, entry.fingerprint);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("store.hits"), 1);
+        assert_eq!(snap.counter("store.misses"), 1);
+        assert_eq!(snap.counter("store.corrupt"), 0);
+        assert_eq!(snap.gauges["store.entries"], 1);
+        assert!(snap.gauges["store.bytes"] > 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_preserves_entries() {
+        let root = temp_root("reopen");
+        let entry = sample_entry("b");
+        {
+            let tele = Telemetry::off();
+            let store = DiskStore::open(&root, 0, &tele).unwrap();
+            store.put(&entry).unwrap();
+        }
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        assert_eq!(store.len(), 1);
+        let got = store.get(&entry.key).expect("survives restart");
+        assert_eq!(got.response, entry.response);
+        assert_eq!(tele.snapshot().counter("store.hits"), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn peek_does_not_count_hits() {
+        let root = temp_root("peek");
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        let entry = sample_entry("c");
+        store.put(&entry).unwrap();
+        assert!(store.peek(&entry.key).is_some());
+        assert!(store.peek("no-such-key").is_none());
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("store.hits"), 0);
+        assert_eq!(snap.counter("store.misses"), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_quarantined() {
+        let root = temp_root("corrupt-artifacts");
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        let entry = sample_entry("d");
+        store.put(&entry).unwrap();
+        // Flip one byte in the artifact container.
+        let art_path = root.join("entries").join(&entry.key).join(ARTIFACTS_FILE);
+        let mut bytes = fs::read(&art_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&art_path, &bytes).unwrap();
+
+        assert!(store.get(&entry.key).is_none(), "corrupt entry reads as a miss");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("store.corrupt"), 1);
+        assert_eq!(snap.counter("store.hits"), 0);
+        assert_eq!(store.len(), 0, "dropped from the index");
+        assert!(!root.join("entries").join(&entry.key).exists());
+        let quarantined = fs::read_dir(root.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined, 1, "moved to quarantine for post-mortems");
+        // And the key is re-insertable after quarantine.
+        assert!(store.put(&entry).unwrap());
+        assert!(store.get(&entry.key).is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_manifest_is_quarantined_at_open() {
+        let root = temp_root("corrupt-manifest");
+        let entry = sample_entry("e");
+        {
+            let tele = Telemetry::off();
+            let store = DiskStore::open(&root, 0, &tele).unwrap();
+            store.put(&entry).unwrap();
+        }
+        let man_path = root.join("entries").join(&entry.key).join(MANIFEST_FILE);
+        let text = fs::read_to_string(&man_path).unwrap();
+        fs::write(&man_path, &text[..text.len() / 2]).unwrap();
+
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        assert_eq!(store.len(), 0);
+        assert_eq!(tele.snapshot().counter("store.corrupt"), 1);
+        assert!(store.get(&entry.key).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_tmp_dirs_are_swept_at_open() {
+        let root = temp_root("tmp-sweep");
+        {
+            let tele = Telemetry::off();
+            let _ = DiskStore::open(&root, 0, &tele).unwrap();
+        }
+        // Simulate a crash mid-stage: a partial directory and a stray file.
+        fs::create_dir_all(root.join("tmp").join("deadbeef.1.2")).unwrap();
+        fs::write(root.join("tmp").join("deadbeef.1.2").join(ARTIFACTS_FILE), b"part").unwrap();
+        fs::write(root.join("tmp").join("stray"), b"x").unwrap();
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+        assert_eq!(store.len(), 0);
+        assert_eq!(tele.snapshot().counter("store.corrupt"), 0, "tmp garbage is not corruption");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn budget_evicts_coldest_and_hot_key_survives() {
+        let root = temp_root("budget");
+        let tele = Telemetry::new();
+        // Learn one entry's size, then budget for about two.
+        let probe = DiskStore::open(&root, 0, &tele).unwrap();
+        probe.put(&sample_entry("p")).unwrap();
+        let one = probe.bytes();
+        drop(probe);
+        let _ = fs::remove_dir_all(&root);
+
+        let store = DiskStore::open(&root, one * 2 + one / 2, &tele).unwrap();
+        let (a, b, c) = (sample_entry("a"), sample_entry("b"), sample_entry("c"));
+        store.put(&a).unwrap();
+        store.put(&b).unwrap();
+        // Touch `a` so `b` is now the coldest.
+        assert!(store.get(&a.key).is_some());
+        store.put(&c).unwrap();
+        assert!(store.bytes() <= one * 2 + one / 2);
+        assert!(store.peek(&a.key).is_some(), "hot key survives");
+        assert!(store.peek(&b.key).is_none(), "coldest evicted");
+        assert!(store.peek(&c.key).is_some(), "newest survives");
+        assert_eq!(tele.snapshot().counter("store.evictions"), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn nearest_prefers_smallest_distance() {
+        let root = temp_root("nearest");
+        let tele = Telemetry::off();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        let mut near = sample_entry("near");
+        near.fingerprint.actions = vec!["aaaa".into(), "bbbb".into()];
+        let mut far = sample_entry("far1");
+        far.fingerprint.actions = vec!["cccc".into(), "dddd".into()];
+        store.put(&near).unwrap();
+        store.put(&far).unwrap();
+
+        let probe =
+            SpecFingerprint { actions: vec!["aaaa".into(), "eeee".into()], ..sample_fp("probe") };
+        let (key, d) = store.nearest(&probe, 8).expect("finds a neighbor");
+        assert_eq!(key, near.key);
+        assert_eq!(d, 2);
+        assert!(store.nearest(&probe, 1).is_none(), "max_distance is respected");
+
+        // Different variable layout: no neighbor at any distance.
+        let alien = SpecFingerprint { vars: "ffffffffffffffff".into(), ..probe };
+        assert!(store.nearest(&alien, 100).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn ls_verify_gc() {
+        let root = temp_root("admin");
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        let (a, b) = (sample_entry("a"), sample_entry("b"));
+        store.put(&a).unwrap();
+        store.put(&b).unwrap();
+        let rows = store.ls();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.case == "sample" && r.bytes > 0));
+
+        let (ok, bad) = store.verify();
+        assert_eq!((ok, bad.len()), (2, 0));
+
+        // Corrupt one entry, verify flags and quarantines it, gc clears it.
+        let art = root.join("entries").join(&b.key).join(ARTIFACTS_FILE);
+        fs::write(&art, b"FTARjunk").unwrap();
+        let (ok, bad) = store.verify();
+        assert_eq!((ok, bad), (1, vec![b.key.clone()]));
+        assert!(fs::read_dir(root.join("quarantine")).unwrap().count() > 0);
+        let freed = store.gc().unwrap();
+        assert!(freed > 0);
+        assert_eq!(fs::read_dir(root.join("quarantine")).unwrap().count(), 0);
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,217 @@
+//! Structural spec fingerprints for the near-key index.
+//!
+//! A content key is all-or-nothing: one flipped character yields an
+//! unrelated SHA-256 and the cache contributes nothing. Warm-start needs a
+//! weaker notion — "this spec is *almost* that cached one" — so each stored
+//! entry also carries a [`SpecFingerprint`] that hashes the structural
+//! sections of the AST separately:
+//!
+//! - `vars`: one hash over every variable declaration, in order. Two specs
+//!   with different variable layouts compile to different BDD variable
+//!   universes, so cached artifacts are only importable when this matches
+//!   exactly.
+//! - `faults`: one hash over every fault section. The fault-span artifact
+//!   is a fixpoint *of the faults*, so a changed fault invalidates it as a
+//!   seed in spirit even though seeding stays sound; we require equality.
+//! - `safety`: one hash over invariants/badstates/badtrans/leadsto.
+//! - `actions`: a multiset of per-action hashes (plus one pseudo-entry per
+//!   process for its read/write sets), so edit distance between two specs'
+//!   process sections is the symmetric difference of two multisets.
+//!
+//! [`SpecFingerprint::distance`] is `None` unless vars and faults match;
+//! otherwise it counts differing action entries. Distance 0 with a safety
+//! change is still a usable neighbor: seeds only over-approximate the
+//! Step 1 reachability frontier, and the repair itself reruns in full.
+
+use ftrepair_lang::ast;
+use ftrepair_telemetry::Json;
+
+use crate::sha::sha256_hex;
+
+/// Per-section structural hashes of one spec (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecFingerprint {
+    /// Hash of all variable declarations (16 hex chars).
+    pub vars: String,
+    /// Hash of all fault sections (16 hex chars).
+    pub faults: String,
+    /// Hash of invariants + badstates + badtrans + leadsto (16 hex chars).
+    pub safety: String,
+    /// Sorted multiset of per-action / per-process-rw hashes (16 hex chars each).
+    pub actions: Vec<String>,
+}
+
+/// 16-hex-char prefix of the SHA-256 of a debug rendering. The `Debug`
+/// derivation of the AST is stable within this repo and distinguishes every
+/// structurally distinct value, which is all a fingerprint needs.
+fn h(material: &str) -> String {
+    let mut hex = sha256_hex(material.as_bytes());
+    hex.truncate(16);
+    hex
+}
+
+impl SpecFingerprint {
+    /// Fingerprint a parsed spec.
+    pub fn of(prog: &ast::Program) -> SpecFingerprint {
+        let vars = h(&format!("vars {:?}", prog.vars));
+        let faults = h(&format!("faults {:?}", prog.faults));
+        let safety = h(&format!(
+            "safety {:?} {:?} {:?} {:?}",
+            prog.invariants, prog.bad_states, prog.bad_trans, prog.leads_to
+        ));
+        let mut actions = Vec::new();
+        for proc in &prog.processes {
+            // The read/write sets gate which repaired transitions are
+            // realizable, so an rw edit must register as distance too.
+            actions.push(h(&format!("rw {} {:?} {:?}", proc.name, proc.read, proc.write)));
+            for action in &proc.actions {
+                actions.push(h(&format!("act {} {:?}", proc.name, action)));
+            }
+        }
+        actions.sort();
+        SpecFingerprint { vars, faults, safety, actions }
+    }
+
+    /// Structural edit distance to `other`: the size of the symmetric
+    /// difference of the action multisets, or `None` when the variable
+    /// layout or fault sections differ (cached BDDs are then not importable
+    /// as seeds).
+    pub fn distance(&self, other: &SpecFingerprint) -> Option<usize> {
+        if self.vars != other.vars || self.faults != other.faults {
+            return None;
+        }
+        // Both sides are sorted; a two-pointer sweep counts entries unique
+        // to either multiset.
+        let (a, b) = (&self.actions, &other.actions);
+        let (mut i, mut j, mut diff) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    diff += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    diff += 1;
+                    j += 1;
+                }
+            }
+        }
+        diff += (a.len() - i) + (b.len() - j);
+        Some(diff)
+    }
+
+    /// Render as a JSON object for the manifest.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("vars", Json::Str(self.vars.clone()));
+        obj.set("faults", Json::Str(self.faults.clone()));
+        obj.set("safety", Json::Str(self.safety.clone()));
+        obj.set("actions", Json::Arr(self.actions.iter().cloned().map(Json::Str).collect()));
+        obj
+    }
+
+    /// Parse back from a manifest object; `None` on any shape mismatch
+    /// (treated as corruption by the caller).
+    pub fn from_json(value: &Json) -> Option<SpecFingerprint> {
+        let vars = value.get("vars")?.as_str()?.to_string();
+        let faults = value.get("faults")?.as_str()?.to_string();
+        let safety = value.get("safety")?.as_str()?.to_string();
+        let mut actions = Vec::new();
+        for item in value.get("actions")?.as_arr()? {
+            actions.push(item.as_str()?.to_string());
+        }
+        Some(SpecFingerprint { vars, faults, safety, actions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftrepair_lang::parse;
+
+    const BASE: &str = "program fp_base;\n\
+        var x : 0..2;\n\
+        var y : 0..1;\n\
+        process p\n\
+        read x, y;\n\
+        write x;\n\
+        begin\n\
+        (x = 0) -> x := 1;\n\
+        (x = 1) -> x := 2;\n\
+        end\n\
+        fault hit\n\
+        begin\n\
+        true -> x := {0, 1, 2};\n\
+        end\n\
+        invariant (x = 0) | (x = 1);\n";
+
+    fn fp(src: &str) -> SpecFingerprint {
+        SpecFingerprint::of(&parse(src).expect("test spec parses"))
+    }
+
+    #[test]
+    fn identical_specs_have_distance_zero() {
+        let a = fp(BASE);
+        let b = fp(BASE);
+        assert_eq!(a, b);
+        assert_eq!(a.distance(&b), Some(0));
+    }
+
+    #[test]
+    fn one_action_edit_is_distance_two() {
+        // Changing one action removes its hash and adds a new one:
+        // symmetric difference 2.
+        let edited = BASE.replace("(x = 1) -> x := 2;", "(x = 1) -> x := 0;");
+        let a = fp(BASE);
+        let b = fp(&edited);
+        assert_eq!(a.distance(&b), Some(2));
+        assert_eq!(a.vars, b.vars);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn added_action_is_distance_one() {
+        let extended = BASE.replace("end\nfault", "(x = 2) -> x := 0;\nend\nfault");
+        assert_eq!(fp(BASE).distance(&fp(&extended)), Some(1));
+    }
+
+    #[test]
+    fn rw_set_edit_registers_as_distance() {
+        let edited = BASE.replace("read x, y;", "read x;");
+        let d = fp(BASE).distance(&fp(&edited));
+        assert_eq!(d, Some(2));
+    }
+
+    #[test]
+    fn var_change_disqualifies() {
+        let edited = BASE.replace("var x : 0..2;", "var x : 0..3;");
+        assert_eq!(fp(BASE).distance(&fp(&edited)), None);
+    }
+
+    #[test]
+    fn fault_change_disqualifies() {
+        let edited = BASE.replace("true -> x := {0, 1, 2};", "true -> x := {0, 2};");
+        assert_eq!(fp(BASE).distance(&fp(&edited)), None);
+    }
+
+    #[test]
+    fn safety_change_keeps_distance_zero() {
+        let edited = BASE.replace("invariant (x = 0) | (x = 1);", "invariant (x = 0);");
+        let (a, b) = (fp(BASE), fp(&edited));
+        assert_ne!(a.safety, b.safety);
+        assert_eq!(a.distance(&b), Some(0));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = fp(BASE);
+        let json = a.to_json();
+        let back = SpecFingerprint::from_json(&json).expect("round-trips");
+        assert_eq!(a, back);
+        assert_eq!(SpecFingerprint::from_json(&Json::Str("nope".into())), None);
+    }
+}

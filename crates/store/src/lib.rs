@@ -1,0 +1,33 @@
+//! Persistent tiered result store.
+//!
+//! The server's in-memory result cache dies with the process; this crate is
+//! the durable tier beneath it. Completed repairs are written through as
+//! one directory per content key — the `/repair` response JSON plus the
+//! three result BDDs (repaired transition relation, invariant, fault span)
+//! as order-carrying [`ftrepair_bdd::SerializedBdd`] blobs — so a restarted
+//! server serves the same spec from disk instead of re-paying the repair.
+//!
+//! Three modules:
+//!
+//! * [`sha`] — the in-tree SHA-256 shared by content keys, artifact
+//!   checksums, and fingerprints (moved here from the server so both tiers
+//!   address by the same hash);
+//! * [`fingerprint`] — per-section structural hashes of a spec plus a
+//!   distance metric, the basis of the near-key index that lets a slightly
+//!   edited spec locate its nearest cached neighbor for warm-start repair;
+//! * [`artifacts`] / [`disk`] — the binary artifact container and the
+//!   crash-safe [`DiskStore`] (temp-file + fsync + atomic rename,
+//!   checksum-on-read, quarantine, LRU byte budget).
+
+pub mod artifacts;
+pub mod disk;
+pub mod fingerprint;
+pub mod sha;
+
+pub use artifacts::{
+    decode_artifacts, encode_artifacts, find_artifact, ArtifactError, ART_INVARIANT, ART_SPAN,
+    ART_TRANS,
+};
+pub use disk::{DiskStore, EntryInfo, NewEntry, StoredEntry};
+pub use fingerprint::SpecFingerprint;
+pub use sha::{content_key, sha256, sha256_hex};

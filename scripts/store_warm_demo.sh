@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Warm-restart demo for the persistent result store.
+#
+# Starts `ftrepair serve --store-dir`, drives a cold loadgen phase, kills
+# the daemon with SIGTERM mid-run (loadgen pauses while we do), restarts it
+# on the SAME address and store directory, and lets the warm phase run
+# against the restarted daemon. Everything the warm phase asks for is
+# already on disk, so its p99 collapses to promotion cost — no repair is
+# recomputed. Produces the summary checked in as
+# results/loadgen_store_warm.txt.
+#
+# Usage: scripts/store_warm_demo.sh [addr]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:7183}"
+STORE="$(mktemp -d)"
+LOG="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$STORE" "$LOG"
+}
+trap cleanup EXIT
+
+cargo build --release -p ftrepair -p ftrepair-bench >/dev/null 2>&1
+
+# GET a path from the daemon over bash's /dev/tcp (no curl dependency).
+http_get() {
+  exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+  printf 'GET %s HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3 | tr -d '\r' | sed '1,/^$/d'
+  exec 3>&- 3<&-
+}
+
+start_server() {
+  target/release/ftrepair serve --addr "$ADDR" --workers 4 --store-dir "$STORE" &
+  SERVER_PID=$!
+  for _ in $(seq 50); do
+    if http_get /healthz >/dev/null 2>&1; then return; fi
+    sleep 0.1
+  done
+  echo "daemon never came up on $ADDR" >&2
+  exit 1
+}
+
+start_server
+echo "== first daemon up (pid $SERVER_PID), store at $STORE"
+
+target/release/loadgen --addr "$ADDR" \
+  --spec examples/specs/toggle_pair.ftr \
+  --spec examples/specs/tmr_voter.ftr \
+  --spec examples/specs/token_ring.ftr \
+  --spec examples/specs/stabilizing_chain10.ftr \
+  --conns 4 --requests 120 --restart-after 60 --restart-pause 6 \
+  2>"$LOG" &
+LOADGEN_PID=$!
+
+# Wait for the cold phase to finish, then restart the daemon inside the
+# loadgen pause window.
+for _ in $(seq 300); do
+  grep -q "pausing" "$LOG" && break
+  sleep 0.1
+done
+grep -q "pausing" "$LOG" || { echo "cold phase never finished" >&2; exit 1; }
+
+echo "== cold phase done; SIGTERM daemon $SERVER_PID"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+start_server
+echo "== second daemon up (pid $SERVER_PID), same store dir"
+
+wait "$LOADGEN_PID"
+echo
+echo "== loadgen summary =="
+cat "$LOG"
+echo
+echo "== second daemon /metrics (store + jobs counters) =="
+http_get "/metrics" | tr ',' '\n' | grep -E '"(store\.|server\.jobs\.)' | sed 's/[{}]//g'

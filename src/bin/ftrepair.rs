@@ -3,7 +3,7 @@
 //! ```text
 //! ftrepair repair   <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
 //!                              [--parallel] [--strict-terminal] [--timeout <secs>]
-//!                              [--reorder none|sift|auto]
+//!                              [--reorder none|sift|auto] [--store-dir <path>]
 //!                              [--metrics-out <path>] [--trace] [--trace-out <path>]
 //! ftrepair check    <file.ftr>
 //! ftrepair info     <file.ftr>
@@ -11,7 +11,9 @@
 //!                              [--timeout <secs>] [--reorder none|sift|auto]
 //! ftrepair serve    [--addr host:port] [--workers N] [--queue-cap M]
 //!                   [--cache-cap C] [--job-timeout <secs>] [--metrics-out <path>]
-//!                   [--reorder none|sift|auto]
+//!                   [--reorder none|sift|auto] [--store-dir <path>]
+//!                   [--store-budget-mb N] [--no-warm-start]
+//! ftrepair store    <ls|verify|gc> --store-dir <path>
 //! ftrepair metrics-dump <reports.jsonl>
 //! ftrepair prom-lint    [<exposition.txt>|-]
 //! ```
@@ -38,7 +40,12 @@
 //! applied per job (default 30s, `503 {"error":"timeout"}`). `--reorder`
 //! picks the BDD dynamic variable-reordering policy (default `auto`; see
 //! the README's "Performance" section); for `serve` it sets the default a
-//! job's `reorder` query parameter can override.
+//! job's `reorder` query parameter can override. `--store-dir` enables the
+//! persistent result store (see the README "Persistence" section): `serve`
+//! gains a durable tier under its memory cache plus warm-started repairs
+//! from near-key neighbors; `repair --store-dir` serves exact hits from
+//! disk and writes new repairs through; `store ls|verify|gc` inspect,
+//! checksum-verify, and clean a store directory.
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
@@ -58,7 +65,7 @@ use std::time::Duration;
 const EXIT_TIMED_OUT: u8 = 124;
 
 const USAGE: &str =
-    "usage: ftrepair <repair|check|info|simulate|serve|metrics-dump|prom-lint> [<file>] [options]";
+    "usage: ftrepair <repair|check|info|simulate|serve|store|metrics-dump|prom-lint> [<file>] [options]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +81,9 @@ fn main() -> ExitCode {
     }
     if command == "prom-lint" {
         return prom_lint(&args[1..]);
+    }
+    if command == "store" {
+        return store_cmd(&args[1..]);
     }
     if !matches!(command.as_str(), "info" | "check" | "repair" | "simulate") {
         eprintln!("unknown command {command}");
@@ -92,6 +102,11 @@ fn main() -> ExitCode {
     };
     if command == "simulate" {
         return simulate(&source, path, &args[2..]);
+    }
+    // `repair --store-dir` goes through the store-aware job pipeline, which
+    // needs the raw source for content addressing — branch before `load`.
+    if command == "repair" && args[2..].iter().any(|a| a == "--store-dir") {
+        return repair_stored(&source, path, &args[2..]);
     }
     let mut prog = match ftrepair::lang::load(&source) {
         Ok(p) => p,
@@ -163,6 +178,9 @@ fn serve(flags: &[String]) -> ExitCode {
             metrics_out: flag_value(flags, "--metrics-out")?.map(PathBuf::from),
             job_timeout: duration_flag(flags, "--job-timeout")?.unwrap_or(defaults.job_timeout),
             reorder: reorder_flag(flags)?,
+            store_dir: flag_value(flags, "--store-dir")?.map(PathBuf::from),
+            store_budget: parsed_flag(flags, "--store-budget-mb", 0u64)? * (1 << 20),
+            warm_start: !flags.iter().any(|a| a == "--no-warm-start"),
             ..defaults
         })
     })();
@@ -266,6 +284,227 @@ fn prom_lint(args: &[String]) -> ExitCode {
             eprintln!("prom-lint: {name}: {v}");
         }
         ExitCode::from(1)
+    }
+}
+
+/// `repair --store-dir <path>`: the CLI end of the persistent tier. An
+/// exact content-key hit replays the stored response without recomputing;
+/// a miss repairs (warm-started from the nearest stored neighbor when one
+/// is close enough) and writes the verified result through synchronously,
+/// so a later `serve --store-dir` or `repair --store-dir` run finds it.
+fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
+    use ftrepair::store::{DiskStore, NewEntry, ART_INVARIANT, ART_SPAN};
+
+    let has = |f: &str| flags.iter().any(|a| a == f);
+    let params = (|| -> Result<(PathBuf, Option<Duration>, ReorderMode), String> {
+        let dir = flag_value(flags, "--store-dir")?
+            .ok_or_else(|| "--store-dir requires a path".to_string())?;
+        Ok((PathBuf::from(dir), duration_flag(flags, "--timeout")?, reorder_flag(flags)?))
+    })();
+    let (store_dir, deadline, reorder) = match params {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = if has("--cautious") { job::Mode::Cautious } else { job::Mode::Lazy };
+    let opts = RepairOptions {
+        restrict_to_reachable: !has("--pure-lazy"),
+        step2_closed_form: !has("--iterative-step2"),
+        parallel_step2: has("--parallel"),
+        allow_new_terminal_inside: !has("--strict-terminal"),
+        deadline,
+        reorder,
+        ..Default::default()
+    };
+
+    let spec = match job::prepare(source, mode, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let store = match DiskStore::open(&store_dir, 0, &Telemetry::off()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", store_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let print_response = |response: &ftrepair::telemetry::Json| {
+        if let Some(program) = response.get("program").and_then(|j| j.as_str()) {
+            print!("{program}");
+        }
+    };
+
+    if let Some(stored) = store.get(&spec.key) {
+        eprintln!("served from store {} (key {})", store_dir.display(), &spec.key[..16]);
+        if stored.response.get("failed").and_then(|j| j.as_bool()) == Some(true) {
+            // Never stored by this code (failures are not persisted), but a
+            // foreign entry could say so; honor it rather than lie.
+            eprintln!("no masking fault-tolerant repair exists under these inputs");
+            return ExitCode::from(1);
+        }
+        print_response(&stored.response);
+        return ExitCode::SUCCESS;
+    }
+
+    // Miss: look for a warm-start donor before computing from scratch.
+    let warm = if mode == job::Mode::Lazy {
+        store.nearest(&spec.fingerprint, 16).and_then(|(neighbor, distance)| {
+            let donor = store.peek(&neighbor)?;
+            let mut invariant = None;
+            let mut span = None;
+            for (name, bdd) in donor.artifacts {
+                match name.as_str() {
+                    ART_INVARIANT => invariant = Some(bdd),
+                    ART_SPAN => span = Some(bdd),
+                    _ => {}
+                }
+            }
+            Some(job::WarmInfo { neighbor, distance, invariant: invariant?, span: span? })
+        })
+    } else {
+        None
+    };
+
+    let tele = Telemetry::new();
+    let token = ftrepair::repair::Token::from_options(&spec.opts);
+    let result = match job::execute_store(&spec, &tele, false, &token, warm.as_ref(), true) {
+        Ok(r) => r,
+        Err(job::ExecError::Aborted(why)) => {
+            eprintln!("{path}: {why}");
+            return ExitCode::from(EXIT_TIMED_OUT);
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if result.warm_used {
+        if let Some(info) = &warm {
+            eprintln!(
+                "warm-started from neighbor {} (fingerprint distance {})",
+                &info.neighbor[..16],
+                info.distance,
+            );
+        }
+    }
+    if result.failed {
+        eprintln!("no masking fault-tolerant repair exists under these inputs");
+        return ExitCode::from(1);
+    }
+    eprintln!("repaired {} ({} mode), verified: {}", spec.name, mode.as_str(), result.verified);
+
+    // Synchronous write-through (the CLI has no async writer to hand off
+    // to); only verified repairs carry artifacts.
+    if let Some(artifacts) = result.artifacts {
+        let entry = NewEntry {
+            key: spec.key.clone(),
+            case: spec.name.clone(),
+            mode: mode.as_str().to_string(),
+            warm_start: result.warm_used,
+            fingerprint: spec.fingerprint.clone(),
+            response: result.response.clone(),
+            artifacts,
+        };
+        match store.put(&entry) {
+            Ok(true) => eprintln!("stored under key {}", &spec.key[..16]),
+            Ok(false) => {}
+            Err(e) => eprintln!("warning: store write failed: {e}"),
+        }
+    }
+    print_response(&result.response);
+    if result.verified {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("INTERNAL ERROR: output failed verification");
+        ExitCode::from(3)
+    }
+}
+
+/// `store <ls|verify|gc> --store-dir <path>` — offline store maintenance.
+fn store_cmd(args: &[String]) -> ExitCode {
+    use ftrepair::store::DiskStore;
+
+    const STORE_USAGE: &str = "usage: ftrepair store <ls|verify|gc> --store-dir <path>";
+    let Some(action) = args.first().map(String::as_str) else {
+        eprintln!("{STORE_USAGE}");
+        return ExitCode::from(2);
+    };
+    if !matches!(action, "ls" | "verify" | "gc") {
+        eprintln!("unknown store action {action}\n{STORE_USAGE}");
+        return ExitCode::from(2);
+    }
+    let dir = match flag_value(&args[1..], "--store-dir") {
+        Ok(Some(d)) => PathBuf::from(d),
+        Ok(None) => {
+            eprintln!("--store-dir is required\n{STORE_USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let store = match DiskStore::open(&dir, 0, &Telemetry::off()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match action {
+        "ls" => {
+            let entries = store.ls();
+            println!(
+                "{:<20} {:<16} {:<8} {:>5} {:>12} {:>12}",
+                "KEY", "CASE", "MODE", "WARM", "BYTES", "AGE_S"
+            );
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            for e in &entries {
+                println!(
+                    "{:<20} {:<16} {:<8} {:>5} {:>12} {:>12}",
+                    &e.key[..e.key.len().min(20)],
+                    e.case,
+                    e.mode,
+                    e.warm_start,
+                    e.bytes,
+                    now.saturating_sub(e.created_unix),
+                );
+            }
+            eprintln!("{} entries, {} bytes in {}", entries.len(), store.bytes(), dir.display());
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let (ok, corrupt) = store.verify();
+            for key in &corrupt {
+                eprintln!("CORRUPT (quarantined): {key}");
+            }
+            eprintln!("{ok} entries verified, {} corrupt", corrupt.len());
+            if corrupt.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        _ => match store.gc() {
+            Ok(freed) => {
+                eprintln!("freed {freed} bytes of quarantined/stale data from {}", dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gc failed: {e}");
+                ExitCode::from(1)
+            }
+        },
     }
 }
 

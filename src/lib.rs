@@ -13,5 +13,6 @@ pub use ftrepair_explicit as explicit;
 pub use ftrepair_lang as lang;
 pub use ftrepair_program as program;
 pub use ftrepair_server as server;
+pub use ftrepair_store as store;
 pub use ftrepair_symbolic as symbolic;
 pub use ftrepair_telemetry as telemetry;
