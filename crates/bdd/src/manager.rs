@@ -250,6 +250,10 @@ pub struct Manager {
     pub(crate) groups: Vec<Vec<u32>>,
     /// Armed auto-reorder trigger, if any (see [`Manager::set_auto_reorder`]).
     pub(crate) auto_reorder: Option<crate::reorder::AutoReorder>,
+    /// Live-node budget (0 = unlimited; see [`Manager::set_node_budget`]).
+    pub(crate) node_budget: usize,
+    /// Sticky flag: the budget was exceeded and a GC could not help.
+    pub(crate) budget_exhausted: bool,
     /// Sifting abandons a direction once the arena exceeds this factor of its
     /// size at the start of the current block's sift.
     pub(crate) max_growth: f64,
@@ -290,6 +294,8 @@ impl Manager {
             peak_live: 0,
             groups: Vec::new(),
             auto_reorder: None,
+            node_budget: 0,
+            budget_exhausted: false,
             max_growth: crate::reorder::DEFAULT_MAX_GROWTH,
             reorder_runs: 0,
             reorder_swaps: 0,
@@ -466,6 +472,46 @@ impl Manager {
             true
         } else {
             false
+        }
+    }
+
+    /// Arm (or, with 0, disarm) a live-node budget, clearing any latched
+    /// exhaustion. The budget is enforced at the same governance
+    /// checkpoints as the auto-reorder trigger (see
+    /// [`Manager::maybe_reorder`]): when the live count exceeds it, the
+    /// checkpoint collects garbage first, and only if the arena is *still*
+    /// over budget does it latch [`Manager::budget_exhausted`] — a repair
+    /// layer then aborts cleanly at its next cancellation boundary instead
+    /// of letting the arena grow until the OOM killer fires.
+    pub fn set_node_budget(&mut self, budget: usize) {
+        self.node_budget = budget;
+        self.budget_exhausted = false;
+    }
+
+    /// The armed live-node budget (0 = unlimited).
+    pub fn node_budget(&self) -> usize {
+        self.node_budget
+    }
+
+    /// Has a governance checkpoint found the arena irrecoverably over
+    /// budget? Sticky until [`Manager::set_node_budget`] re-arms.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
+    }
+
+    /// The budget half of the governance checkpoint (the reorder half
+    /// lives in [`Manager::maybe_reorder`], which calls this first).
+    /// `roots` must cover every external `NodeId` the caller still needs,
+    /// exactly as for [`Manager::gc`].
+    pub fn enforce_node_budget(&mut self, roots: &[NodeId]) {
+        if self.node_budget == 0 || self.budget_exhausted || self.live_count <= self.node_budget {
+            return;
+        }
+        // Over budget: garbage must never cause an abort, so collect and
+        // re-measure before declaring exhaustion.
+        self.gc(roots.iter().copied());
+        if self.live_count > self.node_budget {
+            self.budget_exhausted = true;
         }
     }
 
@@ -826,6 +872,51 @@ mod tests {
         // New allocations should reuse freed slots, not grow the arena.
         let _ = m.var(3);
         assert_eq!(m.stats().allocated_nodes, allocated);
+    }
+
+    #[test]
+    fn node_budget_collects_garbage_before_latching() {
+        let mut m = Manager::new(8);
+        let a = m.var(0);
+        let b = m.var(1);
+        let keep = m.and(a, b);
+        // Garbage well past a tiny budget: the checkpoint must rescue via
+        // GC rather than declare exhaustion.
+        for i in 2..8 {
+            let _ = m.var(i);
+        }
+        m.set_node_budget(4);
+        assert!(m.stats().live_nodes > 4, "setup: arena over budget");
+        m.enforce_node_budget(&[keep]);
+        assert!(!m.budget_exhausted(), "GC alone recovers: no exhaustion");
+        assert!(m.stats().live_nodes <= 4);
+        assert!(m.eval(keep, &[true, true, false, false, false, false, false, false]));
+    }
+
+    #[test]
+    fn node_budget_latches_when_live_nodes_exceed_it() {
+        let mut m = Manager::new(8);
+        let roots: Vec<NodeId> = (0..8).map(|i| m.var(i)).collect();
+        m.set_node_budget(4);
+        m.enforce_node_budget(&roots);
+        assert!(m.budget_exhausted(), "8 live roots cannot fit a budget of 4");
+        // Sticky until re-armed, and a zero budget disarms entirely.
+        m.enforce_node_budget(&roots);
+        assert!(m.budget_exhausted());
+        m.set_node_budget(0);
+        assert!(!m.budget_exhausted(), "re-arming clears the latch");
+        m.enforce_node_budget(&roots);
+        assert!(!m.budget_exhausted(), "budget 0 = unlimited");
+    }
+
+    #[test]
+    fn maybe_reorder_runs_the_budget_checkpoint_in_every_mode() {
+        // auto_reorder is None (never armed): the budget must still latch.
+        let mut m = Manager::new(8);
+        let roots: Vec<NodeId> = (0..8).map(|i| m.var(i)).collect();
+        m.set_node_budget(4);
+        assert!(m.maybe_reorder(&roots).is_none());
+        assert!(m.budget_exhausted(), "checkpoint fires with reordering off");
     }
 
     #[test]

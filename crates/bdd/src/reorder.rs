@@ -144,6 +144,10 @@ impl Manager {
     /// Either way it re-arms at twice the surviving size, never below the
     /// configured floor.
     pub fn maybe_reorder(&mut self, roots: &[NodeId]) -> Option<ReorderOutcome> {
+        // The governance checkpoint rides the same call sites: enforce the
+        // live-node budget first so an over-budget arena latches exhaustion
+        // (after a rescue GC) even when reordering itself is disabled.
+        self.enforce_node_budget(roots);
         let ar = self.auto_reorder?;
         if self.live_count < ar.threshold {
             return None;

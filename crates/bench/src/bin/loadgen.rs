@@ -21,9 +21,12 @@
 //! sample can be looked up at `/jobs/<trace-id>` afterwards. Per-request
 //! latency goes into a lock-free log-bucketed histogram (every request, no
 //! sampling); the report's percentiles are derived from it. Reports
-//! throughput, latency percentiles, retries, and status/cache breakdowns;
-//! `--metrics-out` appends the summary as one JSONL run report in the same
-//! schema as the CLI and the bench tables, histogram included.
+//! throughput, latency percentiles, retries, and status/cache breakdowns,
+//! with failures classified by kind — `shed` (429), `5xx`, `connect`,
+//! `timeout`, `transport` — because each calls for a different reaction
+//! (back off / inspect jobs / restart daemon / raise deadline / check the
+//! network); `--metrics-out` appends the summary as one JSONL run report
+//! in the same schema as the CLI and the bench tables, histogram included.
 //!
 //! `--restart-after N` splits the run into two phases for measuring the
 //! persistent store's warm restart: the first N requests form the *cold*
@@ -147,6 +150,47 @@ struct Sample {
     trace_echoed: bool,
 }
 
+/// Why a request produced no HTTP status, split at the source so the
+/// summary can tell a dead daemon from a hung one from a torn reply.
+enum RequestError {
+    /// TCP connect (or name resolution) failed — the daemon is down,
+    /// restarting, or its listen backlog overflowed. Retryable.
+    Connect(String),
+    /// The connection opened but a read or write hit its timeout — the
+    /// daemon accepted us and then went quiet.
+    Timeout(String),
+    /// Everything else: reset mid-reply, malformed response, short read.
+    Transport(String),
+}
+
+impl RequestError {
+    fn class(&self) -> &'static str {
+        match self {
+            RequestError::Connect(_) => "connect",
+            RequestError::Timeout(_) => "timeout",
+            RequestError::Transport(_) => "transport",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            RequestError::Connect(m) | RequestError::Timeout(m) | RequestError::Transport(m) => m,
+        }
+    }
+}
+
+/// Classify a post-connect I/O failure: blocking sockets with a deadline
+/// report `TimedOut` or (on some platforms) `WouldBlock`.
+fn io_error(stage: &str, e: std::io::Error) -> RequestError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            RequestError::Timeout(format!("{stage}: {e}"))
+        }
+        _ => RequestError::Transport(format!("{stage}: {e}")),
+    }
+}
+
 /// Issue one request and parse the status line + body out of the raw reply.
 fn one_request(
     addr: &str,
@@ -155,16 +199,16 @@ fn one_request(
     body: &str,
     trace_id: u64,
     connect_timeout: Duration,
-) -> Result<Sample, String> {
+) -> Result<Sample, RequestError> {
     use std::net::ToSocketAddrs;
     let started = Instant::now();
     let sock = addr
         .to_socket_addrs()
-        .map_err(|e| format!("connect {addr}: {e}"))?
+        .map_err(|e| RequestError::Connect(format!("connect {addr}: {e}")))?
         .next()
-        .ok_or_else(|| format!("connect {addr}: no address resolved"))?;
+        .ok_or_else(|| RequestError::Connect(format!("connect {addr}: no address resolved")))?;
     let mut stream = TcpStream::connect_timeout(&sock, connect_timeout)
-        .map_err(|e| format!("connect {addr}: {e}"))?;
+        .map_err(|e| RequestError::Connect(format!("connect {addr}: {e}")))?;
     stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
     stream.set_write_timeout(Some(Duration::from_secs(60))).ok();
     let trace_hex = format_trace_id(trace_id);
@@ -172,9 +216,9 @@ fn one_request(
         "POST /{endpoint}?mode={mode} HTTP/1.1\r\nHost: {addr}\r\nX-Trace-Id: {trace_hex}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
-    stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    stream.write_all(request.as_bytes()).map_err(|e| io_error("write", e))?;
     let mut reply = Vec::new();
-    stream.read_to_end(&mut reply).map_err(|e| format!("read: {e}"))?;
+    stream.read_to_end(&mut reply).map_err(|e| io_error("read", e))?;
     let latency = started.elapsed();
 
     let text = String::from_utf8_lossy(&reply);
@@ -182,7 +226,12 @@ fn one_request(
         .strip_prefix("HTTP/1.1 ")
         .and_then(|rest| rest.get(..3))
         .and_then(|code| code.parse().ok())
-        .ok_or_else(|| format!("malformed reply: {:?}", text.lines().next().unwrap_or("")))?;
+        .ok_or_else(|| {
+            RequestError::Transport(format!(
+                "malformed reply: {:?}",
+                text.lines().next().unwrap_or("")
+            ))
+        })?;
     let (head, json_body) = match text.split_once("\r\n\r\n") {
         Some((h, b)) => (h, b),
         None => (text.as_ref(), ""),
@@ -216,7 +265,11 @@ fn next_unit(state: &mut u64) -> f64 {
 /// Issue a request, retrying failed connects and `429`s up to
 /// `args.max_retries` times. Returns the final result plus how many
 /// retries it took.
-fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample, String>, usize) {
+fn request_with_retry(
+    args: &Args,
+    body: &str,
+    rng: &mut u64,
+) -> (Result<Sample, RequestError>, usize) {
     const BACKOFF_BASE: Duration = Duration::from_millis(50);
     // One trace ID per logical request (retries reuse it — they are the
     // same attempt from the client's point of view). `max(1)`: trace IDs
@@ -236,7 +289,7 @@ fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample,
             // Connects are retryable (daemon restarting, listen backlog
             // full); read/write errors are not — the job may have run, and
             // replaying it could double non-idempotent work downstream.
-            Err(e) => e.starts_with("connect "),
+            Err(e) => matches!(e, RequestError::Connect(_)),
             Ok(s) => s.status == 429,
         };
         if !retryable || retries >= args.max_retries {
@@ -256,7 +309,7 @@ fn request_with_retry(args: &Args, body: &str, rng: &mut u64) -> (Result<Sample,
 /// spec rotation — that is what makes the second phase warm). `phase`
 /// seeds the jitter streams so the two phases do not replay identical
 /// backoff schedules.
-fn run_batch(args: &Args, count: usize, phase: u64) -> Vec<(Result<Sample, String>, usize)> {
+fn run_batch(args: &Args, count: usize, phase: u64) -> Vec<(Result<Sample, RequestError>, usize)> {
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.conns)
@@ -286,7 +339,7 @@ fn run_batch(args: &Args, count: usize, phase: u64) -> Vec<(Result<Sample, Strin
 }
 
 /// Latency percentiles of one phase's successful requests.
-fn phase_latency(results: &[(Result<Sample, String>, usize)]) -> (Duration, Duration, u64) {
+fn phase_latency(results: &[(Result<Sample, RequestError>, usize)]) -> (Duration, Duration, u64) {
     let hist = Histogram::new();
     for (r, _) in results {
         if let Ok(s) = r {
@@ -326,7 +379,7 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
-    let results: Vec<&(Result<Sample, String>, usize)> =
+    let results: Vec<&(Result<Sample, RequestError>, usize)> =
         cold_results.iter().chain(warm_results.iter()).collect();
 
     // Every completed request's latency lands in the histogram — no
@@ -334,10 +387,17 @@ fn main() -> ExitCode {
     // out of its buckets (≤6.25% relative error).
     let latency_hist = Histogram::new();
     let mut ok = 0usize;
-    let mut busy = 0usize;
-    let mut cached = 0usize;
-    let mut errors = 0usize;
+    // Failure classes, kept apart because each calls for a different
+    // reaction: `shed` (429) means the queue held — back off; `server_5xx`
+    // means jobs are dying; `connect` means the daemon is down; `timeout`
+    // means it accepted and hung; `transport` is a torn or malformed reply.
+    let mut shed = 0usize;
+    let mut server_5xx = 0usize;
     let mut other_status = 0usize;
+    let mut connect_errors = 0usize;
+    let mut timeout_errors = 0usize;
+    let mut transport_errors = 0usize;
+    let mut cached = 0usize;
     let mut retries = 0usize;
     let mut trace_mismatches = 0usize;
     for (r, tries) in results.iter().copied() {
@@ -347,18 +407,24 @@ fn main() -> ExitCode {
                 latency_hist.observe_duration(s.latency);
                 match s.status {
                     200 => ok += 1,
-                    429 => busy += 1,
+                    429 => shed += 1,
+                    500..=599 => server_5xx += 1,
                     _ => other_status += 1,
                 }
                 cached += s.cached as usize;
                 trace_mismatches += !s.trace_echoed as usize;
             }
             Err(e) => {
-                errors += 1;
-                eprintln!("loadgen: request failed: {e}");
+                match e {
+                    RequestError::Connect(_) => connect_errors += 1,
+                    RequestError::Timeout(_) => timeout_errors += 1,
+                    RequestError::Transport(_) => transport_errors += 1,
+                }
+                eprintln!("loadgen: request failed ({}): {}", e.class(), e.message());
             }
         }
     }
+    let errors = connect_errors + timeout_errors + transport_errors;
     let latency = latency_hist.snapshot();
     let (p50, p90, p99, p999) = (
         latency.percentile_duration(50.0),
@@ -376,7 +442,9 @@ fn main() -> ExitCode {
         throughput,
     );
     eprintln!(
-        "  status: {ok} ok, {busy} busy (429), {other_status} other, {errors} transport errors; {cached} cache hits; {retries} retries",
+        "  status: {ok} ok, {shed} shed (429), {server_5xx} 5xx, {other_status} other; \
+         failed: {connect_errors} connect, {timeout_errors} timeout, {transport_errors} transport; \
+         {cached} cache hits; {retries} retries",
     );
     eprintln!("  latency: p50 {p50:.2?}, p90 {p90:.2?}, p99 {p99:.2?}, p999 {p999:.2?} (histogram, {} samples)", latency.count);
     if args.restart_after.is_some() {
@@ -403,9 +471,12 @@ fn main() -> ExitCode {
     report.set("elapsed_s", elapsed.as_secs_f64().into());
     report.set("throughput_rps", throughput.into());
     report.set("status_ok", ok.into());
-    report.set("status_busy", busy.into());
+    report.set("status_shed", shed.into());
+    report.set("status_5xx", server_5xx.into());
     report.set("status_other", other_status.into());
-    report.set("transport_errors", errors.into());
+    report.set("errors_connect", connect_errors.into());
+    report.set("errors_timeout", timeout_errors.into());
+    report.set("errors_transport", transport_errors.into());
     report.set("retries", retries.into());
     report.set("cache_hits", cached.into());
     report.set("trace_mismatches", trace_mismatches.into());
@@ -442,7 +513,7 @@ fn main() -> ExitCode {
         None => println!("{}", report.to_json_line()),
     }
 
-    if errors > 0 || other_status > 0 {
+    if errors > 0 || server_5xx > 0 || other_status > 0 {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -115,7 +115,7 @@ pub fn add_masking_seeded(
     let mut ms_span = tele.span("step1.ms_fixpoint");
     let mut ms_iters = 0u64;
     loop {
-        token.check()?;
+        token.check_governed(cx)?;
         ms_iters += 1;
         // Reorder checkpoint (no-op unless the caller armed the automatic
         // trigger): every live local is a root; the caller's own roots are
@@ -218,7 +218,7 @@ pub fn add_masking_seeded(
     let mut p1;
     let mut fixpoint_iter = 0u64;
     loop {
-        token.check()?;
+        token.check_governed(&prog.cx)?;
         fixpoint_iter += 1;
         let mut fixpoint_span = tele.span("step1.fixpoint");
         fixpoint_span.field("iter", Json::from(fixpoint_iter));
@@ -264,7 +264,7 @@ pub fn add_masking_seeded(
 
         // (b) fault closure: faults must never exit the span.
         loop {
-            token.check()?;
+            token.check_governed(cx)?;
             let mut roots = live.to_vec();
             roots.push(t1);
             cx.maybe_reorder(&roots);
@@ -296,7 +296,7 @@ pub fn add_masking_seeded(
             break;
         }
     }
-    token.check()?;
+    token.check_governed(&prog.cx)?;
     let cx = &mut prog.cx;
 
     // Phase 5: break recovery cycles (see `crate::ranking`): peel the

@@ -20,6 +20,10 @@ pub enum RepairAborted {
     Timeout,
     /// The token's cancellation flag was raised.
     Cancelled,
+    /// The BDD arena outgrew [`RepairOptions::max_nodes`] and a garbage
+    /// collection could not bring it back under — the memory analogue of
+    /// `Timeout`, returned instead of letting the process OOM.
+    ResourceExhausted,
 }
 
 impl std::fmt::Display for RepairAborted {
@@ -27,6 +31,9 @@ impl std::fmt::Display for RepairAborted {
         match self {
             RepairAborted::Timeout => write!(f, "repair aborted: deadline exceeded"),
             RepairAborted::Cancelled => write!(f, "repair aborted: cancelled"),
+            RepairAborted::ResourceExhausted => {
+                write!(f, "repair aborted: node budget exhausted")
+            }
         }
     }
 }
@@ -100,6 +107,24 @@ impl Token {
         }
         Ok(())
     }
+
+    /// The checkpoint variant the repair loops use once a BDD manager is in
+    /// play: cancellation and deadline first ([`Token::check`]), then the
+    /// manager's latched node-budget exhaustion — set by a governance
+    /// checkpoint (`maybe_reorder`) when a garbage collection could not
+    /// bring the arena back under [`RepairOptions::max_nodes`]. The latch
+    /// is sticky, so polling at the loop boundary is enough: an
+    /// over-budget arena aborts at most one BDD op batch later.
+    pub fn check_governed(
+        &self,
+        cx: &ftrepair_symbolic::SymbolicContext,
+    ) -> Result<(), RepairAborted> {
+        self.check()?;
+        if cx.budget_exhausted() {
+            return Err(RepairAborted::ResourceExhausted);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +179,6 @@ mod tests {
     fn aborted_reasons_render_for_error_bodies() {
         assert!(RepairAborted::Timeout.to_string().contains("deadline"));
         assert!(RepairAborted::Cancelled.to_string().contains("cancelled"));
+        assert!(RepairAborted::ResourceExhausted.to_string().contains("node budget"));
     }
 }

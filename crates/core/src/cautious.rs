@@ -114,7 +114,7 @@ fn cautious_repair_inner(
         let mut ms = cx.mgr().or(safety.bad_states, bad_fault_sources);
         ms = cx.mgr().and(ms, universe);
         loop {
-            token.check()?;
+            token.check_governed(cx)?;
             let pre = cx.preimage(ms, faults);
             let next = cx.mgr().or(ms, pre);
             if next == ms {
@@ -184,7 +184,7 @@ fn cautious_repair_inner(
 
     loop {
         stats.cancel_checks += 1;
-        token.check()?;
+        token.check_governed(&prog.cx)?;
         if auto_reorder {
             // Previous-iteration `p1`/`grouped` values are dead here (both
             // are fully rebuilt before their next use), so only the
@@ -257,7 +257,7 @@ fn cautious_repair_inner(
         let can_reach = cx.backward_reachable(s1, p1);
         let mut t1_new = cx.mgr().and(t1, can_reach);
         loop {
-            token.check()?;
+            token.check_governed(cx)?;
             let not_t1 = cx.mgr().not(t1_new);
             let escaping = cx.preimage(not_t1, faults);
             let keep = cx.mgr().diff(t1_new, escaping);

@@ -145,7 +145,7 @@ fn lazy_repair_inner(
     for _ in 0..opts.max_outer_iterations {
         let mut iter_span = tele.span("outer_iteration");
         stats.cancel_checks += 1;
-        token.check()?;
+        token.check_governed(&prog.cx)?;
         stats.outer_iterations += 1;
         iter_span.field("iter", Json::from(stats.outer_iterations as u64));
         tele.add("repair.outer_iterations", 1);

@@ -100,6 +100,16 @@ pub struct RepairOptions {
     /// repair (or one aborts), which is why the server's content-address
     /// fingerprint excludes it.
     pub deadline: Option<Duration>,
+    /// Live-node budget for the repair's BDD manager. `0` (the default)
+    /// runs unbounded; a positive value makes the arena's governance
+    /// checkpoints garbage-collect when the live count crosses it and, if
+    /// the collection alone cannot get back under, abort the run with
+    /// [`crate::cancel::RepairAborted::ResourceExhausted`] at the next
+    /// cancellation boundary — a clean 503/exit-125 instead of an OOM
+    /// kill. Like `deadline`, this bounds *whether* a repair finishes, not
+    /// what it computes, so the server's content-address fingerprint
+    /// excludes it.
+    pub max_nodes: usize,
     /// Dynamic variable reordering policy for the repair's BDD manager.
     /// Part of the result's content address: while every mode computes a
     /// semantically identical repair, cube *enumeration* follows BDD
@@ -117,6 +127,7 @@ impl Default for RepairOptions {
             allow_new_terminal_inside: true,
             max_outer_iterations: 32,
             deadline: None,
+            max_nodes: 0,
             reorder: ReorderMode::default(),
         }
     }
@@ -156,6 +167,7 @@ mod tests {
         assert!(o.allow_new_terminal_inside);
         assert_eq!(o.max_outer_iterations, 32);
         assert!(o.deadline.is_none(), "no deadline unless a caller opts in");
+        assert_eq!(o.max_nodes, 0, "no node budget unless a caller opts in");
         assert_eq!(o.reorder, ReorderMode::Auto, "dynamic reordering is on by default");
         let p = RepairOptions::paper();
         assert_eq!(format!("{o:?}"), format!("{p:?}"));

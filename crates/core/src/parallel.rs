@@ -104,6 +104,9 @@ pub fn step2_parallel_cancellable(
                         crate::options::ReorderMode::Sift => job.cx.configure_reorder(None),
                         crate::options::ReorderMode::None => {}
                     }
+                    // Each forked manager polices its own copy of the node
+                    // budget — the first exhausted worker aborts the run.
+                    job.cx.set_node_budget(opts.max_nodes);
                     let delta = job.cx.mgr().import(shipped);
                     if opts.reorder == crate::options::ReorderMode::Sift {
                         job.cx.reorder_sift(&[delta]);

@@ -17,6 +17,9 @@ use ftrepair_telemetry::Telemetry;
 /// own roots for the run. Returns `true` iff the automatic trigger is armed
 /// (callers then guard their protect/unprotect pairs on it).
 pub(crate) fn configure(prog: &mut DistributedProgram, opts: &RepairOptions) -> bool {
+    // The node budget rides the same checkpoints but is independent of the
+    // reorder mode — arm (or clear, with 0) before the mode early-return.
+    prog.cx.set_node_budget(opts.max_nodes);
     if opts.reorder == ReorderMode::None {
         return false;
     }

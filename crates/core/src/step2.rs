@@ -161,7 +161,7 @@ pub(crate) fn partition_for(
     }
     if opts.step2_closed_form {
         stats.cancel_checks += 1;
-        token.check()?;
+        token.check_governed(cx)?;
         // Groups are disjoint equivalence classes, so the fixpoint of the
         // pick/drop loop below is exactly the union of classes fully
         // contained in Δ_j:  Δ_j − group(group(Δ_j) − Δ_j).
@@ -192,7 +192,7 @@ pub(crate) fn partition_for(
     // Lines 7–22: peel off one group (or its expansion) at a time.
     while cand != FALSE {
         stats.cancel_checks += 1;
-        token.check()?;
+        token.check_governed(cx)?;
         cx.maybe_reorder(&with_keep(&[cand, delta_j]));
         stats.step2_picks += 1;
         c_picks.inc();

@@ -2,7 +2,7 @@
 //! Step 2 strategy equivalence, and heuristic effects on real case studies.
 
 use ftrepair_casestudies::{byzantine::BOT, byzantine_agreement};
-use ftrepair_core::{lazy_repair, verify::verify_outcome, RepairOptions};
+use ftrepair_core::{lazy_repair, verify::verify_outcome, RepairAborted, RepairOptions};
 
 #[test]
 fn default_policy_keeps_initial_states_in_the_invariant() {
@@ -88,4 +88,34 @@ fn parallel_step2_reproduces_sequential_on_byzantine() {
     assert!(!seq.failed && !par.failed);
     assert_eq!(seq.trans, par.trans);
     assert_eq!(seq.invariant, par.invariant);
+}
+
+#[test]
+fn tiny_node_budget_aborts_with_resource_exhausted() {
+    // A budget far below the program's own BDDs cannot be rescued by any
+    // GC: the first governance checkpoint latches exhaustion and the next
+    // loop boundary unwinds cleanly — no abort-by-OOM.
+    let (mut p, _) = byzantine_agreement(2);
+    let starved = RepairOptions { max_nodes: 16, ..Default::default() };
+    assert_eq!(lazy_repair(&mut p, &starved).unwrap_err(), RepairAborted::ResourceExhausted);
+
+    // The budget bounds whether a run finishes, never what it computes:
+    // the same manager, re-armed unbudgeted, completes and verifies.
+    let out = lazy_repair(&mut p, &RepairOptions::default()).unwrap();
+    assert!(!out.failed);
+    let (m, r) = verify_outcome(&mut p, &out);
+    assert!(m.ok() && r.ok());
+}
+
+#[test]
+fn node_budget_failure_is_also_clean_under_reorder_none() {
+    // The budget checkpoint rides maybe_reorder call sites but must fire
+    // in every reorder mode, including None.
+    let (mut p, _) = byzantine_agreement(2);
+    let starved = RepairOptions {
+        max_nodes: 16,
+        reorder: ftrepair_core::ReorderMode::None,
+        ..Default::default()
+    };
+    assert_eq!(lazy_repair(&mut p, &starved).unwrap_err(), RepairAborted::ResourceExhausted);
 }

@@ -48,6 +48,9 @@ pub enum JobStatus {
     Panicked = 8,
     /// Served from the on-disk store (promoted into the memory cache).
     DiskHit = 9,
+    /// Aborted by the BDD node budget (HTTP 503) — the memory analogue of
+    /// `Timeout`, reported instead of an OOM kill.
+    Exhausted = 10,
 }
 
 impl JobStatus {
@@ -63,6 +66,7 @@ impl JobStatus {
             JobStatus::Cancelled => "cancelled",
             JobStatus::Panicked => "panicked",
             JobStatus::DiskHit => "disk_hit",
+            JobStatus::Exhausted => "exhausted",
         }
     }
 
@@ -77,6 +81,7 @@ impl JobStatus {
             7 => JobStatus::Cancelled,
             8 => JobStatus::Panicked,
             9 => JobStatus::DiskHit,
+            10 => JobStatus::Exhausted,
             _ => JobStatus::Running,
         }
     }

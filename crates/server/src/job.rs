@@ -71,6 +71,11 @@ pub struct JobSpec {
 /// `reorder` IS part of the address: all modes compute a semantically
 /// identical repair, but the rendered guarded commands enumerate cubes in
 /// BDD-structure order, so the cached *text* can differ between orders.
+/// The options half of the content key. Deliberately an *explicit* field
+/// list, not a derive over the whole struct: `deadline` and `max_nodes`
+/// bound whether a job finishes, never what it computes, so including them
+/// would fragment the cache — the same spec run under ten budgets would
+/// compute the same repair ten times.
 fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
     format!(
         "{}:r{}c{}e{}p{}t{}m{}:{}",
@@ -468,6 +473,20 @@ mod tests {
         assert_ne!(a.key, c.key, "mode is part of the address");
         let d = prepare(TOGGLE, Mode::Lazy, RepairOptions::pure_lazy()).unwrap();
         assert_ne!(a.key, d.key, "options are part of the address");
+    }
+
+    #[test]
+    fn budgets_do_not_fragment_the_content_address() {
+        // Deadline and node budget bound whether a run finishes, not what
+        // it computes; a budgeted rerun must hit the unbudgeted cache.
+        let plain = prepare(TOGGLE, Mode::Lazy, RepairOptions::default()).unwrap();
+        let budgeted = RepairOptions {
+            deadline: Some(std::time::Duration::from_secs(5)),
+            max_nodes: 10_000,
+            ..Default::default()
+        };
+        let bounded = prepare(TOGGLE, Mode::Lazy, budgeted).unwrap();
+        assert_eq!(plain.key, bounded.key, "budgets are not part of the address");
     }
 
     #[test]

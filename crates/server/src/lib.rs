@@ -18,7 +18,7 @@
 //! |---|---|
 //! | `POST /repair` | body = `.ftr` spec; returns repaired guarded commands + run report (JSON). Query: `mode=lazy\|cautious`, `pure-lazy`, `iterative-step2`, `parallel`, `strict-terminal`. |
 //! | `POST /simulate` | same body/query, plus `runs=N`, `max-faults=K`, `seed=S`; replays fault-injection batches against the (cached) repair. |
-//! | `GET /healthz` | liveness + uptime. |
+//! | `GET /healthz` | liveness + uptime + degraded/ok verdict; the `store` block reports the disk tier's entry count, I/O errors, and circuit-breaker state, and each poll doubles as the breaker's half-open probe. |
 //! | `GET /metrics` | telemetry registry snapshot (cache hits/misses, queue depth, per-status counts, span times, latency histograms). `?format=prometheus` renders the Prometheus 0.0.4 text exposition instead of JSON. |
 //! | `GET /jobs` | the most recent jobs (bounded ring), newest first — running jobs included, each keyed by its trace ID. |
 //! | `GET /jobs/<trace-id>` | one retained job record: status, queue wait, run time, iteration/phase/BDD detail. |
@@ -34,17 +34,29 @@
 //! summary JSONL line when `--metrics-out` is set).
 //!
 //! Robustness: every repair job runs under a deadline
-//! ([`ServerConfig::job_timeout`], CLI `--job-timeout`, default 30s) and
-//! inside a panic boundary. A job that exhausts its budget answers
-//! `503 {"error":"timeout"}` and is *not* cached; a job that panics
-//! answers `500`, quarantines its content key in a bounded [`PoisonList`]
-//! (resubmission → `422`), and retires the worker, which the supervisor
-//! respawns. `GET /healthz` stays 200 but reports `"degraded"` while a
-//! worker died or the queue saturated within the last
-//! [`ServerConfig::degraded_window`]. The [`chaos`] module (tests and the
-//! `chaos` cargo feature only) injects panics, delays, and queue-full
-//! conditions to exercise all of this on purpose.
+//! ([`ServerConfig::job_timeout`], CLI `--job-timeout`, default 30s), a
+//! BDD live-node budget ([`ServerConfig::job_max_nodes`], CLI
+//! `--job-max-nodes`, tightened but never relaxed by a `?max-nodes=`
+//! query), and inside a panic boundary. A job that exhausts its time
+//! budget answers `503 {"error":"timeout"}`; one that exhausts its node
+//! budget answers `503 {"error":"node budget exhausted"}` instead of
+//! being OOM-killed; neither is cached. A job that panics answers `500`,
+//! quarantines its content key in a bounded [`PoisonList`] (resubmission
+//! → `422`), and retires the worker, which the supervisor respawns. The
+//! disk store sits behind a circuit [`breaker`]: consecutive I/O failures
+//! trip the daemon into memory-only degraded mode (ENOSPC first triggers
+//! an emergency eviction and a retry), and half-open probes driven by
+//! `/healthz` re-enable it when the volume heals. `GET /healthz` stays
+//! 200 but reports `"degraded"` while a worker died or the queue
+//! saturated within the last [`ServerConfig::degraded_window`], and
+//! reports the store degraded while the breaker is open. The [`chaos`]
+//! module (tests and the `chaos` cargo feature only) injects panics,
+//! delays, queue-full conditions, and — via the chaos-gated
+//! `ServerConfig::store_vfs` hook — disk faults, to exercise all of this
+//! on purpose. The full failure-domain matrix lives in the repository's
+//! `DESIGN.md`.
 
+pub mod breaker;
 pub mod cache;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;

@@ -12,6 +12,7 @@
 //!   accept loop stops, closes the queue, and the workers drain every job
 //!   already accepted before the scope joins them.
 
+use crate::breaker::Breaker;
 use crate::cache::{CacheEntry, PoisonList, ResultCache};
 use crate::flight::InFlight;
 use crate::http::{self, Request};
@@ -73,6 +74,25 @@ pub struct ServerConfig {
     /// Warm-start lazy repairs from the nearest cached neighbor when the
     /// exact key misses (`serve --no-warm-start` clears this).
     pub warm_start: bool,
+    /// Default BDD live-node budget per job (`serve --job-max-nodes`);
+    /// 0 = unlimited. A job that exhausts it is aborted at the next
+    /// cancellation checkpoint and answered
+    /// `503 {"error":"node budget exhausted"}` — never cached, and the
+    /// process survives where an unbounded arena would have been
+    /// OOM-killed. Clients may lower (never raise) it per request with
+    /// `?max-nodes=N`.
+    pub job_max_nodes: usize,
+    /// Consecutive store I/O failures that trip the store circuit breaker
+    /// into memory-only degraded mode (see [`crate::breaker`]).
+    pub breaker_threshold: u32,
+    /// Base of the breaker's full-jitter backoff between half-open probes.
+    pub breaker_backoff: Duration,
+    /// Ceiling of the breaker's backoff.
+    pub breaker_max_backoff: Duration,
+    /// Filesystem implementation handed to the disk store — tests inject
+    /// an `ErrInjFs` here to fault the volume on purpose.
+    #[cfg(any(test, feature = "chaos"))]
+    pub store_vfs: Option<Arc<dyn ftrepair_store::Vfs>>,
     /// Fault-injection plan (tests and the `chaos` feature only).
     #[cfg(any(test, feature = "chaos"))]
     pub chaos: Option<Arc<crate::chaos::Chaos>>,
@@ -94,6 +114,12 @@ impl Default for ServerConfig {
             store_dir: None,
             store_budget: 0,
             warm_start: true,
+            job_max_nodes: 0,
+            breaker_threshold: 3,
+            breaker_backoff: Duration::from_millis(500),
+            breaker_max_backoff: Duration::from_secs(30),
+            #[cfg(any(test, feature = "chaos"))]
+            store_vfs: None,
             #[cfg(any(test, feature = "chaos"))]
             chaos: None,
         }
@@ -115,6 +141,9 @@ struct Shared {
     /// The durable tier under the in-memory cache; `None` when the daemon
     /// runs without `--store-dir`.
     store: Option<Arc<DiskStore>>,
+    /// Trips the store into memory-only degraded mode after consecutive
+    /// I/O failures; `/healthz` drives its half-open recovery probes.
+    breaker: Breaker,
     /// Completed repairs queued for asynchronous write-through — the
     /// response path never waits on disk.
     store_writes: JobQueue<StoreWrite>,
@@ -136,6 +165,7 @@ struct Shared {
     cancel_jobs: Arc<AtomicBool>,
     io_timeout: Duration,
     job_timeout: Duration,
+    job_max_nodes: usize,
     default_reorder: ftrepair_core::ReorderMode,
     degraded_window: Duration,
     workers: usize,
@@ -160,6 +190,28 @@ impl Shared {
         Token::unbounded()
             .with_flag(Arc::clone(&self.cancel_jobs))
             .with_deadline_in(self.job_timeout)
+    }
+
+    /// Run one read-path operation against the store under the breaker:
+    /// skipped entirely while the breaker is not closed (memory-only
+    /// degraded mode), and classified by the store's I/O error counter
+    /// afterwards — `DiskStore` reports transient volume errors there
+    /// rather than in return values (a flaky read is a miss, not data
+    /// loss, so `get` has no error channel to inspect).
+    fn with_store<T>(&self, f: impl FnOnce(&DiskStore) -> T) -> Option<T> {
+        let store = self.store.as_ref()?;
+        if !self.breaker.allow() {
+            self.tele.add("store.breaker.skipped_reads", 1);
+            return None;
+        }
+        let before = store.io_errors();
+        let out = f(store);
+        if store.io_errors() > before {
+            self.breaker.record_failure();
+        } else {
+            self.breaker.record_success();
+        }
+        Some(out)
     }
 
     fn note_worker_fault(&self) {
@@ -327,15 +379,36 @@ impl Server {
         let tele = Telemetry::new();
         let cache = ResultCache::new(config.cache_cap, &tele);
         let store = match &config.store_dir {
-            Some(dir) => Some(Arc::new(DiskStore::open(dir, config.store_budget, &tele)?)),
+            Some(dir) => {
+                #[cfg(any(test, feature = "chaos"))]
+                let opened = match &config.store_vfs {
+                    Some(vfs) => {
+                        DiskStore::open_with_vfs(dir, config.store_budget, &tele, Arc::clone(vfs))?
+                    }
+                    None => DiskStore::open(dir, config.store_budget, &tele)?,
+                };
+                #[cfg(not(any(test, feature = "chaos")))]
+                let opened = DiskStore::open(dir, config.store_budget, &tele)?;
+                Some(Arc::new(opened))
+            }
             None => None,
         };
+        // Seeded per-process: a fleet sharing one sick volume must not
+        // probe it in lockstep, which is the whole point of the jitter.
+        let breaker = Breaker::new(
+            config.breaker_threshold,
+            config.breaker_backoff,
+            config.breaker_max_backoff,
+            u64::from(std::process::id()) ^ 0xB4EA_4E37_5EED_0001,
+            &tele,
+        );
         let h_request = tele.histogram("server.request.seconds");
         let h_queue_wait = tele.histogram("server.queue_wait.seconds");
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_cap),
             cache,
             store,
+            breaker,
             // Same bound as the connection queue: a burst beyond it drops
             // writes (counted), never blocks a worker.
             store_writes: JobQueue::new(config.queue_cap.max(16)),
@@ -352,6 +425,7 @@ impl Server {
             cancel_jobs: Arc::new(AtomicBool::new(false)),
             io_timeout: config.io_timeout,
             job_timeout: config.job_timeout,
+            job_max_nodes: config.job_max_nodes,
             default_reorder: config.reorder,
             degraded_window: config.degraded_window,
             workers,
@@ -494,13 +568,41 @@ fn error_body(message: &str) -> String {
 /// Drain the write-through queue into the disk store until it closes.
 /// Failures are counted and logged but never propagate — persistence is an
 /// optimization, and a full disk must not take repairs down with it.
+///
+/// Two escalations beyond count-and-log:
+///
+/// * `ENOSPC` triggers an emergency eviction of the coldest entries and
+///   one retry — a store sized near its volume's capacity frees its own
+///   space before giving up;
+/// * each failed write feeds the circuit breaker; while the breaker is
+///   open, queued writes are dropped outright (counted) instead of
+///   hammering a volume already known to be sick.
+const ENOSPC: i32 = 28;
+
 fn store_writer(shared: &Shared, store: &DiskStore) {
     while let Some(entry) = shared.store_writes.pop() {
-        match store.put(&entry) {
-            Ok(true) => shared.tele.add("store.writes", 1),
-            Ok(false) => {} // benign race: another writer landed this key
+        if !shared.breaker.allow() {
+            shared.tele.add("store.breaker.dropped_writes", 1);
+            continue;
+        }
+        let mut result = store.put(&entry);
+        if let Err(e) = &result {
+            if e.raw_os_error() == Some(ENOSPC) {
+                shared.tele.add("store.enospc", 1);
+                if store.shed_coldest(2) > 0 {
+                    result = store.put(&entry);
+                }
+            }
+        }
+        match result {
+            Ok(true) => {
+                shared.tele.add("store.writes", 1);
+                shared.breaker.record_success();
+            }
+            Ok(false) => shared.breaker.record_success(), // benign race: another writer landed this key
             Err(e) => {
                 shared.tele.add("telemetry.write_errors", 1);
+                shared.breaker.record_failure();
                 eprintln!("ftrepair-server: store write for {} failed: {e}", entry.key);
             }
         }
@@ -682,11 +784,24 @@ fn handle_healthz(shared: &Shared) -> Reply {
     let mut store = Json::obj();
     match &shared.store {
         Some(s) => {
+            // `/healthz` is the daemon's only periodic traffic, so the
+            // breaker's half-open probes ride it: once the backoff deadline
+            // passes, the next poll writes/reads/deletes a probe file and
+            // either closes the breaker or re-opens it with a longer wait.
+            if shared.breaker.try_probe() {
+                match s.probe() {
+                    Ok(()) => shared.breaker.record_success(),
+                    Err(_) => shared.breaker.record_failure(),
+                }
+            }
             store.set("enabled", true.into());
+            store.set("status", if shared.breaker.degraded() { "degraded" } else { "ok" }.into());
+            store.set("breaker", shared.breaker.state_str().into());
             store.set("path", s.root().display().to_string().into());
             store.set("entries", s.len().into());
             store.set("bytes", s.bytes().into());
             store.set("write_queue_depth", shared.store_writes.len().into());
+            store.set("io_errors", s.io_errors().into());
         }
         None => {
             store.set("enabled", false.into());
@@ -765,6 +880,7 @@ fn handle_job(shared: &Shared, id: &str) -> Reply {
 fn job_params(
     req: &Request,
     default_reorder: ftrepair_core::ReorderMode,
+    job_max_nodes: usize,
 ) -> Result<(Mode, RepairOptions), String> {
     let mode = match req.query("mode") {
         None | Some("lazy") => Mode::Lazy,
@@ -776,11 +892,29 @@ fn job_params(
         Some(s) => ftrepair_core::ReorderMode::parse(s)
             .ok_or_else(|| format!("unknown reorder {s:?} (use none, sift or auto)"))?,
     };
+    // A client may tighten the node budget below the server's, never relax
+    // it — `--job-max-nodes` is the operator's OOM guard. Not part of the
+    // content key: like the deadline, it bounds whether a job finishes,
+    // not what it computes.
+    let max_nodes = match req.query("max-nodes") {
+        None => job_max_nodes,
+        Some(v) => {
+            let requested: usize = v
+                .parse()
+                .map_err(|_| format!("max-nodes must be a non-negative integer, got {v:?}"))?;
+            match (requested, job_max_nodes) {
+                (0, server) => server,
+                (client, 0) => client,
+                (client, server) => client.min(server),
+            }
+        }
+    };
     let opts = RepairOptions {
         restrict_to_reachable: !req.query_flag("pure-lazy"),
         step2_closed_form: !req.query_flag("iterative-step2"),
         parallel_step2: req.query_flag("parallel"),
         allow_new_terminal_inside: !req.query_flag("strict-terminal"),
+        max_nodes,
         reorder,
         ..Default::default()
     };
@@ -824,7 +958,8 @@ fn cached_repair(
     if source.trim().is_empty() {
         return Err(refuse(400, "empty request body: POST the .ftr spec text"));
     }
-    let (mode, opts) = job_params(req, shared.default_reorder).map_err(|m| refuse(400, m))?;
+    let (mode, opts) = job_params(req, shared.default_reorder, shared.job_max_nodes)
+        .map_err(|m| refuse(400, m))?;
     let spec = job::prepare(source, mode, opts).map_err(|m| refuse(400, m))?;
 
     let record =
@@ -863,22 +998,22 @@ fn cached_repair(
         return Err(refuse(422, "quarantined: this spec previously crashed the repair engine"));
     }
 
-    if let Some(store) = &shared.store {
-        // The durable tier: an exact key persisted by an earlier process
-        // incarnation is promoted into the memory cache — no recomputation,
-        // and followers of this flight find it there. Corrupt entries read
-        // as misses (counted and quarantined inside the store).
-        if let Some(stored) = store.get(&spec.key) {
-            shared.tele.add("store.promotions", 1);
-            let sim = job::rebuild_sim_bundle(&spec.ast, &stored.artifacts);
-            let entry = shared.cache.insert(CacheEntry {
-                key: spec.key.clone(),
-                response: stored.response,
-                sim,
-            });
-            record.finish(JobStatus::DiskHit);
-            return Ok((entry, true));
-        }
+    // The durable tier: an exact key persisted by an earlier process
+    // incarnation is promoted into the memory cache — no recomputation,
+    // and followers of this flight find it there. Corrupt entries read
+    // as misses (counted and quarantined inside the store); with the
+    // breaker open the lookup is skipped and the job recomputes —
+    // memory-only degraded mode costs work, never availability.
+    if let Some(stored) = shared.with_store(|store| store.get(&spec.key)).flatten() {
+        shared.tele.add("store.promotions", 1);
+        let sim = job::rebuild_sim_bundle(&spec.ast, &stored.artifacts);
+        let entry = shared.cache.insert(CacheEntry {
+            key: spec.key.clone(),
+            response: stored.response,
+            sim,
+        });
+        record.finish(JobStatus::DiskHit);
+        return Ok((entry, true));
     }
 
     // Full miss. Before computing from scratch, ask the store for the
@@ -886,23 +1021,33 @@ fn cached_repair(
     // actions imports the neighbor's invariant/fault-span BDDs and seeds
     // the first reachability fixpoint (lazy mode only — the cautious
     // baseline has no seedable phase).
-    let warm = match &shared.store {
-        Some(store) if shared.warm_start && spec.mode == Mode::Lazy => {
-            store.nearest(&spec.fingerprint, WARM_MAX_DISTANCE).and_then(|(neighbor, distance)| {
-                let donor = store.peek(&neighbor)?;
-                let mut invariant = None;
-                let mut span = None;
-                for (name, bdd) in donor.artifacts {
-                    match name.as_str() {
-                        ART_INVARIANT => invariant = Some(bdd),
-                        ART_SPAN => span = Some(bdd),
-                        _ => {}
-                    }
-                }
-                Some(job::WarmInfo { neighbor, distance, invariant: invariant?, span: span? })
+    let warm = if shared.warm_start && spec.mode == Mode::Lazy {
+        shared
+            .with_store(|store| {
+                store.nearest(&spec.fingerprint, WARM_MAX_DISTANCE).and_then(
+                    |(neighbor, distance)| {
+                        let donor = store.peek(&neighbor)?;
+                        let mut invariant = None;
+                        let mut span = None;
+                        for (name, bdd) in donor.artifacts {
+                            match name.as_str() {
+                                ART_INVARIANT => invariant = Some(bdd),
+                                ART_SPAN => span = Some(bdd),
+                                _ => {}
+                            }
+                        }
+                        Some(job::WarmInfo {
+                            neighbor,
+                            distance,
+                            invariant: invariant?,
+                            span: span?,
+                        })
+                    },
+                )
             })
-        }
-        _ => None,
+            .flatten()
+    } else {
+        None
     };
     if warm.is_some() {
         shared.tele.add("store.warm_lookups", 1);
@@ -957,6 +1102,11 @@ fn cached_repair(
                     record.finish(JobStatus::Cancelled);
                     shared.tele.add("server.jobs.cancelled", 1);
                     "cancelled"
+                }
+                RepairAborted::ResourceExhausted => {
+                    record.finish(JobStatus::Exhausted);
+                    shared.tele.add("server.jobs.exhausted", 1);
+                    "node budget exhausted"
                 }
             };
             return Err(refuse(503, message));

@@ -1,0 +1,137 @@
+//! BDD memory governance over HTTP: a job that blows through its
+//! live-node budget answers `503 {"error":"node budget exhausted"}` with
+//! the process alive and the result uncached — the memory analogue of the
+//! job timeout, reported instead of an OOM kill. Runs in the tier-1 suite
+//! (no chaos feature needed: budgets are plain configuration).
+
+use ftrepair_server::{Server, ServerConfig, ServerHandle};
+use ftrepair_telemetry::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SPEC: &str = "program toggle;\n\
+     var x : 0..2;\n\
+     process p read x; write x;\n\
+     begin\n  (x = 0) -> x := 1;\n  (x = 1) -> x := 0;\nend\n\
+     fault hit begin (x = 1) -> x := 2; end\n\
+     invariant (x = 0) | (x = 1);\n";
+
+fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let text = String::from_utf8(reply).expect("UTF-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {:?}", text.lines().next()));
+    let json_body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json =
+        Json::parse(json_body).unwrap_or_else(|e| panic!("unparseable body ({e}): {json_body:?}"));
+    (status, json)
+}
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+#[test]
+fn starved_job_returns_503_uncached_and_the_server_keeps_serving() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, join) = start(config);
+
+    // A one-node budget is unsatisfiable for any real spec: the job aborts
+    // at a governance checkpoint with the distinct error body.
+    let (status, body) = request(addr, "POST", "/repair?max-nodes=1", SPEC);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("node budget exhausted"), "{body}");
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(counter(&metrics, "server.jobs.exhausted"), 1, "{metrics}");
+    assert_eq!(
+        metrics.get("cache_entries").and_then(Json::as_u64),
+        Some(0),
+        "an exhausted result must never be cached: {metrics}"
+    );
+
+    // The process shrugged it off: /healthz is fine and the same spec
+    // succeeds unbudgeted.
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (status, body) = request(addr, "POST", "/repair", SPEC);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(false), "{body}");
+
+    // Budgets bound whether a job finishes, not what it computes, so they
+    // are excluded from the content address: a re-POST under a generous
+    // budget hits the cache entry the unbudgeted run just made.
+    let (status, body) = request(addr, "POST", "/repair?max-nodes=1000000", SPEC);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(true), "{body}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn server_wide_budget_applies_and_clients_may_only_tighten() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(2),
+        job_max_nodes: 1,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, join) = start(config);
+
+    // The operator's ceiling applies to plain requests...
+    let (status, body) = request(addr, "POST", "/repair", SPEC);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("node budget exhausted"), "{body}");
+
+    // ...and a client asking for more is clamped down to it, not up.
+    let (status, body) = request(addr, "POST", "/repair?max-nodes=1000000", SPEC);
+    assert_eq!(status, 503, "min(client, server) keeps the OOM guard: {body}");
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(counter(&metrics, "server.jobs.exhausted"), 2, "{metrics}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn malformed_max_nodes_is_a_400() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        io_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, join) = start(config);
+    let (status, body) = request(addr, "POST", "/repair?max-nodes=lots", SPEC);
+    assert_eq!(status, 400, "{body}");
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -1,0 +1,214 @@
+//! Store chaos: fault the daemon's disk volume on purpose through an
+//! injected [`ErrInjFs`] and pin the circuit breaker's whole life cycle —
+//! trip on I/O failures, memory-only degraded mode visible in `/healthz`,
+//! half-open probes riding the health endpoint, and exact
+//! `store.breaker.*` accounting — plus the ENOSPC emergency-eviction path.
+//!
+//! Only compiles under the `chaos` cargo feature (the `store_vfs` config
+//! field is test/chaos-gated); CI runs it as its own step.
+#![cfg(feature = "chaos")]
+
+use ftrepair_server::{Server, ServerConfig, ServerHandle};
+use ftrepair_store::{ErrInjFs, Fault, Vfs, VfsOp};
+use ftrepair_telemetry::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toggle_spec(tag: usize) -> String {
+    format!(
+        "program toggle{tag};\n\
+         var x : 0..2;\n\
+         process p read x; write x;\n\
+         begin\n  (x = 0) -> x := 1;\n  (x = 1) -> x := 0;\nend\n\
+         fault hit begin (x = 1) -> x := 2; end\n\
+         invariant (x = 0) | (x = 1);\n"
+    )
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ftrepair-store-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+/// A store-backed config with a hair-trigger breaker (threshold 1) and no
+/// probe backoff, so every transition is observable without sleeping.
+fn breaker_config(store_dir: &Path, fi: &Arc<ErrInjFs>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(2),
+        store_dir: Some(store_dir.to_path_buf()),
+        store_vfs: Some(Arc::clone(fi) as Arc<dyn Vfs>),
+        breaker_threshold: 1,
+        breaker_backoff: Duration::ZERO,
+        breaker_max_backoff: Duration::ZERO,
+        ..ServerConfig::default()
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let text = String::from_utf8(reply).expect("UTF-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {:?}", text.lines().next()));
+    let json_body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json =
+        Json::parse(json_body).unwrap_or_else(|e| panic!("unparseable body ({e}): {json_body:?}"));
+    (status, json)
+}
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Poll `/metrics` until `name` reaches `want` (the store writer is
+/// asynchronous, so write outcomes land shortly after the POST returns).
+fn wait_counter(addr: SocketAddr, name: &str, want: u64) -> Json {
+    let mut last = Json::Null;
+    for _ in 0..250 {
+        let (_, metrics) = request(addr, "GET", "/metrics", "");
+        if counter(&metrics, name) >= want {
+            return metrics;
+        }
+        last = metrics;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("counter {name} never reached {want}: {last}");
+}
+
+fn store_field<'a>(health: &'a Json, field: &str) -> Option<&'a Json> {
+    health.get("store").and_then(|s| s.get(field))
+}
+
+/// The acceptance scenario: a write failure trips the breaker, `/healthz`
+/// reports the store degraded while serving normally, writes are dropped
+/// and reads skipped during the outage, a failed probe re-opens, and a
+/// clean probe recovers — every transition counted exactly.
+#[test]
+fn breaker_trips_to_degraded_and_recovers_through_half_open_probes() {
+    let root = temp_store("breaker");
+    let fi = Arc::new(ErrInjFs::new(0xB4EA));
+    let (addr, handle, join) = start(breaker_config(&root, &fi));
+
+    // Healthy baseline: first repair persists through the async writer.
+    let (status, body) = request(addr, "POST", "/repair", &toggle_spec(0));
+    assert_eq!(status, 200, "{body}");
+    wait_counter(addr, "store.writes", 1);
+    let (_, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(store_field(&health, "status").and_then(Json::as_str), Some("ok"), "{health}");
+    assert_eq!(store_field(&health, "breaker").and_then(Json::as_str), Some("closed"), "{health}");
+
+    // Volume goes bad: the next write-through fails and trips the breaker.
+    fi.fail_always(VfsOp::Write, Fault::Eio);
+    let (status, _) = request(addr, "POST", "/repair", &toggle_spec(1));
+    assert_eq!(status, 200, "a sick store must never fail a repair");
+    let metrics = wait_counter(addr, "store.breaker.trips", 1);
+    assert_eq!(counter(&metrics, "store.breaker.failures"), 1, "{metrics}");
+
+    // Degraded mode: /healthz says so (and its probe write fails, keeping
+    // the breaker open); jobs still succeed memory-only — reads skipped,
+    // writes dropped, both counted.
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "degraded is not down");
+    assert_eq!(store_field(&health, "status").and_then(Json::as_str), Some("degraded"), "{health}");
+    let (status, _) = request(addr, "POST", "/repair", &toggle_spec(2));
+    assert_eq!(status, 200);
+    let metrics = wait_counter(addr, "store.breaker.dropped_writes", 1);
+    assert!(counter(&metrics, "store.breaker.skipped_reads") >= 1, "{metrics}");
+    assert_eq!(
+        metrics.get("gauges").and_then(|g| g.get("store.breaker.open")).and_then(Json::as_u64),
+        Some(1),
+        "{metrics}"
+    );
+
+    // Volume heals: the next health poll's half-open probe closes the
+    // breaker, and the same response already reports the recovery.
+    fi.clear();
+    let (_, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(store_field(&health, "status").and_then(Json::as_str), Some("ok"), "{health}");
+    assert_eq!(store_field(&health, "breaker").and_then(Json::as_str), Some("closed"), "{health}");
+
+    // Exact books: one trip, two probes (one failed during the outage, one
+    // clean), one recovery; the failed probe is the second failure.
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(counter(&metrics, "store.breaker.trips"), 1, "{metrics}");
+    assert_eq!(counter(&metrics, "store.breaker.probes"), 2, "{metrics}");
+    assert_eq!(counter(&metrics, "store.breaker.recoveries"), 1, "{metrics}");
+    assert_eq!(counter(&metrics, "store.breaker.failures"), 2, "{metrics}");
+    assert_eq!(
+        metrics.get("gauges").and_then(|g| g.get("store.breaker.open")).and_then(Json::as_u64),
+        Some(0),
+        "{metrics}"
+    );
+
+    // Back in business: a fresh repair persists again.
+    let (status, _) = request(addr, "POST", "/repair", &toggle_spec(3));
+    assert_eq!(status, 200);
+    wait_counter(addr, "store.writes", 2);
+
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// ENOSPC is not a plain failure: before giving up (and feeding the
+/// breaker) the writer evicts the coldest entries and retries, so a store
+/// sized near its volume's capacity frees its own space first.
+#[test]
+fn enospc_write_sheds_coldest_entries_then_degrades_and_recovers() {
+    let root = temp_store("enospc");
+    let fi = Arc::new(ErrInjFs::new(0xE105));
+    let (addr, handle, join) = start(breaker_config(&root, &fi));
+
+    // Seed one persisted entry for the emergency eviction to reclaim.
+    let (status, _) = request(addr, "POST", "/repair", &toggle_spec(0));
+    assert_eq!(status, 200);
+    wait_counter(addr, "store.writes", 1);
+
+    // Disk full, permanently: put fails with ENOSPC, the writer sheds and
+    // retries, the retry fails too, and the breaker trips.
+    fi.fail_always(VfsOp::Write, Fault::Enospc);
+    let (status, _) = request(addr, "POST", "/repair", &toggle_spec(1));
+    assert_eq!(status, 200);
+    let metrics = wait_counter(addr, "store.breaker.trips", 1);
+    assert_eq!(counter(&metrics, "store.enospc"), 1, "{metrics}");
+    assert!(counter(&metrics, "store.evictions") >= 1, "the shed freed real entries: {metrics}");
+    let (_, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(store_field(&health, "status").and_then(Json::as_str), Some("degraded"), "{health}");
+
+    // Space returns: probe recovers, writes land again.
+    fi.clear();
+    let (_, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(store_field(&health, "status").and_then(Json::as_str), Some("ok"), "{health}");
+    let (status, _) = request(addr, "POST", "/repair", &toggle_spec(2));
+    assert_eq!(status, 200);
+    wait_counter(addr, "store.writes", 2);
+
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}

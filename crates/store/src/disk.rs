@@ -20,13 +20,23 @@
 //! the entry is then moved to `quarantine/` (for post-mortems and `store
 //! gc`), counted in `store.corrupt`, and reported as a miss so the caller
 //! repairs cleanly.
+//!
+//! Every filesystem touch goes through the [`Vfs`] seam, so these claims
+//! are exercised under injected `EIO`/`ENOSPC`/short-write/torn-rename
+//! faults and a crash-point harness (see `tests/fault_injection.rs`)
+//! rather than taken on faith. Failure taxonomy on the read path: an I/O
+//! error (flaky volume) counts `store.io_errors` and reads as a miss but
+//! *keeps* the entry — transient trouble must not destroy data — while a
+//! checksum/decode failure counts `store.corrupt` and quarantines.
+//! Quarantine growth is bounded: quarantined bytes count toward the store
+//! budget, and past a cap (`budget/4`, or 64 MiB for unbudgeted stores)
+//! the oldest quarantined entries are dropped (`store.quarantine.dropped`).
 
 use std::collections::HashMap;
-use std::fs;
-use std::io::Write as _;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use ftrepair_bdd::SerializedBdd;
 use ftrepair_telemetry::{Json, Telemetry};
@@ -34,11 +44,15 @@ use ftrepair_telemetry::{Json, Telemetry};
 use crate::artifacts::{decode_artifacts, encode_artifacts};
 use crate::fingerprint::SpecFingerprint;
 use crate::sha::sha256_hex;
+use crate::vfs::{StdFs, Vfs};
 
 /// Manifest schema version.
 const MANIFEST_FORMAT: u64 = 1;
 const MANIFEST_FILE: &str = "manifest.json";
 const ARTIFACTS_FILE: &str = "artifacts.bin";
+
+/// Quarantine byte cap for stores with no byte budget.
+const DEFAULT_QUARANTINE_CAP: u64 = 64 << 20;
 
 /// Distinguishes concurrent staging directories for the same key.
 static STAGE_NONCE: AtomicU64 = AtomicU64::new(0);
@@ -101,46 +115,78 @@ struct Inner {
     bytes: u64,
 }
 
+/// Why a full entry read failed.
+enum ReadFailure {
+    /// The volume misbehaved (EIO and friends) — the entry may be fine.
+    Io,
+    /// The bytes are wrong (missing file, bad checksum, undecodable).
+    Corrupt,
+}
+
 /// The on-disk store. All methods take `&self`; an internal mutex orders
 /// concurrent readers, the async write-through thread, and eviction.
 pub struct DiskStore {
     root: PathBuf,
-    /// Byte budget for `entries/`; 0 = unlimited.
+    /// Byte budget for `entries/` + `quarantine/`; 0 = unlimited.
     budget: u64,
     tele: Telemetry,
+    vfs: Arc<dyn Vfs>,
     inner: Mutex<Inner>,
+    /// I/O errors observed on reads and writes (feeds the server's store
+    /// circuit breaker). Distinct from `store.corrupt`: this is the volume
+    /// failing, not the bytes lying.
+    io_errors: AtomicU64,
+    /// Bytes currently under `quarantine/` (kept approximately; resynced
+    /// from disk whenever the quarantine changes).
+    quarantine_bytes: AtomicU64,
 }
 
 impl DiskStore {
-    /// Open (creating if needed) a store rooted at `root`. Sweeps stale
-    /// staging directories, scans every manifest into the in-memory index
-    /// (quarantining unreadable ones), and seeds the LRU order from entry
-    /// creation times.
-    pub fn open(root: &Path, budget: u64, tele: &Telemetry) -> std::io::Result<DiskStore> {
-        fs::create_dir_all(root.join("entries"))?;
-        fs::create_dir_all(root.join("tmp"))?;
-        fs::create_dir_all(root.join("quarantine"))?;
+    /// Open (creating if needed) a store rooted at `root`, on the real
+    /// filesystem. Sweeps stale staging directories, scans every manifest
+    /// into the in-memory index (quarantining unreadable ones), and seeds
+    /// the LRU order from entry creation times.
+    pub fn open(root: &Path, budget: u64, tele: &Telemetry) -> io::Result<DiskStore> {
+        DiskStore::open_with_vfs(root, budget, tele, Arc::new(StdFs))
+    }
+
+    /// [`DiskStore::open`] on an arbitrary [`Vfs`] — the seam the
+    /// fault-injection tests (and the server's chaos mode) use.
+    pub fn open_with_vfs(
+        root: &Path,
+        budget: u64,
+        tele: &Telemetry,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<DiskStore> {
+        vfs.create_dir_all(&root.join("entries"))?;
+        vfs.create_dir_all(&root.join("tmp"))?;
+        vfs.create_dir_all(&root.join("quarantine"))?;
         let store = DiskStore {
             root: root.to_path_buf(),
             budget,
             tele: tele.clone(),
+            vfs,
             inner: Mutex::new(Inner { index: HashMap::new(), lru: Vec::new(), bytes: 0 }),
+            io_errors: AtomicU64::new(0),
+            quarantine_bytes: AtomicU64::new(0),
         };
         // A crash mid-write leaves a partial directory under tmp/ and
         // nothing under entries/ — dropping tmp wholesale is exactly the
         // "torn write is discarded" guarantee.
-        for item in fs::read_dir(store.root.join("tmp"))? {
-            let path = item?.path();
-            let _ = if path.is_dir() { fs::remove_dir_all(&path) } else { fs::remove_file(&path) };
+        for path in store.vfs.list_dir(&store.root.join("tmp"))? {
+            let _ = if store.vfs.is_dir(&path) {
+                store.vfs.remove_dir_all(&path)
+            } else {
+                store.vfs.remove_file(&path)
+            };
         }
         let mut scanned: Vec<(String, IndexEntry)> = Vec::new();
-        for item in fs::read_dir(store.root.join("entries"))? {
-            let dir = item?.path();
+        for dir in store.vfs.list_dir(&store.root.join("entries"))? {
             let key = match dir.file_name().and_then(|n| n.to_str()) {
                 Some(k) => k.to_string(),
                 None => continue,
             };
-            match read_index_entry(&dir) {
+            match store.read_index_entry(&dir) {
                 Some(entry) => scanned.push((key, entry)),
                 None => {
                     // Unreadable manifest: a torn write that somehow landed
@@ -152,7 +198,7 @@ impl DiskStore {
         }
         scanned.sort_by_key(|(_, e)| e.created_unix);
         {
-            let mut inner = store.inner.lock().unwrap();
+            let mut inner = store.lock();
             for (key, entry) in scanned {
                 inner.bytes += entry.bytes;
                 inner.lru.push(key.clone());
@@ -160,7 +206,16 @@ impl DiskStore {
             }
             store.publish_gauges(&inner);
         }
+        store.enforce_quarantine_cap();
         Ok(store)
+    }
+
+    /// Lock the index, recovering from a poisoned mutex: the index is a
+    /// cache of on-disk truth and every mutation keeps it coherent before
+    /// releasing the lock, so a panicked holder leaves consistent state —
+    /// propagating the poison would only turn one panic into a cascade.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The store root path.
@@ -170,7 +225,7 @@ impl DiskStore {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().index.len()
+        self.lock().index.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -179,7 +234,18 @@ impl DiskStore {
 
     /// Total bytes under `entries/`.
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().unwrap().bytes
+        self.lock().bytes
+    }
+
+    /// I/O errors observed so far (monotone; the server's circuit breaker
+    /// watches the delta around each store call).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    fn note_io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.tele.add("store.io_errors", 1);
     }
 
     /// Look a key up, verifying the artifact checksum and decoding the
@@ -198,7 +264,7 @@ impl DiskStore {
     }
 
     fn get_counted(&self, key: &str, count: bool) -> Option<StoredEntry> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if !inner.index.contains_key(key) {
             if count {
                 self.tele.add("store.misses", 1);
@@ -206,15 +272,24 @@ impl DiskStore {
             return None;
         }
         let dir = self.root.join("entries").join(key);
-        match read_entry(&dir, key) {
-            Some(entry) => {
+        match self.read_entry(&dir, key) {
+            Ok(entry) => {
                 if count {
                     self.tele.add("store.hits", 1);
                     touch(&mut inner.lru, key);
                 }
                 Some(entry)
             }
-            None => {
+            Err(ReadFailure::Io) => {
+                // The volume, not the bytes: read as a miss but keep the
+                // entry — a flaky disk must not destroy data.
+                self.note_io_error();
+                if count {
+                    self.tele.add("store.misses", 1);
+                }
+                None
+            }
+            Err(ReadFailure::Corrupt) => {
                 self.tele.add("store.corrupt", 1);
                 self.evict_locked(&mut inner, key);
                 self.quarantine_dir(&dir);
@@ -231,9 +306,9 @@ impl DiskStore {
     /// atomically renames into `entries/`; then evicts coldest entries
     /// while over the byte budget. Returns `false` when the key was
     /// already stored (not an error — concurrent writers race benignly).
-    pub fn put(&self, entry: &NewEntry) -> std::io::Result<bool> {
+    pub fn put(&self, entry: &NewEntry) -> io::Result<bool> {
         {
-            let inner = self.inner.lock().unwrap();
+            let inner = self.lock();
             if inner.index.contains_key(&entry.key) {
                 return Ok(false);
             }
@@ -245,39 +320,44 @@ impl DiskStore {
         let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
         let stage =
             self.root.join("tmp").join(format!("{}.{}.{}", entry.key, std::process::id(), nonce));
-        fs::create_dir_all(&stage)?;
-        let staged = (|| -> std::io::Result<()> {
-            write_fsync(&stage.join(ARTIFACTS_FILE), &artifact_bytes)?;
-            write_fsync(&stage.join(MANIFEST_FILE), manifest.to_string().as_bytes())?;
-            fsync_dir(&stage)?;
+        if let Err(e) = self.vfs.create_dir_all(&stage) {
+            self.note_io_error();
+            return Err(e);
+        }
+        let staged = (|| -> io::Result<()> {
+            self.vfs.write_file(&stage.join(ARTIFACTS_FILE), &artifact_bytes)?;
+            self.vfs.write_file(&stage.join(MANIFEST_FILE), manifest.to_string().as_bytes())?;
+            self.vfs.fsync_dir(&stage)?;
             Ok(())
         })();
         if let Err(e) = staged {
-            let _ = fs::remove_dir_all(&stage);
+            let _ = self.vfs.remove_dir_all(&stage);
+            self.note_io_error();
             return Err(e);
         }
 
         let dest = self.root.join("entries").join(&entry.key);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         // Re-check under the lock: a racing writer may have landed the key
         // while we staged. `entries/<key>` existing on disk without an
         // index entry means a quarantined/evicted leftover — clear it.
         if inner.index.contains_key(&entry.key) {
             drop(inner);
-            let _ = fs::remove_dir_all(&stage);
+            let _ = self.vfs.remove_dir_all(&stage);
             return Ok(false);
         }
-        if dest.exists() {
-            let _ = fs::remove_dir_all(&dest);
+        if self.vfs.is_dir(&dest) {
+            let _ = self.vfs.remove_dir_all(&dest);
         }
-        if let Err(e) = fs::rename(&stage, &dest) {
+        if let Err(e) = self.vfs.rename(&stage, &dest) {
             drop(inner);
-            let _ = fs::remove_dir_all(&stage);
+            let _ = self.vfs.remove_dir_all(&stage);
+            self.note_io_error();
             return Err(e);
         }
-        let _ = fsync_dir(&self.root.join("entries"));
+        let _ = self.vfs.fsync_dir(&self.root.join("entries"));
 
-        let bytes = dir_bytes(&dest);
+        let bytes = self.dir_bytes(&dest);
         inner.bytes += bytes;
         inner.lru.push(entry.key.clone());
         inner.index.insert(
@@ -300,7 +380,7 @@ impl DiskStore {
     /// structural edits (see [`SpecFingerprint::distance`]). Ties prefer
     /// the most recently created entry. Returns `(key, distance)`.
     pub fn nearest(&self, fp: &SpecFingerprint, max_distance: usize) -> Option<(String, usize)> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         let mut best: Option<(&String, usize, u64)> = None;
         for (key, entry) in &inner.index {
             let Some(d) = fp.distance(&entry.fingerprint) else { continue };
@@ -320,7 +400,7 @@ impl DiskStore {
 
     /// Index metadata for every entry, coldest first.
     pub fn ls(&self) -> Vec<EntryInfo> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         inner
             .lru
             .iter()
@@ -342,7 +422,7 @@ impl DiskStore {
     /// `(entries_ok, keys_quarantined)`.
     pub fn verify(&self) -> (usize, Vec<String>) {
         let keys: Vec<String> = {
-            let inner = self.inner.lock().unwrap();
+            let inner = self.lock();
             inner.lru.clone()
         };
         let mut ok = 0;
@@ -359,17 +439,21 @@ impl DiskStore {
 
     /// Delete quarantined entries and stale staging files, then enforce
     /// the byte budget. Returns bytes freed.
-    pub fn gc(&self) -> std::io::Result<u64> {
+    pub fn gc(&self) -> io::Result<u64> {
         let mut freed = 0u64;
         for sub in ["quarantine", "tmp"] {
-            for item in fs::read_dir(self.root.join(sub))? {
-                let path = item?.path();
-                freed += dir_bytes(&path);
-                let _ =
-                    if path.is_dir() { fs::remove_dir_all(&path) } else { fs::remove_file(&path) };
+            for path in self.vfs.list_dir(&self.root.join(sub))? {
+                freed += self.dir_bytes(&path);
+                let _ = if self.vfs.is_dir(&path) {
+                    self.vfs.remove_dir_all(&path)
+                } else {
+                    self.vfs.remove_file(&path)
+                };
             }
         }
-        let mut inner = self.inner.lock().unwrap();
+        self.quarantine_bytes.store(0, Ordering::Relaxed);
+        self.tele.set_gauge("store.quarantine.bytes", 0);
+        let mut inner = self.lock();
         let before = inner.bytes;
         self.enforce_budget_locked(&mut inner);
         freed += before - inner.bytes;
@@ -377,16 +461,54 @@ impl DiskStore {
         Ok(freed)
     }
 
-    /// Remove coldest entries until within the byte budget.
+    /// Emergency eviction (the server's ENOSPC reaction): drop up to `n`
+    /// coldest entries regardless of budget. Returns bytes freed.
+    pub fn shed_coldest(&self, n: usize) -> u64 {
+        let mut inner = self.lock();
+        let before = inner.bytes;
+        for _ in 0..n {
+            let Some(coldest) = inner.lru.first().cloned() else { break };
+            self.evict_locked(&mut inner, &coldest);
+            let _ = self.vfs.remove_dir_all(&self.root.join("entries").join(&coldest));
+            self.tele.add("store.evictions", 1);
+        }
+        self.publish_gauges(&inner);
+        before - inner.bytes
+    }
+
+    /// A cheap end-to-end probe of the underlying volume: write, read
+    /// back, and delete a small file under `tmp/`. The server's circuit
+    /// breaker calls this in the half-open state to decide recovery.
+    pub fn probe(&self) -> io::Result<()> {
+        let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let path = self.root.join("tmp").join(format!("probe.{}.{nonce}", std::process::id()));
+        let result = (|| -> io::Result<()> {
+            self.vfs.write_file(&path, b"probe")?;
+            let back = self.vfs.read(&path)?;
+            if back != b"probe" {
+                return Err(io::Error::other("probe readback mismatch"));
+            }
+            self.vfs.remove_file(&path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.note_io_error();
+            let _ = self.vfs.remove_file(&path);
+        }
+        result
+    }
+
+    /// Remove coldest entries until entries + quarantine fit the budget.
     fn enforce_budget_locked(&self, inner: &mut Inner) {
         if self.budget == 0 {
             return;
         }
-        while inner.bytes > self.budget {
+        let quarantined = self.quarantine_bytes.load(Ordering::Relaxed);
+        while inner.bytes + quarantined > self.budget {
             let Some(coldest) = inner.lru.first().cloned() else { break };
             self.evict_locked(inner, &coldest);
             let dir = self.root.join("entries").join(&coldest);
-            let _ = fs::remove_dir_all(&dir);
+            let _ = self.vfs.remove_dir_all(&dir);
             self.tele.add("store.evictions", 1);
         }
     }
@@ -404,16 +526,137 @@ impl DiskStore {
         self.tele.set_gauge("store.entries", inner.index.len() as u64);
     }
 
-    /// Move a directory out of the serving path into `quarantine/`.
+    /// Move a directory out of the serving path into `quarantine/`, then
+    /// re-bound the quarantine.
     fn quarantine_dir(&self, dir: &Path) {
         let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
         let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
         let dest = self.root.join("quarantine").join(format!("{name}.{nonce}"));
-        if fs::rename(dir, &dest).is_err() {
+        if self.vfs.rename(dir, &dest).is_err() {
             // Cross-device or permission trouble: deleting still gets the
             // poison out of the serving path, just without the post-mortem.
-            let _ = fs::remove_dir_all(dir);
+            let _ = self.vfs.remove_dir_all(dir);
         }
+        self.enforce_quarantine_cap();
+    }
+
+    /// Quarantined bytes the store will keep around for post-mortems.
+    fn quarantine_cap(&self) -> u64 {
+        if self.budget > 0 {
+            self.budget / 4
+        } else {
+            DEFAULT_QUARANTINE_CAP
+        }
+    }
+
+    /// Resync `quarantine_bytes` from disk and delete oldest quarantined
+    /// entries while over the cap, so repeated corruption cannot fill the
+    /// volume between `store gc` runs.
+    fn enforce_quarantine_cap(&self) {
+        let Ok(items) = self.vfs.list_dir(&self.root.join("quarantine")) else { return };
+        let mut aged: Vec<(u64, u64, PathBuf)> =
+            items.into_iter().map(|p| (self.vfs.mtime_unix(&p), self.dir_bytes(&p), p)).collect();
+        aged.sort();
+        let cap = self.quarantine_cap();
+        let mut total: u64 = aged.iter().map(|(_, bytes, _)| bytes).sum();
+        let mut dropped = 0u64;
+        for (_, bytes, path) in &aged {
+            if total <= cap {
+                break;
+            }
+            let removed = if self.vfs.is_dir(path) {
+                self.vfs.remove_dir_all(path).is_ok()
+            } else {
+                self.vfs.remove_file(path).is_ok()
+            };
+            if removed {
+                total = total.saturating_sub(*bytes);
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.tele.add("store.quarantine.dropped", dropped);
+        }
+        self.quarantine_bytes.store(total, Ordering::Relaxed);
+        self.tele.set_gauge("store.quarantine.bytes", total);
+    }
+
+    /// Total size of a file or directory tree (fs metadata only).
+    fn dir_bytes(&self, path: &Path) -> u64 {
+        if self.vfs.is_file(path) {
+            return self.vfs.file_len(path).unwrap_or(0);
+        }
+        let Ok(items) = self.vfs.list_dir(path) else { return 0 };
+        items.iter().map(|p| self.dir_bytes(p)).sum()
+    }
+
+    fn read_manifest(&self, dir: &Path) -> Result<Json, ReadFailure> {
+        let bytes = self.vfs.read(&dir.join(MANIFEST_FILE)).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                ReadFailure::Corrupt
+            } else {
+                ReadFailure::Io
+            }
+        })?;
+        let text = String::from_utf8(bytes).map_err(|_| ReadFailure::Corrupt)?;
+        let manifest = Json::parse(&text).map_err(|_| ReadFailure::Corrupt)?;
+        if manifest.get("format").and_then(Json::as_u64) != Some(MANIFEST_FORMAT) {
+            return Err(ReadFailure::Corrupt);
+        }
+        Ok(manifest)
+    }
+
+    /// Index-scan read: manifest only, no artifact checksum (deferred to
+    /// the first `get`). `None` means the entry is unreadable and must be
+    /// quarantined.
+    fn read_index_entry(&self, dir: &Path) -> Option<IndexEntry> {
+        let manifest = self.read_manifest(dir).ok()?;
+        Some(IndexEntry {
+            case: manifest.get("case")?.as_str()?.to_string(),
+            mode: manifest.get("mode")?.as_str()?.to_string(),
+            warm_start: manifest.get("warm_start")?.as_bool()?,
+            created_unix: manifest.get("created_unix")?.as_u64()?,
+            bytes: self.dir_bytes(dir),
+            fingerprint: SpecFingerprint::from_json(manifest.get("fingerprint")?)?,
+        })
+    }
+
+    /// Full read: manifest, artifact checksum, container decode.
+    fn read_entry(&self, dir: &Path, key: &str) -> Result<StoredEntry, ReadFailure> {
+        let corrupt = || ReadFailure::Corrupt;
+        let manifest = self.read_manifest(dir)?;
+        if manifest.get("key").and_then(Json::as_str) != Some(key) {
+            return Err(corrupt());
+        }
+        let artifact_bytes = self.vfs.read(&dir.join(ARTIFACTS_FILE)).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                ReadFailure::Corrupt
+            } else {
+                ReadFailure::Io
+            }
+        })?;
+        if Some(artifact_bytes.len() as u64)
+            != manifest.get("artifacts_bytes").and_then(Json::as_u64)
+        {
+            return Err(corrupt());
+        }
+        if manifest.get("artifacts_sha256").and_then(Json::as_str)
+            != Some(sha256_hex(&artifact_bytes).as_str())
+        {
+            return Err(corrupt());
+        }
+        let artifacts = decode_artifacts(&artifact_bytes).map_err(|_| corrupt())?;
+        let field = |name: &str| manifest.get(name).ok_or_else(corrupt);
+        Ok(StoredEntry {
+            key: key.to_string(),
+            case: field("case")?.as_str().ok_or_else(corrupt)?.to_string(),
+            mode: field("mode")?.as_str().ok_or_else(corrupt)?.to_string(),
+            warm_start: field("warm_start")?.as_bool().ok_or_else(corrupt)?,
+            created_unix: field("created_unix")?.as_u64().ok_or_else(corrupt)?,
+            fingerprint: SpecFingerprint::from_json(field("fingerprint")?).ok_or_else(corrupt)?,
+            response: field("response")?.clone(),
+            artifacts,
+        })
     }
 }
 
@@ -432,27 +675,6 @@ fn now_unix() -> u64 {
         .unwrap_or(0)
 }
 
-/// Write `bytes` to `path` and fsync the file.
-fn write_fsync(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let mut f = fs::File::create(path)?;
-    f.write_all(bytes)?;
-    f.sync_all()
-}
-
-/// Fsync a directory so a completed rename/create survives power loss.
-fn fsync_dir(dir: &Path) -> std::io::Result<()> {
-    fs::File::open(dir)?.sync_all()
-}
-
-/// Total size of a file or directory tree (fs metadata only).
-fn dir_bytes(path: &Path) -> u64 {
-    if path.is_file() {
-        return fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-    }
-    let Ok(items) = fs::read_dir(path) else { return 0 };
-    items.flatten().map(|item| dir_bytes(&item.path())).sum()
-}
-
 fn render_manifest(entry: &NewEntry, created_unix: u64, artifact_bytes: &[u8]) -> Json {
     let mut m = Json::obj();
     m.set("format", Json::Num(MANIFEST_FORMAT as f64));
@@ -468,60 +690,11 @@ fn render_manifest(entry: &NewEntry, created_unix: u64, artifact_bytes: &[u8]) -
     m
 }
 
-fn parse_manifest(dir: &Path) -> Option<Json> {
-    let text = fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?;
-    let manifest = Json::parse(&text).ok()?;
-    if manifest.get("format")?.as_u64()? != MANIFEST_FORMAT {
-        return None;
-    }
-    Some(manifest)
-}
-
-/// Index-scan read: manifest only, no artifact checksum (deferred to the
-/// first `get`). `None` means the entry is unreadable and must be
-/// quarantined.
-fn read_index_entry(dir: &Path) -> Option<IndexEntry> {
-    let manifest = parse_manifest(dir)?;
-    Some(IndexEntry {
-        case: manifest.get("case")?.as_str()?.to_string(),
-        mode: manifest.get("mode")?.as_str()?.to_string(),
-        warm_start: manifest.get("warm_start")?.as_bool()?,
-        created_unix: manifest.get("created_unix")?.as_u64()?,
-        bytes: dir_bytes(dir),
-        fingerprint: SpecFingerprint::from_json(manifest.get("fingerprint")?)?,
-    })
-}
-
-/// Full read: manifest, artifact checksum, container decode.
-fn read_entry(dir: &Path, key: &str) -> Option<StoredEntry> {
-    let manifest = parse_manifest(dir)?;
-    if manifest.get("key")?.as_str()? != key {
-        return None;
-    }
-    let artifact_bytes = fs::read(dir.join(ARTIFACTS_FILE)).ok()?;
-    if artifact_bytes.len() as u64 != manifest.get("artifacts_bytes")?.as_u64()? {
-        return None;
-    }
-    if sha256_hex(&artifact_bytes) != manifest.get("artifacts_sha256")?.as_str()? {
-        return None;
-    }
-    let artifacts = decode_artifacts(&artifact_bytes).ok()?;
-    Some(StoredEntry {
-        key: key.to_string(),
-        case: manifest.get("case")?.as_str()?.to_string(),
-        mode: manifest.get("mode")?.as_str()?.to_string(),
-        warm_start: manifest.get("warm_start")?.as_bool()?,
-        created_unix: manifest.get("created_unix")?.as_u64()?,
-        fingerprint: SpecFingerprint::from_json(manifest.get("fingerprint")?)?,
-        response: manifest.get("response")?.clone(),
-        artifacts,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::artifacts::{ART_INVARIANT, ART_SPAN, ART_TRANS};
+    use std::fs;
 
     /// A unique temp dir per test (no tempfile crate in the workspace).
     fn temp_root(tag: &str) -> PathBuf {
@@ -716,6 +889,64 @@ mod tests {
         assert!(store.peek(&b.key).is_none(), "coldest evicted");
         assert!(store.peek(&c.key).is_some(), "newest survives");
         assert_eq!(tele.snapshot().counter("store.evictions"), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shed_coldest_frees_bytes_immediately() {
+        let root = temp_root("shed");
+        let tele = Telemetry::new();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        let (a, b) = (sample_entry("a"), sample_entry("b"));
+        store.put(&a).unwrap();
+        store.put(&b).unwrap();
+        let freed = store.shed_coldest(1);
+        assert!(freed > 0);
+        assert!(store.peek(&a.key).is_none(), "coldest shed first");
+        assert!(store.peek(&b.key).is_some());
+        assert_eq!(tele.snapshot().counter("store.evictions"), 1);
+        let remaining = store.bytes();
+        assert_eq!(store.shed_coldest(5), remaining, "sheds the rest, then stops");
+        assert_eq!(store.bytes(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantine_is_bounded_by_cap() {
+        let root = temp_root("quarantine-cap");
+        let tele = Telemetry::new();
+        // Budget of one entry-ish: the quarantine cap is budget/4, so a
+        // single quarantined entry always exceeds it and gets dropped.
+        let probe = DiskStore::open(&root, 0, &tele).unwrap();
+        probe.put(&sample_entry("p")).unwrap();
+        let one = probe.bytes();
+        drop(probe);
+        let _ = fs::remove_dir_all(&root);
+
+        let store = DiskStore::open(&root, one + one / 2, &tele).unwrap();
+        let entry = sample_entry("q");
+        store.put(&entry).unwrap();
+        let art = root.join("entries").join(&entry.key).join(ARTIFACTS_FILE);
+        fs::write(&art, b"FTARjunk").unwrap();
+        assert!(store.get(&entry.key).is_none(), "corrupt -> quarantined");
+        assert_eq!(
+            fs::read_dir(root.join("quarantine")).unwrap().count(),
+            0,
+            "over the cap, the quarantined entry is dropped immediately"
+        );
+        assert_eq!(tele.snapshot().counter("store.quarantine.dropped"), 1);
+        assert_eq!(tele.snapshot().gauges["store.quarantine.bytes"], 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn probe_roundtrips_and_leaves_no_residue() {
+        let root = temp_root("probe");
+        let tele = Telemetry::off();
+        let store = DiskStore::open(&root, 0, &tele).unwrap();
+        store.probe().unwrap();
+        assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+        assert_eq!(store.io_errors(), 0);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -17,12 +17,17 @@
 //!   edited spec locate its nearest cached neighbor for warm-start repair;
 //! * [`artifacts`] / [`disk`] — the binary artifact container and the
 //!   crash-safe [`DiskStore`] (temp-file + fsync + atomic rename,
-//!   checksum-on-read, quarantine, LRU byte budget).
+//!   checksum-on-read, quarantine, LRU byte budget);
+//! * [`vfs`] — the filesystem seam the store runs on: [`StdFs`] in
+//!   production, [`ErrInjFs`] under test, injecting deterministic
+//!   `EIO`/`ENOSPC`/short-write/torn-rename faults and simulated crashes
+//!   so every crash-safety claim above is exercised, not assumed.
 
 pub mod artifacts;
 pub mod disk;
 pub mod fingerprint;
 pub mod sha;
+pub mod vfs;
 
 pub use artifacts::{
     decode_artifacts, encode_artifacts, find_artifact, ArtifactError, ART_INVARIANT, ART_SPAN,
@@ -31,3 +36,4 @@ pub use artifacts::{
 pub use disk::{DiskStore, EntryInfo, NewEntry, StoredEntry};
 pub use fingerprint::SpecFingerprint;
 pub use sha::{content_key, sha256, sha256_hex};
+pub use vfs::{ErrInjFs, Fault, StdFs, Vfs, VfsOp};

@@ -1,0 +1,578 @@
+//! Virtual filesystem seam for the on-disk store.
+//!
+//! [`DiskStore`](crate::DiskStore) performs every filesystem operation
+//! through the [`Vfs`] trait, so its crash-safety discipline is testable
+//! instead of aspirational. [`StdFs`] is the production implementation (a
+//! thin veneer over `std::fs`); [`ErrInjFs`] wraps it with a deterministic,
+//! seeded fault plan that can inject `EIO`, `ENOSPC`, short writes, torn
+//! renames, and whole-process "crashes" (every op after a chosen mutation
+//! count fails), targeted by operation kind, path substring, and countdown.
+//!
+//! The crash model: `crash_after_mutations(k)` lets the first `k` mutating
+//! operations (writes, renames, directory creates/removes, fsyncs) complete
+//! in full, then fails that op and every later one with a sticky "simulated
+//! crash" error. The *torn* variant additionally gives the crashing op a
+//! partial effect — a write lands half its bytes, a rename completes but
+//! reports failure — modelling power loss mid-syscall and the window
+//! between a rename and its directory fsync. A test then reopens the store
+//! root with a fresh [`StdFs`] and asserts the recovery invariants.
+
+use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The filesystem operations [`DiskStore`](crate::DiskStore) performs.
+/// Object-safe; the store holds an `Arc<dyn Vfs>`.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Create `path`, write `bytes` in full, and fsync the file.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Fsync a directory so a completed rename/create survives power loss.
+    fn fsync_dir(&self, path: &Path) -> io::Result<()>;
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Last-modification time as unix seconds (0 when unavailable).
+    fn mtime_unix(&self, path: &Path) -> u64;
+    fn is_dir(&self, path: &Path) -> bool;
+    fn is_file(&self, path: &Path) -> bool;
+}
+
+/// The production filesystem: `std::fs` with fsync where the store's
+/// crash-safety contract requires it.
+#[derive(Debug)]
+pub struct StdFs;
+
+impl Vfs for StdFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for item in std::fs::read_dir(path)? {
+            out.push(item?.path());
+        }
+        Ok(out)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        std::fs::metadata(path).map(|m| m.len())
+    }
+
+    fn mtime_unix(&self, path: &Path) -> u64 {
+        std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        path.is_dir()
+    }
+
+    fn is_file(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+}
+
+/// Which operation an injected fault targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VfsOp {
+    CreateDir,
+    RemoveDir,
+    RemoveFile,
+    Rename,
+    Write,
+    FsyncDir,
+    Read,
+    ListDir,
+    Stat,
+}
+
+impl VfsOp {
+    /// Does this op mutate the filesystem? (These are the ops the crash
+    /// countdown counts.)
+    fn is_mutation(self) -> bool {
+        matches!(
+            self,
+            VfsOp::CreateDir
+                | VfsOp::RemoveDir
+                | VfsOp::RemoveFile
+                | VfsOp::Rename
+                | VfsOp::Write
+                | VfsOp::FsyncDir
+        )
+    }
+}
+
+/// The failure an injection produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Input/output error (`raw_os_error` 5) with no effect on disk.
+    Eio,
+    /// No space left on device (`raw_os_error` 28) with no effect on disk.
+    Enospc,
+    /// A write that lands only half its bytes, then reports `WriteZero`.
+    ShortWrite,
+    /// A rename that *completes on disk* but reports `EIO` — the window
+    /// between the rename syscall and the directory fsync.
+    TornRename,
+}
+
+impl Fault {
+    fn to_error(self) -> io::Error {
+        match self {
+            Fault::Eio | Fault::TornRename => io::Error::from_raw_os_error(5),
+            Fault::Enospc => io::Error::from_raw_os_error(28),
+            Fault::ShortWrite => io::Error::new(io::ErrorKind::WriteZero, "injected short write"),
+        }
+    }
+}
+
+/// One armed fault: fires on the `skip+1`-th operation matching `op` and
+/// `path_contains`, then disarms (unless `sticky`).
+#[derive(Debug)]
+struct Injection {
+    op: VfsOp,
+    path_contains: Option<String>,
+    skip: u64,
+    kind: Fault,
+    sticky: bool,
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    injections: Vec<Injection>,
+    /// Probability (per mille) that any matching op fails with `Eio`.
+    random_eio_per_mille: u64,
+    rng: u64,
+}
+
+/// Deterministic fault-injecting filesystem wrapping [`StdFs`]. All knobs
+/// take `&self`, so a test can re-arm faults mid-run through the same
+/// `Arc` the store holds.
+#[derive(Debug)]
+pub struct ErrInjFs {
+    inner: StdFs,
+    plan: Mutex<Plan>,
+    /// Mutating ops completed so far (the crash countdown's clock).
+    mutations: AtomicU64,
+    /// Total ops attempted (mutating or not).
+    ops: AtomicU64,
+    /// Crash at this mutation index (`u64::MAX` = disarmed).
+    crash_at: AtomicU64,
+    /// Give the crashing op a partial effect instead of none.
+    crash_torn: AtomicBool,
+    /// Set once the crash fires; every later op fails.
+    crashed: AtomicBool,
+}
+
+impl ErrInjFs {
+    pub fn new(seed: u64) -> ErrInjFs {
+        ErrInjFs {
+            inner: StdFs,
+            plan: Mutex::new(Plan { rng: seed ^ 0x9E37_79B9_7F4A_7C15, ..Plan::default() }),
+            mutations: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            crash_at: AtomicU64::new(u64::MAX),
+            crash_torn: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    fn lock_plan(&self) -> std::sync::MutexGuard<'_, Plan> {
+        self.plan.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arm a one-shot fault on the next op of `kind` targeting `op`.
+    pub fn fail_next(&self, op: VfsOp, kind: Fault) {
+        self.fail_nth(op, 0, kind);
+    }
+
+    /// Arm a one-shot fault on the `skip+1`-th matching op.
+    pub fn fail_nth(&self, op: VfsOp, skip: u64, kind: Fault) {
+        self.lock_plan().injections.push(Injection {
+            op,
+            path_contains: None,
+            skip,
+            kind,
+            sticky: false,
+        });
+    }
+
+    /// Arm a one-shot fault on the next `op` whose path contains `substr`.
+    pub fn fail_on_path(&self, op: VfsOp, substr: &str, kind: Fault) {
+        self.lock_plan().injections.push(Injection {
+            op,
+            path_contains: Some(substr.to_string()),
+            skip: 0,
+            kind,
+            sticky: false,
+        });
+    }
+
+    /// Arm a sticky fault: every matching op fails until [`ErrInjFs::clear`].
+    pub fn fail_always(&self, op: VfsOp, kind: Fault) {
+        self.lock_plan().injections.push(Injection {
+            op,
+            path_contains: None,
+            skip: 0,
+            kind,
+            sticky: true,
+        });
+    }
+
+    /// Every op fails with `Eio` with probability `per_mille`/1000, drawn
+    /// from the seeded generator (deterministic across runs).
+    pub fn fail_randomly(&self, per_mille: u64) {
+        self.lock_plan().random_eio_per_mille = per_mille;
+    }
+
+    /// Let `k` mutating ops complete, then fail that op and every op after
+    /// it with a sticky "simulated crash" error. With `torn`, the crashing
+    /// op itself has a partial effect (half a write, a completed-but-
+    /// unreported rename) before failing.
+    pub fn crash_after_mutations(&self, k: u64, torn: bool) {
+        self.crash_torn.store(torn, Ordering::SeqCst);
+        self.crash_at.store(k, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Disarm everything (injections, random faults, crash countdown) and
+    /// reset the op counters.
+    pub fn clear(&self) {
+        let mut plan = self.lock_plan();
+        plan.injections.clear();
+        plan.random_eio_per_mille = 0;
+        drop(plan);
+        self.crash_at.store(u64::MAX, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+        self.mutations.store(0, Ordering::SeqCst);
+        self.ops.store(0, Ordering::SeqCst);
+    }
+
+    /// Mutating ops completed so far — run a "golden" pass first to learn
+    /// how many mutation steps an operation takes, then crash at each.
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::SeqCst)
+    }
+
+    /// Total ops attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Did the armed crash fire?
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("simulated crash")
+    }
+
+    /// The per-op gate. `Ok(None)` = proceed normally; `Ok(Some(f))` =
+    /// apply fault `f` (the caller decides its partial effect);
+    /// `Err(Crash)` is signalled through the dedicated variant below.
+    fn gate(&self, op: VfsOp, path: &Path) -> Gate {
+        self.ops.fetch_add(1, Ordering::SeqCst);
+        if self.crashed.load(Ordering::SeqCst) {
+            return Gate::Crash { torn: false };
+        }
+        if op.is_mutation() {
+            let m = self.mutations.fetch_add(1, Ordering::SeqCst);
+            if m >= self.crash_at.load(Ordering::SeqCst) {
+                self.crashed.store(true, Ordering::SeqCst);
+                return Gate::Crash { torn: self.crash_torn.load(Ordering::SeqCst) };
+            }
+        }
+        let mut plan = self.lock_plan();
+        let path_str = path.to_string_lossy();
+        for i in 0..plan.injections.len() {
+            let inj = &plan.injections[i];
+            if inj.op != op {
+                continue;
+            }
+            if let Some(sub) = &inj.path_contains {
+                if !path_str.contains(sub.as_str()) {
+                    continue;
+                }
+            }
+            if plan.injections[i].skip > 0 {
+                plan.injections[i].skip -= 1;
+                continue;
+            }
+            let kind = inj.kind;
+            if !inj.sticky {
+                plan.injections.remove(i);
+            }
+            return Gate::Fault(kind);
+        }
+        if plan.random_eio_per_mille > 0 {
+            // SplitMix64: deterministic under the seed.
+            plan.rng = plan.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = plan.rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            if z % 1000 < plan.random_eio_per_mille {
+                return Gate::Fault(Fault::Eio);
+            }
+        }
+        Gate::Pass
+    }
+}
+
+enum Gate {
+    Pass,
+    Fault(Fault),
+    Crash { torn: bool },
+}
+
+impl Vfs for ErrInjFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.gate(VfsOp::CreateDir, path) {
+            Gate::Pass => self.inner.create_dir_all(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.gate(VfsOp::RemoveDir, path) {
+            Gate::Pass => self.inner.remove_dir_all(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.gate(VfsOp::RemoveFile, path) {
+            Gate::Pass => self.inner.remove_file(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate(VfsOp::Rename, from) {
+            Gate::Pass => self.inner.rename(from, to),
+            Gate::Fault(Fault::TornRename) => {
+                // The rename lands on disk; the caller sees EIO — exactly
+                // the crash window between rename and directory fsync.
+                let _ = self.inner.rename(from, to);
+                Err(Fault::TornRename.to_error())
+            }
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { torn } => {
+                if torn {
+                    let _ = self.inner.rename(from, to);
+                }
+                Err(Self::crash_error())
+            }
+        }
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate(VfsOp::Write, path) {
+            Gate::Pass => self.inner.write_file(path, bytes),
+            Gate::Fault(Fault::ShortWrite) => {
+                // Half the bytes land, unfsynced; the caller sees failure.
+                let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
+                Err(Fault::ShortWrite.to_error())
+            }
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { torn } => {
+                if torn {
+                    let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
+                }
+                Err(Self::crash_error())
+            }
+        }
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        match self.gate(VfsOp::FsyncDir, path) {
+            Gate::Pass => self.inner.fsync_dir(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.gate(VfsOp::Read, path) {
+            Gate::Pass => self.inner.read(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        match self.gate(VfsOp::ListDir, path) {
+            Gate::Pass => self.inner.list_dir(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        match self.gate(VfsOp::Stat, path) {
+            Gate::Pass => self.inner.file_len(path),
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { .. } => Err(Self::crash_error()),
+        }
+    }
+
+    fn mtime_unix(&self, path: &Path) -> u64 {
+        self.inner.mtime_unix(path)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        self.inner.is_dir(path)
+    }
+
+    fn is_file(&self, path: &Path) -> bool {
+        self.inner.is_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ftrepair-vfs-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn one_shot_fault_fires_once() {
+        let fs = ErrInjFs::new(1);
+        let path = temp_file("oneshot");
+        fs.fail_next(VfsOp::Write, Fault::Eio);
+        let err = fs.write_file(&path, b"hello").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(!path.exists(), "EIO leaves no bytes behind");
+        fs.write_file(&path, b"hello").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"hello");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn enospc_has_raw_os_error_28() {
+        let fs = ErrInjFs::new(2);
+        fs.fail_next(VfsOp::Write, Fault::Enospc);
+        let err = fs.write_file(&temp_file("enospc"), b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+    }
+
+    #[test]
+    fn short_write_lands_half_the_bytes() {
+        let fs = ErrInjFs::new(3);
+        let path = temp_file("short");
+        fs.fail_next(VfsOp::Write, Fault::ShortWrite);
+        let err = fs.write_file(&path, b"12345678").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(fs.read(&path).unwrap(), b"1234", "exactly half landed");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_rename_completes_but_reports_failure() {
+        let fs = ErrInjFs::new(4);
+        let from = temp_file("torn-from");
+        let to = temp_file("torn-to");
+        fs.write_file(&from, b"payload").unwrap();
+        fs.fail_next(VfsOp::Rename, Fault::TornRename);
+        assert!(fs.rename(&from, &to).is_err());
+        assert!(!from.exists() && to.exists(), "the rename landed anyway");
+        let _ = std::fs::remove_file(&to);
+    }
+
+    #[test]
+    fn crash_is_sticky_and_counts_mutations() {
+        let fs = ErrInjFs::new(5);
+        let path = temp_file("crash");
+        fs.write_file(&path, b"a").unwrap();
+        assert_eq!(fs.mutations(), 1);
+        fs.crash_after_mutations(1, false);
+        assert!(fs.write_file(&path, b"b").is_err(), "crash fires at mutation 1");
+        assert!(fs.crashed());
+        assert!(fs.read(&path).is_err(), "everything fails after the crash");
+        assert_eq!(std::fs::read(&path).unwrap(), b"a", "pre-crash bytes intact");
+        fs.clear();
+        assert_eq!(fs.read(&path).unwrap(), b"a");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn countdown_skips_n_matching_ops() {
+        let fs = ErrInjFs::new(6);
+        let path = temp_file("countdown");
+        fs.fail_nth(VfsOp::Write, 2, Fault::Eio);
+        fs.write_file(&path, b"1").unwrap();
+        fs.write_file(&path, b"2").unwrap();
+        assert!(fs.write_file(&path, b"3").is_err(), "third write fails");
+        fs.write_file(&path, b"4").unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn path_targeted_fault_ignores_other_paths() {
+        let fs = ErrInjFs::new(7);
+        let a = temp_file("path-a");
+        let b = temp_file("path-b-manifest");
+        fs.fail_on_path(VfsOp::Write, "manifest", Fault::Eio);
+        fs.write_file(&a, b"ok").unwrap();
+        assert!(fs.write_file(&b, b"no").is_err());
+        let _ = std::fs::remove_file(&a);
+    }
+
+    #[test]
+    fn seeded_random_faults_are_deterministic() {
+        let trace = |seed: u64| -> Vec<bool> {
+            let fs = ErrInjFs::new(seed);
+            fs.fail_randomly(300);
+            let path = temp_file(&format!("rand-{seed}"));
+            let out: Vec<bool> = (0..32).map(|_| fs.write_file(&path, b"x").is_ok()).collect();
+            let _ = std::fs::remove_file(&path);
+            out
+        };
+        assert_eq!(trace(42), trace(42), "same seed, same fault schedule");
+        assert!(trace(42).iter().any(|ok| !ok), "some ops do fail");
+        assert!(trace(42).iter().any(|ok| *ok), "some ops succeed");
+    }
+}

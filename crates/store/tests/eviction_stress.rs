@@ -1,0 +1,153 @@
+//! Eviction under concurrency: seeded multi-thread put/get/shed traffic
+//! over a tiny byte budget, asserting the in-memory index, the on-disk
+//! entries, and the `store.bytes` gauge never disagree.
+
+use ftrepair_bdd::SerializedBdd;
+use ftrepair_store::{DiskStore, NewEntry, SpecFingerprint};
+use ftrepair_telemetry::{Json, Telemetry};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftrepair-evstress-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_entry(key_tag: &str) -> NewEntry {
+    let bdd = |seed: u32| SerializedBdd {
+        num_vars: 4,
+        order: vec![0, 1, 2, 3],
+        nodes: vec![(3, 0, 1), (seed % 3, 2, 1)],
+        root: 3,
+    };
+    let mut response = Json::obj();
+    response.set("ok", Json::Bool(true));
+    NewEntry {
+        key: format!("{key_tag:0>64}"),
+        case: "sample".into(),
+        mode: "lazy".into(),
+        warm_start: false,
+        fingerprint: SpecFingerprint {
+            vars: "0011223344556677".into(),
+            faults: "8899aabbccddeeff".into(),
+            safety: "0123456789abcdef".into(),
+            actions: vec![format!("{key_tag:0>16}")],
+        },
+        response,
+        artifacts: vec![("trans".into(), bdd(0)), ("invariant".into(), bdd(1))],
+    }
+}
+
+fn walk_bytes(path: &Path) -> u64 {
+    if path.is_file() {
+        return fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    }
+    let Ok(items) = fs::read_dir(path) else { return 0 };
+    items.flatten().map(|item| walk_bytes(&item.path())).sum()
+}
+
+/// One SplitMix64 step.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn concurrent_put_get_evict_keeps_books_balanced() {
+    let root = temp_root("books");
+    let tele = Telemetry::new();
+    // Learn one entry's size, then budget for about three — every thread's
+    // puts keep the store at the eviction edge for the whole run.
+    let one = {
+        let probe = DiskStore::open(&root, 0, &tele).unwrap();
+        probe.put(&sample_entry("probe")).unwrap();
+        let one = probe.bytes();
+        drop(probe);
+        let _ = fs::remove_dir_all(&root);
+        one
+    };
+    let budget = one * 3 + one / 2;
+    let store = Arc::new(DiskStore::open(&root, budget, &tele).unwrap());
+
+    const THREADS: u64 = 4;
+    const OPS: u64 = 60;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                let mut rng = 0x5EED ^ t.wrapping_mul(0x9E37_79B9);
+                for i in 0..OPS {
+                    match next_u64(&mut rng) % 4 {
+                        // Mostly puts: fresh keys keep eviction pressure up.
+                        0 | 1 => {
+                            let _ = store.put(&sample_entry(&format!("t{t}i{i}")));
+                        }
+                        // Contended puts: all threads fight over few keys,
+                        // exercising the stage/re-check/replace races.
+                        2 => {
+                            let _ = store
+                                .put(&sample_entry(&format!("shared{}", next_u64(&mut rng) % 3)));
+                        }
+                        // Reads, sometimes of keys another thread evicted.
+                        _ => {
+                            let probe = format!("t{}i{}", next_u64(&mut rng) % THREADS, i);
+                            let _ = store.get(&format!("{probe:0>64}"));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesced: the three views of the store must agree exactly.
+    let on_disk: Vec<String> = fs::read_dir(root.join("entries"))
+        .unwrap()
+        .flatten()
+        .map(|d| d.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(store.len(), on_disk.len(), "index vs on-disk entry count");
+    for key in &on_disk {
+        assert!(store.peek(key).is_some(), "on-disk entry {key} missing from the index");
+    }
+    assert_eq!(store.bytes(), walk_bytes(&root.join("entries")), "accounted vs real bytes");
+    assert!(store.bytes() <= budget, "budget holds after every race");
+    let snap = tele.snapshot();
+    assert_eq!(snap.gauges["store.bytes"], store.bytes(), "gauge vs accounted bytes");
+    assert_eq!(snap.gauges["store.entries"], store.len() as u64, "gauge vs index size");
+    assert!(snap.counter("store.evictions") > 0, "the budget actually bit");
+    let (ok, bad) = store.verify();
+    assert_eq!((ok, bad.len()), (store.len(), 0), "every surviving entry verifies");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_shed_and_put_stay_consistent() {
+    let root = temp_root("shed");
+    let tele = Telemetry::new();
+    let store = Arc::new(DiskStore::open(&root, 0, &tele).unwrap());
+    std::thread::scope(|scope| {
+        let putter = Arc::clone(&store);
+        scope.spawn(move || {
+            for i in 0..40 {
+                let _ = putter.put(&sample_entry(&format!("s{i}")));
+            }
+        });
+        let shedder = Arc::clone(&store);
+        scope.spawn(move || {
+            for _ in 0..40 {
+                let _ = shedder.shed_coldest(1);
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert_eq!(store.bytes(), walk_bytes(&root.join("entries")));
+    assert_eq!(tele.snapshot().gauges["store.bytes"], store.bytes());
+    let (ok, bad) = store.verify();
+    assert_eq!((ok, bad.len()), (store.len(), 0));
+    let _ = fs::remove_dir_all(&root);
+}

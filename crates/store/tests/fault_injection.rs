@@ -1,0 +1,320 @@
+//! Fault-injection suite for the disk store: every crash-safety claim in
+//! `disk.rs` driven through [`ErrInjFs`] instead of taken on faith.
+//!
+//! The centerpiece is the crash-point harness: a golden run counts how many
+//! filesystem mutations an operation performs, then the operation is re-run
+//! once per mutation index with a simulated crash at that point (clean and
+//! torn variants), and the store root is reopened on the real filesystem to
+//! check the recovery invariants — open succeeds, `tmp/` is swept, every
+//! indexed entry verifies, pre-crash entries survive, and the byte
+//! accounting matches the disk.
+
+use ftrepair_bdd::SerializedBdd;
+use ftrepair_store::{DiskStore, ErrInjFs, Fault, NewEntry, SpecFingerprint, VfsOp};
+use ftrepair_telemetry::{Json, Telemetry};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("ftrepair-faultinj-{tag}-{}-{nonce}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_entry(key_tag: &str) -> NewEntry {
+    let bdd = |seed: u32| SerializedBdd {
+        num_vars: 4,
+        order: vec![0, 1, 2, 3],
+        nodes: vec![(3, 0, 1), (seed % 3, 2, 1)],
+        root: 3,
+    };
+    let mut response = Json::obj();
+    response.set("ok", Json::Bool(true));
+    NewEntry {
+        key: format!("{key_tag:0>64}"),
+        case: "sample".into(),
+        mode: "lazy".into(),
+        warm_start: false,
+        fingerprint: SpecFingerprint {
+            vars: "0011223344556677".into(),
+            faults: "8899aabbccddeeff".into(),
+            safety: "0123456789abcdef".into(),
+            actions: vec![format!("{key_tag:0>16}")],
+        },
+        response,
+        artifacts: vec![("trans".into(), bdd(0)), ("invariant".into(), bdd(1))],
+    }
+}
+
+/// Real disk usage of a tree, independent of the store's accounting.
+fn walk_bytes(path: &Path) -> u64 {
+    if path.is_file() {
+        return fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    }
+    let Ok(items) = fs::read_dir(path) else { return 0 };
+    items.flatten().map(|item| walk_bytes(&item.path())).sum()
+}
+
+/// Reopen `root` on the real filesystem ("after the reboot") and assert
+/// the recovery invariants. Returns the reopened store for further checks.
+fn assert_recovered(root: &Path, budget: u64, must_have: &[&str], context: &str) -> DiskStore {
+    let tele = Telemetry::new();
+    let store =
+        DiskStore::open(root, budget, &tele).unwrap_or_else(|e| panic!("{context}: reopen: {e}"));
+    assert_eq!(
+        fs::read_dir(root.join("tmp")).unwrap().count(),
+        0,
+        "{context}: stray tmp files survive the reopen sweep"
+    );
+    let (ok, bad) = store.verify();
+    assert!(bad.is_empty(), "{context}: corrupt entries after recovery: {bad:?}");
+    assert_eq!(ok, store.len(), "{context}: every indexed entry verifies");
+    for key in must_have {
+        let key = format!("{key:0>64}");
+        assert!(store.get(&key).is_some(), "{context}: pre-crash entry {key} lost");
+    }
+    assert_eq!(
+        store.bytes(),
+        walk_bytes(&root.join("entries")),
+        "{context}: byte accounting disagrees with the disk"
+    );
+    store
+}
+
+/// How many filesystem mutations `op` performs against a store seeded by
+/// `setup`, measured on a throwaway root.
+fn golden_mutations(
+    tag: &str,
+    budget: u64,
+    setup: &dyn Fn(&DiskStore),
+    op: &dyn Fn(&DiskStore),
+) -> u64 {
+    let root = temp_root(&format!("golden-{tag}"));
+    let fi = Arc::new(ErrInjFs::new(0xFA17));
+    let store = DiskStore::open_with_vfs(&root, budget, &Telemetry::off(), fi.clone()).unwrap();
+    setup(&store);
+    fi.clear();
+    op(&store);
+    let n = fi.mutations();
+    let _ = fs::remove_dir_all(&root);
+    assert!(n > 0, "the golden {tag} run must mutate the filesystem");
+    n
+}
+
+/// The harness: crash at every mutation index of `op` (clean and torn),
+/// then reopen and check invariants. `must_have` keys are written by
+/// `setup` and must survive every crash point.
+fn crash_every_mutation(
+    tag: &str,
+    budget: u64,
+    must_have: &[&str],
+    setup: &dyn Fn(&DiskStore),
+    op: &dyn Fn(&DiskStore),
+) {
+    let n = golden_mutations(tag, budget, setup, op);
+    for torn in [false, true] {
+        for k in 0..n {
+            let context = format!("{tag}: crash at mutation {k}/{n} (torn={torn})");
+            let root = temp_root(&format!("crash-{tag}-{k}-{torn}"));
+            let fi = Arc::new(ErrInjFs::new(0xFA17));
+            let store =
+                DiskStore::open_with_vfs(&root, budget, &Telemetry::off(), fi.clone()).unwrap();
+            setup(&store);
+            fi.clear();
+            fi.crash_after_mutations(k, torn);
+            // The op may fail or (when the crash lands on a best-effort
+            // step) succeed; either way the store must recover on reopen.
+            op(&store);
+            assert!(fi.crashed(), "{context}: the armed crash never fired");
+            drop(store);
+            assert_recovered(&root, budget, must_have, &context);
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+}
+
+#[test]
+fn crash_points_of_put_recover_on_reopen() {
+    crash_every_mutation(
+        "put",
+        0,
+        &["base"],
+        &|store| {
+            store.put(&sample_entry("base")).unwrap();
+        },
+        &|store| {
+            let _ = store.put(&sample_entry("victim"));
+        },
+    );
+}
+
+#[test]
+fn crash_points_of_eviction_recover_on_reopen() {
+    // Budget for about two entries, so the third put evicts the coldest.
+    // The evicted key may legitimately be gone afterwards; the invariant
+    // is consistency, not retention.
+    let one = {
+        let root = temp_root("evict-probe");
+        let store = DiskStore::open(&root, 0, &Telemetry::off()).unwrap();
+        store.put(&sample_entry("p")).unwrap();
+        let one = store.bytes();
+        let _ = fs::remove_dir_all(&root);
+        one
+    };
+    crash_every_mutation(
+        "evict",
+        one * 2 + one / 2,
+        &[],
+        &|store| {
+            store.put(&sample_entry("a")).unwrap();
+            store.put(&sample_entry("b")).unwrap();
+        },
+        &|store| {
+            let _ = store.put(&sample_entry("c"));
+        },
+    );
+}
+
+#[test]
+fn crash_points_of_gc_recover_on_reopen() {
+    crash_every_mutation(
+        "gc",
+        0,
+        &["keep"],
+        &|store| {
+            store.put(&sample_entry("keep")).unwrap();
+            store.put(&sample_entry("doomed")).unwrap();
+            // Corrupt `doomed` so the next read quarantines it, giving gc
+            // quarantine content to delete; add a stale tmp file too.
+            let doomed = format!("{:0>64}", "doomed");
+            let art = store.root().join("entries").join(&doomed).join("artifacts.bin");
+            fs::write(&art, b"FTARjunk").unwrap();
+            assert!(store.get(&doomed).is_none());
+            fs::write(store.root().join("tmp").join("stale"), b"x").unwrap();
+        },
+        &|store| {
+            let _ = store.gc();
+        },
+    );
+}
+
+#[test]
+fn eio_on_artifact_write_fails_put_cleanly() {
+    let root = temp_root("eio-write");
+    let tele = Telemetry::new();
+    let fi = Arc::new(ErrInjFs::new(1));
+    let store = DiskStore::open_with_vfs(&root, 0, &tele, fi.clone()).unwrap();
+    fi.fail_on_path(VfsOp::Write, "artifacts", Fault::Eio);
+    let err = store.put(&sample_entry("a")).unwrap_err();
+    assert_eq!(err.raw_os_error(), Some(5));
+    assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0, "stage cleaned up");
+    assert_eq!(store.len(), 0);
+    assert_eq!(store.io_errors(), 1);
+    assert_eq!(tele.snapshot().counter("store.io_errors"), 1);
+    // The fault was one-shot; the retry lands.
+    assert!(store.put(&sample_entry("a")).unwrap());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn enospc_surfaces_raw_os_error_28() {
+    let root = temp_root("enospc");
+    let fi = Arc::new(ErrInjFs::new(2));
+    let store = DiskStore::open_with_vfs(&root, 0, &Telemetry::off(), fi.clone()).unwrap();
+    fi.fail_next(VfsOp::Write, Fault::Enospc);
+    let err = store.put(&sample_entry("a")).unwrap_err();
+    assert_eq!(err.raw_os_error(), Some(28), "the server keys emergency eviction off this");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn short_write_on_manifest_is_discarded() {
+    let root = temp_root("short-manifest");
+    let fi = Arc::new(ErrInjFs::new(3));
+    let store = DiskStore::open_with_vfs(&root, 0, &Telemetry::off(), fi.clone()).unwrap();
+    // Second write in a put is the manifest.
+    fi.fail_nth(VfsOp::Write, 1, Fault::ShortWrite);
+    assert!(store.put(&sample_entry("a")).is_err());
+    assert_eq!(store.len(), 0);
+    drop(store);
+    assert_recovered(&root, 0, &[], "short manifest write");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_rename_is_durable_and_recovered_at_reopen() {
+    let root = temp_root("torn-rename");
+    let fi = Arc::new(ErrInjFs::new(4));
+    let store = DiskStore::open_with_vfs(&root, 0, &Telemetry::off(), fi.clone()).unwrap();
+    fi.fail_next(VfsOp::Rename, Fault::TornRename);
+    let entry = sample_entry("a");
+    assert!(store.put(&entry).is_err(), "the caller sees the failure");
+    assert!(store.get(&entry.key).is_none(), "unreported entries are not served");
+    drop(store);
+    // But the rename landed: the fully-fsynced entry is rediscovered.
+    let recovered = assert_recovered(&root, 0, &["a"], "torn rename");
+    assert_eq!(recovered.len(), 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn transient_read_eio_is_a_miss_not_data_loss() {
+    let root = temp_root("read-eio");
+    let tele = Telemetry::new();
+    let fi = Arc::new(ErrInjFs::new(5));
+    let store = DiskStore::open_with_vfs(&root, 0, &tele, fi.clone()).unwrap();
+    let entry = sample_entry("a");
+    store.put(&entry).unwrap();
+    fi.fail_next(VfsOp::Read, Fault::Eio);
+    assert!(store.get(&entry.key).is_none(), "EIO reads as a miss");
+    assert_eq!(store.len(), 1, "but the entry is NOT quarantined");
+    assert!(store.get(&entry.key).is_some(), "and the next read hits");
+    let snap = tele.snapshot();
+    assert_eq!(snap.counter("store.corrupt"), 0, "flaky volume is not corruption");
+    assert_eq!(snap.counter("store.io_errors"), 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn probe_reports_volume_failures() {
+    let root = temp_root("probe-fail");
+    let fi = Arc::new(ErrInjFs::new(6));
+    let store = DiskStore::open_with_vfs(&root, 0, &Telemetry::off(), fi.clone()).unwrap();
+    fi.fail_next(VfsOp::Write, Fault::Eio);
+    assert!(store.probe().is_err());
+    assert_eq!(store.io_errors(), 1);
+    assert!(store.probe().is_ok(), "and recovery is visible");
+    assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn seeded_eio_storm_never_leaves_an_inconsistent_store() {
+    let root = temp_root("storm");
+    let fi = Arc::new(ErrInjFs::new(0x5EED));
+    let store = DiskStore::open_with_vfs(&root, 0, &Telemetry::off(), fi.clone()).unwrap();
+    fi.fail_randomly(200); // 20% of every op fails with EIO
+    let mut landed: Vec<String> = Vec::new();
+    for i in 0..40 {
+        let entry = sample_entry(&format!("k{i}"));
+        if let Ok(true) = store.put(&entry) {
+            landed.push(format!("k{i}"));
+        }
+        let _ = store.get(&entry.key);
+    }
+    assert!(!landed.is_empty(), "some puts must survive a 20% fault rate");
+    fi.clear();
+    drop(store);
+    // After the storm: everything that reported success is durable and the
+    // books balance (the reopen sweeps any stage dirs orphaned by EIO on
+    // cleanup paths).
+    let keys: Vec<&str> = landed.iter().map(String::as_str).collect();
+    assert_recovered(&root, 0, &keys, "EIO storm");
+    let _ = fs::remove_dir_all(&root);
+}

@@ -197,6 +197,18 @@ impl SymbolicContext {
         self.m.maybe_reorder(roots)
     }
 
+    /// Arm (0 disarms) the manager's live-node budget — the memory half of
+    /// the governance checkpoint [`SymbolicContext::maybe_reorder`] runs.
+    pub fn set_node_budget(&mut self, budget: usize) {
+        self.m.set_node_budget(budget);
+    }
+
+    /// Has a governance checkpoint latched budget exhaustion? Repair loops
+    /// poll this at their cancellation boundaries and abort cleanly.
+    pub fn budget_exhausted(&self) -> bool {
+        self.m.budget_exhausted()
+    }
+
     /// Unconditionally sift the manager now, keeping `roots` (plus the
     /// protected set) alive.
     pub fn reorder_sift(&mut self, roots: &[ftrepair_bdd::NodeId]) -> ftrepair_bdd::ReorderOutcome {

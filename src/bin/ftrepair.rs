@@ -3,16 +3,19 @@
 //! ```text
 //! ftrepair repair   <file.ftr> [--cautious] [--pure-lazy] [--iterative-step2]
 //!                              [--parallel] [--strict-terminal] [--timeout <secs>]
-//!                              [--reorder none|sift|auto] [--store-dir <path>]
-//!                              [--metrics-out <path>] [--trace] [--trace-out <path>]
+//!                              [--max-nodes <n>] [--reorder none|sift|auto]
+//!                              [--store-dir <path>] [--metrics-out <path>]
+//!                              [--trace] [--trace-out <path>]
 //! ftrepair check    <file.ftr>
 //! ftrepair info     <file.ftr>
 //! ftrepair simulate <file.ftr> [--cautious] [--runs N] [--max-faults K] [--seed S]
-//!                              [--timeout <secs>] [--reorder none|sift|auto]
+//!                              [--timeout <secs>] [--max-nodes <n>]
+//!                              [--reorder none|sift|auto]
 //! ftrepair serve    [--addr host:port] [--workers N] [--queue-cap M]
-//!                   [--cache-cap C] [--job-timeout <secs>] [--metrics-out <path>]
-//!                   [--reorder none|sift|auto] [--store-dir <path>]
-//!                   [--store-budget-mb N] [--no-warm-start]
+//!                   [--cache-cap C] [--job-timeout <secs>] [--job-max-nodes <n>]
+//!                   [--metrics-out <path>] [--reorder none|sift|auto]
+//!                   [--store-dir <path>] [--store-budget-mb N] [--no-warm-start]
+//!                   [--store-breaker-threshold N] [--store-breaker-backoff <secs>]
 //! ftrepair store    <ls|verify|gc> --store-dir <path>
 //! ftrepair metrics-dump <reports.jsonl>
 //! ftrepair prom-lint    [<exposition.txt>|-]
@@ -37,7 +40,11 @@
 //! `--timeout` bounds the repair's wall clock — a run that
 //! exhausts it stops at the next cancellation checkpoint and exits 124
 //! (the `timeout(1)` convention); `serve --job-timeout` is the same budget
-//! applied per job (default 30s, `503 {"error":"timeout"}`). `--reorder`
+//! applied per job (default 30s, `503 {"error":"timeout"}`). `--max-nodes`
+//! is the memory analogue: it bounds the BDD arena's live-node count, and
+//! a run that a garbage collection cannot bring back under it exits 125
+//! (`serve --job-max-nodes` per job, `503 {"error":"node budget
+//! exhausted"}`) instead of being OOM-killed. `--reorder`
 //! picks the BDD dynamic variable-reordering policy (default `auto`; see
 //! the README's "Performance" section); for `serve` it sets the default a
 //! job's `reorder` query parameter can override. `--store-dir` enables the
@@ -45,7 +52,12 @@
 //! gains a durable tier under its memory cache plus warm-started repairs
 //! from near-key neighbors; `repair --store-dir` serves exact hits from
 //! disk and writes new repairs through; `store ls|verify|gc` inspect,
-//! checksum-verify, and clean a store directory.
+//! checksum-verify, and clean a store directory. The daemon's store sits
+//! behind a circuit breaker: `--store-breaker-threshold` (default 3)
+//! consecutive I/O failures trip it into memory-only degraded mode, and
+//! half-open probes (full-jitter backoff from `--store-breaker-backoff`
+//! seconds, default 0.5) re-enable it when the volume heals (see the
+//! README "Robustness" section).
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
@@ -63,6 +75,20 @@ use std::time::Duration;
 /// Exit code for a repair that exhausted `--timeout`, following the
 /// convention of coreutils `timeout(1)`.
 const EXIT_TIMED_OUT: u8 = 124;
+
+/// Exit code for a repair that exhausted `--max-nodes` — the memory
+/// analogue of 124, one past it and safely below the shell's reserved
+/// 126/127. The process exits cleanly where an unbounded run would have
+/// been OOM-killed (137).
+const EXIT_EXHAUSTED: u8 = 125;
+
+/// Map an abort reason to its exit code (124 deadline, 125 node budget).
+fn abort_exit(why: ftrepair::repair::RepairAborted) -> ExitCode {
+    match why {
+        ftrepair::repair::RepairAborted::ResourceExhausted => ExitCode::from(EXIT_EXHAUSTED),
+        _ => ExitCode::from(EXIT_TIMED_OUT),
+    }
+}
 
 const USAGE: &str =
     "usage: ftrepair <repair|check|info|simulate|serve|store|metrics-dump|prom-lint> [<file>] [options]";
@@ -181,6 +207,14 @@ fn serve(flags: &[String]) -> ExitCode {
             store_dir: flag_value(flags, "--store-dir")?.map(PathBuf::from),
             store_budget: parsed_flag(flags, "--store-budget-mb", 0u64)? * (1 << 20),
             warm_start: !flags.iter().any(|a| a == "--no-warm-start"),
+            job_max_nodes: parsed_flag(flags, "--job-max-nodes", defaults.job_max_nodes)?,
+            breaker_threshold: parsed_flag(
+                flags,
+                "--store-breaker-threshold",
+                defaults.breaker_threshold,
+            )?,
+            breaker_backoff: duration_flag(flags, "--store-breaker-backoff")?
+                .unwrap_or(defaults.breaker_backoff),
             ..defaults
         })
     })();
@@ -296,12 +330,17 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
     use ftrepair::store::{DiskStore, NewEntry, ART_INVARIANT, ART_SPAN};
 
     let has = |f: &str| flags.iter().any(|a| a == f);
-    let params = (|| -> Result<(PathBuf, Option<Duration>, ReorderMode), String> {
+    let params = (|| -> Result<(PathBuf, Option<Duration>, usize, ReorderMode), String> {
         let dir = flag_value(flags, "--store-dir")?
             .ok_or_else(|| "--store-dir requires a path".to_string())?;
-        Ok((PathBuf::from(dir), duration_flag(flags, "--timeout")?, reorder_flag(flags)?))
+        Ok((
+            PathBuf::from(dir),
+            duration_flag(flags, "--timeout")?,
+            parsed_flag(flags, "--max-nodes", 0usize)?,
+            reorder_flag(flags)?,
+        ))
     })();
-    let (store_dir, deadline, reorder) = match params {
+    let (store_dir, deadline, max_nodes, reorder) = match params {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -315,6 +354,7 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
         parallel_step2: has("--parallel"),
         allow_new_terminal_inside: !has("--strict-terminal"),
         deadline,
+        max_nodes,
         reorder,
         ..Default::default()
     };
@@ -377,7 +417,7 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(job::ExecError::Aborted(why)) => {
             eprintln!("{path}: {why}");
-            return ExitCode::from(EXIT_TIMED_OUT);
+            return abort_exit(why);
         }
         Err(e) => {
             eprintln!("{path}: {e}");
@@ -508,18 +548,28 @@ fn store_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+struct SimFlags {
+    runs: usize,
+    max_faults: usize,
+    seed: u64,
+    deadline: Option<Duration>,
+    max_nodes: usize,
+    reorder: ReorderMode,
+}
+
 fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
     let has = |f: &str| flags.iter().any(|a| a == f);
-    let params = (|| -> Result<(usize, usize, u64, Option<Duration>, ReorderMode), String> {
-        Ok((
-            parsed_flag(flags, "--runs", 200usize)?,
-            parsed_flag(flags, "--max-faults", 3usize)?,
-            parsed_flag(flags, "--seed", 0xF7_5EEDu64)?,
-            duration_flag(flags, "--timeout")?,
-            reorder_flag(flags)?,
-        ))
+    let params = (|| -> Result<SimFlags, String> {
+        Ok(SimFlags {
+            runs: parsed_flag(flags, "--runs", 200usize)?,
+            max_faults: parsed_flag(flags, "--max-faults", 3usize)?,
+            seed: parsed_flag(flags, "--seed", 0xF7_5EEDu64)?,
+            deadline: duration_flag(flags, "--timeout")?,
+            max_nodes: parsed_flag(flags, "--max-nodes", 0usize)?,
+            reorder: reorder_flag(flags)?,
+        })
     })();
-    let (runs, max_faults, seed, deadline, reorder) = match params {
+    let SimFlags { runs, max_faults, seed, deadline, max_nodes, reorder } = match params {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -527,7 +577,7 @@ fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
         }
     };
     let mode = if has("--cautious") { job::Mode::Cautious } else { job::Mode::Lazy };
-    let opts = RepairOptions { deadline, reorder, ..Default::default() };
+    let opts = RepairOptions { deadline, max_nodes, reorder, ..Default::default() };
 
     let spec = match job::prepare(source, mode, opts) {
         Ok(s) => s,
@@ -540,7 +590,7 @@ fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(job::ExecError::Aborted(why)) => {
             eprintln!("{path}: {why}");
-            return ExitCode::from(EXIT_TIMED_OUT);
+            return abort_exit(why);
         }
         Err(e) => {
             eprintln!("{path}: {e}");
@@ -653,6 +703,13 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let max_nodes = match parsed_flag(flags, "--max-nodes", 0usize) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let reorder = match reorder_flag(flags) {
         Ok(r) => r,
         Err(e) => {
@@ -673,6 +730,7 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
         parallel_step2: has("--parallel"),
         allow_new_terminal_inside: !has("--strict-terminal"),
         deadline,
+        max_nodes,
         reorder,
         ..Default::default()
     };
@@ -733,7 +791,7 @@ fn repair(prog: &mut DistributedProgram, flags: &[String]) -> ExitCode {
         Err(aborted) => {
             eprintln!("{aborted}");
             emit_trace(&tele, &prog.name);
-            return ExitCode::from(EXIT_TIMED_OUT);
+            return abort_exit(aborted);
         }
     };
 
