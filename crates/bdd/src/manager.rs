@@ -559,8 +559,16 @@ impl Manager {
 
     /// Number of nodes reachable from `f`, including terminals.
     pub fn node_count(&self, f: NodeId) -> usize {
+        self.node_count_many(&[f])
+    }
+
+    /// Number of distinct nodes reachable from any of `roots`, including
+    /// terminals — shared structure is counted once, so this measures what
+    /// a joint export (e.g. a checkpoint's invariant + span + `ms`) would
+    /// actually cost, not the sum of per-root counts.
+    pub fn node_count_many(&self, roots: &[NodeId]) -> usize {
         let mut seen = crate::hash::FxHashSet::default();
-        let mut stack = vec![f];
+        let mut stack = roots.to_vec();
         while let Some(g) = stack.pop() {
             if seen.insert(g) && !g.is_terminal() {
                 stack.push(self.lo(g));
@@ -780,6 +788,22 @@ mod tests {
         let mut m = Manager::new(2);
         let a = m.var(0);
         assert_eq!(m.mk(1, a, a), a);
+    }
+
+    #[test]
+    fn node_count_many_counts_shared_structure_once() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        // `b` is literally `ab`'s hi-child, so jointly they cost exactly
+        // what `ab` costs alone — strictly less than the per-root sum.
+        let joint = m.node_count_many(&[ab, b]);
+        assert_eq!(joint, m.node_count(ab));
+        assert!(joint < m.node_count(ab) + m.node_count(b));
+        // Duplicated roots change nothing; no roots count nothing.
+        assert_eq!(m.node_count_many(&[ab, ab]), m.node_count(ab));
+        assert_eq!(m.node_count_many(&[]), 0);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Ablation F — resume from a mid-repair checkpoint (our crash-recovery
+//! extension, not in the paper).
+//!
+//! A repair that dies mid-flight should not restart from zero: the
+//! checkpointer snapshots the invariant/fault-span at the same governed
+//! boundaries where cancellation is polled, and a resumed run seeds
+//! Step 1's reachability from the slot exactly like a warm-start
+//! neighbor at fingerprint distance 0. This bench cold-repairs the
+//! stabilizing chain, aborts a second run halfway by deadline (the
+//! forced write lands the slot in a real on-disk `CheckpointStore`),
+//! resumes from the slot, and asserts exact parity with the cold repair
+//! plus the ≥2× speedup the recovery story is sized for.
+
+use ftrepair_bench::{ablation_checkpoint_resume, render_checkpoint_resume};
+
+fn main() {
+    let rows = ablation_checkpoint_resume(&[(10, 8), (14, 8)]);
+    for r in &rows {
+        assert!(r.parity, "resumed/cold diverged on {}", r.instance);
+        assert!(r.verified, "resumed repair unverified on {}", r.instance);
+        assert!(
+            r.speedup >= 2.0,
+            "resume on {} only {:.2}× faster than cold (cold {:.3}s, resumed {:.3}s)",
+            r.instance,
+            r.speedup,
+            r.cold.as_secs_f64(),
+            r.resumed.as_secs_f64(),
+        );
+    }
+    print!(
+        "{}",
+        render_checkpoint_resume(&rows, "Ablation F — resume from a mid-repair checkpoint")
+    );
+}

@@ -474,6 +474,190 @@ pub fn render_warm_start(rows: &[WarmStartRow], title: &str) -> String {
     out
 }
 
+/// One measurement of the checkpoint-resume ablation: the same chain
+/// repaired cold, aborted mid-repair by a deadline (leaving a checkpoint
+/// slot behind), and resumed from that slot — through the same
+/// serialize → disk → decode → import pipeline the CLI's
+/// `repair --checkpoint-dir`/`--resume` and the daemon's journal replay
+/// use.
+#[derive(Clone, Debug)]
+pub struct CheckpointResumeRow {
+    /// Human-readable instance name, e.g. `Sc^14(d=8)`.
+    pub instance: String,
+    /// Wall-clock of the uninterrupted cold repair.
+    pub cold: Duration,
+    /// Deadline the aborted run was given (starts at half the cold time;
+    /// widened if it fired before the first checkpointable boundary).
+    pub abort_after: Duration,
+    /// Offer index recorded in the slot the abort left behind.
+    pub checkpoint_iteration: u64,
+    /// Wall-clock of the repair resumed from the slot.
+    pub resumed: Duration,
+    /// `cold / resumed`.
+    pub speedup: f64,
+    /// Root-for-root parity between the resumed and the cold repair
+    /// (cold roots exported, re-imported into the resumed manager, and
+    /// compared — order-robust).
+    pub parity: bool,
+    /// Resumed repair independently re-verified (masking + realizability).
+    pub verified: bool,
+}
+
+/// The checkpoint-resume ablation: cold-repair the chain, re-run it under
+/// a deadline with a [`Checkpointer`] writing into a real
+/// [`CheckpointStore`] (the abort's forced write lands the resume point),
+/// then repair once more seeded from the reopened slot and compare.
+///
+/// [`Checkpointer`]: ftrepair_core::Checkpointer
+/// [`CheckpointStore`]: ftrepair_store::CheckpointStore
+pub fn ablation_checkpoint_resume(sizes: &[(usize, u64)]) -> Vec<CheckpointResumeRow> {
+    use ftrepair_core::{lazy_repair_warm, CheckpointPolicy, Checkpointer, Token, WarmSeeds};
+    use ftrepair_store::{
+        content_key, find_artifact, CheckpointStore, ART_INVARIANT, ART_MS, ART_SPAN,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let store_root =
+        std::env::temp_dir().join(format!("ftrepair-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let ckpts = Arc::new(CheckpointStore::open(&store_root).expect("open bench checkpoint store"));
+    let tele = Telemetry::off();
+
+    let rows = sizes
+        .iter()
+        .map(|&(n, d)| {
+            let instance = format!("Sc^{n}(d={d})");
+            let opts = RepairOptions::default();
+            let src = warm_chain_spec(n, d, false);
+            let ast = ftrepair_lang::parse(&src).expect("chain parses");
+            let factory = || ftrepair_lang::compile(&ast).expect("chain compiles");
+            let key = content_key(&src, "lazy");
+
+            // Cold baseline, roots exported for the parity check.
+            let mut cold_prog = factory();
+            let t0 = Instant::now();
+            let cold_out = lazy_repair_warm(
+                &mut cold_prog,
+                &opts,
+                &tele,
+                &Token::unbounded(),
+                &WarmSeeds::none(),
+            )
+            .expect("unbounded run cannot abort");
+            let cold = t0.elapsed();
+            assert!(!cold_out.failed, "cold repair failed on {instance}");
+            let cold_exports = {
+                let m = cold_prog.cx.mgr_ref();
+                [m.export(cold_out.invariant), m.export(cold_out.span), m.export(cold_out.trans)]
+            };
+            drop(cold_prog);
+
+            // Aborted run: a deadline at half the cold time; the offer
+            // preceding the aborting governance check force-writes the
+            // slot. A deadline that fires before the first boundary with
+            // anything to save leaves no slot — widen and retry; one that
+            // the whole repair beats (timer noise) is shrunk.
+            let mut abort_after = cold / 2;
+            for attempt in 0.. {
+                assert!(attempt < 6, "no checkpoint slot after {attempt} attempts on {instance}");
+                let _ = ckpts.clear(&key);
+                let sink_store = Arc::clone(&ckpts);
+                let sink_key = key.clone();
+                let token = Token::deadline_in(abort_after).with_checkpointer(Arc::new(
+                    Checkpointer::new(CheckpointPolicy::default(), move |img| {
+                        let arts = [
+                            (ART_INVARIANT.to_string(), img.invariant.clone()),
+                            (ART_SPAN.to_string(), img.span.clone()),
+                            (ART_MS.to_string(), img.ms.clone()),
+                        ];
+                        sink_store
+                            .put(&sink_key, img.iteration, &arts)
+                            .expect("bench checkpoint write");
+                    }),
+                ));
+                let mut prog = factory();
+                match lazy_repair_warm(&mut prog, &opts, &tele, &token, &WarmSeeds::none()) {
+                    Err(_) if ckpts.get(&key).is_some() => break,
+                    Err(_) => abort_after += cold / 4,
+                    Ok(_) => abort_after = abort_after.mul_f64(0.5),
+                }
+            }
+            let slot = ckpts.get(&key).expect("slot exists after the retry loop");
+
+            // Resume: reopen the slot off disk, seed, run to completion.
+            let mut prog = factory();
+            let seeds = WarmSeeds {
+                invariant: find_artifact(&slot.artifacts, ART_INVARIANT)
+                    .map(|a| prog.cx.mgr().try_import(a).expect("invariant imports")),
+                span: find_artifact(&slot.artifacts, ART_SPAN)
+                    .map(|a| prog.cx.mgr().try_import(a).expect("span imports")),
+            };
+            assert!(!seeds.is_empty(), "slot for {instance} is missing its artifacts");
+            for seed_root in seeds.roots() {
+                prog.cx.mgr().protect(seed_root);
+            }
+            let t0 = Instant::now();
+            let out = lazy_repair_warm(&mut prog, &opts, &tele, &Token::unbounded(), &seeds)
+                .expect("unbounded run cannot abort");
+            let resumed = t0.elapsed();
+            assert!(!out.failed, "resumed repair failed on {instance}");
+            let verified = {
+                let (m, r) = verify_outcome(&mut prog, &out);
+                m.ok() && r.ok()
+            };
+            let parity = {
+                let m = prog.cx.mgr();
+                m.try_import(&cold_exports[0]) == Ok(out.invariant)
+                    && m.try_import(&cold_exports[1]) == Ok(out.span)
+                    && m.try_import(&cold_exports[2]) == Ok(out.trans)
+            };
+            CheckpointResumeRow {
+                instance,
+                cold,
+                abort_after,
+                checkpoint_iteration: slot.iteration,
+                resumed,
+                speedup: cold.as_secs_f64() / resumed.as_secs_f64().max(f64::EPSILON),
+                parity,
+                verified,
+            }
+        })
+        .collect();
+
+    let _ = std::fs::remove_dir_all(&store_root);
+    rows
+}
+
+/// Render checkpoint-resume ablation rows as a markdown table.
+pub fn render_checkpoint_resume(rows: &[CheckpointResumeRow], title: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "### {title}\n").unwrap();
+    writeln!(
+        out,
+        "| Instance | Cold total | Aborted after | Slot @ offer | Resumed total | Speedup | Parity | Verified |"
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|---|---|---|---|---|").unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "| {} | {:.3}s | {:.3}s | {} | {:.3}s | {:.2}× | {} | {} |",
+            r.instance,
+            r.cold.as_secs_f64(),
+            r.abort_after.as_secs_f64(),
+            r.checkpoint_iteration,
+            r.resumed.as_secs_f64(),
+            r.speedup,
+            if r.parity { "exact" } else { "DIVERGED" },
+            if r.verified { "yes" } else { "NO" },
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Render reorder-ablation rows as a markdown table. "Peak ×" is the
 /// baseline (`none`) peak divided by this row's peak — the factor by which
 /// the mode shrinks the repair's memory high-water mark.

@@ -218,6 +218,10 @@ pub fn add_masking_seeded(
     let mut p1;
     let mut fixpoint_iter = 0u64;
     loop {
+        // Offer (S₁, T₁, ms) before the abort check: if the token is about
+        // to fire, the forced write preserves exactly the state the abort
+        // would discard — the resume point for checkpoint-and-exit drains.
+        token.offer_checkpoint(&prog.cx, s1, t1, ms);
         token.check_governed(&prog.cx)?;
         fixpoint_iter += 1;
         let mut fixpoint_span = tele.span("step1.fixpoint");
@@ -264,6 +268,7 @@ pub fn add_masking_seeded(
 
         // (b) fault closure: faults must never exit the span.
         loop {
+            token.offer_checkpoint(cx, s1, t1, ms);
             token.check_governed(cx)?;
             let mut roots = live.to_vec();
             roots.push(t1);

@@ -8,7 +8,9 @@
 //! Checks are a single atomic load plus (when a deadline is armed) a clock
 //! read — negligible next to one symbolic image computation.
 
+use crate::checkpoint::Checkpointer;
 use crate::options::RepairOptions;
+use ftrepair_bdd::NodeId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,17 +47,21 @@ impl std::error::Error for RepairAborted {}
 /// queue) plus an optional absolute deadline. Cloning shares the flag, so
 /// one raise cancels every sibling — the parallel Step 2 hands a clone to
 /// each worker.
+/// A token may also carry a [`Checkpointer`]; the repair loops offer their
+/// fixpoint state to it at the same boundaries they poll the token, so an
+/// abort (drain, deadline, node budget) leaves a resume point behind.
 #[derive(Clone, Debug, Default)]
 pub struct Token {
     flag: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
+    ckpt: Option<Arc<Checkpointer>>,
 }
 
 impl Token {
     /// A token that never fires — the default for every caller that does
     /// not opt into deadlines.
     pub fn unbounded() -> Token {
-        Token { flag: None, deadline: None }
+        Token { flag: None, deadline: None, ckpt: None }
     }
 
     /// Arm the deadline from [`RepairOptions::deadline`], relative to now.
@@ -68,12 +74,12 @@ impl Token {
 
     /// A token that times out `budget` from now.
     pub fn deadline_in(budget: Duration) -> Token {
-        Token { flag: None, deadline: Some(Instant::now() + budget) }
+        Token { flag: None, deadline: Some(Instant::now() + budget), ckpt: None }
     }
 
     /// A token that times out at `at`.
     pub fn deadline_at(at: Instant) -> Token {
-        Token { flag: None, deadline: Some(at) }
+        Token { flag: None, deadline: Some(at), ckpt: None }
     }
 
     /// Attach a shared cancellation flag (keeps any existing deadline).
@@ -87,6 +93,17 @@ impl Token {
         let at = Instant::now() + budget;
         let deadline = Some(self.deadline.map_or(at, |d| d.min(at)));
         Token { deadline, ..self }
+    }
+
+    /// Attach a checkpointer (keeps flag and deadline). Clones share it, so
+    /// checkpoints from a job's token land in one slot.
+    pub fn with_checkpointer(self, ckpt: Arc<Checkpointer>) -> Token {
+        Token { ckpt: Some(ckpt), ..self }
+    }
+
+    /// The attached checkpointer, if any.
+    pub fn checkpointer(&self) -> Option<&Arc<Checkpointer>> {
+        self.ckpt.as_ref()
     }
 
     /// Has the cancellation flag been raised?
@@ -124,6 +141,26 @@ impl Token {
             return Err(RepairAborted::ResourceExhausted);
         }
         Ok(())
+    }
+
+    /// Offer the loop's current fixpoint state to the attached
+    /// checkpointer, if any. Call immediately *before* [`check_governed`]
+    /// at the same boundary: when that check is about to abort the run
+    /// (cancel, deadline, exhausted node budget), the write is forced so
+    /// the state the abort would discard survives as a resume point.
+    ///
+    /// [`check_governed`]: Token::check_governed
+    pub fn offer_checkpoint(
+        &self,
+        cx: &ftrepair_symbolic::SymbolicContext,
+        invariant: NodeId,
+        span: NodeId,
+        ms: NodeId,
+    ) {
+        if let Some(ckpt) = &self.ckpt {
+            let abort_imminent = self.check_governed(cx).is_err();
+            ckpt.offer(cx, invariant, span, ms, abort_imminent);
+        }
     }
 }
 
@@ -173,6 +210,34 @@ mod tests {
     fn options_deadline_arms_the_token() {
         let opts = RepairOptions { deadline: Some(Duration::ZERO), ..Default::default() };
         assert_eq!(Token::from_options(&opts).check(), Err(RepairAborted::Timeout));
+    }
+
+    #[test]
+    fn offer_checkpoint_forces_a_write_when_the_token_is_about_to_abort() {
+        use crate::checkpoint::{CheckpointPolicy, Checkpointer};
+        use ftrepair_bdd::FALSE;
+
+        // Cadence fully disabled: only the abort-imminent force can write.
+        let policy =
+            CheckpointPolicy { every_offers: 0, min_interval: Duration::ZERO, node_delta: 0 };
+        let ck = Arc::new(Checkpointer::new(policy, |_| {}));
+        let cx = ftrepair_symbolic::SymbolicContext::new();
+
+        let healthy = Token::unbounded().with_checkpointer(Arc::clone(&ck));
+        healthy.offer_checkpoint(&cx, FALSE, FALSE, FALSE);
+        assert_eq!(ck.writes(), 0, "healthy token: policy says no write");
+
+        let expired = Token::deadline_in(Duration::ZERO).with_checkpointer(Arc::clone(&ck));
+        expired.offer_checkpoint(&cx, FALSE, FALSE, FALSE);
+        assert_eq!(ck.writes(), 1, "imminent timeout forces the write");
+
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = Token::unbounded().with_flag(flag).with_checkpointer(Arc::clone(&ck));
+        cancelled.offer_checkpoint(&cx, FALSE, FALSE, FALSE);
+        assert_eq!(ck.writes(), 2, "imminent cancel forces the write");
+
+        // No checkpointer attached: a silent no-op, not a panic.
+        Token::unbounded().offer_checkpoint(&cx, FALSE, FALSE, FALSE);
     }
 
     #[test]

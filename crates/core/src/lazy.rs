@@ -183,6 +183,11 @@ fn lazy_repair_inner(
         }
         s_prime = r1.invariant;
 
+        // Step 1's converged (invariant, span, ms) is the natural resume
+        // point: offered as a checkpoint, it seeds a later run's Phase-3
+        // reachability exactly like a warm-start neighbor would.
+        token.offer_checkpoint(&prog.cx, s_prime, r1.span, r1.ms);
+
         // Per-iteration BDD shape: how big the invariant/fault-span grew
         // this round, and how full the arena is. Gated — `node_count`
         // walks the DAG, which is not free.
@@ -452,6 +457,83 @@ mod tests {
         let snap = tele.snapshot();
         assert_eq!(snap.counter("repair.outer_iterations"), 0, "aborted before iteration 1");
         assert_eq!(snap.counter("step2.picks"), 0);
+    }
+
+    #[test]
+    fn checkpoint_offers_fire_and_seed_a_resumed_run() {
+        use crate::checkpoint::{CheckpointImage, CheckpointPolicy, Checkpointer};
+        use std::sync::{Arc, Mutex};
+
+        let images: Arc<Mutex<Vec<CheckpointImage>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_images = Arc::clone(&images);
+        let policy = CheckpointPolicy {
+            every_offers: 1,
+            min_interval: std::time::Duration::ZERO,
+            node_delta: 0,
+        };
+        let ck = Arc::new(Checkpointer::new(policy, move |img: &CheckpointImage| {
+            sink_images.lock().unwrap().push(img.clone());
+        }));
+        let mut p = partial_view();
+        let token = Token::unbounded().with_checkpointer(Arc::clone(&ck));
+        let out =
+            lazy_repair_cancellable(&mut p, &RepairOptions::default(), &Telemetry::off(), &token)
+                .unwrap();
+        assert!(!out.failed);
+        assert!(ck.writes() >= 1, "every hooked boundary should have written");
+
+        // Resume path: import the last image into a fresh manager and use
+        // it as warm seeds — the exact mechanics of a post-crash resume.
+        let last = images.lock().unwrap().last().unwrap().clone();
+        let mut q = partial_view();
+        let seeds = WarmSeeds {
+            invariant: Some(q.cx.mgr().try_import(&last.invariant).expect("invariant imports")),
+            span: Some(q.cx.mgr().try_import(&last.span).expect("span imports")),
+        };
+        let resumed = lazy_repair_warm(
+            &mut q,
+            &RepairOptions::default(),
+            &Telemetry::off(),
+            &Token::unbounded(),
+            &seeds,
+        )
+        .unwrap();
+        assert!(!resumed.failed);
+        let (masking, realizability) = verify_outcome(&mut q, &resumed);
+        assert!(masking.ok(), "{masking:?}");
+        assert!(realizability.ok(), "{realizability:?}");
+        // Root-for-root parity with the uninterrupted run.
+        assert_eq!(p.cx.count_states(out.invariant), q.cx.count_states(resumed.invariant));
+        assert_eq!(p.cx.count_states(out.span), q.cx.count_states(resumed.span));
+    }
+
+    #[test]
+    fn cancel_after_a_snapshot_unwinds_with_the_checkpoint_intact() {
+        use crate::checkpoint::{CheckpointImage, CheckpointPolicy, Checkpointer};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // The drain scenario, scheduled deterministically: the sink raises
+        // the cancel flag the moment the first snapshot lands, so the very
+        // next `check_governed` at the same boundary aborts the run — and
+        // the state it discards has already been captured.
+        let flag = Arc::new(AtomicBool::new(false));
+        let sink_flag = Arc::clone(&flag);
+        let policy = CheckpointPolicy {
+            every_offers: 1,
+            min_interval: std::time::Duration::ZERO,
+            node_delta: 0,
+        };
+        let ck = Arc::new(Checkpointer::new(policy, move |_img: &CheckpointImage| {
+            sink_flag.store(true, Ordering::Relaxed);
+        }));
+        let mut p = partial_view();
+        let token =
+            Token::unbounded().with_flag(Arc::clone(&flag)).with_checkpointer(Arc::clone(&ck));
+        let r =
+            lazy_repair_cancellable(&mut p, &RepairOptions::default(), &Telemetry::off(), &token);
+        assert_eq!(r.unwrap_err(), RepairAborted::Cancelled);
+        assert_eq!(ck.writes(), 1, "exactly the snapshot that triggered the cancel");
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   process, each with its own BDD manager, shipped
 //!   [`ftrepair_bdd::SerializedBdd`]s) — our HPC extension; an ablation
 //!   bench quantifies it.
+//! * [`checkpoint`](crate::checkpoint) — mid-repair snapshots offered at
+//!   the same loop boundaries the cancellation [`Token`] polls, so a
+//!   drained, timed-out, or budget-killed run leaves a resume point a
+//!   later run can warm-start from.
 //! * [`report`](crate::report) — the JSONL run-report builder shared by the
 //!   CLI's `--metrics-out` and the bench tables; every algorithm above has
 //!   a `_traced` variant taking an [`ftrepair_telemetry::Telemetry`] handle
@@ -37,6 +41,7 @@
 pub mod add_masking;
 pub mod cancel;
 pub mod cautious;
+pub mod checkpoint;
 pub mod lazy;
 pub mod options;
 pub mod parallel;
@@ -53,6 +58,7 @@ pub use cancel::{RepairAborted, Token};
 pub use cautious::{
     cautious_repair, cautious_repair_cancellable, cautious_repair_traced, CautiousOutcome,
 };
+pub use checkpoint::{CheckpointImage, CheckpointPolicy, Checkpointer};
 pub use lazy::{
     lazy_repair, lazy_repair_cancellable, lazy_repair_traced, lazy_repair_warm, LazyOutcome,
 };

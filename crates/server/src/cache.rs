@@ -16,7 +16,7 @@
 //! distinct specs it has seen, and a hot key survives capacity pressure
 //! from a stream of one-off specs.
 
-use crate::job::SimBundle;
+use crate::job::SimStatus;
 use ftrepair_telemetry::{Counter, Json, Telemetry};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -33,9 +33,9 @@ pub struct CacheEntry {
     /// The full `/repair` response body (without the `cached` flag, which
     /// is stamped per response).
     pub response: Json,
-    /// Explicit-state bundle for fault-injection simulation; `None` when
-    /// the state space is too large to enumerate.
-    pub sim: Option<SimBundle>,
+    /// Explicit-state bundle for fault-injection simulation, or the
+    /// precise reason `/simulate` must refuse this entry.
+    pub sim: SimStatus,
 }
 
 struct Inner {
@@ -187,7 +187,7 @@ mod tests {
     use super::*;
 
     fn entry(key: &str) -> CacheEntry {
-        CacheEntry { key: key.to_string(), response: Json::obj(), sim: None }
+        CacheEntry { key: key.to_string(), response: Json::obj(), sim: SimStatus::Unavailable }
     }
 
     #[test]

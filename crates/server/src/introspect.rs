@@ -51,6 +51,13 @@ pub enum JobStatus {
     /// Aborted by the BDD node budget (HTTP 503) — the memory analogue of
     /// `Timeout`, reported instead of an OOM kill.
     Exhausted = 10,
+    /// Completed by boot recovery without recompute: the journal said the
+    /// job was in flight when the previous process died, but its result was
+    /// already durable in the disk store.
+    Recovered = 11,
+    /// Shed at shutdown: still queued when the drain deadline passed
+    /// (HTTP 503).
+    Abandoned = 12,
 }
 
 impl JobStatus {
@@ -67,6 +74,8 @@ impl JobStatus {
             JobStatus::Panicked => "panicked",
             JobStatus::DiskHit => "disk_hit",
             JobStatus::Exhausted => "exhausted",
+            JobStatus::Recovered => "recovered",
+            JobStatus::Abandoned => "abandoned",
         }
     }
 
@@ -82,6 +91,8 @@ impl JobStatus {
             8 => JobStatus::Panicked,
             9 => JobStatus::DiskHit,
             10 => JobStatus::Exhausted,
+            11 => JobStatus::Recovered,
+            12 => JobStatus::Abandoned,
             _ => JobStatus::Running,
         }
     }

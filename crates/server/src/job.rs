@@ -6,7 +6,7 @@
 use ftrepair_bdd::{NodeId, SerializedBdd};
 use ftrepair_core::{
     build_run_report, cautious_repair_cancellable, lazy_repair_warm, verify::verify_outcome,
-    LazyOutcome, RepairAborted, RepairOptions, RepairStats, Token, WarmSeeds,
+    LazyOutcome, ReorderMode, RepairAborted, RepairOptions, RepairStats, Token, WarmSeeds,
 };
 use ftrepair_explicit::extract::{bdd_to_edges, bdd_to_states, ExplicitProgram};
 use ftrepair_explicit::simulate::{simulate, SimConfig, SimFailure, SimReport};
@@ -76,7 +76,7 @@ pub struct JobSpec {
 /// bound whether a job finishes, never what it computes, so including them
 /// would fragment the cache — the same spec run under ten budgets would
 /// compute the same repair ten times.
-fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
+pub fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
     format!(
         "{}:r{}c{}e{}p{}t{}m{}:{}",
         mode.as_str(),
@@ -88,6 +88,55 @@ fn options_fingerprint(mode: Mode, o: &RepairOptions) -> String {
         o.max_outer_iterations,
         o.reorder.as_str(),
     )
+}
+
+/// Invert [`options_fingerprint`]: parse `"lazy:r1c1e1p0t1m32:auto"` back
+/// into the mode and options it encodes. Used by boot recovery to replay a
+/// journaled job exactly as it was submitted — the journal stores the
+/// fingerprint, not the options struct, so the two stay in lockstep by
+/// construction (see the roundtrip test). Budgets (`deadline`,
+/// `max_nodes`) are not in the fingerprint; the caller re-applies the
+/// server's own limits.
+pub fn options_from_fingerprint(s: &str) -> Option<(Mode, RepairOptions)> {
+    fn flag(rest: &str, tag: char) -> Option<(bool, &str)> {
+        let rest = rest.strip_prefix(tag)?;
+        let value = match rest.as_bytes().first()? {
+            b'0' => false,
+            b'1' => true,
+            _ => return None,
+        };
+        Some((value, &rest[1..]))
+    }
+    let mut parts = s.split(':');
+    let mode = match parts.next()? {
+        "lazy" => Mode::Lazy,
+        "cautious" => Mode::Cautious,
+        _ => return None,
+    };
+    let flags = parts.next()?;
+    let reorder = ReorderMode::parse(parts.next()?)?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let (restrict_to_reachable, rest) = flag(flags, 'r')?;
+    let (step2_closed_form, rest) = flag(rest, 'c')?;
+    let (use_expand_group, rest) = flag(rest, 'e')?;
+    let (parallel_step2, rest) = flag(rest, 'p')?;
+    let (allow_new_terminal_inside, rest) = flag(rest, 't')?;
+    let max_outer_iterations = rest.strip_prefix('m')?.parse().ok()?;
+    Some((
+        mode,
+        RepairOptions {
+            restrict_to_reachable,
+            step2_closed_form,
+            use_expand_group,
+            parallel_step2,
+            allow_new_terminal_inside,
+            max_outer_iterations,
+            reorder,
+            ..RepairOptions::default()
+        },
+    ))
 }
 
 /// Parse and canonicalize a spec. The error string is ready to serve as an
@@ -113,6 +162,57 @@ pub struct SimBundle {
     pub invariant: HashSet<u32>,
 }
 
+/// Whether a cached repair can answer `/simulate` — and when it cannot,
+/// precisely why, so the refusal is an explained `422` rather than a
+/// panic or a shrug. (This used to be `Option<SimBundle>`, which conflated
+/// "state space over the cap" with "count overflowed u64" with "artifacts
+/// would not rebuild".)
+#[derive(Clone, Debug)]
+pub enum SimStatus {
+    /// The instance enumerated; simulation can run. Boxed: the bundle
+    /// carries a full explicit program and dwarfs the other variants.
+    Ready(Box<SimBundle>),
+    /// The state space is over [`SIM_STATE_CAP`]. `states` carries the
+    /// exact count when it fit in a `u64`, `None` when even the count
+    /// overflowed.
+    TooLarge {
+        /// Exact state count, when representable.
+        states: Option<u64>,
+    },
+    /// No bundle exists: it was not requested at repair time, or the
+    /// stored artifacts could not be rebuilt into one.
+    Unavailable,
+}
+
+impl SimStatus {
+    /// The bundle, when simulation can run.
+    pub fn ready(&self) -> Option<&SimBundle> {
+        match self {
+            SimStatus::Ready(bundle) => Some(bundle),
+            _ => None,
+        }
+    }
+
+    /// The `422` body explaining why `/simulate` cannot run against this
+    /// entry. Meaningless for [`SimStatus::Ready`].
+    pub fn refusal(&self) -> String {
+        match self {
+            SimStatus::Ready(_) => "simulation available".to_string(),
+            SimStatus::TooLarge { states: Some(n) } => format!(
+                "state space exceeds {SIM_STATE_CAP} states ({n}); \
+                 simulation is reserved for oracle-sized instances"
+            ),
+            SimStatus::TooLarge { states: None } => format!(
+                "state space exceeds {SIM_STATE_CAP} states (count overflows u64); \
+                 simulation is reserved for oracle-sized instances"
+            ),
+            SimStatus::Unavailable => "simulation bundle unavailable for this entry; \
+                 resubmit the spec with a fresh repair to rebuild it"
+                .to_string(),
+        }
+    }
+}
+
 /// A finished repair job.
 #[derive(Debug)]
 pub struct JobResult {
@@ -124,8 +224,8 @@ pub struct JobResult {
     pub failed: bool,
     /// Did the output pass the independent verifiers?
     pub verified: bool,
-    /// Explicit bundle for simulation, when the instance is small enough.
-    pub sim: Option<SimBundle>,
+    /// Explicit bundle for simulation, or the reason there is none.
+    pub sim: SimStatus,
     /// Repair statistics (iterations, phase times) for job introspection.
     pub stats: RepairStats,
     /// Serialized BDD artifacts (repaired transition relation, invariant,
@@ -329,7 +429,7 @@ pub fn execute_store(
         }
     }
 
-    let mut sim = None;
+    let mut sim = SimStatus::Unavailable;
     let mut artifacts = None;
     if !out.failed {
         report.set("verified", verified.into());
@@ -382,36 +482,46 @@ fn render_repaired(prog: &mut ftrepair_program::DistributedProgram, out: &LazyOu
     text
 }
 
-/// Enumerate the repaired program if it is small enough, `None` otherwise.
+/// Enumerate the repaired program if it is small enough; otherwise report
+/// exactly how oversized it is (count, or `None` when the product of the
+/// variable domains overflows `u64` — those are different refusals).
 fn build_sim_bundle(
     prog: &mut ftrepair_program::DistributedProgram,
     trans: NodeId,
     invariant: NodeId,
-) -> Option<SimBundle> {
-    let mut states: u64 = 1;
+) -> SimStatus {
+    let mut states: Option<u64> = Some(1);
     for v in prog.cx.var_ids() {
-        states = states.checked_mul(prog.cx.info(v).size)?;
-        if states > SIM_STATE_CAP {
-            return None;
-        }
+        states = states.and_then(|s| s.checked_mul(prog.cx.info(v).size));
     }
-    let explicit = ExplicitProgram::from_symbolic(prog);
-    let trans = bdd_to_edges(prog, &explicit.space, trans);
-    let invariant = bdd_to_states(prog, &explicit.space, invariant);
-    Some(SimBundle { explicit, trans, invariant })
+    match states {
+        Some(n) if n <= SIM_STATE_CAP => {
+            let explicit = ExplicitProgram::from_symbolic(prog);
+            let trans = bdd_to_edges(prog, &explicit.space, trans);
+            let invariant = bdd_to_states(prog, &explicit.space, invariant);
+            SimStatus::Ready(Box::new(SimBundle { explicit, trans, invariant }))
+        }
+        over => SimStatus::TooLarge { states: over },
+    }
 }
 
 /// Reconstruct the `/simulate` bundle for a repair promoted from the disk
 /// store: recompile the spec and import the stored transition-relation and
-/// invariant artifacts. Returns `None` when anything is off — a missing
-/// artifact, an import mismatch, or a state space over [`SIM_STATE_CAP`] —
-/// the promoted entry then simply answers `/simulate` with the too-large
-/// explanation, same as a fresh oversized repair.
-pub fn rebuild_sim_bundle(ast: &Ast, artifacts: &[(String, SerializedBdd)]) -> Option<SimBundle> {
-    let mut prog = ftrepair_lang::compile(ast).ok()?;
-    let trans = prog.cx.mgr().try_import(find_artifact(artifacts, ART_TRANS)?).ok()?;
-    let invariant = prog.cx.mgr().try_import(find_artifact(artifacts, ART_INVARIANT)?).ok()?;
-    build_sim_bundle(&mut prog, trans, invariant)
+/// invariant artifacts. A missing artifact or an import mismatch yields
+/// [`SimStatus::Unavailable`]; an oversized state space yields the same
+/// [`SimStatus::TooLarge`] a fresh repair would — each refuses `/simulate`
+/// with its own explanation.
+pub fn rebuild_sim_bundle(ast: &Ast, artifacts: &[(String, SerializedBdd)]) -> SimStatus {
+    let Ok(mut prog) = ftrepair_lang::compile(ast) else {
+        return SimStatus::Unavailable;
+    };
+    let trans = find_artifact(artifacts, ART_TRANS).and_then(|a| prog.cx.mgr().try_import(a).ok());
+    let invariant =
+        find_artifact(artifacts, ART_INVARIANT).and_then(|a| prog.cx.mgr().try_import(a).ok());
+    match (trans, invariant) {
+        (Some(trans), Some(invariant)) => build_sim_bundle(&mut prog, trans, invariant),
+        _ => SimStatus::Unavailable,
+    }
 }
 
 /// Run one fault-injection batch against a bundle.
@@ -504,13 +614,79 @@ mod tests {
         assert_eq!(result.response.get("ok").unwrap().as_bool(), Some(true));
         assert!(result.response.get("program").unwrap().as_str().unwrap().contains("(x = 2) ->"));
 
-        let bundle = result.sim.expect("3 states is well under the cap");
-        let report = run_simulation(&bundle, &SimConfig::default(), 7);
+        let bundle = match &result.sim {
+            SimStatus::Ready(bundle) => bundle,
+            other => panic!("3 states is well under the cap, got {}", other.refusal()),
+        };
+        let report = run_simulation(bundle, &SimConfig::default(), 7);
         assert!(report.ok(), "{:?}", report.failure);
         assert!(report.faults_injected > 0);
         let j = sim_report_json(&report, 7);
         assert_eq!(j.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(j.get("failure"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn oversized_state_space_degrades_to_too_large_not_a_panic() {
+        // Same toggle program, but with a 10 000-value domain: far over
+        // SIM_STATE_CAP, so the bundle must degrade to an explained
+        // refusal instead of enumerating (or panicking a worker).
+        let big = TOGGLE.replace("0..2", "0..9999");
+        let ast = ftrepair_lang::parse(&big).unwrap();
+        let mut prog = ftrepair_lang::compile(&ast).unwrap();
+        let status = build_sim_bundle(&mut prog, ftrepair_bdd::FALSE, ftrepair_bdd::FALSE);
+        match &status {
+            SimStatus::TooLarge { states: Some(n) } => assert_eq!(*n, 10_000),
+            other => panic!("expected TooLarge with an exact count, got {other:?}"),
+        }
+        assert!(status.refusal().contains("state space exceeds"), "{}", status.refusal());
+        assert!(status.refusal().contains("10000"), "{}", status.refusal());
+        assert!(status.ready().is_none());
+    }
+
+    #[test]
+    fn sim_refusals_distinguish_their_causes() {
+        let overflow = SimStatus::TooLarge { states: None };
+        assert!(overflow.refusal().contains("overflows u64"), "{}", overflow.refusal());
+        let missing = SimStatus::Unavailable;
+        assert!(missing.refusal().contains("unavailable"), "{}", missing.refusal());
+    }
+
+    #[test]
+    fn options_fingerprint_roundtrips_through_the_parser() {
+        // Every (mode, flag, reorder) combination the fingerprint can
+        // encode must replay to options that re-fingerprint identically —
+        // this is what makes journal replay faithful to the original
+        // submission.
+        let variants = [
+            RepairOptions::default(),
+            RepairOptions::pure_lazy(),
+            RepairOptions {
+                step2_closed_form: false,
+                parallel_step2: true,
+                allow_new_terminal_inside: false,
+                max_outer_iterations: 7,
+                reorder: ReorderMode::Sift,
+                ..RepairOptions::default()
+            },
+            RepairOptions {
+                use_expand_group: false,
+                reorder: ReorderMode::None,
+                ..Default::default()
+            },
+        ];
+        for mode in [Mode::Lazy, Mode::Cautious] {
+            for opts in &variants {
+                let fp = options_fingerprint(mode, opts);
+                let (mode2, opts2) =
+                    options_from_fingerprint(&fp).unwrap_or_else(|| panic!("parses: {fp}"));
+                assert_eq!(mode2, mode, "{fp}");
+                assert_eq!(options_fingerprint(mode2, &opts2), fp, "roundtrip: {fp}");
+            }
+        }
+        assert!(options_from_fingerprint("lazy:r1c1e1p0t1m32").is_none(), "missing reorder part");
+        assert!(options_from_fingerprint("eager:r1c1e1p0t1m32:auto").is_none(), "unknown mode");
+        assert!(options_from_fingerprint("lazy:r1c1e1p0t9m32:auto").is_none(), "bad flag bit");
     }
 
     #[test]

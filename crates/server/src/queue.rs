@@ -80,6 +80,15 @@ impl<T> JobQueue<T> {
         self.available.notify_all();
     }
 
+    /// Take every still-queued job at once, leaving the queue empty. The
+    /// shutdown drain deadline uses this: jobs that did not get a worker in
+    /// time are pulled out en masse and answered `503` instead of being
+    /// silently dropped when the process exits.
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut s = self.state.lock().unwrap();
+        s.items.drain(..).collect()
+    }
+
     /// Jobs currently waiting (diagnostic; racy by nature).
     pub fn len(&self) -> usize {
         self.state.lock().unwrap().items.len()
@@ -129,6 +138,16 @@ mod tests {
         assert_eq!(q.pop(), None);
         // And pushes are refused.
         assert_eq!(q.try_push(8).unwrap_err().1, PushError::Closed);
+    }
+
+    #[test]
+    fn drain_remaining_empties_the_queue_in_order() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.drain_remaining(), vec![1, 2]);
+        assert_eq!(q.pop(), None, "drained queue hands out nothing further");
     }
 
     #[test]

@@ -17,12 +17,15 @@ use crate::cache::{CacheEntry, PoisonList, ResultCache};
 use crate::flight::InFlight;
 use crate::http::{self, Request};
 use crate::introspect::{JobRecord, JobRing, JobStatus, JOB_RING_CAP};
-use crate::job::{self, Mode};
+use crate::job::{self, Mode, SimStatus};
 use crate::queue::{JobQueue, PushError};
 use crate::signal;
-use ftrepair_core::{RepairAborted, RepairOptions, Token};
+use ftrepair_core::{CheckpointPolicy, Checkpointer, RepairAborted, RepairOptions, Token};
 use ftrepair_explicit::simulate::SimConfig;
-use ftrepair_store::{DiskStore, NewEntry as StoreWrite, ART_INVARIANT, ART_SPAN};
+use ftrepair_store::{
+    find_artifact, CheckpointStore, DiskStore, JobJournal, JournalRecord, NewEntry as StoreWrite,
+    ART_INVARIANT, ART_MS, ART_SPAN,
+};
 use ftrepair_telemetry::report::set_snapshot_fields;
 use ftrepair_telemetry::trace::{format_trace_id, mint_trace_id, parse_trace_id};
 use ftrepair_telemetry::{prometheus, Histogram, Json, RunReport, Telemetry, SCHEMA_VERSION};
@@ -30,7 +33,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -89,6 +92,19 @@ pub struct ServerConfig {
     pub breaker_backoff: Duration,
     /// Ceiling of the breaker's backoff.
     pub breaker_max_backoff: Duration,
+    /// Durable job journal (`serve --journal`): every job is recorded
+    /// before it executes and marked complete when it finishes, so a
+    /// `kill -9` mid-repair loses no accepted work — the next boot scans
+    /// the journal and replays whatever is incomplete. `None` disables
+    /// journaling (no recovery, no WAL writes).
+    pub journal: Option<PathBuf>,
+    /// Bound on the graceful-shutdown drain. Jobs still *queued* when this
+    /// deadline passes are answered `503` and counted under
+    /// `server.jobs.abandoned`; jobs already *running* are cancelled at
+    /// their next token checkpoint — which forces a final mid-repair
+    /// checkpoint when checkpointing is on, and leaves journaled jobs
+    /// pending so the next boot resumes them.
+    pub drain_timeout: Duration,
     /// Filesystem implementation handed to the disk store — tests inject
     /// an `ErrInjFs` here to fault the volume on purpose.
     #[cfg(any(test, feature = "chaos"))]
@@ -118,6 +134,8 @@ impl Default for ServerConfig {
             breaker_threshold: 3,
             breaker_backoff: Duration::from_millis(500),
             breaker_max_backoff: Duration::from_secs(30),
+            journal: None,
+            drain_timeout: Duration::from_secs(30),
             #[cfg(any(test, feature = "chaos"))]
             store_vfs: None,
             #[cfg(any(test, feature = "chaos"))]
@@ -168,6 +186,24 @@ struct Shared {
     job_max_nodes: usize,
     default_reorder: ftrepair_core::ReorderMode,
     degraded_window: Duration,
+    /// Write-ahead job journal (`--journal`); `None` disables recovery.
+    journal: Option<JobJournal>,
+    /// Per-key mid-repair checkpoint slots. Present whenever the store or
+    /// the journal gives them a durable home; absent in pure-memory mode.
+    ckpts: Option<Arc<CheckpointStore>>,
+    /// Incomplete journal records found at boot (each is either completed
+    /// from the store without recompute, or replayed).
+    recovered: AtomicU64,
+    /// Recovered records that actually re-executed.
+    replayed: AtomicU64,
+    /// Jobs shed at the shutdown drain deadline.
+    abandoned: AtomicU64,
+    /// Pending journal records the boot scan found (frozen at bind).
+    pending_at_boot: u64,
+    /// Connections (and boot replays) a worker is currently handling —
+    /// what the bounded drain waits on.
+    active: AtomicUsize,
+    drain_timeout: Duration,
     workers: usize,
     /// Workers currently inside their serve loop (dips while the
     /// supervisor recycles one, returns to `workers` after).
@@ -212,6 +248,88 @@ impl Shared {
             self.breaker.record_success();
         }
         Some(out)
+    }
+
+    /// WAL a job before it executes (no-op without `--journal`). Once the
+    /// fsynced append returns, a crash at any later point leaves the job
+    /// recoverable from the journal alone. Append failures are counted and
+    /// logged, never fatal — journaling is crash insurance, not a hard
+    /// dependency of the response path.
+    fn journal_start(&self, spec: &job::JobSpec, trace_id: u64) {
+        if let Some(journal) = &self.journal {
+            let rec = JournalRecord {
+                key: spec.key.clone(),
+                case: spec.name.clone(),
+                mode: spec.mode.as_str().to_string(),
+                trace_id: format_trace_id(trace_id),
+                opts: job::options_fingerprint(spec.mode, &spec.opts),
+                spec: spec.canonical.clone(),
+            };
+            if let Err(e) = journal.append_start(&rec) {
+                self.tele.add("telemetry.write_errors", 1);
+                eprintln!("ftrepair-server: journal start for {} failed: {e}", spec.key);
+            }
+        }
+    }
+
+    /// Journal a terminal outcome for `key` (no-op without `--journal`).
+    /// Deliberately *not* called for `Cancelled` aborts: a drain-cancelled
+    /// job stays pending so the next boot resumes it — that is the
+    /// checkpoint-and-exit contract.
+    fn journal_done(&self, key: &str, outcome: &str) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append_done(key, outcome) {
+                self.tele.add("telemetry.write_errors", 1);
+                eprintln!("ftrepair-server: journal done for {key} failed: {e}");
+            }
+        }
+    }
+
+    /// The checkpoint sink for one job: every policy-approved offer from
+    /// the repair loops lands the job's current `(invariant, span, ms)` in
+    /// its slot — crash-safely, so the slot is always the previous or the
+    /// new snapshot, never a torn one.
+    fn checkpointer_for(&self, key: &str) -> Option<Arc<Checkpointer>> {
+        let ckpts = Arc::clone(self.ckpts.as_ref()?);
+        let key = key.to_string();
+        let tele = self.tele.clone();
+        Some(Arc::new(Checkpointer::new(CheckpointPolicy::default(), move |img| {
+            match ckpts.put(
+                &key,
+                img.iteration,
+                &[
+                    (ART_INVARIANT.to_string(), img.invariant.clone()),
+                    (ART_SPAN.to_string(), img.span.clone()),
+                    (ART_MS.to_string(), img.ms.clone()),
+                ],
+            ) {
+                Ok(()) => tele.add("server.jobs.checkpoints_written", 1),
+                Err(e) => {
+                    tele.add("telemetry.write_errors", 1);
+                    eprintln!("ftrepair-server: checkpoint write for {key} failed: {e}");
+                }
+            }
+        })))
+    }
+
+    /// A previous incarnation's mid-repair snapshot for this exact key,
+    /// repackaged as warm-start seeds (distance 0): a resumed run seeds
+    /// Step 1 from where the interrupted one stopped instead of from zero.
+    /// Lazy mode only — the cautious baseline has no seedable phase.
+    fn checkpoint_resume(&self, spec: &job::JobSpec) -> Option<job::WarmInfo> {
+        if spec.mode != Mode::Lazy {
+            return None;
+        }
+        let slot = self.ckpts.as_ref()?.get(&spec.key)?;
+        let invariant = find_artifact(&slot.artifacts, ART_INVARIANT)?.clone();
+        let span = find_artifact(&slot.artifacts, ART_SPAN)?.clone();
+        self.tele.add("server.jobs.checkpoint_resumes", 1);
+        Some(job::WarmInfo {
+            neighbor: format!("checkpoint@{}", slot.iteration),
+            distance: 0,
+            invariant,
+            span,
+        })
     }
 
     fn note_worker_fault(&self) {
@@ -308,6 +426,9 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    /// Pending journal records the boot scan found; `run` replays them on
+    /// a dedicated thread while the accept loop serves fresh traffic.
+    recovery: Vec<JournalRecord>,
 }
 
 /// Bind with `SO_REUSEADDR` so a restarted daemon can reclaim its port
@@ -393,6 +514,42 @@ impl Server {
             }
             None => None,
         };
+        // The WAL: scan for work the previous incarnation accepted but
+        // never finished. The scan also compacts the file, so journal
+        // growth is bounded by the in-flight set.
+        let mut recovery = Vec::new();
+        let mut pending_at_boot = 0u64;
+        let journal = match &config.journal {
+            Some(path) => {
+                let (journal, scan) = JobJournal::open(path)?;
+                if !scan.pending.is_empty() || scan.dropped_lines > 0 {
+                    eprintln!(
+                        "ftrepair-server: journal {}: {} pending job(s) to recover, \
+                         {} completed, {} torn line(s) dropped",
+                        path.display(),
+                        scan.pending.len(),
+                        scan.completed,
+                        scan.dropped_lines
+                    );
+                }
+                pending_at_boot = scan.pending.len() as u64;
+                recovery = scan.pending;
+                Some(journal)
+            }
+            None => None,
+        };
+        // Checkpoint slots live beside the store when there is one, else
+        // beside the journal; without either durable root, mid-repair
+        // checkpointing is off (there is nowhere to resume from anyway).
+        let ckpt_root = config
+            .store_dir
+            .as_ref()
+            .map(|dir| dir.join("checkpoints"))
+            .or_else(|| config.journal.as_ref().map(|p| p.with_file_name("checkpoints")));
+        let ckpts = match ckpt_root {
+            Some(root) => Some(Arc::new(CheckpointStore::open(&root)?)),
+            None => None,
+        };
         // Seeded per-process: a fleet sharing one sick volume must not
         // probe it in lockstep, which is the whole point of the jitter.
         let breaker = Breaker::new(
@@ -428,6 +585,14 @@ impl Server {
             job_max_nodes: config.job_max_nodes,
             default_reorder: config.reorder,
             degraded_window: config.degraded_window,
+            journal,
+            ckpts,
+            recovered: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+            pending_at_boot,
+            active: AtomicUsize::new(0),
+            drain_timeout: config.drain_timeout,
             workers,
             workers_alive: Mutex::new(0),
             last_worker_fault: Mutex::new(None),
@@ -436,7 +601,7 @@ impl Server {
             #[cfg(any(test, feature = "chaos"))]
             chaos: config.chaos.clone(),
         });
-        Ok(Server { listener, shared })
+        Ok(Server { listener, shared, recovery })
     }
 
     /// The actual bound address (resolves port 0).
@@ -452,7 +617,7 @@ impl Server {
     /// Run until shutdown is requested (signal or handle), then drain
     /// in-flight jobs, write the summary report, and return.
     pub fn run(self) -> io::Result<()> {
-        let Server { listener, shared } = self;
+        let Server { listener, shared, recovery } = self;
         listener.set_nonblocking(true)?;
         let accepted = shared.tele.counter("server.http.accepted");
         let rejected = shared.tele.counter("server.http.rejected_busy");
@@ -465,6 +630,16 @@ impl Server {
             let store = Arc::clone(store);
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || store_writer(&shared, &store))
+        });
+
+        // Boot recovery runs on its own thread so a slow replay never
+        // delays the accept loop. Joined before the store-write queue
+        // closes (replays enqueue write-throughs like any other job); the
+        // bounded drain covers it via `active`, and a shutdown mid-replay
+        // leaves the untouched records pending for the next boot.
+        let recoverer = (!recovery.is_empty()).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || recover_jobs(&shared, recovery))
         });
 
         std::thread::scope(|scope| {
@@ -500,28 +675,7 @@ impl Server {
                                 PushError::Closed => "server is shutting down",
                             });
                             let _ = http::write_response(&mut stream, 429, JSON, &body);
-                            // Drain whatever request bytes the client already
-                            // sent before closing: dropping a socket with
-                            // unread data provokes an RST that can destroy
-                            // the 429 before the peer reads it. This runs on
-                            // the accept thread, so it is bounded by a total
-                            // deadline AND a byte budget — per-read timeouts
-                            // alone would let a trickling client stall
-                            // accepts indefinitely.
-                            use io::Read;
-                            let deadline = Instant::now() + Duration::from_millis(100);
-                            let mut budget: usize = 64 << 10;
-                            let mut sink = [0u8; 4096];
-                            while budget > 0 {
-                                let left = deadline.saturating_duration_since(Instant::now());
-                                if left.is_zero() || stream.set_read_timeout(Some(left)).is_err() {
-                                    break;
-                                }
-                                match stream.read(&mut sink) {
-                                    Ok(n) if n > 0 => budget = budget.saturating_sub(n),
-                                    _ => break,
-                                }
-                            }
+                            discard_request_bytes(&mut stream);
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -534,9 +688,16 @@ impl Server {
                     }
                 }
             }
-            // Drain: no new connections, but every accepted one is served.
+            // Drain: no new connections, and every accepted job is served
+            // — up to the drain deadline, after which still-queued jobs
+            // are shed with a 503 and running repairs are cancelled at
+            // their next checkpoint (leaving resume points behind).
             shared.queue.close();
+            drain_with_deadline(&shared);
         });
+        if let Some(handle) = recoverer {
+            let _ = handle.join();
+        }
         // Workers are done, so nothing can enqueue further writes: close
         // the write queue and wait for the writer to flush what is left.
         shared.store_writes.close();
@@ -654,6 +815,10 @@ fn supervise_worker(shared: &Shared) {
 
 fn worker_loop(shared: &Shared) -> WorkerExit {
     while let Some((stream, queued_at)) = shared.queue.pop() {
+        // Guard, not a pair of calls: a panic escaping the connection
+        // handler must still decrement, or the shutdown drain would wait
+        // its full deadline on a phantom job.
+        let _active = ActiveGuard::enter(&shared.active);
         if handle_connection(shared, stream, queued_at) {
             return WorkerExit::Recycle;
         }
@@ -663,6 +828,219 @@ fn worker_loop(shared: &Shared) -> WorkerExit {
         }
     }
     WorkerExit::Drained
+}
+
+/// RAII increment of the in-flight job count the bounded drain waits on.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ActiveGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> ActiveGuard<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(counter)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Bound the shutdown drain. Wait for the queue to empty and every worker
+/// (and boot replay) to go idle; at `drain_timeout`, cancel in-flight
+/// repairs — their tokens force one final checkpoint on the way out — and
+/// answer every still-queued connection `503`, counted under
+/// `server.jobs.abandoned`, instead of dropping sockets on the floor.
+/// Read and discard whatever request bytes the client already sent on a
+/// socket we are answering without serving: dropping a socket with unread
+/// data provokes an RST that can destroy the just-written response before
+/// the peer reads it. Bounded by a total deadline AND a byte budget — this
+/// runs on the accept/drain thread, and per-read timeouts alone would let
+/// a trickling client stall it indefinitely.
+fn discard_request_bytes(stream: &mut std::net::TcpStream) {
+    use io::Read;
+    let deadline = Instant::now() + Duration::from_millis(100);
+    let mut budget: usize = 64 << 10;
+    let mut sink = [0u8; 4096];
+    while budget > 0 {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() || stream.set_read_timeout(Some(left)).is_err() {
+            break;
+        }
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => budget = budget.saturating_sub(n),
+            _ => break,
+        }
+    }
+}
+
+fn drain_with_deadline(shared: &Shared) {
+    let deadline = Instant::now() + shared.drain_timeout;
+    loop {
+        if shared.queue.is_empty() && shared.active.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    shared.cancel_jobs.store(true, Ordering::SeqCst);
+    let shed = shared.queue.drain_remaining();
+    if !shed.is_empty() {
+        eprintln!(
+            "ftrepair-server: drain deadline passed; abandoning {} queued job(s)",
+            shed.len()
+        );
+    }
+    for (mut stream, _queued_at) in shed {
+        shared.abandoned.fetch_add(1, Ordering::Relaxed);
+        shared.tele.add("server.jobs.abandoned", 1);
+        let body = error_body("server draining: job abandoned before a worker picked it up");
+        let _ = http::write_response(&mut stream, 503, JSON, &body);
+        discard_request_bytes(&mut stream);
+    }
+    // In-flight repairs unwind at their next token poll; the worker scope
+    // join (and the journal, which keeps cancelled jobs pending) covers
+    // the rest.
+}
+
+/// Replay the journal's pending records. A key already durable in the
+/// disk store completes as `recovered` without recompute; the rest
+/// re-execute (`replayed`), seeded from their checkpoint slot when the
+/// previous incarnation left one. Shutdown mid-recovery stops cleanly:
+/// untouched records stay pending for the next boot.
+fn recover_jobs(shared: &Shared, pending: Vec<JournalRecord>) {
+    let _active = ActiveGuard::enter(&shared.active);
+    for rec in pending {
+        if shared.shutting_down() {
+            break;
+        }
+        shared.recovered.fetch_add(1, Ordering::Relaxed);
+        shared.tele.add("server.jobs.recovered", 1);
+        replay_job(shared, &rec);
+    }
+}
+
+/// Re-run one journaled job exactly as it was submitted: same canonical
+/// spec, same options (re-parsed from the fingerprint), fresh trace
+/// honoring the recorded ID.
+fn replay_job(shared: &Shared, rec: &JournalRecord) {
+    let trace_id = parse_trace_id(&rec.trace_id).unwrap_or_else(mint_trace_id);
+    let Some((mode, opts)) = job::options_from_fingerprint(&rec.opts) else {
+        eprintln!(
+            "ftrepair-server: journal record {} has unparseable options {:?}; retiring it",
+            rec.key, rec.opts
+        );
+        shared.journal_done(&rec.key, "unparseable-options");
+        return;
+    };
+    // Budgets are not journaled (they are not part of the content key);
+    // re-apply this server's own limits like any fresh submission.
+    let opts = RepairOptions { max_nodes: shared.job_max_nodes, ..opts };
+    let spec = match job::prepare(&rec.spec, mode, opts) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("ftrepair-server: journaled spec {} no longer parses ({message})", rec.key);
+            shared.journal_done(&rec.key, "invalid");
+            return;
+        }
+    };
+    if spec.key != rec.key {
+        // Canonicalization or fingerprint drift between incarnations —
+        // the record cannot be completed under its own key; surface it
+        // loudly and retire it rather than replaying into a boot loop.
+        eprintln!(
+            "ftrepair-server: journal key mismatch: recorded {} re-prepares to {}; retiring it",
+            rec.key, spec.key
+        );
+        shared.journal_done(&rec.key, "key-mismatch");
+        return;
+    }
+
+    let record =
+        JobRecord::new(trace_id, &spec.name, spec.mode.as_str(), &spec.key, Duration::ZERO);
+    shared.jobs.push(Arc::clone(&record));
+
+    if shared.poison.contains(&spec.key) {
+        record.finish(JobStatus::Quarantined);
+        shared.journal_done(&spec.key, "quarantined");
+        return;
+    }
+    // Already durable? Recovery completes without recompute — the crash
+    // happened after the result landed but before the done record did.
+    if shared.cache.get(&spec.key).is_some()
+        || shared.with_store(|store| store.get(&spec.key)).flatten().is_some()
+    {
+        record.finish(JobStatus::Recovered);
+        shared.journal_done(&spec.key, "recovered-cached");
+        return;
+    }
+
+    let _lead = loop {
+        if shared.cache.get(&spec.key).is_some() {
+            // A live client raced us to this key and completed it.
+            record.finish(JobStatus::Recovered);
+            shared.journal_done(&spec.key, "recovered-cached");
+            return;
+        }
+        match shared.inflight.begin(&spec.key) {
+            Some(guard) => break guard,
+            None => continue,
+        }
+    };
+
+    shared.replayed.fetch_add(1, Ordering::Relaxed);
+    shared.tele.add("server.jobs.replayed", 1);
+    let warm = shared.checkpoint_resume(&spec).or_else(|| warm_lookup(shared, &spec));
+
+    let job_tele = Telemetry::new();
+    let mut token = shared.job_token();
+    if let Some(ckpt) = shared.checkpointer_for(&spec.key) {
+        token = token.with_checkpointer(ckpt);
+    }
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        job::execute_store(&spec, &job_tele, true, &token, warm.as_ref(), shared.store.is_some())
+    }));
+    let job_snap = job_tele.snapshot();
+    shared.tele.absorb_snapshot(&job_snap);
+    match run {
+        Err(payload) => {
+            record.finish(JobStatus::Panicked);
+            shared.quarantine(&spec, &panic_message(payload.as_ref()));
+            // Retired, not left pending: replaying a deterministic panic
+            // at every boot would be a crash loop, not fault tolerance.
+            shared.journal_done(&spec.key, "panicked");
+        }
+        Ok(Err(job::ExecError::Invalid(message))) => {
+            record.finish(JobStatus::Invalid);
+            eprintln!("ftrepair-server: replay of {} failed to compile ({message})", spec.key);
+            shared.journal_done(&spec.key, "invalid");
+        }
+        Ok(Err(job::ExecError::Aborted(why))) => match why {
+            RepairAborted::Cancelled => {
+                // Shutdown mid-replay: the forced checkpoint is on disk
+                // and the record stays pending — the next boot resumes.
+                record.finish(JobStatus::Cancelled);
+                shared.tele.add("server.jobs.cancelled", 1);
+            }
+            RepairAborted::Timeout => {
+                record.finish(JobStatus::Timeout);
+                shared.tele.add("server.jobs.timed_out", 1);
+                shared.journal_done(&spec.key, "timeout");
+            }
+            RepairAborted::ResourceExhausted => {
+                record.finish(JobStatus::Exhausted);
+                shared.tele.add("server.jobs.exhausted", 1);
+                shared.journal_done(&spec.key, "exhausted");
+            }
+        },
+        Ok(Ok(result)) => {
+            let failed = result.failed;
+            finalize_success(shared, &spec, &record, result, &job_snap);
+            shared.journal_done(&spec.key, if failed { "unrepairable" } else { "completed" });
+        }
+    }
 }
 
 /// Best-effort rendering of a panic payload (panics carry `&str` or
@@ -808,6 +1186,20 @@ fn handle_healthz(shared: &Shared) -> Reply {
         }
     }
     j.set("store", store);
+    let mut recovery = Json::obj();
+    recovery.set("journal", shared.journal.is_some().into());
+    if let Some(journal) = &shared.journal {
+        recovery.set("journal_path", journal.path().display().to_string().into());
+        recovery.set("pending_at_boot", shared.pending_at_boot.into());
+        recovery.set("recovered", shared.recovered.load(Ordering::Relaxed).into());
+        recovery.set("replayed", shared.replayed.load(Ordering::Relaxed).into());
+    }
+    recovery.set("checkpointing", shared.ckpts.is_some().into());
+    if let Some(ckpts) = &shared.ckpts {
+        recovery.set("checkpoint_slots", ckpts.len().into());
+    }
+    recovery.set("abandoned", shared.abandoned.load(Ordering::Relaxed).into());
+    j.set("recovery", recovery);
     Reply::json(200, j.to_string())
 }
 
@@ -1016,48 +1408,26 @@ fn cached_repair(
         return Ok((entry, true));
     }
 
-    // Full miss. Before computing from scratch, ask the store for the
-    // nearest structural neighbor: a resubmitted spec differing in a few
-    // actions imports the neighbor's invariant/fault-span BDDs and seeds
-    // the first reachability fixpoint (lazy mode only — the cautious
-    // baseline has no seedable phase).
-    let warm = if shared.warm_start && spec.mode == Mode::Lazy {
-        shared
-            .with_store(|store| {
-                store.nearest(&spec.fingerprint, WARM_MAX_DISTANCE).and_then(
-                    |(neighbor, distance)| {
-                        let donor = store.peek(&neighbor)?;
-                        let mut invariant = None;
-                        let mut span = None;
-                        for (name, bdd) in donor.artifacts {
-                            match name.as_str() {
-                                ART_INVARIANT => invariant = Some(bdd),
-                                ART_SPAN => span = Some(bdd),
-                                _ => {}
-                            }
-                        }
-                        Some(job::WarmInfo {
-                            neighbor,
-                            distance,
-                            invariant: invariant?,
-                            span: span?,
-                        })
-                    },
-                )
-            })
-            .flatten()
-    } else {
-        None
-    };
-    if warm.is_some() {
-        shared.tele.add("store.warm_lookups", 1);
-    }
+    // WAL: leadership is won and no tier has the result, so this job will
+    // execute. Journal it first — once the fsynced append returns, a crash
+    // at any later point (including mid-repair) leaves the job
+    // recoverable at the next boot.
+    shared.journal_start(&spec, ctx.trace_id);
+
+    // Full miss. A checkpoint slot from an interrupted run of this exact
+    // key is the best possible seed (distance 0 — resume, don't restart);
+    // failing that, ask the store for the nearest structural neighbor's
+    // artifacts.
+    let warm = shared.checkpoint_resume(&spec).or_else(|| warm_lookup(shared, &spec));
 
     // Per-job telemetry keeps concurrent jobs' reports separate; the
     // snapshot is folded into the server registry afterwards so /metrics
     // still aggregates everything.
     let job_tele = Telemetry::new();
-    let token = shared.job_token();
+    let mut token = shared.job_token();
+    if let Some(ckpt) = shared.checkpointer_for(&spec.key) {
+        token = token.with_checkpointer(ckpt);
+    }
     // The per-job panic boundary: a crashing repair costs the client a 500
     // and the server one recycled worker — nothing more, and the response
     // is written by this (surviving) thread, so no connection is ever
@@ -1078,6 +1448,9 @@ fn cached_repair(
         Err(payload) => {
             record.finish(JobStatus::Panicked);
             shared.quarantine(&spec, &panic_message(payload.as_ref()));
+            // Retired in the journal too: a deterministic panic replayed
+            // at every boot would be a crash loop, not fault tolerance.
+            shared.journal_done(&spec.key, "panicked");
             return Err(JobFailure {
                 status: 500,
                 message: "internal error: repair engine panicked; spec quarantined".to_string(),
@@ -1086,16 +1459,23 @@ fn cached_repair(
         }
         Ok(Err(job::ExecError::Invalid(message))) => {
             record.finish(JobStatus::Invalid);
+            shared.journal_done(&spec.key, "invalid");
             return Err(refuse(400, message));
         }
         Ok(Err(job::ExecError::Aborted(why))) => {
             // Aborted runs are never cached: the next attempt may run
             // under a larger budget (or after the cancel flag clears) and
             // succeed, while a cached failure would pin the 503 forever.
+            // Deadline and budget aborts are journaled done (an identical
+            // replay would abort identically at every boot); a *cancel* is
+            // the shutdown drain, and stays pending on purpose — the
+            // forced checkpoint plus the pending record is exactly what
+            // the next boot resumes from.
             let message = match why {
                 RepairAborted::Timeout => {
                     record.finish(JobStatus::Timeout);
                     shared.tele.add("server.jobs.timed_out", 1);
+                    shared.journal_done(&spec.key, "timeout");
                     "timeout"
                 }
                 RepairAborted::Cancelled => {
@@ -1106,6 +1486,7 @@ fn cached_repair(
                 RepairAborted::ResourceExhausted => {
                     record.finish(JobStatus::Exhausted);
                     shared.tele.add("server.jobs.exhausted", 1);
+                    shared.journal_done(&spec.key, "exhausted");
                     "node budget exhausted"
                 }
             };
@@ -1114,6 +1495,54 @@ fn cached_repair(
         Ok(Ok(result)) => result,
     };
 
+    let failed = result.failed;
+    let entry = finalize_success(shared, &spec, &record, result, &job_snap);
+    shared.journal_done(&spec.key, if failed { "unrepairable" } else { "completed" });
+    Ok((entry, false))
+}
+
+/// Ask the store for the nearest structural neighbor's artifacts: a
+/// resubmitted spec differing in a few actions imports the neighbor's
+/// invariant/fault-span BDDs and seeds the first reachability fixpoint
+/// (lazy mode only — the cautious baseline has no seedable phase).
+fn warm_lookup(shared: &Shared, spec: &job::JobSpec) -> Option<job::WarmInfo> {
+    if !shared.warm_start || spec.mode != Mode::Lazy {
+        return None;
+    }
+    let warm = shared
+        .with_store(|store| {
+            store.nearest(&spec.fingerprint, WARM_MAX_DISTANCE).and_then(|(neighbor, distance)| {
+                let donor = store.peek(&neighbor)?;
+                let mut invariant = None;
+                let mut span = None;
+                for (name, bdd) in donor.artifacts {
+                    match name.as_str() {
+                        ART_INVARIANT => invariant = Some(bdd),
+                        ART_SPAN => span = Some(bdd),
+                        _ => {}
+                    }
+                }
+                Some(job::WarmInfo { neighbor, distance, invariant: invariant?, span: span? })
+            })
+        })
+        .flatten();
+    if warm.is_some() {
+        shared.tele.add("store.warm_lookups", 1);
+    }
+    warm
+}
+
+/// Everything a finished (non-aborted) execution does after the repair
+/// returns, shared by the request path and boot replay: introspection
+/// detail, the JSONL report, counters, checkpoint-slot retirement, the
+/// async store write-through, and the cache insert.
+fn finalize_success(
+    shared: &Shared,
+    spec: &job::JobSpec,
+    record: &JobRecord,
+    result: job::JobResult,
+    job_snap: &ftrepair_telemetry::MetricsSnapshot,
+) -> Arc<CacheEntry> {
     // The outcome document `/jobs` shows for this record: iteration and
     // phase data from the repair stats, BDD peaks from the job's own
     // telemetry (gauges would smear across jobs in the shared registry).
@@ -1138,6 +1567,13 @@ fn cached_repair(
     }
     if result.warm_used {
         shared.tele.add("server.jobs.warm_started", 1);
+    }
+
+    // The job reached a terminal result, so its mid-repair snapshot is
+    // stale — retire the slot rather than letting it seed a future run
+    // with older state than the cached answer.
+    if let Some(ckpts) = &shared.ckpts {
+        let _ = ckpts.clear(&spec.key);
     }
 
     // Write-through: hand verified successful repairs (the only ones
@@ -1165,12 +1601,11 @@ fn cached_repair(
         }
     }
 
-    let entry = shared.cache.insert(CacheEntry {
-        key: spec.key,
+    shared.cache.insert(CacheEntry {
+        key: spec.key.clone(),
         response: result.response,
         sim: result.sim,
-    });
-    Ok((entry, false))
+    })
 }
 
 fn handle_repair(shared: &Shared, req: &Request, ctx: &ReqCtx) -> Reply {
@@ -1209,14 +1644,9 @@ fn handle_simulate(shared: &Shared, req: &Request, ctx: &ReqCtx) -> Reply {
     if entry.response.get("failed").and_then(Json::as_bool) == Some(true) {
         return Reply::error(422, "no repair exists for this spec; nothing to simulate");
     }
-    let Some(bundle) = &entry.sim else {
-        return Reply::error(
-            422,
-            &format!(
-                "state space exceeds {} states; explicit simulation is only for oracle-sized instances",
-                job::SIM_STATE_CAP
-            ),
-        );
+    let bundle = match &entry.sim {
+        SimStatus::Ready(bundle) => bundle,
+        refusal => return Reply::error(422, &refusal.refusal()),
     };
 
     let report = {

@@ -22,6 +22,10 @@ pub const ART_TRANS: &str = "trans";
 pub const ART_INVARIANT: &str = "invariant";
 /// Artifact name for the fault span.
 pub const ART_SPAN: &str = "span";
+/// Artifact name for the `ms` unmaskable-state set — checkpoint slots
+/// carry it alongside the invariant and span so a resumed run can skip
+/// straight past Phase 1.
+pub const ART_MS: &str = "ms";
 
 /// Why an `artifacts.bin` failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,258 @@
+//! Per-key checkpoint slots: the mid-repair state a job can resume from.
+//!
+//! Each slot is one file, `<root>/<key>.ckpt`, holding a small header
+//! (magic, version, the fixpoint iteration the snapshot was taken at) and
+//! an FTAR artifact container with the invariant, fault-span, and `ms`
+//! BDDs serialized in the portable FBDD form. Writes follow the same
+//! crash-safety discipline as [`DiskStore`](crate::DiskStore): stage under
+//! `tmp/`, `write_file` (which fsyncs), atomic rename into place, fsync
+//! the slot directory. A crash at any point leaves either the previous
+//! slot or the new one — never a torn file at the final name.
+//!
+//! Reads are fail-open: a slot that is missing, truncated, or fails to
+//! decode is simply *no checkpoint* (the job re-runs cold) and the bad
+//! file is deleted. Checkpoints are an optimization, never a correctness
+//! dependency — the resumed result is re-verified with a cold-rerun
+//! fallback exactly like warm starts.
+
+use crate::artifacts::{decode_artifacts, encode_artifacts};
+use crate::vfs::{StdFs, Vfs};
+use ftrepair_bdd::SerializedBdd;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Slot file magic: "FTCP" (fault-tolerance checkpoint).
+const FTCP_MAGIC: [u8; 4] = *b"FTCP";
+/// Slot format version.
+const FTCP_VERSION: u32 = 1;
+/// Distinguishes stage files from different processes/threads.
+static STAGE_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// One decoded checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointSlot {
+    /// The fixpoint iteration the snapshot was taken at (diagnostic).
+    pub iteration: u64,
+    /// Named FBDD blobs — `invariant`, `span`, `ms`.
+    pub artifacts: Vec<(String, SerializedBdd)>,
+}
+
+/// The slot directory. All methods take `&self`.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    root: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+impl CheckpointStore {
+    /// Open (or create) a slot directory on the real filesystem.
+    pub fn open(root: &Path) -> io::Result<CheckpointStore> {
+        CheckpointStore::open_with_vfs(root, Arc::new(StdFs))
+    }
+
+    /// Open with an explicit [`Vfs`] — the fault-injection seam. Sweeps
+    /// stage files a previous crash left under `tmp/`.
+    pub fn open_with_vfs(root: &Path, vfs: Arc<dyn Vfs>) -> io::Result<CheckpointStore> {
+        vfs.create_dir_all(&root.join("tmp"))?;
+        for stray in vfs.list_dir(&root.join("tmp"))? {
+            if vfs.is_dir(&stray) {
+                vfs.remove_dir_all(&stray)?;
+            } else {
+                vfs.remove_file(&stray)?;
+            }
+        }
+        Ok(CheckpointStore { root: root.to_path_buf(), vfs })
+    }
+
+    fn slot_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.ckpt"))
+    }
+
+    /// Write (or replace) the slot for `key`. Crash-safe: the previous
+    /// slot stays readable until the rename lands.
+    pub fn put(
+        &self,
+        key: &str,
+        iteration: u64,
+        artifacts: &[(String, SerializedBdd)],
+    ) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FTCP_MAGIC);
+        bytes.extend_from_slice(&FTCP_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&iteration.to_le_bytes());
+        bytes.extend_from_slice(&encode_artifacts(artifacts));
+
+        let nonce = STAGE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let stage = self.root.join("tmp").join(format!("{key}.{}.{nonce}", std::process::id()));
+        self.vfs.write_file(&stage, &bytes)?;
+        let result = self
+            .vfs
+            .rename(&stage, &self.slot_path(key))
+            .and_then(|()| self.vfs.fsync_dir(&self.root));
+        if result.is_err() {
+            let _ = self.vfs.remove_file(&stage);
+        }
+        result
+    }
+
+    /// Read the slot for `key`. `None` means no usable checkpoint — never
+    /// an error the caller must handle; an undecodable slot is deleted so
+    /// it cannot shadow a fresh one.
+    pub fn get(&self, key: &str) -> Option<CheckpointSlot> {
+        let path = self.slot_path(key);
+        let bytes = self.vfs.read(&path).ok()?;
+        match decode_slot(&bytes) {
+            Some(slot) => Some(slot),
+            None => {
+                let _ = self.vfs.remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Delete the slot for `key` (a verified completion makes it stale).
+    /// Missing slots are fine.
+    pub fn clear(&self, key: &str) -> io::Result<()> {
+        match self.vfs.remove_file(&self.slot_path(key)) {
+            Ok(()) => self.vfs.fsync_dir(&self.root),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Number of slots currently on disk.
+    pub fn len(&self) -> usize {
+        self.vfs
+            .list_dir(&self.root)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("ckpt"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Is the slot directory empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The slot directory's location.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+fn decode_slot(bytes: &[u8]) -> Option<CheckpointSlot> {
+    if bytes.len() < 16 || bytes[..4] != FTCP_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if version != FTCP_VERSION {
+        return None;
+    }
+    let iteration = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let artifacts = decode_artifacts(&bytes[16..]).ok()?;
+    Some(CheckpointSlot { iteration, artifacts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestNonce;
+
+    static NONCE: TestNonce = TestNonce::new(0);
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ftrepair-ckpt-{tag}-{}-{nonce}", std::process::id()))
+    }
+
+    fn bdd(seed: u32) -> SerializedBdd {
+        SerializedBdd {
+            num_vars: 4,
+            order: vec![0, 1, 2, 3],
+            nodes: vec![(3, 0, 1), (seed % 3, 2, 1)],
+            root: 3,
+        }
+    }
+
+    fn key(tag: &str) -> String {
+        format!("{tag:0>64}")
+    }
+
+    #[test]
+    fn put_get_clear_roundtrip() {
+        let root = temp_root("roundtrip");
+        let store = CheckpointStore::open(&root).unwrap();
+        assert!(store.get(&key("a")).is_none());
+        let arts = vec![("invariant".to_string(), bdd(0)), ("span".to_string(), bdd(1))];
+        store.put(&key("a"), 7, &arts).unwrap();
+        let slot = store.get(&key("a")).expect("slot readable");
+        assert_eq!(slot.iteration, 7);
+        assert_eq!(slot.artifacts, arts);
+        assert_eq!(store.len(), 1);
+        store.clear(&key("a")).unwrap();
+        assert!(store.get(&key("a")).is_none());
+        assert!(store.is_empty());
+        store.clear(&key("a")).unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replacement_keeps_latest() {
+        let root = temp_root("replace");
+        let store = CheckpointStore::open(&root).unwrap();
+        store.put(&key("a"), 1, &[("invariant".to_string(), bdd(0))]).unwrap();
+        store.put(&key("a"), 2, &[("invariant".to_string(), bdd(2))]).unwrap();
+        let slot = store.get(&key("a")).unwrap();
+        assert_eq!(slot.iteration, 2);
+        assert_eq!(slot.artifacts[0].1, bdd(2));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_slot_reads_as_none_and_is_deleted() {
+        let root = temp_root("corrupt");
+        let store = CheckpointStore::open(&root).unwrap();
+        store.put(&key("a"), 3, &[("invariant".to_string(), bdd(0))]).unwrap();
+        let path = root.join(format!("{}.ckpt", key("a")));
+        std::fs::write(&path, b"FTCPgarbage").unwrap();
+        assert!(store.get(&key("a")).is_none());
+        assert!(!path.exists(), "undecodable slot deleted");
+        assert!(store.get(&key("a")).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_slot_at_every_offset_reads_as_none() {
+        let root = temp_root("truncate");
+        let store = CheckpointStore::open(&root).unwrap();
+        store.put(&key("a"), 3, &[("invariant".to_string(), bdd(0))]).unwrap();
+        let path = root.join(format!("{}.ckpt", key("a")));
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(store.get(&key("a")).is_none(), "cut={cut}");
+            assert!(!path.exists(), "cut={cut}: deleted");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stray_stage_files_are_swept_at_open() {
+        let root = temp_root("sweep");
+        let store = CheckpointStore::open(&root).unwrap();
+        store.put(&key("a"), 1, &[("invariant".to_string(), bdd(0))]).unwrap();
+        std::fs::write(root.join("tmp").join("stray"), b"leftover").unwrap();
+        drop(store);
+        let store = CheckpointStore::open(&root).unwrap();
+        assert_eq!(std::fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+        assert!(store.get(&key("a")).is_some(), "real slots survive the sweep");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

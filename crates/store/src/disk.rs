@@ -440,19 +440,47 @@ impl DiskStore {
     /// Delete quarantined entries and stale staging files, then enforce
     /// the byte budget. Returns bytes freed.
     pub fn gc(&self) -> io::Result<u64> {
+        // Best-effort sweep, honest books: every removal is attempted, but
+        // only what actually left the disk counts as freed, and a sick
+        // volume (EIO/ENOSPC on the removal paths) surfaces as an error
+        // instead of a success that silently zeroed the quarantine
+        // accounting while the bytes are still there.
         let mut freed = 0u64;
+        let mut quarantine_freed = 0u64;
+        let mut first_err: Option<io::Error> = None;
         for sub in ["quarantine", "tmp"] {
             for path in self.vfs.list_dir(&self.root.join(sub))? {
-                freed += self.dir_bytes(&path);
-                let _ = if self.vfs.is_dir(&path) {
+                let bytes = self.dir_bytes(&path);
+                let removed = if self.vfs.is_dir(&path) {
                     self.vfs.remove_dir_all(&path)
                 } else {
                     self.vfs.remove_file(&path)
                 };
+                match removed {
+                    Ok(()) => {
+                        freed += bytes;
+                        if sub == "quarantine" {
+                            quarantine_freed += bytes;
+                        }
+                    }
+                    Err(e) => {
+                        self.note_io_error();
+                        first_err.get_or_insert(e);
+                    }
+                }
             }
         }
-        self.quarantine_bytes.store(0, Ordering::Relaxed);
-        self.tele.set_gauge("store.quarantine.bytes", 0);
+        let left = self
+            .quarantine_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(quarantine_freed))
+            })
+            .unwrap_or(0)
+            .saturating_sub(quarantine_freed);
+        self.tele.set_gauge("store.quarantine.bytes", left);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         let mut inner = self.lock();
         let before = inner.bytes;
         self.enforce_budget_locked(&mut inner);

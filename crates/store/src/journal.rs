@@ -1,0 +1,359 @@
+//! Durable job journal: a write-ahead log of repair jobs, so a `kill -9`
+//! mid-repair loses no accepted work.
+//!
+//! The journal is a JSONL file written through the [`Vfs`] seam. Before a
+//! job executes, the server appends a `start` record carrying everything
+//! needed to re-run it from nothing but the journal — the canonical spec
+//! text, the options fingerprint, the content key, and the trace ID. When
+//! the job reaches a terminal outcome a `done` record is appended. Appends
+//! are fsynced (`Vfs::append_file`), so a record either fully precedes the
+//! crash or is a torn tail line that open() tolerates and drops.
+//!
+//! On open, the file is scanned: `start` records without a matching `done`
+//! are the *pending* set the server replays on boot, deduplicated by
+//! content key (the journal is content-addressed like everything else —
+//! two starts for the same key are one unit of work). The scan also
+//! compacts: the file is rewritten (stage + atomic rename + dir fsync)
+//! with only the pending starts, which bounds journal growth to the
+//! in-flight set no matter how long the daemon lives.
+
+use crate::vfs::{StdFs, Vfs};
+use ftrepair_telemetry::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One journaled job: everything a recovery scan needs to re-execute it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Content address of spec + options (the dedup key).
+    pub key: String,
+    /// Program name, for logs and introspection.
+    pub case: String,
+    /// `"lazy"` or `"cautious"`.
+    pub mode: String,
+    /// The originating request's trace ID (16-hex wire form).
+    pub trace_id: String,
+    /// The options fingerprint (`options_fingerprint` spelling); recovery
+    /// parses the option set back out of it.
+    pub opts: String,
+    /// Canonical spec text — sufficient to re-prepare the job.
+    pub spec: String,
+}
+
+impl JournalRecord {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("t", "start".into());
+        j.set("key", self.key.as_str().into());
+        j.set("case", self.case.as_str().into());
+        j.set("mode", self.mode.as_str().into());
+        j.set("trace_id", self.trace_id.as_str().into());
+        j.set("opts", self.opts.as_str().into());
+        j.set("spec", self.spec.as_str().into());
+        j
+    }
+
+    fn from_json(j: &Json) -> Option<JournalRecord> {
+        let field = |name: &str| j.get(name).and_then(Json::as_str).map(str::to_string);
+        Some(JournalRecord {
+            key: field("key")?,
+            case: field("case")?,
+            mode: field("mode")?,
+            trace_id: field("trace_id")?,
+            opts: field("opts")?,
+            spec: field("spec")?,
+        })
+    }
+}
+
+/// What the boot-time scan found.
+#[derive(Debug, Default)]
+pub struct RecoveryScan {
+    /// Start records with no matching done record, deduplicated by key in
+    /// first-seen order — the jobs to replay.
+    pub pending: Vec<JournalRecord>,
+    /// Records that finished cleanly before the crash/restart.
+    pub completed: u64,
+    /// Torn or unparseable lines dropped by the scan (a crash mid-append
+    /// leaves at most one).
+    pub dropped_lines: u64,
+}
+
+/// The write-ahead log. All methods take `&self`; share behind an `Arc`.
+#[derive(Debug)]
+pub struct JobJournal {
+    path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    /// Serializes appends so two workers' lines cannot interleave.
+    write: Mutex<()>,
+    appends: AtomicU64,
+}
+
+impl JobJournal {
+    /// Open (or create) the journal at `path` on the real filesystem.
+    pub fn open(path: &Path) -> io::Result<(JobJournal, RecoveryScan)> {
+        JobJournal::open_with_vfs(path, Arc::new(StdFs))
+    }
+
+    /// Open with an explicit [`Vfs`] — the fault-injection seam.
+    ///
+    /// Scans for pending work, then compacts the file down to exactly the
+    /// pending start records via stage-tmp + atomic rename + parent-dir
+    /// fsync, sweeping any stage file a previous crash left behind.
+    pub fn open_with_vfs(path: &Path, vfs: Arc<dyn Vfs>) -> io::Result<(JobJournal, RecoveryScan)> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                vfs.create_dir_all(parent)?;
+            }
+        }
+        // Sweep a stage file orphaned by a crash mid-compaction. The main
+        // file is the only source of truth until the rename lands.
+        let stage = stage_path(path);
+        if vfs.is_file(&stage) {
+            vfs.remove_file(&stage)?;
+        }
+
+        let mut scan = RecoveryScan::default();
+        if vfs.is_file(path) {
+            let bytes = vfs.read(path)?;
+            let text = String::from_utf8_lossy(&bytes);
+            let mut done: Vec<String> = Vec::new();
+            let mut starts: Vec<JournalRecord> = Vec::new();
+            for line in text.split('\n') {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let parsed = match Json::parse(line) {
+                    Ok(j) => j,
+                    Err(_) => {
+                        scan.dropped_lines += 1;
+                        continue;
+                    }
+                };
+                match parsed.get("t").and_then(Json::as_str) {
+                    Some("start") => match JournalRecord::from_json(&parsed) {
+                        Some(rec) => starts.push(rec),
+                        None => scan.dropped_lines += 1,
+                    },
+                    Some("done") => match parsed.get("key").and_then(Json::as_str) {
+                        Some(key) => done.push(key.to_string()),
+                        None => scan.dropped_lines += 1,
+                    },
+                    _ => scan.dropped_lines += 1,
+                }
+            }
+            for rec in starts {
+                if done.contains(&rec.key) {
+                    scan.completed += 1;
+                } else if !scan.pending.iter().any(|p| p.key == rec.key) {
+                    scan.pending.push(rec);
+                }
+            }
+        }
+
+        // Compact: the new journal is exactly the pending starts.
+        let mut compacted = String::new();
+        for rec in &scan.pending {
+            compacted.push_str(&rec.to_json().to_string());
+            compacted.push('\n');
+        }
+        vfs.write_file(&stage, compacted.as_bytes())?;
+        vfs.rename(&stage, path)?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                vfs.fsync_dir(parent)?;
+            }
+        }
+
+        let journal = JobJournal {
+            path: path.to_path_buf(),
+            vfs,
+            write: Mutex::new(()),
+            appends: AtomicU64::new(0),
+        };
+        Ok((journal, scan))
+    }
+
+    fn lock_write(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.write.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn append_line(&self, line: &Json) -> io::Result<()> {
+        let mut bytes = line.to_string().into_bytes();
+        bytes.push(b'\n');
+        let _guard = self.lock_write();
+        self.vfs.append_file(&self.path, &bytes)?;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Journal a job *before* it executes. Fsynced: once this returns, a
+    /// crash at any later point leaves the job recoverable.
+    pub fn append_start(&self, rec: &JournalRecord) -> io::Result<()> {
+        self.append_line(&rec.to_json())
+    }
+
+    /// Journal a terminal outcome for `key` (`"done"`, `"unrepairable"`,
+    /// `"invalid"`, `"timeout"`, `"exhausted"`, `"panicked"`, …). After
+    /// this, a restart will not replay the key.
+    pub fn append_done(&self, key: &str, outcome: &str) -> io::Result<()> {
+        let mut j = Json::obj();
+        j.set("t", "done".into());
+        j.set("key", key.into());
+        j.set("outcome", outcome.into());
+        self.append_line(&j)
+    }
+
+    /// Lines appended since open (diagnostic).
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// The journal file's location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn stage_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".compact.tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("ftrepair-journal-{tag}-{}-{nonce}", std::process::id()))
+            .join("jobs.journal")
+    }
+
+    fn rec(key: &str) -> JournalRecord {
+        JournalRecord {
+            key: format!("{key:0>64}"),
+            case: "sample".into(),
+            mode: "lazy".into(),
+            trace_id: "00000000deadbeef".into(),
+            opts: "lazy:r1c1e1p0t1m32:auto".into(),
+            spec: "program sample;\nvar x : 0..1;\ninvariant true;".into(),
+        }
+    }
+
+    #[test]
+    fn start_without_done_is_pending_after_reopen() {
+        let path = temp_journal("pending");
+        let (journal, scan) = JobJournal::open(&path).unwrap();
+        assert!(scan.pending.is_empty());
+        journal.append_start(&rec("a")).unwrap();
+        journal.append_start(&rec("b")).unwrap();
+        journal.append_done(&rec("a").key, "done").unwrap();
+        drop(journal);
+
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.completed, 1);
+        assert_eq!(scan.pending.len(), 1, "{scan:?}");
+        assert_eq!(scan.pending[0], rec("b"), "the full record survives the round trip");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn duplicate_starts_for_one_key_replay_once() {
+        let path = temp_journal("dedup");
+        let (journal, _) = JobJournal::open(&path).unwrap();
+        journal.append_start(&rec("a")).unwrap();
+        journal.append_start(&rec("a")).unwrap();
+        drop(journal);
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.pending.len(), 1, "content-addressed dedup");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_line_is_dropped_not_fatal() {
+        let path = temp_journal("torn");
+        let (journal, _) = JobJournal::open(&path).unwrap();
+        journal.append_start(&rec("a")).unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: half a record lands with no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(br#"{"t":"start","key":"bbbb"#);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.dropped_lines, 1, "{scan:?}");
+        assert_eq!(scan.pending.len(), 1);
+        assert_eq!(scan.pending[0].key, rec("a").key);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn open_compacts_completed_records_away() {
+        let path = temp_journal("compact");
+        let (journal, _) = JobJournal::open(&path).unwrap();
+        for i in 0..8 {
+            let r = rec(&format!("k{i}"));
+            journal.append_start(&r).unwrap();
+            journal.append_done(&r.key, "done").unwrap();
+        }
+        journal.append_start(&rec("live")).unwrap();
+        drop(journal);
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.pending.len(), 1);
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction must shrink the file ({before} -> {after})");
+        // A third open sees the same single pending record.
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.pending.len(), 1);
+        assert_eq!(scan.pending[0].key, rec("live").key);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn done_without_start_is_ignored() {
+        let path = temp_journal("orphan-done");
+        let (journal, _) = JobJournal::open(&path).unwrap();
+        journal.append_done(&rec("ghost").key, "done").unwrap();
+        drop(journal);
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert!(scan.pending.is_empty());
+        assert_eq!(scan.dropped_lines, 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn spec_text_with_newlines_and_quotes_round_trips() {
+        let path = temp_journal("escape");
+        let mut r = rec("esc");
+        r.spec = "program \"x\";\n\tvar y : 0..3; // comment\n".into();
+        let (journal, _) = JobJournal::open(&path).unwrap();
+        journal.append_start(&r).unwrap();
+        drop(journal);
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.pending[0].spec, r.spec);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn stale_compaction_stage_is_swept() {
+        let path = temp_journal("stale-stage");
+        let (journal, _) = JobJournal::open(&path).unwrap();
+        journal.append_start(&rec("a")).unwrap();
+        drop(journal);
+        std::fs::write(stage_path(&path), b"garbage from a crashed compaction").unwrap();
+        let (_journal, scan) = JobJournal::open(&path).unwrap();
+        assert_eq!(scan.pending.len(), 1);
+        assert!(!stage_path(&path).exists());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

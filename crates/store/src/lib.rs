@@ -24,16 +24,20 @@
 //!   so every crash-safety claim above is exercised, not assumed.
 
 pub mod artifacts;
+pub mod checkpoint;
 pub mod disk;
 pub mod fingerprint;
+pub mod journal;
 pub mod sha;
 pub mod vfs;
 
 pub use artifacts::{
-    decode_artifacts, encode_artifacts, find_artifact, ArtifactError, ART_INVARIANT, ART_SPAN,
-    ART_TRANS,
+    decode_artifacts, encode_artifacts, find_artifact, ArtifactError, ART_INVARIANT, ART_MS,
+    ART_SPAN, ART_TRANS,
 };
+pub use checkpoint::{CheckpointSlot, CheckpointStore};
 pub use disk::{DiskStore, EntryInfo, NewEntry, StoredEntry};
 pub use fingerprint::SpecFingerprint;
+pub use journal::{JobJournal, JournalRecord, RecoveryScan};
 pub use sha::{content_key, sha256, sha256_hex};
 pub use vfs::{ErrInjFs, Fault, StdFs, Vfs, VfsOp};

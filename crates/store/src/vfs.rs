@@ -32,6 +32,10 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Create `path`, write `bytes` in full, and fsync the file.
     fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Append `bytes` to `path` (creating it if absent) and fsync the file.
+    /// The journal's one primitive: a crash mid-append leaves a torn tail,
+    /// never a torn prefix.
+    fn append_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
     /// Fsync a directory so a completed rename/create survives power loss.
     fn fsync_dir(&self, path: &Path) -> io::Result<()>;
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
@@ -67,6 +71,12 @@ impl Vfs for StdFs {
 
     fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn append_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
         f.write_all(bytes)?;
         f.sync_all()
     }
@@ -117,6 +127,7 @@ pub enum VfsOp {
     RemoveFile,
     Rename,
     Write,
+    Append,
     FsyncDir,
     Read,
     ListDir,
@@ -134,6 +145,7 @@ impl VfsOp {
                 | VfsOp::RemoveFile
                 | VfsOp::Rename
                 | VfsOp::Write
+                | VfsOp::Append
                 | VfsOp::FsyncDir
         )
     }
@@ -425,6 +437,24 @@ impl Vfs for ErrInjFs {
         }
     }
 
+    fn append_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate(VfsOp::Append, path) {
+            Gate::Pass => self.inner.append_file(path, bytes),
+            Gate::Fault(Fault::ShortWrite) => {
+                // Half the appended bytes land as a torn tail, unfsynced.
+                let _ = self.inner.append_file(path, &bytes[..bytes.len() / 2]);
+                Err(Fault::ShortWrite.to_error())
+            }
+            Gate::Fault(f) => Err(f.to_error()),
+            Gate::Crash { torn } => {
+                if torn {
+                    let _ = self.inner.append_file(path, &bytes[..bytes.len() / 2]);
+                }
+                Err(Self::crash_error())
+            }
+        }
+    }
+
     fn fsync_dir(&self, path: &Path) -> io::Result<()> {
         match self.gate(VfsOp::FsyncDir, path) {
             Gate::Pass => self.inner.fsync_dir(path),
@@ -535,6 +565,27 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), b"a", "pre-crash bytes intact");
         fs.clear();
         assert_eq!(fs.read(&path).unwrap(), b"a");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_accumulates_and_torn_append_lands_half_the_tail() {
+        let fs = ErrInjFs::new(8);
+        let path = temp_file("append");
+        let _ = std::fs::remove_file(&path);
+        fs.append_file(&path, b"aaaa").unwrap();
+        fs.append_file(&path, b"bbbb").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"aaaabbbb");
+        fs.fail_next(VfsOp::Append, Fault::ShortWrite);
+        assert!(fs.append_file(&path, b"cccc").is_err());
+        assert_eq!(fs.read(&path).unwrap(), b"aaaabbbbcc", "half the tail landed");
+        // A crash mid-append is torn the same way, and appends count as
+        // mutations for the crash countdown.
+        fs.clear();
+        fs.crash_after_mutations(0, true);
+        assert!(fs.append_file(&path, b"dddd").is_err());
+        assert!(fs.crashed());
+        assert_eq!(std::fs::read(&path).unwrap(), b"aaaabbbbccdd");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,224 @@
+//! Crash-point sweeps for the job journal and the checkpoint store — the
+//! same discipline `fault_injection.rs` applies to the disk store: a
+//! golden run counts the filesystem mutations an operation performs, then
+//! the operation is re-run once per mutation index with a simulated crash
+//! at that point (clean and torn variants), and the files are reopened on
+//! the real filesystem to check the recovery invariants.
+//!
+//! For the journal the invariant is *settled stays settled, pending stays
+//! recoverable*: a record whose `done` line landed before the crash must
+//! never resurface as pending, an in-flight record is either fully pending
+//! or (torn tail) dropped, and the scan never fails outright. For the
+//! checkpoint store it is *previous or new, never torn*: a slot read after
+//! any crash point decodes to the old snapshot or the new one.
+
+use ftrepair_bdd::SerializedBdd;
+use ftrepair_store::{
+    CheckpointStore, DiskStore, ErrInjFs, Fault, JobJournal, JournalRecord, NewEntry,
+    SpecFingerprint, Vfs, VfsOp,
+};
+use ftrepair_telemetry::{Json, Telemetry};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("ftrepair-jckpt-{tag}-{}-{nonce}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn record(key_tag: &str) -> JournalRecord {
+    JournalRecord {
+        key: format!("{key_tag:0>64}"),
+        case: key_tag.to_string(),
+        mode: "lazy".to_string(),
+        trace_id: "00000000deadbeef".to_string(),
+        opts: "lazy:r1c1e1p0t1m32:auto".to_string(),
+        spec: format!("program {key_tag};\n"),
+    }
+}
+
+fn bdd(seed: u32) -> SerializedBdd {
+    SerializedBdd {
+        num_vars: 4,
+        order: vec![0, 1, 2, 3],
+        nodes: vec![(3, 0, 1), (seed % 3, 2, 1)],
+        root: 3,
+    }
+}
+
+fn arts(seed: u32) -> Vec<(String, SerializedBdd)> {
+    vec![("invariant".to_string(), bdd(seed)), ("span".to_string(), bdd(seed + 1))]
+}
+
+/// Run `op` against a fresh injected filesystem once to count its
+/// mutations, then once per crash point (clean and torn), handing each
+/// crashed root to `check` for recovery assertions on the real filesystem.
+fn crash_sweep(
+    tag: &str,
+    setup: &dyn Fn(&PathBuf, Arc<dyn Vfs>),
+    op: &dyn Fn(&PathBuf, Arc<dyn Vfs>),
+    check: &dyn Fn(&PathBuf, &str),
+) {
+    let golden = {
+        let root = temp_root(&format!("golden-{tag}"));
+        let fi = Arc::new(ErrInjFs::new(0xC4A5));
+        setup(&root, fi.clone());
+        fi.clear();
+        op(&root, fi.clone());
+        let n = fi.mutations();
+        let _ = fs::remove_dir_all(&root);
+        assert!(n > 0, "the golden {tag} run must mutate the filesystem");
+        n
+    };
+    for torn in [false, true] {
+        for k in 0..golden {
+            let context = format!("{tag}: crash at mutation {k}/{golden} (torn={torn})");
+            let root = temp_root(&format!("crash-{tag}-{k}-{torn}"));
+            let fi = Arc::new(ErrInjFs::new(0xC4A5));
+            setup(&root, fi.clone());
+            fi.clear();
+            fi.crash_after_mutations(k, torn);
+            op(&root, fi.clone());
+            assert!(fi.crashed(), "{context}: the armed crash never fired");
+            check(&root, &context);
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+}
+
+/// Crash at every point of an append pair (`start` then `done`): on
+/// reopen, the previously settled record must stay settled, and the
+/// in-flight one is either pending (its start landed whole) or absent
+/// (torn tail dropped) — never a scan failure.
+#[test]
+fn crash_points_of_journal_append_recover_on_reopen() {
+    let path = |root: &PathBuf| root.join("journal.jsonl");
+    crash_sweep(
+        "append",
+        &|root, vfs| {
+            let (journal, _) = JobJournal::open_with_vfs(&path(root), vfs).unwrap();
+            journal.append_start(&record("settled")).unwrap();
+            journal.append_done(&record("settled").key, "completed").unwrap();
+        },
+        &|root, vfs| {
+            // Reopen through the injected fs (the boot compaction is part
+            // of the sweep), then append an in-flight pair.
+            if let Ok((journal, _)) = JobJournal::open_with_vfs(&path(root), vfs) {
+                if journal.append_start(&record("victim")).is_ok() {
+                    let _ = journal.append_done(&record("victim").key, "completed");
+                }
+            }
+        },
+        &|root, context| {
+            let (_, scan) = JobJournal::open(&path(root))
+                .unwrap_or_else(|e| panic!("{context}: reopen failed: {e}"));
+            for rec in &scan.pending {
+                assert_eq!(rec.key, record("victim").key, "{context}: settled key resurfaced");
+                assert_eq!(rec.spec, record("victim").spec, "{context}: pending record mangled");
+            }
+            assert!(scan.pending.len() <= 1, "{context}: duplicate pending records");
+        },
+    );
+}
+
+/// Crash at every point of a slot overwrite: the reopened slot decodes to
+/// the old snapshot (iteration 1) or the new one (iteration 2), never a
+/// torn hybrid, and the reopen sweeps `tmp/`.
+#[test]
+fn crash_points_of_checkpoint_put_are_previous_or_new_never_torn() {
+    let key = "c".repeat(64);
+    crash_sweep(
+        "ckpt-put",
+        &|root, vfs| {
+            let ckpts = CheckpointStore::open_with_vfs(root, vfs).unwrap();
+            ckpts.put(&key, 1, &arts(1)).unwrap();
+        },
+        &|root, vfs| {
+            if let Ok(ckpts) = CheckpointStore::open_with_vfs(root, vfs) {
+                let _ = ckpts.put(&key, 2, &arts(2));
+            }
+        },
+        &|root, context| {
+            let ckpts = CheckpointStore::open(root)
+                .unwrap_or_else(|e| panic!("{context}: reopen failed: {e}"));
+            let slot = ckpts
+                .get(&key)
+                .unwrap_or_else(|| panic!("{context}: the pre-crash snapshot was lost"));
+            assert!(
+                slot.iteration == 1 || slot.iteration == 2,
+                "{context}: torn slot at iteration {}",
+                slot.iteration
+            );
+            let want = if slot.iteration == 1 { arts(1) } else { arts(2) };
+            assert_eq!(slot.artifacts, want, "{context}: slot artifacts do not match iteration");
+            assert_eq!(
+                fs::read_dir(root.join("tmp")).unwrap().count(),
+                0,
+                "{context}: stray tmp files survive the reopen sweep"
+            );
+        },
+    );
+}
+
+fn sample_entry(key_tag: &str) -> NewEntry {
+    let mut response = Json::obj();
+    response.set("ok", Json::Bool(true));
+    NewEntry {
+        key: format!("{key_tag:0>64}"),
+        case: "sample".into(),
+        mode: "lazy".into(),
+        warm_start: false,
+        fingerprint: SpecFingerprint {
+            vars: "0011223344556677".into(),
+            faults: "8899aabbccddeeff".into(),
+            safety: "0123456789abcdef".into(),
+            actions: vec![format!("{key_tag:0>16}")],
+        },
+        response,
+        artifacts: vec![("trans".into(), bdd(0)), ("invariant".into(), bdd(1))],
+    }
+}
+
+/// `store gc` on a sick volume: EIO and ENOSPC on the removal paths
+/// surface as errors (the CLI exits 1), leave no partial state that a
+/// reopen cannot absorb, and a retry on a healed volume finishes the job.
+#[test]
+fn gc_surfaces_eio_and_enospc_and_recovers_on_retry() {
+    for fault in [Fault::Eio, Fault::Enospc] {
+        let root = temp_root(&format!("gc-{fault:?}"));
+        let fi = Arc::new(ErrInjFs::new(0x6C6C));
+        let store = DiskStore::open_with_vfs(&root, 0, &Telemetry::off(), fi.clone()).unwrap();
+        store.put(&sample_entry("keep")).unwrap();
+        store.put(&sample_entry("doomed")).unwrap();
+        // Corrupt `doomed` so the next read quarantines it, giving gc
+        // quarantined content to delete; add a stale tmp file too.
+        let doomed = format!("{:0>64}", "doomed");
+        fs::write(root.join("entries").join(&doomed).join("artifacts.bin"), b"FTARjunk").unwrap();
+        assert!(store.get(&doomed).is_none());
+        fs::write(root.join("tmp").join("stale"), b"x").unwrap();
+
+        fi.fail_always(VfsOp::RemoveDir, fault);
+        fi.fail_always(VfsOp::RemoveFile, fault);
+        assert!(store.gc().is_err(), "gc on a sick volume must report the failure ({fault:?})");
+        assert!(store.get(&format!("{:0>64}", "keep")).is_some(), "healthy entries untouched");
+
+        // Volume heals: the retry completes and the root is consistent.
+        fi.clear();
+        store.gc().unwrap_or_else(|e| panic!("healed gc failed: {e}"));
+        assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0, "stale tmp swept");
+        drop(store);
+        let tele = Telemetry::new();
+        let reopened = DiskStore::open(&root, 0, &tele).unwrap();
+        let (ok, bad) = reopened.verify();
+        assert!(bad.is_empty(), "corrupt entries after gc retry: {bad:?}");
+        assert_eq!(ok, reopened.len());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

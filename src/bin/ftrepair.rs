@@ -5,6 +5,7 @@
 //!                              [--parallel] [--strict-terminal] [--timeout <secs>]
 //!                              [--max-nodes <n>] [--reorder none|sift|auto]
 //!                              [--store-dir <path>] [--metrics-out <path>]
+//!                              [--checkpoint-dir <path>] [--resume]
 //!                              [--trace] [--trace-out <path>]
 //! ftrepair check    <file.ftr>
 //! ftrepair info     <file.ftr>
@@ -16,6 +17,7 @@
 //!                   [--metrics-out <path>] [--reorder none|sift|auto]
 //!                   [--store-dir <path>] [--store-budget-mb N] [--no-warm-start]
 //!                   [--store-breaker-threshold N] [--store-breaker-backoff <secs>]
+//!                   [--journal <path>] [--drain-timeout <secs>]
 //! ftrepair store    <ls|verify|gc> --store-dir <path>
 //! ftrepair metrics-dump <reports.jsonl>
 //! ftrepair prom-lint    [<exposition.txt>|-]
@@ -57,7 +59,16 @@
 //! consecutive I/O failures trip it into memory-only degraded mode, and
 //! half-open probes (full-jitter backoff from `--store-breaker-backoff`
 //! seconds, default 0.5) re-enable it when the volume heals (see the
-//! README "Robustness" section).
+//! README "Robustness" section). `serve --journal` adds a durable job
+//! journal: every accepted repair is recorded before it executes, so a
+//! `kill -9` mid-repair loses no work — the next boot on the same journal
+//! replays whatever is incomplete (seeded from mid-repair checkpoint
+//! slots). `serve --drain-timeout` bounds the graceful shutdown: jobs
+//! still queued at the deadline are answered `503` instead of having
+//! their sockets dropped. `repair --checkpoint-dir` is the same
+//! checkpoint machinery offline: a run that exits 124/125 leaves a
+//! resume point behind, and rerunning with `--resume` continues from it
+//! instead of starting cold.
 
 use ftrepair::program::decompile::render_process;
 use ftrepair::program::{realizability, semantics, DistributedProgram};
@@ -129,9 +140,16 @@ fn main() -> ExitCode {
     if command == "simulate" {
         return simulate(&source, path, &args[2..]);
     }
-    // `repair --store-dir` goes through the store-aware job pipeline, which
-    // needs the raw source for content addressing — branch before `load`.
-    if command == "repair" && args[2..].iter().any(|a| a == "--store-dir") {
+    // `repair --store-dir` / `--checkpoint-dir` go through the store-aware
+    // job pipeline, which needs the raw source for content addressing —
+    // branch before `load`.
+    // (`--resume` goes there too so its missing-`--checkpoint-dir` case
+    // gets the proper usage error instead of being silently ignored.)
+    if command == "repair"
+        && args[2..]
+            .iter()
+            .any(|a| a == "--store-dir" || a == "--checkpoint-dir" || a == "--resume")
+    {
         return repair_stored(&source, path, &args[2..]);
     }
     let mut prog = match ftrepair::lang::load(&source) {
@@ -215,6 +233,9 @@ fn serve(flags: &[String]) -> ExitCode {
             )?,
             breaker_backoff: duration_flag(flags, "--store-breaker-backoff")?
                 .unwrap_or(defaults.breaker_backoff),
+            journal: flag_value(flags, "--journal")?.map(PathBuf::from),
+            drain_timeout: duration_flag(flags, "--drain-timeout")?
+                .unwrap_or(defaults.drain_timeout),
             ..defaults
         })
     })();
@@ -326,27 +347,42 @@ fn prom_lint(args: &[String]) -> ExitCode {
 /// a miss repairs (warm-started from the nearest stored neighbor when one
 /// is close enough) and writes the verified result through synchronously,
 /// so a later `serve --store-dir` or `repair --store-dir` run finds it.
+///
+/// `--checkpoint-dir <path>` is the offline end of the daemon's mid-repair
+/// checkpointing: the repair loops snapshot their progress into a per-key
+/// slot, so a run killed by `--timeout` (exit 124) or `--max-nodes` (exit
+/// 125) leaves a resume point behind. Rerunning with `--resume` seeds the
+/// repair from that slot instead of starting cold; a verified success
+/// retires the slot.
 fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
-    use ftrepair::store::{DiskStore, NewEntry, ART_INVARIANT, ART_SPAN};
+    use ftrepair::repair::{CheckpointPolicy, Checkpointer, Token};
+    use ftrepair::store::{
+        find_artifact, CheckpointStore, DiskStore, NewEntry, ART_INVARIANT, ART_MS, ART_SPAN,
+    };
+    use std::sync::Arc;
 
     let has = |f: &str| flags.iter().any(|a| a == f);
-    let params = (|| -> Result<(PathBuf, Option<Duration>, usize, ReorderMode), String> {
-        let dir = flag_value(flags, "--store-dir")?
-            .ok_or_else(|| "--store-dir requires a path".to_string())?;
+    type Params = (Option<PathBuf>, Option<PathBuf>, Option<Duration>, usize, ReorderMode);
+    let params = (|| -> Result<Params, String> {
         Ok((
-            PathBuf::from(dir),
+            flag_value(flags, "--store-dir")?.map(PathBuf::from),
+            flag_value(flags, "--checkpoint-dir")?.map(PathBuf::from),
             duration_flag(flags, "--timeout")?,
             parsed_flag(flags, "--max-nodes", 0usize)?,
             reorder_flag(flags)?,
         ))
     })();
-    let (store_dir, deadline, max_nodes, reorder) = match params {
+    let (store_dir, ckpt_dir, deadline, max_nodes, reorder) = match params {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    if has("--resume") && ckpt_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        return ExitCode::from(2);
+    }
     let mode = if has("--cautious") { job::Mode::Cautious } else { job::Mode::Lazy };
     let opts = RepairOptions {
         restrict_to_reachable: !has("--pure-lazy"),
@@ -366,12 +402,25 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let store = match DiskStore::open(&store_dir, 0, &Telemetry::off()) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot open store {}: {e}", store_dir.display());
-            return ExitCode::from(2);
-        }
+    let store = match &store_dir {
+        Some(dir) => match DiskStore::open(dir, 0, &Telemetry::off()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot open store {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let ckpts = match &ckpt_dir {
+        Some(dir) => match CheckpointStore::open(dir) {
+            Ok(c) => Some(Arc::new(c)),
+            Err(e) => {
+                eprintln!("cannot open checkpoint dir {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
 
     let print_response = |response: &ftrepair::telemetry::Json| {
@@ -380,43 +429,94 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
         }
     };
 
-    if let Some(stored) = store.get(&spec.key) {
-        eprintln!("served from store {} (key {})", store_dir.display(), &spec.key[..16]);
-        if stored.response.get("failed").and_then(|j| j.as_bool()) == Some(true) {
-            // Never stored by this code (failures are not persisted), but a
-            // foreign entry could say so; honor it rather than lie.
-            eprintln!("no masking fault-tolerant repair exists under these inputs");
-            return ExitCode::from(1);
+    if let (Some(store), Some(dir)) = (&store, &store_dir) {
+        if let Some(stored) = store.get(&spec.key) {
+            eprintln!("served from store {} (key {})", dir.display(), &spec.key[..16]);
+            if stored.response.get("failed").and_then(|j| j.as_bool()) == Some(true) {
+                // Never stored by this code (failures are not persisted), but a
+                // foreign entry could say so; honor it rather than lie.
+                eprintln!("no masking fault-tolerant repair exists under these inputs");
+                return ExitCode::from(1);
+            }
+            print_response(&stored.response);
+            return ExitCode::SUCCESS;
         }
-        print_response(&stored.response);
-        return ExitCode::SUCCESS;
     }
 
-    // Miss: look for a warm-start donor before computing from scratch.
-    let warm = if mode == job::Mode::Lazy {
-        store.nearest(&spec.fingerprint, 16).and_then(|(neighbor, distance)| {
-            let donor = store.peek(&neighbor)?;
-            let mut invariant = None;
-            let mut span = None;
-            for (name, bdd) in donor.artifacts {
-                match name.as_str() {
-                    ART_INVARIANT => invariant = Some(bdd),
-                    ART_SPAN => span = Some(bdd),
-                    _ => {}
-                }
+    // `--resume`: this exact key's checkpoint slot beats any neighbor — it
+    // is the interrupted run's own progress, distance zero by definition.
+    let mut warm: Option<job::WarmInfo> = None;
+    if has("--resume") && mode == job::Mode::Lazy {
+        if let Some(ckpts) = &ckpts {
+            warm = ckpts.get(&spec.key).and_then(|slot| {
+                let invariant = find_artifact(&slot.artifacts, ART_INVARIANT)?.clone();
+                let span = find_artifact(&slot.artifacts, ART_SPAN)?.clone();
+                eprintln!("resuming from checkpoint at iteration {}", slot.iteration);
+                Some(job::WarmInfo {
+                    neighbor: format!("checkpoint@{}", slot.iteration),
+                    distance: 0,
+                    invariant,
+                    span,
+                })
+            });
+            if warm.is_none() {
+                eprintln!("no checkpoint for this spec; starting cold");
             }
-            Some(job::WarmInfo { neighbor, distance, invariant: invariant?, span: span? })
-        })
-    } else {
-        None
-    };
+        }
+    }
+    // Miss: look for a warm-start donor before computing from scratch.
+    if warm.is_none() && mode == job::Mode::Lazy {
+        if let Some(store) = &store {
+            warm = store.nearest(&spec.fingerprint, 16).and_then(|(neighbor, distance)| {
+                let donor = store.peek(&neighbor)?;
+                let mut invariant = None;
+                let mut span = None;
+                for (name, bdd) in donor.artifacts {
+                    match name.as_str() {
+                        ART_INVARIANT => invariant = Some(bdd),
+                        ART_SPAN => span = Some(bdd),
+                        _ => {}
+                    }
+                }
+                Some(job::WarmInfo { neighbor, distance, invariant: invariant?, span: span? })
+            });
+        }
+    }
 
     let tele = Telemetry::new();
-    let token = ftrepair::repair::Token::from_options(&spec.opts);
+    let mut token = Token::from_options(&spec.opts);
+    if let Some(ckpts) = &ckpts {
+        // Same sink the daemon installs: policy-approved offers (and the
+        // forced final offer when an abort is imminent) land the loop's
+        // current (invariant, span, ms) in this key's slot, crash-safely.
+        let ckpts = Arc::clone(ckpts);
+        let key = spec.key.clone();
+        token = token.with_checkpointer(Arc::new(Checkpointer::new(
+            CheckpointPolicy::default(),
+            move |img| {
+                let arts = [
+                    (ART_INVARIANT.to_string(), img.invariant.clone()),
+                    (ART_SPAN.to_string(), img.span.clone()),
+                    (ART_MS.to_string(), img.ms.clone()),
+                ];
+                if let Err(e) = ckpts.put(&key, img.iteration, &arts) {
+                    eprintln!("warning: checkpoint write failed: {e}");
+                }
+            },
+        )));
+    }
     let result = match job::execute_store(&spec, &tele, false, &token, warm.as_ref(), true) {
         Ok(r) => r,
         Err(job::ExecError::Aborted(why)) => {
             eprintln!("{path}: {why}");
+            if let (Some(ckpts), Some(dir)) = (&ckpts, &ckpt_dir) {
+                if ckpts.get(&spec.key).is_some() {
+                    eprintln!(
+                        "checkpoint saved in {}; rerun with --resume to continue from it",
+                        dir.display()
+                    );
+                }
+            }
             return abort_exit(why);
         }
         Err(e) => {
@@ -428,7 +528,7 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
         if let Some(info) = &warm {
             eprintln!(
                 "warm-started from neighbor {} (fingerprint distance {})",
-                &info.neighbor[..16],
+                &info.neighbor[..info.neighbor.len().min(16)],
                 info.distance,
             );
         }
@@ -439,9 +539,14 @@ fn repair_stored(source: &str, path: &str, flags: &[String]) -> ExitCode {
     }
     eprintln!("repaired {} ({} mode), verified: {}", spec.name, mode.as_str(), result.verified);
 
+    // The run is complete: its resume point is stale, retire it.
+    if let Some(ckpts) = &ckpts {
+        let _ = ckpts.clear(&spec.key);
+    }
+
     // Synchronous write-through (the CLI has no async writer to hand off
     // to); only verified repairs carry artifacts.
-    if let Some(artifacts) = result.artifacts {
+    if let (Some(store), Some(artifacts)) = (&store, result.artifacts) {
         let entry = NewEntry {
             key: spec.key.clone(),
             case: spec.name.clone(),
@@ -602,11 +707,8 @@ fn simulate(source: &str, path: &str, flags: &[String]) -> ExitCode {
         return ExitCode::from(1);
     }
     eprintln!("repaired {} ({} mode), verified: {}", spec.name, mode.as_str(), result.verified);
-    let Some(bundle) = &result.sim else {
-        eprintln!(
-            "state space exceeds {} states; explicit simulation is only for oracle-sized instances",
-            job::SIM_STATE_CAP
-        );
+    let Some(bundle) = result.sim.ready() else {
+        eprintln!("{}", result.sim.refusal());
         return ExitCode::from(1);
     };
 

@@ -4,12 +4,19 @@
 use std::process::Command;
 
 fn ftrepair(args: &[&str]) -> (String, String, bool) {
+    let (stdout, stderr, code) = ftrepair_code(args);
+    (stdout, stderr, code == Some(0))
+}
+
+/// Like [`ftrepair`] but reporting the raw exit code — for the tests that
+/// pin the exit-code contract rather than just success/failure.
+fn ftrepair_code(args: &[&str]) -> (String, String, Option<i32>) {
     let out =
         Command::new(env!("CARGO_BIN_EXE_ftrepair")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code(),
     )
 }
 
@@ -225,4 +232,73 @@ fn trace_out_without_a_path_is_rejected() {
     let (_, stderr, ok) = ftrepair(&["repair", &spec("toggle_pair.ftr"), "--trace-out"]);
     assert!(!ok);
     assert!(stderr.contains("--trace-out requires an argument"), "{stderr}");
+}
+
+/// The exit-code contract documented in the README's Quick start table:
+/// 0 success, 1 failure, 2 usage, 124 deadline, 125 node budget. (3 —
+/// produced-but-unverifiable — is deliberately unpinned: it only fires on
+/// an internal bug.)
+#[test]
+fn exit_codes_are_a_contract() {
+    let (_, _, code) = ftrepair_code(&["repair", &spec("toggle_pair.ftr")]);
+    assert_eq!(code, Some(0), "success is 0");
+
+    let dir = std::env::temp_dir().join("ftrepair-cli-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.ftr");
+    std::fs::write(&bad, "program broken (((").unwrap();
+    let (_, stderr, code) = ftrepair_code(&["repair", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "unparseable spec is 1: {stderr}");
+
+    let (_, stderr, code) = ftrepair_code(&["repair", "no-such-file.ftr"]);
+    assert_eq!(code, Some(2), "unreadable input is a usage error: {stderr}");
+    let (_, stderr, code) = ftrepair_code(&["repair", &spec("toggle_pair.ftr"), "--resume"]);
+    assert_eq!(code, Some(2), "--resume without --checkpoint-dir is 2: {stderr}");
+    assert!(stderr.contains("--resume requires --checkpoint-dir"), "{stderr}");
+
+    let (_, stderr, code) = ftrepair_code(&["repair", &spec("token_ring.ftr"), "--timeout", "0"]);
+    assert_eq!(code, Some(124), "deadline exhaustion is 124: {stderr}");
+
+    let (_, stderr, code) = ftrepair_code(&["repair", &spec("token_ring.ftr"), "--max-nodes", "1"]);
+    assert_eq!(code, Some(125), "node-budget exhaustion is 125: {stderr}");
+}
+
+/// The offline checkpoint round trip: a run starved into exit 125 leaves a
+/// resume slot behind (and says so), `--resume` continues from it to a
+/// verified repair, and success clears the slot. The starvation budget is
+/// node-count based, so this is deterministic across build profiles.
+#[test]
+fn aborted_repair_checkpoints_and_resume_completes() {
+    let dir = std::env::temp_dir().join(format!("ftrepair-cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_str().unwrap();
+    let chain = spec("stabilizing_chain10.ftr");
+
+    let (_, stderr, code) =
+        ftrepair_code(&["repair", &chain, "--max-nodes", "20000", "--checkpoint-dir", dir_str]);
+    assert_eq!(code, Some(125), "{stderr}");
+    assert!(stderr.contains("rerun with --resume"), "{stderr}");
+    let slots = || {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+            .count()
+    };
+    assert_eq!(slots(), 1, "the abort left one checkpoint slot");
+
+    let (_, stderr, code) =
+        ftrepair_code(&["repair", &chain, "--checkpoint-dir", dir_str, "--resume"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("resuming from checkpoint at iteration"), "{stderr}");
+    assert!(stderr.contains("verified: true"), "{stderr}");
+    assert_eq!(slots(), 0, "success cleared the slot");
+
+    // A fresh `--resume` with nothing on disk is honest about it and
+    // still completes cold.
+    let (_, stderr, code) =
+        ftrepair_code(&["repair", &chain, "--checkpoint-dir", dir_str, "--resume"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("no checkpoint for this spec; starting cold"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
